@@ -1,0 +1,394 @@
+//! The ADDG data structure.
+
+use arrayeq_omega::{Relation, Set};
+use std::collections::BTreeMap;
+
+/// Index of a node within an [`Addg`].
+pub type NodeId = usize;
+
+/// The kind of operator an operator node applies.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OperatorKind {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division.
+    Div,
+    /// Unary negation.
+    Neg,
+    /// A call of an (uninterpreted or user-declared) function.
+    Call(String),
+}
+
+impl std::fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OperatorKind::Add => write!(f, "+"),
+            OperatorKind::Sub => write!(f, "-"),
+            OperatorKind::Mul => write!(f, "*"),
+            OperatorKind::Div => write!(f, "/"),
+            OperatorKind::Neg => write!(f, "neg"),
+            OperatorKind::Call(n) => write!(f, "{n}()"),
+        }
+    }
+}
+
+/// A node of the ADDG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An array variable (input, output or intermediate).
+    Array {
+        /// The array name.
+        name: String,
+    },
+    /// An operator occurrence inside the right-hand side of a statement.
+    Operator {
+        /// The operator.
+        kind: OperatorKind,
+        /// Label of the statement this occurrence belongs to.
+        statement: String,
+        /// Operand nodes, in operand-position order.
+        operands: Vec<NodeId>,
+    },
+    /// An array read occurrence (a leaf of a statement's operator tree).
+    Access {
+        /// The array being read.
+        array: String,
+        /// Label of the statement this read belongs to.
+        statement: String,
+        /// The paper's dependency mapping `M_{def,operand}`: from the
+        /// elements defined by the statement to the elements read by this
+        /// occurrence.
+        mapping: Relation,
+        /// The index expressions of the access, pretty-printed (for error
+        /// diagnostics).
+        index_text: String,
+    },
+    /// A literal constant in a right-hand side.
+    Const {
+        /// The value.
+        value: i64,
+        /// Label of the statement this constant belongs to.
+        statement: String,
+    },
+}
+
+/// One definition of an array: the statement that assigns (part of) it.
+#[derive(Debug, Clone)]
+pub struct Definition {
+    /// Label of the defining statement.
+    pub statement: String,
+    /// The set of elements this statement defines.
+    pub elements: Set,
+    /// Root node of the statement's right-hand-side operator tree.
+    pub root: NodeId,
+    /// Pretty-printed left-hand side (for diagnostics).
+    pub lhs_text: String,
+    /// Number of dimensions of the defined array elements.
+    pub element_dims: usize,
+}
+
+/// An Array Data Dependence Graph.
+#[derive(Debug, Clone)]
+pub struct Addg {
+    /// Name of the program function the graph was extracted from.
+    pub program_name: String,
+    nodes: Vec<Node>,
+    array_ids: BTreeMap<String, NodeId>,
+    definitions: BTreeMap<String, Vec<Definition>>,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    intermediates: Vec<String>,
+}
+
+impl Addg {
+    /// Creates an empty graph (used by the extractor).
+    pub(crate) fn new(program_name: String) -> Self {
+        Addg {
+            program_name,
+            nodes: Vec::new(),
+            array_ids: BTreeMap::new(),
+            definitions: BTreeMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            intermediates: Vec::new(),
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub(crate) fn push_node(&mut self, node: Node) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(node);
+        id
+    }
+
+    /// Returns (creating if necessary) the node of an array variable.
+    pub(crate) fn array_node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.array_ids.get(name) {
+            return id;
+        }
+        let id = self.push_node(Node::Array {
+            name: name.to_owned(),
+        });
+        self.array_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Registers a definition of an array.
+    pub(crate) fn add_definition(&mut self, array: &str, def: Definition) {
+        self.array_node(array);
+        self.definitions.entry(array.to_owned()).or_default().push(def);
+    }
+
+    /// Sets the role lists (called once by the extractor).
+    pub(crate) fn set_roles(
+        &mut self,
+        inputs: Vec<String>,
+        outputs: Vec<String>,
+        intermediates: Vec<String>,
+    ) {
+        self.inputs = inputs;
+        self.outputs = outputs;
+        self.intermediates = intermediates;
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes in the graph.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All nodes with their ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// The input arrays (leaf nodes of the ADDG).
+    pub fn input_arrays(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// The output arrays (root nodes of the ADDG).
+    pub fn output_arrays(&self) -> &[String] {
+        &self.outputs
+    }
+
+    /// The intermediate arrays.
+    pub fn intermediate_arrays(&self) -> &[String] {
+        &self.intermediates
+    }
+
+    /// Whether the array is an input of the function.
+    pub fn is_input(&self, array: &str) -> bool {
+        self.inputs.iter().any(|a| a == array)
+    }
+
+    /// Whether the array is an output of the function.
+    pub fn is_output(&self, array: &str) -> bool {
+        self.outputs.iter().any(|a| a == array)
+    }
+
+    /// The definitions (assigning statements) of an array, in textual order.
+    /// Input arrays have no definitions.
+    pub fn definitions(&self, array: &str) -> &[Definition] {
+        self.definitions
+            .get(array)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The union of all elements of `array` defined by the program, or `None`
+    /// if the array has no definitions.
+    pub fn defined_elements(&self, array: &str) -> Option<Set> {
+        let defs = self.definitions(array);
+        let mut acc: Option<Set> = None;
+        for d in defs {
+            acc = Some(match acc {
+                None => d.elements.clone(),
+                Some(s) => s.union(&d.elements).ok()?,
+            });
+        }
+        acc
+    }
+
+    /// Total number of assignment statements represented in the graph.
+    pub fn statement_count(&self) -> usize {
+        self.definitions.values().map(|v| v.len()).sum()
+    }
+
+    /// The arrays read (transitively through operators) by the statement tree
+    /// rooted at `root`.
+    pub fn arrays_read_from(&self, root: NodeId) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id] {
+                Node::Access { array, .. } => {
+                    if !out.contains(array) {
+                        out.push(array.clone());
+                    }
+                }
+                Node::Operator { operands, .. } => stack.extend(operands.iter().copied()),
+                Node::Array { .. } | Node::Const { .. } => {}
+            }
+        }
+        out
+    }
+
+    /// The array-level dependence edges: `(defined array, read array)` pairs,
+    /// one per (definition, operand array).
+    pub fn array_dependences(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for (array, defs) in &self.definitions {
+            for d in defs {
+                for read in self.arrays_read_from(d.root) {
+                    let pair = (array.clone(), read);
+                    if !out.contains(&pair) {
+                        out.push(pair);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The arrays involved in data-flow recurrences (cycles in the
+    /// array-level dependence graph, including self-loops).  The paper
+    /// handles these with the transitive closure of the cycle's total
+    /// dependence mapping.
+    pub fn recurrence_arrays(&self) -> Vec<String> {
+        let deps = self.array_dependences();
+        let arrays: Vec<String> = self.definitions.keys().cloned().collect();
+        let mut cyclic = Vec::new();
+        for a in &arrays {
+            // DFS from a over dependence edges; if we can come back to a, it
+            // is part of a cycle.
+            let mut stack: Vec<&String> = deps
+                .iter()
+                .filter(|(from, _)| from == a)
+                .map(|(_, to)| to)
+                .collect();
+            let mut seen: Vec<&String> = Vec::new();
+            let mut found = false;
+            while let Some(n) = stack.pop() {
+                if n == a {
+                    found = true;
+                    break;
+                }
+                if seen.contains(&n) {
+                    continue;
+                }
+                seen.push(n);
+                stack.extend(
+                    deps.iter()
+                        .filter(|(from, _)| from == n)
+                        .map(|(_, to)| to),
+                );
+            }
+            if found {
+                cyclic.push(a.clone());
+            }
+        }
+        cyclic
+    }
+
+    /// Whether the ADDG contains any recurrence.
+    pub fn has_recurrence(&self) -> bool {
+        !self.recurrence_arrays().is_empty()
+    }
+
+    /// Sum over all statements of the number of paths from the defined array
+    /// to array-read leaves — the "number of data dependence paths" measure
+    /// used when relating checker runtime to ADDG size.
+    pub fn leaf_path_count(&self) -> usize {
+        let mut total = 0;
+        for defs in self.definitions.values() {
+            for d in defs {
+                total += self.count_leaves(d.root);
+            }
+        }
+        total
+    }
+
+    fn count_leaves(&self, id: NodeId) -> usize {
+        match &self.nodes[id] {
+            Node::Access { .. } => 1,
+            Node::Const { .. } | Node::Array { .. } => 0,
+            Node::Operator { operands, .. } => {
+                operands.iter().map(|&o| self.count_leaves(o)).sum()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract;
+    use arrayeq_lang::corpus::{FIG1_A, FIG1_B, KERNEL_RECURRENCE};
+    use arrayeq_lang::parser::parse_program;
+
+    fn addg(src: &str) -> Addg {
+        extract(&parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fig1a_structure() {
+        let g = addg(FIG1_A);
+        assert_eq!(g.output_arrays(), &["C".to_string()]);
+        assert_eq!(
+            g.input_arrays(),
+            &["A".to_string(), "B".to_string()],
+            "A and B are only read"
+        );
+        assert_eq!(g.intermediate_arrays(), &["tmp".to_string(), "buf".to_string()]);
+        assert_eq!(g.statement_count(), 3);
+        // 4 leaf paths from C: via tmp to B (2) and via buf to A (2) — at the
+        // statement level each statement has 2 leaves.
+        assert_eq!(g.leaf_path_count(), 6);
+        assert!(!g.has_recurrence());
+        let deps = g.array_dependences();
+        assert!(deps.contains(&("C".to_string(), "tmp".to_string())));
+        assert!(deps.contains(&("tmp".to_string(), "B".to_string())));
+        assert!(deps.contains(&("buf".to_string(), "A".to_string())));
+    }
+
+    #[test]
+    fn fig1b_has_split_output_definitions() {
+        let g = addg(FIG1_B);
+        // C is defined by t3 and t4.
+        assert_eq!(g.definitions("C").len(), 2);
+        let total = g.defined_elements("C").unwrap();
+        // Together they define exactly [0, 1024).
+        let expected = arrayeq_omega::Set::parse("{ [k] : 0 <= k < 1024 }").unwrap();
+        assert!(total.is_equal(&expected).unwrap());
+        // And each alone does not.
+        for d in g.definitions("C") {
+            assert!(!d.elements.is_equal(&expected).unwrap());
+        }
+    }
+
+    #[test]
+    fn recurrence_is_detected() {
+        let g = addg(KERNEL_RECURRENCE);
+        assert!(g.has_recurrence());
+        assert_eq!(g.recurrence_arrays(), vec!["Y".to_string()]);
+    }
+
+    #[test]
+    fn operator_kind_display() {
+        assert_eq!(OperatorKind::Add.to_string(), "+");
+        assert_eq!(OperatorKind::Call("absd".into()).to_string(), "absd()");
+    }
+}

@@ -1,0 +1,21 @@
+//! E7: extended-method overhead on pairs without algebraic transformations.
+use arrayeq_bench::generated_pair;
+use arrayeq_core::CheckOptions;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extended_overhead");
+    g.sample_size(10);
+    for layers in [2usize, 4, 8] {
+        let w = generated_pair(layers, 256, 17);
+        g.bench_with_input(BenchmarkId::new("basic", layers + 1), &w, |b, w| {
+            b.iter(|| w.check(&CheckOptions::basic()))
+        });
+        g.bench_with_input(BenchmarkId::new("extended", layers + 1), &w, |b, w| {
+            b.iter(|| w.check(&CheckOptions::default()))
+        });
+    }
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

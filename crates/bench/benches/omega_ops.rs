@@ -1,0 +1,18 @@
+//! E12: micro-benchmarks of the omega substrate.
+use arrayeq_omega::Relation;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("omega_ops");
+    g.sample_size(20);
+    let m1 = Relation::parse("{ [k] -> [2k] : 0 <= k < 1024 }").unwrap();
+    let m2 = Relation::parse("{ [x] -> [y] : exists k : x = 2k - 2 and y = k - 1 and 1 <= k <= 1024 }").unwrap();
+    let shift = Relation::parse("{ [i] -> [i+1] : 0 <= i < 1024 }").unwrap();
+    g.bench_function("compose", |b| b.iter(|| m1.compose(&m2).unwrap()));
+    g.bench_function("is_equal", |b| b.iter(|| m1.is_equal(&m1).unwrap()));
+    g.bench_function("subtract", |b| b.iter(|| m1.subtract(&m2).unwrap()));
+    g.bench_function("transitive_closure", |b| b.iter(|| shift.transitive_closure().unwrap()));
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

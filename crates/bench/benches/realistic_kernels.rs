@@ -1,0 +1,15 @@
+//! E8: end-to-end verification of the realistic kernel suite.
+use arrayeq_bench::kernel_suite;
+use arrayeq_core::CheckOptions;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("realistic_kernels");
+    g.sample_size(10);
+    for w in kernel_suite(23) {
+        g.bench_function(&w.name, |b| b.iter(|| w.check(&CheckOptions::default())));
+    }
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

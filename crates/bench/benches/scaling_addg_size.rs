@@ -1,0 +1,18 @@
+//! E5: checker time vs ADDG size (number of statements).
+use arrayeq_bench::generated_pair;
+use arrayeq_core::CheckOptions;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling_addg_size");
+    g.sample_size(10);
+    for layers in [2usize, 4, 8, 16] {
+        let w = generated_pair(layers, 256, 11);
+        g.bench_with_input(BenchmarkId::from_parameter(layers + 1), &w, |b, w| {
+            b.iter(|| w.check(&CheckOptions::default()))
+        });
+    }
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

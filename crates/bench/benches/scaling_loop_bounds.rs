@@ -1,0 +1,21 @@
+//! E6: checker (closed form) vs simulation (linear in N) as loop bounds grow.
+use arrayeq_bench::{fig1a_pipeline_at_size, simulate_fig1_pair};
+use arrayeq_core::CheckOptions;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling_loop_bounds");
+    g.sample_size(10);
+    for n in [256i64, 1024, 4096, 16384] {
+        let w = fig1a_pipeline_at_size(n, 4, 3);
+        g.bench_with_input(BenchmarkId::new("checker", n), &w, |b, w| {
+            b.iter(|| w.check(&CheckOptions::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("simulation", n), &w, |b, w| {
+            b.iter(|| simulate_fig1_pair(&w.original, &w.transformed, n))
+        });
+    }
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,282 @@
+//! Regenerates every table of `EXPERIMENTS.md` (experiments E1–E12) and
+//! prints them to stdout.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p arrayeq-bench --bin run_experiments            # all
+//! cargo run --release -p arrayeq-bench --bin run_experiments -- --exp e6
+//! ```
+
+use arrayeq_bench::*;
+use arrayeq_core::{verify_source, CheckOptions, Focus};
+use arrayeq_lang::corpus::*;
+use arrayeq_lang::parser::parse_program;
+use arrayeq_omega::Relation;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase());
+    let run = |id: &str| only.as_deref().map(|o| o == id).unwrap_or(true);
+
+    if run("e1") {
+        e1_fig1_verdicts();
+    }
+    if run("e2") {
+        e2_algebraic_properties();
+    }
+    if run("e3") {
+        e3_flattening_and_matching();
+    }
+    if run("e4") {
+        e4_diagnostics();
+    }
+    if run("e5") {
+        e5_scaling_addg_size();
+    }
+    if run("e6") {
+        e6_scaling_loop_bounds();
+    }
+    if run("e7") {
+        e7_extended_overhead();
+    }
+    if run("e8") {
+        e8_realistic_kernels();
+    }
+    if run("e9") {
+        e9_tabling_ablation();
+    }
+    if run("e10") {
+        e10_recurrences();
+    }
+    if run("e11") {
+        e11_focused_checking();
+    }
+    if run("e12") {
+        e12_omega_ops();
+    }
+}
+
+fn header(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+fn e1_fig1_verdicts() {
+    header("E1", "Fig. 1 verdicts (paper: a=b=c, d inequivalent)");
+    println!("{:<10} {:>14} {:>12} {:>10}", "pair", "verdict", "paths", "time/ms");
+    for (name, a, b) in fig1_pairs() {
+        let (report, t) = timed(|| verify_source(&a, &b, &CheckOptions::default()).unwrap());
+        println!(
+            "{:<10} {:>14} {:>12} {:>10}",
+            name,
+            report.verdict.to_string(),
+            report.stats.paths_compared,
+            ms(t)
+        );
+    }
+}
+
+fn e2_algebraic_properties() {
+    header("E2", "Fig. 3 algebraic normalisation (associativity / commutativity / both)");
+    let assoc_a = "#define N 32\nvoid f(int X[], int Y[], int Z[], int C[]) { int k; for (k=0;k<N;k++) s1: C[k] = (X[k] + Y[k]) + Z[k]; }";
+    let assoc_b = "#define N 32\nvoid f(int X[], int Y[], int Z[], int C[]) { int k; for (k=0;k<N;k++) t1: C[k] = X[k] + (Y[k] + Z[k]); }";
+    let comm_a = "#define N 32\nvoid f(int X[], int Y[], int C[]) { int k; for (k=0;k<N;k++) s1: C[k] = X[2*k] * Y[k]; }";
+    let comm_b = "#define N 32\nvoid f(int X[], int Y[], int C[]) { int k; for (k=0;k<N;k++) t1: C[k] = Y[k] * X[2*k]; }";
+    let both_a = "#define N 32\nvoid f(int X[], int Y[], int Z[], int W[], int C[]) { int k; for (k=0;k<N;k++) s1: C[k] = ((X[k] + Y[k]) + Z[k]) + W[k]; }";
+    let both_b = "#define N 32\nvoid f(int X[], int Y[], int Z[], int W[], int C[]) { int k; for (k=0;k<N;k++) t1: C[k] = (W[k] + Z[k]) + (Y[k] + X[k]); }";
+    println!("{:<16} {:>10} {:>10}", "property", "basic", "extended");
+    for (name, a, b) in [
+        ("associativity", assoc_a, assoc_b),
+        ("commutativity", comm_a, comm_b),
+        ("combination", both_a, both_b),
+    ] {
+        let basic = verify_source(a, b, &CheckOptions::basic()).unwrap();
+        let ext = verify_source(a, b, &CheckOptions::default()).unwrap();
+        println!(
+            "{:<16} {:>10} {:>10}",
+            name,
+            if basic.is_equivalent() { "EQ" } else { "NEQ" },
+            if ext.is_equivalent() { "EQ" } else { "NEQ" }
+        );
+    }
+}
+
+fn e3_flattening_and_matching() {
+    header("E3", "Fig. 5: flattening (a)/(c) and the output-input mapping equalities");
+    // The four mappings of Section 5.2, rebuilt from the paper's text.
+    let d = "0 <= k < 1024";
+    let pairs = [
+        ("C->B (path p/z)", format!("{{ [k] -> [2k] : {d} }}")),
+        ("C->B (path q/x)", format!("{{ [k] -> [k] : {d} }}")),
+        ("C->A (path r/y)", format!("{{ [k] -> [2k] : {d} }}")),
+        ("C->A (path s/w)", format!("{{ [k] -> [k] : {d} }}")),
+    ];
+    for (name, text) in &pairs {
+        let m = Relation::parse(text).unwrap();
+        println!("{:<20} {}", name, m);
+    }
+    let report = verify_source(FIG1_A, FIG1_C, &CheckOptions::default()).unwrap();
+    println!(
+        "fig1 (a) vs (c): {}  flattenings={} matchings={} mapping-equalities={}",
+        report.verdict, report.stats.flattenings, report.stats.matchings, report.stats.mapping_equalities
+    );
+}
+
+fn e4_diagnostics() {
+    header("E4", "Section 6.1 diagnostics for the erroneous version (d)");
+    let report = verify_source(FIG1_A, FIG1_D, &CheckOptions::default()).unwrap();
+    println!("{}", report.summary());
+}
+
+fn e5_scaling_addg_size() {
+    header("E5", "checker time vs ADDG size (statements), N = 256");
+    println!("{:<14} {:>10} {:>12} {:>10}", "statements", "verdict", "paths", "time/ms");
+    for layers in [2usize, 4, 8, 16, 32] {
+        let w = generated_pair(layers, 256, 11);
+        let (r, t) = timed(|| w.check(&CheckOptions::default()));
+        println!(
+            "{:<14} {:>10} {:>12} {:>10}",
+            layers + 1,
+            r.verdict.to_string(),
+            r.stats.paths_compared,
+            ms(t)
+        );
+    }
+}
+
+fn e6_scaling_loop_bounds() {
+    header("E6", "checker vs simulation as the loop bound N grows (fig1(a)-shaped pair)");
+    println!(
+        "{:<10} {:>14} {:>16} {:>10}",
+        "N", "checker/ms", "simulation/ms", "agree"
+    );
+    for n in [256i64, 1024, 4096, 16384, 65536] {
+        let w = fig1a_pipeline_at_size(n, 4, 3);
+        let (r, tc) = timed(|| w.check(&CheckOptions::default()));
+        let (agree, ts) = timed(|| simulate_fig1_pair(&w.original, &w.transformed, n));
+        println!(
+            "{:<10} {:>14} {:>16} {:>10}",
+            n,
+            ms(tc),
+            ms(ts),
+            agree && r.is_equivalent()
+        );
+    }
+}
+
+fn e7_extended_overhead() {
+    header("E7", "extended vs basic method on pairs WITHOUT algebraic transformations");
+    println!("{:<14} {:>12} {:>12} {:>10}", "statements", "basic/ms", "extended/ms", "ratio");
+    for layers in [2usize, 4, 8] {
+        // Loop-and-propagation-only pipeline: filter out algebraic steps by
+        // checking with both methods on the same pair; the pair itself is
+        // produced with a pipeline seed that happens to apply none (seed 17
+        // applies loop transformations only for these sizes — verified by the
+        // basic run below coming out equivalent).
+        let w = generated_pair(layers, 256, 17);
+        let basic_eq = w.check(&CheckOptions::basic());
+        let (_, tb) = timed(|| w.check(&CheckOptions::basic()));
+        let (_, te) = timed(|| w.check(&CheckOptions::default()));
+        let ratio = te.as_secs_f64() / tb.as_secs_f64().max(1e-9);
+        println!(
+            "{:<14} {:>12} {:>12} {:>9.2}x   (basic verdict: {})",
+            layers + 1,
+            ms(tb),
+            ms(te),
+            ratio,
+            basic_eq.verdict
+        );
+    }
+}
+
+fn e8_realistic_kernels() {
+    header("E8", "realistic kernel suite, random transformation pipelines (paper: < 100 s each)");
+    println!("{:<14} {:>12} {:>12} {:>10}", "kernel", "verdict", "paths", "time/ms");
+    let mut max = Duration::ZERO;
+    for w in kernel_suite(23) {
+        let (r, t) = timed(|| w.check(&CheckOptions::default()));
+        max = max.max(t);
+        println!(
+            "{:<14} {:>12} {:>12} {:>10}",
+            w.name,
+            r.verdict.to_string(),
+            r.stats.paths_compared,
+            ms(t)
+        );
+    }
+    println!("slowest kernel: {} ms (paper bound: 100 000 ms)", ms(max));
+}
+
+fn e9_tabling_ablation() {
+    header("E9", "tabling ablation (shared sub-ADDGs)");
+    println!("{:<14} {:>14} {:>16} {:>12}", "statements", "with/ms", "without/ms", "table hits");
+    for layers in [4usize, 8, 16] {
+        let w = generated_pair(layers, 256, 29);
+        let (r1, t1) = timed(|| w.check(&CheckOptions::default()));
+        let (_, t2) = timed(|| w.check(&CheckOptions::default().without_tabling()));
+        println!(
+            "{:<14} {:>14} {:>16} {:>12}",
+            layers + 1,
+            ms(t1),
+            ms(t2),
+            r1.stats.table_hits
+        );
+    }
+}
+
+fn e10_recurrences() {
+    header("E10", "recurrence (cyclic ADDG) handling");
+    let broken = KERNEL_RECURRENCE.replace("Y[0] = X[0] + 0;", "Y[0] = X[0] + 1;");
+    for (name, a, b) in [
+        ("scan vs scan", KERNEL_RECURRENCE.to_string(), KERNEL_RECURRENCE.to_string()),
+        ("scan vs broken base", KERNEL_RECURRENCE.to_string(), broken),
+    ] {
+        let (r, t) = timed(|| verify_source(&a, &b, &CheckOptions::default()).unwrap());
+        println!("{:<22} {:>14} {:>10} ms", name, r.verdict.to_string(), ms(t));
+    }
+}
+
+fn e11_focused_checking() {
+    header("E11", "focused checking (output subset + intermediate correspondences)");
+    let full_opts = CheckOptions::default();
+    let focused_opts = CheckOptions::default().with_focus(Focus {
+        outputs: vec!["C".into()],
+        intermediate_pairs: vec![("tmp".into(), "tmp".into()), ("buf".into(), "buf".into())],
+    });
+    let a = parse_program(FIG1_A).unwrap();
+    let b = parse_program(FIG1_B).unwrap();
+    let (r1, t1) = timed(|| arrayeq_core::verify_programs(&a, &b, &full_opts).unwrap());
+    let (r2, t2) = timed(|| arrayeq_core::verify_programs(&a, &b, &focused_opts).unwrap());
+    println!("full:    {} in {} ms ({} path pairs)", r1.verdict, ms(t1), r1.stats.paths_compared);
+    println!("focused: {} in {} ms ({} path pairs)", r2.verdict, ms(t2), r2.stats.paths_compared);
+}
+
+fn e12_omega_ops() {
+    header("E12", "omega-layer micro-operations (compose / equality / closure)");
+    let m1 = Relation::parse("{ [k] -> [2k] : 0 <= k < 1024 }").unwrap();
+    let m2 = Relation::parse("{ [x] -> [y] : exists k : x = 2k - 2 and y = k - 1 and 1 <= k <= 1024 }").unwrap();
+    let shift = Relation::parse("{ [i] -> [i+1] : 0 <= i < 1024 }").unwrap();
+    let (_, t1) = timed(|| {
+        for _ in 0..100 {
+            let _ = m1.compose(&m2).unwrap();
+        }
+    });
+    let (_, t2) = timed(|| {
+        for _ in 0..100 {
+            let _ = m1.is_equal(&m1).unwrap();
+        }
+    });
+    let (_, t3) = timed(|| {
+        for _ in 0..100 {
+            let _ = shift.transitive_closure().unwrap();
+        }
+    });
+    println!("compose        : {} ms / 100 ops", ms(t1));
+    println!("is_equal       : {} ms / 100 ops", ms(t2));
+    println!("closure        : {} ms / 100 ops", ms(t3));
+}

@@ -1,0 +1,160 @@
+//! # arrayeq-bench
+//!
+//! Workload construction shared by the Criterion benches and the
+//! `run_experiments` binary that regenerate the paper's evaluation
+//! (experiments E1–E12 of `DESIGN.md` / `EXPERIMENTS.md`).
+//!
+//! The heavy lifting lives in the other crates; this one only assembles
+//! (original, transformed) program pairs of controlled size and provides
+//! small timing helpers so that every table can be reproduced both through
+//! `cargo bench -p arrayeq-bench` and through
+//! `cargo run -p arrayeq-bench --bin run_experiments`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use arrayeq_core::{verify_programs, CheckOptions, Report};
+use arrayeq_lang::ast::Program;
+use arrayeq_lang::corpus::{with_size, FIG1_A};
+use arrayeq_lang::interp::{Inputs, Interpreter};
+use arrayeq_lang::parser::parse_program;
+use arrayeq_transform::generator::{generate_kernel, GeneratorConfig};
+use arrayeq_transform::random_pipeline;
+use std::time::{Duration, Instant};
+
+/// A ready-to-check pair of programs plus a description.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name used in bench/table rows.
+    pub name: String,
+    /// The original program.
+    pub original: Program,
+    /// The transformed program (equivalent by construction unless noted).
+    pub transformed: Program,
+}
+
+impl Workload {
+    /// Runs the checker on the pair with the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the verification pipeline itself fails (the pairs produced
+    /// by this crate are all in the supported class).
+    pub fn check(&self, opts: &CheckOptions) -> Report {
+        verify_programs(&self.original, &self.transformed, opts)
+            .unwrap_or_else(|e| panic!("workload {}: {e}", self.name))
+    }
+}
+
+/// The Fig. 1 pairs of the paper at its native size (N = 1024).
+pub fn fig1_pairs() -> Vec<(String, String, String)> {
+    use arrayeq_lang::corpus::*;
+    vec![
+        ("a-vs-b".into(), FIG1_A.into(), FIG1_B.into()),
+        ("a-vs-c".into(), FIG1_A.into(), FIG1_C.into()),
+        ("b-vs-c".into(), FIG1_B.into(), FIG1_C.into()),
+        ("a-vs-d".into(), FIG1_A.into(), FIG1_D.into()),
+    ]
+}
+
+/// A Fig. 1(a)-shaped workload with the loop bound set to `n`, transformed by
+/// a deterministic random pipeline (experiment E6).
+pub fn fig1a_pipeline_at_size(n: i64, steps: usize, seed: u64) -> Workload {
+    let original = parse_program(&with_size(FIG1_A, n)).expect("fig1(a) parses");
+    let (transformed, _) = random_pipeline(&original, steps, seed);
+    Workload {
+        name: format!("fig1a-N{n}"),
+        original,
+        transformed,
+    }
+}
+
+/// A generated kernel with `layers` statements, transformed by a random
+/// pipeline (experiments E5, E7, E9).
+pub fn generated_pair(layers: usize, n: i64, seed: u64) -> Workload {
+    let cfg = GeneratorConfig {
+        n,
+        layers,
+        seed,
+        ..Default::default()
+    };
+    let original = generate_kernel(&cfg);
+    let (transformed, _) = random_pipeline(&original, 2 * layers, seed + 1);
+    Workload {
+        name: format!("gen-L{layers}-N{n}"),
+        original,
+        transformed,
+    }
+}
+
+/// The realistic-kernel suite (experiment E8): every corpus kernel paired
+/// with a random transformation pipeline of itself.
+pub fn kernel_suite(seed: u64) -> Vec<Workload> {
+    arrayeq_lang::corpus::KERNELS
+        .iter()
+        .map(|(name, src)| {
+            let original = parse_program(src).expect("kernel parses");
+            let (transformed, _) = random_pipeline(&original, 6, seed);
+            Workload {
+                name: (*name).to_owned(),
+                original,
+                transformed,
+            }
+        })
+        .collect()
+}
+
+/// Simulation baseline: executes both programs of a Fig.-1-shaped pair on
+/// one input vector and compares outputs.  Returns whether they agreed.
+pub fn simulate_fig1_pair(original: &Program, transformed: &Program, n: i64) -> bool {
+    let a: Vec<i64> = (0..2 * n + 4).map(|i| 3 * i + 1).collect();
+    let b: Vec<i64> = (0..2 * n + 4).map(|i| 7 * i - 5).collect();
+    let inputs = Inputs::new()
+        .array("A", a)
+        .array("B", b)
+        .output("C", n as usize);
+    let o1 = Interpreter::new(original)
+        .run_for_output(&inputs, "C")
+        .expect("original runs");
+    let o2 = Interpreter::new(transformed)
+        .run_for_output(&inputs, "C")
+        .expect("transformed runs");
+    o1 == o2
+}
+
+/// Times a closure, returning its result and the elapsed wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Formats a duration in milliseconds with three decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_equivalent_by_construction() {
+        let w = generated_pair(3, 64, 5);
+        assert!(w.check(&CheckOptions::default()).is_equivalent());
+        let w = fig1a_pipeline_at_size(64, 4, 2);
+        assert!(w.check(&CheckOptions::default()).is_equivalent());
+    }
+
+    #[test]
+    fn kernel_suite_covers_every_corpus_kernel() {
+        let suite = kernel_suite(1);
+        assert_eq!(suite.len(), arrayeq_lang::corpus::KERNELS.len());
+    }
+
+    #[test]
+    fn simulation_agrees_for_equivalent_pairs() {
+        let w = fig1a_pipeline_at_size(64, 4, 2);
+        assert!(simulate_fig1_pair(&w.original, &w.transformed, 64));
+    }
+}

@@ -1,0 +1,1191 @@
+//! The synchronized ADDG traversal (Section 5 of the paper).
+
+use crate::diagnostics::{Diagnostic, DiagnosticKind};
+use crate::operators::OperatorProperties;
+use crate::report::{CheckStats, Report, Verdict};
+use crate::{CoreError, Result};
+use arrayeq_addg::{describe_node, extract, Addg, Node, NodeId, OperatorKind};
+use arrayeq_lang::ast::Program;
+use arrayeq_lang::classcheck::assert_in_class;
+use arrayeq_lang::defuse::assert_def_use_correct;
+use arrayeq_lang::parser::parse_program;
+use arrayeq_omega::{Relation, Set};
+use std::collections::{BTreeMap, HashMap};
+
+/// Which variant of the method to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// Section 5.1: handles expression propagation and loop transformations
+    /// only; operands are paired strictly by position.
+    Basic,
+    /// Section 5.2 (default): additionally normalises associative /
+    /// commutative operators with the flattening and matching operations, so
+    /// global algebraic transformations are handled in the same pass.
+    #[default]
+    Extended,
+}
+
+/// Focused checking (Section 6.1): restrict the check to parts of the
+/// programs, which both speeds it up and sharpens diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct Focus {
+    /// Check only these output arrays (all common outputs when empty).
+    pub outputs: Vec<String>,
+    /// Declared correspondences between intermediate arrays of the original
+    /// and the transformed program: when the traversal reaches such a pair
+    /// with identical output-current mappings it stops early, treating the
+    /// pair like a matching leaf.
+    pub intermediate_pairs: Vec<(String, String)>,
+}
+
+/// Options controlling a verification run.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Basic or extended method.
+    pub method: Method,
+    /// Operator property declarations.
+    pub operators: OperatorProperties,
+    /// Whether to table (memoise) established sub-equivalences.
+    pub tabling: bool,
+    /// Optional focused checking.
+    pub focus: Option<Focus>,
+    /// Whether to run the def-use checker before extracting ADDGs (Fig. 6).
+    pub check_def_use: bool,
+    /// Whether to verify the program-class properties before checking.
+    pub check_class: bool,
+    /// Upper bound on traversal work (node-pair visits); exceeding it yields
+    /// an inconclusive verdict instead of running forever.
+    pub max_work: u64,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            method: Method::Extended,
+            operators: OperatorProperties::default(),
+            tabling: true,
+            focus: None,
+            check_def_use: true,
+            check_class: true,
+            max_work: 2_000_000,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// Options for the basic method of Section 5.1.
+    pub fn basic() -> Self {
+        CheckOptions {
+            method: Method::Basic,
+            ..Default::default()
+        }
+    }
+
+    /// Disables tabling (for the ablation experiment E9).
+    pub fn without_tabling(mut self) -> Self {
+        self.tabling = false;
+        self
+    }
+
+    /// Sets a focus.
+    pub fn with_focus(mut self, focus: Focus) -> Self {
+        self.focus = Some(focus);
+        self
+    }
+}
+
+/// Verifies two functions given as source text, running the full Fig. 6 flow:
+/// parse → class check → def-use check → ADDG extraction → equivalence check.
+///
+/// # Errors
+///
+/// Returns an error when either program fails to parse, violates the program
+/// class, fails the def-use check, or when the functions' interfaces are not
+/// comparable.  Inequivalence is *not* an error: it is reported in the
+/// returned [`Report`].
+pub fn verify_source(original: &str, transformed: &str, opts: &CheckOptions) -> Result<Report> {
+    let p1 = parse_program(original)?;
+    let p2 = parse_program(transformed)?;
+    verify_programs(&p1, &p2, opts)
+}
+
+/// Verifies two parsed programs (see [`verify_source`]).
+///
+/// # Errors
+///
+/// Same as [`verify_source`], minus parsing.
+pub fn verify_programs(original: &Program, transformed: &Program, opts: &CheckOptions) -> Result<Report> {
+    if opts.check_class {
+        assert_in_class(original)?;
+        assert_in_class(transformed)?;
+    }
+    if opts.check_def_use {
+        assert_def_use_correct(original)?;
+        assert_def_use_correct(transformed)?;
+    }
+    let g1 = extract(original)?;
+    let g2 = extract(transformed)?;
+    verify_addgs(&g1, &g2, opts)
+}
+
+/// Verifies two already-extracted ADDGs.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Incomparable`] when the two graphs do not expose the
+/// same output arrays (or the focused outputs are missing).
+pub fn verify_addgs(original: &Addg, transformed: &Addg, opts: &CheckOptions) -> Result<Report> {
+    let mut checker = Checker {
+        a: original,
+        b: transformed,
+        opts,
+        stats: CheckStats::default(),
+        diagnostics: Vec::new(),
+        table: HashMap::new(),
+        in_progress: BTreeMap::new(),
+        work: 0,
+        exhausted: false,
+    };
+    checker.run()
+}
+
+/// The traversal state.
+struct Checker<'x> {
+    a: &'x Addg,
+    b: &'x Addg,
+    opts: &'x CheckOptions,
+    stats: CheckStats,
+    diagnostics: Vec<Diagnostic>,
+    /// Tabling cache: established equivalences of sub-ADDG pairs.
+    table: HashMap<(usize, usize, String, String), bool>,
+    /// Coinduction for recurrences: array pairs currently being proven, with
+    /// the element-pair relation assumed equal.
+    in_progress: BTreeMap<(String, String), Relation>,
+    work: u64,
+    exhausted: bool,
+}
+
+/// A position in one ADDG during the synchronized traversal.
+#[derive(Debug, Clone)]
+enum Pos {
+    /// The elements of an array variable (map range = array elements).
+    Array(String),
+    /// A node inside a statement's operator tree (map range = the elements
+    /// defined by that statement).
+    Node(NodeId),
+}
+
+/// A flattened operand of an associative / commutative operator.
+#[derive(Debug, Clone)]
+struct FlatTerm {
+    pos: Pos,
+    map: Relation,
+    /// Statement trail accumulated while flattening (for diagnostics).
+    trail: Vec<String>,
+}
+
+impl Checker<'_> {
+    fn run(&mut self) -> Result<Report> {
+        let outputs = self.select_outputs()?;
+        let mut all_ok = true;
+        for output in &outputs {
+            let ea = self.a.defined_elements(output).ok_or_else(|| CoreError::Incomparable {
+                message: format!("original program never defines output `{output}`"),
+            })?;
+            let eb = self.b.defined_elements(output).ok_or_else(|| CoreError::Incomparable {
+                message: format!("transformed program never defines output `{output}`"),
+            })?;
+            if !ea.is_equal(&eb)? {
+                self.diagnostics.push(Diagnostic {
+                    kind: DiagnosticKind::OutputDomainMismatch,
+                    original_statements: self.a.definitions(output).iter().map(|d| d.statement.clone()).collect(),
+                    transformed_statements: self.b.definitions(output).iter().map(|d| d.statement.clone()).collect(),
+                    expressions: vec![output.clone()],
+                    original_mapping: Some(ea.to_string()),
+                    transformed_mapping: Some(eb.to_string()),
+                    message: format!("the two programs do not define the same elements of `{output}`"),
+                    failing_domain: None,
+                });
+                all_ok = false;
+                continue;
+            }
+            let id = Relation::identity_on(&ea);
+            let ok = self.check(
+                Pos::Array(output.clone()),
+                id.clone(),
+                Pos::Array(output.clone()),
+                id,
+                &[],
+                &[],
+            )?;
+            all_ok &= ok;
+        }
+        let verdict = if self.exhausted {
+            Verdict::Inconclusive
+        } else if all_ok {
+            Verdict::Equivalent
+        } else {
+            Verdict::NotEquivalent
+        };
+        Ok(Report {
+            verdict,
+            diagnostics: std::mem::take(&mut self.diagnostics),
+            stats: self.stats,
+            outputs_checked: outputs,
+        })
+    }
+
+    fn select_outputs(&self) -> Result<Vec<String>> {
+        let wanted: Vec<String> = match self.opts.focus.as_ref().filter(|f| !f.outputs.is_empty()) {
+            Some(f) => f.outputs.clone(),
+            None => self.a.output_arrays().to_vec(),
+        };
+        let mut outputs = Vec::new();
+        for o in wanted {
+            if !self.a.is_output(&o) {
+                return Err(CoreError::Incomparable {
+                    message: format!("`{o}` is not an output of the original program"),
+                });
+            }
+            if !self.b.is_output(&o) {
+                return Err(CoreError::Incomparable {
+                    message: format!("output `{o}` of the original program is not an output of the transformed one"),
+                });
+            }
+            outputs.push(o);
+        }
+        // Unless focused, the transformed program must not have extra outputs.
+        if self.opts.focus.is_none() {
+            for o in self.b.output_arrays() {
+                if !outputs.contains(o) {
+                    return Err(CoreError::Incomparable {
+                        message: format!("transformed program has an extra output `{o}`"),
+                    });
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    fn budget(&mut self) -> bool {
+        self.work += 1;
+        if self.work > self.opts.max_work {
+            self.exhausted = true;
+            return false;
+        }
+        true
+    }
+
+    /// The core synchronized traversal: checks that the sub-computations at
+    /// `pos_a` / `pos_b` agree for every output element in the (common)
+    /// domain of `map_a` / `map_b`.
+    fn check(
+        &mut self,
+        pos_a: Pos,
+        map_a: Relation,
+        pos_b: Pos,
+        map_b: Relation,
+        trail_a: &[String],
+        trail_b: &[String],
+    ) -> Result<bool> {
+        if !self.budget() {
+            return Ok(false);
+        }
+        if map_a.is_empty() {
+            return Ok(true); // nothing left to account for on this branch
+        }
+
+        // Resolve Access nodes: compose the output-current mapping with the
+        // dependency mapping (the paper's intermediate variable reduction
+        // happens when the resulting array is then looked through below).
+        if let Pos::Node(n) = &pos_a {
+            if let Node::Access { array, mapping, statement, .. } = self.a.node(*n) {
+                self.stats.compositions += 1;
+                let new_map = map_a.compose(mapping)?.simplified(true);
+                let mut trail = trail_a.to_vec();
+                trail.push(statement.clone());
+                return self.check(Pos::Array(array.clone()), new_map, pos_b, map_b, &trail, trail_b);
+            }
+        }
+        if let Pos::Node(n) = &pos_b {
+            if let Node::Access { array, mapping, statement, .. } = self.b.node(*n) {
+                self.stats.compositions += 1;
+                let new_map = map_b.compose(mapping)?.simplified(true);
+                let mut trail = trail_b.to_vec();
+                trail.push(statement.clone());
+                return self.check(pos_a, map_a, Pos::Array(array.clone()), new_map, trail_a, &trail);
+            }
+        }
+
+        // Focused checking: declared intermediate correspondences terminate
+        // the traversal early.
+        if let (Pos::Array(va), Pos::Array(vb)) = (&pos_a, &pos_b) {
+            if let Some(focus) = &self.opts.focus {
+                if focus
+                    .intermediate_pairs
+                    .iter()
+                    .any(|(x, y)| x == va && y == vb)
+                {
+                    return self.compare_leaf_mappings(va, vb, &map_a, &map_b, trail_a, trail_b);
+                }
+            }
+        }
+
+        // Tabling.
+        let table_key = self.table_key(&pos_a, &pos_b, &map_a, &map_b);
+        if self.opts.tabling {
+            if let Some(&cached) = table_key.as_ref().and_then(|k| self.table.get(k)) {
+                self.stats.table_hits += 1;
+                return Ok(cached);
+            }
+        }
+
+        let result = self.check_uncached(&pos_a, map_a, &pos_b, map_b, trail_a, trail_b)?;
+
+        if self.opts.tabling {
+            if let Some(k) = table_key {
+                if result {
+                    // Only successful sub-proofs are reused; failures keep
+                    // their diagnostics specific to the path that found them.
+                    self.table.insert(k, true);
+                    self.stats.table_entries += 1;
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    fn table_key(
+        &mut self,
+        pos_a: &Pos,
+        pos_b: &Pos,
+        map_a: &Relation,
+        map_b: &Relation,
+    ) -> Option<(usize, usize, String, String)> {
+        if !self.opts.tabling {
+            return None;
+        }
+        let da = match pos_a {
+            Pos::Node(n) => *n,
+            Pos::Array(_) => usize::MAX,
+        };
+        let db = match pos_b {
+            Pos::Node(n) => *n,
+            Pos::Array(_) => usize::MAX,
+        };
+        if da == usize::MAX || db == usize::MAX {
+            return None; // array positions are cheap to re-resolve
+        }
+        Some((da, db, map_a.canonical_key(), map_b.canonical_key()))
+    }
+
+    fn check_uncached(
+        &mut self,
+        pos_a: &Pos,
+        map_a: Relation,
+        pos_b: &Pos,
+        map_b: Relation,
+        trail_a: &[String],
+        trail_b: &[String],
+    ) -> Result<bool> {
+        match (pos_a, pos_b) {
+            // Both sides are at an array variable.
+            (Pos::Array(va), Pos::Array(vb)) => {
+                let a_is_leaf = self.a.is_input(va);
+                let b_is_leaf = self.b.is_input(vb);
+                match (a_is_leaf, b_is_leaf) {
+                    (true, true) => {
+                        self.compare_leaf_mappings(va, vb, &map_a, &map_b, trail_a, trail_b)
+                    }
+                    (true, false) => {
+                        // Reduce the transformed side.
+                        self.reduce_side_b(pos_a.clone(), map_a, vb, map_b, trail_a, trail_b)
+                    }
+                    (false, _) => {
+                        // Check for a recurrence assumption before reducing.
+                        if let Some(assumed) = self.in_progress.get(&(va.clone(), vb.clone())) {
+                            let needed = map_a.inverse().compose(&map_b)?;
+                            self.stats.mapping_equalities += 1;
+                            if needed.is_subset(assumed)? {
+                                return Ok(true);
+                            }
+                            // Outside the assumed element pairs: fall through
+                            // and reduce (bounded because def-use order is
+                            // well-founded).
+                        }
+                        self.reduce_side_a(va, map_a, pos_b.clone(), map_b, trail_a, trail_b)
+                    }
+                }
+            }
+            // One side still inside an operator tree, the other at an array.
+            (Pos::Array(va), Pos::Node(_)) => {
+                if self.a.is_input(va) {
+                    // The transformed side must eventually reach the same
+                    // input; it is at an operator or constant, so this is a
+                    // mismatch.
+                    self.report_operator_vs_leaf(va, pos_b, &map_a, &map_b, trail_a, trail_b, true);
+                    Ok(false)
+                } else {
+                    self.reduce_side_a(&va.clone(), map_a, pos_b.clone(), map_b, trail_a, trail_b)
+                }
+            }
+            (Pos::Node(_), Pos::Array(vb)) => {
+                if self.b.is_input(vb) {
+                    self.report_operator_vs_leaf(vb, pos_a, &map_b, &map_a, trail_b, trail_a, false);
+                    Ok(false)
+                } else {
+                    self.reduce_side_b(pos_a.clone(), map_a, &vb.clone(), map_b, trail_a, trail_b)
+                }
+            }
+            // Both sides inside operator trees.
+            (Pos::Node(na), Pos::Node(nb)) => {
+                self.check_nodes(*na, map_a, *nb, map_b, trail_a, trail_b)
+            }
+        }
+    }
+
+    /// Reduces an intermediate (or output) array on the original side:
+    /// splits the current domain across the array's definitions.
+    fn reduce_side_a(
+        &mut self,
+        va: &str,
+        map_a: Relation,
+        pos_b: Pos,
+        map_b: Relation,
+        trail_a: &[String],
+        trail_b: &[String],
+    ) -> Result<bool> {
+        let key = self.recurrence_key(va, &pos_b);
+        if let Some(k) = &key {
+            let pairs = map_a.inverse().compose(&map_b)?;
+            self.in_progress.insert(k.clone(), pairs);
+        }
+        let defs: Vec<_> = self.a.definitions(va).to_vec();
+        let mut ok = true;
+        for def in &defs {
+            let sub_a = map_a.restrict_range(&def.elements)?.simplified(true);
+            if sub_a.is_empty() {
+                continue;
+            }
+            let sub_domain = sub_a.domain();
+            let sub_b = map_b.restrict_domain(&sub_domain)?.simplified(true);
+            let mut trail = trail_a.to_vec();
+            trail.push(def.statement.clone());
+            ok &= self.check(Pos::Node(def.root), sub_a, pos_b.clone(), sub_b, &trail, trail_b)?;
+        }
+        if let Some(k) = key {
+            self.in_progress.remove(&k);
+        }
+        Ok(ok)
+    }
+
+    /// Reduces an intermediate (or output) array on the transformed side.
+    fn reduce_side_b(
+        &mut self,
+        pos_a: Pos,
+        map_a: Relation,
+        vb: &str,
+        map_b: Relation,
+        trail_a: &[String],
+        trail_b: &[String],
+    ) -> Result<bool> {
+        let defs: Vec<_> = self.b.definitions(vb).to_vec();
+        let mut ok = true;
+        for def in &defs {
+            let sub_b = map_b.restrict_range(&def.elements)?.simplified(true);
+            if sub_b.is_empty() {
+                continue;
+            }
+            let sub_domain = sub_b.domain();
+            let sub_a = map_a.restrict_domain(&sub_domain)?.simplified(true);
+            let mut trail = trail_b.to_vec();
+            trail.push(def.statement.clone());
+            ok &= self.check(pos_a.clone(), sub_a, Pos::Node(def.root), sub_b, trail_a, &trail)?;
+        }
+        Ok(ok)
+    }
+
+    fn recurrence_key(&self, va: &str, pos_b: &Pos) -> Option<(String, String)> {
+        if let Pos::Array(vb) = pos_b {
+            Some((va.to_owned(), vb.clone()))
+        } else {
+            None
+        }
+    }
+
+    /// Both traversals reached input arrays: the end of a pair of
+    /// corresponding paths.  Check the second part of the sufficient
+    /// condition — identical output-input mappings.
+    fn compare_leaf_mappings(
+        &mut self,
+        va: &str,
+        vb: &str,
+        map_a: &Relation,
+        map_b: &Relation,
+        trail_a: &[String],
+        trail_b: &[String],
+    ) -> Result<bool> {
+        self.stats.paths_compared += 1;
+        if va != vb {
+            self.diagnostics.push(Diagnostic {
+                kind: DiagnosticKind::LeafMismatch,
+                original_statements: trail_a.to_vec(),
+                transformed_statements: trail_b.to_vec(),
+                expressions: vec![va.to_owned(), vb.to_owned()],
+                original_mapping: Some(map_a.to_string()),
+                transformed_mapping: Some(map_b.to_string()),
+                message: format!(
+                    "corresponding paths end at different input arrays `{va}` and `{vb}`"
+                ),
+                failing_domain: None,
+            });
+            return Ok(false);
+        }
+        self.stats.mapping_equalities += 1;
+        if map_a.is_equal(map_b)? {
+            return Ok(true);
+        }
+        let only_a = map_a.subtract(map_b)?;
+        let only_b = map_b.subtract(map_a)?;
+        let failing = only_a.union(&only_b)?.domain().simplified();
+        self.diagnostics.push(Diagnostic {
+            kind: DiagnosticKind::MappingMismatch,
+            original_statements: trail_a.to_vec(),
+            transformed_statements: trail_b.to_vec(),
+            expressions: vec![va.to_owned()],
+            original_mapping: Some(map_a.to_string()),
+            transformed_mapping: Some(map_b.to_string()),
+            message: format!(
+                "paths reading `{va}` have different output-input mappings"
+            ),
+            failing_domain: Some(failing.to_string()),
+        });
+        Ok(false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn report_operator_vs_leaf(
+        &mut self,
+        leaf: &str,
+        node_pos: &Pos,
+        leaf_map: &Relation,
+        node_map: &Relation,
+        leaf_trail: &[String],
+        node_trail: &[String],
+        leaf_is_original: bool,
+    ) {
+        let node_text = match node_pos {
+            Pos::Node(n) => {
+                let g = if leaf_is_original { self.b } else { self.a };
+                describe_node(g, *n)
+            }
+            Pos::Array(v) => v.clone(),
+        };
+        let (orig_stmts, trans_stmts, orig_map, trans_map) = if leaf_is_original {
+            (leaf_trail.to_vec(), node_trail.to_vec(), leaf_map, node_map)
+        } else {
+            (node_trail.to_vec(), leaf_trail.to_vec(), node_map, leaf_map)
+        };
+        self.diagnostics.push(Diagnostic {
+            kind: DiagnosticKind::OperatorMismatch,
+            original_statements: orig_stmts,
+            transformed_statements: trans_stmts,
+            expressions: vec![leaf.to_owned(), node_text],
+            original_mapping: Some(orig_map.to_string()),
+            transformed_mapping: Some(trans_map.to_string()),
+            message: format!(
+                "one path reached input `{leaf}` while the corresponding path is still applying operators"
+            ),
+            failing_domain: None,
+        });
+    }
+
+    /// Both positions are operator/constant nodes.
+    fn check_nodes(
+        &mut self,
+        na: NodeId,
+        map_a: Relation,
+        nb: NodeId,
+        map_b: Relation,
+        trail_a: &[String],
+        trail_b: &[String],
+    ) -> Result<bool> {
+        match (self.a.node(na).clone(), self.b.node(nb).clone()) {
+            (Node::Const { value: va, .. }, Node::Const { value: vb, .. }) => {
+                if va == vb {
+                    Ok(true)
+                } else {
+                    self.diagnostics.push(Diagnostic {
+                        kind: DiagnosticKind::OperatorMismatch,
+                        original_statements: trail_a.to_vec(),
+                        transformed_statements: trail_b.to_vec(),
+                        expressions: vec![va.to_string(), vb.to_string()],
+                        original_mapping: Some(map_a.to_string()),
+                        transformed_mapping: Some(map_b.to_string()),
+                        message: format!("constants differ: {va} vs {vb}"),
+                        failing_domain: None,
+                    });
+                    Ok(false)
+                }
+            }
+            (
+                Node::Operator { kind: ka, operands: oa, statement: sa },
+                Node::Operator { kind: kb, operands: ob, statement: sb },
+            ) => {
+                if ka != kb {
+                    self.diagnostics.push(Diagnostic {
+                        kind: DiagnosticKind::OperatorMismatch,
+                        original_statements: with(trail_a, &sa),
+                        transformed_statements: with(trail_b, &sb),
+                        expressions: vec![describe_node(self.a, na), describe_node(self.b, nb)],
+                        original_mapping: Some(map_a.to_string()),
+                        transformed_mapping: Some(map_b.to_string()),
+                        message: format!("operators differ: `{ka}` vs `{kb}`"),
+                        failing_domain: None,
+                    });
+                    return Ok(false);
+                }
+                let class = self.opts.operators.class_of(&ka);
+                let use_algebra = self.opts.method == Method::Extended
+                    && (class.associative || class.commutative);
+                if !use_algebra {
+                    if oa.len() != ob.len() {
+                        self.diagnostics.push(Diagnostic {
+                            kind: DiagnosticKind::Structural,
+                            original_statements: with(trail_a, &sa),
+                            transformed_statements: with(trail_b, &sb),
+                            expressions: vec![describe_node(self.a, na), describe_node(self.b, nb)],
+                            original_mapping: None,
+                            transformed_mapping: None,
+                            message: format!(
+                                "operator `{ka}` has {} operands in the original and {} in the transformed program",
+                                oa.len(),
+                                ob.len()
+                            ),
+                            failing_domain: None,
+                        });
+                        return Ok(false);
+                    }
+                    let mut ok = true;
+                    for (x, y) in oa.iter().zip(ob.iter()) {
+                        ok &= self.check(
+                            Pos::Node(*x),
+                            map_a.clone(),
+                            Pos::Node(*y),
+                            map_b.clone(),
+                            &with(trail_a, &sa),
+                            &with(trail_b, &sb),
+                        )?;
+                    }
+                    Ok(ok)
+                } else {
+                    self.check_algebraic(
+                        &ka, na, map_a, nb, map_b, &with(trail_a, &sa), &with(trail_b, &sb),
+                        class.associative, class.commutative,
+                    )
+                }
+            }
+            (a_node, b_node) => {
+                self.diagnostics.push(Diagnostic {
+                    kind: DiagnosticKind::OperatorMismatch,
+                    original_statements: trail_a.to_vec(),
+                    transformed_statements: trail_b.to_vec(),
+                    expressions: vec![
+                        node_brief(self.a, na, &a_node),
+                        node_brief(self.b, nb, &b_node),
+                    ],
+                    original_mapping: Some(map_a.to_string()),
+                    transformed_mapping: Some(map_b.to_string()),
+                    message: "corresponding paths apply different computations".into(),
+                    failing_domain: None,
+                });
+                Ok(false)
+            }
+        }
+    }
+
+    /// The extended method at an associative and/or commutative operator:
+    /// flatten both sides, split the output domain into regions with a fixed
+    /// term structure, and match terms within each region.
+    #[allow(clippy::too_many_arguments)]
+    fn check_algebraic(
+        &mut self,
+        op: &OperatorKind,
+        na: NodeId,
+        map_a: Relation,
+        nb: NodeId,
+        map_b: Relation,
+        trail_a: &[String],
+        trail_b: &[String],
+        associative: bool,
+        commutative: bool,
+    ) -> Result<bool> {
+        self.stats.flattenings += 1;
+        let mut terms_a = Vec::new();
+        self.flatten(true, op, Pos::Node(na), map_a.clone(), trail_a.to_vec(), associative, &mut terms_a)?;
+        let mut terms_b = Vec::new();
+        self.flatten(false, op, Pos::Node(nb), map_b.clone(), trail_b.to_vec(), associative, &mut terms_b)?;
+
+        // Partition the current output domain into pieces on which every
+        // term is either fully present or fully absent.
+        let full = map_a.domain();
+        let mut pieces = vec![full];
+        for t in terms_a.iter().chain(terms_b.iter()) {
+            let dom = t.map.domain();
+            let mut next = Vec::new();
+            for p in pieces {
+                let inside = p.intersect(&dom)?.simplified();
+                let outside = p.subtract(&dom)?.simplified();
+                if !inside.is_empty() {
+                    next.push(inside);
+                }
+                if !outside.is_empty() {
+                    next.push(outside);
+                }
+            }
+            pieces = next;
+        }
+
+        let mut ok = true;
+        for piece in &pieces {
+            self.stats.matchings += 1;
+            ok &= self.match_terms(op, &terms_a, &terms_b, piece, commutative, trail_a, trail_b)?;
+            if !self.budget() {
+                return Ok(false);
+            }
+        }
+        Ok(ok)
+    }
+
+    /// Flattening (Fig. 4): walks the associative chain rooted at an operator
+    /// node, looking through intermediate variables, and collects the
+    /// operands as terms with their accumulated output-current mappings.
+    #[allow(clippy::too_many_arguments)]
+    fn flatten(
+        &mut self,
+        original_side: bool,
+        op: &OperatorKind,
+        pos: Pos,
+        map: Relation,
+        trail: Vec<String>,
+        descend_chains: bool,
+        out: &mut Vec<FlatTerm>,
+    ) -> Result<bool> {
+        if !self.budget() {
+            return Ok(false);
+        }
+        if map.is_empty() {
+            return Ok(true);
+        }
+        let g = if original_side { self.a } else { self.b };
+        match pos {
+            Pos::Node(n) => match g.node(n).clone() {
+                Node::Operator { kind, operands, statement } if kind == *op && descend_chains => {
+                    for child in operands {
+                        let mut t = trail.clone();
+                        t.push(statement.clone());
+                        self.flatten(original_side, op, Pos::Node(child), map.clone(), t, descend_chains, out)?;
+                    }
+                    Ok(true)
+                }
+                Node::Access { array, mapping, statement, .. } => {
+                    self.stats.compositions += 1;
+                    let new_map = map.compose(&mapping)?.simplified(true);
+                    let mut t = trail.clone();
+                    t.push(statement.clone());
+                    self.flatten(original_side, op, Pos::Array(array), new_map, t, descend_chains, out)?;
+                    Ok(true)
+                }
+                _ => {
+                    out.push(FlatTerm { pos: Pos::Node(n), map, trail });
+                    Ok(true)
+                }
+            },
+            Pos::Array(v) => {
+                let is_input = if original_side {
+                    self.a.is_input(&v)
+                } else {
+                    self.b.is_input(&v)
+                };
+                let is_recurrent = if original_side {
+                    self.a.recurrence_arrays().contains(&v)
+                } else {
+                    self.b.recurrence_arrays().contains(&v)
+                };
+                if is_input || is_recurrent {
+                    out.push(FlatTerm { pos: Pos::Array(v), map, trail });
+                    return Ok(true);
+                }
+                // Look through the intermediate variable: continue flattening
+                // into each definition whose elements the mapping reaches.
+                let defs: Vec<_> = if original_side {
+                    self.a.definitions(&v).to_vec()
+                } else {
+                    self.b.definitions(&v).to_vec()
+                };
+                for def in defs {
+                    let sub = map.restrict_range(&def.elements)?.simplified(true);
+                    if sub.is_empty() {
+                        continue;
+                    }
+                    let rooted = if original_side {
+                        self.a.node(def.root)
+                    } else {
+                        self.b.node(def.root)
+                    };
+                    let continues_chain = matches!(
+                        rooted,
+                        Node::Operator { kind, .. } if kind == op
+                    ) || matches!(rooted, Node::Access { .. });
+                    let mut t = trail.clone();
+                    t.push(def.statement.clone());
+                    if continues_chain && descend_chains {
+                        self.flatten(original_side, op, Pos::Node(def.root), sub, t, descend_chains, out)?;
+                    } else {
+                        out.push(FlatTerm { pos: Pos::Node(def.root), map: sub, trail: t });
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Matching (Section 5.2): pairs the flattened operands of the two sides
+    /// over one piece of the output domain.
+    #[allow(clippy::too_many_arguments)]
+    fn match_terms(
+        &mut self,
+        op: &OperatorKind,
+        terms_a: &[FlatTerm],
+        terms_b: &[FlatTerm],
+        piece: &Set,
+        commutative: bool,
+        trail_a: &[String],
+        trail_b: &[String],
+    ) -> Result<bool> {
+        // Restrict both term lists to the piece.
+        let restrict = |terms: &[FlatTerm]| -> Result<Vec<FlatTerm>> {
+            let mut out = Vec::new();
+            for t in terms {
+                let m = t.map.restrict_domain(piece)?.simplified(true);
+                if !m.is_empty() {
+                    out.push(FlatTerm { pos: t.pos.clone(), map: m, trail: t.trail.clone() });
+                }
+            }
+            Ok(out)
+        };
+        let live_a = restrict(terms_a)?;
+        let live_b = restrict(terms_b)?;
+
+        if live_a.len() != live_b.len() {
+            self.diagnostics.push(Diagnostic {
+                kind: DiagnosticKind::MatchingFailure,
+                original_statements: trail_a.to_vec(),
+                transformed_statements: trail_b.to_vec(),
+                expressions: vec![format!("operator `{op}`")],
+                original_mapping: None,
+                transformed_mapping: None,
+                message: format!(
+                    "the `{op}` chain has {} operands in the original and {} in the transformed program on part of the output domain",
+                    live_a.len(),
+                    live_b.len()
+                ),
+                failing_domain: Some(piece.to_string()),
+            });
+            return Ok(false);
+        }
+
+        let mut used = vec![false; live_b.len()];
+        let mut all_ok = true;
+        for ta in &live_a {
+            let mut matched = false;
+            let candidates: Vec<usize> = if commutative {
+                (0..live_b.len()).filter(|&j| !used[j]).collect()
+            } else {
+                // Associative-only: order is preserved, so the i-th unused
+                // operand is the only candidate.
+                (0..live_b.len()).filter(|&j| !used[j]).take(1).collect()
+            };
+            for j in candidates {
+                let tb = &live_b[j];
+                if self.terms_match(ta, tb)? {
+                    used[j] = true;
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                all_ok = false;
+                let (name, mapping) = self.describe_term(true, ta);
+                // The closest unmatched candidate on the other side, for the
+                // diagnostic.
+                let other = live_b
+                    .iter()
+                    .zip(&used)
+                    .find(|(_, &u)| !u)
+                    .map(|(t, _)| self.describe_term(false, t));
+                self.diagnostics.push(Diagnostic {
+                    kind: DiagnosticKind::MappingMismatch,
+                    original_statements: ta.trail.clone(),
+                    transformed_statements: other
+                        .as_ref()
+                        .map(|_| live_b.iter().flat_map(|t| t.trail.clone()).collect())
+                        .unwrap_or_default(),
+                    expressions: {
+                        let mut e = vec![name];
+                        if let Some((n, _)) = &other {
+                            e.push(n.clone());
+                        }
+                        e
+                    },
+                    original_mapping: Some(mapping),
+                    transformed_mapping: other.map(|(_, m)| m),
+                    message: format!(
+                        "no operand of the transformed `{op}` chain matches this operand of the original"
+                    ),
+                    failing_domain: Some(piece.to_string()),
+                });
+            }
+        }
+        Ok(all_ok)
+    }
+
+    /// Whether two flattened terms are equivalent (used as the matching
+    /// criterion).  Runs a speculative sub-check whose diagnostics are
+    /// discarded when it fails.
+    fn terms_match(&mut self, ta: &FlatTerm, tb: &FlatTerm) -> Result<bool> {
+        let saved = self.diagnostics.len();
+        let ok = self.check(
+            ta.pos.clone(),
+            ta.map.clone(),
+            tb.pos.clone(),
+            tb.map.clone(),
+            &ta.trail,
+            &tb.trail,
+        )?;
+        if !ok {
+            self.diagnostics.truncate(saved);
+        }
+        Ok(ok)
+    }
+
+    fn describe_term(&self, original_side: bool, t: &FlatTerm) -> (String, String) {
+        let g = if original_side { self.a } else { self.b };
+        let name = match &t.pos {
+            Pos::Array(v) => v.clone(),
+            Pos::Node(n) => describe_node(g, *n),
+        };
+        (name, t.map.to_string())
+    }
+}
+
+fn with(trail: &[String], stmt: &str) -> Vec<String> {
+    let mut t = trail.to_vec();
+    if t.last().map(|s| s.as_str()) != Some(stmt) {
+        t.push(stmt.to_owned());
+    }
+    t
+}
+
+fn node_brief(g: &Addg, id: NodeId, node: &Node) -> String {
+    match node {
+        Node::Const { value, .. } => value.to_string(),
+        _ => describe_node(g, id),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrayeq_lang::corpus::*;
+
+    fn check(a: &str, b: &str, opts: &CheckOptions) -> Report {
+        verify_source(a, b, opts).expect("verification pipeline runs")
+    }
+
+    #[test]
+    fn every_program_is_equivalent_to_itself() {
+        for (name, src) in FIG1_ALL.iter().chain(KERNELS.iter()) {
+            let r = check(src, src, &CheckOptions::default());
+            assert!(r.is_equivalent(), "{name} vs itself: {}", r.summary());
+        }
+    }
+
+    #[test]
+    fn fig1_a_equals_b_with_basic_method() {
+        // (b) is obtained from (a) by expression propagation and loop
+        // transformations only, which the basic method must handle.
+        let r = check(FIG1_A, FIG1_B, &CheckOptions::basic());
+        assert!(r.is_equivalent(), "{}", r.summary());
+        assert!(r.stats.paths_compared >= 4);
+    }
+
+    #[test]
+    fn fig1_a_equals_c_needs_the_extended_method() {
+        let extended = check(FIG1_A, FIG1_C, &CheckOptions::default());
+        assert!(extended.is_equivalent(), "{}", extended.summary());
+        assert!(extended.stats.flattenings > 0);
+        assert!(extended.stats.matchings > 0);
+
+        // The basic method cannot pair the algebraically shuffled paths.
+        let basic = check(FIG1_A, FIG1_C, &CheckOptions::basic());
+        assert!(!basic.is_equivalent());
+    }
+
+    #[test]
+    fn fig1_b_equals_c_and_order_does_not_matter() {
+        let r1 = check(FIG1_B, FIG1_C, &CheckOptions::default());
+        assert!(r1.is_equivalent(), "{}", r1.summary());
+        let r2 = check(FIG1_C, FIG1_B, &CheckOptions::default());
+        assert!(r2.is_equivalent(), "{}", r2.summary());
+    }
+
+    #[test]
+    fn fig1_d_is_rejected_with_diagnostics_pointing_at_v3_and_v1() {
+        let r = check(FIG1_A, FIG1_D, &CheckOptions::default());
+        assert!(!r.is_equivalent());
+        assert!(!r.diagnostics.is_empty());
+        // Section 6.1: the failing paths involve statements v3 and v1 of the
+        // transformed program; the blame heuristic should surface them.
+        let mentioned: Vec<String> = r
+            .diagnostics
+            .iter()
+            .flat_map(|d| d.transformed_statements.clone())
+            .collect();
+        assert!(
+            mentioned.iter().any(|s| s == "v3") || mentioned.iter().any(|s| s == "v1"),
+            "diagnostics should mention v3 or v1, got {mentioned:?}\n{}",
+            r.summary()
+        );
+        let blame = r.blame();
+        assert!(!blame.is_empty());
+    }
+
+    #[test]
+    fn direction_is_symmetric_for_the_paper_pairs() {
+        assert!(check(FIG1_C, FIG1_A, &CheckOptions::default()).is_equivalent());
+        assert!(!check(FIG1_D, FIG1_A, &CheckOptions::default()).is_equivalent());
+    }
+
+    #[test]
+    fn recurrence_kernel_is_equivalent_to_itself_and_detects_a_broken_base_case() {
+        let r = check(KERNEL_RECURRENCE, KERNEL_RECURRENCE, &CheckOptions::default());
+        assert!(r.is_equivalent(), "{}", r.summary());
+
+        let broken = KERNEL_RECURRENCE.replace("Y[0] = X[0] + 0;", "Y[0] = X[0] + 1;");
+        let r = check(KERNEL_RECURRENCE, &broken, &CheckOptions::default());
+        assert!(!r.is_equivalent());
+    }
+
+    #[test]
+    fn tabling_can_be_disabled() {
+        let with = check(FIG1_A, FIG1_C, &CheckOptions::default());
+        let without = check(FIG1_A, FIG1_C, &CheckOptions::default().without_tabling());
+        assert!(with.is_equivalent() && without.is_equivalent());
+        assert_eq!(without.stats.table_hits, 0);
+    }
+
+    #[test]
+    fn focused_checking_restricts_outputs() {
+        let focus = Focus {
+            outputs: vec!["C".into()],
+            intermediate_pairs: vec![("tmp".into(), "tmp".into())],
+        };
+        let r = check(FIG1_A, FIG1_B, &CheckOptions::default().with_focus(focus));
+        assert!(r.is_equivalent(), "{}", r.summary());
+        assert_eq!(r.outputs_checked, vec!["C".to_string()]);
+    }
+
+    #[test]
+    fn incomparable_interfaces_are_an_error() {
+        let other = r#"
+void foo(int A[], int B[], int D[]) {
+    int k;
+    for (k = 0; k < 4; k++)
+s1:     D[k] = A[k] + B[k];
+}
+"#;
+        let err = verify_source(FIG1_A, other, &CheckOptions::default());
+        assert!(matches!(err, Err(CoreError::Incomparable { .. })));
+    }
+
+    #[test]
+    fn swapped_operands_of_a_commutative_operator_are_equivalent() {
+        let p1 = r#"
+#define N 32
+void f(int A[], int B[], int C[]) {
+    int k;
+    for (k = 0; k < N; k++)
+s1:     C[k] = A[k] * B[2*k];
+}
+"#;
+        let p2 = r#"
+#define N 32
+void f(int A[], int B[], int C[]) {
+    int k;
+    for (k = 0; k < N; k++)
+t1:     C[k] = B[2*k] * A[k];
+}
+"#;
+        assert!(check(p1, p2, &CheckOptions::default()).is_equivalent());
+        assert!(!check(p1, p2, &CheckOptions::basic()).is_equivalent());
+        // Subtraction is not commutative: swapping its operands must fail.
+        let m1 = p1.replace('*', "-");
+        let m2 = p2.replace('*', "-");
+        assert!(!check(&m1, &m2, &CheckOptions::default()).is_equivalent());
+    }
+
+    #[test]
+    fn reassociation_across_statements_is_handled() {
+        // tmp = x + y; C = tmp + z   vs   C = x + (y + z)
+        let p1 = r#"
+#define N 16
+void f(int X[], int Y[], int Z[], int C[]) {
+    int k, tmp[N];
+    for (k = 0; k < N; k++)
+s1:     tmp[k] = X[k] + Y[k];
+    for (k = 0; k < N; k++)
+s2:     C[k] = tmp[k] + Z[k];
+}
+"#;
+        let p2 = r#"
+#define N 16
+void f(int X[], int Y[], int Z[], int C[]) {
+    int k;
+    for (k = 0; k < N; k++)
+t1:     C[k] = X[k] + (Y[k] + Z[k]);
+}
+"#;
+        assert!(check(p1, p2, &CheckOptions::default()).is_equivalent());
+        assert!(!check(p1, p2, &CheckOptions::basic()).is_equivalent());
+    }
+
+    #[test]
+    fn wrong_index_expression_is_reported_with_mappings() {
+        let p1 = r#"
+#define N 16
+void f(int A[], int C[]) {
+    int k;
+    for (k = 0; k < N; k++)
+s1:     C[k] = A[2*k] + A[k];
+}
+"#;
+        let p2 = r#"
+#define N 16
+void f(int A[], int C[]) {
+    int k;
+    for (k = 0; k < N; k++)
+t1:     C[k] = A[2*k] + A[k+1];
+}
+"#;
+        let r = check(p1, p2, &CheckOptions::default());
+        assert!(!r.is_equivalent());
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.kind == DiagnosticKind::MappingMismatch)
+            .expect("a mapping mismatch diagnostic");
+        assert!(d.original_mapping.is_some());
+        assert!(d.transformed_mapping.is_some());
+    }
+}

@@ -1,0 +1,173 @@
+//! Error diagnostics (Section 6.1 of the paper).
+//!
+//! When the sufficient condition fails, the checker does not just answer
+//! "not equivalent": it reports *where* the two ADDGs diverge — which
+//! statements, which arrays, which index expressions — and applies the
+//! paper's blame heuristic (the variable common to several failing paths is
+//! the most likely culprit).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kind of divergence a diagnostic reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagnosticKind {
+    /// Different operators were reached on corresponding paths.
+    OperatorMismatch,
+    /// Corresponding paths end in different input arrays.
+    LeafMismatch,
+    /// Corresponding paths end in the same input array but with different
+    /// output-input mappings (the Fig. 1(d) failure mode).
+    MappingMismatch,
+    /// The two functions do not define the same set of output elements.
+    OutputDomainMismatch,
+    /// The operand lists of an associative/commutative operator could not be
+    /// matched one-to-one.
+    MatchingFailure,
+    /// A structural problem (different number of operands, unsupported
+    /// recurrence, ...).
+    Structural,
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DiagnosticKind::OperatorMismatch => "operator mismatch",
+            DiagnosticKind::LeafMismatch => "leaf (input array) mismatch",
+            DiagnosticKind::MappingMismatch => "output-input mapping mismatch",
+            DiagnosticKind::OutputDomainMismatch => "output domain mismatch",
+            DiagnosticKind::MatchingFailure => "operand matching failure",
+            DiagnosticKind::Structural => "structural mismatch",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One reported divergence between the original and transformed programs.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// What kind of divergence was found.
+    pub kind: DiagnosticKind,
+    /// Statement labels on the original-program path involved.
+    pub original_statements: Vec<String>,
+    /// Statement labels on the transformed-program path involved.
+    pub transformed_statements: Vec<String>,
+    /// Arrays / index expressions involved (pretty-printed).
+    pub expressions: Vec<String>,
+    /// The output-input (or output-current) mapping on the original side.
+    pub original_mapping: Option<String>,
+    /// The output-input (or output-current) mapping on the transformed side.
+    pub transformed_mapping: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The set of output elements for which the divergence occurs.
+    pub failing_domain: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}", self.kind, self.message)?;
+        if !self.original_statements.is_empty() {
+            writeln!(
+                f,
+                "  original statements:    {}",
+                self.original_statements.join(", ")
+            )?;
+        }
+        if !self.transformed_statements.is_empty() {
+            writeln!(
+                f,
+                "  transformed statements: {}",
+                self.transformed_statements.join(", ")
+            )?;
+        }
+        if !self.expressions.is_empty() {
+            writeln!(f, "  expressions: {}", self.expressions.join("  |  "))?;
+        }
+        if let Some(m) = &self.original_mapping {
+            writeln!(f, "  original mapping:    {m}")?;
+        }
+        if let Some(m) = &self.transformed_mapping {
+            writeln!(f, "  transformed mapping: {m}")?;
+        }
+        if let Some(d) = &self.failing_domain {
+            writeln!(f, "  failing output elements: {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The blame heuristic of Section 6.1: when several paths fail, the variable
+/// (or statement) occurring on *all* failing transformed-side paths is the
+/// most likely location of the error.  Returns the suspects ordered by how
+/// many failing diagnostics they participate in.
+pub fn blame_candidates(diagnostics: &[Diagnostic]) -> Vec<(String, usize)> {
+    let failing: Vec<&Diagnostic> = diagnostics
+        .iter()
+        .filter(|d| {
+            matches!(
+                d.kind,
+                DiagnosticKind::MappingMismatch
+                    | DiagnosticKind::LeafMismatch
+                    | DiagnosticKind::MatchingFailure
+            )
+        })
+        .collect();
+    if failing.is_empty() {
+        return Vec::new();
+    }
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for d in &failing {
+        for s in &d.transformed_statements {
+            *counts.entry(s.clone()).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<(String, usize)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(kind: DiagnosticKind, transformed: &[&str]) -> Diagnostic {
+        Diagnostic {
+            kind,
+            original_statements: vec!["s1".into()],
+            transformed_statements: transformed.iter().map(|s| s.to_string()).collect(),
+            expressions: vec!["buf[k]".into()],
+            original_mapping: Some("{ [k] -> [2k] }".into()),
+            transformed_mapping: Some("{ [k] -> [k] }".into()),
+            message: "test".into(),
+            failing_domain: None,
+        }
+    }
+
+    #[test]
+    fn blame_prefers_statements_common_to_many_failures() {
+        let diags = vec![
+            diag(DiagnosticKind::MappingMismatch, &["v1", "v3"]),
+            diag(DiagnosticKind::MappingMismatch, &["v3", "v4"]),
+        ];
+        let blame = blame_candidates(&diags);
+        assert_eq!(blame[0].0, "v3");
+        assert_eq!(blame[0].1, 2);
+    }
+
+    #[test]
+    fn blame_ignores_non_failing_kinds() {
+        let diags = vec![diag(DiagnosticKind::OutputDomainMismatch, &["v1"])];
+        assert!(blame_candidates(&diags).is_empty());
+    }
+
+    #[test]
+    fn display_renders_all_fields() {
+        let d = diag(DiagnosticKind::MappingMismatch, &["v3"]);
+        let text = d.to_string();
+        assert!(text.contains("mapping mismatch"));
+        assert!(text.contains("v3"));
+        assert!(text.contains("buf[k]"));
+        assert!(text.contains("{ [k] -> [2k] }"));
+    }
+}

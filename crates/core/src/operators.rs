@@ -1,0 +1,131 @@
+//! Operator property declarations (Section 4 and the "operator property
+//! declarations" optional input of Fig. 6).
+//!
+//! Algebraic transformations exploit associativity and commutativity of
+//! operators on fixed-point data (addition, multiplication, user-declared
+//! functions such as `min`/`max`).  The checker only normalises at operators
+//! that are declared to have these properties; everything else is compared
+//! structurally, position by position.
+
+use arrayeq_addg::OperatorKind;
+use std::collections::BTreeMap;
+
+/// The algebraic class of one operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OperatorClass {
+    /// The operator is associative: `(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)`.
+    pub associative: bool,
+    /// The operator is commutative: `a ⊕ b = b ⊕ a`.
+    pub commutative: bool,
+}
+
+impl OperatorClass {
+    /// Neither associative nor commutative.
+    pub const NONE: OperatorClass = OperatorClass {
+        associative: false,
+        commutative: false,
+    };
+    /// Both associative and commutative (integer `+` and `*` modulo
+    /// overflow, which the paper explicitly ignores).
+    pub const AC: OperatorClass = OperatorClass {
+        associative: true,
+        commutative: true,
+    };
+}
+
+/// Declared properties for every operator the checker may encounter.
+///
+/// The defaults match the paper: fixed-point `+` and `*` are associative and
+/// commutative (overflow is ignored), `-`, `/`, unary negation and calls are
+/// not.  Designers can declare additional properties for their own functions
+/// (e.g. `min`, `max`) with [`OperatorProperties::declare_call`].
+#[derive(Debug, Clone)]
+pub struct OperatorProperties {
+    add: OperatorClass,
+    mul: OperatorClass,
+    calls: BTreeMap<String, OperatorClass>,
+}
+
+impl Default for OperatorProperties {
+    fn default() -> Self {
+        OperatorProperties {
+            add: OperatorClass::AC,
+            mul: OperatorClass::AC,
+            calls: BTreeMap::new(),
+        }
+    }
+}
+
+impl OperatorProperties {
+    /// Properties with *no* operator declared associative or commutative —
+    /// useful for ablation experiments where algebraic normalisation is
+    /// disabled entirely.
+    pub fn none() -> Self {
+        OperatorProperties {
+            add: OperatorClass::NONE,
+            mul: OperatorClass::NONE,
+            calls: BTreeMap::new(),
+        }
+    }
+
+    /// Declares the class of a user function (by name).
+    pub fn declare_call(mut self, name: impl Into<String>, class: OperatorClass) -> Self {
+        self.calls.insert(name.into(), class);
+        self
+    }
+
+    /// Overrides the class of `+`.
+    pub fn with_add(mut self, class: OperatorClass) -> Self {
+        self.add = class;
+        self
+    }
+
+    /// Overrides the class of `*`.
+    pub fn with_mul(mut self, class: OperatorClass) -> Self {
+        self.mul = class;
+        self
+    }
+
+    /// The class of an operator kind.
+    pub fn class_of(&self, kind: &OperatorKind) -> OperatorClass {
+        match kind {
+            OperatorKind::Add => self.add,
+            OperatorKind::Mul => self.mul,
+            OperatorKind::Sub | OperatorKind::Div | OperatorKind::Neg => OperatorClass::NONE,
+            OperatorKind::Call(name) => self.calls.get(name).copied().unwrap_or(OperatorClass::NONE),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let p = OperatorProperties::default();
+        assert!(p.class_of(&OperatorKind::Add).associative);
+        assert!(p.class_of(&OperatorKind::Add).commutative);
+        assert!(p.class_of(&OperatorKind::Mul).associative);
+        assert!(!p.class_of(&OperatorKind::Sub).associative);
+        assert!(!p.class_of(&OperatorKind::Div).commutative);
+        assert_eq!(
+            p.class_of(&OperatorKind::Call("absd".into())),
+            OperatorClass::NONE
+        );
+    }
+
+    #[test]
+    fn user_declared_functions() {
+        let p = OperatorProperties::default().declare_call("max", OperatorClass::AC);
+        assert!(p.class_of(&OperatorKind::Call("max".into())).commutative);
+        assert!(!p.class_of(&OperatorKind::Call("min".into())).commutative);
+    }
+
+    #[test]
+    fn none_disables_everything() {
+        let p = OperatorProperties::none();
+        assert_eq!(p.class_of(&OperatorKind::Add), OperatorClass::NONE);
+        assert_eq!(p.class_of(&OperatorKind::Mul), OperatorClass::NONE);
+    }
+}

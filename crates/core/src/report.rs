@@ -1,0 +1,133 @@
+//! The result of an equivalence check.
+
+use crate::diagnostics::{blame_candidates, Diagnostic};
+use std::fmt;
+
+/// The verdict of the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The sufficient condition holds on every pair of corresponding paths:
+    /// the two functions are functionally equivalent.
+    Equivalent,
+    /// The sufficient condition failed; diagnostics describe where.  (As the
+    /// condition is sufficient but not necessary, a sufficiently creative
+    /// transformation outside the supported set can also land here.)
+    NotEquivalent,
+    /// The checker could not decide within its resource limits.
+    Inconclusive,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::Equivalent => "EQUIVALENT",
+            Verdict::NotEquivalent => "NOT EQUIVALENT",
+            Verdict::Inconclusive => "INCONCLUSIVE",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Work counters collected during one check — the quantities the scaling
+/// experiments (E5–E9) report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Pairs of corresponding paths whose output-input mappings were compared.
+    pub paths_compared: u64,
+    /// Relation compositions performed (intermediate-variable reductions).
+    pub compositions: u64,
+    /// Relation equality checks performed.
+    pub mapping_equalities: u64,
+    /// Number of sub-problems answered from the tabling cache.
+    pub table_hits: u64,
+    /// Number of sub-problems inserted into the tabling cache.
+    pub table_entries: u64,
+    /// Flattening operations performed (extended method only).
+    pub flattenings: u64,
+    /// Matching operations performed (extended method only).
+    pub matchings: u64,
+}
+
+/// The full result of a verification run: verdict, diagnostics and work
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Diagnostics explaining a [`Verdict::NotEquivalent`] (or partial
+    /// problems encountered on the way).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Work counters.
+    pub stats: CheckStats,
+    /// Name of the checked output arrays.
+    pub outputs_checked: Vec<String>,
+}
+
+impl Report {
+    /// Whether the verdict is [`Verdict::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        self.verdict == Verdict::Equivalent
+    }
+
+    /// The blame heuristic of Section 6.1: transformed-program statements
+    /// most likely to contain the error, ordered by how many failing paths
+    /// they appear on.
+    pub fn blame(&self) -> Vec<(String, usize)> {
+        blame_candidates(&self.diagnostics)
+    }
+
+    /// A compact human-readable rendering of the whole report.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "{} ({} path pairs, {} mapping comparisons, {} table hits)\n",
+            self.verdict,
+            self.stats.paths_compared,
+            self.stats.mapping_equalities,
+            self.stats.table_hits
+        );
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+        }
+        let blame = self.blame();
+        if !blame.is_empty() {
+            out.push_str("most likely error locations (transformed program): ");
+            let rendered: Vec<String> = blame
+                .iter()
+                .take(3)
+                .map(|(s, n)| format!("{s} ({n} failing paths)"))
+                .collect();
+            out.push_str(&rendered.join(", "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_summary_contains_verdict_and_stats() {
+        let r = Report {
+            verdict: Verdict::Equivalent,
+            diagnostics: Vec::new(),
+            stats: CheckStats {
+                paths_compared: 4,
+                ..Default::default()
+            },
+            outputs_checked: vec!["C".into()],
+        };
+        assert!(r.is_equivalent());
+        assert!(r.summary().contains("EQUIVALENT"));
+        assert!(r.summary().contains("4 path pairs"));
+        assert_eq!(format!("{}", Verdict::NotEquivalent), "NOT EQUIVALENT");
+        assert_eq!(format!("{}", Verdict::Inconclusive), "INCONCLUSIVE");
+    }
+}

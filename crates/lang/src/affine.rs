@@ -1,0 +1,739 @@
+//! Lowering of loop nests and index expressions to affine form.
+//!
+//! This module turns the AST of a program in the restricted class into the
+//! per-statement geometric information everything else is built on:
+//!
+//! * the **iteration domain** of each assignment (a [`Set`] over its
+//!   enclosing loop iterators, including strides and `if` guards),
+//! * the **write access relation** `{ [iters] -> [element] }` of its
+//!   left-hand side, and
+//! * the **read access relations** of every array operand on its right-hand
+//!   side.
+//!
+//! These are exactly the ingredients of the paper's *dependency mappings*
+//! (Section 3.2): the mapping from the elements defined by a statement to the
+//! elements of operand `v` is `write⁻¹ ∘ read_v`.
+
+use crate::ast::*;
+use crate::{LangError, Result};
+use arrayeq_omega::{Conjunct, Constraint, LinExpr, Relation, Set, Space, VarKind};
+use std::collections::BTreeMap;
+
+/// An affine expression over loop-iterator names: `Σ aᵢ·iterᵢ + c`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Affine {
+    /// Coefficient per iterator name (absent means 0).
+    pub coeffs: BTreeMap<String, i64>,
+    /// Constant term.
+    pub konst: i64,
+}
+
+impl Affine {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Affine {
+        Affine {
+            coeffs: BTreeMap::new(),
+            konst: c,
+        }
+    }
+
+    /// The expression `1·name`.
+    pub fn var(name: &str) -> Affine {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(name.to_owned(), 1);
+        Affine { coeffs, konst: 0 }
+    }
+
+    /// `self + k·other`.
+    pub fn add_scaled(&mut self, other: &Affine, k: i64) {
+        for (n, &c) in &other.coeffs {
+            *self.coeffs.entry(n.clone()).or_insert(0) += k * c;
+        }
+        self.konst += k * other.konst;
+    }
+
+    /// `k·self`.
+    pub fn scale(&self, k: i64) -> Affine {
+        Affine {
+            coeffs: self.coeffs.iter().map(|(n, &c)| (n.clone(), c * k)).collect(),
+            konst: self.konst * k,
+        }
+    }
+
+    /// Whether the expression has no iterator terms.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.values().all(|&c| c == 0)
+    }
+
+    /// Evaluates the expression for concrete iterator values.
+    pub fn eval(&self, env: &BTreeMap<String, i64>) -> i64 {
+        self.coeffs
+            .iter()
+            .map(|(n, c)| c * env.get(n).copied().unwrap_or(0))
+            .sum::<i64>()
+            + self.konst
+    }
+
+    /// Lowers the expression into a [`LinExpr`] over a conjunct whose input
+    /// dims are the iterators listed in `iters` (in order).
+    fn to_linexpr(&self, conj: &Conjunct, iters: &[String], kind: VarKind) -> LinExpr {
+        let mut e = conj.zero_expr();
+        for (name, &c) in &self.coeffs {
+            let idx = iters
+                .iter()
+                .position(|n| n == name)
+                .expect("iterator resolved during analysis");
+            e.set_coeff(conj.col(kind, idx), c);
+        }
+        e.set_constant(self.konst);
+        e
+    }
+}
+
+/// Converts an AST expression into affine form over the given iterators.
+///
+/// `#define` constants are folded; any other variable, array access or call
+/// makes the expression non-affine.
+///
+/// # Errors
+///
+/// Returns [`LangError::NotAffine`] when the expression cannot be brought to
+/// affine form (e.g. a product of two iterators).
+pub fn affine_of_expr(
+    e: &Expr,
+    iters: &[String],
+    defines: &BTreeMap<String, i64>,
+    context: &str,
+) -> Result<Affine> {
+    let not_affine = || LangError::NotAffine {
+        expr: crate::pretty::expr_to_string(e),
+        context: context.to_owned(),
+    };
+    match e {
+        Expr::Const(v) => Ok(Affine::constant(*v)),
+        Expr::Var(n) => {
+            if iters.contains(n) {
+                Ok(Affine::var(n))
+            } else if let Some(&v) = defines.get(n) {
+                Ok(Affine::constant(v))
+            } else {
+                Err(not_affine())
+            }
+        }
+        Expr::Neg(inner) => Ok(affine_of_expr(inner, iters, defines, context)?.scale(-1)),
+        Expr::Bin(op, l, r) => {
+            let la = affine_of_expr(l, iters, defines, context)?;
+            let ra = affine_of_expr(r, iters, defines, context)?;
+            match op {
+                BinOp::Add => {
+                    let mut out = la;
+                    out.add_scaled(&ra, 1);
+                    Ok(out)
+                }
+                BinOp::Sub => {
+                    let mut out = la;
+                    out.add_scaled(&ra, -1);
+                    Ok(out)
+                }
+                BinOp::Mul => {
+                    if la.is_constant() {
+                        Ok(ra.scale(la.konst))
+                    } else if ra.is_constant() {
+                        Ok(la.scale(ra.konst))
+                    } else {
+                        Err(not_affine())
+                    }
+                }
+                BinOp::Div => {
+                    if la.is_constant() && ra.is_constant() && ra.konst != 0 {
+                        Ok(Affine::constant(la.konst / ra.konst))
+                    } else {
+                        Err(not_affine())
+                    }
+                }
+            }
+        }
+        Expr::Access(_) | Expr::Call(..) => Err(not_affine()),
+    }
+}
+
+/// One constraint of an iteration domain, over the enclosing iterators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainConstraint {
+    /// `expr ≥ 0`
+    Geq(Affine),
+    /// `expr = 0`
+    Eq(Affine),
+    /// `expr ≡ 0 (mod m)` (loop strides)
+    Mod(Affine, i64),
+}
+
+impl DomainConstraint {
+    /// Evaluates the constraint for concrete iterator values.
+    pub fn holds(&self, env: &BTreeMap<String, i64>) -> bool {
+        match self {
+            DomainConstraint::Geq(a) => a.eval(env) >= 0,
+            DomainConstraint::Eq(a) => a.eval(env) == 0,
+            DomainConstraint::Mod(a, m) => a.eval(env).rem_euclid(*m) == 0,
+        }
+    }
+}
+
+/// The geometric summary of one assignment statement.
+#[derive(Debug, Clone)]
+pub struct StatementInfo {
+    /// The statement label.
+    pub label: String,
+    /// Index of the statement in textual order (0-based).
+    pub position: usize,
+    /// The array defined by the statement.
+    pub target: String,
+    /// Affine write index expressions, one per array dimension.
+    pub write_indices: Vec<Affine>,
+    /// The right-hand side expression (operator tree).
+    pub rhs: Expr,
+    /// Enclosing loop iterators, outermost first.
+    pub iters: Vec<String>,
+    /// Iteration domain in disjunctive normal form: a union of conjunctions
+    /// of [`DomainConstraint`]s (the union comes from `!=` guards).
+    pub domains: Vec<Vec<DomainConstraint>>,
+    /// Textual position constants of the 2d+1 schedule: one entry per loop
+    /// level plus one for the innermost statement position.
+    pub schedule_consts: Vec<i64>,
+    /// The `#define` environment of the program (needed to lower reads).
+    pub defines: BTreeMap<String, i64>,
+}
+
+/// Analyzes a program: returns one [`StatementInfo`] per assignment, in
+/// textual order.
+///
+/// # Errors
+///
+/// Returns [`LangError::NotAffine`] / [`LangError::Class`] when bounds,
+/// steps, guards or index expressions fall outside the affine class.
+pub fn analyze(program: &Program) -> Result<Vec<StatementInfo>> {
+    let mut out = Vec::new();
+    let mut walker = Walker {
+        defines: program.defines.clone(),
+        out: &mut out,
+        position: 0,
+    };
+    let mut ctx = Ctx {
+        iters: Vec::new(),
+        domains: vec![Vec::new()],
+        schedule_consts: vec![0],
+    };
+    walker.walk_block(&program.body, &mut ctx)?;
+    Ok(out)
+}
+
+/// Context accumulated while descending into loops and guards.
+#[derive(Debug, Clone)]
+struct Ctx {
+    iters: Vec<String>,
+    /// DNF of domain constraints accumulated so far.
+    domains: Vec<Vec<DomainConstraint>>,
+    /// Position constants per loop level (last entry = position in the
+    /// current block).
+    schedule_consts: Vec<i64>,
+}
+
+struct Walker<'a> {
+    defines: BTreeMap<String, i64>,
+    out: &'a mut Vec<StatementInfo>,
+    position: usize,
+}
+
+impl Walker<'_> {
+    fn walk_block(&mut self, stmts: &[Stmt], ctx: &mut Ctx) -> Result<()> {
+        for s in stmts {
+            match s {
+                Stmt::Assign(a) => {
+                    self.emit(a, ctx)?;
+                    *ctx.schedule_consts.last_mut().expect("non-empty") += 1;
+                }
+                Stmt::For(f) => {
+                    let mut inner = ctx.clone();
+                    self.push_loop(f, &mut inner)?;
+                    self.walk_block(&f.body, &mut inner)?;
+                    *ctx.schedule_consts.last_mut().expect("non-empty") += 1;
+                }
+                Stmt::If(i) => {
+                    let mut then_ctx = ctx.clone();
+                    add_condition(&mut then_ctx, &i.cond, false, &ctx.iters, &self.defines)?;
+                    // Keep the schedule position shared by both branches but
+                    // distinct per statement inside, by continuing to count in
+                    // the parent counter through the recursive calls.
+                    then_ctx.schedule_consts = ctx.schedule_consts.clone();
+                    self.walk_block(&i.then_branch, &mut then_ctx)?;
+                    *ctx.schedule_consts.last_mut().expect("non-empty") =
+                        *then_ctx.schedule_consts.last().expect("non-empty");
+
+                    let mut else_ctx = ctx.clone();
+                    add_condition(&mut else_ctx, &i.cond, true, &ctx.iters, &self.defines)?;
+                    else_ctx.schedule_consts = ctx.schedule_consts.clone();
+                    self.walk_block(&i.else_branch, &mut else_ctx)?;
+                    *ctx.schedule_consts.last_mut().expect("non-empty") =
+                        *else_ctx.schedule_consts.last().expect("non-empty");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn push_loop(&mut self, f: &For, ctx: &mut Ctx) -> Result<()> {
+        let context = format!("for-loop over `{}`", f.var);
+        if f.step == 0 {
+            return Err(LangError::Class {
+                message: format!("{context} has step 0"),
+            });
+        }
+        if ctx.iters.contains(&f.var) {
+            return Err(LangError::Class {
+                message: format!("iterator `{}` shadows an enclosing iterator", f.var),
+            });
+        }
+        let outer_iters = ctx.iters.clone();
+        ctx.iters.push(f.var.clone());
+        let iters = ctx.iters.clone();
+
+        let init = affine_of_expr(&f.init, &outer_iters, &self.defines, &context)?;
+        let var = Affine::var(&f.var);
+
+        let mut constraints = Vec::new();
+        if f.step > 0 {
+            // var >= init
+            let mut lower = var.clone();
+            lower.add_scaled(&init, -1);
+            constraints.push(DomainConstraint::Geq(lower));
+        } else {
+            // var <= init
+            let mut upper = init.clone();
+            upper.add_scaled(&var, -1);
+            constraints.push(DomainConstraint::Geq(upper));
+        }
+        if f.step.abs() > 1 {
+            // (var - init) ≡ 0  (mod |step|)
+            let mut diff = var.clone();
+            diff.add_scaled(&init, -1);
+            constraints.push(DomainConstraint::Mod(diff, f.step.abs()));
+        }
+        // The loop-continuation condition.
+        constraints.extend(condition_constraints(
+            &f.cond,
+            false,
+            &iters,
+            &self.defines,
+            &context,
+        )?);
+
+        for conj in &mut ctx.domains {
+            conj.extend(constraints.iter().cloned());
+        }
+        ctx.schedule_consts.push(0);
+        Ok(())
+    }
+
+    fn emit(&mut self, a: &Assign, ctx: &Ctx) -> Result<()> {
+        let context = format!("statement {}", a.label);
+        let write_indices = a
+            .lhs
+            .indices
+            .iter()
+            .map(|e| affine_of_expr(e, &ctx.iters, &self.defines, &context))
+            .collect::<Result<Vec<_>>>()?;
+        self.out.push(StatementInfo {
+            label: a.label.clone(),
+            position: self.position,
+            target: a.lhs.array.clone(),
+            write_indices,
+            rhs: a.rhs.clone(),
+            iters: ctx.iters.clone(),
+            domains: ctx.domains.clone(),
+            schedule_consts: ctx.schedule_consts.clone(),
+            defines: self.defines.clone(),
+        });
+        self.position += 1;
+        Ok(())
+    }
+}
+
+/// Adds an `if` condition (or its negation) to every disjunct of a context.
+fn add_condition(
+    ctx: &mut Ctx,
+    cond: &Cond,
+    negate: bool,
+    iters: &[String],
+    defines: &BTreeMap<String, i64>,
+) -> Result<()> {
+    let constraints = condition_constraints(cond, negate, iters, defines, "if condition")?;
+    // `!=` (or a negated `==`) yields a disjunction of two constraints; any
+    // other comparison yields a single conjunction.  `condition_constraints`
+    // encodes the disjunctive case by returning `DisjunctionMarker`-free pairs
+    // handled here: when two Geq constraints are returned for an (in)equality
+    // split, each goes into its own copy of the DNF.
+    match constraints.as_slice() {
+        [only] => {
+            for conj in &mut ctx.domains {
+                conj.push(only.clone());
+            }
+        }
+        [a, b] if is_disequality_split(cond, negate) => {
+            let mut doubled = Vec::with_capacity(ctx.domains.len() * 2);
+            for conj in &ctx.domains {
+                let mut left = conj.clone();
+                left.push(a.clone());
+                doubled.push(left);
+                let mut right = conj.clone();
+                right.push(b.clone());
+                doubled.push(right);
+            }
+            ctx.domains = doubled;
+        }
+        many => {
+            for conj in &mut ctx.domains {
+                conj.extend(many.iter().cloned());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Whether the (possibly negated) condition is a disequality, which lowers to
+/// a *union* of two half-spaces rather than a conjunction.
+fn is_disequality_split(cond: &Cond, negate: bool) -> bool {
+    matches!(
+        (cond.op, negate),
+        (CmpOp::Ne, false) | (CmpOp::Eq, true)
+    )
+}
+
+/// Lowers a single comparison (possibly negated) into domain constraints.
+fn condition_constraints(
+    cond: &Cond,
+    negate: bool,
+    iters: &[String],
+    defines: &BTreeMap<String, i64>,
+    context: &str,
+) -> Result<Vec<DomainConstraint>> {
+    let l = affine_of_expr(&cond.lhs, iters, defines, context)?;
+    let r = affine_of_expr(&cond.rhs, iters, defines, context)?;
+    let op = if negate { cond.op.negated() } else { cond.op };
+    // diff_ge: r - l, diff_le: l - r
+    let mut r_minus_l = r.clone();
+    r_minus_l.add_scaled(&l, -1);
+    let mut l_minus_r = l.clone();
+    l_minus_r.add_scaled(&r, -1);
+    Ok(match op {
+        CmpOp::Lt => {
+            let mut d = r_minus_l;
+            d.konst -= 1;
+            vec![DomainConstraint::Geq(d)]
+        }
+        CmpOp::Le => vec![DomainConstraint::Geq(r_minus_l)],
+        CmpOp::Gt => {
+            let mut d = l_minus_r;
+            d.konst -= 1;
+            vec![DomainConstraint::Geq(d)]
+        }
+        CmpOp::Ge => vec![DomainConstraint::Geq(l_minus_r)],
+        CmpOp::Eq => vec![DomainConstraint::Eq(l_minus_r)],
+        CmpOp::Ne => {
+            // l < r  or  l > r — two half-spaces, turned into a DNF split by
+            // the caller.
+            let mut lt = r_minus_l;
+            lt.konst -= 1;
+            let mut gt = l_minus_r;
+            gt.konst -= 1;
+            vec![DomainConstraint::Geq(lt), DomainConstraint::Geq(gt)]
+        }
+    })
+}
+
+impl StatementInfo {
+    /// The iteration-domain [`Set`] over the statement's iterators.
+    pub fn iteration_domain(&self) -> Result<Set> {
+        let space = Space::set(&self.iters, &[] as &[String]);
+        let mut conjuncts = Vec::new();
+        for disjunct in &self.domains {
+            let mut c = Conjunct::universe(space.clone());
+            for dc in disjunct {
+                c.add(lower_domain_constraint(dc, &c, &self.iters));
+            }
+            conjuncts.push(c);
+        }
+        Ok(Set::from_relation(Relation::from_conjuncts(
+            space, conjuncts,
+        )))
+    }
+
+    /// The write access relation `{ [iters] -> [element] : iters ∈ domain }`.
+    pub fn write_relation(&self) -> Result<Relation> {
+        self.access_relation(&self.write_indices)
+    }
+
+    /// The read access relation of one right-hand-side array operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::NotAffine`] if the access's index expressions are
+    /// not affine in the statement's iterators.
+    pub fn read_relation(&self, access: &ArrayRef) -> Result<Relation> {
+        let context = format!("read of {} in statement {}", access.array, self.label);
+        let idx = access
+            .indices
+            .iter()
+            .map(|e| affine_of_expr(e, &self.iters, &self.defines, &context))
+            .collect::<Result<Vec<_>>>()?;
+        self.access_relation(&idx)
+    }
+
+    /// The set of array elements written by the statement (the range of the
+    /// write relation).
+    pub fn write_element_set(&self) -> Result<Set> {
+        Ok(self.write_relation()?.range())
+    }
+
+    /// The set of elements of `access`'s array read by the statement.
+    pub fn read_element_set(&self, access: &ArrayRef) -> Result<Set> {
+        Ok(self.read_relation(access)?.range())
+    }
+
+    /// The *dependency mapping* of the paper for one operand: from elements
+    /// of the defined array to the elements of the operand array they are
+    /// computed from (`write⁻¹ ∘ read`).
+    pub fn dependency_mapping(&self, access: &ArrayRef) -> Result<Relation> {
+        let w = self.write_relation()?;
+        let r = self.read_relation(access)?;
+        Ok(w.inverse().compose(&r)?.simplified(true))
+    }
+
+    /// The lexicographic schedule components of this statement: alternating
+    /// block-position constants and iterator dimensions (the classic `2d+1`
+    /// encoding).
+    pub fn schedule_components(&self) -> Vec<ScheduleComponent> {
+        let mut out = Vec::with_capacity(self.iters.len() * 2 + 1);
+        for (level, &c) in self.schedule_consts.iter().enumerate() {
+            out.push(ScheduleComponent::Const(c));
+            if level < self.iters.len() {
+                out.push(ScheduleComponent::Iter(level));
+            }
+        }
+        out
+    }
+
+    /// Number of dynamic instances of this statement, when the iteration
+    /// domain is bounded (used for operation-count statistics).  Returns
+    /// `None` for unbounded or huge domains.
+    pub fn instance_count(&self, limit: i64) -> Option<i64> {
+        // Count by sampling the bounding box implied by the constraints is
+        // expensive; instead walk the concrete loops via the interpreter-side
+        // helper when needed.  Here we only handle the 0- and 1-dimensional
+        // cases exactly, which is what the statistics need.
+        match self.iters.len() {
+            0 => Some(1),
+            1 => {
+                let dom = self.iteration_domain().ok()?;
+                let mut count = 0;
+                for v in -limit..=limit {
+                    if dom.contains(&[v], &[]) {
+                        count += 1;
+                    }
+                }
+                Some(count)
+            }
+            _ => None,
+        }
+    }
+
+    fn access_relation(&self, indices: &[Affine]) -> Result<Relation> {
+        let out_names: Vec<String> = (0..indices.len()).map(|d| format!("d{d}")).collect();
+        let space = Space::relation(&self.iters, &out_names, &[] as &[String]);
+        let mut conjuncts = Vec::new();
+        for disjunct in &self.domains {
+            let mut c = Conjunct::universe(space.clone());
+            for dc in disjunct {
+                c.add(lower_domain_constraint(dc, &c, &self.iters));
+            }
+            for (d, a) in indices.iter().enumerate() {
+                // out_d - a(iters) = 0
+                let mut e = a.to_linexpr(&c, &self.iters, VarKind::In).scale(-1);
+                let col = c.col(VarKind::Out, d);
+                e.set_coeff(col, 1);
+                c.add(Constraint::eq(e));
+            }
+            c.simplify();
+            conjuncts.push(c);
+        }
+        Ok(Relation::from_conjuncts(space, conjuncts))
+    }
+}
+
+/// One component of a statement's lexicographic schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleComponent {
+    /// A textual-position constant.
+    Const(i64),
+    /// The iterator at the given nesting level (index into `iters`).
+    Iter(usize),
+}
+
+fn lower_domain_constraint(dc: &DomainConstraint, conj: &Conjunct, iters: &[String]) -> Constraint {
+    match dc {
+        DomainConstraint::Geq(a) => Constraint::geq(a.to_linexpr(conj, iters, VarKind::In)),
+        DomainConstraint::Eq(a) => Constraint::eq(a.to_linexpr(conj, iters, VarKind::In)),
+        DomainConstraint::Mod(a, m) => {
+            Constraint::congruent(a.to_linexpr(conj, iters, VarKind::In), *m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{FIG1_A, FIG1_B, FIG1_D};
+    use crate::parser::parse_program;
+
+    fn infos(src: &str) -> Vec<StatementInfo> {
+        analyze(&parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fig1a_statement_s2_dependency_mappings_match_paper() {
+        // The paper's Section 3.2 example: for statement s2 of (a),
+        // M_{buf,A1} = {[x]->[y] : x = 2k-2, y = 2k-2, 1<=k<=1024}
+        // M_{buf,A2} = {[x]->[y] : x = 2k-2, y = k-1,  1<=k<=1024}
+        let infos = infos(FIG1_A);
+        let s2 = infos.iter().find(|i| i.label == "s2").unwrap();
+        let reads: Vec<_> = s2.rhs.reads().into_iter().cloned().collect();
+        assert_eq!(reads.len(), 2);
+        let m1 = s2.dependency_mapping(&reads[0]).unwrap();
+        let m2 = s2.dependency_mapping(&reads[1]).unwrap();
+        let expect1 = Relation::parse(
+            "{ [x] -> [y] : exists k : x = 2k - 2 and y = 2k - 2 and 1 <= k <= 1024 }",
+        )
+        .unwrap();
+        let expect2 = Relation::parse(
+            "{ [x] -> [y] : exists k : x = 2k - 2 and y = k - 1 and 1 <= k <= 1024 }",
+        )
+        .unwrap();
+        assert!(m1.is_equal(&expect1).unwrap());
+        assert!(m2.is_equal(&expect2).unwrap());
+        assert!(!m1.is_equal(&expect2).unwrap());
+    }
+
+    #[test]
+    fn fig1a_iteration_domains() {
+        let infos = infos(FIG1_A);
+        let s1 = &infos[0];
+        assert_eq!(s1.label, "s1");
+        let dom = s1.iteration_domain().unwrap();
+        assert!(dom.contains(&[0], &[]));
+        assert!(dom.contains(&[1023], &[]));
+        assert!(!dom.contains(&[1024], &[]));
+        assert!(!dom.contains(&[-1], &[]));
+        // Down-counting loop of s2: 1 <= k <= 1024.
+        let s2 = &infos[1];
+        let dom2 = s2.iteration_domain().unwrap();
+        assert!(dom2.contains(&[1], &[]));
+        assert!(dom2.contains(&[1024], &[]));
+        assert!(!dom2.contains(&[0], &[]));
+    }
+
+    #[test]
+    fn guarded_statements_get_guard_constraints() {
+        let infos = infos(FIG1_B);
+        let t3 = infos.iter().find(|i| i.label == "t3").unwrap();
+        let d3 = t3.iteration_domain().unwrap();
+        assert!(d3.contains(&[0], &[]));
+        assert!(d3.contains(&[511], &[]));
+        assert!(!d3.contains(&[512], &[]));
+        let t4 = infos.iter().find(|i| i.label == "t4").unwrap();
+        let d4 = t4.iteration_domain().unwrap();
+        assert!(!d4.contains(&[511], &[]));
+        assert!(d4.contains(&[512], &[]));
+        assert!(d4.contains(&[1023], &[]));
+        assert!(!d4.contains(&[1024], &[]));
+    }
+
+    #[test]
+    fn strided_loops_produce_congruences() {
+        let infos = infos(FIG1_D);
+        let v1 = infos.iter().find(|i| i.label == "v1").unwrap();
+        let d = v1.iteration_domain().unwrap();
+        assert!(d.contains(&[0], &[]));
+        assert!(d.contains(&[2046], &[]));
+        assert!(!d.contains(&[3], &[]));
+        assert!(!d.contains(&[2047], &[]));
+        let v2 = infos.iter().find(|i| i.label == "v2").unwrap();
+        let d2 = v2.iteration_domain().unwrap();
+        assert!(d2.contains(&[1], &[]));
+        assert!(!d2.contains(&[2], &[]));
+    }
+
+    #[test]
+    fn write_relations_and_element_sets() {
+        let infos = infos(FIG1_A);
+        let s2 = &infos[1];
+        let w = s2.write_relation().unwrap();
+        // k = 1 writes buf[0]; k = 1024 writes buf[2046].
+        assert!(w.contains(&[1], &[0], &[]));
+        assert!(w.contains(&[1024], &[2046], &[]));
+        assert!(!w.contains(&[1], &[1], &[]));
+        let elems = s2.write_element_set().unwrap();
+        assert!(elems.contains(&[0], &[]));
+        assert!(elems.contains(&[2], &[]));
+        assert!(!elems.contains(&[1], &[])); // only even elements are written
+    }
+
+    #[test]
+    fn schedule_components_follow_textual_order() {
+        let infos = infos(FIG1_A);
+        let s1 = &infos[0];
+        let s3 = &infos[2];
+        assert_eq!(s1.schedule_consts, vec![0, 0]);
+        assert_eq!(s3.schedule_consts, vec![2, 0]);
+        assert_eq!(s1.schedule_components().len(), 3);
+        assert!(matches!(
+            s1.schedule_components()[1],
+            ScheduleComponent::Iter(0)
+        ));
+    }
+
+    #[test]
+    fn non_affine_expressions_are_rejected() {
+        let src = r#"
+void f(int A[], int C[]) {
+    int i, j;
+    for (i = 0; i < 4; i++)
+        for (j = 0; j < 4; j++)
+            C[i*j] = A[i] + 1;
+}
+"#;
+        let p = parse_program(src).unwrap();
+        assert!(matches!(analyze(&p), Err(LangError::NotAffine { .. })));
+    }
+
+    #[test]
+    fn affine_arithmetic_helpers() {
+        let defines = BTreeMap::from([("N".to_string(), 8i64)]);
+        let iters = vec!["i".to_string()];
+        let e = Expr::sub(
+            Expr::mul(Expr::Const(2), Expr::var("i")),
+            Expr::sub(Expr::var("N"), Expr::Const(1)),
+        );
+        let a = affine_of_expr(&e, &iters, &defines, "test").unwrap();
+        assert_eq!(a.coeffs["i"], 2);
+        assert_eq!(a.konst, -7);
+        let env = BTreeMap::from([("i".to_string(), 5i64)]);
+        assert_eq!(a.eval(&env), 3);
+        assert!(Affine::constant(4).is_constant());
+    }
+
+    #[test]
+    fn instance_count_for_one_dimensional_statements() {
+        let infos = infos(&crate::corpus::with_size(FIG1_A, 16));
+        let s1 = &infos[0];
+        assert_eq!(s1.instance_count(4096), Some(16));
+    }
+}

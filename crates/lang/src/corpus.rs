@@ -1,0 +1,264 @@
+//! Source-text corpus: the four program versions of Fig. 1 of the paper and
+//! a small library of signal-processing-style kernels used as the "realistic
+//! examples" of Section 6.2.
+//!
+//! All programs are in the restricted class of Section 3.1 (dynamic single
+//! assignment, static affine control, affine indices, no pointers).  The
+//! `fig1_*` constants are verbatim transcriptions of the paper's figure,
+//! including the erroneous version (d); the kernels are parameterised by
+//! `N` through their `#define` so the benchmark harness can rewrite the size.
+
+/// Fig. 1(a): the original function.
+///
+/// Computes `C[k] = B[2k] + B[k] + A[2k] + A[k]` for `k ∈ [0, N)` through two
+/// intermediate arrays `tmp` and `buf`.
+pub const FIG1_A: &str = r#"
+/* Original function */
+#define N 1024
+foo(int A[], int B[], int C[])
+{
+    int k, tmp[N], buf[2*N];
+    for(k=0; k<N; k++)
+s1:  tmp[k] = B[2*k] + B[k];
+    for(k=N; k>=1; k--)
+s2:  buf[2*k-2] = A[2*k-2]
+                       + A[k-1];
+    for(k=0; k<N; k++)
+s3:  C[k] = tmp[k] + buf[2*k];
+}
+"#;
+
+/// Fig. 1(b): transformed version 1 — expression propagation (the `t4`
+/// branch recomputes `tmp`'s value inline) plus loop transformations (bound
+/// split at 512, loop fusion, reversal undone).
+pub const FIG1_B: &str = r#"
+/* Transformed function ver 1 */
+#define N 1024
+foo(int A[], int B[], int C[])
+{
+    int k, tmp[N], buf[N];
+    for(k=0; k<512; k++)
+t1:  tmp[k] = B[2*k] + B[k];
+    for(k=0; k<N; k++){
+t2:  buf[k] = A[2*k] + A[k];
+     if (k < 512)
+t3:    C[k] = tmp[k] + buf[k];
+     else
+t4:    C[k] = (B[2*k] + B[k])
+                      + buf[k];
+    }
+}
+"#;
+
+/// Fig. 1(c): transformed version 2 — additionally applies *algebraic*
+/// transformations (re-association/commutation of the additions), saving
+/// N/2 additions with respect to (a) and (b).
+pub const FIG1_C: &str = r#"
+/* Transformed function ver 2 */
+#define N 1024
+foo(int A[], int B[], int C[])
+{
+    int k, buf[2*N];
+    for(k=0; k<N; k++)
+u1:  buf[k] = A[k] + B[k];
+    for(k=N; k<=2*N-2; k+=2)
+u2:  buf[k] = A[k] + B[k];
+    for(k=0; k<N; k++)
+u3:  C[k] = buf[k] + buf[2*k];
+}
+"#;
+
+/// Fig. 1(d): transformed version 3 — an *erroneous* transformation.  For
+/// even `k` it computes `A[k] + B[k] + A[k] + B[k]` instead of the intended
+/// value (statement `v3` should read `buf[2*k]`), while for odd `k` it is
+/// still correct.  The checker must report inequivalence and point at
+/// statements `v3`/`v1` and the index expression of `buf`.
+pub const FIG1_D: &str = r#"
+/* Transformed function ver 3 */
+#define N 1024
+foo(int A[], int B[], int C[])
+{
+    int k, tmp[N], buf[2*N];
+    for(k=0; k<=2*N-2; k+=2)
+v1:  buf[k] = A[k] + B[k];
+    for(k=1; k<N; k+=2)
+v2:  tmp[k] = A[k] + B[k];
+    for(k=0; k<N-1; k+=2){
+v3:  C[k] = buf[k] + buf[k];
+v4:  C[k+1] = tmp[k+1]
+                 + buf[2*k+2];
+    }
+}
+"#;
+
+/// The four Fig. 1 versions in order (a), (b), (c), (d) with their names.
+pub const FIG1_ALL: [(&str, &str); 4] = [
+    ("a", FIG1_A),
+    ("b", FIG1_B),
+    ("c", FIG1_C),
+    ("d", FIG1_D),
+];
+
+/// A 5-tap FIR filter in single-assignment form (fully unrolled taps).
+pub const KERNEL_FIR5: &str = r#"
+/* 5-tap FIR filter, expanded accumulator (single assignment) */
+#define N 256
+fir(int X[], int H[], int Y[])
+{
+    int k;
+    for (k = 0; k < N; k++)
+f1:     Y[k] = ((((X[k] * H[0]) + (X[k+1] * H[1])) + (X[k+2] * H[2]))
+                + (X[k+3] * H[3])) + (X[k+4] * H[4]);
+}
+"#;
+
+/// A 3x3 2-D convolution over an image with explicit 2-D indexing, expanded
+/// accumulator (the kernel-coefficient array `K` stays 1-D).
+pub const KERNEL_CONV2D: &str = r#"
+/* 3x3 convolution over a 2-D image */
+#define N 64
+conv2d(int IMG[][], int K[], int OUT[][])
+{
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+c1:         OUT[i][j] =
+                ((((((((IMG[i][j] * K[0]) + (IMG[i][j + 1] * K[1]))
+                + (IMG[i][j + 2] * K[2])) + (IMG[i + 1][j] * K[3]))
+                + (IMG[i + 1][j + 1] * K[4])) + (IMG[i + 1][j + 2] * K[5]))
+                + (IMG[i + 2][j] * K[6])) + (IMG[i + 2][j + 1] * K[7]))
+                + (IMG[i + 2][j + 2] * K[8]);
+}
+"#;
+
+/// A factor-2 downsampler followed by a smoothing pass, using an intermediate
+/// buffer (two statements, strided access).
+pub const KERNEL_DOWNSAMPLE: &str = r#"
+/* downsample by 2 then smooth */
+#define N 128
+down(int X[], int Y[])
+{
+    int k, mid[N];
+    for (k = 0; k < N; k++)
+d1:     mid[k] = X[2*k] + X[2*k + 1];
+    for (k = 0; k < N - 1; k++)
+d2:     Y[k] = mid[k] + mid[k + 1];
+}
+"#;
+
+/// One lifting step of an integer wavelet transform (predict + update),
+/// operating on even/odd subsequences.
+pub const KERNEL_LIFTING: &str = r#"
+/* wavelet lifting step: predict (detail) and update (approximation) */
+#define N 128
+lift(int X[], int D[], int S[])
+{
+    int k;
+    for (k = 0; k < N; k++)
+l1:     D[k] = X[2*k + 1] - X[2*k];
+    for (k = 0; k < N; k++)
+l2:     S[k] = X[2*k] + D[k];
+}
+"#;
+
+/// A sum-of-absolute-differences style tree for motion estimation, with the
+/// absolute value replaced by an uninterpreted function `absd` (kept
+/// uninterpreted by the checker, exactly like a designer-declared operator).
+pub const KERNEL_SAD_TREE: &str = r#"
+/* block matching metric tree over 4-pixel groups */
+#define N 64
+sad(int CUR[], int REF[], int M[])
+{
+    int k, p[N];
+    for (k = 0; k < N; k++)
+m1:     p[k] = absd(CUR[4*k], REF[4*k]) + absd(CUR[4*k+1], REF[4*k+1]);
+    for (k = 0; k < N; k++)
+m2:     M[k] = p[k] + (absd(CUR[4*k+2], REF[4*k+2]) + absd(CUR[4*k+3], REF[4*k+3]));
+}
+"#;
+
+/// A 4x4 matrix-vector product with the accumulation expanded so the program
+/// stays in single-assignment form.
+pub const KERNEL_MATVEC: &str = r#"
+/* 4-wide matrix-vector product, expanded accumulation */
+#define N 64
+matvec(int A[], int X[], int Y[])
+{
+    int i;
+    for (i = 0; i < N; i++)
+v1:     Y[i] = ((A[4*i] * X[0] + A[4*i+1] * X[1]) + A[4*i+2] * X[2])
+               + A[4*i+3] * X[3];
+}
+"#;
+
+/// A first-order recurrence (prefix-style IIR filter) — exercises the cyclic
+/// ADDG / transitive-closure path of the method.
+pub const KERNEL_RECURRENCE: &str = r#"
+/* first-order recurrence: running sum */
+#define N 128
+scan(int X[], int Y[])
+{
+    int k;
+r0: Y[0] = X[0] + 0;
+    for (k = 1; k < N; k++)
+r1:     Y[k] = Y[k-1] + X[k];
+}
+"#;
+
+/// Names and sources of the realistic-kernel suite (Section 6.2 workload).
+pub const KERNELS: [(&str, &str); 7] = [
+    ("fir5", KERNEL_FIR5),
+    ("conv2d", KERNEL_CONV2D),
+    ("downsample", KERNEL_DOWNSAMPLE),
+    ("lifting", KERNEL_LIFTING),
+    ("sad_tree", KERNEL_SAD_TREE),
+    ("matvec", KERNEL_MATVEC),
+    ("recurrence", KERNEL_RECURRENCE),
+];
+
+/// Rewrites the `#define N <value>` line of a corpus program, so benchmarks
+/// can sweep the problem size without string surgery at every call site.
+pub fn with_size(src: &str, n: i64) -> String {
+    let mut out = String::with_capacity(src.len());
+    for line in src.lines() {
+        if line.trim_start().starts_with("#define N ") {
+            out.push_str(&format!("#define N {n}\n"));
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn all_fig1_versions_parse() {
+        for (name, src) in FIG1_ALL {
+            let p = parse_program(src).unwrap_or_else(|e| panic!("fig1({name}) parse: {e}"));
+            assert_eq!(p.name, "foo");
+            assert_eq!(p.params, vec!["A", "B", "C"]);
+        }
+    }
+
+    #[test]
+    fn all_kernels_parse() {
+        for (name, src) in KERNELS {
+            let p = parse_program(src).unwrap_or_else(|e| panic!("kernel {name} parse: {e}"));
+            assert!(p.statement_count() >= 1, "kernel {name} has statements");
+        }
+    }
+
+    #[test]
+    fn with_size_rewrites_the_define() {
+        let resized = with_size(FIG1_A, 16);
+        let p = parse_program(&resized).unwrap();
+        assert_eq!(p.define("N"), Some(16));
+        // Other lines are untouched.
+        assert!(resized.contains("s3:  C[k] = tmp[k] + buf[2*k];"));
+    }
+}

@@ -1,0 +1,396 @@
+//! The def-use (schedule correctness) checker of Fig. 6.
+//!
+//! The paper's sufficient condition assumes that both programs are correctly
+//! scheduled, i.e. that every value is written before it is read.  This
+//! module checks that assumption with standard array data-flow analysis:
+//!
+//! * **Coverage** — every element of a non-input array that a statement reads
+//!   is written by *some* statement of the program;
+//! * **Ordering** — for every (write statement, read statement) pair touching
+//!   the same element, no read instance executes at or before the write
+//!   instance that produces its value, under the original lexicographic
+//!   execution order (2d+1 schedules built from textual positions and loop
+//!   iterators).
+//!
+//! Both checks are exact integer-set computations on the access relations
+//! produced by [`crate::affine`].
+
+use crate::affine::{analyze, ScheduleComponent, StatementInfo};
+use crate::ast::Program;
+use crate::{LangError, Result};
+use arrayeq_omega::{Conjunct, Constraint, Relation, Set, Space, VarKind};
+
+/// One def-use problem found in a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefUseViolation {
+    /// Label of the reading statement.
+    pub reader: String,
+    /// The array whose element is read.
+    pub array: String,
+    /// Label of the writing statement involved (empty for coverage errors).
+    pub writer: Option<String>,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for DefUseViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} reading {}: {}", self.reader, self.array, self.message)
+    }
+}
+
+/// Result of the def-use check.
+#[derive(Debug, Clone, Default)]
+pub struct DefUseReport {
+    /// All violations found.
+    pub violations: Vec<DefUseViolation>,
+}
+
+impl DefUseReport {
+    /// Whether the def-use order is correct.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs the def-use check on a program.
+///
+/// # Errors
+///
+/// Returns an error when the underlying affine analysis fails; order and
+/// coverage problems are reported in the [`DefUseReport`] instead.
+pub fn check_def_use(program: &Program) -> Result<DefUseReport> {
+    let infos = analyze(program)?;
+    let inputs = program.input_arrays();
+    let mut report = DefUseReport::default();
+
+    for reader in &infos {
+        for access in reader.rhs.reads() {
+            if inputs.contains(&access.array) {
+                continue; // inputs are defined by the environment
+            }
+            let read_set = reader.read_element_set(access)?;
+            // Coverage: the read elements must be covered by writes.
+            let writers: Vec<&StatementInfo> = infos
+                .iter()
+                .filter(|w| w.target == access.array)
+                .collect();
+            let mut written: Option<Set> = None;
+            for w in &writers {
+                let ws = w.write_element_set()?;
+                written = Some(match written {
+                    None => ws,
+                    Some(acc) => acc.union(&ws)?,
+                });
+            }
+            let covered = match &written {
+                None => read_set.is_empty(),
+                Some(w) => read_set.is_subset(w)?,
+            };
+            if !covered {
+                report.violations.push(DefUseViolation {
+                    reader: reader.label.clone(),
+                    array: access.array.clone(),
+                    writer: None,
+                    message: format!(
+                        "reads elements of `{}` that no statement writes",
+                        access.array
+                    ),
+                });
+            }
+            // Ordering: no write of an element may execute at or after a read
+            // of the same element.
+            for w in &writers {
+                let conflict = write_read_order_violation(w, reader, access)?;
+                if !conflict.is_empty() {
+                    report.violations.push(DefUseViolation {
+                        reader: reader.label.clone(),
+                        array: access.array.clone(),
+                        writer: Some(w.label.clone()),
+                        message: format!(
+                            "some instances read an element of `{}` before statement {} writes it",
+                            access.array, w.label
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Convenience wrapper turning violations into an error.
+///
+/// # Errors
+///
+/// Returns [`LangError::DefUse`] when the def-use order is broken.
+pub fn assert_def_use_correct(program: &Program) -> Result<()> {
+    let report = check_def_use(program)?;
+    if report.is_ok() {
+        Ok(())
+    } else {
+        let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+        Err(LangError::DefUse {
+            message: rendered.join("; "),
+        })
+    }
+}
+
+/// Builds the relation of (write instance, read instance) pairs that touch
+/// the same array element with the read scheduled **at or before** the write;
+/// a non-empty relation is a def-use violation.
+fn write_read_order_violation(
+    writer: &StatementInfo,
+    reader: &StatementInfo,
+    access: &crate::ast::ArrayRef,
+) -> Result<Relation> {
+    // Same-element pairs: write_rel : wi -> elem, read_rel : ri -> elem, so
+    // pairs = write_rel ∘ read_rel⁻¹ : wi -> ri.
+    let pairs = writer
+        .write_relation()?
+        .compose(&reader.read_relation(access)?.inverse())?;
+
+    // Schedule constraint: time(reader at ri) <= time(writer at wi).
+    let order = lex_le(reader, writer)?.inverse(); // wi -> ri with read <= write
+    Ok(pairs.intersect(&order)?.simplified(true))
+}
+
+/// The relation `{ [a iters] -> [b iters] : time_a <= time_b }` under the
+/// textual 2d+1 schedules of statements `a` and `b`.
+fn lex_le(a: &StatementInfo, b: &StatementInfo) -> Result<Relation> {
+    let space = Space::relation(&a.iters, &b.iters, &[] as &[String]);
+    let comps_a = a.schedule_components();
+    let comps_b = b.schedule_components();
+    let min_len = comps_a.len().min(comps_b.len());
+
+    let mut result = Relation::empty(space.clone());
+
+    // Case "strictly less at position p, equal before": one disjunct per p.
+    for p in 0..min_len {
+        let mut conj = Conjunct::universe(space.clone());
+        let mut feasible = true;
+        for q in 0..p {
+            if !add_component_cmp(&mut conj, a, b, &comps_a[q], &comps_b[q], Cmp::Eq) {
+                feasible = false;
+                break;
+            }
+        }
+        if !feasible {
+            continue;
+        }
+        if !add_component_cmp(&mut conj, a, b, &comps_a[p], &comps_b[p], Cmp::Lt) {
+            continue;
+        }
+        add_domains(&mut conj, a, b, &space)?;
+        result = result.union(&Relation::from_conjuncts(space.clone(), vec![conj]))?;
+    }
+
+    // Case "equal on the whole common prefix" (covers identical instances and
+    // prefix-length schedules).
+    let mut conj = Conjunct::universe(space.clone());
+    let mut feasible = true;
+    for q in 0..min_len {
+        if !add_component_cmp(&mut conj, a, b, &comps_a[q], &comps_b[q], Cmp::Eq) {
+            feasible = false;
+            break;
+        }
+    }
+    if feasible {
+        add_domains(&mut conj, a, b, &space)?;
+        result = result.union(&Relation::from_conjuncts(space.clone(), vec![conj]))?;
+    }
+
+    Ok(result)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Cmp {
+    Eq,
+    Lt,
+}
+
+/// Adds the constraint `comp_a (cmp) comp_b` to `conj`; returns `false` when
+/// the constraint is trivially unsatisfiable (constant vs constant), letting
+/// the caller prune the disjunct early.
+fn add_component_cmp(
+    conj: &mut Conjunct,
+    a: &StatementInfo,
+    b: &StatementInfo,
+    ca: &ScheduleComponent,
+    cb: &ScheduleComponent,
+    cmp: Cmp,
+) -> bool {
+    let expr_of = |conj: &Conjunct, stmt: &StatementInfo, c: &ScheduleComponent, kind: VarKind| {
+        let mut e = conj.zero_expr();
+        match c {
+            ScheduleComponent::Const(v) => e.set_constant(*v),
+            ScheduleComponent::Iter(level) => {
+                let _ = stmt;
+                e.set_coeff(conj.col(kind, *level), 1);
+            }
+        }
+        e
+    };
+    // Prune constant-vs-constant comparisons without touching the solver.
+    if let (ScheduleComponent::Const(x), ScheduleComponent::Const(y)) = (ca, cb) {
+        return match cmp {
+            Cmp::Eq => x == y,
+            Cmp::Lt => x < y,
+        };
+    }
+    let ea = expr_of(conj, a, ca, VarKind::In);
+    let eb = expr_of(conj, b, cb, VarKind::Out);
+    match cmp {
+        Cmp::Eq => {
+            let mut diff = ea;
+            diff.add_scaled(&eb, -1);
+            conj.add(Constraint::eq(diff));
+        }
+        Cmp::Lt => {
+            // ea < eb  ⇔  eb - ea - 1 >= 0
+            let mut diff = eb;
+            diff.add_scaled(&ea, -1);
+            diff.set_constant(diff.constant() - 1);
+            conj.add(Constraint::geq(diff));
+        }
+    }
+    true
+}
+
+/// Adds the iteration-domain constraints of both statements to a conjunct
+/// over `[a iters] -> [b iters]`.
+fn add_domains(
+    conj: &mut Conjunct,
+    a: &StatementInfo,
+    b: &StatementInfo,
+    space: &Space,
+) -> Result<()> {
+    // Use the first disjunct union by intersecting later: embed domains as
+    // relation constraints via restrict_domain/range on a universe relation
+    // would lose the conjunct; simpler: conjoin each statement's *full*
+    // domain (all disjuncts united) by restricting afterwards.  To keep this
+    // function simple we add only box constraints here and rely on the caller
+    // intersecting with the access relations, which already carry the exact
+    // domains.  (The access relations in `write_read_order_violation` include
+    // every domain constraint, so correctness does not depend on this.)
+    let _ = (conj, a, b, space);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{FIG1_ALL, KERNELS};
+    use crate::parser::parse_program;
+
+    #[test]
+    fn paper_programs_pass_def_use() {
+        for (name, src) in FIG1_ALL {
+            let p = parse_program(src).unwrap();
+            let report = check_def_use(&p).unwrap();
+            assert!(
+                report.is_ok(),
+                "fig1({name}) def-use should pass: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_pass_def_use() {
+        for (name, src) in KERNELS {
+            let p = parse_program(src).unwrap();
+            let report = check_def_use(&p).unwrap();
+            assert!(
+                report.is_ok(),
+                "kernel {name} def-use should pass: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn reading_before_writing_is_detected() {
+        // The consumer loop comes before the producer loop.
+        let src = r#"
+#define N 8
+void f(int A[], int C[]) {
+    int k, tmp[N];
+    for (k = 0; k < N; k++)
+s1:     C[k] = tmp[k] + A[k];
+    for (k = 0; k < N; k++)
+s2:     tmp[k] = A[k] + 1;
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let report = check_def_use(&p).unwrap();
+        assert!(!report.is_ok());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.reader == "s1" && v.writer.as_deref() == Some("s2")));
+        assert!(assert_def_use_correct(&p).is_err());
+    }
+
+    #[test]
+    fn uncovered_reads_are_detected() {
+        // tmp[8..15] is read but never written.
+        let src = r#"
+#define N 8
+void f(int A[], int C[]) {
+    int k, tmp[16];
+    for (k = 0; k < N; k++)
+s1:     tmp[k] = A[k] + 1;
+    for (k = 0; k < N; k++)
+s2:     C[k] = tmp[k + 8] + A[k];
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let report = check_def_use(&p).unwrap();
+        assert!(!report.is_ok());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.writer.is_none() && v.message.contains("no statement writes")));
+    }
+
+    #[test]
+    fn same_loop_producer_consumer_order_is_respected() {
+        // Within one loop body, s1 writes tmp[k] and s2 reads it afterwards:
+        // correct.  Reading tmp[k+1] instead would be a violation because it
+        // is written only in the *next* iteration.
+        let good = r#"
+#define N 8
+void f(int A[], int C[]) {
+    int k, tmp[N];
+    for (k = 0; k < N; k++) {
+s1:     tmp[k] = A[k] + 1;
+s2:     C[k] = tmp[k] + A[k];
+    }
+}
+"#;
+        let p = parse_program(good).unwrap();
+        assert!(check_def_use(&p).unwrap().is_ok());
+
+        let bad = r#"
+#define N 8
+void f(int A[], int C[]) {
+    int k, tmp[9];
+    for (k = 0; k < N; k++) {
+s1:     tmp[k] = A[k] + 1;
+s2:     C[k] = tmp[k + 1] + A[k];
+    }
+}
+"#;
+        let p = parse_program(bad).unwrap();
+        let report = check_def_use(&p).unwrap();
+        assert!(!report.is_ok());
+    }
+
+    #[test]
+    fn recurrence_reading_its_own_past_is_accepted() {
+        let p = parse_program(crate::corpus::KERNEL_RECURRENCE).unwrap();
+        let report = check_def_use(&p).unwrap();
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+}

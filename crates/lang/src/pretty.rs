@@ -1,0 +1,197 @@
+//! Pretty-printer: turns ASTs back into compilable restricted-C text.
+//!
+//! The printer is used by the transformation engine (whose output is an AST
+//! that users may want to inspect as source), by error diagnostics (which
+//! quote index expressions), and by tests that round-trip programs through
+//! the parser.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders an expression as C source.
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => v.to_string(),
+        Expr::Var(n) => n.clone(),
+        Expr::Access(a) => array_ref_to_string(a),
+        Expr::Neg(inner) => format!("-({})", expr_to_string(inner)),
+        Expr::Bin(op, l, r) => {
+            let ls = match l.as_ref() {
+                Expr::Bin(inner_op, ..) if binds_looser(*inner_op, *op) => {
+                    format!("({})", expr_to_string(l))
+                }
+                _ => expr_to_string(l),
+            };
+            let rs = match r.as_ref() {
+                Expr::Bin(..) => format!("({})", expr_to_string(r)),
+                _ => expr_to_string(r),
+            };
+            format!("{ls} {op} {rs}")
+        }
+        Expr::Call(name, args) => {
+            let rendered: Vec<String> = args.iter().map(expr_to_string).collect();
+            format!("{name}({})", rendered.join(", "))
+        }
+    }
+}
+
+fn binds_looser(inner: BinOp, outer: BinOp) -> bool {
+    let prec = |op: BinOp| match op {
+        BinOp::Add | BinOp::Sub => 1,
+        BinOp::Mul | BinOp::Div => 2,
+    };
+    prec(inner) < prec(outer)
+}
+
+/// Renders an array reference such as `buf[2*k - 2]`.
+pub fn array_ref_to_string(a: &ArrayRef) -> String {
+    let mut s = a.array.clone();
+    for idx in &a.indices {
+        let _ = write!(s, "[{}]", expr_to_string(idx));
+    }
+    s
+}
+
+/// Renders a condition such as `k < 512`.
+pub fn cond_to_string(c: &Cond) -> String {
+    format!(
+        "{} {} {}",
+        expr_to_string(&c.lhs),
+        c.op,
+        expr_to_string(&c.rhs)
+    )
+}
+
+/// Renders a whole program as compilable C text.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for (name, value) in &p.defines {
+        let _ = writeln!(out, "#define {name} {value}");
+    }
+    let params: Vec<String> = p.params.iter().map(|n| format!("int {n}[]")).collect();
+    let _ = writeln!(out, "void {}({})", p.name, params.join(", "));
+    let _ = writeln!(out, "{{");
+    if !p.decls.is_empty() {
+        let decls: Vec<String> = p
+            .decls
+            .iter()
+            .map(|d| {
+                let mut s = d.name.clone();
+                for dim in &d.dims {
+                    let _ = write!(s, "[{}]", expr_to_string(dim));
+                }
+                s
+            })
+            .collect();
+        let _ = writeln!(out, "    int {};", decls.join(", "));
+    }
+    for s in &p.body {
+        write_stmt(&mut out, s, 1);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, indent: usize) {
+    let pad = "    ".repeat(indent);
+    match s {
+        Stmt::Assign(a) => {
+            let _ = writeln!(
+                out,
+                "{}{}: {} = {};",
+                pad,
+                a.label,
+                array_ref_to_string(&a.lhs),
+                expr_to_string(&a.rhs)
+            );
+        }
+        Stmt::For(f) => {
+            let step = match f.step {
+                1 => format!("{}++", f.var),
+                -1 => format!("{}--", f.var),
+                s if s > 0 => format!("{} += {}", f.var, s),
+                s => format!("{} -= {}", f.var, -s),
+            };
+            let _ = writeln!(
+                out,
+                "{}for ({} = {}; {}; {}) {{",
+                pad,
+                f.var,
+                expr_to_string(&f.init),
+                cond_to_string(&f.cond),
+                step
+            );
+            for inner in &f.body {
+                write_stmt(out, inner, indent + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::If(i) => {
+            let _ = writeln!(out, "{}if ({}) {{", pad, cond_to_string(&i.cond));
+            for inner in &i.then_branch {
+                write_stmt(out, inner, indent + 1);
+            }
+            if i.else_branch.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for inner in &i.else_branch {
+                    write_stmt(out, inner, indent + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{FIG1_ALL, KERNELS};
+    use crate::parser::parse_program;
+
+    #[test]
+    fn programs_round_trip_through_printer_and_parser() {
+        for (name, src) in FIG1_ALL.iter().chain(KERNELS.iter()) {
+            let p = parse_program(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let printed = program_to_string(&p);
+            let reparsed = parse_program(&printed)
+                .unwrap_or_else(|e| panic!("{name} reparse failed: {e}\n{printed}"));
+            // Statement labels, targets and rhs structure must be preserved.
+            let a: Vec<_> = p.statements().collect();
+            let b: Vec<_> = reparsed.statements().collect();
+            assert_eq!(a.len(), b.len(), "{name}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.label, y.label, "{name}");
+                assert_eq!(x.lhs, y.lhs, "{name}");
+                assert_eq!(x.rhs, y.rhs, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn expression_rendering_respects_precedence() {
+        // (a + b) * c must keep its parentheses.
+        let e = Expr::mul(
+            Expr::add(Expr::var("a"), Expr::var("b")),
+            Expr::var("c"),
+        );
+        assert_eq!(expr_to_string(&e), "(a + b) * c");
+        let e2 = Expr::add(Expr::var("a"), Expr::mul(Expr::var("b"), Expr::var("c")));
+        assert_eq!(expr_to_string(&e2), "a + (b * c)");
+    }
+
+    #[test]
+    fn conditions_and_array_refs_render() {
+        let c = Cond::new(Expr::var("k"), CmpOp::Lt, Expr::Const(512));
+        assert_eq!(cond_to_string(&c), "k < 512");
+        let a = ArrayRef::new(
+            "buf",
+            vec![Expr::sub(
+                Expr::mul(Expr::Const(2), Expr::var("k")),
+                Expr::Const(2),
+            )],
+        );
+        assert_eq!(array_ref_to_string(&a), "buf[2 * k - 2]");
+    }
+}

@@ -1,0 +1,788 @@
+//! Conjunctions of affine constraints with local existential variables.
+
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::feasible::is_feasible;
+use crate::linexpr::{gcd, LinExpr};
+use crate::space::{Space, VarKind};
+
+/// A conjunction of [`Constraint`]s over a [`Space`], possibly with local
+/// existentially-quantified variables.
+///
+/// A conjunct denotes the set of (input-tuple, output-tuple, parameter)
+/// points for which *some* assignment of the existential variables satisfies
+/// every constraint.  Strided iteration domains (`for (k = 0; k < N; k += 2)`)
+/// and the intermediate tuples introduced by relation composition are the two
+/// sources of existentials in this crate; the simplifier converts the former
+/// into congruence constraints and eliminates the latter whenever the
+/// elimination is exact.
+///
+/// Columns of every constraint are laid out as
+/// `[input dims | output dims | parameters | existentials]` followed by the
+/// constant term; see [`Space`] for the global part.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Conjunct {
+    space: Space,
+    n_exists: usize,
+    constraints: Vec<Constraint>,
+}
+
+impl Conjunct {
+    /// The universe conjunct (no constraints) over `space`.
+    pub fn universe(space: Space) -> Self {
+        Conjunct {
+            space,
+            n_exists: 0,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The space this conjunct is defined over.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// Number of local existential variables.
+    pub fn n_exists(&self) -> usize {
+        self.n_exists
+    }
+
+    /// Total number of variable columns (globals plus existentials).
+    pub fn n_vars(&self) -> usize {
+        self.space.n_global() + self.n_exists
+    }
+
+    /// The constraints of this conjunct.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Column index of dimension `idx` of `kind`.
+    pub fn col(&self, kind: VarKind, idx: usize) -> usize {
+        self.space.col(kind, idx, self.n_exists)
+    }
+
+    /// A fresh zero linear expression with this conjunct's column count.
+    pub fn zero_expr(&self) -> LinExpr {
+        LinExpr::zero(self.n_vars())
+    }
+
+    /// A linear expression selecting dimension `idx` of `kind`.
+    pub fn var_expr(&self, kind: VarKind, idx: usize) -> LinExpr {
+        LinExpr::var(self.n_vars(), self.col(kind, idx))
+    }
+
+    /// Adds a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint's column count does not match this conjunct.
+    pub fn add(&mut self, c: Constraint) {
+        assert_eq!(
+            c.n_vars(),
+            self.n_vars(),
+            "constraint has wrong number of columns"
+        );
+        self.constraints.push(c);
+    }
+
+    /// Adds `count` existential variables and returns the column index of the
+    /// first new one.  Existing constraints are padded with zero columns.
+    pub fn add_exists(&mut self, count: usize) -> usize {
+        let first = self.n_vars();
+        self.n_exists += count;
+        for c in &mut self.constraints {
+            *c = c.extended(count);
+        }
+        first
+    }
+
+    /// Whether the conjunct contains the given point, where `point` lists the
+    /// values of all *global* columns (inputs, then outputs, then parameters).
+    ///
+    /// Existential variables are handled by the exact feasibility test, so
+    /// this is a decision, not a heuristic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len()` differs from the number of global columns.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        assert_eq!(point.len(), self.space.n_global(), "wrong point arity");
+        let mut cs = self.constraints.clone();
+        for (i, &v) in point.iter().enumerate() {
+            let mut e = self.zero_expr();
+            e.set_coeff(i, 1);
+            e.set_constant(-v);
+            cs.push(Constraint::eq(e));
+        }
+        is_feasible(&cs, self.n_vars()).as_bool()
+    }
+
+    /// Whether the conjunct has at least one integer point (for some value of
+    /// the parameters).
+    pub fn is_feasible(&self) -> bool {
+        is_feasible(&self.constraints, self.n_vars()).as_bool()
+    }
+
+
+    /// Intersects two conjuncts over compatible spaces.  The result keeps
+    /// `self`'s space (dimension names) and concatenates the existentials.
+    pub fn intersect(&self, other: &Conjunct) -> Conjunct {
+        assert!(
+            self.space.is_compatible(other.space()),
+            "intersect: incompatible spaces"
+        );
+        let mut result = self.clone();
+        let offset = result.add_exists(other.n_exists);
+        let n_new = result.n_vars();
+        // Map other's columns into result's columns.
+        let mut map = Vec::with_capacity(other.n_vars());
+        for col in 0..other.space.n_global() {
+            map.push(col);
+        }
+        for e in 0..other.n_exists {
+            map.push(offset + e);
+        }
+        for c in other.constraints() {
+            result.constraints.push(c.remapped(&map, n_new));
+        }
+        result
+    }
+
+    /// Returns the conjunct with input and output dims swapped (inverse).
+    pub fn reversed(&self) -> Conjunct {
+        let new_space = self.space.reversed();
+        let n_in = self.space.n_in();
+        let n_out = self.space.n_out();
+        let n_param = self.space.n_param();
+        let mut map = Vec::with_capacity(self.n_vars());
+        // old input i  -> new output i (columns shift by new n_in = old n_out)
+        for i in 0..n_in {
+            map.push(n_out + i);
+        }
+        // old output j -> new input j
+        for j in 0..n_out {
+            map.push(j);
+        }
+        for p in 0..n_param {
+            map.push(n_in + n_out + p);
+        }
+        for e in 0..self.n_exists {
+            map.push(n_in + n_out + n_param + e);
+        }
+        let constraints = self
+            .constraints
+            .iter()
+            .map(|c| c.remapped(&map, self.n_vars()))
+            .collect();
+        Conjunct {
+            space: new_space,
+            n_exists: self.n_exists,
+            constraints,
+        }
+    }
+
+    /// Projects the conjunct onto its input dims (for a relation: the domain;
+    /// for a set this is the identity).  Output dims become existentials.
+    pub fn domain(&self) -> Conjunct {
+        let n_in = self.space.n_in();
+        let n_out = self.space.n_out();
+        let n_param = self.space.n_param();
+        let new_space = self.space.domain_space();
+        // New layout: [in | params | old outs (as exists) | old exists]
+        let mut map = Vec::with_capacity(self.n_vars());
+        for i in 0..n_in {
+            map.push(i);
+        }
+        for j in 0..n_out {
+            map.push(n_in + n_param + j);
+        }
+        for p in 0..n_param {
+            map.push(n_in + p);
+        }
+        for e in 0..self.n_exists {
+            map.push(n_in + n_param + n_out + e);
+        }
+        let constraints = self
+            .constraints
+            .iter()
+            .map(|c| c.remapped(&map, self.n_vars()))
+            .collect();
+        let mut out = Conjunct {
+            space: new_space,
+            n_exists: n_out + self.n_exists,
+            constraints,
+        };
+        out.simplify();
+        out
+    }
+
+    /// Projects the conjunct onto its output dims (the range of a relation).
+    pub fn range(&self) -> Conjunct {
+        self.reversed().domain()
+    }
+
+    /// Simplifies the conjunct in place:
+    ///
+    /// * normalises every constraint;
+    /// * turns matching `e ≥ 0 ∧ −e ≥ 0` pairs into equalities;
+    /// * eliminates existential variables when the elimination is exact
+    ///   (unit-coefficient equalities, single-occurrence equalities via
+    ///   congruences, single-occurrence congruences, variables unconstrained
+    ///   or bounded on only one side, unit-coefficient Fourier–Motzkin);
+    /// * drops duplicate and trivially-true constraints.
+    ///
+    /// Returns `false` when a constraint is *syntactically* recognised as
+    /// unsatisfiable (e.g. `0 ≥ 1`); the conjunct may still be empty even when
+    /// `true` is returned — use [`Conjunct::is_feasible`] for the decision.
+    pub fn simplify(&mut self) -> bool {
+        loop {
+            let mut changed = false;
+
+            // 1. Normalise, drop trivially-true, detect trivially-false.
+            let mut new_constraints = Vec::with_capacity(self.constraints.len());
+            for c in &self.constraints {
+                let n = c.normalized();
+                match n.trivial() {
+                    Some(true) => {
+                        changed = true;
+                        continue;
+                    }
+                    Some(false) => {
+                        self.constraints = vec![n];
+                        return false;
+                    }
+                    None => new_constraints.push(n),
+                }
+            }
+            self.constraints = new_constraints;
+
+            // 2. Opposite inequalities -> equality.
+            changed |= self.promote_equalities();
+
+            // 3. Try to eliminate each existential column.
+            if self.eliminate_one_existential() {
+                changed = true;
+            }
+
+            // 4. Dedup.
+            let before = self.constraints.len();
+            self.constraints
+                .sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            self.constraints.dedup();
+            changed |= self.constraints.len() != before;
+
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    /// Replaces `e ≥ 0 ∧ −e ≥ 0` pairs by `e = 0`.  Returns whether anything
+    /// changed.
+    fn promote_equalities(&mut self) -> bool {
+        let mut changed = false;
+        let mut i = 0;
+        while i < self.constraints.len() {
+            if self.constraints[i].kind() != ConstraintKind::Geq {
+                i += 1;
+                continue;
+            }
+            let neg = self.constraints[i].expr().scale(-1);
+            if let Some(j) = self.constraints.iter().enumerate().position(|(k, c)| {
+                k != i && c.kind() == ConstraintKind::Geq && *c.expr() == neg
+            }) {
+                let expr = self.constraints[i].expr().clone();
+                let (lo, hi) = (i.min(j), i.max(j));
+                self.constraints.remove(hi);
+                self.constraints.remove(lo);
+                self.constraints.push(Constraint::eq(expr));
+                changed = true;
+                // restart scan
+                i = 0;
+            } else {
+                i += 1;
+            }
+        }
+        changed
+    }
+
+    /// Attempts to eliminate a single existential column exactly; returns
+    /// whether one was eliminated.
+    fn eliminate_one_existential(&mut self) -> bool {
+        let global = self.space.n_global();
+        for e in 0..self.n_exists {
+            let col = global + e;
+            let users: Vec<usize> = (0..self.constraints.len())
+                .filter(|&i| self.constraints[i].uses(col))
+                .collect();
+
+            // Unused column: just drop it.
+            if users.is_empty() {
+                self.remove_exists_col(e);
+                return true;
+            }
+
+            // Unit-coefficient equality: substitute everywhere.
+            if let Some(&i) = users.iter().find(|&&i| {
+                self.constraints[i].kind() == ConstraintKind::Eq
+                    && self.constraints[i].expr().coeff(col).abs() == 1
+            }) {
+                let eq = self.constraints[i].clone();
+                let a = eq.expr().coeff(col);
+                let mut value = eq.expr().clone();
+                value.set_coeff(col, 0);
+                let value = value.scale(-a);
+                let mut next = Vec::with_capacity(self.constraints.len() - 1);
+                for (j, c) in self.constraints.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    next.push(c.substitute(col, &value));
+                }
+                self.constraints = next;
+                self.remove_exists_col(e);
+                return true;
+            }
+
+            // Equality with a non-unit coefficient: ∃e: a·e + f = 0 pins
+            // e = −f/a, so every other constraint g + b·e (op) 0 can be
+            // scaled by |a| > 0 and rewritten as |a|·g − sign(a)·b·f (op) 0
+            // (with the modulus also scaled for congruences), plus the
+            // divisibility condition f ≡ 0 (mod |a|).  This is exact.
+            if let Some(&i) = users.iter().find(|&&i| {
+                self.constraints[i].kind() == ConstraintKind::Eq
+                    && self.constraints[i].expr().coeff(col) != 0
+            }) {
+                let eq = self.constraints[i].clone();
+                let a = eq.expr().coeff(col);
+                let mut f = eq.expr().clone();
+                f.set_coeff(col, 0);
+                let mut next = Vec::with_capacity(self.constraints.len());
+                for (j, c) in self.constraints.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    let b = c.expr().coeff(col);
+                    if b == 0 {
+                        next.push(c.clone());
+                        continue;
+                    }
+                    // |a|·g  with the b·e term removed, then − sign(a)·b·f.
+                    let mut g = c.expr().clone();
+                    g.set_coeff(col, 0);
+                    let mut scaled = g.scale(a.abs());
+                    scaled.add_scaled(&f, -a.signum() * b);
+                    next.push(match c.kind() {
+                        ConstraintKind::Eq => Constraint::eq(scaled),
+                        ConstraintKind::Geq => Constraint::geq(scaled),
+                        ConstraintKind::Mod => Constraint::congruent(scaled, c.modulus() * a.abs()),
+                    });
+                }
+                if a.abs() >= 2 {
+                    next.push(Constraint::congruent(f, a.abs()));
+                }
+                self.constraints = next;
+                self.remove_exists_col(e);
+                return true;
+            }
+
+            // Single occurrence in an equality with coefficient |a| >= 2 and
+            // nowhere else: ∃e: f + a·e = 0  ⇔  f ≡ 0 (mod |a|).
+            if users.len() == 1 {
+                let i = users[0];
+                let c = &self.constraints[i];
+                let a = c.expr().coeff(col);
+                match c.kind() {
+                    ConstraintKind::Eq => {
+                        let mut f = c.expr().clone();
+                        f.set_coeff(col, 0);
+                        let m = a.abs();
+                        let replacement = if m >= 2 {
+                            Some(Constraint::congruent(f, m))
+                        } else {
+                            None // |a| == 1 handled above
+                        };
+                        if let Some(r) = replacement {
+                            self.constraints[i] = r;
+                            self.remove_exists_col(e);
+                            return true;
+                        }
+                    }
+                    ConstraintKind::Mod => {
+                        // ∃e: f + a·e ≡ 0 (mod m)  ⇔  f ≡ 0 (mod gcd(a, m))
+                        let m = c.modulus();
+                        let g = gcd(a, m);
+                        let mut f = c.expr().clone();
+                        f.set_coeff(col, 0);
+                        if g >= 2 {
+                            self.constraints[i] = Constraint::congruent(f, g);
+                        } else {
+                            self.constraints.remove(i);
+                        }
+                        self.remove_exists_col(e);
+                        return true;
+                    }
+                    ConstraintKind::Geq => {
+                        // Bounded on one side only: the constraint is always
+                        // satisfiable by choosing e large/small enough.
+                        self.constraints.remove(i);
+                        self.remove_exists_col(e);
+                        return true;
+                    }
+                }
+            }
+
+            // Only inequalities use it: exact FM elimination when one side has
+            // unit coefficients, or drop when bounded on a single side.
+            if users
+                .iter()
+                .all(|&i| self.constraints[i].kind() == ConstraintKind::Geq)
+            {
+                let lowers: Vec<usize> = users
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.constraints[i].expr().coeff(col) > 0)
+                    .collect();
+                let uppers: Vec<usize> = users
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.constraints[i].expr().coeff(col) < 0)
+                    .collect();
+                if lowers.is_empty() || uppers.is_empty() {
+                    let keep: Vec<Constraint> = self
+                        .constraints
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !users.contains(i))
+                        .map(|(_, c)| c.clone())
+                        .collect();
+                    self.constraints = keep;
+                    self.remove_exists_col(e);
+                    return true;
+                }
+                let exact = lowers
+                    .iter()
+                    .all(|&i| self.constraints[i].expr().coeff(col) == 1)
+                    || uppers
+                        .iter()
+                        .all(|&i| self.constraints[i].expr().coeff(col) == -1);
+                if exact {
+                    let mut new_cs: Vec<Constraint> = self
+                        .constraints
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !users.contains(i))
+                        .map(|(_, c)| c.clone())
+                        .collect();
+                    for &li in &lowers {
+                        for &ui in &uppers {
+                            let lo = self.constraints[li].expr();
+                            let up = self.constraints[ui].expr();
+                            let a = lo.coeff(col);
+                            let b = -up.coeff(col);
+                            let mut combined = up.scale(a);
+                            combined.add_scaled(lo, b);
+                            new_cs.push(Constraint::geq(combined));
+                        }
+                    }
+                    self.constraints = new_cs;
+                    self.remove_exists_col(e);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Removes existential column `e` (0-based among the existentials).  All
+    /// constraints must no longer use it.
+    fn remove_exists_col(&mut self, e: usize) {
+        let col = self.space.n_global() + e;
+        for c in &mut self.constraints {
+            *c = c.without_col(col);
+        }
+        self.n_exists -= 1;
+    }
+
+    /// Whether the conjunct has been fully reduced to constraints over the
+    /// global columns only (a requirement for exact set difference).
+    pub fn is_quantifier_free(&self) -> bool {
+        self.n_exists == 0
+    }
+
+    /// Internal constructor used by the relation algebra.
+    pub(crate) fn from_parts(
+        space: Space,
+        n_exists: usize,
+        constraints: Vec<Constraint>,
+    ) -> Conjunct {
+        let c = Conjunct {
+            space,
+            n_exists,
+            constraints,
+        };
+        for cons in &c.constraints {
+            assert_eq!(cons.n_vars(), c.n_vars());
+        }
+        c
+    }
+
+    /// Replaces the space (for renaming dims); arities must match.
+    pub(crate) fn with_space(mut self, space: Space) -> Conjunct {
+        assert_eq!(space.n_in(), self.space.n_in());
+        assert_eq!(space.n_out(), self.space.n_out());
+        assert_eq!(space.n_param(), self.space.n_param());
+        self.space = space;
+        self
+    }
+
+    /// If, for output dimension `d`, the constraints force
+    /// `out_d = Σ aᵢ·in_i + Σ bⱼ·param_j + c`, returns that affine expression
+    /// over `[in dims | param dims]` columns plus constant.  Used by the
+    /// transitive-closure code to recognise uniform (translation) relations.
+    pub fn out_dim_as_affine_of_inputs(&self, d: usize) -> Option<(Vec<i64>, Vec<i64>, i64)> {
+        let n_in = self.space.n_in();
+        let n_out = self.space.n_out();
+        let n_param = self.space.n_param();
+        let out_col = self.col(VarKind::Out, d);
+        for c in &self.constraints {
+            if c.kind() != ConstraintKind::Eq {
+                continue;
+            }
+            let a = c.expr().coeff(out_col);
+            if a.abs() != 1 {
+                continue;
+            }
+            // Check no other output dim or existential appears.
+            let mut ok = true;
+            for other in 0..n_out {
+                if other != d && c.expr().coeff(self.col(VarKind::Out, other)) != 0 {
+                    ok = false;
+                    break;
+                }
+            }
+            for e in 0..self.n_exists {
+                if c.expr().coeff(self.col(VarKind::Exists, e)) != 0 {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // a*out + f = 0  =>  out = -f/a = -a*f (a = ±1)
+            let mut ins = Vec::with_capacity(n_in);
+            for i in 0..n_in {
+                ins.push(-a * c.expr().coeff(self.col(VarKind::In, i)));
+            }
+            let mut pars = Vec::with_capacity(n_param);
+            for p in 0..n_param {
+                pars.push(-a * c.expr().coeff(self.col(VarKind::Param, p)));
+            }
+            let konst = -a * c.expr().constant();
+            return Some((ins, pars, konst));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space_1_1() -> Space {
+        Space::relation(&["x"], &["y"], &[])
+    }
+
+    #[test]
+    fn universe_is_feasible_and_contains_everything() {
+        let c = Conjunct::universe(space_1_1());
+        assert!(c.is_feasible());
+        assert!(c.contains(&[5, -3]));
+        assert!(c.is_quantifier_free());
+    }
+
+    #[test]
+    fn simple_membership() {
+        // { [x] -> [y] : y = 2x and 0 <= x < 10 }
+        let mut c = Conjunct::universe(space_1_1());
+        let mut eq = c.zero_expr();
+        eq.set_coeff(c.col(VarKind::Out, 0), 1);
+        eq.set_coeff(c.col(VarKind::In, 0), -2);
+        c.add(Constraint::eq(eq));
+        let mut lo = c.zero_expr();
+        lo.set_coeff(c.col(VarKind::In, 0), 1);
+        c.add(Constraint::geq(lo));
+        let mut hi = c.zero_expr();
+        hi.set_coeff(c.col(VarKind::In, 0), -1);
+        hi.set_constant(9);
+        c.add(Constraint::geq(hi));
+
+        assert!(c.contains(&[3, 6]));
+        assert!(!c.contains(&[3, 7]));
+        assert!(!c.contains(&[10, 20]));
+        assert!(c.is_feasible());
+    }
+
+    #[test]
+    fn existential_stride_becomes_congruence() {
+        // { [x] -> [y] : exists k : x = 2k } — simplification should turn the
+        // existential equality into x ≡ 0 (mod 2) and drop the variable.
+        let mut c = Conjunct::universe(space_1_1());
+        let k = c.add_exists(1);
+        let mut eq = c.zero_expr();
+        eq.set_coeff(c.col(VarKind::In, 0), 1);
+        eq.set_coeff(k, -2);
+        c.add(Constraint::eq(eq));
+        assert!(c.simplify());
+        assert!(c.is_quantifier_free());
+        assert_eq!(c.constraints().len(), 1);
+        assert_eq!(c.constraints()[0].kind(), ConstraintKind::Mod);
+        assert!(c.contains(&[4, 0]));
+        assert!(!c.contains(&[5, 0]));
+    }
+
+    #[test]
+    fn existential_with_unit_coefficient_is_substituted() {
+        // exists k : x = k + 1 and y = 2k  =>  y = 2x - 2
+        let mut c = Conjunct::universe(space_1_1());
+        let k = c.add_exists(1);
+        let mut e1 = c.zero_expr();
+        e1.set_coeff(c.col(VarKind::In, 0), 1);
+        e1.set_coeff(k, -1);
+        e1.set_constant(-1);
+        c.add(Constraint::eq(e1));
+        let mut e2 = c.zero_expr();
+        e2.set_coeff(c.col(VarKind::Out, 0), 1);
+        e2.set_coeff(k, -2);
+        c.add(Constraint::eq(e2));
+        assert!(c.simplify());
+        assert!(c.is_quantifier_free());
+        assert!(c.contains(&[3, 4]));
+        assert!(!c.contains(&[3, 5]));
+    }
+
+    #[test]
+    fn intersect_concatenates_constraints() {
+        let mut a = Conjunct::universe(space_1_1());
+        let mut lo = a.zero_expr();
+        lo.set_coeff(0, 1);
+        a.add(Constraint::geq(lo)); // x >= 0
+        let mut b = Conjunct::universe(space_1_1());
+        let mut hi = b.zero_expr();
+        hi.set_coeff(0, -1);
+        hi.set_constant(5);
+        b.add(Constraint::geq(hi)); // x <= 5
+        let both = a.intersect(&b);
+        assert!(both.contains(&[3, 0]));
+        assert!(!both.contains(&[-1, 0]));
+        assert!(!both.contains(&[6, 0]));
+    }
+
+    #[test]
+    fn reversed_swaps_roles() {
+        // y = x + 1  reversed  becomes  (new in = old out) y' = x' - 1 check
+        let mut c = Conjunct::universe(space_1_1());
+        let mut eq = c.zero_expr();
+        eq.set_coeff(c.col(VarKind::Out, 0), 1);
+        eq.set_coeff(c.col(VarKind::In, 0), -1);
+        eq.set_constant(-1);
+        c.add(Constraint::eq(eq)); // y - x - 1 = 0, i.e. y = x + 1
+        assert!(c.contains(&[2, 3]));
+        let r = c.reversed();
+        assert!(r.contains(&[3, 2]));
+        assert!(!r.contains(&[2, 3]));
+    }
+
+    #[test]
+    fn domain_projects_out_outputs() {
+        // { [x] -> [y] : y = 2x and 0 <= x <= 3 }, domain = { [x] : 0<=x<=3 }
+        let mut c = Conjunct::universe(space_1_1());
+        let mut eq = c.zero_expr();
+        eq.set_coeff(1, 1);
+        eq.set_coeff(0, -2);
+        c.add(Constraint::eq(eq));
+        let mut lo = c.zero_expr();
+        lo.set_coeff(0, 1);
+        c.add(Constraint::geq(lo));
+        let mut hi = c.zero_expr();
+        hi.set_coeff(0, -1);
+        hi.set_constant(3);
+        c.add(Constraint::geq(hi));
+        let d = c.domain();
+        assert_eq!(d.space().n_out(), 0);
+        assert!(d.contains(&[0]));
+        assert!(d.contains(&[3]));
+        assert!(!d.contains(&[4]));
+    }
+
+    #[test]
+    fn promote_opposite_inequalities_to_equality() {
+        let mut c = Conjunct::universe(space_1_1());
+        let mut e = c.zero_expr();
+        e.set_coeff(0, 1);
+        e.set_coeff(1, -1);
+        c.add(Constraint::geq(e.clone())); // x - y >= 0
+        c.add(Constraint::geq(e.scale(-1))); // y - x >= 0
+        c.simplify();
+        assert_eq!(c.constraints().len(), 1);
+        assert_eq!(c.constraints()[0].kind(), ConstraintKind::Eq);
+    }
+
+    #[test]
+    fn uniform_out_dim_recognition() {
+        // y = x + 3
+        let mut c = Conjunct::universe(space_1_1());
+        let mut eq = c.zero_expr();
+        eq.set_coeff(1, 1);
+        eq.set_coeff(0, -1);
+        eq.set_constant(-3);
+        c.add(Constraint::eq(eq));
+        let (ins, pars, k) = c.out_dim_as_affine_of_inputs(0).expect("affine");
+        assert_eq!(ins, vec![1]);
+        assert!(pars.is_empty());
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn infeasible_is_detected() {
+        let mut c = Conjunct::universe(space_1_1());
+        let mut lo = c.zero_expr();
+        lo.set_coeff(0, 1);
+        lo.set_constant(-10); // x >= 10
+        c.add(Constraint::geq(lo));
+        let mut hi = c.zero_expr();
+        hi.set_coeff(0, -1);
+        hi.set_constant(5); // x <= 5
+        c.add(Constraint::geq(hi));
+        assert!(!c.is_feasible());
+    }
+
+    #[test]
+    fn fm_elimination_of_inequality_only_existential() {
+        // exists e : x <= e <= x + 1 and 0 <= e <= 10   projects to
+        // x <= 10 and x + 1 >= 0.
+        let mut c = Conjunct::universe(space_1_1());
+        let e = c.add_exists(1);
+        let x = c.col(VarKind::In, 0);
+        let mk = |pairs: &[(usize, i64)], k: i64, n: usize| {
+            let mut le = LinExpr::zero(n);
+            for &(col, coef) in pairs {
+                le.set_coeff(col, coef);
+            }
+            le.set_constant(k);
+            le
+        };
+        let n = c.n_vars();
+        c.add(Constraint::geq(mk(&[(e, 1), (x, -1)], 0, n))); // e >= x
+        c.add(Constraint::geq(mk(&[(e, -1), (x, 1)], 1, n))); // e <= x+1
+        c.add(Constraint::geq(mk(&[(e, 1)], 0, n))); // e >= 0
+        c.add(Constraint::geq(mk(&[(e, -1)], 10, n))); // e <= 10
+        c.simplify();
+        assert!(c.is_quantifier_free());
+        assert!(c.contains(&[10, 0]));
+        assert!(c.contains(&[-1, 0]));
+        assert!(!c.contains(&[11, 0]));
+        assert!(!c.contains(&[-2, 0]));
+    }
+}

@@ -1,0 +1,191 @@
+//! Textual rendering of sets and relations in the `{ [i] -> [j] : ... }`
+//! notation also accepted by the parser.
+
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::conjunct::Conjunct;
+use crate::linexpr::LinExpr;
+use crate::relation::Relation;
+use crate::set::Set;
+use crate::space::Space;
+use std::fmt;
+
+/// Renders one linear expression with the given column names.
+fn fmt_expr(e: &LinExpr, names: &[String], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let mut first = true;
+    for (i, name) in names.iter().enumerate() {
+        let a = e.coeff(i);
+        if a == 0 {
+            continue;
+        }
+        if first {
+            if a == 1 {
+                write!(f, "{name}")?;
+            } else if a == -1 {
+                write!(f, "-{name}")?;
+            } else {
+                write!(f, "{a}{name}")?;
+            }
+            first = false;
+        } else if a > 0 {
+            if a == 1 {
+                write!(f, " + {name}")?;
+            } else {
+                write!(f, " + {a}{name}")?;
+            }
+        } else if a == -1 {
+            write!(f, " - {name}")?;
+        } else {
+            write!(f, " - {}{name}", -a)?;
+        }
+    }
+    let c = e.constant();
+    if first {
+        write!(f, "{c}")?;
+    } else if c > 0 {
+        write!(f, " + {c}")?;
+    } else if c < 0 {
+        write!(f, " - {}", -c)?;
+    }
+    Ok(())
+}
+
+/// Helper that adapts `fmt_expr` to `format!`.
+struct ExprDisplay<'a> {
+    expr: &'a LinExpr,
+    names: &'a [String],
+}
+
+impl fmt::Display for ExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self.expr, self.names, f)
+    }
+}
+
+fn constraint_string(c: &Constraint, names: &[String]) -> String {
+    let e = ExprDisplay {
+        expr: c.expr(),
+        names,
+    };
+    match c.kind() {
+        ConstraintKind::Eq => format!("{e} = 0"),
+        ConstraintKind::Geq => format!("{e} >= 0"),
+        ConstraintKind::Mod => format!("({e}) % {} = 0", c.modulus()),
+    }
+}
+
+fn conjunct_body(c: &Conjunct, space: &Space) -> String {
+    let mut names: Vec<String> = Vec::with_capacity(c.n_vars());
+    names.extend(space.in_vars().iter().cloned());
+    names.extend(space.out_vars().iter().cloned());
+    names.extend(space.params().iter().cloned());
+    for e in 0..c.n_exists() {
+        names.push(format!("e{e}"));
+    }
+    let mut body = String::new();
+    if c.n_exists() > 0 {
+        let evars: Vec<String> = (0..c.n_exists()).map(|e| format!("e{e}")).collect();
+        body.push_str(&format!("exists {} : ", evars.join(", ")));
+    }
+    if c.constraints().is_empty() {
+        body.push_str("true");
+    } else {
+        let parts: Vec<String> = c
+            .constraints()
+            .iter()
+            .map(|cons| constraint_string(cons, &names))
+            .collect();
+        body.push_str(&parts.join(" and "));
+    }
+    body
+}
+
+fn fmt_relation_like(space: &Space, conjuncts: &[Conjunct], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if space.n_param() > 0 {
+        write!(f, "[{}] -> ", space.params().join(", "))?;
+    }
+    write!(f, "{{ ")?;
+    if conjuncts.is_empty() {
+        write!(f, "[{}]", space.in_vars().join(", "))?;
+        if space.n_out() > 0 {
+            write!(f, " -> [{}]", space.out_vars().join(", "))?;
+        }
+        write!(f, " : false }}")?;
+        return Ok(());
+    }
+    let mut first = true;
+    for c in conjuncts {
+        if !first {
+            write!(f, " or ")?;
+        }
+        first = false;
+        write!(f, "[{}]", space.in_vars().join(", "))?;
+        if space.n_out() > 0 {
+            write!(f, " -> [{}]", space.out_vars().join(", "))?;
+        }
+        write!(f, " : {}", conjunct_body(c, space))?;
+    }
+    write!(f, " }}")
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_relation_like(self.space(), self.conjuncts(), f)
+    }
+}
+
+impl fmt::Display for Set {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_relation_like(self.space(), self.conjuncts(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Relation, Set};
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let texts = [
+            "{ [i] -> [2i] : 0 <= i < 10 }",
+            "[N] -> { [i] -> [i+1] : 0 <= i < N }",
+            "{ [k] -> [k] : k % 2 = 0 and 0 <= k < 100 }",
+            "{ [i] -> [j] : 0 <= i < 4 and 0 <= j <= i }",
+            "{ [x] -> [y] : exists k : x = 2k - 2 and y = k - 1 and 1 <= k <= 1024 }",
+        ];
+        for t in texts {
+            let r = Relation::parse(t).expect("parse original");
+            let printed = format!("{r}");
+            let back = Relation::parse(&printed)
+                .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+            assert!(
+                r.is_equal(&back).unwrap(),
+                "round trip changed meaning: {t} -> {printed}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_of_set_and_empty() {
+        let s = Set::parse("{ [i] : 0 <= i < 4 }").unwrap();
+        let printed = format!("{s}");
+        let back = Set::parse(&printed).unwrap();
+        assert!(s.is_equal(&back).unwrap());
+
+        let e = Relation::parse("{ [i] -> [i] : 1 = 0 }").unwrap();
+        // Even a degenerate relation should render to something parseable.
+        let printed = format!("{}", e.simplified(true));
+        let back = Relation::parse(&printed).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn union_renders_with_or() {
+        let a = Relation::parse("{ [i] -> [i] : 0 <= i < 5 }").unwrap();
+        let b = Relation::parse("{ [i] -> [i] : 10 <= i < 15 }").unwrap();
+        let u = a.union(&b).unwrap();
+        let printed = format!("{u}");
+        assert!(printed.contains(" or "));
+        let back = Relation::parse(&printed).unwrap();
+        assert!(u.is_equal(&back).unwrap());
+    }
+}

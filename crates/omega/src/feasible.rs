@@ -1,0 +1,570 @@
+//! Exact integer feasibility of a conjunction of affine constraints.
+//!
+//! This module implements the decision procedure of the Omega test
+//! (W. Pugh, *The Omega test: a fast and practical integer programming
+//! algorithm for dependence analysis*, 1991) specialised to what the
+//! equivalence checker needs: given a list of equalities and inequalities
+//! over `n` integer variables (all existentially quantified), decide whether
+//! an integer solution exists.
+//!
+//! The procedure:
+//!
+//! 1. **Equality elimination.**  Equalities are normalised by their gcd (a
+//!    non-divisible constant proves infeasibility) and eliminated one by one:
+//!    a variable with a unit coefficient is substituted away; otherwise
+//!    Pugh's *mod-reduction* introduces a fresh variable `σ` and an auxiliary
+//!    equality with a guaranteed unit coefficient, shrinking coefficients
+//!    until substitution applies.
+//! 2. **Inequality elimination (Fourier–Motzkin with shadows).**  Variables
+//!    are eliminated pairwise.  When either side of every bound pair has a
+//!    unit coefficient the elimination is exact.  Otherwise the *real shadow*
+//!    (unsatisfiable ⇒ unsatisfiable) and the *dark shadow*
+//!    (satisfiable ⇒ satisfiable) are tried, and the remaining gap is closed
+//!    by *splinters*: a finite case split on `a·x + f = j` that reduces to the
+//!    equality case.
+//!
+//! The entry point is [`is_feasible`].  A work limit bounds the (rare)
+//! exponential blow-up; when it is hit the procedure conservatively reports
+//! "feasible", which is the sound direction for the equivalence checker
+//! (it can only cause a spurious *inequivalence* verdict, never a spurious
+//! equivalence).
+
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::linexpr::{floor_div, mod_hat, LinExpr};
+
+/// Maximum number of elimination steps before giving up and conservatively
+/// reporting "feasible".  Generous for the problem sizes the checker builds.
+const WORK_LIMIT: usize = 200_000;
+
+/// Outcome of a feasibility query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Feasibility {
+    /// An integer solution exists.
+    Feasible,
+    /// No integer solution exists.
+    Infeasible,
+    /// The work limit was exceeded; treat as (possibly) feasible.
+    Unknown,
+}
+
+impl Feasibility {
+    /// Collapses `Unknown` into the conservative `true`.
+    pub(crate) fn as_bool(self) -> bool {
+        !matches!(self, Feasibility::Infeasible)
+    }
+}
+
+/// Decides integer feasibility of the conjunction of `constraints` over
+/// `n_vars` variables (all of them existential for the purposes of the test).
+///
+/// `Mod` constraints are lowered to equalities with a fresh variable before
+/// the elimination starts.
+pub(crate) fn is_feasible(constraints: &[Constraint], n_vars: usize) -> Feasibility {
+    let mut p = Problem::new(n_vars);
+    for c in constraints {
+        if !p.add_constraint(c) {
+            return Feasibility::Infeasible;
+        }
+    }
+    let mut work = 0usize;
+    p.solve(&mut work)
+}
+
+/// Internal solver state: equalities and inequalities as raw linear
+/// expressions (`= 0` / `≥ 0`) over a growable set of columns.
+struct Problem {
+    n_vars: usize,
+    eqs: Vec<LinExpr>,
+    geqs: Vec<LinExpr>,
+}
+
+impl Problem {
+    fn new(n_vars: usize) -> Self {
+        Problem {
+            n_vars,
+            eqs: Vec::new(),
+            geqs: Vec::new(),
+        }
+    }
+
+    /// Adds a constraint; returns `false` if it is trivially unsatisfiable.
+    fn add_constraint(&mut self, c: &Constraint) -> bool {
+        let c = c.normalized();
+        match c.trivial() {
+            Some(true) => return true,
+            Some(false) => return false,
+            None => {}
+        }
+        match c.kind() {
+            ConstraintKind::Eq => self.eqs.push(self.fit(c.expr())),
+            ConstraintKind::Geq => self.geqs.push(self.fit(c.expr())),
+            ConstraintKind::Mod => {
+                // f ≡ 0 (mod m)  ⇔  ∃ w : f − m·w = 0
+                let w = self.add_var();
+                let mut e = self.fit(c.expr());
+                e.set_coeff(w, -c.modulus());
+                self.eqs.push(e);
+            }
+        }
+        true
+    }
+
+    /// Pads an expression with zero columns up to the current variable count.
+    fn fit(&self, e: &LinExpr) -> LinExpr {
+        if e.n_vars() == self.n_vars {
+            e.clone()
+        } else {
+            assert!(e.n_vars() < self.n_vars);
+            e.extended(self.n_vars - e.n_vars())
+        }
+    }
+
+    /// Adds a fresh variable column, padding all stored expressions.
+    fn add_var(&mut self) -> usize {
+        let col = self.n_vars;
+        self.n_vars += 1;
+        for e in self.eqs.iter_mut().chain(self.geqs.iter_mut()) {
+            *e = e.extended(1);
+        }
+        col
+    }
+
+    fn solve(&mut self, work: &mut usize) -> Feasibility {
+        loop {
+            *work += 1;
+            if *work > WORK_LIMIT {
+                return Feasibility::Unknown;
+            }
+            if !self.normalize() {
+                return Feasibility::Infeasible;
+            }
+            if let Some(eq_idx) = self.pick_equality() {
+                if !self.eliminate_equality(eq_idx) {
+                    return Feasibility::Infeasible;
+                }
+                continue;
+            }
+            // Only inequalities remain.
+            return self.solve_inequalities(work);
+        }
+    }
+
+    /// Normalises all stored expressions; returns `false` on a trivially
+    /// unsatisfiable constraint.
+    fn normalize(&mut self) -> bool {
+        let mut i = 0;
+        while i < self.eqs.len() {
+            let e = &self.eqs[i];
+            let g = e.coeff_gcd();
+            if g == 0 {
+                if e.constant() != 0 {
+                    return false;
+                }
+                self.eqs.swap_remove(i);
+                continue;
+            }
+            if e.constant() % g != 0 {
+                return false;
+            }
+            if g > 1 {
+                self.eqs[i] = e.exact_div(g);
+            }
+            i += 1;
+        }
+        let mut i = 0;
+        while i < self.geqs.len() {
+            let e = &self.geqs[i];
+            let g = e.coeff_gcd();
+            if g == 0 {
+                if e.constant() < 0 {
+                    return false;
+                }
+                self.geqs.swap_remove(i);
+                continue;
+            }
+            if g > 1 {
+                let mut coeffs = Vec::with_capacity(e.n_vars());
+                for c in 0..e.n_vars() {
+                    coeffs.push(e.coeff(c) / g);
+                }
+                self.geqs[i] = LinExpr::from_coeffs(coeffs, floor_div(e.constant(), g));
+            }
+            i += 1;
+        }
+        // Drop duplicate inequalities (cheap syntactic dedup keeps FM small).
+        self.geqs.sort_by(|a, b| (a.coeffs(), a.constant()).cmp(&(b.coeffs(), b.constant())));
+        self.geqs.dedup();
+        true
+    }
+
+    fn pick_equality(&self) -> Option<usize> {
+        if self.eqs.is_empty() {
+            None
+        } else {
+            // Prefer an equality that has a unit coefficient: cheapest.
+            for (i, e) in self.eqs.iter().enumerate() {
+                if (0..self.n_vars).any(|c| e.coeff(c).abs() == 1) {
+                    return Some(i);
+                }
+            }
+            Some(0)
+        }
+    }
+
+    /// Eliminates one equality; returns `false` if infeasibility is detected.
+    fn eliminate_equality(&mut self, idx: usize) -> bool {
+        let e = self.eqs.swap_remove(idx);
+        // Find a unit-coefficient variable.
+        if let Some(col) = (0..self.n_vars).find(|&c| e.coeff(c).abs() == 1) {
+            let a = e.coeff(col);
+            // a*x + rest = 0  =>  x = -rest / a  (a = ±1)
+            let mut value = e.clone();
+            value.set_coeff(col, 0);
+            let value = value.scale(-a); // since a*a = 1
+            for f in self.eqs.iter_mut().chain(self.geqs.iter_mut()) {
+                *f = f.substitute(col, &value);
+            }
+            return true;
+        }
+        // No unit coefficient: Pugh's mod-reduction.
+        let col = (0..self.n_vars)
+            .filter(|&c| e.coeff(c) != 0)
+            .min_by_key(|&c| e.coeff(c).abs())
+            .expect("non-trivial equality");
+        let ak = e.coeff(col);
+        let m = ak.abs() + 1;
+        let sigma = self.add_var();
+        let e = e.extended(1);
+        // Build:  Σ mod̂(aᵢ, m)·xᵢ + mod̂(c, m) − m·σ = 0
+        let mut aux = LinExpr::zero(self.n_vars);
+        for c in 0..self.n_vars - 1 {
+            aux.set_coeff(c, mod_hat(e.coeff(c), m));
+        }
+        aux.set_coeff(sigma, -m);
+        aux.set_constant(mod_hat(e.constant(), m));
+        // mod̂(ak, m) is ∓1, so `aux` has a unit coefficient on `col`:
+        debug_assert_eq!(aux.coeff(col).abs(), 1);
+        self.eqs.push(e);
+        self.eqs.push(aux);
+        true
+    }
+
+    /// Decides feasibility when only inequalities remain.
+    fn solve_inequalities(&mut self, work: &mut usize) -> Feasibility {
+        // Find a variable that is still used.
+        let used: Vec<usize> = (0..self.n_vars)
+            .filter(|&c| self.geqs.iter().any(|e| e.coeff(c) != 0))
+            .collect();
+        if used.is_empty() {
+            // All constraints are constants; normalize() already removed the
+            // satisfied ones and reported the violated ones.
+            return if self.geqs.iter().all(|e| e.constant() >= 0) {
+                Feasibility::Feasible
+            } else {
+                Feasibility::Infeasible
+            };
+        }
+
+        // Choose the variable whose elimination is cheapest, preferring exact
+        // ones (unit coefficients on one side of every bound pair).
+        let mut best: Option<(bool, usize, usize)> = None; // (exact, cost, col)
+        for &col in &used {
+            let lowers = self.geqs.iter().filter(|e| e.coeff(col) > 0).count();
+            let uppers = self.geqs.iter().filter(|e| e.coeff(col) < 0).count();
+            if lowers == 0 || uppers == 0 {
+                // Unbounded on one side: dropping its constraints is exact and
+                // free; do it immediately.
+                self.geqs.retain(|e| e.coeff(col) == 0);
+                return self.solve_inequalities(work);
+            }
+            let exact = self.geqs.iter().all(|e| e.coeff(col) >= -1)
+                || self.geqs.iter().all(|e| e.coeff(col) <= 1);
+            let cost = lowers * uppers;
+            let candidate = (exact, cost, col);
+            best = Some(match best {
+                None => candidate,
+                Some(b) => {
+                    // Prefer exact, then lower cost.
+                    if (candidate.0 && !b.0) || (candidate.0 == b.0 && candidate.1 < b.1) {
+                        candidate
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        let (exact, _cost, col) = best.expect("at least one used variable");
+
+        let lowers: Vec<LinExpr> = self
+            .geqs
+            .iter()
+            .filter(|e| e.coeff(col) > 0)
+            .cloned()
+            .collect();
+        let uppers: Vec<LinExpr> = self
+            .geqs
+            .iter()
+            .filter(|e| e.coeff(col) < 0)
+            .cloned()
+            .collect();
+        let rest: Vec<LinExpr> = self
+            .geqs
+            .iter()
+            .filter(|e| e.coeff(col) == 0)
+            .cloned()
+            .collect();
+
+        // Build the two shadows.
+        let mut real = Problem::new(self.n_vars);
+        let mut dark = Problem::new(self.n_vars);
+        real.geqs.extend(rest.iter().cloned());
+        dark.geqs.extend(rest.iter().cloned());
+        for lo in &lowers {
+            let a = lo.coeff(col);
+            for up in &uppers {
+                let b = -up.coeff(col);
+                // a·x + f ≥ 0  ∧  −b·x + g ≥ 0   ⇒ (reals)  a·g + b·f ≥ 0
+                let mut combined = up.scale(a);
+                combined.add_scaled(lo, b);
+                debug_assert_eq!(combined.coeff(col), 0);
+                real.geqs.push(combined.clone());
+                let mut darkc = combined;
+                darkc.set_constant(darkc.constant() - (a - 1) * (b - 1));
+                dark.geqs.push(darkc);
+            }
+        }
+
+        *work += lowers.len() * uppers.len();
+        let real_result = real.solve(work);
+        if real_result == Feasibility::Infeasible {
+            return Feasibility::Infeasible;
+        }
+        if exact {
+            // Real and dark shadow coincide: the elimination is exact.
+            return real_result;
+        }
+        match dark.solve(work) {
+            Feasibility::Feasible => return Feasibility::Feasible,
+            Feasibility::Unknown => return Feasibility::Unknown,
+            Feasibility::Infeasible => {}
+        }
+
+        // Gap between real and dark shadow: splinter on each lower bound.
+        let bmax = uppers.iter().map(|e| -e.coeff(col)).max().unwrap_or(1);
+        for lo in &lowers {
+            let a = lo.coeff(col);
+            let max_j = (a * bmax - a - bmax) / bmax;
+            for j in 0..=max_j.max(0) {
+                *work += 1;
+                if *work > WORK_LIMIT {
+                    return Feasibility::Unknown;
+                }
+                let mut sub = Problem::new(self.n_vars);
+                sub.geqs = self.geqs.clone();
+                // a·x + f = j
+                let mut eq = lo.clone();
+                eq.set_constant(eq.constant() - j);
+                sub.eqs.push(eq);
+                match sub.solve(work) {
+                    Feasibility::Feasible => return Feasibility::Feasible,
+                    Feasibility::Unknown => return Feasibility::Unknown,
+                    Feasibility::Infeasible => {}
+                }
+            }
+        }
+        Feasibility::Infeasible
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(coeffs: &[i64], c: i64) -> LinExpr {
+        LinExpr::from_coeffs(coeffs.to_vec(), c)
+    }
+
+    fn feasible(cs: &[Constraint], n: usize) -> bool {
+        is_feasible(cs, n).as_bool()
+    }
+
+    #[test]
+    fn empty_constraint_set_is_feasible() {
+        assert!(feasible(&[], 0));
+        assert!(feasible(&[], 3));
+    }
+
+    #[test]
+    fn simple_bounds() {
+        // 0 <= x <= 10
+        let cs = vec![
+            Constraint::geq(le(&[1], 0)),
+            Constraint::geq(le(&[-1], 10)),
+        ];
+        assert!(feasible(&cs, 1));
+        // 5 <= x <= 3  is empty
+        let cs = vec![
+            Constraint::geq(le(&[1], -5)),
+            Constraint::geq(le(&[-1], 3)),
+        ];
+        assert!(!feasible(&cs, 1));
+    }
+
+    #[test]
+    fn equality_with_gcd_violation() {
+        // 2x = 5 has no integer solution
+        let cs = vec![Constraint::eq(le(&[2], -5))];
+        assert!(!feasible(&cs, 1));
+        // 2x = 6 does
+        let cs = vec![Constraint::eq(le(&[2], -6))];
+        assert!(feasible(&cs, 1));
+    }
+
+    #[test]
+    fn two_var_system() {
+        // x = 2y, 1 <= x <= 3, y >= 1  =>  x = 2, y = 1
+        let cs = vec![
+            Constraint::eq(le(&[1, -2], 0)),
+            Constraint::geq(le(&[1, 0], -1)),
+            Constraint::geq(le(&[-1, 0], 3)),
+            Constraint::geq(le(&[0, 1], -1)),
+        ];
+        assert!(feasible(&cs, 2));
+        // x = 2y, 3 <= x <= 3  =>  x=3 odd, infeasible
+        let cs = vec![
+            Constraint::eq(le(&[1, -2], 0)),
+            Constraint::geq(le(&[1, 0], -3)),
+            Constraint::geq(le(&[-1, 0], 3)),
+        ];
+        assert!(!feasible(&cs, 2));
+    }
+
+    #[test]
+    fn congruence_constraints() {
+        // x even and 5 <= x <= 5  => infeasible
+        let cs = vec![
+            Constraint::congruent(le(&[1], 0), 2),
+            Constraint::geq(le(&[1], -5)),
+            Constraint::geq(le(&[-1], 5)),
+        ];
+        assert!(!feasible(&cs, 1));
+        // x even and 4 <= x <= 5 => x = 4
+        let cs = vec![
+            Constraint::congruent(le(&[1], 0), 2),
+            Constraint::geq(le(&[1], -4)),
+            Constraint::geq(le(&[-1], 5)),
+        ];
+        assert!(feasible(&cs, 1));
+    }
+
+    #[test]
+    fn classic_omega_gap_example() {
+        // 3 <= 2x <= 5 has no integer solution but a rational one (x = 2 is
+        // outside: 2*2=4 is inside! careful) — use 2x = between 3 and 3:
+        // 3 <= 2x <= 3 -> infeasible.
+        let cs = vec![
+            Constraint::geq(le(&[2], -3)),
+            Constraint::geq(le(&[-2], 3)),
+        ];
+        assert!(!feasible(&cs, 1));
+        // Pugh's classic dark-shadow example: the rational region
+        // 27 <= 11x + 13y <= 45, -10 <= 7x - 9y <= 4 is non-empty but contains
+        // no integer point; only the splinter phase can prove that.
+        let cs = vec![
+            Constraint::geq(le(&[11, 13], -27)),
+            Constraint::geq(le(&[-11, -13], 45)),
+            Constraint::geq(le(&[7, -9], 10)),
+            Constraint::geq(le(&[-7, 9], 4)),
+        ];
+        assert!(!feasible(&cs, 2));
+        // Relaxing the last bound to 7x - 9y <= 10 admits (x, y) = (4, 2):
+        // 11*4 + 13*2 = 70 is outside, so widen the first band too.
+        let cs = vec![
+            Constraint::geq(le(&[11, 13], -27)),
+            Constraint::geq(le(&[-11, -13], 70)),
+            Constraint::geq(le(&[7, -9], 10)),
+            Constraint::geq(le(&[-7, 9], 10)),
+        ];
+        assert!(feasible(&cs, 2));
+    }
+
+    #[test]
+    fn pugh_dark_shadow_infeasible_example() {
+        // x and y such that 2y = x (x even), 2z = x + 1 (x odd): contradiction.
+        let cs = vec![
+            Constraint::eq(le(&[1, -2, 0], 0)),
+            Constraint::eq(le(&[1, 0, -2], 1)),
+        ];
+        assert!(!feasible(&cs, 3));
+    }
+
+    #[test]
+    fn strided_intersection() {
+        // x ≡ 0 mod 2, x ≡ 0 mod 3, 1 <= x <= 5  => infeasible (lcm 6)
+        let cs = vec![
+            Constraint::congruent(le(&[1], 0), 2),
+            Constraint::congruent(le(&[1], 0), 3),
+            Constraint::geq(le(&[1], -1)),
+            Constraint::geq(le(&[-1], 5)),
+        ];
+        assert!(!feasible(&cs, 1));
+        // ... 1 <= x <= 6 => x = 6 works
+        let cs = vec![
+            Constraint::congruent(le(&[1], 0), 2),
+            Constraint::congruent(le(&[1], 0), 3),
+            Constraint::geq(le(&[1], -1)),
+            Constraint::geq(le(&[-1], 6)),
+        ];
+        assert!(feasible(&cs, 1));
+    }
+
+    #[test]
+    fn larger_chain_of_equalities() {
+        // x0 = x1 + 1, x1 = x2 + 1, ..., x9 = 0, x0 = 9 : feasible
+        let n = 10;
+        let mut cs = Vec::new();
+        for i in 0..n - 1 {
+            let mut e = LinExpr::zero(n);
+            e.set_coeff(i, 1);
+            e.set_coeff(i + 1, -1);
+            e.set_constant(-1);
+            cs.push(Constraint::eq(e));
+        }
+        let mut last = LinExpr::zero(n);
+        last.set_coeff(n - 1, 1);
+        cs.push(Constraint::eq(last));
+        let mut first = LinExpr::zero(n);
+        first.set_coeff(0, 1);
+        first.set_constant(-(n as i64 - 1));
+        cs.push(Constraint::eq(first));
+        assert!(feasible(&cs, n));
+        // Make it contradictory: x0 = 5
+        let mut wrong = LinExpr::zero(n);
+        wrong.set_coeff(0, 1);
+        wrong.set_constant(-5);
+        cs.push(Constraint::eq(wrong));
+        assert!(!feasible(&cs, n));
+    }
+
+    #[test]
+    fn unbounded_direction_is_feasible() {
+        // x >= 100 and y <= -100 (no interaction): feasible.
+        let cs = vec![
+            Constraint::geq(le(&[1, 0], -100)),
+            Constraint::geq(le(&[0, -1], -100)),
+        ];
+        assert!(feasible(&cs, 2));
+    }
+
+    #[test]
+    fn non_unit_coefficient_system() {
+        // 6x + 4y = 3 : gcd 2 does not divide 3 -> infeasible.
+        let cs = vec![Constraint::eq(le(&[6, 4], -3))];
+        assert!(!feasible(&cs, 2));
+        // 6x + 4y = 2 : feasible (x=1, y=-1).
+        let cs = vec![Constraint::eq(le(&[6, 4], -2))];
+        assert!(feasible(&cs, 2));
+    }
+
+}

@@ -1,0 +1,151 @@
+//! # arrayeq-omega
+//!
+//! An integer-set / affine-relation calculator in the spirit of the *Omega
+//! calculator and library* used by the DATE 2005 paper
+//! *"Functional Equivalence Checking for Verification of Algebraic
+//! Transformations on Array-Intensive Source Code"* (Shashidhar et al.).
+//!
+//! The paper manipulates **dependency mappings** — relations between integer
+//! tuples constrained by (piecewise-)affine formulas such as
+//!
+//! ```text
+//! { [x] -> [y] : x = 2k - 2 and y = k - 1 and 1 <= k <= 1024 }
+//! ```
+//!
+//! and needs the following operations on them: natural join (composition),
+//! inverse, domain/range, intersection, union, emptiness, subset/equality
+//! tests and transitive closure (for recurrences).  This crate provides all
+//! of them, exactly, for the class of relations the restricted program class
+//! of the paper generates.
+//!
+//! ## Data model
+//!
+//! * [`LinExpr`] — an affine expression `Σ aᵢ·xᵢ + c` with `i64` coefficients.
+//! * [`Constraint`] — `e = 0`, `e ≥ 0` or `e ≡ 0 (mod m)`.
+//! * [`Space`] — names of the input-tuple dims, output-tuple dims and symbolic
+//!   parameters a relation is defined over.
+//! * [`Conjunct`] — a conjunction of constraints over a space, possibly with
+//!   local existentially-quantified variables (used for strides and for the
+//!   intermediate tuple introduced by composition).
+//! * [`Relation`] — a finite union of conjuncts over one space; the workhorse
+//!   type.  [`Set`] is a relation with no output dims.
+//!
+//! ## Decision procedure
+//!
+//! Emptiness of a conjunct is decided exactly with the classic *Omega test*
+//! recipe: normalise and eliminate equalities first (unit-coefficient
+//! substitution, otherwise Pugh's mod-reduction), then eliminate the remaining
+//! variables with Fourier–Motzkin using the *real shadow* (unsat ⇒ unsat),
+//! the *dark shadow* (sat ⇒ sat) and *splinters* for the gap, which makes the
+//! test exact for arbitrary coefficients.  Subset and equality are reduced to
+//! emptiness of set differences; the constraint language is closed under the
+//! negation required by the difference because congruences negate into finite
+//! unions of congruences.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use arrayeq_omega::Relation;
+//!
+//! # fn main() -> Result<(), arrayeq_omega::OmegaError> {
+//! // The two dependency mappings of statement s2 in Fig. 1(a) of the paper.
+//! let m1 = Relation::parse("{ [x] -> [y] : exists k : x = 2k - 2 and y = 2k - 2 and 1 <= k <= 1024 }")?;
+//! let m2 = Relation::parse("{ [x] -> [y] : exists k : x = 2k - 2 and y = k - 1 and 1 <= k <= 1024 }")?;
+//! assert!(!m1.is_equal(&m2)?);
+//!
+//! // Intermediate-variable reduction is relation composition (natural join).
+//! let c_to_tmp = Relation::parse("{ [k] -> [k] : 0 <= k < 1024 }")?;
+//! let tmp_to_b = Relation::parse("{ [k] -> [2k] : 0 <= k < 1024 }")?;
+//! let c_to_b = c_to_tmp.compose(&tmp_to_b)?;
+//! assert!(c_to_b.is_equal(&Relation::parse("{ [k] -> [2k] : 0 <= k < 1024 }")?)?);
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constraint;
+mod conjunct;
+mod display;
+mod feasible;
+mod linexpr;
+mod parse;
+mod relation;
+mod set;
+mod space;
+
+pub use constraint::{Constraint, ConstraintKind};
+pub use conjunct::Conjunct;
+pub use linexpr::LinExpr;
+pub use relation::{DomKind, MapBuilder, Relation};
+pub use set::Set;
+pub use space::{Space, VarKind};
+
+use std::fmt;
+
+/// Errors produced by the omega layer.
+///
+/// All fallible public operations return `Result<_, OmegaError>`; the error
+/// carries enough context to report which operation failed and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OmegaError {
+    /// Two operands were defined over incompatible spaces (different arity or
+    /// parameter lists).
+    SpaceMismatch {
+        /// Description of the operation that was attempted.
+        op: &'static str,
+        /// Rendering of the left-hand space.
+        lhs: String,
+        /// Rendering of the right-hand space.
+        rhs: String,
+    },
+    /// The text given to [`Relation::parse`] / [`Set::parse`] was malformed.
+    Parse {
+        /// Human-readable description of the problem.
+        message: String,
+        /// Byte offset in the input at which the problem was detected.
+        offset: usize,
+    },
+    /// An operation required eliminating an existential variable exactly and
+    /// the implementation could not do so (outside the supported fragment).
+    InexactElimination {
+        /// Description of the operation that needed the elimination.
+        op: &'static str,
+    },
+    /// Transitive closure was requested for a relation outside the supported
+    /// (uniform / translation) fragment.
+    UnsupportedClosure {
+        /// Rendering of the offending relation.
+        relation: String,
+    },
+    /// An arithmetic overflow occurred while manipulating coefficients.
+    Overflow {
+        /// Description of the operation during which the overflow happened.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for OmegaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmegaError::SpaceMismatch { op, lhs, rhs } => {
+                write!(f, "space mismatch in {op}: {lhs} vs {rhs}")
+            }
+            OmegaError::Parse { message, offset } => {
+                write!(f, "parse error at offset {offset}: {message}")
+            }
+            OmegaError::InexactElimination { op } => {
+                write!(f, "cannot exactly eliminate existential variables in {op}")
+            }
+            OmegaError::UnsupportedClosure { relation } => {
+                write!(f, "transitive closure unsupported for relation {relation}")
+            }
+            OmegaError::Overflow { op } => write!(f, "coefficient overflow in {op}"),
+        }
+    }
+}
+
+impl std::error::Error for OmegaError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, OmegaError>;

@@ -1,0 +1,365 @@
+//! Affine linear expressions with integer coefficients.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An affine expression `a₀·x₀ + a₁·x₁ + … + c` over the columns of a
+/// [`Conjunct`](crate::Conjunct).
+///
+/// The expression stores one `i64` coefficient per variable column plus a
+/// trailing constant term.  The meaning of each column (input dim, output
+/// dim, parameter or existential) is determined by the conjunct that owns the
+/// expression; `LinExpr` itself is just the coefficient vector.
+///
+/// ```
+/// use arrayeq_omega::LinExpr;
+///
+/// // 2*x0 - x1 + 3   over two variables
+/// let e = LinExpr::from_coeffs(vec![2, -1], 3);
+/// assert_eq!(e.coeff(0), 2);
+/// assert_eq!(e.constant(), 3);
+/// assert_eq!(e.eval(&[5, 7]), 2 * 5 - 7 + 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LinExpr {
+    /// Coefficients, one per variable column.
+    coeffs: Vec<i64>,
+    /// The constant term.
+    constant: i64,
+}
+
+impl LinExpr {
+    /// The zero expression over `n_vars` variables.
+    pub fn zero(n_vars: usize) -> Self {
+        LinExpr {
+            coeffs: vec![0; n_vars],
+            constant: 0,
+        }
+    }
+
+    /// A constant expression over `n_vars` variables.
+    pub fn constant_expr(n_vars: usize, c: i64) -> Self {
+        LinExpr {
+            coeffs: vec![0; n_vars],
+            constant: c,
+        }
+    }
+
+    /// The expression `1·x_col` over `n_vars` variables.
+    pub fn var(n_vars: usize, col: usize) -> Self {
+        let mut e = LinExpr::zero(n_vars);
+        e.coeffs[col] = 1;
+        e
+    }
+
+    /// Builds an expression from an explicit coefficient vector and constant.
+    pub fn from_coeffs(coeffs: Vec<i64>, constant: i64) -> Self {
+        LinExpr { coeffs, constant }
+    }
+
+    /// Number of variable columns this expression ranges over.
+    pub fn n_vars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Coefficient of variable column `col`.
+    pub fn coeff(&self, col: usize) -> i64 {
+        self.coeffs[col]
+    }
+
+    /// Mutable access to the coefficient of column `col`.
+    pub fn set_coeff(&mut self, col: usize, value: i64) {
+        self.coeffs[col] = value;
+    }
+
+    /// The constant term.
+    pub fn constant(&self) -> i64 {
+        self.constant
+    }
+
+    /// Sets the constant term.
+    pub fn set_constant(&mut self, value: i64) {
+        self.constant = value;
+    }
+
+    /// All coefficients as a slice (excluding the constant term).
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// Whether every coefficient is zero (the expression is a constant).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// Whether the expression is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.constant == 0 && self.is_constant()
+    }
+
+    /// Evaluates the expression for a concrete assignment of the variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.n_vars()`.
+    pub fn eval(&self, values: &[i64]) -> i64 {
+        assert_eq!(values.len(), self.n_vars(), "wrong number of values");
+        self.coeffs
+            .iter()
+            .zip(values)
+            .map(|(a, v)| a * v)
+            .sum::<i64>()
+            + self.constant
+    }
+
+    /// Greatest common divisor of the variable coefficients (0 if all zero).
+    pub fn coeff_gcd(&self) -> i64 {
+        self.coeffs.iter().fold(0i64, |g, &c| gcd(g, c.abs()))
+    }
+
+    /// Divides every coefficient and the constant by `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient or the constant is not divisible by `d`.
+    pub fn exact_div(&self, d: i64) -> LinExpr {
+        assert!(d != 0);
+        assert!(
+            self.coeffs.iter().all(|c| c % d == 0) && self.constant % d == 0,
+            "exact_div: not divisible"
+        );
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|c| c / d).collect(),
+            constant: self.constant / d,
+        }
+    }
+
+    /// Multiplies the whole expression by a scalar.
+    pub fn scale(&self, k: i64) -> LinExpr {
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|c| c * k).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Adds `k * other` to this expression, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two expressions have different numbers of variables.
+    pub fn add_scaled(&mut self, other: &LinExpr, k: i64) {
+        assert_eq!(self.n_vars(), other.n_vars());
+        for (a, b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            *a += k * b;
+        }
+        self.constant += k * other.constant;
+    }
+
+    /// Returns a copy with `extra` zero columns appended (new existentials).
+    pub fn extended(&self, extra: usize) -> LinExpr {
+        let mut coeffs = self.coeffs.clone();
+        coeffs.extend(std::iter::repeat(0).take(extra));
+        LinExpr {
+            coeffs,
+            constant: self.constant,
+        }
+    }
+
+    /// Returns a copy whose columns are permuted/embedded according to `map`:
+    /// new column `map[i]` receives old column `i`'s coefficient.  The new
+    /// expression has `new_len` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map.len() != self.n_vars()` or any target is out of range.
+    pub fn remapped(&self, map: &[usize], new_len: usize) -> LinExpr {
+        assert_eq!(map.len(), self.n_vars());
+        let mut coeffs = vec![0i64; new_len];
+        for (i, &target) in map.iter().enumerate() {
+            assert!(target < new_len, "remap target out of range");
+            coeffs[target] += self.coeffs[i];
+        }
+        LinExpr {
+            coeffs,
+            constant: self.constant,
+        }
+    }
+
+    /// Returns a copy with column `col` removed (its coefficient must be 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient of `col` is non-zero.
+    pub fn without_col(&self, col: usize) -> LinExpr {
+        assert_eq!(self.coeffs[col], 0, "cannot drop a used column");
+        let mut coeffs = self.coeffs.clone();
+        coeffs.remove(col);
+        LinExpr {
+            coeffs,
+            constant: self.constant,
+        }
+    }
+
+    /// Substitutes variable `col` with the expression `value` (which must not
+    /// itself use `col`); i.e. rewrites `self` under `x_col := value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` uses column `col` or sizes differ.
+    pub fn substitute(&self, col: usize, value: &LinExpr) -> LinExpr {
+        assert_eq!(self.n_vars(), value.n_vars());
+        assert_eq!(value.coeff(col), 0, "substitution value uses the variable");
+        let k = self.coeffs[col];
+        let mut result = self.clone();
+        result.coeffs[col] = 0;
+        result.add_scaled(value, k);
+        result
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        let mut out = self;
+        out.add_scaled(&rhs, 1);
+        out
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        let mut out = self;
+        out.add_scaled(&rhs, -1);
+        out
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self.scale(-1)
+    }
+}
+
+impl Mul<i64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(self, rhs: i64) -> LinExpr {
+        self.scale(rhs)
+    }
+}
+
+/// Greatest common divisor of two non-negative integers (`gcd(0, x) = x`).
+pub(crate) fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Floor division (rounds towards negative infinity).
+pub(crate) fn floor_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b)
+}
+
+/// `a mod̂ b`: the symmetric remainder in `(-b/2, b/2]` used by the Omega
+/// test's equality elimination.
+pub(crate) fn mod_hat(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    let r = a.rem_euclid(b);
+    if 2 * r > b {
+        r - b
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_eval() {
+        let e = LinExpr::from_coeffs(vec![2, -1, 0], 3);
+        assert_eq!(e.n_vars(), 3);
+        assert_eq!(e.eval(&[1, 2, 100]), 2 - 2 + 3);
+        assert!(!e.is_constant());
+        assert!(LinExpr::constant_expr(3, 5).is_constant());
+        assert!(LinExpr::zero(2).is_zero());
+        assert_eq!(LinExpr::var(3, 1).eval(&[9, 7, 5]), 7);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = LinExpr::from_coeffs(vec![1, 2], 3);
+        let b = LinExpr::from_coeffs(vec![4, -1], 1);
+        assert_eq!((a.clone() + b.clone()).coeffs(), &[5, 1]);
+        assert_eq!((a.clone() - b.clone()).constant(), 2);
+        assert_eq!((-a.clone()).coeff(0), -1);
+        assert_eq!((a.clone() * 3).coeff(1), 6);
+        let mut c = a.clone();
+        c.add_scaled(&b, 2);
+        assert_eq!(c.coeffs(), &[9, 0]);
+        assert_eq!(c.constant(), 5);
+    }
+
+    #[test]
+    fn gcd_and_exact_div() {
+        let e = LinExpr::from_coeffs(vec![4, -6, 0], 8);
+        assert_eq!(e.coeff_gcd(), 2);
+        let d = e.exact_div(2);
+        assert_eq!(d.coeffs(), &[2, -3, 0]);
+        assert_eq!(d.constant(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn exact_div_requires_divisibility() {
+        LinExpr::from_coeffs(vec![3], 1).exact_div(2);
+    }
+
+    #[test]
+    fn remap_and_extend() {
+        let e = LinExpr::from_coeffs(vec![1, 2], 7);
+        let ext = e.extended(2);
+        assert_eq!(ext.n_vars(), 4);
+        assert_eq!(ext.coeff(3), 0);
+        let remapped = e.remapped(&[2, 0], 3);
+        assert_eq!(remapped.coeffs(), &[2, 0, 1]);
+        assert_eq!(remapped.constant(), 7);
+    }
+
+    #[test]
+    fn substitution() {
+        // e = 3x + y + 1, substitute x := 2y - 1  =>  3(2y-1) + y + 1 = 7y - 2
+        let e = LinExpr::from_coeffs(vec![3, 1], 1);
+        let v = LinExpr::from_coeffs(vec![0, 2], -1);
+        let s = e.substitute(0, &v);
+        assert_eq!(s.coeffs(), &[0, 7]);
+        assert_eq!(s.constant(), -2);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(floor_div(-7, 2), -4);
+        assert_eq!(floor_div(7, 2), 3);
+        assert_eq!(mod_hat(7, 3), 1);
+        assert_eq!(mod_hat(8, 3), -1);
+        assert_eq!(mod_hat(-1, 5), -1);
+        assert_eq!(mod_hat(3, 6), 3);
+        assert_eq!(mod_hat(4, 6), -2);
+    }
+
+    #[test]
+    fn without_col_drops_unused_column() {
+        let e = LinExpr::from_coeffs(vec![1, 0, 5], 2);
+        let d = e.without_col(1);
+        assert_eq!(d.coeffs(), &[1, 5]);
+    }
+}

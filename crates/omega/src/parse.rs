@@ -1,0 +1,747 @@
+//! Parser for the textual `{ [i] -> [j] : constraints }` notation.
+//!
+//! The accepted grammar (informally):
+//!
+//! ```text
+//! relation   := params? '{' disjunct ('or' disjunct)* '}'
+//! params     := '[' ident (',' ident)* ']' '->'
+//! disjunct   := tuple ('->' tuple)? (':' formula)?
+//! tuple      := '[' (ident (',' ident)*)? ']'
+//! formula    := 'true' | 'false' | clause ('and' clause)*
+//! clause     := 'exists' ident (',' ident)* ':' clause
+//!             | expr '%' INT '=' expr            (congruence)
+//!             | expr (relop expr)+               (chained comparison)
+//! relop      := '<=' | '<' | '>=' | '>' | '=' | '=='
+//! expr       := ['-'] term (('+'|'-') term)*
+//! term       := INT ('*'? ident)? | ident | '(' expr ')'
+//! ```
+//!
+//! Identifiers must be declared: tuple variables in the tuples, parameters in
+//! the `[N] ->` prefix and quantified variables by `exists`.  This catches
+//! typos in hand-written mappings instead of silently quantifying them.
+
+use crate::constraint::Constraint;
+use crate::conjunct::Conjunct;
+use crate::linexpr::LinExpr;
+use crate::relation::Relation;
+use crate::set::Set;
+use crate::space::Space;
+use crate::{OmegaError, Result};
+use std::collections::HashMap;
+
+/// Parses a relation such as `"[N] -> { [i] -> [2i] : 0 <= i < N }"`.
+pub(crate) fn parse_relation(text: &str) -> Result<Relation> {
+    Parser::new(text)?.parse_relation()
+}
+
+/// Parses a set such as `"{ [i, j] : 0 <= i <= j }"`.
+pub(crate) fn parse_set(text: &str) -> Result<Set> {
+    let r = Parser::new(text)?.parse_relation()?;
+    if r.space().n_out() != 0 {
+        return Err(OmegaError::Parse {
+            message: "expected a set but found a relation (it has output dims)".into(),
+            offset: 0,
+        });
+    }
+    Ok(Set::from_relation(r))
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Percent,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    EqEq,
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+/// Intermediate affine expression keyed by variable *name*; materialised into
+/// a [`LinExpr`] only once the full variable list of the disjunct is known.
+#[derive(Debug, Clone, Default)]
+struct NamedExpr {
+    coeffs: HashMap<String, i64>,
+    constant: i64,
+}
+
+impl NamedExpr {
+    fn add_var(&mut self, name: &str, k: i64) {
+        *self.coeffs.entry(name.to_owned()).or_insert(0) += k;
+    }
+    fn scale(&self, k: i64) -> NamedExpr {
+        NamedExpr {
+            coeffs: self.coeffs.iter().map(|(n, &c)| (n.clone(), c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+    fn add(&mut self, other: &NamedExpr, k: i64) {
+        for (n, &c) in &other.coeffs {
+            self.add_var(n, c * k);
+        }
+        self.constant += other.constant * k;
+    }
+}
+
+/// A parsed constraint still referring to variables by name.
+#[derive(Debug, Clone)]
+enum NamedConstraint {
+    Eq(NamedExpr),
+    Geq(NamedExpr),
+    Mod(NamedExpr, i64),
+    False,
+}
+
+impl Parser {
+    fn new(text: &str) -> Result<Parser> {
+        let mut toks = Vec::new();
+        let bytes: Vec<char> = text.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let start = i;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    i += 1;
+                }
+                '{' => {
+                    toks.push((Tok::LBrace, start));
+                    i += 1;
+                }
+                '}' => {
+                    toks.push((Tok::RBrace, start));
+                    i += 1;
+                }
+                '[' => {
+                    toks.push((Tok::LBracket, start));
+                    i += 1;
+                }
+                ']' => {
+                    toks.push((Tok::RBracket, start));
+                    i += 1;
+                }
+                '(' => {
+                    toks.push((Tok::LParen, start));
+                    i += 1;
+                }
+                ')' => {
+                    toks.push((Tok::RParen, start));
+                    i += 1;
+                }
+                ',' => {
+                    toks.push((Tok::Comma, start));
+                    i += 1;
+                }
+                ':' => {
+                    toks.push((Tok::Colon, start));
+                    i += 1;
+                }
+                '+' => {
+                    toks.push((Tok::Plus, start));
+                    i += 1;
+                }
+                '*' => {
+                    toks.push((Tok::Star, start));
+                    i += 1;
+                }
+                '%' => {
+                    toks.push((Tok::Percent, start));
+                    i += 1;
+                }
+                '-' => {
+                    if i + 1 < bytes.len() && bytes[i + 1] == '>' {
+                        toks.push((Tok::Arrow, start));
+                        i += 2;
+                    } else {
+                        toks.push((Tok::Minus, start));
+                        i += 1;
+                    }
+                }
+                '<' => {
+                    if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                        toks.push((Tok::Le, start));
+                        i += 2;
+                    } else {
+                        toks.push((Tok::Lt, start));
+                        i += 1;
+                    }
+                }
+                '>' => {
+                    if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                        toks.push((Tok::Ge, start));
+                        i += 2;
+                    } else {
+                        toks.push((Tok::Gt, start));
+                        i += 1;
+                    }
+                }
+                '=' => {
+                    if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    toks.push((Tok::EqEq, start));
+                }
+                '&' => {
+                    // `&` / `&&` are synonyms for `and`.
+                    if i + 1 < bytes.len() && bytes[i + 1] == '&' {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    toks.push((Tok::Ident("and".into()), start));
+                }
+                _ if c.is_ascii_digit() => {
+                    let mut v: i64 = 0;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        v = v * 10 + (bytes[i] as i64 - '0' as i64);
+                        i += 1;
+                    }
+                    toks.push((Tok::Int(v), start));
+                }
+                _ if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut name = String::new();
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '\'') {
+                        name.push(bytes[i]);
+                        i += 1;
+                    }
+                    toks.push((Tok::Ident(name), start));
+                }
+                _ => {
+                    return Err(OmegaError::Parse {
+                        message: format!("unexpected character `{c}`"),
+                        offset: start,
+                    })
+                }
+            }
+        }
+        Ok(Parser { toks, pos: 0 })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(_, o)| *o)
+            .unwrap_or_else(|| self.toks.last().map(|(_, o)| *o + 1).unwrap_or(0))
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<()> {
+        let off = self.offset();
+        match self.bump() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(OmegaError::Parse {
+                message: format!("expected {what}, found {other:?}"),
+                offset: off,
+            }),
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(OmegaError::Parse {
+            message: message.into(),
+            offset: self.offset(),
+        })
+    }
+
+    fn parse_relation(&mut self) -> Result<Relation> {
+        // Optional parameter prefix `[N, M] ->`
+        let mut params: Vec<String> = Vec::new();
+        if matches!(self.peek(), Some(Tok::LBracket)) {
+            params = self.parse_name_tuple()?;
+            self.expect(Tok::Arrow, "`->` after parameter list")?;
+        }
+        self.expect(Tok::LBrace, "`{`")?;
+
+        let mut space: Option<Space> = None;
+        let mut conjuncts: Vec<Conjunct> = Vec::new();
+        loop {
+            let in_elems = self.parse_expr_tuple()?;
+            let out_elems = if matches!(self.peek(), Some(Tok::Arrow)) {
+                self.bump();
+                self.parse_expr_tuple()?
+            } else {
+                Vec::new()
+            };
+            // Tuple elements may be plain (fresh) names, which declare the
+            // dimension, or affine expressions over already-declared names,
+            // which synthesise a dimension plus an equality constraint
+            // (`[i] -> [2i]` becomes out dim `__o0` with `__o0 = 2i`).
+            let mut declared: std::collections::HashSet<String> = params.iter().cloned().collect();
+            let mut extra: Vec<NamedConstraint> = Vec::new();
+            let in_vars = Self::tuple_dims(&in_elems, "i", &mut declared, &mut extra);
+            let out_vars = Self::tuple_dims(&out_elems, "o", &mut declared, &mut extra);
+            let this_space = Space::relation(&in_vars, &out_vars, &params);
+            if let Some(s) = &space {
+                if !s.is_compatible(&this_space) {
+                    return self.err("disjuncts have different tuple arities");
+                }
+            } else {
+                space = Some(this_space.clone());
+            }
+
+            let (mut constraints, exists) = if matches!(self.peek(), Some(Tok::Colon)) {
+                self.bump();
+                self.parse_formula()?
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            constraints.extend(extra);
+
+            conjuncts.push(self.materialize(&this_space, &exists, &constraints)?);
+
+            match self.peek() {
+                Some(Tok::Ident(w)) if w == "or" => {
+                    self.bump();
+                }
+                Some(Tok::RBrace) => {
+                    self.bump();
+                    break;
+                }
+                _ => return self.err("expected `or` or `}`"),
+            }
+        }
+        if self.pos != self.toks.len() {
+            return self.err("unexpected trailing input");
+        }
+        let space = space.expect("at least one disjunct parsed");
+        // Drop syntactically-false disjuncts (e.g. the printer's `: false`).
+        let conjuncts: Vec<Conjunct> = conjuncts
+            .into_iter()
+            .filter_map(|mut c| if c.simplify() { Some(c) } else { None })
+            .collect();
+        Ok(Relation::from_conjuncts(space, conjuncts))
+    }
+
+    /// Parses a tuple of affine expressions, e.g. `[i, 2j + 1]`.
+    fn parse_expr_tuple(&mut self) -> Result<Vec<NamedExpr>> {
+        self.expect(Tok::LBracket, "`[`")?;
+        let mut elems = Vec::new();
+        if matches!(self.peek(), Some(Tok::RBracket)) {
+            self.bump();
+            return Ok(elems);
+        }
+        loop {
+            elems.push(self.parse_expr()?);
+            match self.bump() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RBracket) => break,
+                other => return self.err(format!("expected `,` or `]`, found {other:?}")),
+            }
+        }
+        Ok(elems)
+    }
+
+    /// Turns tuple elements into dimension names, synthesising names and
+    /// equality constraints for elements that are not fresh identifiers.
+    fn tuple_dims(
+        elems: &[NamedExpr],
+        prefix: &str,
+        declared: &mut std::collections::HashSet<String>,
+        extra: &mut Vec<NamedConstraint>,
+    ) -> Vec<String> {
+        let mut names = Vec::with_capacity(elems.len());
+        for (idx, e) in elems.iter().enumerate() {
+            let as_fresh_name = if e.constant == 0 && e.coeffs.len() == 1 {
+                e.coeffs
+                    .iter()
+                    .next()
+                    .filter(|(n, &c)| c == 1 && !declared.contains(*n))
+                    .map(|(n, _)| n.clone())
+            } else {
+                None
+            };
+            match as_fresh_name {
+                Some(n) => {
+                    declared.insert(n.clone());
+                    names.push(n);
+                }
+                None => {
+                    let synth = format!("__{prefix}{idx}");
+                    declared.insert(synth.clone());
+                    // expr - synth = 0
+                    let mut c = e.clone();
+                    c.add_var(&synth, -1);
+                    extra.push(NamedConstraint::Eq(c));
+                    names.push(synth);
+                }
+            }
+        }
+        names
+    }
+
+    fn parse_name_tuple(&mut self) -> Result<Vec<String>> {
+        self.expect(Tok::LBracket, "`[`")?;
+        let mut names = Vec::new();
+        if matches!(self.peek(), Some(Tok::RBracket)) {
+            self.bump();
+            return Ok(names);
+        }
+        loop {
+            match self.bump() {
+                Some(Tok::Ident(n)) => names.push(n),
+                other => {
+                    return self.err(format!("expected identifier in tuple, found {other:?}"))
+                }
+            }
+            match self.bump() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RBracket) => break,
+                other => return self.err(format!("expected `,` or `]`, found {other:?}")),
+            }
+        }
+        Ok(names)
+    }
+
+    /// Parses the formula of one disjunct; returns the constraints and the
+    /// names of the existential variables introduced by `exists`.
+    fn parse_formula(&mut self) -> Result<(Vec<NamedConstraint>, Vec<String>)> {
+        let mut constraints = Vec::new();
+        let mut exists: Vec<String> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(w)) if w == "true" => {
+                    self.bump();
+                }
+                Some(Tok::Ident(w)) if w == "false" => {
+                    self.bump();
+                    constraints.push(NamedConstraint::False);
+                }
+                Some(Tok::Ident(w)) if w == "exists" => {
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(Tok::Ident(n)) => exists.push(n),
+                            other => {
+                                return self
+                                    .err(format!("expected quantified variable, found {other:?}"))
+                            }
+                        }
+                        match self.peek() {
+                            Some(Tok::Comma) => {
+                                self.bump();
+                            }
+                            Some(Tok::Colon) => {
+                                self.bump();
+                                break;
+                            }
+                            other => {
+                                return self.err(format!("expected `,` or `:`, found {other:?}"))
+                            }
+                        }
+                    }
+                    continue; // the clause after `exists ... :` follows
+                }
+                _ => {
+                    constraints.extend(self.parse_clause()?);
+                }
+            }
+            match self.peek() {
+                Some(Tok::Ident(w)) if w == "and" => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        Ok((constraints, exists))
+    }
+
+    /// Parses one (possibly chained) comparison or congruence.
+    fn parse_clause(&mut self) -> Result<Vec<NamedConstraint>> {
+        let first = self.parse_expr()?;
+
+        // Congruence: expr % m = r
+        if matches!(self.peek(), Some(Tok::Percent)) {
+            self.bump();
+            let m = match self.bump() {
+                Some(Tok::Int(m)) if m >= 2 => m,
+                other => return self.err(format!("expected modulus >= 2, found {other:?}")),
+            };
+            self.expect(Tok::EqEq, "`=` after modulus")?;
+            let rhs = self.parse_expr()?;
+            if !rhs.coeffs.values().all(|&c| c == 0) {
+                return self.err("right-hand side of a congruence must be a constant");
+            }
+            let mut e = first;
+            e.constant -= rhs.constant;
+            return Ok(vec![NamedConstraint::Mod(e, m)]);
+        }
+
+        // Chained comparison: e0 op e1 op e2 ...
+        let mut out = Vec::new();
+        let mut lhs = first;
+        let mut any = false;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Le) | Some(Tok::Lt) | Some(Tok::Ge) | Some(Tok::Gt) | Some(Tok::EqEq) => {
+                    self.bump().unwrap()
+                }
+                _ => break,
+            };
+            any = true;
+            let rhs = self.parse_expr()?;
+            let mut diff = rhs.clone();
+            diff.add(&lhs, -1); // rhs - lhs
+            match op {
+                Tok::Le => out.push(NamedConstraint::Geq(diff)),
+                Tok::Lt => {
+                    let mut d = diff;
+                    d.constant -= 1;
+                    out.push(NamedConstraint::Geq(d));
+                }
+                Tok::Ge => out.push(NamedConstraint::Geq(diff.scale(-1))),
+                Tok::Gt => {
+                    let mut d = diff.scale(-1);
+                    d.constant -= 1;
+                    out.push(NamedConstraint::Geq(d));
+                }
+                Tok::EqEq => out.push(NamedConstraint::Eq(diff)),
+                _ => unreachable!(),
+            }
+            lhs = rhs;
+        }
+        if !any {
+            return self.err("expected a comparison operator");
+        }
+        Ok(out)
+    }
+
+    fn parse_expr(&mut self) -> Result<NamedExpr> {
+        let mut expr = NamedExpr::default();
+        let mut sign = 1i64;
+        if matches!(self.peek(), Some(Tok::Minus)) {
+            self.bump();
+            sign = -1;
+        }
+        let t = self.parse_term()?;
+        expr.add(&t, sign);
+        loop {
+            let sign = match self.peek() {
+                Some(Tok::Plus) => {
+                    self.bump();
+                    1
+                }
+                Some(Tok::Minus) => {
+                    self.bump();
+                    -1
+                }
+                _ => break,
+            };
+            let t = self.parse_term()?;
+            expr.add(&t, sign);
+        }
+        Ok(expr)
+    }
+
+    fn parse_term(&mut self) -> Result<NamedExpr> {
+        let mut e = NamedExpr::default();
+        match self.bump() {
+            Some(Tok::Int(v)) => {
+                // optional `* ident` or juxtaposed ident: 2*k or 2k
+                match self.peek() {
+                    Some(Tok::Star) => {
+                        self.bump();
+                        match self.bump() {
+                            Some(Tok::Ident(n)) => e.add_var(&n, v),
+                            other => {
+                                return self
+                                    .err(format!("expected identifier after `*`, found {other:?}"))
+                            }
+                        }
+                    }
+                    Some(Tok::Ident(n)) if n != "and" && n != "or" && n != "exists" => {
+                        let n = n.clone();
+                        self.bump();
+                        e.add_var(&n, v);
+                    }
+                    _ => e.constant += v,
+                }
+            }
+            Some(Tok::Ident(n)) => e.add_var(&n, 1),
+            Some(Tok::LParen) => {
+                let inner = self.parse_expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                e.add(&inner, 1);
+            }
+            Some(Tok::Minus) => {
+                let inner = self.parse_term()?;
+                e.add(&inner, -1);
+            }
+            other => return self.err(format!("expected a term, found {other:?}")),
+        }
+        Ok(e)
+    }
+
+    /// Turns named constraints into a [`Conjunct`] over `space`.
+    fn materialize(
+        &self,
+        space: &Space,
+        exists: &[String],
+        constraints: &[NamedConstraint],
+    ) -> Result<Conjunct> {
+        let mut conj = Conjunct::universe(space.clone());
+        let ex_base = conj.add_exists(exists.len());
+        let n_vars = conj.n_vars();
+        // Build name -> column map.
+        let mut cols: HashMap<&str, usize> = HashMap::new();
+        for (i, n) in space.in_vars().iter().enumerate() {
+            cols.insert(n.as_str(), i);
+        }
+        for (i, n) in space.out_vars().iter().enumerate() {
+            cols.insert(n.as_str(), space.n_in() + i);
+        }
+        for (i, n) in space.params().iter().enumerate() {
+            cols.insert(n.as_str(), space.n_in() + space.n_out() + i);
+        }
+        for (i, n) in exists.iter().enumerate() {
+            cols.insert(n.as_str(), ex_base + i);
+        }
+
+        let lower = |e: &NamedExpr| -> Result<LinExpr> {
+            let mut le = LinExpr::zero(n_vars);
+            for (name, &coef) in &e.coeffs {
+                match cols.get(name.as_str()) {
+                    Some(&col) => le.set_coeff(col, le.coeff(col) + coef),
+                    None => {
+                        return Err(OmegaError::Parse {
+                            message: format!(
+                                "unknown variable `{name}` (declare it in a tuple, the parameter \
+                                 list or an `exists`)"
+                            ),
+                            offset: 0,
+                        })
+                    }
+                }
+            }
+            le.set_constant(e.constant);
+            Ok(le)
+        };
+
+        for c in constraints {
+            match c {
+                NamedConstraint::Eq(e) => conj.add(Constraint::eq(lower(e)?)),
+                NamedConstraint::Geq(e) => conj.add(Constraint::geq(lower(e)?)),
+                NamedConstraint::Mod(e, m) => conj.add(Constraint::congruent(lower(e)?, *m)),
+                NamedConstraint::False => {
+                    let minus_one = LinExpr::constant_expr(n_vars, -1);
+                    conj.add(Constraint::geq(minus_one));
+                }
+            }
+        }
+        Ok(conj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_relation() {
+        let r = parse_relation("{ [i] -> [2i] : 0 <= i < 10 }").unwrap();
+        assert!(r.contains(&[3], &[6], &[]));
+        assert!(!r.contains(&[3], &[7], &[]));
+        assert!(!r.contains(&[10], &[20], &[]));
+    }
+
+    #[test]
+    fn parse_chained_comparison_and_juxtaposition() {
+        let r = parse_relation("{ [i] -> [j] : 0 <= 2i < j <= 20 }").unwrap();
+        assert!(r.contains(&[3], &[7], &[]));
+        assert!(!r.contains(&[3], &[6], &[]));
+        assert!(!r.contains(&[3], &[21], &[]));
+    }
+
+    #[test]
+    fn parse_exists_and_mod() {
+        let a = parse_relation("{ [k] -> [k] : exists j : k = 2j and 0 <= k < 10 }").unwrap();
+        let b = parse_relation("{ [k] -> [k] : k % 2 = 0 and 0 <= k < 10 }").unwrap();
+        assert!(a.is_equal(&b).unwrap());
+        let c = parse_relation("{ [k] -> [k] : k % 2 = 1 and 0 <= k < 10 }").unwrap();
+        assert!(!a.is_equal(&c).unwrap());
+        assert!(c.contains(&[3], &[3], &[]));
+    }
+
+    #[test]
+    fn parse_params_and_sets() {
+        let s = parse_set("[N] -> { [i] : 0 <= i < N }").unwrap();
+        assert!(s.contains(&[3], &[7]));
+        assert!(!s.contains(&[7], &[7]));
+        assert!(parse_set("{ [i] -> [j] : i = j }").is_err());
+    }
+
+    #[test]
+    fn parse_disjunction() {
+        let r = parse_relation("{ [i] -> [i] : 0 <= i < 3 or [i] -> [i] : 7 <= i < 9 }").unwrap();
+        assert!(r.contains(&[1], &[1], &[]));
+        assert!(r.contains(&[8], &[8], &[]));
+        assert!(!r.contains(&[5], &[5], &[]));
+    }
+
+    #[test]
+    fn parse_true_false_and_empty_tuple() {
+        let r = parse_relation("{ [i] -> [i] : true }").unwrap();
+        assert!(r.contains(&[42], &[42], &[]));
+        let f = parse_relation("{ [i] -> [i] : false }").unwrap();
+        assert!(f.is_empty());
+        let scalar = parse_set("{ [] : true }").unwrap();
+        assert!(scalar.contains(&[], &[]));
+    }
+
+    #[test]
+    fn parse_parenthesised_and_negative_terms() {
+        let r = parse_relation("{ [i] -> [j] : j = -(i - 3) and 0 <= i <= 6 }").unwrap();
+        assert!(r.contains(&[1], &[2], &[]));
+        assert!(r.contains(&[5], &[-2], &[]));
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let e = parse_relation("{ [i] -> [j] : j = 2q }");
+        assert!(matches!(e, Err(OmegaError::Parse { .. })));
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let e = parse_relation("{ [i] -> [j] ; i = j }");
+        match e {
+            Err(OmegaError::Parse { offset, .. }) => assert!(offset > 0),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_multiplication() {
+        let a = parse_relation("{ [i] -> [3*i] : 0 <= i < 5 }").unwrap();
+        let b = parse_relation("{ [i] -> [3i] : 0 <= i < 5 }").unwrap();
+        assert!(a.is_equal(&b).unwrap());
+    }
+}

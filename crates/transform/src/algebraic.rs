@@ -1,0 +1,156 @@
+//! Global algebraic data-flow transformations: commutation and
+//! re-association of associative/commutative operators (Section 4).
+
+use arrayeq_lang::ast::*;
+
+/// Swaps the operands of every `+` and `*` in the right-hand side of the
+/// statement with the given label (commutativity).  Returns the transformed
+/// program and how many operator applications were swapped.
+pub fn commute_statement(p: &Program, label: &str) -> (Program, usize) {
+    let mut count = 0;
+    let out = map_rhs(p, label, &mut |e| commute_expr(e, &mut count));
+    (out, count)
+}
+
+/// Rotates every left-leaning `+`/`*` chain in the statement's right-hand
+/// side: `(a ⊕ b) ⊕ c` becomes `a ⊕ (b ⊕ c)` (associativity).  Returns the
+/// transformed program and how many rotations were applied.
+pub fn reassociate_statement(p: &Program, label: &str) -> (Program, usize) {
+    let mut count = 0;
+    let out = map_rhs(p, label, &mut |e| rotate_right(e, &mut count));
+    (out, count)
+}
+
+fn map_rhs(p: &Program, label: &str, f: &mut dyn FnMut(Expr) -> Expr) -> Program {
+    let mut out = p.clone();
+    rewrite_stmts(&mut out.body, label, f);
+    out
+}
+
+fn rewrite_stmts(stmts: &mut [Stmt], label: &str, f: &mut dyn FnMut(Expr) -> Expr) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(a) if a.label == label => {
+                a.rhs = f(a.rhs.clone());
+            }
+            Stmt::Assign(_) => {}
+            Stmt::For(fl) => rewrite_stmts(&mut fl.body, label, f),
+            Stmt::If(i) => {
+                rewrite_stmts(&mut i.then_branch, label, f);
+                rewrite_stmts(&mut i.else_branch, label, f);
+            }
+        }
+    }
+}
+
+fn is_ac(op: BinOp) -> bool {
+    matches!(op, BinOp::Add | BinOp::Mul)
+}
+
+fn commute_expr(e: Expr, count: &mut usize) -> Expr {
+    match e {
+        Expr::Bin(op, l, r) if is_ac(op) => {
+            *count += 1;
+            Expr::Bin(
+                op,
+                Box::new(commute_expr(*r, count)),
+                Box::new(commute_expr(*l, count)),
+            )
+        }
+        Expr::Bin(op, l, r) => Expr::Bin(
+            op,
+            Box::new(commute_expr(*l, count)),
+            Box::new(commute_expr(*r, count)),
+        ),
+        Expr::Neg(inner) => Expr::Neg(Box::new(commute_expr(*inner, count))),
+        Expr::Call(name, args) => Expr::Call(
+            name,
+            args.into_iter().map(|a| commute_expr(a, count)).collect(),
+        ),
+        other => other,
+    }
+}
+
+fn rotate_right(e: Expr, count: &mut usize) -> Expr {
+    match e {
+        Expr::Bin(op, l, r) if is_ac(op) => {
+            let l = rotate_right(*l, count);
+            let r = rotate_right(*r, count);
+            // (a op b) op c  ->  a op (b op c)
+            if let Expr::Bin(inner_op, a, b) = l {
+                if inner_op == op {
+                    *count += 1;
+                    return Expr::Bin(
+                        op,
+                        a,
+                        Box::new(Expr::Bin(op, b, Box::new(r))),
+                    );
+                }
+                return Expr::Bin(op, Box::new(Expr::Bin(inner_op, a, b)), Box::new(r));
+            }
+            Expr::Bin(op, Box::new(l), Box::new(r))
+        }
+        Expr::Bin(op, l, r) => Expr::Bin(
+            op,
+            Box::new(rotate_right(*l, count)),
+            Box::new(rotate_right(*r, count)),
+        ),
+        Expr::Neg(inner) => Expr::Neg(Box::new(rotate_right(*inner, count))),
+        Expr::Call(name, args) => Expr::Call(
+            name,
+            args.into_iter().map(|a| rotate_right(a, count)).collect(),
+        ),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrayeq_core::{verify_programs, CheckOptions};
+    use arrayeq_lang::corpus::{with_size, FIG1_A, KERNEL_FIR5, KERNEL_MATVEC};
+    use arrayeq_lang::parser::parse_program;
+
+    fn assert_equiv(a: &Program, b: &Program) {
+        let r = verify_programs(a, b, &CheckOptions::default()).expect("check runs");
+        assert!(r.is_equivalent(), "{}", r.summary());
+    }
+
+    fn assert_not_equiv_basic(a: &Program, b: &Program) {
+        let r = verify_programs(a, b, &CheckOptions::basic()).expect("check runs");
+        assert!(!r.is_equivalent());
+    }
+
+    #[test]
+    fn commuting_additions_preserves_equivalence_only_with_the_extended_method() {
+        let p = parse_program(&with_size(FIG1_A, 32)).unwrap();
+        let (t, swapped) = commute_statement(&p, "s3");
+        assert!(swapped >= 1);
+        assert_equiv(&p, &t);
+        assert_not_equiv_basic(&p, &t);
+    }
+
+    #[test]
+    fn reassociating_fir_taps_preserves_equivalence() {
+        let p = parse_program(KERNEL_FIR5).unwrap();
+        let (t, rotated) = reassociate_statement(&p, "f1");
+        assert!(rotated >= 1);
+        assert_equiv(&p, &t);
+    }
+
+    #[test]
+    fn combined_commutation_and_reassociation() {
+        let p = parse_program(KERNEL_MATVEC).unwrap();
+        let (t1, _) = reassociate_statement(&p, "v1");
+        let (t2, _) = commute_statement(&t1, "v1");
+        assert_equiv(&p, &t2);
+    }
+
+    #[test]
+    fn unknown_label_is_a_no_op() {
+        let p = parse_program(&with_size(FIG1_A, 16)).unwrap();
+        let (t, n) = commute_statement(&p, "does_not_exist");
+        assert_eq!(n, 0);
+        assert_eq!(p, t);
+    }
+}

@@ -1,0 +1,64 @@
+//! # arrayeq-transform
+//!
+//! Source-to-source transformations, error injection and workload generation
+//! for exercising the equivalence checker.
+//!
+//! The paper's designers apply global loop transformations, expression
+//! propagations and algebraic transformations *by hand*; the checker then
+//! verifies the result.  To reproduce the evaluation without the authors'
+//! proprietary multimedia kernels, this crate provides
+//!
+//! * **correct-by-construction transformations** ([`loops`], [`dataflow`],
+//!   [`algebraic`]) that produce transformed variants which *must* check as
+//!   equivalent,
+//! * **error injectors** ([`errors`]) that plant the typical index /
+//!   operand / operator bugs the diagnostics of Section 6.1 are meant to
+//!   localise, and
+//! * **synthetic kernel generators** ([`generator`]) whose ADDG size, loop
+//!   depth and loop bounds can be swept for the scaling experiments of
+//!   Section 6.2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebraic;
+pub mod dataflow;
+pub mod errors;
+pub mod generator;
+pub mod loops;
+pub mod pipeline;
+
+pub use pipeline::{random_pipeline, TransformStep};
+
+use std::fmt;
+
+/// Errors produced by the transformation engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// The requested transformation does not apply at the given location.
+    NotApplicable {
+        /// Which transformation and why it does not apply.
+        message: String,
+    },
+    /// The location (loop index, statement label, ...) does not exist.
+    NoSuchLocation {
+        /// Description of the missing location.
+        message: String,
+    },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::NotApplicable { message } => {
+                write!(f, "transformation not applicable: {message}")
+            }
+            TransformError::NoSuchLocation { message } => write!(f, "no such location: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TransformError>;

@@ -1,0 +1,26 @@
+//! Extracts the ADDGs of the Fig. 1 programs (the graphs drawn in Fig. 2 of
+//! the paper) and writes them as Graphviz `.dot` files.
+//!
+//! Run with `cargo run --example addg_export`; then e.g.
+//! `dot -Tpdf addg_a.dot -o addg_a.pdf`.
+
+use arrayeq::addg::{extract, to_dot};
+use arrayeq::lang::corpus::FIG1_ALL;
+use arrayeq::lang::parser::parse_program;
+
+fn main() {
+    for (name, src) in FIG1_ALL {
+        let program = parse_program(src).expect("corpus program parses");
+        let addg = extract(&program).expect("class program has an ADDG");
+        println!(
+            "version ({name}): {} statements, {} nodes, {} leaf paths, outputs {:?}",
+            addg.statement_count(),
+            addg.node_count(),
+            addg.leaf_path_count(),
+            addg.output_arrays()
+        );
+        let path = format!("addg_{name}.dot");
+        std::fs::write(&path, to_dot(&addg)).expect("write dot file");
+        println!("  wrote {path}");
+    }
+}

@@ -1,0 +1,19 @@
+//! Section 6.1: error diagnostics for the erroneous transformed version (d)
+//! of Fig. 1 — the failing paths, the differing mappings and the blame
+//! heuristic pointing at the `buf` index expression of statement v3.
+//!
+//! Run with `cargo run --release --example diagnose_bug`.
+
+use arrayeq::core::{verify_source, CheckOptions};
+use arrayeq::lang::corpus::{FIG1_A, FIG1_D};
+
+fn main() {
+    let report = verify_source(FIG1_A, FIG1_D, &CheckOptions::default()).expect("pipeline runs");
+    assert!(!report.is_equivalent());
+    println!("{}", report.summary());
+
+    println!("--- blame heuristic ---");
+    for (stmt, failing_paths) in report.blame() {
+        println!("statement {stmt}: involved in {failing_paths} failing path(s)");
+    }
+}

@@ -1,0 +1,33 @@
+//! Reproduces the paper's running example: the four program versions of
+//! Fig. 1 and the verdicts of Sections 5 and 6 (E1/E3 of EXPERIMENTS.md).
+//!
+//! Run with `cargo run --release --example fig1_paper`.
+
+use arrayeq::core::{verify_source, CheckOptions};
+use arrayeq::lang::corpus::{FIG1_A, FIG1_B, FIG1_C, FIG1_D};
+
+fn main() {
+    let pairs = [
+        ("(a) vs (b)", FIG1_A, FIG1_B, true),
+        ("(a) vs (c)", FIG1_A, FIG1_C, true),
+        ("(b) vs (c)", FIG1_B, FIG1_C, true),
+        ("(a) vs (d)", FIG1_A, FIG1_D, false),
+    ];
+    for (name, a, b, expect_equivalent) in pairs {
+        let report = verify_source(a, b, &CheckOptions::default()).expect("pipeline runs");
+        println!(
+            "{name}: {}   (paths: {}, flattenings: {}, matchings: {})",
+            report.verdict,
+            report.stats.paths_compared,
+            report.stats.flattenings,
+            report.stats.matchings
+        );
+        assert_eq!(report.is_equivalent(), expect_equivalent, "{name}");
+    }
+
+    // The basic method of Section 5.1 cannot handle the algebraic
+    // transformations that produce (c).
+    let basic = verify_source(FIG1_A, FIG1_C, &CheckOptions::basic()).unwrap();
+    println!("(a) vs (c) with the basic method: {}", basic.verdict);
+    assert!(!basic.is_equivalent());
+}

@@ -1,0 +1,39 @@
+//! Quick start: verify that a hand-transformed loop is equivalent to the
+//! original and inspect the checker's statistics.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use arrayeq::core::{verify_source, CheckOptions};
+
+fn main() {
+    let original = r#"
+#define N 64
+void scale_add(int A[], int B[], int C[]) {
+    int k, tmp[N];
+    for (k = 0; k < N; k++)
+s1:     tmp[k] = A[2*k] + B[k];
+    for (k = 0; k < N; k++)
+s2:     C[k] = tmp[k] + B[2*k];
+}
+"#;
+
+    // The designer fused the loops, dropped the temporary and re-associated
+    // the additions — all transformations the checker supports.
+    let transformed = r#"
+#define N 64
+void scale_add(int A[], int B[], int C[]) {
+    int k;
+    for (k = 0; k < N; k++)
+t1:     C[k] = B[2*k] + (B[k] + A[2*k]);
+}
+"#;
+
+    let report = verify_source(original, transformed, &CheckOptions::default())
+        .expect("both programs are in the supported class");
+    println!("verdict: {}", report.verdict);
+    println!(
+        "paths compared: {}, mapping equalities: {}, flattenings: {}",
+        report.stats.paths_compared, report.stats.mapping_equalities, report.stats.flattenings
+    );
+    assert!(report.is_equivalent());
+}

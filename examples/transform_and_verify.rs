@@ -1,0 +1,34 @@
+//! A designer's workflow: start from a kernel, apply a pipeline of
+//! transformations (loop + data-flow + algebraic), verify every step, then
+//! inject a bug and watch the checker localise it.
+//!
+//! Run with `cargo run --release --example transform_and_verify`.
+
+use arrayeq::core::{verify_programs, CheckOptions};
+use arrayeq::lang::corpus::{with_size, FIG1_A};
+use arrayeq::lang::parser::parse_program;
+use arrayeq::lang::pretty::program_to_string;
+use arrayeq::transform::errors::{inject, Bug};
+use arrayeq::transform::random_pipeline;
+
+fn main() {
+    let original = parse_program(&with_size(FIG1_A, 128)).expect("corpus program parses");
+
+    // Apply a reproducible random pipeline of legality-checked transformations.
+    let (transformed, steps) = random_pipeline(&original, 8, 2024);
+    println!("applied transformation steps: {steps:?}\n");
+    println!("--- transformed program ---\n{}", program_to_string(&transformed));
+
+    let report = verify_programs(&original, &transformed, &CheckOptions::default()).unwrap();
+    println!("verification of the pipeline: {}", report.verdict);
+    assert!(report.is_equivalent());
+
+    // Now the designer slips: an off-by-two in the buf index of s2.
+    let broken = inject(&transformed, "s2", Bug::IndexOffset(2))
+        .or_else(|_| inject(&transformed, "s2_hi", Bug::IndexOffset(2)))
+        .expect("statement s2 still exists in some form");
+    let report = verify_programs(&original, &broken, &CheckOptions::default()).unwrap();
+    println!("verification of the buggy version: {}", report.verdict);
+    assert!(!report.is_equivalent());
+    println!("{}", report.summary());
+}

@@ -1,0 +1,54 @@
+//! # arrayeq
+//!
+//! Façade crate of the *arrayeq* workspace: a reproduction of the DATE 2005
+//! paper *"Functional Equivalence Checking for Verification of Algebraic
+//! Transformations on Array-Intensive Source Code"* (Shashidhar, Bruynooghe,
+//! Catthoor, Janssens).
+//!
+//! The workspace is organised as one crate per subsystem; this crate simply
+//! re-exports their public APIs under stable module names so applications can
+//! depend on a single crate:
+//!
+//! * [`omega`] — integer sets and affine relations (the Omega-calculator
+//!   substrate),
+//! * [`lang`] — the restricted-C frontend, class checks, def-use analysis and
+//!   the reference interpreter,
+//! * [`addg`] — array data dependence graphs,
+//! * [`core`] — the equivalence checker (basic and extended methods) with
+//!   error diagnostics,
+//! * [`transform`] — source-to-source transformations, error injection and
+//!   workload generators.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use arrayeq::core::{verify_source, CheckOptions};
+//!
+//! let original = r#"
+//!     #define N 16
+//!     void f(int A[], int C[]) {
+//!         int k;
+//!         for (k = 0; k < N; k++)
+//!     s1:     C[k] = A[2*k] + A[k];
+//!     }
+//! "#;
+//! let transformed = r#"
+//!     #define N 16
+//!     void f(int A[], int C[]) {
+//!         int k;
+//!         for (k = 15; k >= 0; k--)
+//!     t1:     C[k] = A[k] + A[2*k];
+//!     }
+//! "#;
+//! let report = verify_source(original, transformed, &CheckOptions::default()).unwrap();
+//! assert!(report.is_equivalent());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use arrayeq_addg as addg;
+pub use arrayeq_core as core;
+pub use arrayeq_lang as lang;
+pub use arrayeq_omega as omega;
+pub use arrayeq_transform as transform;

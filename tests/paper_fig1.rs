@@ -1,0 +1,61 @@
+//! Integration test: the paper's running example end-to-end (E1, E3, E4).
+
+use arrayeq::core::{verify_source, CheckOptions, DiagnosticKind};
+use arrayeq::lang::corpus::*;
+
+#[test]
+fn fig1_verdict_matrix_matches_the_paper() {
+    let versions = [("a", FIG1_A), ("b", FIG1_B), ("c", FIG1_C), ("d", FIG1_D)];
+    for (n1, s1) in versions {
+        for (n2, s2) in versions {
+            let expect = n1 != "d" && n2 != "d" || n1 == n2;
+            let r = verify_source(s1, s2, &CheckOptions::default()).unwrap();
+            assert_eq!(
+                r.is_equivalent(),
+                expect,
+                "({n1}) vs ({n2}) expected equivalent={expect}\n{}",
+                r.summary()
+            );
+        }
+    }
+}
+
+#[test]
+fn erroneous_version_d_is_diagnosed_on_the_even_elements() {
+    let r = verify_source(FIG1_A, FIG1_D, &CheckOptions::default()).unwrap();
+    assert!(!r.is_equivalent());
+    let mapping_mismatches: Vec<_> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.kind == DiagnosticKind::MappingMismatch)
+        .collect();
+    assert!(!mapping_mismatches.is_empty());
+    // The paper localises the error to statements v3 / v1 of (d).
+    let blamed: Vec<String> = r.blame().into_iter().map(|(s, _)| s).collect();
+    assert!(
+        blamed.iter().any(|s| s == "v3" || s == "v1"),
+        "blame list {blamed:?} should contain v3 or v1"
+    );
+}
+
+#[test]
+fn checker_verdicts_agree_with_simulation_on_fig1() {
+    use arrayeq::lang::interp::{Inputs, Interpreter};
+    use arrayeq::lang::parser::parse_program;
+    let n = 1024usize;
+    let a: Vec<i64> = (0..2 * n as i64).map(|i| 5 * i - 3).collect();
+    let b: Vec<i64> = (0..2 * n as i64).map(|i| 2 * i + 11).collect();
+    let run = |src: &str| {
+        let p = parse_program(src).unwrap();
+        Interpreter::new(&p)
+            .run_for_output(
+                &Inputs::new().array("A", a.clone()).array("B", b.clone()).output("C", n),
+                "C",
+            )
+            .unwrap()
+    };
+    let outs = [run(FIG1_A), run(FIG1_B), run(FIG1_C), run(FIG1_D)];
+    assert_eq!(outs[0], outs[1]);
+    assert_eq!(outs[0], outs[2]);
+    assert_ne!(outs[0], outs[3]);
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the omega substrate and the frontend, checking
+//! the algebraic laws the equivalence checker relies on.
+
+use arrayeq::omega::{Relation, Set};
+use proptest::prelude::*;
+
+/// A small affine 1-D relation `{ [i] -> [a*i + b] : lo <= i < hi }`.
+fn affine_relation(a: i64, b: i64, lo: i64, hi: i64) -> Relation {
+    Relation::parse(&format!("{{ [i] -> [{a}i + {b}] : {lo} <= i < {hi} }}")).unwrap()
+}
+
+fn interval(lo: i64, hi: i64) -> Set {
+    Set::parse(&format!("{{ [i] : {lo} <= i < {hi} }}")).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Composition agrees with the pointwise application of the two maps.
+    #[test]
+    fn compose_is_pointwise_function_composition(
+        a1 in 1i64..4, b1 in -3i64..4, a2 in 1i64..4, b2 in -3i64..4,
+        x in 0i64..16,
+    ) {
+        let r1 = affine_relation(a1, b1, 0, 16);
+        let r2 = affine_relation(a2, b2, -80, 80);
+        let composed = r1.compose(&r2).unwrap();
+        let mid = a1 * x + b1;
+        let fin = a2 * mid + b2;
+        prop_assert!(composed.contains(&[x], &[fin], &[]));
+        prop_assert!(!composed.contains(&[x], &[fin + 1], &[]));
+    }
+
+    /// The inverse is an involution and swaps domain and range.
+    #[test]
+    fn inverse_is_an_involution(a in 1i64..5, b in -4i64..5, hi in 1i64..20) {
+        let r = affine_relation(a, b, 0, hi);
+        prop_assert!(r.inverse().inverse().is_equal(&r).unwrap());
+        prop_assert!(r.inverse().domain().is_equal(&r.range()).unwrap());
+        prop_assert!(r.inverse().range().is_equal(&r.domain()).unwrap());
+    }
+
+    /// Set difference, intersection and union behave like their pointwise
+    /// definitions on intervals.
+    #[test]
+    fn set_algebra_matches_pointwise_semantics(
+        lo1 in -8i64..8, len1 in 0i64..12,
+        lo2 in -8i64..8, len2 in 0i64..12,
+        probe in -10i64..24,
+    ) {
+        let s1 = interval(lo1, lo1 + len1);
+        let s2 = interval(lo2, lo2 + len2);
+        let in1 = probe >= lo1 && probe < lo1 + len1;
+        let in2 = probe >= lo2 && probe < lo2 + len2;
+        prop_assert_eq!(s1.union(&s2).unwrap().contains(&[probe], &[]), in1 || in2);
+        prop_assert_eq!(s1.intersect(&s2).unwrap().contains(&[probe], &[]), in1 && in2);
+        prop_assert_eq!(s1.subtract(&s2).unwrap().contains(&[probe], &[]), in1 && !in2);
+        prop_assert_eq!(s1.is_subset(&s2).unwrap(), len1 == 0 || (lo1 >= lo2 && lo1 + len1 <= lo2 + len2));
+    }
+
+    /// Equality of relations is reflexive and symmetric, and strict subsets
+    /// are never reported equal.
+    #[test]
+    fn equality_laws(a in 1i64..4, b in -3i64..4, hi in 2i64..20) {
+        let r = affine_relation(a, b, 0, hi);
+        let smaller = affine_relation(a, b, 0, hi - 1);
+        prop_assert!(r.is_equal(&r).unwrap());
+        prop_assert!(smaller.is_subset(&r).unwrap());
+        prop_assert!(!r.is_equal(&smaller).unwrap());
+        prop_assert!(!r.is_subset(&smaller).unwrap());
+    }
+
+    /// The transitive closure of a unit shift contains exactly the pairs
+    /// reachable in one or more steps.
+    #[test]
+    fn closure_of_unit_shift_is_reachability(hi in 2i64..20, from in 0i64..20, to in 0i64..21) {
+        prop_assume!(from < hi);
+        let r = affine_relation(1, 1, 0, hi);
+        let (closure, exact) = r.transitive_closure().unwrap();
+        prop_assert!(exact);
+        let reachable = to > from && to <= hi;
+        prop_assert_eq!(closure.contains(&[from], &[to], &[]), reachable);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Pretty-printing a generated kernel and re-parsing it yields a program
+    /// the checker proves equivalent to the original.
+    #[test]
+    fn generated_kernels_round_trip_through_the_printer(seed in 0u64..50, layers in 1usize..4) {
+        use arrayeq::core::{verify_programs, CheckOptions};
+        use arrayeq::lang::{parser::parse_program, pretty::program_to_string};
+        use arrayeq::transform::generator::{generate_kernel, GeneratorConfig};
+
+        let cfg = GeneratorConfig { n: 24, layers, seed, ..Default::default() };
+        let p = generate_kernel(&cfg);
+        let reparsed = parse_program(&program_to_string(&p)).unwrap();
+        let report = verify_programs(&p, &reparsed, &CheckOptions::default()).unwrap();
+        prop_assert!(report.is_equivalent());
+    }
+
+    /// Random transformation pipelines never produce a program the checker
+    /// rejects (soundness of the correct-by-construction transformations).
+    #[test]
+    fn random_pipelines_always_verify(seed in 0u64..30) {
+        use arrayeq::core::{verify_programs, CheckOptions};
+        use arrayeq::transform::generator::{generate_kernel, GeneratorConfig};
+        use arrayeq::transform::random_pipeline;
+
+        let cfg = GeneratorConfig { n: 24, layers: 2, seed, ..Default::default() };
+        let p = generate_kernel(&cfg);
+        let (t, _) = random_pipeline(&p, 4, seed * 31 + 7);
+        let report = verify_programs(&p, &t, &CheckOptions::default()).unwrap();
+        prop_assert!(report.is_equivalent());
+    }
+}
