@@ -1,0 +1,206 @@
+//! Offline shim for the subset of the `criterion` crate API this workspace
+//! uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! `arrayeq-bench` bench targets depend on this path crate.  It performs a
+//! straightforward warmup + timed-iterations measurement and prints
+//! mean/min/max per benchmark.  It intentionally keeps the `Criterion`,
+//! `BenchmarkGroup`, `Bencher`, `BenchmarkId`, `criterion_group!` and
+//! `criterion_main!` surface so the bench sources compile unchanged against
+//! the real crate when it is available.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+///
+/// Reads the value through a volatile-ish identity that the optimiser cannot
+/// remove without `unsafe`; for the coarse timings this shim reports, simply
+/// returning the value through an inlining barrier is sufficient.
+#[inline(never)]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier combining a function name and a parameter, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name` / `parameter` pair rendered as `name/parameter`.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, running one warmup pass plus `samples` measured passes.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        black_box(f()); // warmup
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, results: &[Duration]) {
+    if results.is_empty() {
+        println!("{label:<44} (no samples)");
+        return;
+    }
+    let total: Duration = results.iter().sum();
+    let mean = total / results.len() as u32;
+    let min = results.iter().min().unwrap();
+    let max = results.iter().max().unwrap();
+    println!(
+        "{label:<44} mean {:>10.3} ms   min {:>10.3} ms   max {:>10.3} ms   ({} samples)",
+        mean.as_secs_f64() * 1e3,
+        min.as_secs_f64() * 1e3,
+        max.as_secs_f64() * 1e3,
+        results.len()
+    );
+}
+
+/// A named group of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut (),
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured passes per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.results);
+        self
+    }
+
+    /// Runs one benchmark parameterised by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b.results);
+        self
+    }
+
+    /// Ends the group (a no-op in this shim, kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    unit: (),
+}
+
+impl Criterion {
+    /// Opens a named group with the default sample size (10).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("-- {name} --");
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: 10,
+            _criterion: &mut self.unit,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name).bench_function("run", f);
+        self
+    }
+}
+
+/// Collects bench functions under one name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run_closures() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        // one warmup + three samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("tabling", 5).to_string(), "tabling/5");
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline shim for the subset of the `proptest` crate API this workspace
+//! uses.
+//!
+//! The build environment has no network access to crates.io, so the property
+//! tests depend on this path crate.  It supports the `proptest!` macro form
+//!
+//! ```ignore
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(24))]
+//!     #[test]
+//!     fn my_property(a in 0i64..4, b in -3i64..4) { prop_assert!(a + b >= -3); }
+//! }
+//! ```
+//!
+//! Inputs are sampled from the given `Range<{i64,u64,usize,i32}>` expressions
+//! with a deterministic SplitMix64 stream seeded from the property name, so
+//! failures reproduce exactly.  There is no shrinking: a failing case panics
+//! with the sampled values printed, which is enough for the small integer
+//! domains these tests draw from.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of one sampled case: `Err` carries the assertion message.
+pub type CaseResult = Result<(), CaseError>;
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum CaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped, not failed.
+    Rejected,
+    /// `prop_assert!`/`prop_assert_eq!` failed with this message.
+    Failed(String),
+}
+
+/// Deterministic per-property sample stream.
+#[derive(Debug)]
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    /// Creates a stream seeded from the property name (stable across runs).
+    pub fn new(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Types the `a in lo..hi` binder can sample.
+pub trait Sample: Copy + std::fmt::Debug {
+    /// Uniform sample from a non-empty half-open range.
+    fn sample(runner: &mut TestRunner, range: Range<Self>) -> Self;
+}
+
+impl Sample for i64 {
+    fn sample(runner: &mut TestRunner, range: Range<i64>) -> i64 {
+        assert!(range.start < range.end, "empty sample range");
+        let width = range.end.wrapping_sub(range.start) as u64;
+        range.start.wrapping_add(runner.below(width) as i64)
+    }
+}
+
+impl Sample for u64 {
+    fn sample(runner: &mut TestRunner, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty sample range");
+        range.start + runner.below(range.end - range.start)
+    }
+}
+
+impl Sample for usize {
+    fn sample(runner: &mut TestRunner, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty sample range");
+        range.start + runner.below((range.end - range.start) as u64) as usize
+    }
+}
+
+impl Sample for i32 {
+    fn sample(runner: &mut TestRunner, range: Range<i32>) -> i32 {
+        assert!(range.start < range.end, "empty sample range");
+        let width = (range.end as i64 - range.start as i64) as u64;
+        range.start.wrapping_add(runner.below(width) as i32)
+    }
+}
+
+/// Samples one value; used by the `proptest!` expansion.
+pub fn sample<T: Sample>(runner: &mut TestRunner, range: Range<T>) -> T {
+    T::sample(runner, range)
+}
+
+/// Declares deterministic property tests; see the crate docs for the
+/// supported subset of the real `proptest!` grammar.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one property at a time so
+/// the shared config expression can be repeated into every test body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[doc = $doc:expr])*
+        #[test]
+        fn $name:ident( $( $arg:ident in $range:expr ),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[doc = $doc])*
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut runner = $crate::TestRunner::new(stringify!($name));
+            let mut ran = 0u32;
+            let mut attempts = 0u32;
+            while ran < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts < config.cases.saturating_mul(20).max(1000),
+                    "property {}: too many cases rejected by prop_assume!",
+                    stringify!($name)
+                );
+                $(let $arg = $crate::sample(&mut runner, $range);)*
+                let outcome: $crate::CaseResult = (|| { $body Ok(()) })();
+                match outcome {
+                    Ok(()) => ran += 1,
+                    Err($crate::CaseError::Rejected) => continue,
+                    Err($crate::CaseError::Failed(msg)) => {
+                        panic!(
+                            "property {} failed: {}\n  inputs: {}",
+                            stringify!($name),
+                            msg,
+                            [$(format!("{} = {:?}", stringify!($arg), $arg)),*].join(", "),
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::CaseError::Failed(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::CaseError::Rejected);
+        }
+    };
+}
+
+/// Mirrors `proptest::prelude` for the used subset.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn sampling_respects_ranges(a in -3i64..4, b in 0usize..5, c in 1u64..9) {
+            prop_assert!((-3..4).contains(&a));
+            prop_assert!(b < 5);
+            prop_assert!((1..9).contains(&c));
+            prop_assert_eq!(a, a);
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0i64..10) {
+            prop_assume!(a % 2 == 0);
+            prop_assert!(a % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failing_property failed")]
+    #[allow(unnameable_test_items)]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #[test]
+            fn failing_property(a in 0i64..10) {
+                prop_assert!(a < 0, "a was {}", a);
+            }
+        }
+        failing_property();
+    }
+}

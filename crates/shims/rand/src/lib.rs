@@ -1,0 +1,132 @@
+//! Offline shim for the subset of the `rand` crate API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! `arrayeq-transform` generators depend on this path crate instead.  It
+//! provides `StdRng::seed_from_u64` and `Rng::gen_range` over integer ranges,
+//! backed by the SplitMix64 generator — deterministic across platforms, which
+//! is all the workload generators need (they only require reproducible
+//! streams, not cryptographic or statistical guarantees).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling interface, mirroring the used subset of `rand::Rng`.
+pub trait Rng {
+    /// Returns the next raw 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range` (which must be non-empty).
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+}
+
+/// Integer types `gen_range` can sample.
+pub trait UniformInt: Copy {
+    /// Uniform sample from a non-empty half-open range.
+    fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+fn sample_below<R: Rng>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Multiply-shift; the tiny modulo bias is irrelevant for workload seeds.
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+impl UniformInt for usize {
+    fn sample<R: Rng>(rng: &mut R, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range: empty range");
+        range.start + sample_below(rng, (range.end - range.start) as u64) as usize
+    }
+}
+
+impl UniformInt for u64 {
+    fn sample<R: Rng>(rng: &mut R, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        range.start + sample_below(rng, range.end - range.start)
+    }
+}
+
+impl UniformInt for i64 {
+    fn sample<R: Rng>(rng: &mut R, range: Range<i64>) -> i64 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let width = range.end.wrapping_sub(range.start) as u64;
+        range.start.wrapping_add(sample_below(rng, width) as i64)
+    }
+}
+
+impl UniformInt for i32 {
+    fn sample<R: Rng>(rng: &mut R, range: Range<i32>) -> i32 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let width = (range.end as i64 - range.start as i64) as u64;
+        range.start.wrapping_add(sample_below(rng, width) as i32)
+    }
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// SplitMix64-backed stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng {
+                state: state.wrapping_add(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = a.gen_range(0usize..7);
+            assert_eq!(x, b.gen_range(0usize..7));
+            assert!(x < 7);
+            let y = a.gen_range(-5i64..5);
+            assert_eq!(y, b.gen_range(-5i64..5));
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+}
