@@ -30,7 +30,9 @@ pub fn to_dot(g: &Addg) -> String {
     // Operator and constant nodes.
     for (id, node) in g.nodes() {
         match node {
-            Node::Operator { kind, statement, .. } => {
+            Node::Operator {
+                kind, statement, ..
+            } => {
                 let _ = writeln!(
                     out,
                     "  n{id} [label=\"{}\\n{statement}\", shape=circle];",
@@ -78,7 +80,10 @@ pub fn to_dot(g: &Addg) -> String {
                 let target = resolve_edge_target(g, child);
                 let extra = match g.node(child) {
                     Node::Access { mapping, .. } => {
-                        format!(", taillabel=\"{}\"", escape(&truncate(&mapping.to_string(), 60)))
+                        format!(
+                            ", taillabel=\"{}\"",
+                            escape(&truncate(&mapping.to_string(), 60))
+                        )
                     }
                     _ => String::new(),
                 };

@@ -231,7 +231,11 @@ mod tests {
         let g = addg(KERNEL_SAD_TREE);
         let mut found_call = false;
         for (_, n) in g.nodes() {
-            if let Node::Operator { kind: OperatorKind::Call(name), .. } = n {
+            if let Node::Operator {
+                kind: OperatorKind::Call(name),
+                ..
+            } = n
+            {
                 assert_eq!(name, "absd");
                 found_call = true;
             }

@@ -140,7 +140,10 @@ impl Addg {
     /// Registers a definition of an array.
     pub(crate) fn add_definition(&mut self, array: &str, def: Definition) {
         self.array_node(array);
-        self.definitions.entry(array.to_owned()).or_default().push(def);
+        self.definitions
+            .entry(array.to_owned())
+            .or_default()
+            .push(def);
     }
 
     /// Sets the role lists (called once by the extractor).
@@ -290,11 +293,7 @@ impl Addg {
                     continue;
                 }
                 seen.push(n);
-                stack.extend(
-                    deps.iter()
-                        .filter(|(from, _)| from == n)
-                        .map(|(_, to)| to),
-                );
+                stack.extend(deps.iter().filter(|(from, _)| from == n).map(|(_, to)| to));
             }
             if found {
                 cyclic.push(a.clone());
@@ -325,9 +324,7 @@ impl Addg {
         match &self.nodes[id] {
             Node::Access { .. } => 1,
             Node::Const { .. } | Node::Array { .. } => 0,
-            Node::Operator { operands, .. } => {
-                operands.iter().map(|&o| self.count_leaves(o)).sum()
-            }
+            Node::Operator { operands, .. } => operands.iter().map(|&o| self.count_leaves(o)).sum(),
         }
     }
 }
@@ -352,7 +349,10 @@ mod tests {
             &["A".to_string(), "B".to_string()],
             "A and B are only read"
         );
-        assert_eq!(g.intermediate_arrays(), &["tmp".to_string(), "buf".to_string()]);
+        assert_eq!(
+            g.intermediate_arrays(),
+            &["tmp".to_string(), "buf".to_string()]
+        );
         assert_eq!(g.statement_count(), 3);
         // 4 leaf paths from C: via tmp to B (2) and via buf to A (2) — at the
         // statement level each statement has 2 leaves.

@@ -7,7 +7,14 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("recurrences");
     g.sample_size(10);
     g.bench_function("scan_self", |b| {
-        b.iter(|| verify_source(KERNEL_RECURRENCE, KERNEL_RECURRENCE, &CheckOptions::default()).unwrap())
+        b.iter(|| {
+            verify_source(
+                KERNEL_RECURRENCE,
+                KERNEL_RECURRENCE,
+                &CheckOptions::default(),
+            )
+            .unwrap()
+        })
     });
     g.finish();
 }

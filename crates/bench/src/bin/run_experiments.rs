@@ -6,6 +6,8 @@
 //! ```text
 //! cargo run --release -p arrayeq-bench --bin run_experiments            # all
 //! cargo run --release -p arrayeq-bench --bin run_experiments -- --exp e6
+//! cargo run --release -p arrayeq-bench --bin run_experiments -- --exp pr1 \
+//!     [--out BENCH_PR1.json]   # tabling keying-scheme comparison snapshot
 //! ```
 
 use arrayeq_bench::*;
@@ -60,6 +62,16 @@ fn main() {
     if run("e12") {
         e12_omega_ops();
     }
+    // Writes a file, so only runs when explicitly requested.
+    if only.as_deref() == Some("pr1") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_PR1.json".to_owned());
+        pr1_tabling_keying(&out);
+    }
 }
 
 fn header(id: &str, title: &str) {
@@ -68,7 +80,10 @@ fn header(id: &str, title: &str) {
 
 fn e1_fig1_verdicts() {
     header("E1", "Fig. 1 verdicts (paper: a=b=c, d inequivalent)");
-    println!("{:<10} {:>14} {:>12} {:>10}", "pair", "verdict", "paths", "time/ms");
+    println!(
+        "{:<10} {:>14} {:>12} {:>10}",
+        "pair", "verdict", "paths", "time/ms"
+    );
     for (name, a, b) in fig1_pairs() {
         let (report, t) = timed(|| verify_source(&a, &b, &CheckOptions::default()).unwrap());
         println!(
@@ -82,7 +97,10 @@ fn e1_fig1_verdicts() {
 }
 
 fn e2_algebraic_properties() {
-    header("E2", "Fig. 3 algebraic normalisation (associativity / commutativity / both)");
+    header(
+        "E2",
+        "Fig. 3 algebraic normalisation (associativity / commutativity / both)",
+    );
     let assoc_a = "#define N 32\nvoid f(int X[], int Y[], int Z[], int C[]) { int k; for (k=0;k<N;k++) s1: C[k] = (X[k] + Y[k]) + Z[k]; }";
     let assoc_b = "#define N 32\nvoid f(int X[], int Y[], int Z[], int C[]) { int k; for (k=0;k<N;k++) t1: C[k] = X[k] + (Y[k] + Z[k]); }";
     let comm_a = "#define N 32\nvoid f(int X[], int Y[], int C[]) { int k; for (k=0;k<N;k++) s1: C[k] = X[2*k] * Y[k]; }";
@@ -107,7 +125,10 @@ fn e2_algebraic_properties() {
 }
 
 fn e3_flattening_and_matching() {
-    header("E3", "Fig. 5: flattening (a)/(c) and the output-input mapping equalities");
+    header(
+        "E3",
+        "Fig. 5: flattening (a)/(c) and the output-input mapping equalities",
+    );
     // The four mappings of Section 5.2, rebuilt from the paper's text.
     let d = "0 <= k < 1024";
     let pairs = [
@@ -123,19 +144,28 @@ fn e3_flattening_and_matching() {
     let report = verify_source(FIG1_A, FIG1_C, &CheckOptions::default()).unwrap();
     println!(
         "fig1 (a) vs (c): {}  flattenings={} matchings={} mapping-equalities={}",
-        report.verdict, report.stats.flattenings, report.stats.matchings, report.stats.mapping_equalities
+        report.verdict,
+        report.stats.flattenings,
+        report.stats.matchings,
+        report.stats.mapping_equalities
     );
 }
 
 fn e4_diagnostics() {
-    header("E4", "Section 6.1 diagnostics for the erroneous version (d)");
+    header(
+        "E4",
+        "Section 6.1 diagnostics for the erroneous version (d)",
+    );
     let report = verify_source(FIG1_A, FIG1_D, &CheckOptions::default()).unwrap();
     println!("{}", report.summary());
 }
 
 fn e5_scaling_addg_size() {
     header("E5", "checker time vs ADDG size (statements), N = 256");
-    println!("{:<14} {:>10} {:>12} {:>10}", "statements", "verdict", "paths", "time/ms");
+    println!(
+        "{:<14} {:>10} {:>12} {:>10}",
+        "statements", "verdict", "paths", "time/ms"
+    );
     for layers in [2usize, 4, 8, 16, 32] {
         let w = generated_pair(layers, 256, 11);
         let (r, t) = timed(|| w.check(&CheckOptions::default()));
@@ -150,7 +180,10 @@ fn e5_scaling_addg_size() {
 }
 
 fn e6_scaling_loop_bounds() {
-    header("E6", "checker vs simulation as the loop bound N grows (fig1(a)-shaped pair)");
+    header(
+        "E6",
+        "checker vs simulation as the loop bound N grows (fig1(a)-shaped pair)",
+    );
     println!(
         "{:<10} {:>14} {:>16} {:>10}",
         "N", "checker/ms", "simulation/ms", "agree"
@@ -170,8 +203,14 @@ fn e6_scaling_loop_bounds() {
 }
 
 fn e7_extended_overhead() {
-    header("E7", "extended vs basic method on pairs WITHOUT algebraic transformations");
-    println!("{:<14} {:>12} {:>12} {:>10}", "statements", "basic/ms", "extended/ms", "ratio");
+    header(
+        "E7",
+        "extended vs basic method on pairs WITHOUT algebraic transformations",
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>10}",
+        "statements", "basic/ms", "extended/ms", "ratio"
+    );
     for layers in [2usize, 4, 8] {
         // Loop-and-propagation-only pipeline: filter out algebraic steps by
         // checking with both methods on the same pair; the pair itself is
@@ -195,8 +234,14 @@ fn e7_extended_overhead() {
 }
 
 fn e8_realistic_kernels() {
-    header("E8", "realistic kernel suite, random transformation pipelines (paper: < 100 s each)");
-    println!("{:<14} {:>12} {:>12} {:>10}", "kernel", "verdict", "paths", "time/ms");
+    header(
+        "E8",
+        "realistic kernel suite, random transformation pipelines (paper: < 100 s each)",
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>10}",
+        "kernel", "verdict", "paths", "time/ms"
+    );
     let mut max = Duration::ZERO;
     for w in kernel_suite(23) {
         let (r, t) = timed(|| w.check(&CheckOptions::default()));
@@ -214,7 +259,10 @@ fn e8_realistic_kernels() {
 
 fn e9_tabling_ablation() {
     header("E9", "tabling ablation (shared sub-ADDGs)");
-    println!("{:<14} {:>14} {:>16} {:>12}", "statements", "with/ms", "without/ms", "table hits");
+    println!(
+        "{:<14} {:>14} {:>16} {:>12}",
+        "statements", "with/ms", "without/ms", "table hits"
+    );
     for layers in [4usize, 8, 16] {
         let w = generated_pair(layers, 256, 29);
         let (r1, t1) = timed(|| w.check(&CheckOptions::default()));
@@ -233,16 +281,28 @@ fn e10_recurrences() {
     header("E10", "recurrence (cyclic ADDG) handling");
     let broken = KERNEL_RECURRENCE.replace("Y[0] = X[0] + 0;", "Y[0] = X[0] + 1;");
     for (name, a, b) in [
-        ("scan vs scan", KERNEL_RECURRENCE.to_string(), KERNEL_RECURRENCE.to_string()),
+        (
+            "scan vs scan",
+            KERNEL_RECURRENCE.to_string(),
+            KERNEL_RECURRENCE.to_string(),
+        ),
         ("scan vs broken base", KERNEL_RECURRENCE.to_string(), broken),
     ] {
         let (r, t) = timed(|| verify_source(&a, &b, &CheckOptions::default()).unwrap());
-        println!("{:<22} {:>14} {:>10} ms", name, r.verdict.to_string(), ms(t));
+        println!(
+            "{:<22} {:>14} {:>10} ms",
+            name,
+            r.verdict.to_string(),
+            ms(t)
+        );
     }
 }
 
 fn e11_focused_checking() {
-    header("E11", "focused checking (output subset + intermediate correspondences)");
+    header(
+        "E11",
+        "focused checking (output subset + intermediate correspondences)",
+    );
     let full_opts = CheckOptions::default();
     let focused_opts = CheckOptions::default().with_focus(Focus {
         outputs: vec!["C".into()],
@@ -252,14 +312,161 @@ fn e11_focused_checking() {
     let b = parse_program(FIG1_B).unwrap();
     let (r1, t1) = timed(|| arrayeq_core::verify_programs(&a, &b, &full_opts).unwrap());
     let (r2, t2) = timed(|| arrayeq_core::verify_programs(&a, &b, &focused_opts).unwrap());
-    println!("full:    {} in {} ms ({} path pairs)", r1.verdict, ms(t1), r1.stats.paths_compared);
-    println!("focused: {} in {} ms ({} path pairs)", r2.verdict, ms(t2), r2.stats.paths_compared);
+    println!(
+        "full:    {} in {} ms ({} path pairs)",
+        r1.verdict,
+        ms(t1),
+        r1.stats.paths_compared
+    );
+    println!(
+        "focused: {} in {} ms ({} path pairs)",
+        r2.verdict,
+        ms(t2),
+        r2.stats.paths_compared
+    );
+}
+
+/// PR1 acceptance snapshot: checker wall-time on the `scaling_addg_size`
+/// workloads with the three tabling configurations — structural-hash keys
+/// (default), legacy canonical-string keys and no tabling — measured in one
+/// run and written to a JSON file.
+fn pr1_tabling_keying(out_path: &str) {
+    header(
+        "PR1",
+        "tabling keying scheme on scaling_addg_size workloads",
+    );
+    const REPEATS: usize = 5;
+    const N: i64 = 256;
+    const SEED: u64 = 11;
+    let layer_counts = [4usize, 8, 16, 32];
+    // Pre-refactor wall-times of the identical workloads (same machine, same
+    // best-of-5 methodology), measured at the last commit before the
+    // canonicalization/hashing rework ("Bootstrap cargo workspace ...",
+    // string-keyed tabling, no feasibility memo, heap-allocated LinExpr).
+    // The old keying cannot be rebuilt from the current sources, so the
+    // measurement is recorded here as the committed baseline.
+    let seed_baseline_ms = [3.308, 17.997, 67.759, 404.804];
+
+    let measure = |w: &Workload, opts: &CheckOptions| -> (f64, arrayeq_core::Report) {
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..REPEATS {
+            let (r, t) = timed(|| w.check(opts));
+            assert!(r.is_equivalent(), "pr1 workload must verify: {}", w.name);
+            best = best.min(t.as_secs_f64() * 1e3);
+            last = Some(r);
+        }
+        (best, last.expect("at least one repeat"))
+    };
+
+    println!(
+        "{:<12} {:>10} {:>14} {:>16} {:>14} {:>10} {:>10}",
+        "statements",
+        "seed/ms",
+        "hash-keys/ms",
+        "string-keys/ms",
+        "no-table/ms",
+        "speedup",
+        "lookups"
+    );
+    let mut rows = Vec::new();
+    let mut seed_speedup_log_sum = 0.0;
+    let mut key_speedup_log_sum = 0.0;
+    for (i, layers) in layer_counts.into_iter().enumerate() {
+        let w = generated_pair(layers, N, SEED);
+        let (hash_ms, hash_report) = measure(&w, &CheckOptions::default());
+        let (string_ms, _) = measure(&w, &CheckOptions::default().with_string_table_keys());
+        let (no_tab_ms, _) = measure(&w, &CheckOptions::default().without_tabling());
+        let seed_ms = seed_baseline_ms[i];
+        let seed_speedup = seed_ms / hash_ms;
+        let key_speedup = string_ms / hash_ms;
+        seed_speedup_log_sum += seed_speedup.ln();
+        key_speedup_log_sum += key_speedup.ln();
+        println!(
+            "{:<12} {:>10.3} {:>14.3} {:>16.3} {:>14.3} {:>9.2}x {:>10}",
+            layers + 1,
+            seed_ms,
+            hash_ms,
+            string_ms,
+            no_tab_ms,
+            seed_speedup,
+            hash_report.stats.table_lookups,
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"statements\": {},\n",
+                "      \"seed_string_keyed_baseline_ms\": {:.3},\n",
+                "      \"hash_keys_ms\": {:.3},\n",
+                "      \"string_keys_ms\": {:.3},\n",
+                "      \"no_tabling_ms\": {:.3},\n",
+                "      \"speedup_vs_seed_baseline\": {:.3},\n",
+                "      \"speedup_hash_vs_string_same_run\": {:.3},\n",
+                "      \"table_lookups\": {},\n",
+                "      \"table_hits\": {},\n",
+                "      \"table_entries\": {}\n",
+                "    }}"
+            ),
+            layers + 1,
+            seed_ms,
+            hash_ms,
+            string_ms,
+            no_tab_ms,
+            seed_speedup,
+            key_speedup,
+            hash_report.stats.table_lookups,
+            hash_report.stats.table_hits,
+            hash_report.stats.table_entries,
+        ));
+    }
+    let seed_geomean = (seed_speedup_log_sum / layer_counts.len() as f64).exp();
+    let key_geomean = (key_speedup_log_sum / layer_counts.len() as f64).exp();
+    let (memo_hits, memo_misses) = arrayeq_omega::feasibility_memo_stats();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"PR1: checker wall-time on scaling_addg_size, tabling ",
+            "keying schemes and pre-refactor baseline\",\n",
+            "  \"command\": \"cargo run --release -p arrayeq-bench --bin run_experiments ",
+            "-- --exp pr1\",\n",
+            "  \"baseline_note\": \"seed_string_keyed_baseline_ms measured pre-refactor ",
+            "(string tabling keys, no feasibility memo, heap LinExpr) on the same ",
+            "machine with the same best-of-N methodology and is the faithful ",
+            "end-to-end baseline; string_keys_ms re-runs the legacy key ",
+            "construction in this run on top of the optimised substrate and the ",
+            "widened tabling coverage, isolating the keying cost only\",\n",
+            "  \"config\": {{ \"n\": {}, \"seed\": {}, \"repeats\": {}, ",
+            "\"timing\": \"best of repeats, ms\" }},\n",
+            "  \"rows\": [\n{}\n  ],\n",
+            "  \"geomean_speedup_vs_seed_baseline\": {:.3},\n",
+            "  \"geomean_speedup_hash_vs_string_same_run\": {:.3},\n",
+            "  \"feasibility_memo\": {{ \"hits\": {}, \"misses\": {} }}\n",
+            "}}\n"
+        ),
+        N,
+        SEED,
+        REPEATS,
+        rows.join(",\n"),
+        seed_geomean,
+        key_geomean,
+        memo_hits,
+        memo_misses,
+    );
+    std::fs::write(out_path, &json).expect("write PR1 snapshot");
+    println!("geomean speedup vs pre-refactor seed baseline: {seed_geomean:.2}x");
+    println!("geomean speedup hash vs string keys (same run): {key_geomean:.2}x");
+    println!("snapshot written to {out_path}");
 }
 
 fn e12_omega_ops() {
-    header("E12", "omega-layer micro-operations (compose / equality / closure)");
+    header(
+        "E12",
+        "omega-layer micro-operations (compose / equality / closure)",
+    );
     let m1 = Relation::parse("{ [k] -> [2k] : 0 <= k < 1024 }").unwrap();
-    let m2 = Relation::parse("{ [x] -> [y] : exists k : x = 2k - 2 and y = k - 1 and 1 <= k <= 1024 }").unwrap();
+    let m2 =
+        Relation::parse("{ [x] -> [y] : exists k : x = 2k - 2 and y = k - 1 and 1 <= k <= 1024 }")
+            .unwrap();
     let shift = Relation::parse("{ [i] -> [i+1] : 0 <= i < 1024 }").unwrap();
     let (_, t1) = timed(|| {
         for _ in 0..100 {

@@ -47,6 +47,11 @@ pub struct CheckOptions {
     pub operators: OperatorProperties,
     /// Whether to table (memoise) established sub-equivalences.
     pub tabling: bool,
+    /// Use the legacy string-rendered canonical keys for the tabling cache
+    /// instead of the structural hashes.  Strictly slower — every lookup
+    /// re-renders both relations — and kept only so the perf experiments can
+    /// measure the two keying schemes against each other in the same run.
+    pub string_table_keys: bool,
     /// Optional focused checking.
     pub focus: Option<Focus>,
     /// Whether to run the def-use checker before extracting ADDGs (Fig. 6).
@@ -64,6 +69,7 @@ impl Default for CheckOptions {
             method: Method::Extended,
             operators: OperatorProperties::default(),
             tabling: true,
+            string_table_keys: false,
             focus: None,
             check_def_use: true,
             check_class: true,
@@ -84,6 +90,13 @@ impl CheckOptions {
     /// Disables tabling (for the ablation experiment E9).
     pub fn without_tabling(mut self) -> Self {
         self.tabling = false;
+        self
+    }
+
+    /// Switches the tabling cache to the legacy string keys (baseline for
+    /// the keying-scheme perf comparison).
+    pub fn with_string_table_keys(mut self) -> Self {
+        self.string_table_keys = true;
         self
     }
 
@@ -114,7 +127,11 @@ pub fn verify_source(original: &str, transformed: &str, opts: &CheckOptions) -> 
 /// # Errors
 ///
 /// Same as [`verify_source`], minus parsing.
-pub fn verify_programs(original: &Program, transformed: &Program, opts: &CheckOptions) -> Result<Report> {
+pub fn verify_programs(
+    original: &Program,
+    transformed: &Program,
+    opts: &CheckOptions,
+) -> Result<Report> {
     if opts.check_class {
         assert_in_class(original)?;
         assert_in_class(transformed)?;
@@ -142,11 +159,30 @@ pub fn verify_addgs(original: &Addg, transformed: &Addg, opts: &CheckOptions) ->
         stats: CheckStats::default(),
         diagnostics: Vec::new(),
         table: HashMap::new(),
+        array_ids_a: HashMap::new(),
+        array_ids_b: HashMap::new(),
+        #[cfg(debug_assertions)]
+        table_shadow: HashMap::new(),
         in_progress: BTreeMap::new(),
+        assumption_uses: 0,
         work: 0,
         exhausted: false,
     };
     checker.run()
+}
+
+/// Key of the tabling cache: the two node ids plus the two output-current
+/// mappings.
+///
+/// The default `Hashed` form identifies each mapping by its cached
+/// [`Relation::structural_hash`] — two `u64` loads per lookup, no allocation.
+/// The `Text` form is the legacy scheme (canonical strings rebuilt on every
+/// lookup), selectable via [`CheckOptions::string_table_keys`] so the perf
+/// experiments can measure both in one run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum TableKey {
+    Hashed(usize, usize, u64, u64),
+    Text(usize, usize, String, String),
 }
 
 /// The traversal state.
@@ -157,10 +193,26 @@ struct Checker<'x> {
     stats: CheckStats,
     diagnostics: Vec<Diagnostic>,
     /// Tabling cache: established equivalences of sub-ADDG pairs.
-    table: HashMap<(usize, usize, String, String), bool>,
+    table: HashMap<TableKey, bool>,
+    /// Dense integer ids for array positions of each graph, so array/array
+    /// and mixed pairs can be tabled without string keys (node positions use
+    /// their `NodeId` directly; see [`Checker::pos_id`]).
+    array_ids_a: HashMap<String, usize>,
+    array_ids_b: HashMap<String, usize>,
+    /// Hash-collision paranoia (debug builds only): the canonical renderings
+    /// of the relations behind every `Hashed` table entry.  A lookup whose
+    /// hashes match but whose canonical keys differ is a real 64-bit
+    /// collision and is counted in [`CheckStats::hash_collisions`].
+    #[cfg(debug_assertions)]
+    table_shadow: HashMap<TableKey, (String, String)>,
     /// Coinduction for recurrences: array pairs currently being proven, with
     /// the element-pair relation assumed equal.
     in_progress: BTreeMap<(String, String), Relation>,
+    /// Bumped every time a sub-check is discharged by an `in_progress`
+    /// coinductive assumption.  A sub-proof during which this counter moved
+    /// is only valid under that assumption and must not be tabled; everything
+    /// else (the overwhelming majority) caches freely.
+    assumption_uses: u64,
     work: u64,
     exhausted: bool,
 }
@@ -189,21 +241,39 @@ impl Checker<'_> {
         let outputs = self.select_outputs()?;
         let mut all_ok = true;
         for output in &outputs {
-            let ea = self.a.defined_elements(output).ok_or_else(|| CoreError::Incomparable {
-                message: format!("original program never defines output `{output}`"),
-            })?;
-            let eb = self.b.defined_elements(output).ok_or_else(|| CoreError::Incomparable {
-                message: format!("transformed program never defines output `{output}`"),
-            })?;
+            let ea = self
+                .a
+                .defined_elements(output)
+                .ok_or_else(|| CoreError::Incomparable {
+                    message: format!("original program never defines output `{output}`"),
+                })?;
+            let eb = self
+                .b
+                .defined_elements(output)
+                .ok_or_else(|| CoreError::Incomparable {
+                    message: format!("transformed program never defines output `{output}`"),
+                })?;
             if !ea.is_equal(&eb)? {
                 self.diagnostics.push(Diagnostic {
                     kind: DiagnosticKind::OutputDomainMismatch,
-                    original_statements: self.a.definitions(output).iter().map(|d| d.statement.clone()).collect(),
-                    transformed_statements: self.b.definitions(output).iter().map(|d| d.statement.clone()).collect(),
+                    original_statements: self
+                        .a
+                        .definitions(output)
+                        .iter()
+                        .map(|d| d.statement.clone())
+                        .collect(),
+                    transformed_statements: self
+                        .b
+                        .definitions(output)
+                        .iter()
+                        .map(|d| d.statement.clone())
+                        .collect(),
                     expressions: vec![output.clone()],
                     original_mapping: Some(ea.to_string()),
                     transformed_mapping: Some(eb.to_string()),
-                    message: format!("the two programs do not define the same elements of `{output}`"),
+                    message: format!(
+                        "the two programs do not define the same elements of `{output}`"
+                    ),
                     failing_domain: None,
                 });
                 all_ok = false;
@@ -299,21 +369,47 @@ impl Checker<'_> {
         // dependency mapping (the paper's intermediate variable reduction
         // happens when the resulting array is then looked through below).
         if let Pos::Node(n) = &pos_a {
-            if let Node::Access { array, mapping, statement, .. } = self.a.node(*n) {
+            if let Node::Access {
+                array,
+                mapping,
+                statement,
+                ..
+            } = self.a.node(*n)
+            {
                 self.stats.compositions += 1;
                 let new_map = map_a.compose(mapping)?.simplified(true);
                 let mut trail = trail_a.to_vec();
                 trail.push(statement.clone());
-                return self.check(Pos::Array(array.clone()), new_map, pos_b, map_b, &trail, trail_b);
+                return self.check(
+                    Pos::Array(array.clone()),
+                    new_map,
+                    pos_b,
+                    map_b,
+                    &trail,
+                    trail_b,
+                );
             }
         }
         if let Pos::Node(n) = &pos_b {
-            if let Node::Access { array, mapping, statement, .. } = self.b.node(*n) {
+            if let Node::Access {
+                array,
+                mapping,
+                statement,
+                ..
+            } = self.b.node(*n)
+            {
                 self.stats.compositions += 1;
                 let new_map = map_b.compose(mapping)?.simplified(true);
                 let mut trail = trail_b.to_vec();
                 trail.push(statement.clone());
-                return self.check(pos_a, map_a, Pos::Array(array.clone()), new_map, trail_a, &trail);
+                return self.check(
+                    pos_a,
+                    map_a,
+                    Pos::Array(array.clone()),
+                    new_map,
+                    trail_a,
+                    &trail,
+                );
             }
         }
 
@@ -334,19 +430,38 @@ impl Checker<'_> {
         // Tabling.
         let table_key = self.table_key(&pos_a, &pos_b, &map_a, &map_b);
         if self.opts.tabling {
-            if let Some(&cached) = table_key.as_ref().and_then(|k| self.table.get(k)) {
-                self.stats.table_hits += 1;
-                return Ok(cached);
+            if let Some(k) = table_key.as_ref() {
+                self.stats.table_lookups += 1;
+                if let Some(&cached) = self.table.get(k) {
+                    self.stats.table_hits += 1;
+                    #[cfg(debug_assertions)]
+                    self.check_for_hash_collision(k, &map_a, &map_b);
+                    return Ok(cached);
+                }
             }
         }
 
+        #[cfg(debug_assertions)]
+        let shadow_val = match &table_key {
+            Some(TableKey::Hashed(..)) => Some((map_a.canonical_key(), map_b.canonical_key())),
+            _ => None,
+        };
+
+        let assumption_uses_before = self.assumption_uses;
         let result = self.check_uncached(&pos_a, map_a, &pos_b, map_b, trail_a, trail_b)?;
 
         if self.opts.tabling {
             if let Some(k) = table_key {
-                if result {
-                    // Only successful sub-proofs are reused; failures keep
-                    // their diagnostics specific to the path that found them.
+                // Only successful sub-proofs are reused; failures keep their
+                // diagnostics specific to the path that found them.  A proof
+                // that leaned on a coinductive recurrence assumption is only
+                // valid under that assumption and must not be replayed
+                // outside it, so it is not inserted either.
+                if result && self.assumption_uses == assumption_uses_before {
+                    #[cfg(debug_assertions)]
+                    if let Some(v) = shadow_val {
+                        self.table_shadow.insert(k.clone(), v);
+                    }
                     self.table.insert(k, true);
                     self.stats.table_entries += 1;
                 }
@@ -355,28 +470,81 @@ impl Checker<'_> {
         Ok(result)
     }
 
+    /// Dense integer id of a traversal position: node positions map to
+    /// `2·NodeId`, array positions to `2·id + 1` with ids handed out on
+    /// first sight, so the two kinds never collide and the tabling key
+    /// stays integer-only for every position pair.
+    fn pos_id(&mut self, original_side: bool, pos: &Pos) -> usize {
+        match pos {
+            Pos::Node(n) => n << 1,
+            Pos::Array(v) => {
+                let ids = if original_side {
+                    &mut self.array_ids_a
+                } else {
+                    &mut self.array_ids_b
+                };
+                // get-then-insert: the name is only cloned the first time an
+                // array is seen, keeping the per-lookup path allocation-free.
+                let id = match ids.get(v) {
+                    Some(&id) => id,
+                    None => {
+                        let next = ids.len();
+                        ids.insert(v.clone(), next);
+                        next
+                    }
+                };
+                (id << 1) | 1
+            }
+        }
+    }
+
+    /// Builds the tabling key for a position pair.
+    ///
+    /// On the default (hashed) path this performs **no string allocation**:
+    /// the key is two position ids plus the two cached structural hashes.
+    /// The legacy path (`string_table_keys`) uses the seed's key
+    /// *construction* — a deep `simplified(true)` pass and a debug-format
+    /// rendering of every conjunct, per map, per lookup — but over this
+    /// PR's wider tabling coverage (the seed only keyed node/node pairs),
+    /// so it isolates the keying cost, not the seed's overall behaviour;
+    /// the faithful end-to-end baseline is the pre-refactor measurement
+    /// recorded in `BENCH_PR1.json`.
     fn table_key(
         &mut self,
         pos_a: &Pos,
         pos_b: &Pos,
         map_a: &Relation,
         map_b: &Relation,
-    ) -> Option<(usize, usize, String, String)> {
+    ) -> Option<TableKey> {
         if !self.opts.tabling {
             return None;
         }
-        let da = match pos_a {
-            Pos::Node(n) => *n,
-            Pos::Array(_) => usize::MAX,
-        };
-        let db = match pos_b {
-            Pos::Node(n) => *n,
-            Pos::Array(_) => usize::MAX,
-        };
-        if da == usize::MAX || db == usize::MAX {
-            return None; // array positions are cheap to re-resolve
+        let da = self.pos_id(true, pos_a);
+        let db = self.pos_id(false, pos_b);
+        Some(if self.opts.string_table_keys {
+            TableKey::Text(da, db, legacy_key(map_a), legacy_key(map_b))
+        } else {
+            TableKey::Hashed(da, db, map_a.structural_hash(), map_b.structural_hash())
+        })
+    }
+
+    /// Debug-build cross-check: a table hit whose canonical renderings differ
+    /// from the stored ones means two distinct relations collided on the same
+    /// 64-bit structural hash.
+    #[cfg(debug_assertions)]
+    fn check_for_hash_collision(&mut self, key: &TableKey, map_a: &Relation, map_b: &Relation) {
+        if !matches!(key, TableKey::Hashed(..)) {
+            return;
         }
-        Some((da, db, map_a.canonical_key(), map_b.canonical_key()))
+        if let Some((ka, kb)) = self.table_shadow.get(key) {
+            if *ka != map_a.canonical_key() || *kb != map_b.canonical_key() {
+                self.stats.hash_collisions += 1;
+                debug_assert!(
+                    false,
+                    "structural_hash collision in the tabling cache: {key:?}"
+                );
+            }
+        }
     }
 
     fn check_uncached(
@@ -407,6 +575,7 @@ impl Checker<'_> {
                             let needed = map_a.inverse().compose(&map_b)?;
                             self.stats.mapping_equalities += 1;
                             if needed.is_subset(assumed)? {
+                                self.assumption_uses += 1;
                                 return Ok(true);
                             }
                             // Outside the assumed element pairs: fall through
@@ -431,7 +600,9 @@ impl Checker<'_> {
             }
             (Pos::Node(_), Pos::Array(vb)) => {
                 if self.b.is_input(vb) {
-                    self.report_operator_vs_leaf(vb, pos_a, &map_b, &map_a, trail_b, trail_a, false);
+                    self.report_operator_vs_leaf(
+                        vb, pos_a, &map_b, &map_a, trail_b, trail_a, false,
+                    );
                     Ok(false)
                 } else {
                     self.reduce_side_b(pos_a.clone(), map_a, &vb.clone(), map_b, trail_a, trail_b)
@@ -471,7 +642,14 @@ impl Checker<'_> {
             let sub_b = map_b.restrict_domain(&sub_domain)?.simplified(true);
             let mut trail = trail_a.to_vec();
             trail.push(def.statement.clone());
-            ok &= self.check(Pos::Node(def.root), sub_a, pos_b.clone(), sub_b, &trail, trail_b)?;
+            ok &= self.check(
+                Pos::Node(def.root),
+                sub_a,
+                pos_b.clone(),
+                sub_b,
+                &trail,
+                trail_b,
+            )?;
         }
         if let Some(k) = key {
             self.in_progress.remove(&k);
@@ -500,7 +678,14 @@ impl Checker<'_> {
             let sub_a = map_a.restrict_domain(&sub_domain)?.simplified(true);
             let mut trail = trail_b.to_vec();
             trail.push(def.statement.clone());
-            ok &= self.check(pos_a.clone(), sub_a, Pos::Node(def.root), sub_b, trail_a, &trail)?;
+            ok &= self.check(
+                pos_a.clone(),
+                sub_a,
+                Pos::Node(def.root),
+                sub_b,
+                trail_a,
+                &trail,
+            )?;
         }
         Ok(ok)
     }
@@ -555,9 +740,7 @@ impl Checker<'_> {
             expressions: vec![va.to_owned()],
             original_mapping: Some(map_a.to_string()),
             transformed_mapping: Some(map_b.to_string()),
-            message: format!(
-                "paths reading `{va}` have different output-input mappings"
-            ),
+            message: format!("paths reading `{va}` have different output-input mappings"),
             failing_domain: Some(failing.to_string()),
         });
         Ok(false)
@@ -629,8 +812,16 @@ impl Checker<'_> {
                 }
             }
             (
-                Node::Operator { kind: ka, operands: oa, statement: sa },
-                Node::Operator { kind: kb, operands: ob, statement: sb },
+                Node::Operator {
+                    kind: ka,
+                    operands: oa,
+                    statement: sa,
+                },
+                Node::Operator {
+                    kind: kb,
+                    operands: ob,
+                    statement: sb,
+                },
             ) => {
                 if ka != kb {
                     self.diagnostics.push(Diagnostic {
@@ -680,8 +871,15 @@ impl Checker<'_> {
                     Ok(ok)
                 } else {
                     self.check_algebraic(
-                        &ka, na, map_a, nb, map_b, &with(trail_a, &sa), &with(trail_b, &sb),
-                        class.associative, class.commutative,
+                        &ka,
+                        na,
+                        map_a,
+                        nb,
+                        map_b,
+                        &with(trail_a, &sa),
+                        &with(trail_b, &sb),
+                        class.associative,
+                        class.commutative,
                     )
                 }
             }
@@ -722,9 +920,25 @@ impl Checker<'_> {
     ) -> Result<bool> {
         self.stats.flattenings += 1;
         let mut terms_a = Vec::new();
-        self.flatten(true, op, Pos::Node(na), map_a.clone(), trail_a.to_vec(), associative, &mut terms_a)?;
+        self.flatten(
+            true,
+            op,
+            Pos::Node(na),
+            map_a.clone(),
+            trail_a.to_vec(),
+            associative,
+            &mut terms_a,
+        )?;
         let mut terms_b = Vec::new();
-        self.flatten(false, op, Pos::Node(nb), map_b.clone(), trail_b.to_vec(), associative, &mut terms_b)?;
+        self.flatten(
+            false,
+            op,
+            Pos::Node(nb),
+            map_b.clone(),
+            trail_b.to_vec(),
+            associative,
+            &mut terms_b,
+        )?;
 
         // Partition the current output domain into pieces on which every
         // term is either fully present or fully absent.
@@ -780,24 +994,53 @@ impl Checker<'_> {
         let g = if original_side { self.a } else { self.b };
         match pos {
             Pos::Node(n) => match g.node(n).clone() {
-                Node::Operator { kind, operands, statement } if kind == *op && descend_chains => {
+                Node::Operator {
+                    kind,
+                    operands,
+                    statement,
+                } if kind == *op && descend_chains => {
                     for child in operands {
                         let mut t = trail.clone();
                         t.push(statement.clone());
-                        self.flatten(original_side, op, Pos::Node(child), map.clone(), t, descend_chains, out)?;
+                        self.flatten(
+                            original_side,
+                            op,
+                            Pos::Node(child),
+                            map.clone(),
+                            t,
+                            descend_chains,
+                            out,
+                        )?;
                     }
                     Ok(true)
                 }
-                Node::Access { array, mapping, statement, .. } => {
+                Node::Access {
+                    array,
+                    mapping,
+                    statement,
+                    ..
+                } => {
                     self.stats.compositions += 1;
                     let new_map = map.compose(&mapping)?.simplified(true);
                     let mut t = trail.clone();
                     t.push(statement.clone());
-                    self.flatten(original_side, op, Pos::Array(array), new_map, t, descend_chains, out)?;
+                    self.flatten(
+                        original_side,
+                        op,
+                        Pos::Array(array),
+                        new_map,
+                        t,
+                        descend_chains,
+                        out,
+                    )?;
                     Ok(true)
                 }
                 _ => {
-                    out.push(FlatTerm { pos: Pos::Node(n), map, trail });
+                    out.push(FlatTerm {
+                        pos: Pos::Node(n),
+                        map,
+                        trail,
+                    });
                     Ok(true)
                 }
             },
@@ -813,7 +1056,11 @@ impl Checker<'_> {
                     self.b.recurrence_arrays().contains(&v)
                 };
                 if is_input || is_recurrent {
-                    out.push(FlatTerm { pos: Pos::Array(v), map, trail });
+                    out.push(FlatTerm {
+                        pos: Pos::Array(v),
+                        map,
+                        trail,
+                    });
                     return Ok(true);
                 }
                 // Look through the intermediate variable: continue flattening
@@ -840,9 +1087,21 @@ impl Checker<'_> {
                     let mut t = trail.clone();
                     t.push(def.statement.clone());
                     if continues_chain && descend_chains {
-                        self.flatten(original_side, op, Pos::Node(def.root), sub, t, descend_chains, out)?;
+                        self.flatten(
+                            original_side,
+                            op,
+                            Pos::Node(def.root),
+                            sub,
+                            t,
+                            descend_chains,
+                            out,
+                        )?;
                     } else {
-                        out.push(FlatTerm { pos: Pos::Node(def.root), map: sub, trail: t });
+                        out.push(FlatTerm {
+                            pos: Pos::Node(def.root),
+                            map: sub,
+                            trail: t,
+                        });
                     }
                 }
                 Ok(true)
@@ -869,7 +1128,11 @@ impl Checker<'_> {
             for t in terms {
                 let m = t.map.restrict_domain(piece)?.simplified(true);
                 if !m.is_empty() {
-                    out.push(FlatTerm { pos: t.pos.clone(), map: m, trail: t.trail.clone() });
+                    out.push(FlatTerm {
+                        pos: t.pos.clone(),
+                        map: m,
+                        trail: t.trail.clone(),
+                    });
                 }
             }
             Ok(out)
@@ -979,6 +1242,23 @@ impl Checker<'_> {
     }
 }
 
+/// The seed's original tabling key *construction*: a full deep
+/// simplification (per-conjunct feasibility) followed by a sorted
+/// debug-format rendering — paid again on every single lookup.  Note the
+/// seed applied this to node/node pairs only; under
+/// [`CheckOptions::string_table_keys`] it runs over the current (wider)
+/// tabling coverage, so it measures the keying cost in isolation.
+fn legacy_key(map: &Relation) -> String {
+    let mut parts: Vec<String> = map
+        .simplified(true)
+        .conjuncts()
+        .iter()
+        .map(|c| format!("{c:?}"))
+        .collect();
+    parts.sort();
+    parts.join(" | ")
+}
+
 fn with(trail: &[String], stmt: &str) -> Vec<String> {
     let mut t = trail.to_vec();
     if t.last().map(|s| s.as_str()) != Some(stmt) {
@@ -1069,7 +1349,11 @@ mod tests {
 
     #[test]
     fn recurrence_kernel_is_equivalent_to_itself_and_detects_a_broken_base_case() {
-        let r = check(KERNEL_RECURRENCE, KERNEL_RECURRENCE, &CheckOptions::default());
+        let r = check(
+            KERNEL_RECURRENCE,
+            KERNEL_RECURRENCE,
+            &CheckOptions::default(),
+        );
         assert!(r.is_equivalent(), "{}", r.summary());
 
         let broken = KERNEL_RECURRENCE.replace("Y[0] = X[0] + 0;", "Y[0] = X[0] + 1;");
@@ -1083,6 +1367,35 @@ mod tests {
         let without = check(FIG1_A, FIG1_C, &CheckOptions::default().without_tabling());
         assert!(with.is_equivalent() && without.is_equivalent());
         assert_eq!(without.stats.table_hits, 0);
+        assert_eq!(without.stats.table_lookups, 0);
+        assert_eq!(without.stats.table_entries, 0);
+    }
+
+    #[test]
+    fn hash_and_string_table_keys_agree() {
+        // Same verdicts and the same traversal shape under both keying
+        // schemes, on an equivalent and an inequivalent pair.
+        for (a, b) in [(FIG1_A, FIG1_C), (FIG1_A, FIG1_D)] {
+            let hashed = check(a, b, &CheckOptions::default());
+            let text = check(a, b, &CheckOptions::default().with_string_table_keys());
+            assert_eq!(hashed.verdict, text.verdict);
+            assert_eq!(hashed.stats.table_lookups, text.stats.table_lookups);
+            assert_eq!(hashed.stats.table_hits, text.stats.table_hits);
+            assert_eq!(hashed.stats.table_entries, text.stats.table_entries);
+            // The debug-build collision cross-check ran on every hit.
+            assert_eq!(hashed.stats.hash_collisions, 0);
+        }
+    }
+
+    #[test]
+    fn table_stats_are_reported() {
+        let r = check(FIG1_A, FIG1_C, &CheckOptions::default());
+        assert!(r.stats.table_lookups > 0, "tabling keys were constructed");
+        assert!(r.stats.table_entries > 0, "sub-proofs were tabled");
+        assert!(r.stats.table_hits <= r.stats.table_lookups);
+        let rate = r.stats.table_hit_rate();
+        assert!((0.0..=1.0).contains(&rate));
+        assert!(r.summary().contains("hit rate"));
     }
 
     #[test]

@@ -92,7 +92,9 @@ impl OperatorProperties {
             OperatorKind::Add => self.add,
             OperatorKind::Mul => self.mul,
             OperatorKind::Sub | OperatorKind::Div | OperatorKind::Neg => OperatorClass::NONE,
-            OperatorKind::Call(name) => self.calls.get(name).copied().unwrap_or(OperatorClass::NONE),
+            OperatorKind::Call(name) => {
+                self.calls.get(name).copied().unwrap_or(OperatorClass::NONE)
+            }
         }
     }
 }

@@ -38,14 +38,33 @@ pub struct CheckStats {
     pub compositions: u64,
     /// Relation equality checks performed.
     pub mapping_equalities: u64,
+    /// Number of tabling-cache lookups performed (key constructions).
+    pub table_lookups: u64,
     /// Number of sub-problems answered from the tabling cache.
     pub table_hits: u64,
-    /// Number of sub-problems inserted into the tabling cache.
+    /// Number of sub-problems inserted into the tabling cache.  Entries are
+    /// only ever inserted on a miss, so this is also the final table size.
     pub table_entries: u64,
+    /// Structural-hash collisions detected by the debug-build cross-check
+    /// (two relations with the same hash but different canonical keys).
+    /// Always 0 in release builds, where the cross-check is compiled out.
+    pub hash_collisions: u64,
     /// Flattening operations performed (extended method only).
     pub flattenings: u64,
     /// Matching operations performed (extended method only).
     pub matchings: u64,
+}
+
+impl CheckStats {
+    /// Fraction of tabling lookups answered from the cache (0.0 when the
+    /// table was never consulted).
+    pub fn table_hit_rate(&self) -> f64 {
+        if self.table_lookups == 0 {
+            0.0
+        } else {
+            self.table_hits as f64 / self.table_lookups as f64
+        }
+    }
 }
 
 /// The full result of a verification run: verdict, diagnostics and work
@@ -79,11 +98,13 @@ impl Report {
     /// A compact human-readable rendering of the whole report.
     pub fn summary(&self) -> String {
         let mut out = format!(
-            "{} ({} path pairs, {} mapping comparisons, {} table hits)\n",
+            "{} ({} path pairs, {} mapping comparisons, {} table entries, {} table hits, {:.0}% hit rate)\n",
             self.verdict,
             self.stats.paths_compared,
             self.stats.mapping_equalities,
-            self.stats.table_hits
+            self.stats.table_entries,
+            self.stats.table_hits,
+            self.stats.table_hit_rate() * 100.0,
         );
         for d in &self.diagnostics {
             out.push_str(&d.to_string());

@@ -55,7 +55,11 @@ impl Affine {
     /// `k·self`.
     pub fn scale(&self, k: i64) -> Affine {
         Affine {
-            coeffs: self.coeffs.iter().map(|(n, &c)| (n.clone(), c * k)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(n, &c)| (n.clone(), c * k))
+                .collect(),
             konst: self.konst * k,
         }
     }
@@ -402,10 +406,7 @@ fn add_condition(
 /// Whether the (possibly negated) condition is a disequality, which lowers to
 /// a *union* of two half-spaces rather than a conjunction.
 fn is_disequality_split(cond: &Cond, negate: bool) -> bool {
-    matches!(
-        (cond.op, negate),
-        (CmpOp::Ne, false) | (CmpOp::Eq, true)
-    )
+    matches!((cond.op, negate), (CmpOp::Ne, false) | (CmpOp::Eq, true))
 }
 
 /// Lowers a single comparison (possibly negated) into domain constraints.

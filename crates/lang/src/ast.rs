@@ -136,6 +136,10 @@ pub enum Expr {
     Call(String, Vec<Expr>),
 }
 
+// The `add`/`sub`/`mul` names mirror the operator being built; they are
+// two-operand static constructors, not `self`-taking arithmetic, so the
+// std operator traits do not fit.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// `lhs + rhs`
     pub fn add(lhs: Expr, rhs: Expr) -> Expr {

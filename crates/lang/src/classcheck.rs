@@ -222,7 +222,9 @@ s1:     C[0] = A[k] + 1;
         let p = parse_program(src).unwrap();
         let report = check_class(&p).unwrap();
         assert!(!report.is_ok());
-        assert!(report.violations[0].message.contains("different iterations"));
+        assert!(report.violations[0]
+            .message
+            .contains("different iterations"));
     }
 
     #[test]
@@ -259,6 +261,8 @@ s1:     C[k] = A[k] + 1;
         let p = parse_program(src).unwrap();
         let report = check_class(&p).unwrap();
         assert!(!report.is_ok());
-        assert!(report.violations[0].message.contains("empty iteration domain"));
+        assert!(report.violations[0]
+            .message
+            .contains("empty iteration domain"));
     }
 }

@@ -92,12 +92,8 @@ v4:  C[k+1] = tmp[k+1]
 "#;
 
 /// The four Fig. 1 versions in order (a), (b), (c), (d) with their names.
-pub const FIG1_ALL: [(&str, &str); 4] = [
-    ("a", FIG1_A),
-    ("b", FIG1_B),
-    ("c", FIG1_C),
-    ("d", FIG1_D),
-];
+pub const FIG1_ALL: [(&str, &str); 4] =
+    [("a", FIG1_A), ("b", FIG1_B), ("c", FIG1_C), ("d", FIG1_D)];
 
 /// A 5-tap FIR filter in single-assignment form (fully unrolled taps).
 pub const KERNEL_FIR5: &str = r#"

@@ -35,7 +35,11 @@ pub struct DefUseViolation {
 
 impl std::fmt::Display for DefUseViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} reading {}: {}", self.reader, self.array, self.message)
+        write!(
+            f,
+            "{} reading {}: {}",
+            self.reader, self.array, self.message
+        )
     }
 }
 
@@ -71,10 +75,8 @@ pub fn check_def_use(program: &Program) -> Result<DefUseReport> {
             }
             let read_set = reader.read_element_set(access)?;
             // Coverage: the read elements must be covered by writes.
-            let writers: Vec<&StatementInfo> = infos
-                .iter()
-                .filter(|w| w.target == access.array)
-                .collect();
+            let writers: Vec<&StatementInfo> =
+                infos.iter().filter(|w| w.target == access.array).collect();
             let mut written: Option<Set> = None;
             for w in &writers {
                 let ws = w.write_element_set()?;
@@ -243,13 +245,13 @@ fn add_component_cmp(
     match cmp {
         Cmp::Eq => {
             let mut diff = ea;
-            diff.add_scaled(&eb, -1);
+            diff.add_scaled_assign(&eb, -1);
             conj.add(Constraint::eq(diff));
         }
         Cmp::Lt => {
             // ea < eb  ⇔  eb - ea - 1 >= 0
             let mut diff = eb;
-            diff.add_scaled(&ea, -1);
+            diff.add_scaled_assign(&ea, -1);
             diff.set_constant(diff.constant() - 1);
             conj.add(Constraint::geq(diff));
         }

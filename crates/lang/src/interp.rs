@@ -203,11 +203,12 @@ impl State<'_> {
             Stmt::Assign(a) => {
                 let value = self.eval(&a.rhs)?;
                 let offset = self.flat_index(&a.lhs)?;
-                let arr = self.arrays.get_mut(&a.lhs.array).ok_or_else(|| {
-                    LangError::Runtime {
+                let arr = self
+                    .arrays
+                    .get_mut(&a.lhs.array)
+                    .ok_or_else(|| LangError::Runtime {
                         message: format!("unknown array `{}`", a.lhs.array),
-                    }
-                })?;
+                    })?;
                 if offset >= arr.len() {
                     return Err(LangError::Runtime {
                         message: format!(
@@ -301,9 +302,12 @@ impl State<'_> {
             Expr::Neg(inner) => Ok(-self.eval(inner)?),
             Expr::Access(r) => {
                 let offset = self.flat_index(r)?;
-                let arr = self.arrays.get(&r.array).ok_or_else(|| LangError::Runtime {
-                    message: format!("unknown array `{}`", r.array),
-                })?;
+                let arr = self
+                    .arrays
+                    .get(&r.array)
+                    .ok_or_else(|| LangError::Runtime {
+                        message: format!("unknown array `{}`", r.array),
+                    })?;
                 let v = arr.get(offset).copied().ok_or_else(|| LangError::Runtime {
                     message: format!(
                         "read out of bounds: {}[{offset}] (size {})",
@@ -368,10 +372,7 @@ mod tests {
         let p = parse_program(&with_size(src, n as i64)).unwrap();
         let a: Vec<i64> = (0..2 * n as i64).map(|i| 3 * i + 1).collect();
         let b: Vec<i64> = (0..2 * n as i64).map(|i| 7 * i - 5).collect();
-        let inputs = Inputs::new()
-            .array("A", a)
-            .array("B", b)
-            .output("C", n);
+        let inputs = Inputs::new().array("A", a).array("B", b).output("C", n);
         Interpreter::new(&p).run_for_output(&inputs, "C").unwrap()
     }
 
@@ -445,9 +446,18 @@ mod tests {
 
     #[test]
     fn uninterpreted_functions_are_deterministic_and_congruent() {
-        assert_eq!(uninterpreted("absd", &[3, 5]), uninterpreted("absd", &[3, 5]));
-        assert_ne!(uninterpreted("absd", &[3, 5]), uninterpreted("absd", &[5, 3]));
-        assert_ne!(uninterpreted("absd", &[3, 5]), uninterpreted("clip", &[3, 5]));
+        assert_eq!(
+            uninterpreted("absd", &[3, 5]),
+            uninterpreted("absd", &[3, 5])
+        );
+        assert_ne!(
+            uninterpreted("absd", &[3, 5]),
+            uninterpreted("absd", &[5, 3])
+        );
+        assert_ne!(
+            uninterpreted("absd", &[3, 5]),
+            uninterpreted("clip", &[3, 5])
+        );
         let src = r#"
 void f(int A[], int C[]) {
     int k;

@@ -338,9 +338,8 @@ impl Parser {
     fn parse_stmt(&mut self, label_counter: &mut usize) -> Result<Stmt> {
         // `while` is explicitly rejected with a class-specific message.
         if matches!(self.peek(), Some(Tok::Ident(n)) if n == "while") {
-            return self.err(
-                "`while` loops are outside the program class; convert to for-loops first",
-            );
+            return self
+                .err("`while` loops are outside the program class; convert to for-loops first");
         }
         if self.eat_keyword("for") {
             return self.parse_for(label_counter);

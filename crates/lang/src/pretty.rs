@@ -172,10 +172,7 @@ mod tests {
     #[test]
     fn expression_rendering_respects_precedence() {
         // (a + b) * c must keep its parentheses.
-        let e = Expr::mul(
-            Expr::add(Expr::var("a"), Expr::var("b")),
-            Expr::var("c"),
-        );
+        let e = Expr::mul(Expr::add(Expr::var("a"), Expr::var("b")), Expr::var("c"));
         assert_eq!(expr_to_string(&e), "(a + b) * c");
         let e2 = Expr::add(Expr::var("a"), Expr::mul(Expr::var("b"), Expr::var("c")));
         assert_eq!(expr_to_string(&e2), "a + (b * c)");

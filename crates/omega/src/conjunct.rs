@@ -1,9 +1,46 @@
 //! Conjunctions of affine constraints with local existential variables.
 
 use crate::constraint::{Constraint, ConstraintKind};
-use crate::feasible::is_feasible;
+use crate::feasible::{is_feasible, Feasibility};
+use crate::hash::{combine_unordered, structural_hash_of};
 use crate::linexpr::{gcd, LinExpr};
 use crate::space::{Space, VarKind};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Upper bound on the conjunct-level feasibility memo; when reached the memo
+/// is cleared wholesale (an epoch eviction — cheap, and the working set of a
+/// single checker run refills quickly).
+const FEASIBILITY_MEMO_CAP: usize = 1 << 15;
+
+thread_local! {
+    /// Memo of exact feasibility verdicts keyed by structural hash.
+    ///
+    /// The `simplified` / `subtract` / `is_subset` chains of the relation
+    /// algebra re-derive structurally identical conjuncts over and over (the
+    /// same bounds re-emerge after every compose/restrict), and each used to
+    /// pay for a full Omega-test run.  The canonical structural hash makes
+    /// those repeats a single map probe.  In debug builds the canonical
+    /// constraint system is stored alongside the verdict and compared on
+    /// every hit, so a 64-bit collision would be caught by tests instead of
+    /// silently corrupting a verdict.
+    static FEASIBILITY_MEMO: RefCell<HashMap<u64, MemoEntry>> = RefCell::new(HashMap::new());
+}
+
+#[cfg(debug_assertions)]
+type MemoEntry = (Feasibility, Vec<Constraint>, usize);
+#[cfg(not(debug_assertions))]
+type MemoEntry = Feasibility;
+
+/// Running counters for the feasibility memo of this thread:
+/// `(hits, misses)`.  Exposed for benchmarks and the perf experiments.
+pub fn feasibility_memo_stats() -> (u64, u64) {
+    FEASIBILITY_MEMO_STATS.with(|s| *s.borrow())
+}
+
+thread_local! {
+    static FEASIBILITY_MEMO_STATS: RefCell<(u64, u64)> = const { RefCell::new((0, 0)) };
+}
 
 /// A conjunction of [`Constraint`]s over a [`Space`], possibly with local
 /// existentially-quantified variables.
@@ -107,22 +144,123 @@ impl Conjunct {
     /// Panics if `point.len()` differs from the number of global columns.
     pub fn contains(&self, point: &[i64]) -> bool {
         assert_eq!(point.len(), self.space.n_global(), "wrong point arity");
-        let mut cs = self.constraints.clone();
-        for (i, &v) in point.iter().enumerate() {
-            let mut e = self.zero_expr();
-            e.set_coeff(i, 1);
-            e.set_constant(-v);
-            cs.push(Constraint::eq(e));
+        if self.n_exists == 0 {
+            // Quantifier-free: evaluate each constraint directly against the
+            // point — no clones, no allocation, no solver.
+            return self.constraints.iter().all(|c| c.holds(point));
         }
-        is_feasible(&cs, self.n_vars()).as_bool()
+        // Residualise every constraint onto the existential columns: the
+        // global columns are fixed by `point`, so their contribution folds
+        // into the constant.  The resulting system is tiny (existentials
+        // only) and goes straight to the feasibility test.
+        let cs: Vec<Constraint> = self
+            .constraints
+            .iter()
+            .map(|c| {
+                let mut e = LinExpr::zero(self.n_exists);
+                let global = self.space.n_global();
+                for ex in 0..self.n_exists {
+                    e.set_coeff(ex, c.expr().coeff(global + ex));
+                }
+                e.set_constant(c.expr().eval_prefix(point));
+                match c.kind() {
+                    ConstraintKind::Eq => Constraint::eq(e),
+                    ConstraintKind::Geq => Constraint::geq(e),
+                    ConstraintKind::Mod => Constraint::congruent(e, c.modulus()),
+                }
+            })
+            .collect();
+        is_feasible(&cs, self.n_exists).as_bool()
     }
 
     /// Whether the conjunct has at least one integer point (for some value of
     /// the parameters).
+    ///
+    /// Verdicts are memoised per thread, keyed by the conjunct's
+    /// [`structural_hash`](Conjunct::structural_hash): the relation algebra
+    /// (`simplified(true)`, `subtract`, `is_subset`) issues the same
+    /// emptiness queries for structurally identical conjuncts many times per
+    /// traversal, and only the first run pays for the Omega test.
     pub fn is_feasible(&self) -> bool {
-        is_feasible(&self.constraints, self.n_vars()).as_bool()
+        let key = self.structural_hash();
+        let cached = FEASIBILITY_MEMO.with(|m| {
+            #[cfg(debug_assertions)]
+            {
+                m.borrow().get(&key).map(|(f, canon, n)| {
+                    assert_eq!(
+                        (canon, *n),
+                        (&self.canonical_constraints(), self.n_vars()),
+                        "structural_hash collision in the feasibility memo"
+                    );
+                    *f
+                })
+            }
+            #[cfg(not(debug_assertions))]
+            {
+                m.borrow().get(&key).copied()
+            }
+        });
+        if let Some(f) = cached {
+            FEASIBILITY_MEMO_STATS.with(|s| s.borrow_mut().0 += 1);
+            return f.as_bool();
+        }
+        FEASIBILITY_MEMO_STATS.with(|s| s.borrow_mut().1 += 1);
+        let f = is_feasible(&self.constraints, self.n_vars());
+        FEASIBILITY_MEMO.with(|m| {
+            let mut m = m.borrow_mut();
+            if m.len() >= FEASIBILITY_MEMO_CAP {
+                m.clear();
+            }
+            #[cfg(debug_assertions)]
+            m.insert(key, (f, self.canonical_constraints(), self.n_vars()));
+            #[cfg(not(debug_assertions))]
+            m.insert(key, f);
+        });
+        f.as_bool()
     }
 
+    /// The canonical constraint list: every constraint normalised
+    /// (gcd-reduced, sign-canonicalised), trivially-true constraints dropped,
+    /// sorted and deduplicated.  Two conjuncts whose constraint lists are
+    /// permutations, duplications or gcd-scalings of each other share one
+    /// canonical list.
+    pub fn canonical_constraints(&self) -> Vec<Constraint> {
+        let mut cs: Vec<Constraint> = self
+            .constraints
+            .iter()
+            .map(Constraint::normalized)
+            .filter(|c| c.trivial() != Some(true))
+            .collect();
+        cs.sort_unstable();
+        cs.dedup();
+        cs
+    }
+
+    /// A stable 64-bit hash of the canonical structural form.
+    ///
+    /// Invariant under constraint permutation, duplication and gcd scaling
+    /// (everything [`Constraint::normalized`] folds away); sensitive to the
+    /// space arities, the number of existentials and every surviving
+    /// canonical constraint.  Equal conjuncts — and conjuncts that differ
+    /// only by those cosmetic presentation choices — hash identically; the
+    /// converse holds up to 64-bit collisions, which the debug-build memo
+    /// checks guard against.
+    pub fn structural_hash(&self) -> u64 {
+        let per_constraint: Vec<u64> = self
+            .constraints
+            .iter()
+            .map(Constraint::normalized)
+            .filter(|c| c.trivial() != Some(true))
+            .map(|c| structural_hash_of(&c))
+            .collect();
+        let salt = structural_hash_of(&(
+            self.space.n_in(),
+            self.space.n_out(),
+            self.space.n_param(),
+            self.n_exists,
+        ));
+        combine_unordered(per_constraint, salt)
+    }
 
     /// Intersects two conjuncts over compatible spaces.  The result keeps
     /// `self`'s space (dimension names) and concatenates the existentials.
@@ -264,10 +402,9 @@ impl Conjunct {
                 changed = true;
             }
 
-            // 4. Dedup.
+            // 4. Dedup (structural order — no textual rendering involved).
             let before = self.constraints.len();
-            self.constraints
-                .sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            self.constraints.sort_unstable();
             self.constraints.dedup();
             changed |= self.constraints.len() != before;
 
@@ -288,9 +425,11 @@ impl Conjunct {
                 continue;
             }
             let neg = self.constraints[i].expr().scale(-1);
-            if let Some(j) = self.constraints.iter().enumerate().position(|(k, c)| {
-                k != i && c.kind() == ConstraintKind::Geq && *c.expr() == neg
-            }) {
+            if let Some(j) =
+                self.constraints.iter().enumerate().position(|(k, c)| {
+                    k != i && c.kind() == ConstraintKind::Geq && *c.expr() == neg
+                })
+            {
                 let expr = self.constraints[i].expr().clone();
                 let (lo, hi) = (i.min(j), i.max(j));
                 self.constraints.remove(hi);
@@ -331,15 +470,11 @@ impl Conjunct {
                 let a = eq.expr().coeff(col);
                 let mut value = eq.expr().clone();
                 value.set_coeff(col, 0);
-                let value = value.scale(-a);
-                let mut next = Vec::with_capacity(self.constraints.len() - 1);
-                for (j, c) in self.constraints.iter().enumerate() {
-                    if j == i {
-                        continue;
-                    }
-                    next.push(c.substitute(col, &value));
+                value.scale_assign(-a);
+                self.constraints.swap_remove(i);
+                for c in &mut self.constraints {
+                    c.expr_mut().substitute_assign(col, &value);
                 }
-                self.constraints = next;
                 self.remove_exists_col(e);
                 return true;
             }
@@ -368,10 +503,10 @@ impl Conjunct {
                         continue;
                     }
                     // |a|·g  with the b·e term removed, then − sign(a)·b·f.
-                    let mut g = c.expr().clone();
-                    g.set_coeff(col, 0);
-                    let mut scaled = g.scale(a.abs());
-                    scaled.add_scaled(&f, -a.signum() * b);
+                    let mut scaled = c.expr().clone();
+                    scaled.set_coeff(col, 0);
+                    scaled.scale_assign(a.abs());
+                    scaled.add_scaled_assign(&f, -a.signum() * b);
                     next.push(match c.kind() {
                         ConstraintKind::Eq => Constraint::eq(scaled),
                         ConstraintKind::Geq => Constraint::geq(scaled),
@@ -480,8 +615,9 @@ impl Conjunct {
                             let up = self.constraints[ui].expr();
                             let a = lo.coeff(col);
                             let b = -up.coeff(col);
-                            let mut combined = up.scale(a);
-                            combined.add_scaled(lo, b);
+                            let mut combined = up.clone();
+                            combined.scale_assign(a);
+                            combined.add_scaled_assign(lo, b);
                             new_cs.push(Constraint::geq(combined));
                         }
                     }
@@ -499,7 +635,7 @@ impl Conjunct {
     fn remove_exists_col(&mut self, e: usize) {
         let col = self.space.n_global() + e;
         for c in &mut self.constraints {
-            *c = c.without_col(col);
+            c.expr_mut().remove_col_assign(col);
         }
         self.n_exists -= 1;
     }

@@ -3,7 +3,7 @@
 use crate::linexpr::{gcd, LinExpr};
 
 /// The kind of a [`Constraint`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ConstraintKind {
     /// `expr = 0`
     Eq,
@@ -20,7 +20,7 @@ pub enum ConstraintKind {
 /// negation needed for set difference: strided loops (`k += 2`) produce
 /// existential equalities `k = 2j` which are normalised to `k ≡ 0 (mod 2)`,
 /// and `¬(e ≡ 0 mod m)` is the finite union `⋃_{r=1}^{m-1} e − r ≡ 0 (mod m)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Constraint {
     kind: ConstraintKind,
     expr: LinExpr,
@@ -115,51 +115,57 @@ impl Constraint {
         })
     }
 
-    /// Normalises the constraint:
+    /// Normalises the constraint into its canonical structural form:
     ///
-    /// * equalities and congruences are divided by the gcd of all coefficients
-    ///   (an equality with a non-divisible constant is left intact — the
-    ///   feasibility test reports it as unsatisfiable);
+    /// * equalities are divided by the gcd of all coefficients (an equality
+    ///   with a non-divisible constant is left intact — the feasibility test
+    ///   reports it as unsatisfiable) and *sign-canonicalised*: since
+    ///   `e = 0 ⇔ −e = 0`, the representative with a positive leading
+    ///   coefficient is chosen, so `x − y = 0` and `y − x = 0` normalise to
+    ///   the same constraint;
     /// * inequalities are divided by the gcd of the *variable* coefficients
     ///   with the constant rounded down (integer tightening);
-    /// * congruences reduce their coefficients modulo the modulus.
+    /// * congruences reduce their coefficients into `[0, m)` and divide by
+    ///   the shared gcd with the modulus (which also fixes their sign).
+    ///
+    /// Normalisation is idempotent; [`Conjunct::simplify`](crate::Conjunct)
+    /// applies it to every constraint, which is what makes the structural
+    /// hashes of differently-written but syntactically equivalent conjuncts
+    /// coincide.
     pub fn normalized(&self) -> Constraint {
         match self.kind {
             ConstraintKind::Eq => {
-                let g = self.expr.coeff_gcd();
-                if g > 1 && self.expr.constant() % g == 0 {
-                    Constraint::eq(self.expr.exact_div(g))
-                } else {
-                    self.clone()
+                let mut e = self.expr.clone();
+                let g = e.coeff_gcd();
+                if g > 1 && e.constant() % g == 0 {
+                    e.exact_div_assign(g);
                 }
+                if e.leading_value() < 0 {
+                    e.scale_assign(-1);
+                }
+                Constraint::eq(e)
             }
             ConstraintKind::Geq => {
                 let g = self.expr.coeff_gcd();
                 if g > 1 {
-                    let mut coeffs = Vec::with_capacity(self.expr.n_vars());
-                    for i in 0..self.expr.n_vars() {
-                        coeffs.push(self.expr.coeff(i) / g);
-                    }
-                    let c = crate::linexpr::floor_div(self.expr.constant(), g);
-                    Constraint::geq(LinExpr::from_coeffs(coeffs, c))
+                    let mut e = self.expr.clone();
+                    e.tighten_div_assign(g);
+                    Constraint::geq(e)
                 } else {
                     self.clone()
                 }
             }
             ConstraintKind::Mod => {
                 let m = self.modulus;
-                let mut coeffs = Vec::with_capacity(self.expr.n_vars());
-                for i in 0..self.expr.n_vars() {
-                    coeffs.push(self.expr.coeff(i).rem_euclid(m));
-                }
-                let c = self.expr.constant().rem_euclid(m);
-                let e = LinExpr::from_coeffs(coeffs, c);
+                let mut e = self.expr.clone();
+                e.rem_euclid_assign(m);
                 // If everything vanished the congruence is trivially true and
                 // a later simplification pass drops it; keep it syntactically
                 // valid here.
-                let g = gcd(e.coeff_gcd(), gcd(c, m));
+                let g = gcd(e.coeff_gcd(), gcd(e.constant(), m));
                 if g > 1 && m / g >= 2 {
-                    Constraint::congruent(e.exact_div(g), m / g)
+                    e.exact_div_assign(g);
+                    Constraint::congruent(e, m / g)
                 } else if g > 1 && m / g == 1 {
                     // Congruence modulo 1 is trivially true.
                     Constraint::geq(LinExpr::constant_expr(e.n_vars(), 0))

@@ -1,8 +1,8 @@
 //! Textual rendering of sets and relations in the `{ [i] -> [j] : ... }`
 //! notation also accepted by the parser.
 
-use crate::constraint::{Constraint, ConstraintKind};
 use crate::conjunct::Conjunct;
+use crate::constraint::{Constraint, ConstraintKind};
 use crate::linexpr::LinExpr;
 use crate::relation::Relation;
 use crate::set::Set;
@@ -99,7 +99,11 @@ fn conjunct_body(c: &Conjunct, space: &Space) -> String {
     body
 }
 
-fn fmt_relation_like(space: &Space, conjuncts: &[Conjunct], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+fn fmt_relation_like(
+    space: &Space,
+    conjuncts: &[Conjunct],
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
     if space.n_param() > 0 {
         write!(f, "[{}] -> ", space.params().join(", "))?;
     }

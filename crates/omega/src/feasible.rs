@@ -192,7 +192,8 @@ impl Problem {
             i += 1;
         }
         // Drop duplicate inequalities (cheap syntactic dedup keeps FM small).
-        self.geqs.sort_by(|a, b| (a.coeffs(), a.constant()).cmp(&(b.coeffs(), b.constant())));
+        self.geqs
+            .sort_by(|a, b| (a.coeffs(), a.constant()).cmp(&(b.coeffs(), b.constant())));
         self.geqs.dedup();
         true
     }
@@ -325,7 +326,7 @@ impl Problem {
                 let b = -up.coeff(col);
                 // a·x + f ≥ 0  ∧  −b·x + g ≥ 0   ⇒ (reals)  a·g + b·f ≥ 0
                 let mut combined = up.scale(a);
-                combined.add_scaled(lo, b);
+                combined.add_scaled_assign(lo, b);
                 debug_assert_eq!(combined.coeff(col), 0);
                 real.geqs.push(combined.clone());
                 let mut darkc = combined;
@@ -376,7 +377,6 @@ impl Problem {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,16 +398,10 @@ mod tests {
     #[test]
     fn simple_bounds() {
         // 0 <= x <= 10
-        let cs = vec![
-            Constraint::geq(le(&[1], 0)),
-            Constraint::geq(le(&[-1], 10)),
-        ];
+        let cs = vec![Constraint::geq(le(&[1], 0)), Constraint::geq(le(&[-1], 10))];
         assert!(feasible(&cs, 1));
         // 5 <= x <= 3  is empty
-        let cs = vec![
-            Constraint::geq(le(&[1], -5)),
-            Constraint::geq(le(&[-1], 3)),
-        ];
+        let cs = vec![Constraint::geq(le(&[1], -5)), Constraint::geq(le(&[-1], 3))];
         assert!(!feasible(&cs, 1));
     }
 
@@ -463,10 +457,7 @@ mod tests {
         // 3 <= 2x <= 5 has no integer solution but a rational one (x = 2 is
         // outside: 2*2=4 is inside! careful) — use 2x = between 3 and 3:
         // 3 <= 2x <= 3 -> infeasible.
-        let cs = vec![
-            Constraint::geq(le(&[2], -3)),
-            Constraint::geq(le(&[-2], 3)),
-        ];
+        let cs = vec![Constraint::geq(le(&[2], -3)), Constraint::geq(le(&[-2], 3))];
         assert!(!feasible(&cs, 1));
         // Pugh's classic dark-shadow example: the rational region
         // 27 <= 11x + 13y <= 45, -10 <= 7x - 9y <= 4 is non-empty but contains
@@ -566,5 +557,4 @@ mod tests {
         let cs = vec![Constraint::eq(le(&[6, 4], -2))];
         assert!(feasible(&cs, 2));
     }
-
 }

@@ -1,0 +1,147 @@
+//! Deterministic 64-bit structural hashing for the omega types.
+//!
+//! The checker tables established sub-equivalences keyed by the relations
+//! involved, and the conjunct-level feasibility memo is keyed the same way,
+//! so the hash must be
+//!
+//! * **stable** — identical across runs and platforms (no per-process
+//!   randomisation like `std`'s `DefaultHasher`), so measurements and debug
+//!   sessions reproduce;
+//! * **structural** — computed from the canonical form, so that permuted
+//!   conjuncts, permuted constraints and gcd-scaled constraints all map to
+//!   the same 64-bit value;
+//! * **cheap** — a few multiplications per word, no buffering.
+//!
+//! The mixing function is the FxHash polynomial (rotate, xor, multiply by a
+//! 64-bit odd constant), which is the standard choice for in-process hash
+//! tables over small integer-heavy keys.
+
+use std::hash::Hasher;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A deterministic FxHash-style [`Hasher`].
+///
+/// Unlike `std::collections::hash_map::DefaultHasher`, the result does not
+/// depend on process-global randomness, so hashes can be cached inside
+/// long-lived values and compared across runs.
+#[derive(Debug, Clone)]
+pub struct StructuralHasher {
+    state: u64,
+}
+
+impl StructuralHasher {
+    /// A fresh hasher with the fixed seed.
+    pub fn new() -> Self {
+        StructuralHasher { state: 0 }
+    }
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Default for StructuralHasher {
+    fn default() -> Self {
+        StructuralHasher::new()
+    }
+}
+
+impl Hasher for StructuralHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One final avalanche so low-entropy states spread over all 64 bits.
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+        self.mix(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// Hashes one `Hash` value to a stable 64-bit digest.
+pub fn structural_hash_of<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = StructuralHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Combines an unordered collection of element hashes into one digest.
+///
+/// The element hashes are sorted and deduplicated first, so the result is
+/// independent of element order and of duplicated elements — exactly the
+/// invariance the canonical forms of conjuncts (sets of constraints) and
+/// relations (sets of conjuncts) need.
+pub fn combine_unordered(mut hashes: Vec<u64>, salt: u64) -> u64 {
+    hashes.sort_unstable();
+    hashes.dedup();
+    let mut h = StructuralHasher::new();
+    h.write_u64(salt);
+    h.write_usize(hashes.len());
+    for x in hashes {
+        h.write_u64(x);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(
+            structural_hash_of(&(1i64, 2i64)),
+            structural_hash_of(&(1i64, 2i64))
+        );
+        assert_ne!(
+            structural_hash_of(&(1i64, 2i64)),
+            structural_hash_of(&(2i64, 1i64))
+        );
+    }
+
+    #[test]
+    fn unordered_combination_ignores_order_and_duplicates() {
+        let a = combine_unordered(vec![3, 1, 2], 7);
+        let b = combine_unordered(vec![2, 3, 1, 1, 2], 7);
+        assert_eq!(a, b);
+        assert_ne!(a, combine_unordered(vec![3, 1, 2], 8));
+        assert_ne!(a, combine_unordered(vec![3, 1], 7));
+    }
+
+    #[test]
+    fn slices_of_different_lengths_differ() {
+        let a: &[i64] = &[1, 2, 0];
+        let b: &[i64] = &[1, 2];
+        assert_ne!(structural_hash_of(a), structural_hash_of(b));
+    }
+}

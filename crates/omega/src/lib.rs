@@ -42,6 +42,45 @@
 //! negation required by the difference because congruences negate into finite
 //! unions of congruences.
 //!
+//! ## Canonical forms, hashing and the feasibility memo
+//!
+//! The equivalence checker spends essentially all of its time in chains of
+//! these operations, and the same sub-relations keep re-appearing along
+//! different traversal paths.  Three mechanisms make the repeats cheap:
+//!
+//! * **Canonical structural form.**  [`Constraint::normalized`] gcd-reduces
+//!   every constraint, integer-tightens inequalities, reduces congruences
+//!   into `[0, m)` and sign-canonicalises equalities (`x − y = 0` and
+//!   `y − x = 0` become one representative).  A conjunct's canonical form
+//!   drops trivially-true constraints and sorts and deduplicates the rest
+//!   (constraints implement `Ord`, so no textual rendering is involved);
+//!   a relation's canonical form treats its conjuncts as a set.
+//!
+//! * **Structural hashing.**  [`Conjunct::structural_hash`] and
+//!   [`Relation::structural_hash`] digest the canonical form into a stable,
+//!   deterministic 64-bit value (an FxHash-style polynomial — see the
+//!   `StructuralHasher` used internally).  The relation-level hash is
+//!   computed lazily, cached in the relation and carried along by clones, so
+//!   after the first computation a tabling key costs two integer loads where
+//!   the previous string key re-ran a full feasibility pass and a `format!`
+//!   per conjunct on every lookup.
+//!
+//! * **Feasibility memo.**  [`Conjunct::is_feasible`] memoises Omega-test
+//!   verdicts per thread, keyed by structural hash and bounded in size, so
+//!   the emptiness queries that `Relation::simplified(true)`,
+//!   [`Relation::subtract`] and [`Relation::is_subset`] issue for
+//!   structurally identical conjuncts run the solver once.  Debug builds
+//!   store the canonical constraint system next to each verdict and verify
+//!   it on every hit, so a 64-bit hash collision fails loudly instead of
+//!   corrupting a verdict.
+//!
+//! All allocation-heavy inner loops (Fourier–Motzkin shadows, equality
+//! elimination, existential elimination) operate on [`LinExpr`]s that store
+//! up to six coefficients inline and are mutated in place via
+//! `add_scaled_assign` / `scale_assign` / `substitute_assign`, so the
+//! typical relation of the paper's program class never touches the heap per
+//! elimination step.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -64,18 +103,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod constraint;
 mod conjunct;
+mod constraint;
 mod display;
 mod feasible;
+mod hash;
 mod linexpr;
 mod parse;
 mod relation;
 mod set;
 mod space;
 
+pub use conjunct::{feasibility_memo_stats, Conjunct};
 pub use constraint::{Constraint, ConstraintKind};
-pub use conjunct::Conjunct;
+pub use hash::{structural_hash_of, StructuralHasher};
 pub use linexpr::LinExpr;
 pub use relation::{DomKind, MapBuilder, Relation};
 pub use set::Set;

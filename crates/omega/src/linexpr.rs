@@ -1,6 +1,109 @@
 //! Affine linear expressions with integer coefficients.
 
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
 use std::ops::{Add, Mul, Neg, Sub};
+
+/// Number of coefficients stored inline before spilling to the heap.
+///
+/// The checker's relations are small: input dims + output dims + parameters +
+/// a couple of existentials rarely exceeds six columns, so almost every
+/// expression the hot paths (Fourier–Motzkin, equality elimination,
+/// composition) clone and mutate fits inline and costs no allocation.
+const INLINE: usize = 6;
+
+/// Coefficient storage: inline array for up to [`INLINE`] columns, spilling
+/// to a heap vector beyond that.  Comparisons, hashing and iteration always
+/// go through the logical slice, so the two representations are
+/// indistinguishable to callers.
+#[derive(Clone)]
+enum Coeffs {
+    Inline { len: u8, buf: [i64; INLINE] },
+    Heap(Vec<i64>),
+}
+
+impl Coeffs {
+    #[inline]
+    fn zeros(n: usize) -> Coeffs {
+        if n <= INLINE {
+            Coeffs::Inline {
+                len: n as u8,
+                buf: [0; INLINE],
+            }
+        } else {
+            Coeffs::Heap(vec![0; n])
+        }
+    }
+
+    #[inline]
+    fn from_vec(v: Vec<i64>) -> Coeffs {
+        if v.len() <= INLINE {
+            let mut buf = [0; INLINE];
+            buf[..v.len()].copy_from_slice(&v);
+            Coeffs::Inline {
+                len: v.len() as u8,
+                buf,
+            }
+        } else {
+            Coeffs::Heap(v)
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[i64] {
+        match self {
+            Coeffs::Inline { len, buf } => &buf[..*len as usize],
+            Coeffs::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [i64] {
+        match self {
+            Coeffs::Inline { len, buf } => &mut buf[..*len as usize],
+            Coeffs::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Coeffs::Inline { len, .. } => *len as usize,
+            Coeffs::Heap(v) => v.len(),
+        }
+    }
+
+    /// Appends `extra` zero columns in place.
+    fn grow(&mut self, extra: usize) {
+        let new_len = self.len() + extra;
+        match self {
+            Coeffs::Inline { len, .. } if new_len <= INLINE => *len = new_len as u8,
+            Coeffs::Inline { len, buf } => {
+                let mut v = Vec::with_capacity(new_len);
+                v.extend_from_slice(&buf[..*len as usize]);
+                v.resize(new_len, 0);
+                *self = Coeffs::Heap(v);
+            }
+            Coeffs::Heap(v) => v.resize(new_len, 0),
+        }
+    }
+
+    /// Removes the column at `idx` in place.
+    fn remove(&mut self, idx: usize) {
+        match self {
+            Coeffs::Inline { len, buf } => {
+                let n = *len as usize;
+                assert!(idx < n);
+                buf.copy_within(idx + 1..n, idx);
+                buf[n - 1] = 0;
+                *len = (n - 1) as u8;
+            }
+            Coeffs::Heap(v) => {
+                v.remove(idx);
+            }
+        }
+    }
+}
 
 /// An affine expression `a₀·x₀ + a₁·x₁ + … + c` over the columns of a
 /// [`Conjunct`](crate::Conjunct).
@@ -9,6 +112,13 @@ use std::ops::{Add, Mul, Neg, Sub};
 /// trailing constant term.  The meaning of each column (input dim, output
 /// dim, parameter or existential) is determined by the conjunct that owns the
 /// expression; `LinExpr` itself is just the coefficient vector.
+///
+/// Up to six coefficients are stored inline (no heap allocation); the
+/// in-place operations ([`add_scaled_assign`](LinExpr::add_scaled_assign),
+/// [`scale_assign`](LinExpr::scale_assign),
+/// [`substitute_assign`](LinExpr::substitute_assign), …) let the elimination
+/// loops of the Omega test mutate expressions without the clone-then-rebuild
+/// pattern.
 ///
 /// ```
 /// use arrayeq_omega::LinExpr;
@@ -19,19 +129,58 @@ use std::ops::{Add, Mul, Neg, Sub};
 /// assert_eq!(e.constant(), 3);
 /// assert_eq!(e.eval(&[5, 7]), 2 * 5 - 7 + 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct LinExpr {
     /// Coefficients, one per variable column.
-    coeffs: Vec<i64>,
+    coeffs: Coeffs,
     /// The constant term.
     constant: i64,
+}
+
+impl PartialEq for LinExpr {
+    fn eq(&self, other: &Self) -> bool {
+        self.constant == other.constant && self.coeffs.as_slice() == other.coeffs.as_slice()
+    }
+}
+
+impl Eq for LinExpr {}
+
+impl Hash for LinExpr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.coeffs.as_slice().hash(state);
+        self.constant.hash(state);
+    }
+}
+
+impl PartialOrd for LinExpr {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LinExpr {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.coeffs
+            .as_slice()
+            .cmp(other.coeffs.as_slice())
+            .then(self.constant.cmp(&other.constant))
+    }
+}
+
+impl std::fmt::Debug for LinExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinExpr")
+            .field("coeffs", &self.coeffs.as_slice())
+            .field("constant", &self.constant)
+            .finish()
+    }
 }
 
 impl LinExpr {
     /// The zero expression over `n_vars` variables.
     pub fn zero(n_vars: usize) -> Self {
         LinExpr {
-            coeffs: vec![0; n_vars],
+            coeffs: Coeffs::zeros(n_vars),
             constant: 0,
         }
     }
@@ -39,7 +188,7 @@ impl LinExpr {
     /// A constant expression over `n_vars` variables.
     pub fn constant_expr(n_vars: usize, c: i64) -> Self {
         LinExpr {
-            coeffs: vec![0; n_vars],
+            coeffs: Coeffs::zeros(n_vars),
             constant: c,
         }
     }
@@ -47,13 +196,16 @@ impl LinExpr {
     /// The expression `1·x_col` over `n_vars` variables.
     pub fn var(n_vars: usize, col: usize) -> Self {
         let mut e = LinExpr::zero(n_vars);
-        e.coeffs[col] = 1;
+        e.coeffs.as_mut_slice()[col] = 1;
         e
     }
 
     /// Builds an expression from an explicit coefficient vector and constant.
     pub fn from_coeffs(coeffs: Vec<i64>, constant: i64) -> Self {
-        LinExpr { coeffs, constant }
+        LinExpr {
+            coeffs: Coeffs::from_vec(coeffs),
+            constant,
+        }
     }
 
     /// Number of variable columns this expression ranges over.
@@ -63,12 +215,12 @@ impl LinExpr {
 
     /// Coefficient of variable column `col`.
     pub fn coeff(&self, col: usize) -> i64 {
-        self.coeffs[col]
+        self.coeffs.as_slice()[col]
     }
 
     /// Mutable access to the coefficient of column `col`.
     pub fn set_coeff(&mut self, col: usize, value: i64) {
-        self.coeffs[col] = value;
+        self.coeffs.as_mut_slice()[col] = value;
     }
 
     /// The constant term.
@@ -83,12 +235,12 @@ impl LinExpr {
 
     /// All coefficients as a slice (excluding the constant term).
     pub fn coeffs(&self) -> &[i64] {
-        &self.coeffs
+        self.coeffs.as_slice()
     }
 
     /// Whether every coefficient is zero (the expression is a constant).
     pub fn is_constant(&self) -> bool {
-        self.coeffs.iter().all(|&c| c == 0)
+        self.coeffs.as_slice().iter().all(|&c| c == 0)
     }
 
     /// Whether the expression is identically zero.
@@ -104,6 +256,7 @@ impl LinExpr {
     pub fn eval(&self, values: &[i64]) -> i64 {
         assert_eq!(values.len(), self.n_vars(), "wrong number of values");
         self.coeffs
+            .as_slice()
             .iter()
             .zip(values)
             .map(|(a, v)| a * v)
@@ -111,9 +264,30 @@ impl LinExpr {
             + self.constant
     }
 
+    /// Evaluates the first `prefix.len()` columns only, returning the partial
+    /// sum `Σ_{i < prefix.len()} aᵢ·prefixᵢ + c`.  Used to residualise an
+    /// expression onto its trailing (existential) columns without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix.len() > self.n_vars()`.
+    pub fn eval_prefix(&self, prefix: &[i64]) -> i64 {
+        assert!(prefix.len() <= self.n_vars(), "prefix too long");
+        self.coeffs
+            .as_slice()
+            .iter()
+            .zip(prefix)
+            .map(|(a, v)| a * v)
+            .sum::<i64>()
+            + self.constant
+    }
+
     /// Greatest common divisor of the variable coefficients (0 if all zero).
     pub fn coeff_gcd(&self) -> i64 {
-        self.coeffs.iter().fold(0i64, |g, &c| gcd(g, c.abs()))
+        self.coeffs
+            .as_slice()
+            .iter()
+            .fold(0i64, |g, &c| gcd(g, c.abs()))
     }
 
     /// Divides every coefficient and the constant by `d`.
@@ -122,23 +296,56 @@ impl LinExpr {
     ///
     /// Panics if any coefficient or the constant is not divisible by `d`.
     pub fn exact_div(&self, d: i64) -> LinExpr {
+        let mut out = self.clone();
+        out.exact_div_assign(d);
+        out
+    }
+
+    /// In-place version of [`exact_div`](LinExpr::exact_div).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient or the constant is not divisible by `d`.
+    pub fn exact_div_assign(&mut self, d: i64) {
         assert!(d != 0);
         assert!(
-            self.coeffs.iter().all(|c| c % d == 0) && self.constant % d == 0,
+            self.coeffs.as_slice().iter().all(|c| c % d == 0) && self.constant % d == 0,
             "exact_div: not divisible"
         );
-        LinExpr {
-            coeffs: self.coeffs.iter().map(|c| c / d).collect(),
-            constant: self.constant / d,
+        for c in self.coeffs.as_mut_slice() {
+            *c /= d;
         }
+        self.constant /= d;
+    }
+
+    /// Divides the coefficients by `d` exactly and the constant rounded
+    /// towards −∞ — the integer tightening used when normalising `e ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coefficient is not divisible by `d` or `d <= 0`.
+    pub fn tighten_div_assign(&mut self, d: i64) {
+        assert!(d > 0);
+        for c in self.coeffs.as_mut_slice() {
+            assert!(*c % d == 0, "tighten_div: coefficient not divisible");
+            *c /= d;
+        }
+        self.constant = floor_div(self.constant, d);
     }
 
     /// Multiplies the whole expression by a scalar.
     pub fn scale(&self, k: i64) -> LinExpr {
-        LinExpr {
-            coeffs: self.coeffs.iter().map(|c| c * k).collect(),
-            constant: self.constant * k,
+        let mut out = self.clone();
+        out.scale_assign(k);
+        out
+    }
+
+    /// In-place version of [`scale`](LinExpr::scale).
+    pub fn scale_assign(&mut self, k: i64) {
+        for c in self.coeffs.as_mut_slice() {
+            *c *= k;
         }
+        self.constant *= k;
     }
 
     /// Adds `k * other` to this expression, in place.
@@ -146,22 +353,55 @@ impl LinExpr {
     /// # Panics
     ///
     /// Panics if the two expressions have different numbers of variables.
-    pub fn add_scaled(&mut self, other: &LinExpr, k: i64) {
+    pub fn add_scaled_assign(&mut self, other: &LinExpr, k: i64) {
         assert_eq!(self.n_vars(), other.n_vars());
-        for (a, b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+        for (a, b) in self
+            .coeffs
+            .as_mut_slice()
+            .iter_mut()
+            .zip(other.coeffs.as_slice())
+        {
             *a += k * b;
         }
         self.constant += k * other.constant;
     }
 
+    /// Reduces every coefficient and the constant into `[0, m)`, in place
+    /// (the canonical form of a congruence `e ≡ 0 (mod m)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m <= 0`.
+    pub fn rem_euclid_assign(&mut self, m: i64) {
+        assert!(m > 0);
+        for c in self.coeffs.as_mut_slice() {
+            *c = c.rem_euclid(m);
+        }
+        self.constant = self.constant.rem_euclid(m);
+    }
+
+    /// The first non-zero coefficient, or the constant when all coefficients
+    /// are zero.  The sign of this value is what sign-canonicalisation of
+    /// equalities pivots on.
+    pub(crate) fn leading_value(&self) -> i64 {
+        self.coeffs
+            .as_slice()
+            .iter()
+            .copied()
+            .find(|&c| c != 0)
+            .unwrap_or(self.constant)
+    }
+
     /// Returns a copy with `extra` zero columns appended (new existentials).
     pub fn extended(&self, extra: usize) -> LinExpr {
-        let mut coeffs = self.coeffs.clone();
-        coeffs.extend(std::iter::repeat(0).take(extra));
-        LinExpr {
-            coeffs,
-            constant: self.constant,
-        }
+        let mut out = self.clone();
+        out.extend_assign(extra);
+        out
+    }
+
+    /// Appends `extra` zero columns in place.
+    pub fn extend_assign(&mut self, extra: usize) {
+        self.coeffs.grow(extra);
     }
 
     /// Returns a copy whose columns are permuted/embedded according to `map`:
@@ -173,15 +413,14 @@ impl LinExpr {
     /// Panics if `map.len() != self.n_vars()` or any target is out of range.
     pub fn remapped(&self, map: &[usize], new_len: usize) -> LinExpr {
         assert_eq!(map.len(), self.n_vars());
-        let mut coeffs = vec![0i64; new_len];
+        let mut out = LinExpr::zero(new_len);
+        let coeffs = out.coeffs.as_mut_slice();
         for (i, &target) in map.iter().enumerate() {
             assert!(target < new_len, "remap target out of range");
-            coeffs[target] += self.coeffs[i];
+            coeffs[target] += self.coeffs.as_slice()[i];
         }
-        LinExpr {
-            coeffs,
-            constant: self.constant,
-        }
+        out.constant = self.constant;
+        out
     }
 
     /// Returns a copy with column `col` removed (its coefficient must be 0).
@@ -190,13 +429,19 @@ impl LinExpr {
     ///
     /// Panics if the coefficient of `col` is non-zero.
     pub fn without_col(&self, col: usize) -> LinExpr {
-        assert_eq!(self.coeffs[col], 0, "cannot drop a used column");
-        let mut coeffs = self.coeffs.clone();
-        coeffs.remove(col);
-        LinExpr {
-            coeffs,
-            constant: self.constant,
-        }
+        let mut out = self.clone();
+        out.remove_col_assign(col);
+        out
+    }
+
+    /// Removes column `col` in place (its coefficient must be 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient of `col` is non-zero.
+    pub fn remove_col_assign(&mut self, col: usize) {
+        assert_eq!(self.coeffs.as_slice()[col], 0, "cannot drop a used column");
+        self.coeffs.remove(col);
     }
 
     /// Substitutes variable `col` with the expression `value` (which must not
@@ -206,13 +451,25 @@ impl LinExpr {
     ///
     /// Panics if `value` uses column `col` or sizes differ.
     pub fn substitute(&self, col: usize, value: &LinExpr) -> LinExpr {
+        let mut result = self.clone();
+        result.substitute_assign(col, value);
+        result
+    }
+
+    /// In-place version of [`substitute`](LinExpr::substitute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` uses column `col` or sizes differ.
+    pub fn substitute_assign(&mut self, col: usize, value: &LinExpr) {
         assert_eq!(self.n_vars(), value.n_vars());
         assert_eq!(value.coeff(col), 0, "substitution value uses the variable");
-        let k = self.coeffs[col];
-        let mut result = self.clone();
-        result.coeffs[col] = 0;
-        result.add_scaled(value, k);
-        result
+        let k = self.coeffs.as_slice()[col];
+        if k == 0 {
+            return;
+        }
+        self.coeffs.as_mut_slice()[col] = 0;
+        self.add_scaled_assign(value, k);
     }
 }
 
@@ -220,7 +477,7 @@ impl Add for LinExpr {
     type Output = LinExpr;
     fn add(self, rhs: LinExpr) -> LinExpr {
         let mut out = self;
-        out.add_scaled(&rhs, 1);
+        out.add_scaled_assign(&rhs, 1);
         out
     }
 }
@@ -229,7 +486,7 @@ impl Sub for LinExpr {
     type Output = LinExpr;
     fn sub(self, rhs: LinExpr) -> LinExpr {
         let mut out = self;
-        out.add_scaled(&rhs, -1);
+        out.add_scaled_assign(&rhs, -1);
         out
     }
 }
@@ -237,14 +494,18 @@ impl Sub for LinExpr {
 impl Neg for LinExpr {
     type Output = LinExpr;
     fn neg(self) -> LinExpr {
-        self.scale(-1)
+        let mut out = self;
+        out.scale_assign(-1);
+        out
     }
 }
 
 impl Mul<i64> for LinExpr {
     type Output = LinExpr;
     fn mul(self, rhs: i64) -> LinExpr {
-        self.scale(rhs)
+        let mut out = self;
+        out.scale_assign(rhs);
+        out
     }
 }
 
@@ -285,7 +546,7 @@ mod tests {
     fn construction_and_eval() {
         let e = LinExpr::from_coeffs(vec![2, -1, 0], 3);
         assert_eq!(e.n_vars(), 3);
-        assert_eq!(e.eval(&[1, 2, 100]), 2 - 2 + 3);
+        assert_eq!(e.eval(&[1, 2, 100]), 3); // 2·1 − 1·2 + 3
         assert!(!e.is_constant());
         assert!(LinExpr::constant_expr(3, 5).is_constant());
         assert!(LinExpr::zero(2).is_zero());
@@ -301,9 +562,13 @@ mod tests {
         assert_eq!((-a.clone()).coeff(0), -1);
         assert_eq!((a.clone() * 3).coeff(1), 6);
         let mut c = a.clone();
-        c.add_scaled(&b, 2);
+        c.add_scaled_assign(&b, 2);
         assert_eq!(c.coeffs(), &[9, 0]);
         assert_eq!(c.constant(), 5);
+        let mut d = a.clone();
+        d.add_scaled_assign(&b, -1);
+        assert_eq!(d.coeffs(), &[-3, 3]);
+        assert_eq!(d.constant(), 2);
     }
 
     #[test]
@@ -319,6 +584,14 @@ mod tests {
     #[should_panic]
     fn exact_div_requires_divisibility() {
         LinExpr::from_coeffs(vec![3], 1).exact_div(2);
+    }
+
+    #[test]
+    fn tighten_div_rounds_constant_down() {
+        let mut e = LinExpr::from_coeffs(vec![2, -4], -3);
+        e.tighten_div_assign(2);
+        assert_eq!(e.coeffs(), &[1, -2]);
+        assert_eq!(e.constant(), -2);
     }
 
     #[test]
@@ -361,5 +634,51 @@ mod tests {
         let e = LinExpr::from_coeffs(vec![1, 0, 5], 2);
         let d = e.without_col(1);
         assert_eq!(d.coeffs(), &[1, 5]);
+    }
+
+    #[test]
+    fn inline_and_heap_representations_agree() {
+        // Straddle the inline/heap boundary in both directions.
+        for n in [0usize, 1, INLINE - 1, INLINE, INLINE + 1, 2 * INLINE] {
+            let coeffs: Vec<i64> = (0..n as i64).map(|i| i - 2).collect();
+            let e = LinExpr::from_coeffs(coeffs.clone(), 9);
+            assert_eq!(e.coeffs(), &coeffs[..]);
+            assert_eq!(e.n_vars(), n);
+            let grown = e.extended(3);
+            assert_eq!(grown.n_vars(), n + 3);
+            assert_eq!(&grown.coeffs()[..n], &coeffs[..]);
+            assert_eq!(&grown.coeffs()[n..], &[0, 0, 0]);
+            // Equality and hashing see through the representation.
+            let same = LinExpr::from_coeffs(coeffs.clone(), 9);
+            assert_eq!(e, same);
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let h = |x: &LinExpr| {
+                let mut s = DefaultHasher::new();
+                x.hash(&mut s);
+                s.finish()
+            };
+            assert_eq!(h(&e), h(&same));
+        }
+    }
+
+    #[test]
+    fn growing_across_the_inline_boundary_preserves_content() {
+        let mut e = LinExpr::from_coeffs(vec![1, 2, 3, 4, 5, 6], 7);
+        e.extend_assign(2); // spills to the heap
+        assert_eq!(e.coeffs(), &[1, 2, 3, 4, 5, 6, 0, 0]);
+        e.set_coeff(7, -1);
+        e.remove_col_assign(6);
+        assert_eq!(e.coeffs(), &[1, 2, 3, 4, 5, 6, -1]);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_coeffs_then_constant() {
+        let a = LinExpr::from_coeffs(vec![1, 2], 0);
+        let b = LinExpr::from_coeffs(vec![1, 3], -5);
+        let c = LinExpr::from_coeffs(vec![1, 2], 1);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
     }
 }

@@ -20,8 +20,8 @@
 //! the `[N] ->` prefix and quantified variables by `exists`.  This catches
 //! typos in hand-written mappings instead of silently quantifying them.
 
-use crate::constraint::Constraint;
 use crate::conjunct::Conjunct;
+use crate::constraint::Constraint;
 use crate::linexpr::LinExpr;
 use crate::relation::Relation;
 use crate::set::Set;
@@ -89,7 +89,11 @@ impl NamedExpr {
     }
     fn scale(&self, k: i64) -> NamedExpr {
         NamedExpr {
-            coeffs: self.coeffs.iter().map(|(n, &c)| (n.clone(), c * k)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(n, &c)| (n.clone(), c * k))
+                .collect(),
             constant: self.constant * k,
         }
     }
@@ -220,7 +224,9 @@ impl Parser {
                 }
                 _ if c.is_ascii_alphabetic() || c == '_' => {
                     let mut name = String::new();
-                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '\'') {
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '\'')
+                    {
                         name.push(bytes[i]);
                         i += 1;
                     }
@@ -408,9 +414,7 @@ impl Parser {
         loop {
             match self.bump() {
                 Some(Tok::Ident(n)) => names.push(n),
-                other => {
-                    return self.err(format!("expected identifier in tuple, found {other:?}"))
-                }
+                other => return self.err(format!("expected identifier in tuple, found {other:?}")),
             }
             match self.bump() {
                 Some(Tok::Comma) => continue,
@@ -499,13 +503,8 @@ impl Parser {
         let mut out = Vec::new();
         let mut lhs = first;
         let mut any = false;
-        loop {
-            let op = match self.peek() {
-                Some(Tok::Le) | Some(Tok::Lt) | Some(Tok::Ge) | Some(Tok::Gt) | Some(Tok::EqEq) => {
-                    self.bump().unwrap()
-                }
-                _ => break,
-            };
+        while let Some(Tok::Le | Tok::Lt | Tok::Ge | Tok::Gt | Tok::EqEq) = self.peek() {
+            let op = self.bump().unwrap();
             any = true;
             let rhs = self.parse_expr()?;
             let mut diff = rhs.clone();

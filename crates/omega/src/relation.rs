@@ -2,10 +2,13 @@
 
 use crate::conjunct::Conjunct;
 use crate::constraint::Constraint;
+use crate::hash::combine_unordered;
 use crate::linexpr::LinExpr;
 use crate::set::Set;
 use crate::space::{Space, VarKind};
 use crate::{OmegaError, Result};
+use std::cell::OnceCell;
+use std::hash::{Hash, Hasher};
 
 /// A relation between integer tuples, represented as a finite union of
 /// [`Conjunct`]s over one [`Space`].
@@ -27,27 +30,56 @@ use crate::{OmegaError, Result};
 /// [`is_equal`](Relation::is_equal), [`is_empty`](Relation::is_empty),
 /// [`is_function`](Relation::is_function) and
 /// [`transitive_closure`](Relation::transitive_closure).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct Relation {
     space: Space,
     conjuncts: Vec<Conjunct>,
+    /// Lazily-computed [`structural_hash`](Relation::structural_hash).
+    ///
+    /// Relations are immutable after construction except for
+    /// [`add_conjunct`](Relation::add_conjunct), which resets this cell, so
+    /// the hash is computed at most once per relation.  Cloning carries an
+    /// already-computed hash along.
+    hash_cache: OnceCell<u64>,
+}
+
+// `hash_cache` is a derived quantity: equality, ordering and hashing must see
+// only the semantic fields, otherwise two equal relations could compare
+// unequal depending on which of them has had its hash demanded already.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.space == other.space && self.conjuncts == other.conjuncts
+    }
+}
+
+impl Eq for Relation {}
+
+impl Hash for Relation {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.space.hash(state);
+        self.conjuncts.hash(state);
+    }
 }
 
 impl Relation {
-    /// The empty relation over `space`.
-    pub fn empty(space: Space) -> Self {
+    /// Internal constructor shared by every operation.
+    pub(crate) fn raw(space: Space, conjuncts: Vec<Conjunct>) -> Self {
         Relation {
             space,
-            conjuncts: Vec::new(),
+            conjuncts,
+            hash_cache: OnceCell::new(),
         }
+    }
+
+    /// The empty relation over `space`.
+    pub fn empty(space: Space) -> Self {
+        Relation::raw(space, Vec::new())
     }
 
     /// The universe relation (all pairs) over `space`.
     pub fn universe(space: Space) -> Self {
-        Relation {
-            conjuncts: vec![Conjunct::universe(space.clone())],
-            space,
-        }
+        let c = Conjunct::universe(space.clone());
+        Relation::raw(space, vec![c])
     }
 
     /// The identity relation `{ [x] -> [x] }` over `space`.
@@ -68,20 +100,14 @@ impl Relation {
             e.set_coeff(c.col(VarKind::Out, d), -1);
             c.add(Constraint::eq(e));
         }
-        Relation {
-            space,
-            conjuncts: vec![c],
-        }
+        Relation::raw(space, vec![c])
     }
 
     /// The identity relation restricted to a set: `{ [x] -> [x] : x ∈ s }`.
     pub fn identity_on(s: &Set) -> Self {
         let set_space = s.space();
-        let rel_space = Space::relation(
-            set_space.in_vars(),
-            set_space.in_vars(),
-            set_space.params(),
-        );
+        let rel_space =
+            Space::relation(set_space.in_vars(), set_space.in_vars(), set_space.params());
         let id = Relation::identity(rel_space);
         id.restrict_domain(s).expect("compatible by construction")
     }
@@ -98,7 +124,7 @@ impl Relation {
                 "conjunct space incompatible with relation space"
             );
         }
-        Relation { space, conjuncts }
+        Relation::raw(space, conjuncts)
     }
 
     /// Parses the textual notation, e.g.
@@ -125,6 +151,7 @@ impl Relation {
     pub fn add_conjunct(&mut self, c: Conjunct) {
         assert!(self.space.is_compatible(c.space()));
         self.conjuncts.push(c);
+        self.hash_cache = OnceCell::new();
     }
 
     /// Simplifies every conjunct and drops the ones that are syntactically or
@@ -144,10 +171,7 @@ impl Relation {
                 out.push(c);
             }
         }
-        Relation {
-            space: self.space.clone(),
-            conjuncts: out,
-        }
+        Relation::raw(self.space.clone(), out)
     }
 
     /// Whether the relation contains the pair (`input`, `output`) for the
@@ -194,10 +218,7 @@ impl Relation {
                 .cloned()
                 .map(|c| c.with_space(self.space.clone())),
         );
-        Ok(Relation {
-            space: self.space.clone(),
-            conjuncts,
-        })
+        Ok(Relation::raw(self.space.clone(), conjuncts))
     }
 
     /// Intersection of two relations over compatible spaces.
@@ -216,36 +237,27 @@ impl Relation {
                 }
             }
         }
-        Ok(Relation {
-            space: self.space.clone(),
-            conjuncts,
-        })
+        Ok(Relation::raw(self.space.clone(), conjuncts))
     }
 
     /// The inverse relation (input and output tuples swapped).
     pub fn inverse(&self) -> Relation {
-        Relation {
-            space: self.space.reversed(),
-            conjuncts: self.conjuncts.iter().map(Conjunct::reversed).collect(),
-        }
+        Relation::raw(
+            self.space.reversed(),
+            self.conjuncts.iter().map(Conjunct::reversed).collect(),
+        )
     }
 
     /// The domain of the relation, as a [`Set`] over the input dims.
     pub fn domain(&self) -> Set {
         let conjuncts = self.conjuncts.iter().map(Conjunct::domain).collect();
-        Set::from_relation(Relation {
-            space: self.space.domain_space(),
-            conjuncts,
-        })
+        Set::from_relation(Relation::raw(self.space.domain_space(), conjuncts))
     }
 
     /// The range of the relation, as a [`Set`] over the output dims.
     pub fn range(&self) -> Set {
         let conjuncts = self.conjuncts.iter().map(Conjunct::range).collect();
-        Set::from_relation(Relation {
-            space: self.space.range_space(),
-            conjuncts,
-        })
+        Set::from_relation(Relation::raw(self.space.range_space(), conjuncts))
     }
 
     /// Composition (the paper's natural join `⋈`): `self : X → Y` composed
@@ -260,8 +272,7 @@ impl Relation {
     /// Returns [`OmegaError::SpaceMismatch`] if `self`'s output arity differs
     /// from `other`'s input arity or the parameter lists differ.
     pub fn compose(&self, other: &Relation) -> Result<Relation> {
-        if self.space.n_out() != other.space.n_in() || self.space.params() != other.space.params()
-        {
+        if self.space.n_out() != other.space.n_in() || self.space.params() != other.space.params() {
             return Err(OmegaError::SpaceMismatch {
                 op: "compose",
                 lhs: self.space.describe(),
@@ -316,9 +327,8 @@ impl Relation {
                     map_b.push(mid_base + n_mid + n_ex_a + e);
                 }
 
-                let mut constraints = Vec::with_capacity(
-                    a.constraints().len() + b.constraints().len(),
-                );
+                let mut constraints =
+                    Vec::with_capacity(a.constraints().len() + b.constraints().len());
                 for c in a.constraints() {
                     constraints.push(c.remapped(&map_a, n_total));
                 }
@@ -331,10 +341,7 @@ impl Relation {
                 }
             }
         }
-        Ok(Relation {
-            space: result_space,
-            conjuncts,
-        })
+        Ok(Relation::raw(result_space, conjuncts))
     }
 
     /// Restricts the domain of the relation to a set.
@@ -422,10 +429,7 @@ impl Relation {
                 break;
             }
         }
-        Ok(Relation {
-            space: self.space.clone(),
-            conjuncts: current,
-        })
+        Ok(Relation::raw(self.space.clone(), current))
     }
 
     /// Whether `self ⊆ other`.
@@ -500,13 +504,15 @@ impl Relation {
             match c.out_dim_as_affine_of_inputs(i) {
                 Some((ins, pars, k))
                     if pars.iter().all(|&p| p == 0)
-                        && ins.iter().enumerate().all(|(j, &a)| {
-                            if j == i {
-                                a == 1
-                            } else {
-                                a == 0
-                            }
-                        }) =>
+                        && ins.iter().enumerate().all(
+                            |(j, &a)| {
+                                if j == i {
+                                    a == 1
+                                } else {
+                                    a == 0
+                                }
+                            },
+                        ) =>
                 {
                     offsets.push(k);
                 }
@@ -535,10 +541,7 @@ impl Relation {
         kge1.set_constant(-1);
         closure.add(Constraint::geq(kge1));
 
-        let base = Relation {
-            space: self.space.clone(),
-            conjuncts: vec![closure],
-        };
+        let base = Relation::raw(self.space.clone(), vec![closure]);
         let restricted = base.restrict_domain(&dom)?.restrict_range(&ran)?;
         let exact = offsets.iter().all(|&k| k.abs() <= 1);
         Ok((restricted.simplified(true), exact))
@@ -556,16 +559,51 @@ impl Relation {
         Ok((plus.union(&id)?, exact))
     }
 
-    /// A canonical textual form usable as a hash/tabling key.  Two relations
-    /// with the same canonical form are equal (the converse does not hold).
+    /// A stable 64-bit hash of the relation's canonical structural form —
+    /// the tabling key of the checker.
+    ///
+    /// The hash combines the [`Conjunct::structural_hash`] of every conjunct
+    /// order-insensitively (sorted, deduplicated), so it is invariant under
+    /// conjunct permutation and duplication as well as everything the
+    /// conjunct-level canonical form absorbs (constraint permutation,
+    /// duplication, gcd scaling, equality sign).  Two relations with the
+    /// same hash are equal up to those presentation choices — and up to
+    /// 64-bit collisions, which the checker's debug builds cross-check.
+    ///
+    /// The value is computed once and cached (`O(1)` on every later call);
+    /// clones carry an already-computed hash with them.  Unlike the old
+    /// string-keyed `canonical_key`, no feasibility pass and no textual
+    /// rendering is involved.
+    pub fn structural_hash(&self) -> u64 {
+        *self.hash_cache.get_or_init(|| {
+            let conjunct_hashes: Vec<u64> = self
+                .conjuncts
+                .iter()
+                .map(Conjunct::structural_hash)
+                .collect();
+            let salt = crate::hash::structural_hash_of(&(
+                self.space.n_in(),
+                self.space.n_out(),
+                self.space.n_param(),
+            ));
+            combine_unordered(conjunct_hashes, salt)
+        })
+    }
+
+    /// A canonical textual rendering of the structural form — a debugging
+    /// aid (collision cross-checks, log output), **not** the tabling key;
+    /// the checker keys its table on [`structural_hash`](Relation::structural_hash).
+    ///
+    /// Two relations with the same canonical key are equal (the converse
+    /// does not hold).
     pub fn canonical_key(&self) -> String {
         let mut parts: Vec<String> = self
-            .simplified(true)
             .conjuncts
             .iter()
-            .map(|c| format!("{c:?}"))
+            .map(|c| format!("E{}:{:?}", c.n_exists(), c.canonical_constraints()))
             .collect();
         parts.sort();
+        parts.dedup();
         parts.join(" | ")
     }
 }
@@ -707,7 +745,9 @@ mod tests {
         let m_c_tmp = rel("{ [k] -> [k] : 0 <= k < 1024 }");
         let m_tmp_b = rel("{ [k] -> [2k] : 0 <= k < 1024 }");
         let joined = m_c_tmp.compose(&m_tmp_b).unwrap();
-        assert!(joined.is_equal(&rel("{ [k] -> [2k] : 0 <= k < 1024 }")).unwrap());
+        assert!(joined
+            .is_equal(&rel("{ [k] -> [2k] : 0 <= k < 1024 }"))
+            .unwrap());
         assert!(joined.contains(&[3], &[6], &[]));
         assert!(!joined.contains(&[3], &[5], &[]));
     }
@@ -720,7 +760,9 @@ mod tests {
         let c = a.compose(&b).unwrap();
         assert!(c.contains(&[3], &[8], &[]));
         assert!(!c.contains(&[3], &[7], &[]));
-        assert!(c.is_equal(&rel("{ [i] -> [2i+2] : 0 <= i < 100 }")).unwrap());
+        assert!(c
+            .is_equal(&rel("{ [i] -> [2i+2] : 0 <= i < 100 }"))
+            .unwrap());
     }
 
     #[test]
@@ -863,6 +905,50 @@ mod tests {
             .union(&rel("{ [i] -> [i] : 0 <= i < 5 }"))
             .unwrap();
         assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_eq!(a.structural_hash(), b.structural_hash());
+    }
+
+    #[test]
+    fn structural_hash_absorbs_presentation_noise() {
+        // Same set, different constraint order / scaling / equality sign.
+        let a = rel("{ [i] -> [2i] : 0 <= i and i < 10 }");
+        let b = rel("{ [i] -> [2i] : i < 10 and 0 <= i }");
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        // Different relations must (modulo 64-bit luck) hash apart.
+        let c = rel("{ [i] -> [2i] : 0 <= i and i < 11 }");
+        assert_ne!(a.structural_hash(), c.structural_hash());
+        let d = rel("{ [i] -> [3i] : 0 <= i and i < 10 }");
+        assert_ne!(a.structural_hash(), d.structural_hash());
+    }
+
+    #[test]
+    fn structural_hash_is_cached_and_reset_on_mutation() {
+        let a = rel("{ [i] -> [i] : 0 <= i < 5 }");
+        let h1 = a.structural_hash();
+        assert_eq!(a.structural_hash(), h1);
+        // A clone carries the computed hash along.
+        assert_eq!(a.clone().structural_hash(), h1);
+        // Mutation invalidates the cache.
+        let mut grown = a.clone();
+        let extra = rel("{ [i] -> [i] : 10 <= i < 15 }");
+        grown.add_conjunct(extra.conjuncts()[0].clone());
+        assert_ne!(grown.structural_hash(), h1);
+    }
+
+    #[test]
+    fn equal_relations_hash_equal_even_when_only_one_cache_is_warm() {
+        let a = rel("{ [i] -> [i+1] : 0 <= i < 7 }");
+        let b = rel("{ [i] -> [i+1] : 0 <= i < 7 }");
+        let _ = a.structural_hash(); // warm only a's cache
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let digest = |r: &Relation| {
+            let mut s = DefaultHasher::new();
+            r.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(digest(&a), digest(&b));
     }
 
     #[test]

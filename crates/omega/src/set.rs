@@ -231,7 +231,9 @@ mod tests {
         let odds = all.subtract(&evens).unwrap();
         assert!(odds.contains(&[3], &[]));
         assert!(!odds.contains(&[4], &[]));
-        assert!(odds.is_equal(&Set::parse("{ [k] : k % 2 = 1 and 0 <= k < 100 }").unwrap()).unwrap());
+        assert!(odds
+            .is_equal(&Set::parse("{ [k] : k % 2 = 1 and 0 <= k < 100 }").unwrap())
+            .unwrap());
     }
 
     #[test]

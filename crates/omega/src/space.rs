@@ -1,6 +1,7 @@
 //! Tuple spaces: the named dimensions a set or relation is defined over.
 
 use crate::{OmegaError, Result};
+use std::sync::Arc;
 
 /// The role a column plays inside a [`Conjunct`](crate::Conjunct).
 ///
@@ -38,20 +39,38 @@ pub enum VarKind {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Space {
+    /// The three name lists, shared behind one `Arc` so that cloning a space
+    /// (which every conjunct of every relation carries) is a reference-count
+    /// bump instead of three `Vec<String>` deep copies.
+    names: Arc<SpaceNames>,
+}
+
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct SpaceNames {
     in_vars: Vec<String>,
     out_vars: Vec<String>,
     params: Vec<String>,
 }
 
 impl Space {
+    fn from_names(in_vars: Vec<String>, out_vars: Vec<String>, params: Vec<String>) -> Self {
+        Space {
+            names: Arc::new(SpaceNames {
+                in_vars,
+                out_vars,
+                params,
+            }),
+        }
+    }
+
     /// Creates the space of a relation with the given input dims, output dims
     /// and parameters.
     pub fn relation<S: AsRef<str>>(in_vars: &[S], out_vars: &[S], params: &[S]) -> Self {
-        Space {
-            in_vars: in_vars.iter().map(|s| s.as_ref().to_owned()).collect(),
-            out_vars: out_vars.iter().map(|s| s.as_ref().to_owned()).collect(),
-            params: params.iter().map(|s| s.as_ref().to_owned()).collect(),
-        }
+        Space::from_names(
+            in_vars.iter().map(|s| s.as_ref().to_owned()).collect(),
+            out_vars.iter().map(|s| s.as_ref().to_owned()).collect(),
+            params.iter().map(|s| s.as_ref().to_owned()).collect(),
+        )
     }
 
     /// Creates the space of a set (no output dims).
@@ -62,68 +81,71 @@ impl Space {
     /// Creates an anonymous relation space of the given arities; dimension
     /// names are synthesised (`i0, i1, ... / o0, o1, ...`).
     pub fn anonymous(n_in: usize, n_out: usize) -> Self {
-        Space {
-            in_vars: (0..n_in).map(|i| format!("i{i}")).collect(),
-            out_vars: (0..n_out).map(|i| format!("o{i}")).collect(),
-            params: Vec::new(),
-        }
+        Space::from_names(
+            (0..n_in).map(|i| format!("i{i}")).collect(),
+            (0..n_out).map(|i| format!("o{i}")).collect(),
+            Vec::new(),
+        )
     }
 
     /// Number of input-tuple dimensions.
     pub fn n_in(&self) -> usize {
-        self.in_vars.len()
+        self.names.in_vars.len()
     }
 
     /// Number of output-tuple dimensions.
     pub fn n_out(&self) -> usize {
-        self.out_vars.len()
+        self.names.out_vars.len()
     }
 
     /// Number of symbolic parameters.
     pub fn n_param(&self) -> usize {
-        self.params.len()
+        self.names.params.len()
     }
 
     /// Names of the input-tuple dimensions.
     pub fn in_vars(&self) -> &[String] {
-        &self.in_vars
+        &self.names.in_vars
     }
 
     /// Names of the output-tuple dimensions.
     pub fn out_vars(&self) -> &[String] {
-        &self.out_vars
+        &self.names.out_vars
     }
 
     /// Names of the symbolic parameters.
     pub fn params(&self) -> &[String] {
-        &self.params
+        &self.names.params
     }
 
     /// The space of the inverse relation (input and output dims swapped).
     pub fn reversed(&self) -> Space {
-        Space {
-            in_vars: self.out_vars.clone(),
-            out_vars: self.in_vars.clone(),
-            params: self.params.clone(),
-        }
+        Space::from_names(
+            self.names.out_vars.clone(),
+            self.names.in_vars.clone(),
+            self.names.params.clone(),
+        )
     }
 
     /// The space of the domain set of a relation over this space.
     pub fn domain_space(&self) -> Space {
-        Space {
-            in_vars: self.in_vars.clone(),
-            out_vars: Vec::new(),
-            params: self.params.clone(),
+        if self.n_out() == 0 {
+            return self.clone(); // a set is its own domain space
         }
+        Space::from_names(
+            self.names.in_vars.clone(),
+            Vec::new(),
+            self.names.params.clone(),
+        )
     }
 
     /// The space of the range set of a relation over this space.
     pub fn range_space(&self) -> Space {
-        Space {
-            in_vars: self.out_vars.clone(),
-            out_vars: Vec::new(),
-            params: self.params.clone(),
-        }
+        Space::from_names(
+            self.names.out_vars.clone(),
+            Vec::new(),
+            self.names.params.clone(),
+        )
     }
 
     /// Whether `self` and `other` have the same arities and parameter names.
@@ -131,7 +153,10 @@ impl Space {
     /// Dimension names are ignored: `{ [x] -> [y] }` and `{ [i] -> [j] }` are
     /// compatible.
     pub fn is_compatible(&self, other: &Space) -> bool {
-        self.n_in() == other.n_in() && self.n_out() == other.n_out() && self.params == other.params
+        Arc::ptr_eq(&self.names, &other.names)
+            || (self.n_in() == other.n_in()
+                && self.n_out() == other.n_out()
+                && self.names.params == other.names.params)
     }
 
     /// Checks compatibility and returns a descriptive error when it fails.
@@ -151,9 +176,9 @@ impl Space {
     pub fn describe(&self) -> String {
         format!(
             "[{}] -> [{}] (params [{}])",
-            self.in_vars.join(", "),
-            self.out_vars.join(", "),
-            self.params.join(", ")
+            self.names.in_vars.join(", "),
+            self.names.out_vars.join(", "),
+            self.names.params.join(", ")
         )
     }
 
@@ -189,7 +214,6 @@ impl Space {
             }
         }
     }
-
 }
 
 #[cfg(test)]

@@ -38,6 +38,13 @@ impl BenchmarkId {
             name: format!("{name}/{parameter}"),
         }
     }
+
+    /// Identifier consisting of the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for BenchmarkId {

@@ -80,11 +80,7 @@ fn rotate_right(e: Expr, count: &mut usize) -> Expr {
             if let Expr::Bin(inner_op, a, b) = l {
                 if inner_op == op {
                     *count += 1;
-                    return Expr::Bin(
-                        op,
-                        a,
-                        Box::new(Expr::Bin(op, b, Box::new(r))),
-                    );
+                    return Expr::Bin(op, a, Box::new(Expr::Bin(op, b, Box::new(r))));
                 }
                 return Expr::Bin(op, Box::new(Expr::Bin(inner_op, a, b)), Box::new(r));
             }

@@ -72,7 +72,9 @@ pub fn introduce_temp(p: &Program, label: &str, temp_name: &str) -> Result<Progr
                 .iter()
                 .position(|s| matches!(s, Stmt::Assign(a) if a.label == label))
             {
-                let Stmt::Assign(a) = &f.body[pos] else { unreachable!() };
+                let Stmt::Assign(a) = &f.body[pos] else {
+                    unreachable!()
+                };
                 let producer_loop = Stmt::For(For {
                     var: f.var.clone(),
                     init: f.init.clone(),
@@ -151,7 +153,10 @@ fn substitute_in_expr(e: Expr, array: &str, producer_rhs: &Expr, iter_var: &str)
             Box::new(substitute_in_expr(*r, array, producer_rhs, iter_var)),
         ),
         Expr::Neg(inner) => Expr::Neg(Box::new(substitute_in_expr(
-            *inner, array, producer_rhs, iter_var,
+            *inner,
+            array,
+            producer_rhs,
+            iter_var,
         ))),
         Expr::Call(name, args) => Expr::Call(
             name,

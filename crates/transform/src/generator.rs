@@ -70,7 +70,13 @@ pub fn generate_kernel(config: &GeneratorConfig) -> Program {
         // in producer/consumer signal-processing chains); the remaining
         // operands read fresh input data.
         let chain = random_sum(&mut rng, &prev_arrays, layer == 0, 1, n);
-        let rest = random_sum(&mut rng, &input_names, true, config.fanin.saturating_sub(1).max(1), n);
+        let rest = random_sum(
+            &mut rng,
+            &input_names,
+            true,
+            config.fanin.saturating_sub(1).max(1),
+            n,
+        );
         let rhs = Expr::add(chain, rest);
         body.push(simple_for(
             "k",
@@ -111,7 +117,7 @@ fn random_sum(
     n: i64,
 ) -> Expr {
     let mut terms = Vec::new();
-    for t in 0..fanin.max(1) {
+    for _t in 0..fanin.max(1) {
         let src = &sources[rng.gen_range(0..sources.len())];
         let idx = if sources_are_inputs {
             // Inputs may be read with strides and shifts (the driver sizes
@@ -129,11 +135,7 @@ fn random_sum(
             }
         };
         let term = Expr::access1(src, idx);
-        terms.push(if t == 0 {
-            term
-        } else {
-            term
-        });
+        terms.push(term);
     }
     let mut expr = terms.remove(0);
     for t in terms {

@@ -110,10 +110,8 @@ pub fn fission_loop(p: &Program, index: usize) -> Result<Program> {
 pub fn fuse_loops(p: &Program, first: usize) -> Result<Program> {
     let f1 = loop_at(p, first)?.clone();
     let f2 = loop_at(p, first + 1)?.clone();
-    let same_header = f1.var == f2.var
-        && f1.init == f2.init
-        && f1.cond == f2.cond
-        && f1.step == f2.step;
+    let same_header =
+        f1.var == f2.var && f1.init == f2.init && f1.cond == f2.cond && f1.step == f2.step;
     if !same_header {
         return Err(TransformError::NotApplicable {
             message: "loop fusion needs identical loop headers".into(),

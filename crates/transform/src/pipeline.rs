@@ -32,7 +32,11 @@ pub enum TransformStep {
 /// transformations to `program`.  Steps that do not apply at the chosen
 /// location are skipped, so the returned list may be shorter than `steps`.
 /// The result is equivalent to the input by construction.
-pub fn random_pipeline(program: &Program, steps: usize, seed: u64) -> (Program, Vec<TransformStep>) {
+pub fn random_pipeline(
+    program: &Program,
+    steps: usize,
+    seed: u64,
+) -> (Program, Vec<TransformStep>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut current = program.clone();
     let mut applied = Vec::new();
@@ -44,11 +48,15 @@ pub fn random_pipeline(program: &Program, steps: usize, seed: u64) -> (Program, 
         let attempt: Option<(Program, TransformStep)> = match choice {
             0 if !loops.is_empty() => {
                 let i = loops[rng.gen_range(0..loops.len())];
-                reverse_loop(&current, i).ok().map(|p| (p, TransformStep::ReverseLoop(i)))
+                reverse_loop(&current, i)
+                    .ok()
+                    .map(|p| (p, TransformStep::ReverseLoop(i)))
             }
             1 if !loops.is_empty() => {
                 let i = loops[rng.gen_range(0..loops.len())];
-                fission_loop(&current, i).ok().map(|p| (p, TransformStep::FissionLoop(i)))
+                fission_loop(&current, i)
+                    .ok()
+                    .map(|p| (p, TransformStep::FissionLoop(i)))
             }
             2 if loops.len() >= 2 => {
                 let pos = rng.gen_range(0..loops.len() - 1);
@@ -62,7 +70,9 @@ pub fn random_pipeline(program: &Program, steps: usize, seed: u64) -> (Program, 
                 let i = loops[rng.gen_range(0..loops.len())];
                 let n = current.define("N").unwrap_or(16);
                 let mid = rng.gen_range(1..n.max(2));
-                split_loop(&current, i, mid).ok().map(|p| (p, TransformStep::SplitLoop(i, mid)))
+                split_loop(&current, i, mid)
+                    .ok()
+                    .map(|p| (p, TransformStep::SplitLoop(i, mid)))
             }
             4 if !labels.is_empty() => {
                 let l = labels[rng.gen_range(0..labels.len())].clone();
@@ -76,15 +86,21 @@ pub fn random_pipeline(program: &Program, steps: usize, seed: u64) -> (Program, 
             }
             6 if !intermediates.is_empty() => {
                 let a = intermediates[rng.gen_range(0..intermediates.len())].clone();
-                propagate_array(&current, &a).ok().map(|p| (p, TransformStep::Propagate(a)))
+                propagate_array(&current, &a)
+                    .ok()
+                    .map(|p| (p, TransformStep::Propagate(a)))
             }
             _ => None,
         };
         if let Some((p, step)) = attempt {
             // Keep only transformations that preserve the class and def-use
             // validity (e.g. fusing a consumer before its producer would not).
-            if arrayeq_lang::classcheck::check_class(&p).map(|r| r.is_ok()).unwrap_or(false)
-                && arrayeq_lang::defuse::check_def_use(&p).map(|r| r.is_ok()).unwrap_or(false)
+            if arrayeq_lang::classcheck::check_class(&p)
+                .map(|r| r.is_ok())
+                .unwrap_or(false)
+                && arrayeq_lang::defuse::check_def_use(&p)
+                    .map(|r| r.is_ok())
+                    .unwrap_or(false)
             {
                 current = p;
                 applied.push(step);

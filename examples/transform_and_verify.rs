@@ -17,7 +17,10 @@ fn main() {
     // Apply a reproducible random pipeline of legality-checked transformations.
     let (transformed, steps) = random_pipeline(&original, 8, 2024);
     println!("applied transformation steps: {steps:?}\n");
-    println!("--- transformed program ---\n{}", program_to_string(&transformed));
+    println!(
+        "--- transformed program ---\n{}",
+        program_to_string(&transformed)
+    );
 
     let report = verify_programs(&original, &transformed, &CheckOptions::default()).unwrap();
     println!("verification of the pipeline: {}", report.verdict);

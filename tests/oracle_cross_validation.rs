@@ -11,28 +11,51 @@ use arrayeq::transform::random_pipeline;
 #[test]
 fn equivalence_verdicts_imply_identical_simulation_outputs() {
     for seed in 0..3u64 {
-        let cfg = GeneratorConfig { n: 48, layers: 3, seed, ..Default::default() };
+        let cfg = GeneratorConfig {
+            n: 48,
+            layers: 3,
+            seed,
+            ..Default::default()
+        };
         let original = generate_kernel(&cfg);
         let (transformed, steps) = random_pipeline(&original, 6, seed + 100);
         let report = verify_programs(&original, &transformed, &CheckOptions::default()).unwrap();
-        assert!(report.is_equivalent(), "seed {seed} steps {steps:?}: {}", report.summary());
+        assert!(
+            report.is_equivalent(),
+            "seed {seed} steps {steps:?}: {}",
+            report.summary()
+        );
 
         let inputs = inputs_for(&cfg);
-        let o1 = Interpreter::new(&original).run_for_output(&inputs, "OUT").unwrap();
-        let o2 = Interpreter::new(&transformed).run_for_output(&inputs, "OUT").unwrap();
-        assert_eq!(o1, o2, "simulation must agree when the checker says equivalent");
+        let o1 = Interpreter::new(&original)
+            .run_for_output(&inputs, "OUT")
+            .unwrap();
+        let o2 = Interpreter::new(&transformed)
+            .run_for_output(&inputs, "OUT")
+            .unwrap();
+        assert_eq!(
+            o1, o2,
+            "simulation must agree when the checker says equivalent"
+        );
     }
 }
 
 #[test]
 fn injected_bugs_are_never_reported_equivalent() {
-    let cfg = GeneratorConfig { n: 48, layers: 3, seed: 9, ..Default::default() };
+    let cfg = GeneratorConfig {
+        n: 48,
+        layers: 3,
+        seed: 9,
+        ..Default::default()
+    };
     let original = generate_kernel(&cfg);
     let (transformed, _) = random_pipeline(&original, 4, 77);
     for bug in [Bug::IndexScale(2), Bug::WrongOperator] {
         // Inject into the first statement of the transformed program.
         let label = transformed.statements().next().unwrap().label.clone();
-        let Ok(broken) = inject(&transformed, &label, bug) else { continue };
+        let Ok(broken) = inject(&transformed, &label, bug) else {
+            continue;
+        };
         match verify_programs(&original, &broken, &CheckOptions::default()) {
             Ok(report) => assert!(
                 !report.is_equivalent(),

@@ -49,7 +49,10 @@ fn checker_verdicts_agree_with_simulation_on_fig1() {
         let p = parse_program(src).unwrap();
         Interpreter::new(&p)
             .run_for_output(
-                &Inputs::new().array("A", a.clone()).array("B", b.clone()).output("C", n),
+                &Inputs::new()
+                    .array("A", a.clone())
+                    .array("B", b.clone())
+                    .output("C", n),
                 "C",
             )
             .unwrap()

@@ -1,7 +1,7 @@
 //! Property-based tests for the omega substrate and the frontend, checking
 //! the algebraic laws the equivalence checker relies on.
 
-use arrayeq::omega::{Relation, Set};
+use arrayeq::omega::{Conjunct, Constraint, LinExpr, Relation, Set, Space};
 use proptest::prelude::*;
 
 /// A small affine 1-D relation `{ [i] -> [a*i + b] : lo <= i < hi }`.
@@ -80,6 +80,115 @@ proptest! {
         prop_assert!(exact);
         let reachable = to > from && to <= hi;
         prop_assert_eq!(closure.contains(&[from], &[to], &[]), reachable);
+    }
+}
+
+/// Builds `{ [i] -> [o] : a·i + b − o = 0  ∧  i − lo ≥ 0  ∧  hi − 1 − i ≥ 0 }`
+/// programmatically, with every constraint's expression scaled by the matching
+/// entry of `scales` and the constraints ordered by `rotate` — structural
+/// noise that canonicalization must erase.
+fn noisy_conjunct(a: i64, b: i64, lo: i64, hi: i64, scales: [i64; 3], rotate: usize) -> Conjunct {
+    let space = Space::relation(&["i"], &["o"], &[]);
+    let mut c = Conjunct::universe(space);
+    let mut eq = LinExpr::zero(2);
+    eq.set_coeff(0, a);
+    eq.set_coeff(1, -1);
+    eq.set_constant(b);
+    let mut lo_e = LinExpr::zero(2);
+    lo_e.set_coeff(0, 1);
+    lo_e.set_constant(-lo);
+    let mut hi_e = LinExpr::zero(2);
+    hi_e.set_coeff(0, -1);
+    hi_e.set_constant(hi - 1);
+    let mut cs = vec![
+        Constraint::eq(eq.scale(scales[0])),
+        Constraint::geq(lo_e.scale(scales[1].abs())),
+        Constraint::geq(hi_e.scale(scales[2].abs())),
+    ];
+    let n = cs.len();
+    cs.rotate_left(rotate % n);
+    for k in cs {
+        c.add(k);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Permuting the conjuncts of a union does not change the structural
+    /// hash (and equal hashes come with equal canonical keys).
+    #[test]
+    fn structural_hash_ignores_conjunct_order(
+        a1 in 1i64..4, b1 in -3i64..4, a2 in 1i64..4, b2 in -3i64..4, hi in 1i64..16,
+    ) {
+        let r1 = affine_relation(a1, b1, 0, hi);
+        let r2 = affine_relation(a2, b2, -5, hi + 3);
+        let u12 = r1.union(&r2).unwrap();
+        let u21 = r2.union(&r1).unwrap();
+        prop_assert_eq!(u12.structural_hash(), u21.structural_hash());
+        prop_assert_eq!(u12.canonical_key(), u21.canonical_key());
+        // Duplicating a disjunct is also invisible.
+        let u121 = u12.union(&r1).unwrap();
+        prop_assert_eq!(u121.structural_hash(), u12.structural_hash());
+    }
+
+    /// Permuting the constraints inside a conjunct and scaling them by
+    /// constants does not change the structural hash; genuinely different
+    /// bounds do.
+    #[test]
+    fn structural_hash_is_canonical_over_constraint_noise(
+        a in 1i64..4, b in -3i64..4, lo in -4i64..2, hi in 3i64..12,
+        s0 in 1i64..4, s1 in 1i64..4, s2 in 1i64..4, rot in 0usize..3,
+    ) {
+        let space = Space::relation(&["i"], &["o"], &[]);
+        let clean = Relation::from_conjuncts(
+            space.clone(),
+            vec![noisy_conjunct(a, b, lo, hi, [1, 1, 1], 0)],
+        );
+        let noisy = Relation::from_conjuncts(
+            space.clone(),
+            vec![noisy_conjunct(a, b, lo, hi, [s0, s1, s2], rot)],
+        );
+        prop_assert_eq!(clean.structural_hash(), noisy.structural_hash());
+        prop_assert_eq!(clean.canonical_key(), noisy.canonical_key());
+        // A shifted upper bound must be visible to the hash.
+        let different = Relation::from_conjuncts(
+            space,
+            vec![noisy_conjunct(a, b, lo, hi + 1, [1, 1, 1], 0)],
+        );
+        prop_assert!(clean.structural_hash() != different.structural_hash());
+    }
+
+    /// An equality constraint and its negated twin (`e = 0` vs `−e = 0`)
+    /// canonicalise to the same structural hash.
+    #[test]
+    fn structural_hash_ignores_equality_sign(a in 1i64..5, b in -4i64..5) {
+        let space = Space::relation(&["i"], &["o"], &[]);
+        let mut eq = LinExpr::zero(2);
+        eq.set_coeff(0, a);
+        eq.set_coeff(1, -1);
+        eq.set_constant(b);
+        let mut pos = Conjunct::universe(space.clone());
+        pos.add(Constraint::eq(eq.clone()));
+        let mut neg = Conjunct::universe(space.clone());
+        neg.add(Constraint::eq(eq.scale(-1)));
+        let rp = Relation::from_conjuncts(space.clone(), vec![pos]);
+        let rn = Relation::from_conjuncts(space, vec![neg]);
+        prop_assert_eq!(rp.structural_hash(), rn.structural_hash());
+        prop_assert!(rp.is_equal(&rn).unwrap());
+    }
+
+    /// The cached hash survives cloning and equals a from-scratch
+    /// recomputation on a structurally identical relation.
+    #[test]
+    fn structural_hash_is_stable_under_cloning(a in 1i64..4, b in -3i64..4, hi in 1i64..16) {
+        let r = affine_relation(a, b, 0, hi);
+        let h = r.structural_hash();
+        let clone = r.clone();
+        prop_assert_eq!(clone.structural_hash(), h);
+        let fresh = affine_relation(a, b, 0, hi);
+        prop_assert_eq!(fresh.structural_hash(), h);
     }
 }
 
