@@ -36,10 +36,12 @@
 mod dot;
 mod extract;
 mod graph;
+mod slice;
 
-pub use dot::to_dot;
+pub use dot::{to_dot, to_dot_highlighted};
 pub use extract::{describe_node, extract};
 pub use graph::{Addg, Definition, Node, NodeId, OperatorKind};
+pub use slice::{slice_for_point, Slice};
 
 use std::fmt;
 

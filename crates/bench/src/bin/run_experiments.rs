@@ -62,7 +62,7 @@ fn main() {
     if run("e12") {
         e12_omega_ops();
     }
-    // Writes a file, so only runs when explicitly requested.
+    // These write files, so they only run when explicitly requested.
     if only.as_deref() == Some("pr1") {
         let out = args
             .iter()
@@ -71,6 +71,15 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "BENCH_PR1.json".to_owned());
         pr1_tabling_keying(&out);
+    }
+    if only.as_deref() == Some("pr2") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_PR2.json".to_owned());
+        pr2_witness_engine(&out);
     }
 }
 
@@ -455,6 +464,108 @@ fn pr1_tabling_keying(out_path: &str) {
     std::fs::write(out_path, &json).expect("write PR1 snapshot");
     println!("geomean speedup vs pre-refactor seed baseline: {seed_geomean:.2}x");
     println!("geomean speedup hash vs string keys (same run): {key_geomean:.2}x");
+    println!("snapshot written to {out_path}");
+}
+
+/// PR2 acceptance snapshot: the witness engine over the fault-injection
+/// corpus — per case, the checker wall-time and the witness-extraction
+/// wall-time (sampling + replay + slicing), plus the aggregate detection and
+/// confirmation rates.  Written to a JSON file.
+fn pr2_witness_engine(out_path: &str) {
+    use arrayeq_core::{verify_programs, Verdict};
+    use arrayeq_transform::mutate::fault_corpus;
+    use arrayeq_witness::{extract_witnesses, WitnessOptions};
+    header(
+        "PR2",
+        "witness extraction over the fault-injection corpus (check vs witness time)",
+    );
+    const REPEATS: usize = 3;
+    let corpus = fault_corpus();
+    let wopts = WitnessOptions::default();
+    println!(
+        "{:<42} {:>10} {:>12} {:>10} {:>10}",
+        "case", "check/ms", "witness/ms", "verdict", "confirmed"
+    );
+    let mut rows = Vec::new();
+    let mut detected = 0usize;
+    let mut confirmed = 0usize;
+    let mut total_check = 0.0f64;
+    let mut total_witness = 0.0f64;
+    for case in &corpus {
+        let mut check_ms = f64::INFINITY;
+        let mut witness_ms = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..REPEATS {
+            let (report, tc) = timed(|| {
+                verify_programs(&case.original, &case.mutant, &CheckOptions::default())
+                    .expect("corpus case verifies")
+            });
+            let (ws, tw) = timed(|| {
+                extract_witnesses(&case.original, &case.mutant, &report, &wopts)
+                    .expect("witness extraction runs")
+            });
+            check_ms = check_ms.min(tc.as_secs_f64() * 1e3);
+            witness_ms = witness_ms.min(tw.as_secs_f64() * 1e3);
+            last = Some((report, ws));
+        }
+        let (report, witnesses) = last.expect("at least one repeat");
+        let is_detected = report.verdict == Verdict::NotEquivalent;
+        let is_confirmed = witnesses.iter().any(|w| w.confirmed);
+        detected += is_detected as usize;
+        confirmed += is_confirmed as usize;
+        total_check += check_ms;
+        total_witness += witness_ms;
+        println!(
+            "{:<42} {:>10.3} {:>12.3} {:>10} {:>10}",
+            case.name,
+            check_ms,
+            witness_ms,
+            if is_detected { "NEQ" } else { "??" },
+            is_confirmed
+        );
+        rows.push(format!(
+            concat!(
+                "    {{ \"case\": \"{}\", \"check_ms\": {:.3}, \"witness_ms\": {:.3}, ",
+                "\"detected\": {}, \"witness_confirmed\": {} }}"
+            ),
+            case.name, check_ms, witness_ms, is_detected, is_confirmed,
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"PR2: witness engine — checker time vs witness-extraction ",
+            "time (sampling + interpreter replay + ADDG slicing) over the fault-injection ",
+            "corpus\",\n",
+            "  \"command\": \"cargo run --release -p arrayeq-bench --bin run_experiments ",
+            "-- --exp pr2\",\n",
+            "  \"config\": {{ \"repeats\": {}, \"timing\": \"best of repeats, ms\", ",
+            "\"max_points\": {}, \"input_fills\": {} }},\n",
+            "  \"rows\": [\n{}\n  ],\n",
+            "  \"corpus_size\": {},\n",
+            "  \"detected\": {},\n",
+            "  \"witness_confirmed\": {},\n",
+            "  \"total_check_ms\": {:.3},\n",
+            "  \"total_witness_ms\": {:.3}\n",
+            "}}\n"
+        ),
+        REPEATS,
+        wopts.max_points,
+        wopts.input_fills.len(),
+        rows.join(",\n"),
+        corpus.len(),
+        detected,
+        confirmed,
+        total_check,
+        total_witness,
+    );
+    std::fs::write(out_path, &json).expect("write PR2 snapshot");
+    println!(
+        "detected {detected}/{} mutants, {confirmed}/{} replay-confirmed; \
+         total check {total_check:.1} ms, total witness extraction {total_witness:.1} ms",
+        corpus.len(),
+        corpus.len(),
+    );
     println!("snapshot written to {out_path}");
 }
 

@@ -241,6 +241,7 @@ impl Checker<'_> {
         let outputs = self.select_outputs()?;
         let mut all_ok = true;
         for output in &outputs {
+            let diag_start = self.diagnostics.len();
             let ea = self
                 .a
                 .defined_elements(output)
@@ -254,8 +255,12 @@ impl Checker<'_> {
                     message: format!("transformed program never defines output `{output}`"),
                 })?;
             if !ea.is_equal(&eb)? {
+                // The failing elements are exactly the symmetric difference
+                // of the two defined-element sets.
+                let failing = ea.subtract(&eb)?.union(&eb.subtract(&ea)?)?.simplified();
                 self.diagnostics.push(Diagnostic {
                     kind: DiagnosticKind::OutputDomainMismatch,
+                    output_array: None, // stamped below
                     original_statements: self
                         .a
                         .definitions(output)
@@ -274,8 +279,9 @@ impl Checker<'_> {
                     message: format!(
                         "the two programs do not define the same elements of `{output}`"
                     ),
-                    failing_domain: None,
+                    failing_domain: Some(failing),
                 });
+                self.stamp_output(diag_start, output);
                 all_ok = false;
                 continue;
             }
@@ -288,6 +294,7 @@ impl Checker<'_> {
                 &[],
                 &[],
             )?;
+            self.stamp_output(diag_start, output);
             all_ok &= ok;
         }
         let verdict = if self.exhausted {
@@ -300,6 +307,7 @@ impl Checker<'_> {
         Ok(Report {
             verdict,
             diagnostics: std::mem::take(&mut self.diagnostics),
+            witnesses: Vec::new(),
             stats: self.stats,
             outputs_checked: outputs,
         })
@@ -335,6 +343,17 @@ impl Checker<'_> {
             }
         }
         Ok(outputs)
+    }
+
+    /// Stamps every diagnostic produced since `start` with the output array
+    /// whose check produced it, so downstream consumers (witness engine,
+    /// reports) know which index space a failing domain lives in.
+    fn stamp_output(&mut self, start: usize, output: &str) {
+        for d in &mut self.diagnostics[start..] {
+            if d.output_array.is_none() {
+                d.output_array = Some(output.to_owned());
+            }
+        }
     }
 
     fn budget(&mut self) -> bool {
@@ -714,6 +733,7 @@ impl Checker<'_> {
         if va != vb {
             self.diagnostics.push(Diagnostic {
                 kind: DiagnosticKind::LeafMismatch,
+                output_array: None,
                 original_statements: trail_a.to_vec(),
                 transformed_statements: trail_b.to_vec(),
                 expressions: vec![va.to_owned(), vb.to_owned()],
@@ -735,13 +755,14 @@ impl Checker<'_> {
         let failing = only_a.union(&only_b)?.domain().simplified();
         self.diagnostics.push(Diagnostic {
             kind: DiagnosticKind::MappingMismatch,
+            output_array: None,
             original_statements: trail_a.to_vec(),
             transformed_statements: trail_b.to_vec(),
             expressions: vec![va.to_owned()],
             original_mapping: Some(map_a.to_string()),
             transformed_mapping: Some(map_b.to_string()),
             message: format!("paths reading `{va}` have different output-input mappings"),
-            failing_domain: Some(failing.to_string()),
+            failing_domain: Some(failing),
         });
         Ok(false)
     }
@@ -771,6 +792,7 @@ impl Checker<'_> {
         };
         self.diagnostics.push(Diagnostic {
             kind: DiagnosticKind::OperatorMismatch,
+            output_array: None,
             original_statements: orig_stmts,
             transformed_statements: trans_stmts,
             expressions: vec![leaf.to_owned(), node_text],
@@ -800,6 +822,7 @@ impl Checker<'_> {
                 } else {
                     self.diagnostics.push(Diagnostic {
                         kind: DiagnosticKind::OperatorMismatch,
+                        output_array: None,
                         original_statements: trail_a.to_vec(),
                         transformed_statements: trail_b.to_vec(),
                         expressions: vec![va.to_string(), vb.to_string()],
@@ -826,6 +849,7 @@ impl Checker<'_> {
                 if ka != kb {
                     self.diagnostics.push(Diagnostic {
                         kind: DiagnosticKind::OperatorMismatch,
+                        output_array: None,
                         original_statements: with(trail_a, &sa),
                         transformed_statements: with(trail_b, &sb),
                         expressions: vec![describe_node(self.a, na), describe_node(self.b, nb)],
@@ -843,6 +867,7 @@ impl Checker<'_> {
                     if oa.len() != ob.len() {
                         self.diagnostics.push(Diagnostic {
                             kind: DiagnosticKind::Structural,
+                            output_array: None,
                             original_statements: with(trail_a, &sa),
                             transformed_statements: with(trail_b, &sb),
                             expressions: vec![describe_node(self.a, na), describe_node(self.b, nb)],
@@ -886,6 +911,7 @@ impl Checker<'_> {
             (a_node, b_node) => {
                 self.diagnostics.push(Diagnostic {
                     kind: DiagnosticKind::OperatorMismatch,
+                    output_array: None,
                     original_statements: trail_a.to_vec(),
                     transformed_statements: trail_b.to_vec(),
                     expressions: vec![
@@ -1143,6 +1169,7 @@ impl Checker<'_> {
         if live_a.len() != live_b.len() {
             self.diagnostics.push(Diagnostic {
                 kind: DiagnosticKind::MatchingFailure,
+                output_array: None,
                 original_statements: trail_a.to_vec(),
                 transformed_statements: trail_b.to_vec(),
                 expressions: vec![format!("operator `{op}`")],
@@ -1153,7 +1180,7 @@ impl Checker<'_> {
                     live_a.len(),
                     live_b.len()
                 ),
-                failing_domain: Some(piece.to_string()),
+                failing_domain: Some(piece.clone()),
             });
             return Ok(false);
         }
@@ -1189,6 +1216,7 @@ impl Checker<'_> {
                     .map(|(t, _)| self.describe_term(false, t));
                 self.diagnostics.push(Diagnostic {
                     kind: DiagnosticKind::MappingMismatch,
+                    output_array: None,
                     original_statements: ta.trail.clone(),
                     transformed_statements: other
                         .as_ref()
@@ -1206,7 +1234,7 @@ impl Checker<'_> {
                     message: format!(
                         "no operand of the transformed `{op}` chain matches this operand of the original"
                     ),
-                    failing_domain: Some(piece.to_string()),
+                    failing_domain: Some(piece.clone()),
                 });
             }
         }
@@ -1500,5 +1528,23 @@ t1:     C[k] = A[2*k] + A[k+1];
             .expect("a mapping mismatch diagnostic");
         assert!(d.original_mapping.is_some());
         assert!(d.transformed_mapping.is_some());
+    }
+
+    #[test]
+    fn failing_domains_are_structured_and_stamped_with_their_output() {
+        let r = check(FIG1_A, FIG1_D, &CheckOptions::default());
+        assert!(!r.is_equivalent());
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.failing_domain.is_some())
+            .expect("a diagnostic with a failing domain");
+        assert_eq!(d.output_array.as_deref(), Some("C"));
+        let dom = d.failing_domain.as_ref().unwrap();
+        // The domain is directly sampleable — no string reparsing anywhere.
+        let (point, params) = dom.sample_point().expect("non-empty failing domain");
+        assert!(dom.contains(&point, &params));
+        // Fig. 1(d) is wrong on even k below N-1.
+        assert_eq!(point[0].rem_euclid(2), 0);
     }
 }

@@ -6,6 +6,7 @@
 //! paper's blame heuristic (the variable common to several failing paths is
 //! the most likely culprit).
 
+use arrayeq_omega::Set;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -48,6 +49,8 @@ impl fmt::Display for DiagnosticKind {
 pub struct Diagnostic {
     /// What kind of divergence was found.
     pub kind: DiagnosticKind,
+    /// The output array whose check produced this diagnostic.
+    pub output_array: Option<String>,
     /// Statement labels on the original-program path involved.
     pub original_statements: Vec<String>,
     /// Statement labels on the transformed-program path involved.
@@ -60,13 +63,20 @@ pub struct Diagnostic {
     pub transformed_mapping: Option<String>,
     /// Human-readable explanation.
     pub message: String,
-    /// The set of output elements for which the divergence occurs.
-    pub failing_domain: Option<String>,
+    /// The set of output elements for which the divergence occurs, as a
+    /// structured integer set over the output array's index space.  The
+    /// witness engine samples concrete counterexample points from it and
+    /// [`fmt::Display`] renders it for reports — no stringly-typed relation
+    /// ever needs reparsing.
+    pub failing_domain: Option<Set>,
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}: {}", self.kind, self.message)?;
+        if let Some(o) = &self.output_array {
+            writeln!(f, "  while checking output:  {o}")?;
+        }
         if !self.original_statements.is_empty() {
             writeln!(
                 f,
@@ -134,13 +144,14 @@ mod tests {
     fn diag(kind: DiagnosticKind, transformed: &[&str]) -> Diagnostic {
         Diagnostic {
             kind,
+            output_array: Some("C".into()),
             original_statements: vec!["s1".into()],
             transformed_statements: transformed.iter().map(|s| s.to_string()).collect(),
             expressions: vec!["buf[k]".into()],
             original_mapping: Some("{ [k] -> [2k] }".into()),
             transformed_mapping: Some("{ [k] -> [k] }".into()),
             message: "test".into(),
-            failing_domain: None,
+            failing_domain: Some(Set::parse("{ [k] : k % 2 = 0 and 0 <= k < 8 }").unwrap()),
         }
     }
 
@@ -169,5 +180,20 @@ mod tests {
         assert!(text.contains("v3"));
         assert!(text.contains("buf[k]"));
         assert!(text.contains("{ [k] -> [2k] }"));
+        assert!(text.contains("while checking output:  C"));
+        // The structured failing domain renders through the omega printer.
+        assert!(text.contains("failing output elements"));
+        assert!(text.contains("% 2"));
+    }
+
+    #[test]
+    fn failing_domain_is_a_structured_set() {
+        let d = diag(DiagnosticKind::MappingMismatch, &["v3"]);
+        let dom = d.failing_domain.as_ref().unwrap();
+        assert!(dom.contains(&[4], &[]));
+        assert!(!dom.contains(&[5], &[]));
+        // And it can be sampled without any reparsing.
+        let (p, _) = dom.sample_point().unwrap();
+        assert!(dom.contains(&p, &[]));
     }
 }

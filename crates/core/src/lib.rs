@@ -52,7 +52,7 @@ mod report;
 pub use checker::{verify_addgs, verify_programs, verify_source, CheckOptions, Focus, Method};
 pub use diagnostics::{Diagnostic, DiagnosticKind};
 pub use operators::{OperatorClass, OperatorProperties};
-pub use report::{CheckStats, Report, Verdict};
+pub use report::{CheckStats, Report, Verdict, Witness};
 
 use std::fmt;
 

@@ -67,6 +67,70 @@ impl CheckStats {
     }
 }
 
+/// A concrete, machine-checked counterexample for a
+/// [`Verdict::NotEquivalent`]: an output element at which the two programs
+/// were *executed* and produced different values.
+///
+/// Witnesses are produced by the `arrayeq-witness` crate: it samples points
+/// from the structured failing domains of the diagnostics
+/// ([`crate::Diagnostic::failing_domain`]), replays both programs through the
+/// reference interpreter on deterministic inputs, and records the first point
+/// where the values diverge, together with the ADDG slices (statement sets)
+/// feeding that point on each side.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// The output array at which the divergence was exhibited.
+    pub output: String,
+    /// The concrete index of the diverging output element (one value per
+    /// array dimension).
+    pub point: Vec<i64>,
+    /// Parameter values under which the point was sampled (empty for the
+    /// fully-constant program class).
+    pub params: Vec<i64>,
+    /// Value computed by the original program at the point (`None` when the
+    /// replay could not evaluate it).
+    pub original_value: Option<i64>,
+    /// Value computed by the transformed program at the point.
+    pub transformed_value: Option<i64>,
+    /// Whether the replay *confirmed* the divergence: both programs ran and
+    /// their values at the point differ.  An unconfirmed witness still
+    /// records the sampled point of the failing domain.
+    pub confirmed: bool,
+    /// How many candidate `(input fill, point)` replays were tried before
+    /// this witness was produced.
+    pub replays: usize,
+    /// Statement labels of the original program feeding the witness point.
+    pub original_slice: Vec<String>,
+    /// Statement labels of the transformed program feeding the witness point.
+    pub transformed_slice: Vec<String>,
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let idx = self
+            .point
+            .iter()
+            .map(|v| format!("[{v}]"))
+            .collect::<String>();
+        write!(f, "witness: {}{idx}", self.output)?;
+        match (self.original_value, self.transformed_value) {
+            (Some(a), Some(b)) if self.confirmed => {
+                write!(f, " = {a} (original) vs {b} (transformed)")?;
+            }
+            _ => write!(f, " (divergence not replay-confirmed)")?,
+        }
+        if !self.original_slice.is_empty() || !self.transformed_slice.is_empty() {
+            write!(
+                f,
+                "  [slice: {} | {}]",
+                self.original_slice.join(","),
+                self.transformed_slice.join(",")
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// The full result of a verification run: verdict, diagnostics and work
 /// statistics.
 #[derive(Debug, Clone)]
@@ -76,6 +140,9 @@ pub struct Report {
     /// Diagnostics explaining a [`Verdict::NotEquivalent`] (or partial
     /// problems encountered on the way).
     pub diagnostics: Vec<Diagnostic>,
+    /// Concrete counterexamples backing the diagnostics, filled in by the
+    /// witness engine (`arrayeq-witness`); empty straight out of the checker.
+    pub witnesses: Vec<Witness>,
     /// Work counters.
     pub stats: CheckStats,
     /// Name of the checked output arrays.
@@ -109,6 +176,10 @@ impl Report {
         for d in &self.diagnostics {
             out.push_str(&d.to_string());
         }
+        for w in &self.witnesses {
+            out.push_str(&w.to_string());
+            out.push('\n');
+        }
         let blame = self.blame();
         if !blame.is_empty() {
             out.push_str("most likely error locations (transformed program): ");
@@ -139,6 +210,7 @@ mod tests {
         let r = Report {
             verdict: Verdict::Equivalent,
             diagnostics: Vec::new(),
+            witnesses: Vec::new(),
             stats: CheckStats {
                 paths_compared: 4,
                 ..Default::default()
@@ -150,5 +222,25 @@ mod tests {
         assert!(r.summary().contains("4 path pairs"));
         assert_eq!(format!("{}", Verdict::NotEquivalent), "NOT EQUIVALENT");
         assert_eq!(format!("{}", Verdict::Inconclusive), "INCONCLUSIVE");
+    }
+
+    #[test]
+    fn witness_display_shows_the_diverging_values() {
+        let w = Witness {
+            output: "C".into(),
+            point: vec![4],
+            params: vec![],
+            original_value: Some(17),
+            transformed_value: Some(21),
+            confirmed: true,
+            replays: 2,
+            original_slice: vec!["s1".into(), "s3".into()],
+            transformed_slice: vec!["v1".into(), "v3".into()],
+        };
+        let text = w.to_string();
+        assert!(text.contains("C[4]"));
+        assert!(text.contains("17"));
+        assert!(text.contains("21"));
+        assert!(text.contains("v3"));
     }
 }

@@ -51,6 +51,92 @@ impl Inputs {
     }
 }
 
+/// Row pitch used when flattening multi-dimensional accesses (see
+/// [`flat_offset`] and the interpreter's indexing).
+pub const MD_ROW_PITCH: i64 = 1024;
+
+/// The flat element offset the interpreter uses for a (possibly
+/// multi-dimensional) index tuple: `fold(o, i → o·1024 + i)`.  Exposed so
+/// replay tooling can address the same element the program wrote.  Returns
+/// `None` for offsets that do not fit a `usize` (negative indices).
+pub fn flat_offset(point: &[i64]) -> Option<usize> {
+    if point.is_empty() {
+        return Some(0);
+    }
+    let mut offset: i64 = 0;
+    for &p in point {
+        if point.len() > 1 {
+            offset = offset.checked_mul(MD_ROW_PITCH)?.checked_add(p)?;
+        } else {
+            offset = p;
+        }
+    }
+    usize::try_from(offset).ok()
+}
+
+/// Builds a deterministic input environment for an arbitrary program of the
+/// class: every input array is filled with a seed-dependent pseudo-random
+/// pattern and sized generously from the program's `#define` constants;
+/// output parameter arrays get matching sizes.
+///
+/// Different `seed`s give genuinely different fills (a hash mix, not an
+/// affine ramp), so value-level coincidences between two inequivalent
+/// programs on one fill are broken by the next — the property the witness
+/// replay relies on.
+pub fn standard_inputs(program: &Program, seed: u64) -> Inputs {
+    // Span: generous multiple of the largest #define (strides of 2 and small
+    // shifts appear throughout the class).
+    let base = program.defines.values().copied().max().unwrap_or(64).max(1);
+    let span = (4 * base + 16) as usize;
+    // Arrays accessed with d indices need pitch^(d-1) * span elements.
+    let dims_of = |name: &str| -> usize {
+        let mut dims = 1usize;
+        for a in program.statements() {
+            if a.lhs.array == name {
+                dims = dims.max(a.lhs.indices.len());
+            }
+            for r in a.rhs.reads() {
+                if r.array == name {
+                    dims = dims.max(r.indices.len());
+                }
+            }
+        }
+        dims
+    };
+    let size_for = |name: &str| -> usize {
+        let dims = dims_of(name);
+        span * (MD_ROW_PITCH as usize).pow(dims.saturating_sub(1) as u32)
+    };
+    let mix = |seed: u64, salt: u64, i: u64| -> i64 {
+        let mut h = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt)
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .wrapping_add(i);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 29;
+        // Keep values small so products of several inputs stay far from
+        // overflow.
+        (h % 997) as i64 - 498
+    };
+    let roles = program.param_roles();
+    let mut inputs = Inputs::new();
+    for (salt, p) in program.params.iter().enumerate() {
+        match roles.get(p.as_str()) {
+            Some(crate::ast::ArrayRole::Input) => {
+                let n = size_for(p);
+                let data: Vec<i64> = (0..n as u64).map(|i| mix(seed, salt as u64, i)).collect();
+                inputs = inputs.array(p.clone(), data);
+            }
+            _ => {
+                inputs = inputs.output(p.clone(), size_for(p));
+            }
+        }
+    }
+    inputs
+}
+
 /// The memory state after executing a program: one flat vector per array.
 /// Unwritten elements keep the sentinel [`Interpreter::UNINIT`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -278,7 +364,7 @@ impl State<'_> {
         let mut offset: i64 = 0;
         for idx in &r.indices {
             let v = self.eval(idx)?;
-            offset = offset * 1024 + v; // fixed row pitch for md-local arrays
+            offset = offset * MD_ROW_PITCH + v; // fixed row pitch for md arrays
         }
         usize::try_from(offset).map_err(|_| LangError::Runtime {
             message: format!("negative flattened index into `{}`", r.array),
@@ -469,6 +555,39 @@ s1:     C[k] = absd(A[k], A[k + 1]) + 1;
         let inputs = Inputs::new().array("A", vec![5, 1, 9, 2, 7]).output("C", 4);
         let out = Interpreter::new(&p).run_for_output(&inputs, "C").unwrap();
         assert_eq!(out[0], uninterpreted("absd", &[5, 1]) + 1);
+    }
+
+    #[test]
+    fn standard_inputs_run_every_corpus_program() {
+        for (name, src) in crate::corpus::FIG1_ALL
+            .iter()
+            .chain(crate::corpus::KERNELS.iter())
+        {
+            let p = parse_program(src).unwrap();
+            for seed in [0u64, 1, 2] {
+                let inputs = standard_inputs(&p, seed);
+                let (mem, _) = Interpreter::new(&p)
+                    .run(&inputs)
+                    .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+                for out in p.output_arrays() {
+                    assert!(mem.array(&out).is_some(), "{name}: missing output {out}");
+                }
+            }
+            // Different seeds produce different input data.
+            let a = standard_inputs(&p, 0);
+            let b = standard_inputs(&p, 1);
+            if let Some(name) = p.input_arrays().first() {
+                assert_ne!(a.arrays[name], b.arrays[name]);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_offset_matches_interpreter_addressing() {
+        assert_eq!(flat_offset(&[7]), Some(7));
+        assert_eq!(flat_offset(&[2, 3]), Some(2 * 1024 + 3));
+        assert_eq!(flat_offset(&[-1]), None);
+        assert_eq!(flat_offset(&[]), Some(0));
     }
 
     #[test]

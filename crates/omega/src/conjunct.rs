@@ -1,7 +1,7 @@
 //! Conjunctions of affine constraints with local existential variables.
 
 use crate::constraint::{Constraint, ConstraintKind};
-use crate::feasible::{is_feasible, Feasibility};
+use crate::feasible::{find_model, is_feasible, Feasibility, ModelOutcome};
 use crate::hash::{combine_unordered, structural_hash_of};
 use crate::linexpr::{gcd, LinExpr};
 use crate::space::{Space, VarKind};
@@ -217,6 +217,30 @@ impl Conjunct {
             m.insert(key, f);
         });
         f.as_bool()
+    }
+
+    /// Returns a concrete integer point of this conjunct — values for every
+    /// *global* column (inputs, then outputs, then parameters) — or `None`
+    /// when the conjunct is empty (or the solver's work limit was hit).
+    ///
+    /// The point is produced by the Omega test's model extraction
+    /// ([`crate::Relation::sample_point`] documents the semantics): the same
+    /// elimination order as the feasibility decision, with the witness
+    /// reconstructed by back-substitution, so congruences, existential
+    /// variables and dark-shadow/splinter cases are all handled exactly.
+    /// Every returned point satisfies [`Conjunct::contains`].
+    pub fn sample_point(&self) -> Option<Vec<i64>> {
+        match find_model(&self.constraints, self.n_vars()) {
+            ModelOutcome::Model(m) => {
+                let point = m[..self.space.n_global()].to_vec();
+                debug_assert!(
+                    self.contains(&point),
+                    "sample_point produced a point outside the conjunct"
+                );
+                Some(point)
+            }
+            ModelOutcome::Infeasible | ModelOutcome::Unknown => None,
+        }
     }
 
     /// The canonical constraint list: every constraint normalised

@@ -23,11 +23,32 @@
 //!    by *splinters*: a finite case split on `a·x + f = j` that reduces to the
 //!    equality case.
 //!
-//! The entry point is [`is_feasible`].  A work limit bounds the (rare)
-//! exponential blow-up; when it is hit the procedure conservatively reports
-//! "feasible", which is the sound direction for the equivalence checker
-//! (it can only cause a spurious *inequivalence* verdict, never a spurious
-//! equivalence).
+//! The entry points are [`is_feasible`] (a yes/no oracle) and [`find_model`]
+//! (model extraction: a concrete integer point satisfying the system).  A
+//! work limit bounds the (rare) exponential blow-up; when it is hit the
+//! procedure conservatively reports "feasible", which is the sound direction
+//! for the equivalence checker (it can only cause a spurious *inequivalence*
+//! verdict, never a spurious equivalence).
+//!
+//! ## Model extraction
+//!
+//! [`find_model`] runs the same elimination order as the decision procedure
+//! and reconstructs a witness point by back-substitution:
+//!
+//! * every equality eliminated by substitution records `x := value(rest)`;
+//!   once the fully-eliminated system is solved the recorded substitutions
+//!   are replayed in reverse to recover the eliminated coordinates;
+//! * a Fourier–Motzkin step first solves the projected problem, then places
+//!   the eliminated variable inside `[max lower bound, min upper bound]`
+//!   evaluated at the sub-model.  For *exact* eliminations the interval is
+//!   guaranteed to contain an integer; for inexact ones the *dark shadow* is
+//!   used (Pugh's theorem guarantees an integer in the interval at any dark
+//!   shadow point), and when only the gap remains, each *splinter* carries
+//!   the full original system plus the splintering equality, so a splinter
+//!   model is already a model of the original problem;
+//! * `Mod` constraints are lowered to equalities with fresh columns up front,
+//!   and columns introduced during the run (congruence witnesses, σ variables
+//!   of the mod-reduction) are truncated away at the end.
 
 use crate::constraint::{Constraint, ConstraintKind};
 use crate::linexpr::{floor_div, mod_hat, LinExpr};
@@ -67,7 +88,61 @@ pub(crate) fn is_feasible(constraints: &[Constraint], n_vars: usize) -> Feasibil
         }
     }
     let mut work = 0usize;
-    p.solve(&mut work)
+    match p.solve(&mut work) {
+        Outcome::Sat(_) => Feasibility::Feasible,
+        Outcome::Unsat => Feasibility::Infeasible,
+        Outcome::Unknown => Feasibility::Unknown,
+    }
+}
+
+/// Outcome of a model-extraction query (see [`find_model`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ModelOutcome {
+    /// A satisfying assignment of the first `n_vars` columns.
+    Model(Vec<i64>),
+    /// No integer solution exists.
+    Infeasible,
+    /// The work limit was exceeded (or a defensive invariant failed); no
+    /// model could be produced.  Treat as "possibly feasible, no witness".
+    Unknown,
+}
+
+/// Finds a concrete integer point satisfying the conjunction of
+/// `constraints` over `n_vars` variables, running the same elimination order
+/// as [`is_feasible`] and back-substituting along it (see the module docs).
+///
+/// The returned vector assigns the original `n_vars` columns; auxiliary
+/// columns introduced for congruences and mod-reductions are dropped.
+pub(crate) fn find_model(constraints: &[Constraint], n_vars: usize) -> ModelOutcome {
+    let mut p = Problem::new(n_vars);
+    p.want_model = true;
+    for c in constraints {
+        if !p.add_constraint(c) {
+            return ModelOutcome::Infeasible;
+        }
+    }
+    let mut work = 0usize;
+    match p.solve(&mut work) {
+        Outcome::Sat(Some(mut m)) => {
+            m.truncate(n_vars);
+            debug_assert!(
+                constraints.iter().all(|c| c.holds(&m)),
+                "find_model produced a point violating its constraints"
+            );
+            ModelOutcome::Model(m)
+        }
+        Outcome::Sat(None) => ModelOutcome::Unknown,
+        Outcome::Unsat => ModelOutcome::Infeasible,
+        Outcome::Unknown => ModelOutcome::Unknown,
+    }
+}
+
+/// Result of one (sub-)problem solve: satisfiable (with a model when the
+/// problem was asked for one), unsatisfiable, or given up.
+enum Outcome {
+    Sat(Option<Vec<i64>>),
+    Unsat,
+    Unknown,
 }
 
 /// Internal solver state: equalities and inequalities as raw linear
@@ -76,6 +151,10 @@ struct Problem {
     n_vars: usize,
     eqs: Vec<LinExpr>,
     geqs: Vec<LinExpr>,
+    /// Whether `solve` should reconstruct a satisfying point.  Off on the
+    /// checker's hot path (`is_feasible`), so the decision procedure pays
+    /// nothing for the machinery.
+    want_model: bool,
 }
 
 impl Problem {
@@ -84,7 +163,14 @@ impl Problem {
             n_vars,
             eqs: Vec::new(),
             geqs: Vec::new(),
+            want_model: false,
         }
+    }
+
+    fn sub(&self) -> Self {
+        let mut p = Problem::new(self.n_vars);
+        p.want_model = self.want_model;
+        p
     }
 
     /// Adds a constraint; returns `false` if it is trivially unsatisfiable.
@@ -129,23 +215,39 @@ impl Problem {
         col
     }
 
-    fn solve(&mut self, work: &mut usize) -> Feasibility {
+    fn solve(&mut self, work: &mut usize) -> Outcome {
+        // Substitutions recorded by the equality elimination, in elimination
+        // order: `column := value(other columns)`.  Only filled when a model
+        // was requested; replayed in reverse once the residual inequality
+        // system has been solved, so every eliminated coordinate is recovered
+        // from coordinates eliminated later (or surviving to the end).
+        let mut subs: Vec<(usize, LinExpr)> = Vec::new();
         loop {
             *work += 1;
             if *work > WORK_LIMIT {
-                return Feasibility::Unknown;
+                return Outcome::Unknown;
             }
             if !self.normalize() {
-                return Feasibility::Infeasible;
+                return Outcome::Unsat;
             }
             if let Some(eq_idx) = self.pick_equality() {
-                if !self.eliminate_equality(eq_idx) {
-                    return Feasibility::Infeasible;
+                if !self.eliminate_equality(eq_idx, &mut subs) {
+                    return Outcome::Unsat;
                 }
                 continue;
             }
             // Only inequalities remain.
-            return self.solve_inequalities(work);
+            let mut outcome = self.solve_inequalities(work);
+            if let Outcome::Sat(Some(model)) = &mut outcome {
+                debug_assert_eq!(model.len(), self.n_vars);
+                for (col, value) in subs.iter().rev() {
+                    // `value` was recorded before later columns existed; it
+                    // cannot use them, so evaluating over its own prefix of
+                    // the model is exact.
+                    model[*col] = value.eval(&model[..value.n_vars()]);
+                }
+            }
+            return outcome;
         }
     }
 
@@ -213,7 +315,9 @@ impl Problem {
     }
 
     /// Eliminates one equality; returns `false` if infeasibility is detected.
-    fn eliminate_equality(&mut self, idx: usize) -> bool {
+    /// When a variable is substituted away, the substitution is recorded in
+    /// `subs` (model reconstruction) if a model was requested.
+    fn eliminate_equality(&mut self, idx: usize, subs: &mut Vec<(usize, LinExpr)>) -> bool {
         let e = self.eqs.swap_remove(idx);
         // Find a unit-coefficient variable.
         if let Some(col) = (0..self.n_vars).find(|&c| e.coeff(c).abs() == 1) {
@@ -224,6 +328,9 @@ impl Problem {
             let value = value.scale(-a); // since a*a = 1
             for f in self.eqs.iter_mut().chain(self.geqs.iter_mut()) {
                 *f = f.substitute(col, &value);
+            }
+            if self.want_model {
+                subs.push((col, value));
             }
             return true;
         }
@@ -250,8 +357,9 @@ impl Problem {
         true
     }
 
-    /// Decides feasibility when only inequalities remain.
-    fn solve_inequalities(&mut self, work: &mut usize) -> Feasibility {
+    /// Decides feasibility when only inequalities remain; reconstructs a
+    /// model when one was requested.
+    fn solve_inequalities(&mut self, work: &mut usize) -> Outcome {
         // Find a variable that is still used.
         let used: Vec<usize> = (0..self.n_vars)
             .filter(|&c| self.geqs.iter().any(|e| e.coeff(c) != 0))
@@ -260,9 +368,9 @@ impl Problem {
             // All constraints are constants; normalize() already removed the
             // satisfied ones and reported the violated ones.
             return if self.geqs.iter().all(|e| e.constant() >= 0) {
-                Feasibility::Feasible
+                Outcome::Sat(self.want_model.then(|| vec![0; self.n_vars]))
             } else {
-                Feasibility::Infeasible
+                Outcome::Unsat
             };
         }
 
@@ -274,9 +382,30 @@ impl Problem {
             let uppers = self.geqs.iter().filter(|e| e.coeff(col) < 0).count();
             if lowers == 0 || uppers == 0 {
                 // Unbounded on one side: dropping its constraints is exact and
-                // free; do it immediately.
+                // free; do it immediately.  For a model, the dropped one-sided
+                // bounds still pin the admissible values of `col`, so they are
+                // kept aside and `col` is placed at the tightest bound once
+                // the rest of the system has a point.  The clone only happens
+                // when a model was requested — `is_feasible` stays free.
+                let one_sided: Vec<LinExpr> = if self.want_model {
+                    self.geqs
+                        .iter()
+                        .filter(|e| e.coeff(col) != 0)
+                        .cloned()
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 self.geqs.retain(|e| e.coeff(col) == 0);
-                return self.solve_inequalities(work);
+                let mut outcome = self.solve_inequalities(work);
+                if let Outcome::Sat(Some(model)) = &mut outcome {
+                    model[col] = if one_sided.iter().any(|e| e.coeff(col) > 0) {
+                        lower_bound(&one_sided, col, model)
+                    } else {
+                        upper_bound(&one_sided, col, model)
+                    };
+                }
+                return outcome;
             }
             let exact = self.geqs.iter().all(|e| e.coeff(col) >= -1)
                 || self.geqs.iter().all(|e| e.coeff(col) <= 1);
@@ -316,8 +445,8 @@ impl Problem {
             .collect();
 
         // Build the two shadows.
-        let mut real = Problem::new(self.n_vars);
-        let mut dark = Problem::new(self.n_vars);
+        let mut real = self.sub();
+        let mut dark = self.sub();
         real.geqs.extend(rest.iter().cloned());
         dark.geqs.extend(rest.iter().cloned());
         for lo in &lowers {
@@ -335,22 +464,46 @@ impl Problem {
             }
         }
 
+        // Places `col` inside [max lower, min upper] at the given sub-model.
+        // Exact eliminations and dark-shadow points guarantee the interval
+        // contains an integer; the defensive fallback covers a violated
+        // invariant without producing a wrong model.
+        let place = |mut model: Vec<i64>, n_vars: usize| -> Outcome {
+            model.truncate(n_vars);
+            debug_assert_eq!(model.len(), n_vars);
+            let lo = lower_bound(&lowers, col, &model);
+            let hi = upper_bound(&uppers, col, &model);
+            if lo > hi {
+                debug_assert!(false, "model interval for column {col} is empty");
+                return Outcome::Unknown;
+            }
+            model[col] = lo;
+            Outcome::Sat(Some(model))
+        };
+
         *work += lowers.len() * uppers.len();
         let real_result = real.solve(work);
-        if real_result == Feasibility::Infeasible {
-            return Feasibility::Infeasible;
+        if matches!(real_result, Outcome::Unsat) {
+            return Outcome::Unsat;
         }
         if exact {
             // Real and dark shadow coincide: the elimination is exact.
-            return real_result;
+            return match real_result {
+                Outcome::Sat(Some(m)) => place(m, self.n_vars),
+                other => other,
+            };
         }
         match dark.solve(work) {
-            Feasibility::Feasible => return Feasibility::Feasible,
-            Feasibility::Unknown => return Feasibility::Unknown,
-            Feasibility::Infeasible => {}
+            Outcome::Sat(Some(m)) => return place(m, self.n_vars),
+            Outcome::Sat(None) => return Outcome::Sat(None),
+            Outcome::Unknown => return Outcome::Unknown,
+            Outcome::Unsat => {}
         }
 
         // Gap between real and dark shadow: splinter on each lower bound.
+        // Every splinter sub-problem carries the complete inequality system
+        // plus the splintering equality, so its model (truncated to our
+        // column count) is directly a model of this problem.
         let bmax = uppers.iter().map(|e| -e.coeff(col)).max().unwrap_or(1);
         for lo in &lowers {
             let a = lo.coeff(col);
@@ -358,23 +511,59 @@ impl Problem {
             for j in 0..=max_j.max(0) {
                 *work += 1;
                 if *work > WORK_LIMIT {
-                    return Feasibility::Unknown;
+                    return Outcome::Unknown;
                 }
-                let mut sub = Problem::new(self.n_vars);
+                let mut sub = self.sub();
                 sub.geqs = self.geqs.clone();
                 // a·x + f = j
                 let mut eq = lo.clone();
                 eq.set_constant(eq.constant() - j);
                 sub.eqs.push(eq);
                 match sub.solve(work) {
-                    Feasibility::Feasible => return Feasibility::Feasible,
-                    Feasibility::Unknown => return Feasibility::Unknown,
-                    Feasibility::Infeasible => {}
+                    Outcome::Sat(Some(mut m)) => {
+                        m.truncate(self.n_vars);
+                        return Outcome::Sat(Some(m));
+                    }
+                    Outcome::Sat(None) => return Outcome::Sat(None),
+                    Outcome::Unknown => return Outcome::Unknown,
+                    Outcome::Unsat => {}
                 }
             }
         }
-        Feasibility::Infeasible
+        Outcome::Unsat
     }
+}
+
+/// `max_i ⌈−fᵢ(model) / aᵢ⌉` over the lower bounds `aᵢ·x + fᵢ ≥ 0` of
+/// column `col` (`i64::MIN` when there are none).  The contribution of `col`
+/// itself is excluded from the evaluation.
+fn lower_bound(bounds: &[LinExpr], col: usize, model: &[i64]) -> i64 {
+    bounds
+        .iter()
+        .filter(|e| e.coeff(col) > 0)
+        .map(|e| {
+            let a = e.coeff(col);
+            let f = e.eval(model) - a * model[col];
+            // a·x + f ≥ 0  ⇒  x ≥ ⌈−f/a⌉ = −⌊f/a⌋
+            -floor_div(f, a)
+        })
+        .max()
+        .unwrap_or(i64::MIN)
+}
+
+/// `min_i ⌊gᵢ(model) / bᵢ⌋` over the upper bounds `−bᵢ·x + gᵢ ≥ 0` of
+/// column `col` (`i64::MAX` when there are none).
+fn upper_bound(bounds: &[LinExpr], col: usize, model: &[i64]) -> i64 {
+    bounds
+        .iter()
+        .filter(|e| e.coeff(col) < 0)
+        .map(|e| {
+            let b = -e.coeff(col);
+            let g = e.eval(model) + b * model[col];
+            floor_div(g, b)
+        })
+        .min()
+        .unwrap_or(i64::MAX)
 }
 
 #[cfg(test)]
@@ -546,6 +735,129 @@ mod tests {
             Constraint::geq(le(&[0, -1], -100)),
         ];
         assert!(feasible(&cs, 2));
+    }
+
+    /// `find_model` on a feasible system must return a point satisfying every
+    /// constraint; on an infeasible one it must agree with `is_feasible`.
+    fn check_model(cs: &[Constraint], n: usize) -> Option<Vec<i64>> {
+        match find_model(cs, n) {
+            ModelOutcome::Model(m) => {
+                assert_eq!(m.len(), n);
+                for c in cs {
+                    assert!(c.holds(&m), "model {m:?} violates {c:?}");
+                }
+                assert!(feasible(cs, n));
+                Some(m)
+            }
+            ModelOutcome::Infeasible => {
+                assert!(!feasible(cs, n));
+                None
+            }
+            ModelOutcome::Unknown => panic!("work limit hit on a tiny system"),
+        }
+    }
+
+    #[test]
+    fn model_for_simple_bounds() {
+        let cs = vec![Constraint::geq(le(&[1], -5)), Constraint::geq(le(&[-1], 9))];
+        let m = check_model(&cs, 1).expect("5 <= x <= 9 has a model");
+        assert!((5..=9).contains(&m[0]));
+        // Empty interval.
+        let cs = vec![Constraint::geq(le(&[1], -5)), Constraint::geq(le(&[-1], 3))];
+        assert!(check_model(&cs, 1).is_none());
+    }
+
+    #[test]
+    fn model_for_equalities_and_congruences() {
+        // x = 2y, 3 <= x <= 7, y >= 2  =>  (x, y) in {(4,2),(6,3)}
+        let cs = vec![
+            Constraint::eq(le(&[1, -2], 0)),
+            Constraint::geq(le(&[1, 0], -3)),
+            Constraint::geq(le(&[-1, 0], 7)),
+            Constraint::geq(le(&[0, 1], -2)),
+        ];
+        check_model(&cs, 2).expect("feasible");
+        // x ≡ 3 (mod 5) and 10 <= x <= 20  =>  x ∈ {13, 18}
+        let cs = vec![
+            Constraint::congruent(le(&[1], -3), 5),
+            Constraint::geq(le(&[1], -10)),
+            Constraint::geq(le(&[-1], 20)),
+        ];
+        let m = check_model(&cs, 1).expect("feasible");
+        assert!(m[0] == 13 || m[0] == 18);
+    }
+
+    #[test]
+    fn model_for_dark_shadow_and_splinter_regions() {
+        // Pugh's gap example is infeasible; model extraction must agree.
+        let cs = vec![
+            Constraint::geq(le(&[11, 13], -27)),
+            Constraint::geq(le(&[-11, -13], 45)),
+            Constraint::geq(le(&[7, -9], 10)),
+            Constraint::geq(le(&[-7, 9], 4)),
+        ];
+        assert!(check_model(&cs, 2).is_none());
+        // The widened variant is feasible only via non-exact elimination.
+        let cs = vec![
+            Constraint::geq(le(&[11, 13], -27)),
+            Constraint::geq(le(&[-11, -13], 70)),
+            Constraint::geq(le(&[7, -9], 10)),
+            Constraint::geq(le(&[-7, 9], 10)),
+        ];
+        check_model(&cs, 2).expect("feasible via dark shadow / splinters");
+        // A system whose only integer point sits in the splinter region:
+        // 2 <= 3x <= 4 has exactly x = 1... (3x in {3}), keep coefficients
+        // non-unit on both sides so the elimination is inexact.
+        let cs = vec![
+            Constraint::geq(le(&[3, -2], 0)),  // 3x >= 2y
+            Constraint::geq(le(&[-3, 2], 1)),  // 3x <= 2y + 1
+            Constraint::geq(le(&[0, 1], -4)),  // y >= 4
+            Constraint::geq(le(&[0, -1], 10)), // y <= 10
+        ];
+        check_model(&cs, 2).expect("feasible");
+    }
+
+    #[test]
+    fn model_for_unbounded_directions() {
+        // Only lower bounds: x >= 100, y <= -7 (one-sided drops).
+        let cs = vec![
+            Constraint::geq(le(&[1, 0], -100)),
+            Constraint::geq(le(&[0, -1], -7)),
+        ];
+        let m = check_model(&cs, 2).expect("feasible");
+        assert!(m[0] >= 100 && m[1] <= -7);
+    }
+
+    #[test]
+    fn model_for_equality_chain() {
+        // x0 = x1 + 1, ..., x4 = 0  => unique model (4, 3, 2, 1, 0).
+        let n = 5;
+        let mut cs = Vec::new();
+        for i in 0..n - 1 {
+            let mut e = LinExpr::zero(n);
+            e.set_coeff(i, 1);
+            e.set_coeff(i + 1, -1);
+            e.set_constant(-1);
+            cs.push(Constraint::eq(e));
+        }
+        let mut last = LinExpr::zero(n);
+        last.set_coeff(n - 1, 1);
+        cs.push(Constraint::eq(last));
+        let m = check_model(&cs, n).expect("feasible");
+        assert_eq!(m, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn model_with_non_unit_equality_coefficients() {
+        // 6x + 4y = 2 with bounds; mod-reduction path.
+        let cs = vec![
+            Constraint::eq(le(&[6, 4], -2)),
+            Constraint::geq(le(&[1, 0], 5)),
+            Constraint::geq(le(&[-1, 0], 5)),
+            Constraint::geq(le(&[0, 1], 20)),
+            Constraint::geq(le(&[0, -1], 20)),
+        ];
+        check_model(&cs, 2).expect("feasible");
     }
 
     #[test]

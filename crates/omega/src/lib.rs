@@ -42,6 +42,25 @@
 //! negation required by the difference because congruences negate into finite
 //! unions of congruences.
 //!
+//! ## Model extraction
+//!
+//! Feasibility alone answers *whether* a relation is non-empty; the witness
+//! engine of the equivalence checker also needs to know *where*.
+//! [`Relation::sample_point`] (and [`Conjunct::sample_point`] /
+//! [`Set::sample_point`]) run the Omega test's elimination order in a
+//! model-producing mode: every equality substitution is recorded and
+//! replayed in reverse once the fully-projected system is solved, and each
+//! Fourier–Motzkin step re-inserts the eliminated variable at the tightest
+//! lower bound inside `[max lower, min upper]` evaluated at the sub-model.
+//! Exact eliminations guarantee an integer in that interval; inexact ones
+//! take the model from the *dark shadow* (where Pugh's theorem gives the
+//! same guarantee) or, in the gap, from a *splinter* sub-problem whose model
+//! is already a model of the original system.  Congruences and existential
+//! variables are witnessed internally (their columns are solved like any
+//! other and truncated from the returned point), so a returned point always
+//! satisfies `contains` — a property-tested invariant.  The machinery is
+//! fully disabled on the `is_feasible` hot path.
+//!
 //! ## Canonical forms, hashing and the feasibility memo
 //!
 //! The equivalence checker spends essentially all of its time in chains of
@@ -118,7 +137,7 @@ pub use conjunct::{feasibility_memo_stats, Conjunct};
 pub use constraint::{Constraint, ConstraintKind};
 pub use hash::{structural_hash_of, StructuralHasher};
 pub use linexpr::LinExpr;
-pub use relation::{DomKind, MapBuilder, Relation};
+pub use relation::{DomKind, MapBuilder, Relation, SamplePoint};
 pub use set::Set;
 pub use space::{Space, VarKind};
 

@@ -590,6 +590,39 @@ impl Relation {
         })
     }
 
+    /// Returns a concrete member of the relation — one `(input, output,
+    /// params)` triple — or `None` when the relation is empty (or the
+    /// solver's work limit was hit on every conjunct).
+    ///
+    /// This is the *model extraction* counterpart of
+    /// [`is_empty`](Relation::is_empty): instead of a yes/no answer, the
+    /// Omega test is asked for a satisfying integer point.  Conjuncts are
+    /// tried in order; each is simplified first so syntactically empty
+    /// disjuncts are skipped cheaply.  A returned point always satisfies
+    /// [`contains`](Relation::contains); existential variables (strides,
+    /// composition intermediates) are witnessed internally and do not appear
+    /// in the point.
+    pub fn sample_point(&self) -> Option<SamplePoint> {
+        for c in &self.conjuncts {
+            let mut c = c.clone();
+            if !c.simplify() {
+                continue;
+            }
+            if let Some(point) = c.sample_point() {
+                let n_in = self.space.n_in();
+                let n_out = self.space.n_out();
+                let sample = SamplePoint {
+                    input: point[..n_in].to_vec(),
+                    output: point[n_in..n_in + n_out].to_vec(),
+                    params: point[n_in + n_out..].to_vec(),
+                };
+                debug_assert!(self.contains(&sample.input, &sample.output, &sample.params));
+                return Some(sample);
+            }
+        }
+        None
+    }
+
     /// A canonical textual rendering of the structural form — a debugging
     /// aid (collision cross-checks, log output), **not** the tabling key;
     /// the checker keys its table on [`structural_hash`](Relation::structural_hash).
@@ -606,6 +639,19 @@ impl Relation {
         parts.dedup();
         parts.join(" | ")
     }
+}
+
+/// A concrete member of a relation, as returned by
+/// [`Relation::sample_point`]: one input tuple, one output tuple and one
+/// assignment of the symbolic parameters under which the pair is related.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamplePoint {
+    /// Values of the input-tuple dimensions.
+    pub input: Vec<i64>,
+    /// Values of the output-tuple dimensions.
+    pub output: Vec<i64>,
+    /// Values chosen for the symbolic parameters.
+    pub params: Vec<i64>,
 }
 
 /// Builder-style helpers used heavily by the ADDG extractor: construct the
@@ -949,6 +995,59 @@ mod tests {
             s.finish()
         };
         assert_eq!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn sample_point_returns_a_member() {
+        let r = rel("{ [i] -> [2i] : 3 <= i < 10 }");
+        let s = r.sample_point().expect("non-empty");
+        assert!(r.contains(&s.input, &s.output, &s.params));
+        assert_eq!(s.output[0], 2 * s.input[0]);
+        assert!(rel("{ [i] -> [i] : i > 5 and i < 3 }")
+            .sample_point()
+            .is_none());
+    }
+
+    #[test]
+    fn sample_point_handles_strides_and_existentials() {
+        let r = rel("{ [k] -> [k] : exists j : k = 2j and 10 <= k < 13 }");
+        let s = r.sample_point().expect("k = 10 or 12");
+        assert!(s.input[0] == 10 || s.input[0] == 12);
+        let m = rel("{ [k] -> [k] : k % 3 = 1 and 0 <= k < 9 }");
+        let s = m.sample_point().expect("k in {1,4,7}");
+        assert_eq!(s.input[0].rem_euclid(3), 1);
+    }
+
+    #[test]
+    fn sample_point_picks_params_too() {
+        let r = rel("[N] -> { [i] -> [2i] : 0 <= i < N }");
+        let s = r.sample_point().expect("choose N >= 1");
+        assert!(r.contains(&s.input, &s.output, &s.params));
+        assert!(s.params[0] > s.input[0]);
+    }
+
+    #[test]
+    fn sample_point_tries_every_conjunct() {
+        let empty_first = rel("{ [i] -> [i] : i > 5 and i < 3 }")
+            .union(&rel("{ [i] -> [i] : 7 <= i <= 7 }"))
+            .unwrap();
+        let s = empty_first.sample_point().expect("second disjunct");
+        assert_eq!(s.input, vec![7]);
+    }
+
+    #[test]
+    fn set_sampling_and_point_removal() {
+        let s = Set::parse("{ [k] : k % 2 = 0 and 0 <= k < 6 }").unwrap();
+        let mut remaining = s.clone();
+        let mut seen = Vec::new();
+        while let Some((p, _params)) = remaining.sample_point() {
+            assert!(s.contains(&p, &[]));
+            assert!(!seen.contains(&p[0]), "points must be distinct");
+            seen.push(p[0]);
+            remaining = remaining.without_point(&p).unwrap();
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 2, 4]);
     }
 
     #[test]

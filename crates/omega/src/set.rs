@@ -1,6 +1,7 @@
 //! Integer tuple sets — relations without output dimensions.
 
 use crate::conjunct::Conjunct;
+use crate::constraint::Constraint;
 use crate::relation::Relation;
 use crate::space::{Space, VarKind};
 use crate::Result;
@@ -151,6 +152,62 @@ impl Set {
         Set {
             inner: self.inner.simplified(true),
         }
+    }
+
+    /// Returns a concrete member of the set as `(point, params)`, or `None`
+    /// when the set is empty (see [`Relation::sample_point`]).
+    pub fn sample_point(&self) -> Option<(Vec<i64>, Vec<i64>)> {
+        self.inner.sample_point().map(|s| (s.input, s.params))
+    }
+
+    /// The singleton set `{ point }` over this set's space (the parameters
+    /// stay unconstrained).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len()` differs from the set's dimension count.
+    pub fn singleton(&self, point: &[i64]) -> Set {
+        assert_eq!(point.len(), self.space().n_in(), "wrong point arity");
+        let mut c = Conjunct::universe(self.space().clone());
+        for (d, &v) in point.iter().enumerate() {
+            let mut e = c.var_expr(VarKind::In, d);
+            e.set_constant(-v);
+            c.add(Constraint::eq(e));
+        }
+        Set {
+            inner: Relation::from_conjuncts(self.space().clone(), vec![c]),
+        }
+    }
+
+    /// The set with the single tuple `point` removed (for *all* parameter
+    /// values).  Used to enumerate several distinct members:
+    /// sample, subtract, sample again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len()` differs from the set's dimension count.
+    pub fn without_point(&self, point: &[i64]) -> Result<Set> {
+        self.subtract(&self.singleton(point))
+    }
+
+    /// Enumerates up to `max` distinct members by repeated
+    /// sample-and-subtract, returning each point with the parameter values
+    /// it was sampled under.  Stops early when the set is exhausted (so for
+    /// finite sets smaller than `max` this is an exact enumeration).
+    pub fn sample_points(&self, max: usize) -> Vec<(Vec<i64>, Vec<i64>)> {
+        let mut out = Vec::new();
+        let mut remaining = self.simplified();
+        while out.len() < max {
+            let Some((point, params)) = remaining.sample_point() else {
+                break;
+            };
+            let Ok(next) = remaining.without_point(&point) else {
+                break;
+            };
+            remaining = next;
+            out.push((point, params));
+        }
+        out
     }
 
     /// Embeds the set's constraints into a relation space, constraining the

@@ -13,7 +13,11 @@
 //!   equivalent,
 //! * **error injectors** ([`errors`]) that plant the typical index /
 //!   operand / operator bugs the diagnostics of Section 6.1 are meant to
-//!   localise, and
+//!   localise,
+//! * a **fault-injection harness** ([`mutate`]) that enumerates off-by-one
+//!   bounds, swapped non-commutative operands, wrong coefficients and
+//!   dropped statements over the whole corpus, curated into
+//!   ground-truth-inequivalent pairs for the witness engine's self-test, and
 //! * **synthetic kernel generators** ([`generator`]) whose ADDG size, loop
 //!   depth and loop bounds can be swept for the scaling experiments of
 //!   Section 6.2.
@@ -26,6 +30,7 @@ pub mod dataflow;
 pub mod errors;
 pub mod generator;
 pub mod loops;
+pub mod mutate;
 pub mod pipeline;
 
 pub use pipeline::{random_pipeline, TransformStep};

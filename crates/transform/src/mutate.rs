@@ -1,0 +1,556 @@
+//! Fault injection at corpus scale: a mutation generator producing
+//! *known-inequivalent* program pairs.
+//!
+//! [`errors`](crate::errors) plants one hand-chosen bug at one location; this
+//! module instead *enumerates* the classic transformation slips over a whole
+//! program — off-by-one loop bounds, swapped non-commutative operands, wrong
+//! index coefficients, dropped statements — and curates the results into a
+//! [`fault_corpus`]: pairs that stay inside the program class, pass the
+//! def-use pre-check (so the equivalence checker proper must find the bug)
+//! and are *ground-truth inequivalent*, established independently of the
+//! checker by executing both programs on deterministic input fills.
+//!
+//! The corpus is what the witness engine's end-to-end self-test runs on:
+//! for every case the checker must answer `NotEquivalent` and the witness
+//! replay must exhibit two different values at a sampled point of the
+//! failing domain.
+
+use crate::Result as TransformResult;
+use crate::TransformError;
+use arrayeq_lang::ast::*;
+use arrayeq_lang::classcheck::check_class;
+use arrayeq_lang::corpus::{with_size, FIG1_A, FIG1_B, KERNELS};
+use arrayeq_lang::defuse::check_def_use;
+use arrayeq_lang::interp::{standard_inputs, Interpreter};
+use arrayeq_lang::parser::parse_program;
+use std::fmt;
+
+/// One mutation the generator can apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Tighten the continuation condition of the `loop_index`-th loop
+    /// (pre-order) by one iteration — the classic off-by-one bound.
+    OffByOneBound {
+        /// Pre-order index of the loop to mutate.
+        loop_index: usize,
+    },
+    /// Bump the initial value of the `loop_index`-th loop by one step,
+    /// skipping the first iteration.
+    OffByOneStart {
+        /// Pre-order index of the loop to mutate.
+        loop_index: usize,
+    },
+    /// Swap the operands of the first non-commutative binary operator
+    /// (`-` or `/`) in the labelled statement's right-hand side.
+    SwapOperands {
+        /// Label of the statement to mutate.
+        label: String,
+    },
+    /// Swap the first two arguments of the first function call in the
+    /// labelled statement (uninterpreted functions are not commutative).
+    SwapCallArguments {
+        /// Label of the statement to mutate.
+        label: String,
+    },
+    /// Replace the first constant index coefficient `c` (with `|c| ≥ 2`) of a
+    /// read in the labelled statement by `c − 1` (e.g. `buf[2*k]` → `buf[k]`,
+    /// the Fig. 1(d) bug).
+    WrongCoefficient {
+        /// Label of the statement to mutate.
+        label: String,
+    },
+    /// Remove the labelled statement entirely.  Only applicable when its
+    /// array has another defining statement, so the mutant keeps a comparable
+    /// interface and the bug manifests as a partially-undefined output.
+    DropStatement {
+        /// Label of the statement to remove.
+        label: String,
+    },
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mutation::OffByOneBound { loop_index } => write!(f, "off-by-one-bound@L{loop_index}"),
+            Mutation::OffByOneStart { loop_index } => write!(f, "off-by-one-start@L{loop_index}"),
+            Mutation::SwapOperands { label } => write!(f, "swap-operands@{label}"),
+            Mutation::SwapCallArguments { label } => write!(f, "swap-call-args@{label}"),
+            Mutation::WrongCoefficient { label } => write!(f, "wrong-coefficient@{label}"),
+            Mutation::DropStatement { label } => write!(f, "drop-statement@{label}"),
+        }
+    }
+}
+
+/// Applies a mutation to a program.
+///
+/// # Errors
+///
+/// [`TransformError::NoSuchLocation`] when the loop index / label does not
+/// exist, [`TransformError::NotApplicable`] when the statement's shape does
+/// not admit the mutation.
+pub fn apply_mutation(p: &Program, m: &Mutation) -> TransformResult<Program> {
+    let mut out = p.clone();
+    let applied = match m {
+        Mutation::OffByOneBound { loop_index } => {
+            mutate_loop(&mut out.body, *loop_index, &mut |f| {
+                let delta = match f.cond.op {
+                    CmpOp::Lt | CmpOp::Le => -1,
+                    CmpOp::Gt | CmpOp::Ge => 1,
+                    _ => return false,
+                };
+                f.cond.rhs = Expr::add(f.cond.rhs.clone(), Expr::Const(delta));
+                true
+            })
+        }
+        Mutation::OffByOneStart { loop_index } => {
+            mutate_loop(&mut out.body, *loop_index, &mut |f| {
+                f.init = Expr::add(f.init.clone(), Expr::Const(f.step));
+                true
+            })
+        }
+        Mutation::SwapOperands { label } => mutate_stmt(&mut out.body, label, &mut |a| {
+            swap_noncommutative(&mut a.rhs)
+        }),
+        Mutation::SwapCallArguments { label } => {
+            mutate_stmt(&mut out.body, label, &mut |a| swap_call_args(&mut a.rhs))
+        }
+        Mutation::WrongCoefficient { label } => {
+            mutate_stmt(&mut out.body, label, &mut |a| scale_down_coeff(&mut a.rhs))
+        }
+        Mutation::DropStatement { label } => {
+            let Some(target) = p.statement(label) else {
+                return Err(TransformError::NoSuchLocation {
+                    message: format!("no statement labelled `{label}`"),
+                });
+            };
+            let array = target.lhs.array.clone();
+            let other_defs = p
+                .statements()
+                .filter(|a| a.lhs.array == array && a.label != *label)
+                .count();
+            if other_defs == 0 {
+                return Err(TransformError::NotApplicable {
+                    message: format!(
+                        "`{label}` is the only definition of `{array}`; dropping it would \
+                         remove the array from the interface"
+                    ),
+                });
+            }
+            drop_stmt(&mut out.body, label);
+            Some(true)
+        }
+    };
+    match applied {
+        None => Err(TransformError::NoSuchLocation {
+            message: format!("mutation target of {m} does not exist"),
+        }),
+        Some(false) => Err(TransformError::NotApplicable {
+            message: format!("{m} does not apply"),
+        }),
+        Some(true) => Ok(out),
+    }
+}
+
+/// Enumerates every mutation that structurally applies to `p`, with the
+/// mutated program.
+pub fn enumerate_mutations(p: &Program) -> Vec<(Mutation, Program)> {
+    let mut candidates = Vec::new();
+    let n_loops = count_loops(&p.body);
+    for i in 0..n_loops {
+        candidates.push(Mutation::OffByOneBound { loop_index: i });
+        candidates.push(Mutation::OffByOneStart { loop_index: i });
+    }
+    for a in p.statements() {
+        for m in [
+            Mutation::SwapOperands {
+                label: a.label.clone(),
+            },
+            Mutation::SwapCallArguments {
+                label: a.label.clone(),
+            },
+            Mutation::WrongCoefficient {
+                label: a.label.clone(),
+            },
+            Mutation::DropStatement {
+                label: a.label.clone(),
+            },
+        ] {
+            candidates.push(m);
+        }
+    }
+    candidates
+        .into_iter()
+        .filter_map(|m| apply_mutation(p, &m).ok().map(|q| (m, q)))
+        .filter(|(_, q)| q != p)
+        .collect()
+}
+
+/// One curated fault-injection case: a program, a mutation, and the mutant —
+/// guaranteed in-class, def-use-clean and *observably* inequivalent (the two
+/// programs produce different outputs on a deterministic input fill).
+#[derive(Debug, Clone)]
+pub struct FaultCase {
+    /// `"<program>-<mutation>"`, unique within the corpus.
+    pub name: String,
+    /// The unmutated program.
+    pub original: Program,
+    /// The mutated program.
+    pub mutant: Program,
+    /// The mutation that was applied.
+    pub mutation: Mutation,
+}
+
+/// Input-fill seeds used for the ground-truth simulation filter (and reused
+/// by the witness replay).
+pub const GROUND_TRUTH_SEEDS: [u64; 2] = [1, 2];
+
+/// Builds the fault-injection corpus over the standard program corpus.
+///
+/// Every enumerated mutant is kept only if
+///
+/// 1. it still parses the class and def-use pre-checks of Fig. 6 (so the
+///    equivalence checker proper — not a front-end guard — must find the
+///    bug), and
+/// 2. executing original and mutant on the deterministic
+///    [`standard_inputs`] fills shows *different* output values (ground
+///    truth inequivalence, established by simulation, independent of the
+///    checker under test).
+///
+/// The result is deterministic: no randomness beyond the fixed seeds.
+pub fn fault_corpus() -> Vec<FaultCase> {
+    let sources: Vec<(&str, String)> = vec![
+        ("fig1a", with_size(FIG1_A, 64)),
+        // Fig. 1(b) keeps its native size: its split output definitions make
+        // dropped-statement faults detectable as output-domain mismatches.
+        ("fig1b", FIG1_B.to_owned()),
+        ("downsample", with_size(kernel("downsample"), 64)),
+        ("lifting", with_size(kernel("lifting"), 64)),
+        ("sad_tree", with_size(kernel("sad_tree"), 64)),
+        ("matvec", with_size(kernel("matvec"), 64)),
+        ("recurrence", with_size(kernel("recurrence"), 64)),
+    ];
+    let mut corpus = Vec::new();
+    for (pname, src) in &sources {
+        let original = parse_program(src).expect("corpus program parses");
+        corpus.extend(curated_mutants(pname, &original));
+    }
+    corpus
+}
+
+/// Enumerates the mutations of one program and curates them with the
+/// [`fault_corpus`] filters (front-end checks pass, outputs observably
+/// differ under simulation).  Public so property tests can build fault
+/// cases over *generated* kernels too.
+pub fn curated_mutants(name: &str, original: &Program) -> Vec<FaultCase> {
+    enumerate_mutations(original)
+        .into_iter()
+        .filter(|(_, mutant)| passes_frontend(mutant))
+        .filter(|(_, mutant)| observably_different(original, mutant))
+        .map(|(mutation, mutant)| FaultCase {
+            name: format!("{name}-{mutation}"),
+            original: original.clone(),
+            mutant,
+            mutation,
+        })
+        .collect()
+}
+
+fn kernel(name: &str) -> &'static str {
+    KERNELS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, s)| *s)
+        .expect("known kernel")
+}
+
+fn passes_frontend(p: &Program) -> bool {
+    check_class(p).map(|r| r.is_ok()).unwrap_or(false)
+        && check_def_use(p).map(|r| r.is_ok()).unwrap_or(false)
+}
+
+/// Ground truth: do the two programs produce different outputs on at least
+/// one deterministic input fill?  Runs that fail (out-of-bounds reads after a
+/// bound mutation, …) disqualify the mutant — the corpus only keeps bugs the
+/// checker must find by reasoning, not by crashing.
+fn observably_different(a: &Program, b: &Program) -> bool {
+    let mut any_diff = false;
+    for seed in GROUND_TRUTH_SEEDS {
+        let inputs = standard_inputs(a, seed);
+        let (Ok((ma, _)), Ok((mb, _))) = (
+            Interpreter::new(a).run(&inputs),
+            Interpreter::new(b).run(&inputs),
+        ) else {
+            return false;
+        };
+        for out in a.output_arrays() {
+            match (ma.array(&out), mb.array(&out)) {
+                (Some(x), Some(y)) => {
+                    if x != y {
+                        any_diff = true;
+                    }
+                }
+                _ => return false,
+            }
+        }
+    }
+    any_diff
+}
+
+fn count_loops(stmts: &[Stmt]) -> usize {
+    let mut n = 0;
+    for s in stmts {
+        match s {
+            Stmt::For(f) => {
+                n += 1 + count_loops(&f.body);
+            }
+            Stmt::If(i) => {
+                n += count_loops(&i.then_branch) + count_loops(&i.else_branch);
+            }
+            Stmt::Assign(_) => {}
+        }
+    }
+    n
+}
+
+/// Applies `f` to the `target`-th loop in pre-order; `None` when the index is
+/// out of range, otherwise whether `f` reported success.
+fn mutate_loop(
+    stmts: &mut [Stmt],
+    target: usize,
+    f: &mut dyn FnMut(&mut For) -> bool,
+) -> Option<bool> {
+    fn walk(
+        stmts: &mut [Stmt],
+        next: &mut usize,
+        target: usize,
+        f: &mut dyn FnMut(&mut For) -> bool,
+    ) -> Option<bool> {
+        for s in stmts {
+            match s {
+                Stmt::For(l) => {
+                    if *next == target {
+                        return Some(f(l));
+                    }
+                    *next += 1;
+                    if let Some(r) = walk(&mut l.body, next, target, f) {
+                        return Some(r);
+                    }
+                }
+                Stmt::If(i) => {
+                    if let Some(r) = walk(&mut i.then_branch, next, target, f) {
+                        return Some(r);
+                    }
+                    if let Some(r) = walk(&mut i.else_branch, next, target, f) {
+                        return Some(r);
+                    }
+                }
+                Stmt::Assign(_) => {}
+            }
+        }
+        None
+    }
+    let mut next = 0;
+    walk(stmts, &mut next, target, f)
+}
+
+/// Applies `f` to the assignment labelled `label`; `None` when the label does
+/// not exist.
+fn mutate_stmt(
+    stmts: &mut [Stmt],
+    label: &str,
+    f: &mut dyn FnMut(&mut Assign) -> bool,
+) -> Option<bool> {
+    for s in stmts {
+        match s {
+            Stmt::Assign(a) => {
+                if a.label == label {
+                    return Some(f(a));
+                }
+            }
+            Stmt::For(l) => {
+                if let Some(r) = mutate_stmt(&mut l.body, label, f) {
+                    return Some(r);
+                }
+            }
+            Stmt::If(i) => {
+                if let Some(r) = mutate_stmt(&mut i.then_branch, label, f) {
+                    return Some(r);
+                }
+                if let Some(r) = mutate_stmt(&mut i.else_branch, label, f) {
+                    return Some(r);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn drop_stmt(stmts: &mut Vec<Stmt>, label: &str) {
+    stmts.retain_mut(|s| match s {
+        Stmt::Assign(a) => a.label != label,
+        Stmt::For(l) => {
+            drop_stmt(&mut l.body, label);
+            true
+        }
+        Stmt::If(i) => {
+            drop_stmt(&mut i.then_branch, label);
+            drop_stmt(&mut i.else_branch, label);
+            true
+        }
+    });
+}
+
+/// Swaps the operands of the first `-` or `/` whose operands differ.
+fn swap_noncommutative(e: &mut Expr) -> bool {
+    match e {
+        Expr::Bin(op @ (BinOp::Sub | BinOp::Div), l, r) if l != r => {
+            let _ = op;
+            std::mem::swap(l, r);
+            true
+        }
+        Expr::Bin(_, l, r) => swap_noncommutative(l) || swap_noncommutative(r),
+        Expr::Neg(inner) => swap_noncommutative(inner),
+        Expr::Call(_, _) => false, // handled by SwapCallArguments
+        Expr::Const(_) | Expr::Var(_) | Expr::Access(_) => false,
+    }
+}
+
+/// Swaps the first two arguments of the first call whose arguments differ.
+fn swap_call_args(e: &mut Expr) -> bool {
+    match e {
+        Expr::Call(_, args) if args.len() >= 2 && args[0] != args[1] => {
+            args.swap(0, 1);
+            true
+        }
+        Expr::Bin(_, l, r) => swap_call_args(l) || swap_call_args(r),
+        Expr::Neg(inner) => swap_call_args(inner),
+        _ => false,
+    }
+}
+
+/// Replaces the first `Const(c) * x` / `x * Const(c)` (|c| ≥ 2) inside a read
+/// index by the same product with `c − 1`.
+fn scale_down_coeff(e: &mut Expr) -> bool {
+    fn in_index(e: &mut Expr) -> bool {
+        match e {
+            Expr::Bin(BinOp::Mul, l, r) => {
+                if let Expr::Const(c) = **l {
+                    if c.abs() >= 2 {
+                        **l = Expr::Const(c - 1);
+                        return true;
+                    }
+                }
+                if let Expr::Const(c) = **r {
+                    if c.abs() >= 2 {
+                        **r = Expr::Const(c - 1);
+                        return true;
+                    }
+                }
+                in_index(l) || in_index(r)
+            }
+            Expr::Bin(_, l, r) => in_index(l) || in_index(r),
+            Expr::Neg(inner) => in_index(inner),
+            _ => false,
+        }
+    }
+    match e {
+        Expr::Access(r) => r.indices.iter_mut().any(in_index),
+        Expr::Bin(_, l, r) => scale_down_coeff(l) || scale_down_coeff(r),
+        Expr::Neg(inner) => scale_down_coeff(inner),
+        Expr::Call(_, args) => args.iter_mut().any(scale_down_coeff),
+        Expr::Const(_) | Expr::Var(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_nonempty_and_covers_every_mutation_kind() {
+        let corpus = fault_corpus();
+        assert!(corpus.len() >= 8, "got {} cases", corpus.len());
+        let has = |f: &dyn Fn(&Mutation) -> bool| corpus.iter().any(|c| f(&c.mutation));
+        assert!(has(&|m| matches!(
+            m,
+            Mutation::OffByOneBound { .. } | Mutation::OffByOneStart { .. }
+        )));
+        assert!(has(&|m| matches!(
+            m,
+            Mutation::SwapOperands { .. } | Mutation::SwapCallArguments { .. }
+        )));
+        assert!(has(&|m| matches!(m, Mutation::WrongCoefficient { .. })));
+        assert!(has(&|m| matches!(m, Mutation::DropStatement { .. })));
+        // Names are unique.
+        let mut names: Vec<&str> = corpus.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len());
+    }
+
+    #[test]
+    fn corpus_members_pass_the_frontend_and_differ_observably() {
+        for case in fault_corpus() {
+            assert!(passes_frontend(&case.mutant), "{}", case.name);
+            assert!(
+                observably_different(&case.original, &case.mutant),
+                "{}",
+                case.name
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_coefficient_reproduces_the_fig1d_style_bug() {
+        let p = parse_program(&with_size(FIG1_A, 16)).unwrap();
+        let m = Mutation::WrongCoefficient { label: "s3".into() };
+        let q = apply_mutation(&p, &m).unwrap();
+        // s3: C[k] = tmp[k] + buf[2*k]  →  buf[1*k]
+        let s3 = q.statement("s3").unwrap();
+        let reads = s3.rhs.reads();
+        assert!(reads
+            .iter()
+            .any(|r| r.array == "buf" && format!("{:?}", r.indices[0]).contains("Const(1)")));
+    }
+
+    #[test]
+    fn drop_statement_requires_another_definition() {
+        let p = parse_program(&with_size(FIG1_A, 16)).unwrap();
+        // s3 is the only definition of C: dropping must be rejected.
+        assert!(matches!(
+            apply_mutation(&p, &Mutation::DropStatement { label: "s3".into() }),
+            Err(TransformError::NotApplicable { .. })
+        ));
+        // Fig. 1(b) has two definitions of C.
+        let b = parse_program(FIG1_B).unwrap();
+        let q = apply_mutation(&b, &Mutation::DropStatement { label: "t3".into() }).unwrap();
+        assert!(q.statement("t3").is_none());
+        assert!(q.statement("t4").is_some());
+    }
+
+    #[test]
+    fn off_by_one_bound_changes_the_iteration_count() {
+        let p = parse_program(&with_size(FIG1_A, 16)).unwrap();
+        let q = apply_mutation(&p, &Mutation::OffByOneBound { loop_index: 2 }).unwrap();
+        assert_ne!(p, q);
+        // The mutated final loop leaves C[15] unwritten.
+        let inputs = standard_inputs(&p, 1);
+        let ca = Interpreter::new(&p).run_for_output(&inputs, "C").unwrap();
+        let cb = Interpreter::new(&q).run_for_output(&inputs, "C").unwrap();
+        assert_ne!(ca[15], cb[15]);
+        assert_eq!(cb[15], Interpreter::UNINIT);
+    }
+
+    #[test]
+    fn bad_locations_are_reported() {
+        let p = parse_program(&with_size(FIG1_A, 16)).unwrap();
+        assert!(matches!(
+            apply_mutation(&p, &Mutation::OffByOneBound { loop_index: 99 }),
+            Err(TransformError::NoSuchLocation { .. })
+        ));
+        assert!(matches!(
+            apply_mutation(&p, &Mutation::SwapOperands { label: "zz".into() }),
+            Err(TransformError::NoSuchLocation { .. })
+        ));
+    }
+}

@@ -1,19 +1,45 @@
 //! Section 6.1: error diagnostics for the erroneous transformed version (d)
-//! of Fig. 1 — the failing paths, the differing mappings and the blame
-//! heuristic pointing at the `buf` index expression of statement v3.
+//! of Fig. 1 — the failing paths, the differing mappings, the blame
+//! heuristic pointing at the `buf` index expression of statement v3, and the
+//! witness engine's concrete counterexample: an output element at which the
+//! two programs *execute* to different values, with the failing ADDG slice
+//! rendered for Graphviz.
 //!
 //! Run with `cargo run --release --example diagnose_bug`.
 
-use arrayeq::core::{verify_source, CheckOptions};
+use arrayeq::addg::extract;
+use arrayeq::core::CheckOptions;
 use arrayeq::lang::corpus::{FIG1_A, FIG1_D};
+use arrayeq::lang::parser::parse_program;
+use arrayeq::witness::{verify_with_witnesses, witness_dot, WitnessOptions};
 
 fn main() {
-    let report = verify_source(FIG1_A, FIG1_D, &CheckOptions::default()).expect("pipeline runs");
+    let original = parse_program(FIG1_A).expect("fig1(a) parses");
+    let transformed = parse_program(FIG1_D).expect("fig1(d) parses");
+    let report = verify_with_witnesses(
+        &original,
+        &transformed,
+        &CheckOptions::default(),
+        &WitnessOptions::default(),
+    )
+    .expect("pipeline runs");
     assert!(!report.is_equivalent());
     println!("{}", report.summary());
 
     println!("--- blame heuristic ---");
     for (stmt, failing_paths) in report.blame() {
         println!("statement {stmt}: involved in {failing_paths} failing path(s)");
+    }
+
+    println!("--- concrete counterexamples ---");
+    for w in &report.witnesses {
+        println!("{w}");
+    }
+
+    if let Some(w) = report.witnesses.iter().find(|w| w.confirmed) {
+        let g = extract(&transformed).expect("ADDG extraction");
+        let dot = witness_dot(&g, w).expect("slice renders");
+        println!("--- failing slice of the transformed ADDG (Graphviz) ---");
+        println!("{dot}");
     }
 }

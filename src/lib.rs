@@ -16,8 +16,10 @@
 //! * [`addg`] — array data dependence graphs,
 //! * [`core`] — the equivalence checker (basic and extended methods) with
 //!   error diagnostics,
-//! * [`transform`] — source-to-source transformations, error injection and
-//!   workload generators.
+//! * [`transform`] — source-to-source transformations, error injection,
+//!   fault-injection mutation harness and workload generators,
+//! * [`witness`] — concrete counterexamples for `NotEquivalent` verdicts:
+//!   Omega model extraction, interpreter replay and failing-slice export.
 //!
 //! ## Quick start
 //!
@@ -52,3 +54,4 @@ pub use arrayeq_core as core;
 pub use arrayeq_lang as lang;
 pub use arrayeq_omega as omega;
 pub use arrayeq_transform as transform;
+pub use arrayeq_witness as witness;

@@ -193,6 +193,65 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Model extraction invariant: whenever a relation is non-empty,
+    /// `sample_point` returns a point, and that point is a member
+    /// (`contains` re-decides with the full existential machinery).  Covers
+    /// plain bounds, congruences and explicit existential strides.
+    #[test]
+    fn sample_point_is_always_a_member(
+        a in 1i64..5, b in -6i64..7, lo in -6i64..4, len in 0i64..12,
+        m in 2i64..5, r in 0i64..4,
+    ) {
+        let bounded = affine_relation(a, b, lo, lo + len);
+        let strided = Relation::parse(&format!(
+            "{{ [i] -> [{a}i + {b}] : {lo} <= i < {hi} and i % {m} = {r} }}",
+            hi = lo + len, r = r % m,
+        )).unwrap();
+        let existential = Relation::parse(&format!(
+            "{{ [i] -> [{a}i + {b}] : exists k : i = {m}k + {r} and {lo} <= i < {hi} }}",
+            hi = lo + len, r = r % m,
+        )).unwrap();
+        for rel in [&bounded, &strided, &existential] {
+            match rel.sample_point() {
+                Some(s) => {
+                    prop_assert!(rel.contains(&s.input, &s.output, &s.params),
+                        "sampled point outside relation {rel}");
+                    prop_assert!(!rel.is_empty());
+                }
+                None => prop_assert!(rel.is_empty(), "no point for non-empty {rel}"),
+            }
+        }
+        // Strided and existential describe the same set: sampling must agree
+        // on emptiness.
+        prop_assert_eq!(strided.sample_point().is_some(), existential.sample_point().is_some());
+    }
+
+    /// Every point of a set can be enumerated by sample-and-subtract, each
+    /// sampled point satisfies every constraint, and the enumeration count
+    /// matches the set's cardinality.
+    #[test]
+    fn sample_and_subtract_enumerates_exactly(lo in -5i64..5, len in 0i64..8, m in 2i64..4) {
+        let s = Set::parse(&format!(
+            "{{ [k] : k % {m} = 0 and {lo} <= k < {hi} }}", hi = lo + len,
+        )).unwrap();
+        let expected: Vec<i64> = (lo..lo + len).filter(|k| k.rem_euclid(m) == 0).collect();
+        let mut seen = Vec::new();
+        let mut remaining = s.clone();
+        while let Some((p, _)) = remaining.sample_point() {
+            prop_assert!(s.contains(&p, &[]), "{p:?} outside {s}");
+            prop_assert!(!seen.contains(&p[0]), "duplicate {p:?}");
+            seen.push(p[0]);
+            remaining = remaining.without_point(&p).unwrap();
+            prop_assert!(seen.len() <= expected.len(), "sampled too many points");
+        }
+        seen.sort_unstable();
+        prop_assert_eq!(seen, expected);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Pretty-printing a generated kernel and re-parsing it yields a program
