@@ -1,0 +1,212 @@
+//! Content fingerprints of ADDG positions.
+//!
+//! The checker's tabling cache identifies a sub-problem by a pair of
+//! traversal positions plus the two output-current mappings.  Within one run
+//! a position is just a node id or an array name — dense, but meaningless
+//! outside the graph it came from.  To let a long-lived engine reuse
+//! established sub-equivalences *across* queries (re-checking the same pair
+//! after an edit, or a perturbed variant sharing most of its statements),
+//! every position needs a name that depends only on the computation below
+//! it, not on extraction order.
+//!
+//! [`fingerprints`] computes such a name: a 64-bit hash per node and per
+//! array that digests, recursively, everything the synchronized traversal's
+//! verdict can depend on at that position —
+//!
+//! * operator kinds and operand order,
+//! * constants,
+//! * dependency mappings (via [`Relation::structural_hash`], so cosmetic
+//!   constraint-presentation differences do not split fingerprints),
+//! * per-definition element sets and right-hand sides,
+//! * array names and input/output/recurrence roles (leaf comparison and
+//!   recurrence handling are name- and role-sensitive).
+//!
+//! Recurrences make the array-level graph cyclic, so the hashes are computed
+//! by Weisfeiler–Lehman-style iteration: array hashes start from local facts
+//! (name, roles, definition count) and are refined rounds-many times by
+//! hashing each definition's tree over the previous round's array hashes.
+//! After `#arrays + 1` rounds every acyclic chain has fully propagated and
+//! cyclic structure is folded in up to hash strength.  Two positions with
+//! equal fingerprints present identical sub-computations to the checker (up
+//! to 64-bit collisions — the same trust boundary as the structural hashes
+//! the tabling cache already rides on).
+
+use crate::graph::{Addg, Node, NodeId};
+use arrayeq_omega::{structural_hash_of, StructuralHasher};
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// Stable content hashes for every position of one ADDG (see the module
+/// docs).  Produced by [`fingerprints`]; consumed by the engine's shared
+/// cross-query equivalence table.
+#[derive(Debug, Clone)]
+pub struct Fingerprints {
+    nodes: Vec<u64>,
+    arrays: BTreeMap<String, u64>,
+}
+
+impl Fingerprints {
+    /// The fingerprint of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for the fingerprinted graph.
+    pub fn node(&self, id: NodeId) -> u64 {
+        self.nodes[id]
+    }
+
+    /// The fingerprint of the array position `name`.  Arrays never seen by
+    /// the fingerprinted graph fall back to a hash of the name alone, so a
+    /// lookup can never panic mid-traversal.
+    pub fn array(&self, name: &str) -> u64 {
+        self.arrays
+            .get(name)
+            .copied()
+            .unwrap_or_else(|| structural_hash_of(&("unknown-array", name)))
+    }
+}
+
+/// Computes the content [`Fingerprints`] of a graph.
+pub fn fingerprints(g: &Addg) -> Fingerprints {
+    let recurrent = g.recurrence_arrays();
+    // Collect every array name a position can mention: defined arrays plus
+    // inputs (which have no definitions).
+    let mut names: Vec<String> = g.input_arrays().to_vec();
+    for (_, node) in g.nodes() {
+        let mentioned = match node {
+            Node::Array { name } => Some(name),
+            Node::Access { array, .. } => Some(array),
+            _ => None,
+        };
+        if let Some(name) = mentioned {
+            if !names.contains(name) {
+                names.push(name.clone());
+            }
+        }
+    }
+
+    // Round 0: local facts only.
+    let mut arrays: BTreeMap<String, u64> = names
+        .iter()
+        .map(|name| {
+            let h = structural_hash_of(&(
+                "array-seed",
+                name,
+                g.is_input(name),
+                g.is_output(name),
+                recurrent.contains(name),
+                g.definitions(name).len(),
+            ));
+            (name.clone(), h)
+        })
+        .collect();
+
+    // WL refinement: re-hash every array over the previous round's hashes of
+    // the arrays its definitions read.  `#arrays + 1` rounds propagate leaf
+    // information across the longest possible acyclic def-use chain.
+    let rounds = arrays.len() + 1;
+    let mut nodes = vec![0u64; g.node_count()];
+    for _ in 0..rounds {
+        hash_nodes(g, &arrays, &mut nodes);
+        let mut next = BTreeMap::new();
+        for name in &names {
+            let mut h = StructuralHasher::default();
+            ("array", name, g.is_input(name.as_str())).hash(&mut h);
+            for def in g.definitions(name) {
+                (
+                    def.elements.as_relation().structural_hash(),
+                    def.element_dims,
+                    nodes[def.root],
+                )
+                    .hash(&mut h)
+            }
+            next.insert(name.clone(), h.finish());
+        }
+        arrays = next;
+    }
+    hash_nodes(g, &arrays, &mut nodes);
+    Fingerprints { nodes, arrays }
+}
+
+/// One bottom-up pass over the statement trees, hashing every node against
+/// the current array hashes.  Operator trees are acyclic (operands always
+/// point at later-created nodes within the statement), but iterate to a
+/// fixpoint over ids to stay independent of creation order.
+fn hash_nodes(g: &Addg, arrays: &BTreeMap<String, u64>, out: &mut [u64]) {
+    // Nodes reference only smaller-or-larger ids within their own tree; a
+    // reverse pass resolves operands created after their operator, a forward
+    // pass the (usual) opposite order.  Two passes always suffice because
+    // trees are shallow chains of Operator → operand ids created in one
+    // statement visit.
+    for _ in 0..2 {
+        for (id, node) in g.nodes() {
+            out[id] = match node {
+                Node::Array { name } => arrays[name],
+                Node::Const { value, .. } => structural_hash_of(&("const", value)),
+                Node::Access { array, mapping, .. } => {
+                    structural_hash_of(&("access", arrays[array], mapping.structural_hash()))
+                }
+                Node::Operator { kind, operands, .. } => {
+                    let mut h = StructuralHasher::default();
+                    ("operator", kind).hash(&mut h);
+                    for &op in operands {
+                        out[op].hash(&mut h);
+                    }
+                    h.finish()
+                }
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract;
+    use arrayeq_lang::corpus::{FIG1_A, FIG1_D, KERNEL_RECURRENCE};
+    use arrayeq_lang::parser::parse_program;
+
+    fn addg(src: &str) -> Addg {
+        extract(&parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_extractions() {
+        let g1 = addg(FIG1_A);
+        let g2 = addg(FIG1_A);
+        let f1 = fingerprints(&g1);
+        let f2 = fingerprints(&g2);
+        for name in ["A", "B", "C", "tmp", "buf"] {
+            assert_eq!(f1.array(name), f2.array(name), "array {name}");
+        }
+        for (id, _) in g1.nodes() {
+            assert_eq!(f1.node(id), f2.node(id), "node {id}");
+        }
+    }
+
+    #[test]
+    fn different_programs_get_different_output_fingerprints() {
+        let fa = fingerprints(&addg(FIG1_A));
+        let fd = fingerprints(&addg(FIG1_D));
+        // Version (d) computes C differently; the output fingerprint must
+        // differ while the untouched inputs keep theirs.
+        assert_ne!(fa.array("C"), fd.array("C"));
+        assert_eq!(fa.array("A"), fd.array("A"));
+        assert_eq!(fa.array("B"), fd.array("B"));
+    }
+
+    #[test]
+    fn recurrent_graphs_fingerprint_without_diverging() {
+        let g = addg(KERNEL_RECURRENCE);
+        let f1 = fingerprints(&g);
+        let f2 = fingerprints(&g);
+        assert_eq!(f1.array("Y"), f2.array("Y"));
+    }
+
+    #[test]
+    fn unknown_arrays_fall_back_to_a_name_hash() {
+        let f = fingerprints(&addg(FIG1_A));
+        assert_eq!(f.array("nope"), f.array("nope"));
+        assert_ne!(f.array("nope"), f.array("other"));
+    }
+}

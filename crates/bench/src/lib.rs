@@ -104,6 +104,48 @@ pub fn kernel_suite(seed: u64) -> Vec<Workload> {
         .collect()
 }
 
+/// One round of the PR3 repeated-verification corpus.
+///
+/// The *repeated* half is identical in every round — the re-check regime,
+/// where a service re-validates the same pair after every pipeline run (CI
+/// on an unchanged file, replayed refactoring scripts).  The *perturbed*
+/// half keeps each original program but re-transforms it with a
+/// round-specific random pipeline — the successive-refactorings regime,
+/// where consecutive queries share most sub-computations without being
+/// identical.  A shared-session engine should convert both kinds of overlap
+/// into cross-query table hits; fresh per-call state cannot.
+pub fn pr3_round(round: u64) -> Vec<Workload> {
+    let mut out = Vec::new();
+    // Repeated: identical workloads every round.
+    for layers in [4usize, 8, 16] {
+        out.push(generated_pair(layers, 256, 11));
+    }
+    for (name, a, b) in fig1_pairs().into_iter().take(3) {
+        out.push(Workload {
+            name,
+            original: parse_program(&a).expect("fig1 parses"),
+            transformed: parse_program(&b).expect("fig1 parses"),
+        });
+    }
+    // Perturbed: same original, fresh transformation pipeline per round.
+    for layers in [4usize, 8] {
+        let cfg = GeneratorConfig {
+            n: 256,
+            layers,
+            seed: 77,
+            ..Default::default()
+        };
+        let original = generate_kernel(&cfg);
+        let (transformed, _) = random_pipeline(&original, 2 * layers, 9000 + round);
+        out.push(Workload {
+            name: format!("perturbed-L{layers}-r{round}"),
+            original,
+            transformed,
+        });
+    }
+    out
+}
+
 /// Simulation baseline: executes both programs of a Fig.-1-shaped pair on
 /// one input vector and compares outputs.  Returns whether they agreed.
 pub fn simulate_fig1_pair(original: &Program, transformed: &Program, n: i64) -> bool {

@@ -1,0 +1,310 @@
+//! The `arrayeq` command-line interface.
+//!
+//! ```text
+//! arrayeq verify <original.c> <transformed.c> [--method basic|extended]
+//!                [--witnesses] [--json] [--dot out.dot] [--deadline-ms N]
+//!                [--max-work N]
+//! arrayeq corpus --list
+//! arrayeq corpus <name>
+//! ```
+//!
+//! `verify` runs the full checker pipeline through a one-shot
+//! [`arrayeq_engine::Verifier`] and reports through the exit code — the
+//! contract scripts and CI lean on:
+//!
+//! | code | meaning                                   |
+//! |------|-------------------------------------------|
+//! | 0    | equivalent                                |
+//! | 1    | not equivalent                            |
+//! | 2    | inconclusive (budget exhausted)           |
+//! | 3    | pipeline error (parse / class / def-use…) |
+//! | 4    | usage error                               |
+//!
+//! `--json` prints the full outcome (verdict, typed budget reason, stats,
+//! diagnostics, witnesses, session counters) as a single JSON document on
+//! stdout; `--dot` writes a Graphviz rendering of the transformed program's
+//! ADDG, with the witness's failing slice highlighted when one exists.
+//!
+//! `corpus` prints the built-in example programs (the paper's Fig. 1
+//! variants, the kernel suite, and the fault-injection mutants as
+//! `mutant:<index>` / `mutant-original:<index>`), so shell pipelines can
+//! exercise the checker without authoring C files.
+
+use arrayeq_core::Verdict;
+use arrayeq_engine::{outcome_to_json, Verifier, VerifyRequest};
+use arrayeq_lang::corpus::{FIG1_A, FIG1_B, FIG1_C, FIG1_D, KERNELS};
+use arrayeq_lang::pretty::program_to_string;
+use std::time::Duration;
+
+const EXIT_EQUIVALENT: i32 = 0;
+const EXIT_NOT_EQUIVALENT: i32 = 1;
+const EXIT_INCONCLUSIVE: i32 = 2;
+const EXIT_ERROR: i32 = 3;
+const EXIT_USAGE: i32 = 4;
+
+const USAGE: &str = "\
+arrayeq — functional equivalence checker for array-intensive programs
+         (Shashidhar et al., DATE 2005)
+
+USAGE:
+    arrayeq verify <original.c> <transformed.c> [OPTIONS]
+    arrayeq corpus --list
+    arrayeq corpus <name>
+    arrayeq help
+
+VERIFY OPTIONS:
+    --method basic|extended   checking method (default: extended)
+    --witnesses               extract replay-confirmed counterexamples on
+                              a NOT EQUIVALENT verdict
+    --json                    print the full outcome as JSON on stdout
+    --dot <out.dot>           write the transformed program's ADDG as
+                              Graphviz, failing slice highlighted
+    --deadline-ms <N>         wall-clock budget; overrun => INCONCLUSIVE
+    --max-work <N>            traversal work budget (node-pair visits)
+
+EXIT CODES:
+    0 equivalent, 1 not equivalent, 2 inconclusive,
+    3 pipeline error, 4 usage error
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(run(&args));
+}
+
+fn usage_error(message: &str) -> i32 {
+    eprintln!("error: {message}\n\n{USAGE}");
+    EXIT_USAGE
+}
+
+fn run(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("verify") => run_verify(&args[1..]),
+        Some("corpus") => run_corpus(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            EXIT_EQUIVALENT
+        }
+        Some(other) => usage_error(&format!("unknown command `{other}`")),
+        None => usage_error("missing command"),
+    }
+}
+
+struct VerifyArgs {
+    original: String,
+    transformed: String,
+    method: arrayeq_core::Method,
+    witnesses: bool,
+    json: bool,
+    dot: Option<String>,
+    deadline_ms: Option<u64>,
+    max_work: Option<u64>,
+}
+
+fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
+    let mut files = Vec::new();
+    let mut parsed = VerifyArgs {
+        original: String::new(),
+        transformed: String::new(),
+        method: arrayeq_core::Method::Extended,
+        witnesses: false,
+        json: false,
+        dot: None,
+        deadline_ms: None,
+        max_work: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--method" => {
+                parsed.method = match value_of("--method")?.as_str() {
+                    "basic" => arrayeq_core::Method::Basic,
+                    "extended" => arrayeq_core::Method::Extended,
+                    other => return Err(format!("unknown method `{other}`")),
+                }
+            }
+            "--witnesses" => parsed.witnesses = true,
+            "--json" => parsed.json = true,
+            "--dot" => parsed.dot = Some(value_of("--dot")?),
+            "--deadline-ms" => {
+                parsed.deadline_ms = Some(
+                    value_of("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms needs an integer".to_string())?,
+                )
+            }
+            "--max-work" => {
+                parsed.max_work = Some(
+                    value_of("--max-work")?
+                        .parse()
+                        .map_err(|_| "--max-work needs an integer".to_string())?,
+                )
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            file => files.push(file.to_owned()),
+        }
+    }
+    match files.len() {
+        2 => {
+            parsed.original = files.remove(0);
+            parsed.transformed = files.remove(0);
+            Ok(parsed)
+        }
+        n => Err(format!("verify needs exactly 2 input files, got {n}")),
+    }
+}
+
+fn run_verify(args: &[String]) -> i32 {
+    let parsed = match parse_verify_args(args) {
+        Ok(p) => p,
+        Err(message) => return usage_error(&message),
+    };
+    let read = |path: &str| -> Result<String, i32> {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("error: cannot read `{path}`: {e}");
+            EXIT_ERROR
+        })
+    };
+    let original = match read(&parsed.original) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let transformed = match read(&parsed.transformed) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+
+    let mut builder = Verifier::builder()
+        .method(parsed.method)
+        .witnesses(parsed.witnesses);
+    if let Some(ms) = parsed.deadline_ms {
+        builder = builder.deadline(Duration::from_millis(ms));
+    }
+    if let Some(w) = parsed.max_work {
+        builder = builder.max_work(w);
+    }
+    let verifier = builder.build();
+
+    let outcome = match verifier.verify(&VerifyRequest::source(original, transformed.clone())) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_ERROR;
+        }
+    };
+
+    if let Some(dot_path) = &parsed.dot {
+        match render_dot(&transformed, &outcome) {
+            Ok(dot) => {
+                if let Err(e) = std::fs::write(dot_path, dot) {
+                    eprintln!("error: cannot write `{dot_path}`: {e}");
+                    return EXIT_ERROR;
+                }
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                return EXIT_ERROR;
+            }
+        }
+    }
+
+    if parsed.json {
+        println!("{}", outcome_to_json(&outcome));
+    } else {
+        print!("{}", outcome.report.summary());
+        println!("wall time: {:.3} ms", outcome.wall_time_us as f64 / 1e3);
+    }
+    match outcome.report.verdict {
+        Verdict::Equivalent => EXIT_EQUIVALENT,
+        Verdict::NotEquivalent => EXIT_NOT_EQUIVALENT,
+        Verdict::Inconclusive => EXIT_INCONCLUSIVE,
+    }
+}
+
+/// The transformed program's ADDG as Graphviz; when the outcome carries a
+/// witness, its failing slice is painted red.
+fn render_dot(
+    transformed_source: &str,
+    outcome: &arrayeq_engine::Outcome,
+) -> Result<String, String> {
+    let program =
+        arrayeq_lang::parser::parse_program(transformed_source).map_err(|e| e.to_string())?;
+    let graph = arrayeq_addg::extract(&program).map_err(|e| e.to_string())?;
+    if let Some(witness) = outcome.report.witnesses.iter().find(|w| w.confirmed) {
+        return arrayeq_witness::witness_dot(&graph, witness).map_err(|e| e.to_string());
+    }
+    Ok(arrayeq_addg::to_dot(&graph))
+}
+
+fn corpus_entries() -> Vec<(String, String)> {
+    let mut entries = vec![
+        ("fig1a".to_owned(), FIG1_A.to_owned()),
+        ("fig1b".to_owned(), FIG1_B.to_owned()),
+        ("fig1c".to_owned(), FIG1_C.to_owned()),
+        ("fig1d".to_owned(), FIG1_D.to_owned()),
+    ];
+    for (name, src) in KERNELS {
+        entries.push((name.to_owned(), src.to_owned()));
+    }
+    entries
+}
+
+fn run_corpus(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("--list") => {
+            for (name, _) in corpus_entries() {
+                println!("{name}");
+            }
+            let corpus = arrayeq_transform::mutate::fault_corpus();
+            for (i, case) in corpus.iter().enumerate() {
+                println!("mutant:{i}  ({})", case.name);
+            }
+            EXIT_EQUIVALENT
+        }
+        Some(name) => {
+            if let Some(rest) = name.strip_prefix("mutant:") {
+                return print_mutant(rest, false);
+            }
+            if let Some(rest) = name.strip_prefix("mutant-original:") {
+                return print_mutant(rest, true);
+            }
+            match corpus_entries().into_iter().find(|(n, _)| n == name) {
+                Some((_, src)) => {
+                    print!("{}", src.trim_start_matches('\n'));
+                    EXIT_EQUIVALENT
+                }
+                None => usage_error(&format!(
+                    "unknown corpus program `{name}` (try `arrayeq corpus --list`)"
+                )),
+            }
+        }
+        None => usage_error("corpus needs a program name or --list"),
+    }
+}
+
+/// Prints the mutant (or its unmutated original) at `index` of the
+/// fault-injection corpus, pretty-printed back to source.
+fn print_mutant(index: &str, original_side: bool) -> i32 {
+    let Ok(index) = index.parse::<usize>() else {
+        return usage_error("mutant index must be an integer");
+    };
+    let corpus = arrayeq_transform::mutate::fault_corpus();
+    let Some(case) = corpus.get(index) else {
+        return usage_error(&format!(
+            "mutant index {index} out of range (corpus has {} cases)",
+            corpus.len()
+        ));
+    };
+    let program = if original_side {
+        &case.original
+    } else {
+        &case.mutant
+    };
+    print!("{}", program_to_string(program));
+    EXIT_EQUIVALENT
+}

@@ -1,0 +1,186 @@
+//! End-to-end smoke test of the `arrayeq` binary: corpus printing, the
+//! verify exit-code contract (0 equivalent / 1 not-equivalent /
+//! 2 inconclusive / >2 usage-or-error) and `--json` output that parses.
+
+use arrayeq_engine::JsonValue;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn arrayeq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_arrayeq"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_corpus(dir: &std::path::Path, name: &str) -> PathBuf {
+    let out = arrayeq(&["corpus", name]);
+    assert!(out.status.success(), "corpus {name} prints");
+    let path = dir.join(format!("{}.c", name.replace(':', "_")));
+    std::fs::write(&path, &out.stdout).unwrap();
+    path
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("arrayeq-cli-smoke-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn equivalent_pair_exits_zero_with_parsable_json() {
+    let dir = temp_dir("eq");
+    let a = write_corpus(&dir, "fig1a");
+    let c = write_corpus(&dir, "fig1c");
+    let out = arrayeq(&["verify", a.to_str().unwrap(), c.to_str().unwrap(), "--json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = JsonValue::parse(std::str::from_utf8(&out.stdout).unwrap()).expect("valid JSON");
+    let report = doc.get("report").expect("report object");
+    assert_eq!(
+        report.get("verdict").and_then(JsonValue::as_str),
+        Some("equivalent")
+    );
+    assert_eq!(
+        doc.get("session")
+            .and_then(|s| s.get("queries"))
+            .and_then(JsonValue::as_i64),
+        Some(1)
+    );
+}
+
+#[test]
+fn fault_corpus_mutant_exits_one_with_witness_in_json() {
+    let dir = temp_dir("neq");
+    let original = write_corpus(&dir, "mutant-original:0");
+    let mutant = write_corpus(&dir, "mutant:0");
+    let out = arrayeq(&[
+        "verify",
+        original.to_str().unwrap(),
+        mutant.to_str().unwrap(),
+        "--witnesses",
+        "--json",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = JsonValue::parse(std::str::from_utf8(&out.stdout).unwrap()).expect("valid JSON");
+    let report = doc.get("report").expect("report object");
+    assert_eq!(
+        report.get("verdict").and_then(JsonValue::as_str),
+        Some("not_equivalent")
+    );
+    let witnesses = report
+        .get("witnesses")
+        .and_then(JsonValue::as_array)
+        .expect("witnesses array");
+    assert!(
+        witnesses
+            .iter()
+            .any(|w| w.get("confirmed").and_then(JsonValue::as_bool) == Some(true)),
+        "a replay-confirmed witness is attached"
+    );
+}
+
+#[test]
+fn tiny_deadline_exits_two_with_typed_reason() {
+    let dir = temp_dir("inc");
+    let a = write_corpus(&dir, "fig1a");
+    let c = write_corpus(&dir, "fig1c");
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--json",
+        "--max-work",
+        "3",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let doc = JsonValue::parse(std::str::from_utf8(&out.stdout).unwrap()).expect("valid JSON");
+    let reason = doc
+        .get("report")
+        .and_then(|r| r.get("budget_exhausted"))
+        .expect("budget reason present");
+    assert_eq!(
+        reason.get("reason").and_then(JsonValue::as_str),
+        Some("work_limit")
+    );
+}
+
+#[test]
+fn usage_and_pipeline_errors_exit_above_two() {
+    // Usage error: unknown command.
+    let out = arrayeq(&["frobnicate"]);
+    assert!(out.status.code().unwrap_or(0) > 2);
+    // Usage error: missing files.
+    let out = arrayeq(&["verify", "only-one.c"]);
+    assert!(out.status.code().unwrap_or(0) > 2);
+    // Pipeline error: unreadable file.
+    let out = arrayeq(&["verify", "/nonexistent/a.c", "/nonexistent/b.c"]);
+    assert!(out.status.code().unwrap_or(0) > 2);
+    // Pipeline error: not a program in the class.
+    let dir = temp_dir("err");
+    let bad = dir.join("bad.c");
+    std::fs::write(&bad, "int main() { return 0; }").unwrap();
+    let a = write_corpus(&dir, "fig1a");
+    let out = arrayeq(&["verify", a.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert!(out.status.code().unwrap_or(0) > 2);
+}
+
+#[test]
+fn dot_export_writes_a_digraph_with_highlighted_slice() {
+    let dir = temp_dir("dot");
+    let a = write_corpus(&dir, "fig1a");
+    let d = write_corpus(&dir, "fig1d");
+    let dot_path = dir.join("slice.dot");
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        d.to_str().unwrap(),
+        "--witnesses",
+        "--dot",
+        dot_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let dot = std::fs::read_to_string(&dot_path).unwrap();
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.contains("color=red"), "failing slice highlighted");
+}
+
+#[test]
+fn corpus_list_names_every_entry() {
+    let out = arrayeq(&["corpus", "--list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for name in ["fig1a", "fig1d", "matvec", "recurrence", "mutant:0"] {
+        assert!(text.contains(name), "listing mentions {name}");
+    }
+    // Unknown corpus names are usage errors.
+    let out = arrayeq(&["corpus", "no-such-program"]);
+    assert!(out.status.code().unwrap_or(0) > 2);
+}
+
+#[test]
+fn basic_method_flag_changes_the_verdict_on_fig1c() {
+    let dir = temp_dir("method");
+    let a = write_corpus(&dir, "fig1a");
+    let c = write_corpus(&dir, "fig1c");
+    // (a) vs (c) needs the extended method; basic must reject.
+    let extended = arrayeq(&["verify", a.to_str().unwrap(), c.to_str().unwrap()]);
+    assert_eq!(extended.status.code(), Some(0));
+    let basic = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--method",
+        "basic",
+    ]);
+    assert_eq!(basic.status.code(), Some(1));
+}

@@ -1,16 +1,20 @@
 //! The synchronized ADDG traversal (Section 5 of the paper).
 
+use crate::context::{BudgetExhausted, CheckContext, SharedTableKey};
 use crate::diagnostics::{Diagnostic, DiagnosticKind};
 use crate::operators::OperatorProperties;
 use crate::report::{CheckStats, Report, Verdict};
 use crate::{CoreError, Result};
-use arrayeq_addg::{describe_node, extract, Addg, Node, NodeId, OperatorKind};
+use arrayeq_addg::{
+    describe_node, extract, fingerprints, Addg, Fingerprints, Node, NodeId, OperatorKind,
+};
 use arrayeq_lang::ast::Program;
 use arrayeq_lang::classcheck::assert_in_class;
 use arrayeq_lang::defuse::assert_def_use_correct;
 use arrayeq_lang::parser::parse_program;
 use arrayeq_omega::{Relation, Set};
 use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
 
 /// Which variant of the method to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -110,6 +114,13 @@ impl CheckOptions {
 /// Verifies two functions given as source text, running the full Fig. 6 flow:
 /// parse → class check → def-use check → ADDG extraction → equivalence check.
 ///
+/// This is the *one-shot convenience path*: every call runs with fresh
+/// caches and only the [`CheckOptions::max_work`] budget.  Long-running
+/// services that issue many queries should construct a persistent
+/// `arrayeq::engine::Verifier` instead, which threads a [`CheckContext`]
+/// (deadline, cancellation, cross-query shared tabling) through
+/// [`verify_addgs_with`].
+///
 /// # Errors
 ///
 /// Returns an error when either program fails to parse, violates the program
@@ -122,7 +133,8 @@ pub fn verify_source(original: &str, transformed: &str, opts: &CheckOptions) -> 
     verify_programs(&p1, &p2, opts)
 }
 
-/// Verifies two parsed programs (see [`verify_source`]).
+/// Verifies two parsed programs (see [`verify_source`]; one-shot convenience
+/// path).
 ///
 /// # Errors
 ///
@@ -131,6 +143,21 @@ pub fn verify_programs(
     original: &Program,
     transformed: &Program,
     opts: &CheckOptions,
+) -> Result<Report> {
+    verify_programs_with(original, transformed, opts, &CheckContext::default())
+}
+
+/// Verifies two parsed programs under an explicit [`CheckContext`]
+/// (deadline, cancellation, cross-query shared tabling).
+///
+/// # Errors
+///
+/// Same as [`verify_programs`].
+pub fn verify_programs_with(
+    original: &Program,
+    transformed: &Program,
+    opts: &CheckOptions,
+    ctx: &CheckContext<'_>,
 ) -> Result<Report> {
     if opts.check_class {
         assert_in_class(original)?;
@@ -142,20 +169,54 @@ pub fn verify_programs(
     }
     let g1 = extract(original)?;
     let g2 = extract(transformed)?;
-    verify_addgs(&g1, &g2, opts)
+    verify_addgs_with(&g1, &g2, opts, ctx)
 }
 
-/// Verifies two already-extracted ADDGs.
+/// Verifies two already-extracted ADDGs (one-shot convenience path; see
+/// [`verify_addgs_with`] for the engine entry point).
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::Incomparable`] when the two graphs do not expose the
 /// same output arrays (or the focused outputs are missing).
 pub fn verify_addgs(original: &Addg, transformed: &Addg, opts: &CheckOptions) -> Result<Report> {
+    verify_addgs_with(original, transformed, opts, &CheckContext::default())
+}
+
+/// Verifies two already-extracted ADDGs under an explicit [`CheckContext`].
+///
+/// This is the entry point the persistent engine uses: the context's
+/// deadline and [`crate::CancelToken`] bound the traversal (an exceeded
+/// budget surfaces as [`Verdict::Inconclusive`] with a typed
+/// [`BudgetExhausted`] reason in [`Report::budget_exhausted`] — never a
+/// hang), and its [`crate::SharedEquivalenceTable`] lets this run consume
+/// and publish sub-proofs shared with other queries and threads.  When a
+/// shared table is present, both graphs are content-fingerprinted
+/// ([`arrayeq_addg::fingerprints`]) so tabling keys mean the same thing in
+/// every query.
+///
+/// # Errors
+///
+/// Same as [`verify_addgs`].
+pub fn verify_addgs_with(
+    original: &Addg,
+    transformed: &Addg,
+    opts: &CheckOptions,
+    ctx: &CheckContext<'_>,
+) -> Result<Report> {
+    // Fingerprints exist only to key shared-table entries, so they are
+    // worth computing exactly when both a shared table is present and
+    // tabling is on (shared_key returns None otherwise).
+    let fps = ctx
+        .shared_table
+        .filter(|_| opts.tabling)
+        .map(|_| (fingerprints(original), fingerprints(transformed)));
     let mut checker = Checker {
         a: original,
         b: transformed,
         opts,
+        ctx,
+        fps,
         stats: CheckStats::default(),
         diagnostics: Vec::new(),
         table: HashMap::new(),
@@ -167,6 +228,8 @@ pub fn verify_addgs(original: &Addg, transformed: &Addg, opts: &CheckOptions) ->
         assumption_uses: 0,
         work: 0,
         exhausted: false,
+        budget_reason: None,
+        started: Instant::now(),
     };
     checker.run()
 }
@@ -190,6 +253,11 @@ struct Checker<'x> {
     a: &'x Addg,
     b: &'x Addg,
     opts: &'x CheckOptions,
+    /// Budgets and cross-query sharing (default context on the one-shot path).
+    ctx: &'x CheckContext<'x>,
+    /// Content fingerprints of both graphs, computed only when the context
+    /// carries a shared table (they key the cross-query entries).
+    fps: Option<(Fingerprints, Fingerprints)>,
     stats: CheckStats,
     diagnostics: Vec<Diagnostic>,
     /// Tabling cache: established equivalences of sub-ADDG pairs.
@@ -215,6 +283,10 @@ struct Checker<'x> {
     assumption_uses: u64,
     work: u64,
     exhausted: bool,
+    /// Which budget fired when `exhausted` was set.
+    budget_reason: Option<BudgetExhausted>,
+    /// Start of the traversal, for deadline bookkeeping.
+    started: Instant,
 }
 
 /// A position in one ADDG during the synchronized traversal.
@@ -304,12 +376,14 @@ impl Checker<'_> {
         } else {
             Verdict::NotEquivalent
         };
+        self.stats.check_time_us = self.started.elapsed().as_micros() as u64;
         Ok(Report {
             verdict,
             diagnostics: std::mem::take(&mut self.diagnostics),
             witnesses: Vec::new(),
             stats: self.stats,
             outputs_checked: outputs,
+            budget_exhausted: self.budget_reason.take(),
         })
     }
 
@@ -357,10 +431,35 @@ impl Checker<'_> {
     }
 
     fn budget(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
         self.work += 1;
         if self.work > self.opts.max_work {
             self.exhausted = true;
+            self.budget_reason = Some(BudgetExhausted::WorkLimit {
+                max_work: self.opts.max_work,
+            });
             return false;
+        }
+        // Deadline and cancellation are polled on the first visit and every
+        // 64 visits after that: prompt enough to wind down in microseconds,
+        // cheap enough to vanish against the relation algebra per visit.
+        if (self.work == 1 || self.work & 0x3f == 0)
+            && (self.ctx.cancel.is_some() || self.ctx.deadline.is_some())
+        {
+            if self.ctx.cancel.is_some_and(|t| t.is_cancelled()) {
+                self.exhausted = true;
+                self.budget_reason = Some(BudgetExhausted::Cancelled);
+                return false;
+            }
+            if self.ctx.deadline.is_some_and(|d| Instant::now() >= d) {
+                self.exhausted = true;
+                self.budget_reason = Some(BudgetExhausted::DeadlineExceeded {
+                    elapsed_ms: self.started.elapsed().as_millis() as u64,
+                });
+                return false;
+            }
         }
         true
     }
@@ -460,6 +559,20 @@ impl Checker<'_> {
             }
         }
 
+        // Cross-query shared table (engine sessions only): consulted after a
+        // local miss, keyed by content fingerprints so an entry published by
+        // any earlier query — same pair re-checked after an edit, or a
+        // perturbed variant sharing this sub-computation — discharges the
+        // whole sub-traversal here.
+        let shared_key = self.shared_key(&pos_a, &pos_b, &map_a, &map_b);
+        if let (Some(k), Some(shared)) = (shared_key.as_ref(), self.ctx.shared_table) {
+            self.stats.shared_table_lookups += 1;
+            if shared.get(k) == Some(true) {
+                self.stats.shared_table_hits += 1;
+                return Ok(true);
+            }
+        }
+
         #[cfg(debug_assertions)]
         let shadow_val = match &table_key {
             Some(TableKey::Hashed(..)) => Some((map_a.canonical_key(), map_b.canonical_key())),
@@ -483,10 +596,40 @@ impl Checker<'_> {
                     }
                     self.table.insert(k, true);
                     self.stats.table_entries += 1;
+                    // Publish assumption-free sub-proofs for later queries.
+                    if let (Some(sk), Some(shared)) = (shared_key, self.ctx.shared_table) {
+                        shared.put(sk, true);
+                        self.stats.shared_table_inserts += 1;
+                    }
                 }
             }
         }
         Ok(result)
+    }
+
+    /// Builds the cross-query tabling key for a position pair: the content
+    /// fingerprints of both positions plus the structural hashes of both
+    /// mappings.  `None` outside an engine session or with tabling disabled.
+    fn shared_key(
+        &self,
+        pos_a: &Pos,
+        pos_b: &Pos,
+        map_a: &Relation,
+        map_b: &Relation,
+    ) -> Option<SharedTableKey> {
+        if !self.opts.tabling {
+            return None;
+        }
+        let (fa, fb) = self.fps.as_ref()?;
+        let pa = match pos_a {
+            Pos::Node(n) => fa.node(*n),
+            Pos::Array(v) => fa.array(v),
+        };
+        let pb = match pos_b {
+            Pos::Node(n) => fb.node(*n),
+            Pos::Array(v) => fb.array(v),
+        };
+        Some((pa, pb, map_a.structural_hash(), map_b.structural_hash()))
     }
 
     /// Dense integer id of a traversal position: node positions map to
@@ -1305,6 +1448,7 @@ fn node_brief(g: &Addg, id: NodeId, node: &Node) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::CancelToken;
     use arrayeq_lang::corpus::*;
 
     fn check(a: &str, b: &str, opts: &CheckOptions) -> Report {
@@ -1435,6 +1579,90 @@ mod tests {
         let r = check(FIG1_A, FIG1_B, &CheckOptions::default().with_focus(focus));
         assert!(r.is_equivalent(), "{}", r.summary());
         assert_eq!(r.outputs_checked, vec!["C".to_string()]);
+    }
+
+    #[test]
+    fn exhausted_work_budget_is_typed() {
+        let opts = CheckOptions {
+            max_work: 3,
+            ..Default::default()
+        };
+        let r = check(FIG1_A, FIG1_C, &opts);
+        assert_eq!(r.verdict, Verdict::Inconclusive);
+        assert_eq!(
+            r.budget_exhausted,
+            Some(BudgetExhausted::WorkLimit { max_work: 3 })
+        );
+        assert!(r.summary().contains("work limit"));
+    }
+
+    #[test]
+    fn cancelled_token_yields_inconclusive_immediately() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = CheckContext {
+            cancel: Some(&token),
+            ..Default::default()
+        };
+        let a = parse_program(FIG1_A).unwrap();
+        let c = parse_program(FIG1_C).unwrap();
+        let r = verify_programs_with(&a, &c, &CheckOptions::default(), &ctx).unwrap();
+        assert_eq!(r.verdict, Verdict::Inconclusive);
+        assert_eq!(r.budget_exhausted, Some(BudgetExhausted::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_yields_inconclusive_with_reason() {
+        let ctx = CheckContext {
+            deadline: Some(std::time::Instant::now()),
+            ..Default::default()
+        };
+        let a = parse_program(FIG1_A).unwrap();
+        let c = parse_program(FIG1_C).unwrap();
+        let r = verify_programs_with(&a, &c, &CheckOptions::default(), &ctx).unwrap();
+        assert_eq!(r.verdict, Verdict::Inconclusive);
+        assert!(matches!(
+            r.budget_exhausted,
+            Some(BudgetExhausted::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_table_discharges_repeat_queries() {
+        use std::collections::HashMap as Map;
+        use std::sync::Mutex;
+        #[derive(Default)]
+        struct MapTable(Mutex<Map<SharedTableKey, bool>>);
+        impl crate::SharedEquivalenceTable for MapTable {
+            fn get(&self, key: &SharedTableKey) -> Option<bool> {
+                self.0.lock().unwrap().get(key).copied()
+            }
+            fn put(&self, key: SharedTableKey, established: bool) {
+                self.0.lock().unwrap().insert(key, established);
+            }
+        }
+        let table = MapTable::default();
+        let ctx = CheckContext {
+            shared_table: Some(&table),
+            ..Default::default()
+        };
+        let a = parse_program(FIG1_A).unwrap();
+        let c = parse_program(FIG1_C).unwrap();
+        let first = verify_programs_with(&a, &c, &CheckOptions::default(), &ctx).unwrap();
+        assert!(first.is_equivalent());
+        assert!(first.stats.shared_table_inserts > 0, "sub-proofs published");
+        assert_eq!(first.stats.shared_table_hits, 0, "nothing to reuse yet");
+        let second = verify_programs_with(&a, &c, &CheckOptions::default(), &ctx).unwrap();
+        assert!(second.is_equivalent());
+        assert!(
+            second.stats.shared_table_hits > 0,
+            "re-check reuses published sub-proofs: {:?}",
+            second.stats
+        );
+        assert!(second.stats.combined_hit_rate() > first.stats.combined_hit_rate());
+        // The one-shot path never touches a shared table.
+        let lone = check(FIG1_A, FIG1_C, &CheckOptions::default());
+        assert_eq!(lone.stats.shared_table_lookups, 0);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Cross-query context for a verification run: budgets, cancellation and the
+//! shared equivalence-table handle.
+//!
+//! The free functions of this crate ([`crate::verify_source`] and friends)
+//! run one-shot: every call starts with empty caches and the only budget is
+//! [`crate::CheckOptions::max_work`].  A long-lived engine (the
+//! `arrayeq-engine` crate) instead threads a [`CheckContext`] through
+//! [`crate::verify_addgs_with`]: a wall-clock deadline, a cooperative
+//! [`CancelToken`], and a [`SharedEquivalenceTable`] whose entries outlive
+//! the call so later queries reuse established sub-proofs.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A cooperative cancellation flag, cloneable and shareable across threads.
+///
+/// The checker polls the token at traversal checkpoints; once
+/// [`CancelToken::cancel`] has been called, the run winds down promptly and
+/// returns [`crate::Verdict::Inconclusive`] with
+/// [`BudgetExhausted::Cancelled`] — it never hangs and never produces a
+/// partial verdict dressed up as a real one.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation of every run polling this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// The typed reason behind a [`crate::Verdict::Inconclusive`]: which budget
+/// ran out before the traversal could finish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetExhausted {
+    /// The [`crate::CheckOptions::max_work`] node-pair-visit budget ran out.
+    WorkLimit {
+        /// The configured budget.
+        max_work: u64,
+    },
+    /// The wall-clock deadline of the context passed mid-traversal.
+    DeadlineExceeded {
+        /// Milliseconds actually spent when the deadline fired.
+        elapsed_ms: u64,
+    },
+    /// The [`CancelToken`] of the context was cancelled.
+    Cancelled,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetExhausted::WorkLimit { max_work } => {
+                write!(f, "work limit of {max_work} node-pair visits exhausted")
+            }
+            BudgetExhausted::DeadlineExceeded { elapsed_ms } => {
+                write!(f, "wall-clock deadline exceeded after {elapsed_ms} ms")
+            }
+            BudgetExhausted::Cancelled => write!(f, "cancelled by caller"),
+        }
+    }
+}
+
+/// Key of a cross-query tabling entry: the content fingerprints of the two
+/// traversal positions ([`arrayeq_addg::Fingerprints`]) and the structural
+/// hashes of the two output-current mappings.  Every component is a stable
+/// content hash, so the key means the same thing in every query.
+pub type SharedTableKey = (u64, u64, u64, u64);
+
+/// A cross-query store of established sub-equivalences.
+///
+/// Implementations are expected to be sharded/lock-striped maps shared by
+/// every query of one engine.  **Soundness contract:** an entry asserts that
+/// the synchronized traversal, run with *the same* [`crate::CheckOptions`],
+/// establishes the sub-equivalence behind the key.  Callers must therefore
+/// key or segregate stores per options set — the engine does this by fixing
+/// its options at construction time.  Only positive verdicts are stored
+/// (failures keep their diagnostics specific to the run that found them),
+/// and the checker never stores sub-proofs that leaned on a coinductive
+/// recurrence assumption.
+pub trait SharedEquivalenceTable: Send + Sync {
+    /// Looks up an established sub-equivalence.
+    fn get(&self, key: &SharedTableKey) -> Option<bool>;
+    /// Records an established sub-equivalence.
+    fn put(&self, key: SharedTableKey, established: bool);
+}
+
+/// Per-call context threaded through [`crate::verify_addgs_with`].
+///
+/// The default context (`CheckContext::default()`) reproduces the one-shot
+/// behaviour of the plain free functions exactly: no deadline, no
+/// cancellation, no cross-query sharing.
+#[derive(Default, Clone)]
+pub struct CheckContext<'a> {
+    /// Cross-query equivalence table, shared between calls and threads.
+    pub shared_table: Option<&'a dyn SharedEquivalenceTable>,
+    /// Absolute wall-clock deadline for this call.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation token polled during the traversal.
+    pub cancel: Option<&'a CancelToken>,
+}
+
+impl fmt::Debug for CheckContext<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckContext")
+            .field("shared_table", &self.shared_table.is_some())
+            .field("deadline", &self.deadline)
+            .field("cancel", &self.cancel.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_is_shared_through_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn budget_reasons_render() {
+        assert!(BudgetExhausted::WorkLimit { max_work: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(BudgetExhausted::DeadlineExceeded { elapsed_ms: 12 }
+            .to_string()
+            .contains("12 ms"));
+        assert!(BudgetExhausted::Cancelled.to_string().contains("cancel"));
+    }
+}

@@ -45,11 +45,18 @@
 #![warn(missing_docs)]
 
 mod checker;
+mod context;
 mod diagnostics;
 mod operators;
 mod report;
 
-pub use checker::{verify_addgs, verify_programs, verify_source, CheckOptions, Focus, Method};
+pub use checker::{
+    verify_addgs, verify_addgs_with, verify_programs, verify_programs_with, verify_source,
+    CheckOptions, Focus, Method,
+};
+pub use context::{
+    BudgetExhausted, CancelToken, CheckContext, SharedEquivalenceTable, SharedTableKey,
+};
 pub use diagnostics::{Diagnostic, DiagnosticKind};
 pub use operators::{OperatorClass, OperatorProperties};
 pub use report::{CheckStats, Report, Verdict, Witness};

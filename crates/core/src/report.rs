@@ -1,5 +1,6 @@
 //! The result of an equivalence check.
 
+use crate::context::BudgetExhausted;
 use crate::diagnostics::{blame_candidates, Diagnostic};
 use std::fmt;
 
@@ -53,6 +54,18 @@ pub struct CheckStats {
     pub flattenings: u64,
     /// Matching operations performed (extended method only).
     pub matchings: u64,
+    /// Lookups into the cross-query shared equivalence table (0 outside an
+    /// engine session — the one-shot path has no shared table).
+    pub shared_table_lookups: u64,
+    /// Sub-problems answered by the cross-query shared equivalence table.
+    pub shared_table_hits: u64,
+    /// Sub-proofs published to the cross-query shared equivalence table.
+    pub shared_table_inserts: u64,
+    /// Wall-clock time of the equivalence check itself, in microseconds.
+    pub check_time_us: u64,
+    /// Wall-clock time of witness extraction (sampling + replay + slicing),
+    /// in microseconds; 0 when no extraction ran.
+    pub witness_time_us: u64,
 }
 
 impl CheckStats {
@@ -63,6 +76,20 @@ impl CheckStats {
             0.0
         } else {
             self.table_hits as f64 / self.table_lookups as f64
+        }
+    }
+
+    /// Fraction of tabling lookups answered from *either* cache level — the
+    /// per-run table or the cross-query shared table (0.0 when neither was
+    /// consulted).  In an engine session this is the reuse measure: shared
+    /// hits short-circuit whole sub-traversals that a one-shot run would
+    /// re-derive.
+    pub fn combined_hit_rate(&self) -> f64 {
+        let lookups = self.table_lookups;
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.table_hits + self.shared_table_hits) as f64 / lookups as f64
         }
     }
 }
@@ -147,6 +174,10 @@ pub struct Report {
     pub stats: CheckStats,
     /// Name of the checked output arrays.
     pub outputs_checked: Vec<String>,
+    /// The typed reason behind a [`Verdict::Inconclusive`]: which budget
+    /// (work limit, wall-clock deadline, cancellation) ran out.  Always
+    /// `None` for conclusive verdicts.
+    pub budget_exhausted: Option<BudgetExhausted>,
 }
 
 impl Report {
@@ -173,6 +204,31 @@ impl Report {
             self.stats.table_hits,
             self.stats.table_hit_rate() * 100.0,
         );
+        if self.stats.shared_table_lookups > 0 {
+            out.push_str(&format!(
+                "shared table: {} hits / {} lookups ({:.0}% combined hit rate), {} published\n",
+                self.stats.shared_table_hits,
+                self.stats.shared_table_lookups,
+                self.stats.combined_hit_rate() * 100.0,
+                self.stats.shared_table_inserts,
+            ));
+        }
+        if self.stats.hash_collisions > 0 {
+            out.push_str(&format!(
+                "WARNING: {} structural-hash collisions detected in the tabling cache\n",
+                self.stats.hash_collisions,
+            ));
+        }
+        if self.stats.witness_time_us > 0 {
+            out.push_str(&format!(
+                "timing: check {:.3} ms, witness extraction {:.3} ms\n",
+                self.stats.check_time_us as f64 / 1e3,
+                self.stats.witness_time_us as f64 / 1e3,
+            ));
+        }
+        if let Some(reason) = &self.budget_exhausted {
+            out.push_str(&format!("inconclusive: {reason}\n"));
+        }
         for d in &self.diagnostics {
             out.push_str(&d.to_string());
         }
@@ -216,12 +272,42 @@ mod tests {
                 ..Default::default()
             },
             outputs_checked: vec!["C".into()],
+            budget_exhausted: None,
         };
         assert!(r.is_equivalent());
         assert!(r.summary().contains("EQUIVALENT"));
         assert!(r.summary().contains("4 path pairs"));
         assert_eq!(format!("{}", Verdict::NotEquivalent), "NOT EQUIVALENT");
         assert_eq!(format!("{}", Verdict::Inconclusive), "INCONCLUSIVE");
+    }
+
+    #[test]
+    fn summary_renders_budget_shared_table_and_collisions() {
+        let r = Report {
+            verdict: Verdict::Inconclusive,
+            diagnostics: Vec::new(),
+            witnesses: Vec::new(),
+            stats: CheckStats {
+                table_lookups: 10,
+                table_hits: 2,
+                shared_table_lookups: 8,
+                shared_table_hits: 4,
+                shared_table_inserts: 3,
+                hash_collisions: 1,
+                check_time_us: 1500,
+                witness_time_us: 2500,
+                ..Default::default()
+            },
+            outputs_checked: vec!["C".into()],
+            budget_exhausted: Some(BudgetExhausted::DeadlineExceeded { elapsed_ms: 9 }),
+        };
+        let s = r.summary();
+        assert!(s.contains("shared table: 4 hits / 8 lookups"));
+        assert!(s.contains("60% combined hit rate"));
+        assert!(s.contains("1 structural-hash collisions"));
+        assert!(s.contains("witness extraction 2.500 ms"));
+        assert!(s.contains("inconclusive: wall-clock deadline exceeded after 9 ms"));
+        assert!((r.stats.combined_hit_rate() - 0.6).abs() < 1e-9);
     }
 
     #[test]

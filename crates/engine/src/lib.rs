@@ -1,0 +1,636 @@
+//! # arrayeq-engine
+//!
+//! The persistent verification engine: a long-lived [`Verifier`] that
+//! amortises work *across* equivalence queries, where the free functions of
+//! `arrayeq-core` run one-shot.
+//!
+//! The DATE 2005 checker is presented as a single procedure, but a
+//! verification service re-checks: the same pair after every refactoring
+//! step, perturbed variants of a corpus, many pairs under one policy.  Those
+//! queries overlap heavily — the same sub-ADDGs, the same composed
+//! dependency mappings, the same feasibility questions — so the engine owns
+//! two shared, sharded, lock-striped stores that outlive every call:
+//!
+//! * a **cross-query equivalence table** (keyed by content fingerprints of
+//!   the traversal positions, [`arrayeq_addg::fingerprints`], plus the
+//!   structural hashes of the output-current mappings) through which one
+//!   query's established sub-proofs discharge another query's
+//!   sub-traversals, across threads;
+//! * a **shared feasibility memo** promoting `arrayeq-omega`'s thread-local
+//!   Omega-test memo to session scope (installed around every query via
+//!   [`arrayeq_omega::with_feasibility_cache`]).
+//!
+//! On top of the caches the engine enforces **budgets** — the work limit of
+//! [`CheckOptions::max_work`], a wall-clock [`VerifierBuilder::deadline`]
+//! and a cooperative [`CancelToken`] — every one of which surfaces as
+//! [`Verdict::Inconclusive`] with a typed [`BudgetExhausted`] reason instead
+//! of a hang, and offers [`Verifier::verify_batch`]: a worker pool fanning a
+//! slice of requests across threads with deterministic result ordering.
+//!
+//! Witness extraction is an engine *option* ([`VerifierBuilder::witnesses`])
+//! rather than a separate entry point: a `NotEquivalent` verdict comes back
+//! with concrete, replay-confirmed counterexamples already attached.
+//!
+//! ```
+//! use arrayeq_engine::{Verifier, VerifyRequest};
+//! use arrayeq_lang::corpus::{FIG1_A, FIG1_C, FIG1_D};
+//!
+//! let verifier = Verifier::builder().witnesses(true).build();
+//! let ok = verifier
+//!     .verify(&VerifyRequest::source(FIG1_A, FIG1_C))
+//!     .unwrap();
+//! assert!(ok.report.is_equivalent());
+//!
+//! let bad = verifier
+//!     .verify(&VerifyRequest::source(FIG1_A, FIG1_D))
+//!     .unwrap();
+//! assert!(!bad.report.is_equivalent());
+//! assert!(bad.report.witnesses.iter().any(|w| w.confirmed));
+//!
+//! // The session remembers: re-checking reuses established sub-proofs.
+//! let again = verifier
+//!     .verify(&VerifyRequest::source(FIG1_A, FIG1_C))
+//!     .unwrap();
+//! assert!(again.report.stats.shared_table_hits > 0);
+//! assert_eq!(verifier.session_stats().queries, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod shared;
+
+pub use json::{
+    outcome_to_json, report_to_json, session_to_json, stats_from_json, stats_to_json,
+    verdict_from_str, verdict_str, witness_to_json, JsonError, JsonValue,
+};
+
+/// Re-exported core vocabulary so engine users need only one import path.
+pub use arrayeq_core::{
+    BudgetExhausted, CancelToken, CheckOptions, CheckStats, Focus, Method, Report, Verdict, Witness,
+};
+/// Re-exported witness tuning knobs ([`VerifierBuilder::witness_options`]).
+pub use arrayeq_witness::WitnessOptions;
+
+use arrayeq_addg::Addg;
+use arrayeq_core::{verify_addgs_with, verify_programs_with, CheckContext, Result};
+use arrayeq_lang::ast::Program;
+use arrayeq_lang::parser::parse_program;
+use arrayeq_omega::{with_feasibility_cache, FeasibilityCache};
+use arrayeq_witness::extract_witnesses;
+use shared::{ShardedEquivalenceTable, SharedFeasibilityMemo};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One verification query: a pair at any pipeline stage.
+///
+/// `Source` runs the full Fig. 6 flow (parse → class check → def-use check →
+/// extraction → check); `Programs` skips parsing; `Addgs` goes straight to
+/// the synchronized traversal.  Witness extraction needs programs to replay,
+/// so `Addgs` requests never carry witnesses even when the engine has them
+/// enabled.
+#[derive(Debug, Clone)]
+pub enum VerifyRequest {
+    /// Two functions as source text.
+    Source {
+        /// The original program text.
+        original: String,
+        /// The transformed program text.
+        transformed: String,
+    },
+    /// Two parsed programs.
+    Programs {
+        /// The original program.
+        original: Box<Program>,
+        /// The transformed program.
+        transformed: Box<Program>,
+    },
+    /// Two extracted ADDGs.
+    Addgs {
+        /// The original program's graph.
+        original: Box<Addg>,
+        /// The transformed program's graph.
+        transformed: Box<Addg>,
+    },
+}
+
+impl VerifyRequest {
+    /// A source-text request.
+    pub fn source(original: impl Into<String>, transformed: impl Into<String>) -> Self {
+        VerifyRequest::Source {
+            original: original.into(),
+            transformed: transformed.into(),
+        }
+    }
+
+    /// A parsed-program request.
+    pub fn programs(original: Program, transformed: Program) -> Self {
+        VerifyRequest::Programs {
+            original: Box::new(original),
+            transformed: Box::new(transformed),
+        }
+    }
+
+    /// An extracted-ADDG request.
+    pub fn addgs(original: Addg, transformed: Addg) -> Self {
+        VerifyRequest::Addgs {
+            original: Box::new(original),
+            transformed: Box::new(transformed),
+        }
+    }
+}
+
+/// The result of one engine query: the checker's [`Report`] (with witnesses
+/// attached when enabled), the request's wall time and a snapshot of the
+/// session counters *after* the request.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Verdict, diagnostics, witnesses and per-request work counters.
+    pub report: Report,
+    /// Total request wall time (parsing, extraction, check, witnesses) in
+    /// microseconds.
+    pub wall_time_us: u64,
+    /// Cumulative session statistics, sampled when this request finished.
+    pub session: SessionStats,
+}
+
+/// Cumulative counters of one [`Verifier`] session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests completed (including error outcomes).
+    pub queries: u64,
+    /// Requests that came back [`Verdict::Equivalent`].
+    pub equivalent: u64,
+    /// Requests that came back [`Verdict::NotEquivalent`].
+    pub not_equivalent: u64,
+    /// Requests that came back [`Verdict::Inconclusive`].
+    pub inconclusive: u64,
+    /// Requests that failed with a pipeline error.
+    pub errors: u64,
+    /// Entries currently held by the cross-query equivalence table.
+    pub shared_table_entries: u64,
+    /// Lookups into the cross-query equivalence table.
+    pub shared_table_lookups: u64,
+    /// Lookups answered by the cross-query equivalence table.
+    pub shared_table_hits: u64,
+    /// Entries currently held by the shared feasibility memo.
+    pub feasibility_entries: u64,
+    /// Feasibility queries answered by the shared memo.
+    pub feasibility_hits: u64,
+    /// Feasibility queries that had to run the Omega test.
+    pub feasibility_misses: u64,
+    /// Per-run tabling lookups, summed over all requests.
+    pub table_lookups: u64,
+    /// Per-run tabling hits, summed over all requests.
+    pub table_hits: u64,
+    /// Total check time over all requests, microseconds.
+    pub check_time_us: u64,
+    /// Total witness-extraction time over all requests, microseconds.
+    pub witness_time_us: u64,
+}
+
+impl SessionStats {
+    /// Fraction of all tabling lookups answered from either cache level over
+    /// the whole session (the cross-query reuse measure of the PR3
+    /// experiment).
+    pub fn combined_hit_rate(&self) -> f64 {
+        if self.table_lookups == 0 {
+            0.0
+        } else {
+            (self.table_hits + self.shared_table_hits) as f64 / self.table_lookups as f64
+        }
+    }
+}
+
+/// Configures and constructs a [`Verifier`].
+#[derive(Debug, Clone)]
+pub struct VerifierBuilder {
+    options: CheckOptions,
+    witness_options: WitnessOptions,
+    witnesses: bool,
+    deadline: Option<Duration>,
+    workers: Option<usize>,
+    shards: usize,
+    table_capacity: usize,
+    cancel: CancelToken,
+}
+
+impl Default for VerifierBuilder {
+    fn default() -> Self {
+        VerifierBuilder {
+            options: CheckOptions::default(),
+            witness_options: WitnessOptions::default(),
+            witnesses: false,
+            deadline: None,
+            workers: None,
+            shards: 64,
+            table_capacity: 1 << 20,
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+impl VerifierBuilder {
+    /// Replaces the checker options wholesale.
+    ///
+    /// The options are fixed for the engine's lifetime: the cross-query
+    /// table's entries are only valid under the options that produced them,
+    /// so they cannot change per request.
+    pub fn options(mut self, options: CheckOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Selects the basic or extended method (shorthand over [`Self::options`]).
+    pub fn method(mut self, method: Method) -> Self {
+        self.options.method = method;
+        self
+    }
+
+    /// Sets the per-request traversal work budget.
+    pub fn max_work(mut self, max_work: u64) -> Self {
+        self.options.max_work = max_work;
+        self
+    }
+
+    /// Enables or disables witness extraction for `NotEquivalent` verdicts.
+    pub fn witnesses(mut self, enabled: bool) -> Self {
+        self.witnesses = enabled;
+        self
+    }
+
+    /// Tunes witness extraction (implies nothing about [`Self::witnesses`]).
+    pub fn witness_options(mut self, wopts: WitnessOptions) -> Self {
+        self.witness_options = wopts;
+        self
+    }
+
+    /// Sets a wall-clock budget applied to every request.  An overrun during
+    /// the traversal yields [`Verdict::Inconclusive`] with
+    /// [`BudgetExhausted::DeadlineExceeded`].  Witness extraction never
+    /// *starts* past the deadline (the `NotEquivalent` verdict is returned
+    /// without counterexamples); once started it runs to its own
+    /// point/fill budgets ([`WitnessOptions`]), which bound it
+    /// independently of the clock.
+    pub fn deadline(mut self, per_request: Duration) -> Self {
+        self.deadline = Some(per_request);
+        self
+    }
+
+    /// Sets the worker-pool width for [`Verifier::verify_batch`] (defaults
+    /// to the machine's available parallelism).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Sets the cancellation token polled by every request (defaults to a
+    /// fresh token, retrievable via [`Verifier::cancel_token`]).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Sets the stripe count of the shared stores (rounded up to a power of
+    /// two).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the entry capacity of each shared store.
+    pub fn table_capacity(mut self, capacity: usize) -> Self {
+        self.table_capacity = capacity.max(1);
+        self
+    }
+
+    /// Constructs the engine.
+    pub fn build(self) -> Verifier {
+        Verifier {
+            table: Arc::new(ShardedEquivalenceTable::new(
+                self.shards,
+                self.table_capacity,
+            )),
+            memo: Arc::new(SharedFeasibilityMemo::new(self.shards, self.table_capacity)),
+            options: self.options,
+            witness_options: self.witness_options,
+            witnesses: self.witnesses,
+            deadline: self.deadline,
+            workers: self.workers,
+            cancel: self.cancel,
+            counters: Counters::default(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    queries: AtomicU64,
+    equivalent: AtomicU64,
+    not_equivalent: AtomicU64,
+    inconclusive: AtomicU64,
+    errors: AtomicU64,
+    table_lookups: AtomicU64,
+    table_hits: AtomicU64,
+    check_time_us: AtomicU64,
+    witness_time_us: AtomicU64,
+}
+
+/// The persistent verification engine.  See the crate docs for the design;
+/// construct via [`Verifier::builder`], share freely across threads (all
+/// methods take `&self`).
+pub struct Verifier {
+    options: CheckOptions,
+    witness_options: WitnessOptions,
+    witnesses: bool,
+    deadline: Option<Duration>,
+    workers: Option<usize>,
+    cancel: CancelToken,
+    table: Arc<ShardedEquivalenceTable>,
+    memo: Arc<SharedFeasibilityMemo>,
+    counters: Counters,
+}
+
+impl Verifier {
+    /// Starts configuring an engine.
+    pub fn builder() -> VerifierBuilder {
+        VerifierBuilder::default()
+    }
+
+    /// An engine with all defaults (extended method, no witnesses, no
+    /// deadline).
+    pub fn new() -> Verifier {
+        Self::builder().build()
+    }
+
+    /// The checker options this engine runs every request with.
+    pub fn options(&self) -> &CheckOptions {
+        &self.options
+    }
+
+    /// The cancellation token observed by every request of this engine.
+    /// Clone it, hand it to a supervisor, and [`CancelToken::cancel`] winds
+    /// down every in-flight and future request with a typed
+    /// [`BudgetExhausted::Cancelled`] outcome.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Runs one verification query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the pipeline errors of [`arrayeq_core::verify_source`]
+    /// (parse/class/def-use failures, incomparable interfaces).
+    /// Inequivalence and exhausted budgets are *verdicts*, not errors.
+    pub fn verify(&self, request: &VerifyRequest) -> Result<Outcome> {
+        let started = Instant::now();
+        let memo: Arc<dyn FeasibilityCache> = self.memo.clone();
+        let result = with_feasibility_cache(memo, || self.run_request(request));
+        let wall_time_us = started.elapsed().as_micros() as u64;
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(report) => {
+                let bucket = match report.verdict {
+                    Verdict::Equivalent => &self.counters.equivalent,
+                    Verdict::NotEquivalent => &self.counters.not_equivalent,
+                    Verdict::Inconclusive => &self.counters.inconclusive,
+                };
+                bucket.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .table_lookups
+                    .fetch_add(report.stats.table_lookups, Ordering::Relaxed);
+                self.counters
+                    .table_hits
+                    .fetch_add(report.stats.table_hits, Ordering::Relaxed);
+                self.counters
+                    .check_time_us
+                    .fetch_add(report.stats.check_time_us, Ordering::Relaxed);
+                self.counters
+                    .witness_time_us
+                    .fetch_add(report.stats.witness_time_us, Ordering::Relaxed);
+                Ok(Outcome {
+                    report,
+                    wall_time_us,
+                    session: self.session_stats(),
+                })
+            }
+            Err(e) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Verifies a pair given as source text (shorthand for
+    /// [`Verifier::verify`] with a [`VerifyRequest::Source`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Verifier::verify`].
+    pub fn verify_source(&self, original: &str, transformed: &str) -> Result<Outcome> {
+        self.verify(&VerifyRequest::source(original, transformed))
+    }
+
+    /// Fans a slice of requests across a worker pool and returns one result
+    /// per request, **in request order** regardless of which worker finished
+    /// first.  All workers share this engine's caches, so concurrent
+    /// requests feed each other sub-proofs.
+    pub fn verify_batch(&self, requests: &[VerifyRequest]) -> Vec<Result<Outcome>> {
+        let workers = self
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .min(requests.len().max(1));
+        if workers <= 1 || requests.len() <= 1 {
+            return requests.iter().map(|r| self.verify(r)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<Outcome>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests.len() {
+                        break;
+                    }
+                    let outcome = self.verify(&requests[i]);
+                    *slots[i].lock().unwrap() = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every batch slot is filled by a worker")
+            })
+            .collect()
+    }
+
+    /// A snapshot of the cumulative session counters.
+    pub fn session_stats(&self) -> SessionStats {
+        SessionStats {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            equivalent: self.counters.equivalent.load(Ordering::Relaxed),
+            not_equivalent: self.counters.not_equivalent.load(Ordering::Relaxed),
+            inconclusive: self.counters.inconclusive.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            shared_table_entries: self.table.entries() as u64,
+            shared_table_lookups: self.table.lookups.load(Ordering::Relaxed),
+            shared_table_hits: self.table.hits.load(Ordering::Relaxed),
+            feasibility_entries: self.memo.entries() as u64,
+            feasibility_hits: self.memo.hits.load(Ordering::Relaxed),
+            feasibility_misses: self.memo.misses.load(Ordering::Relaxed),
+            table_lookups: self.counters.table_lookups.load(Ordering::Relaxed),
+            table_hits: self.counters.table_hits.load(Ordering::Relaxed),
+            check_time_us: self.counters.check_time_us.load(Ordering::Relaxed),
+            witness_time_us: self.counters.witness_time_us.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs the pipeline for one request with the shared caches wired in.
+    fn run_request(&self, request: &VerifyRequest) -> Result<Report> {
+        let ctx = CheckContext {
+            shared_table: Some(self.table.as_ref()),
+            deadline: self.deadline.map(|d| Instant::now() + d),
+            cancel: Some(&self.cancel),
+        };
+        match request {
+            VerifyRequest::Source {
+                original,
+                transformed,
+            } => {
+                let p1 = parse_program(original)?;
+                let p2 = parse_program(transformed)?;
+                self.check_programs(&p1, &p2, &ctx)
+            }
+            VerifyRequest::Programs {
+                original,
+                transformed,
+            } => self.check_programs(original, transformed, &ctx),
+            VerifyRequest::Addgs {
+                original,
+                transformed,
+            } => verify_addgs_with(original, transformed, &self.options, &ctx),
+        }
+    }
+
+    fn check_programs(
+        &self,
+        original: &Program,
+        transformed: &Program,
+        ctx: &CheckContext<'_>,
+    ) -> Result<Report> {
+        let mut report = verify_programs_with(original, transformed, &self.options, ctx)?;
+        // Witness extraction is bounded by its own point/fill budgets (see
+        // `WitnessOptions`), not by the traversal deadline — but a request
+        // whose wall-clock budget is already spent (or that was cancelled)
+        // must not start it: the NotEquivalent verdict stands, just without
+        // counterexamples attached.
+        let budget_left = !self.cancel.is_cancelled()
+            && ctx
+                .deadline
+                .is_none_or(|deadline| Instant::now() < deadline);
+        if self.witnesses && budget_left && report.verdict == Verdict::NotEquivalent {
+            let started = Instant::now();
+            report.witnesses =
+                extract_witnesses(original, transformed, &report, &self.witness_options)?;
+            report.stats.witness_time_us = started.elapsed().as_micros() as u64;
+        }
+        Ok(report)
+    }
+}
+
+impl Default for Verifier {
+    fn default() -> Self {
+        Verifier::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrayeq_lang::corpus::{FIG1_A, FIG1_B, FIG1_C, FIG1_D};
+
+    #[test]
+    fn one_shot_equivalence_and_witnesses() {
+        let v = Verifier::builder().witnesses(true).build();
+        let eq = v.verify_source(FIG1_A, FIG1_C).unwrap();
+        assert!(eq.report.is_equivalent());
+        assert!(eq.report.witnesses.is_empty());
+
+        let neq = v.verify_source(FIG1_A, FIG1_D).unwrap();
+        assert_eq!(neq.report.verdict, Verdict::NotEquivalent);
+        assert!(neq.report.witnesses.iter().any(|w| w.confirmed));
+        assert!(neq.report.stats.witness_time_us > 0);
+
+        let s = v.session_stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.equivalent, 1);
+        assert_eq!(s.not_equivalent, 1);
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_shared_caches() {
+        let v = Verifier::new();
+        let first = v.verify_source(FIG1_A, FIG1_C).unwrap();
+        assert_eq!(first.report.stats.shared_table_hits, 0);
+        assert!(first.report.stats.shared_table_inserts > 0);
+        let second = v.verify_source(FIG1_A, FIG1_C).unwrap();
+        assert!(second.report.stats.shared_table_hits > 0);
+        let s = v.session_stats();
+        assert!(s.shared_table_entries > 0);
+        assert!(s.shared_table_hits > 0);
+        // Same thread: repeats are absorbed by the thread-local memo level,
+        // so the shared memo only records the first-sight misses here (the
+        // cross-thread hits are proven by the concurrency integration test).
+        assert!(s.feasibility_misses > 0, "shared memo engaged: {s:?}");
+        assert!(s.feasibility_entries > 0);
+        assert!(s.combined_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn batch_results_keep_request_order() {
+        let v = Verifier::builder().workers(4).build();
+        let reqs = vec![
+            VerifyRequest::source(FIG1_A, FIG1_B),
+            VerifyRequest::source(FIG1_A, FIG1_D),
+            VerifyRequest::source(FIG1_B, FIG1_C),
+            VerifyRequest::source(FIG1_A, "not a program"),
+            VerifyRequest::source(FIG1_C, FIG1_A),
+        ];
+        let outcomes = v.verify_batch(&reqs);
+        assert_eq!(outcomes.len(), 5);
+        assert!(outcomes[0].as_ref().unwrap().report.is_equivalent());
+        assert_eq!(
+            outcomes[1].as_ref().unwrap().report.verdict,
+            Verdict::NotEquivalent
+        );
+        assert!(outcomes[2].as_ref().unwrap().report.is_equivalent());
+        assert!(outcomes[3].is_err(), "parse failure stays at its index");
+        assert!(outcomes[4].as_ref().unwrap().report.is_equivalent());
+        let s = v.session_stats();
+        assert_eq!(s.queries, 5);
+        assert_eq!(s.errors, 1);
+    }
+
+    #[test]
+    fn addg_requests_skip_witness_extraction() {
+        use arrayeq_addg::extract;
+        use arrayeq_lang::parser::parse_program;
+        let g1 = extract(&parse_program(FIG1_A).unwrap()).unwrap();
+        let g2 = extract(&parse_program(FIG1_D).unwrap()).unwrap();
+        let v = Verifier::builder().witnesses(true).build();
+        let out = v.verify(&VerifyRequest::addgs(g1, g2)).unwrap();
+        assert_eq!(out.report.verdict, Verdict::NotEquivalent);
+        assert!(out.report.witnesses.is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! The engine's shared, sharded, lock-striped caches.
+//!
+//! Both stores follow the same design: a power-of-two number of shards, each
+//! a small mutex-guarded hash map, selected by mixing the (already
+//! hash-shaped) key.  Contention is bounded by the stripe count rather than
+//! a single global lock, and every shard enforces a capacity with the same
+//! epoch-eviction policy the thread-local feasibility memo uses: when a
+//! shard fills up it is cleared wholesale — cheap, and the working set of an
+//! active session refills quickly.
+
+use arrayeq_core::{SharedEquivalenceTable, SharedTableKey};
+use arrayeq_omega::FeasibilityCache;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Finalizing mix so consecutive or low-entropy keys spread over the shards.
+fn spread(x: u64) -> u64 {
+    let mut z = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z ^= z >> 32;
+    z.wrapping_mul(0xd6e8_feb8_6659_fd93)
+}
+
+/// A lock-striped map from 64-bit-hash-shaped keys to values.
+struct Striped<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+    mask: usize,
+    cap_per_shard: usize,
+}
+
+impl<K: std::hash::Hash + Eq, V: Copy> Striped<K, V> {
+    fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.next_power_of_two().max(1);
+        Striped {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: shards - 1,
+            cap_per_shard: (capacity / shards).max(16),
+        }
+    }
+
+    fn shard(&self, spread_key: u64) -> &Mutex<HashMap<K, V>> {
+        &self.shards[(spread_key as usize) & self.mask]
+    }
+
+    fn get(&self, spread_key: u64, key: &K) -> Option<V> {
+        self.shard(spread_key).lock().unwrap().get(key).copied()
+    }
+
+    fn put(&self, spread_key: u64, key: K, value: V) {
+        let mut shard = self.shard(spread_key).lock().unwrap();
+        if shard.len() >= self.cap_per_shard {
+            shard.clear(); // epoch eviction, same policy as the omega memo
+        }
+        shard.insert(key, value);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+}
+
+/// The cross-query equivalence table shared by every query (and worker
+/// thread) of one [`crate::Verifier`].
+pub(crate) struct ShardedEquivalenceTable {
+    map: Striped<SharedTableKey, bool>,
+    pub(crate) lookups: AtomicU64,
+    pub(crate) hits: AtomicU64,
+    pub(crate) inserts: AtomicU64,
+}
+
+impl ShardedEquivalenceTable {
+    pub(crate) fn new(shards: usize, capacity: usize) -> Self {
+        ShardedEquivalenceTable {
+            map: Striped::new(shards, capacity),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn entries(&self) -> usize {
+        self.map.len()
+    }
+}
+
+fn table_spread(key: &SharedTableKey) -> u64 {
+    spread(key.0 ^ key.1.rotate_left(17) ^ key.2.rotate_left(31) ^ key.3.rotate_left(47))
+}
+
+impl SharedEquivalenceTable for ShardedEquivalenceTable {
+    fn get(&self, key: &SharedTableKey) -> Option<bool> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let found = self.map.get(table_spread(key), key);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn put(&self, key: SharedTableKey, established: bool) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.map.put(table_spread(&key), key, established);
+    }
+}
+
+/// The cross-thread feasibility memo installed (via
+/// [`arrayeq_omega::with_feasibility_cache`]) around every query, promoting
+/// the per-thread memo of `omega` to session scope.
+pub(crate) struct SharedFeasibilityMemo {
+    map: Striped<u64, bool>,
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+}
+
+impl SharedFeasibilityMemo {
+    pub(crate) fn new(shards: usize, capacity: usize) -> Self {
+        SharedFeasibilityMemo {
+            map: Striped::new(shards, capacity),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn entries(&self) -> usize {
+        self.map.len()
+    }
+}
+
+impl FeasibilityCache for SharedFeasibilityMemo {
+    fn get(&self, key: u64) -> Option<bool> {
+        let found = self.map.get(spread(key), &key);
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn put(&self, key: u64, feasible: bool) {
+        self.map.put(spread(key), key, feasible);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striped_table_round_trips_and_counts() {
+        let t = ShardedEquivalenceTable::new(8, 1024);
+        let k = (1u64, 2u64, 3u64, 4u64);
+        assert_eq!(t.get(&k), None);
+        t.put(k, true);
+        assert_eq!(t.get(&k), Some(true));
+        assert_eq!(t.lookups.load(Ordering::Relaxed), 2);
+        assert_eq!(t.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(t.inserts.load(Ordering::Relaxed), 1);
+        assert_eq!(t.entries(), 1);
+    }
+
+    #[test]
+    fn shard_capacity_evicts_by_epoch_instead_of_growing() {
+        let t = SharedFeasibilityMemo::new(1, 16);
+        for i in 0..200u64 {
+            t.put(i, true);
+        }
+        assert!(t.entries() <= 16, "bounded: {}", t.entries());
+    }
+
+    #[test]
+    fn memo_counts_hits_and_misses() {
+        let m = SharedFeasibilityMemo::new(4, 256);
+        assert_eq!(m.get(9), None);
+        m.put(9, false);
+        assert_eq!(m.get(9), Some(false));
+        assert_eq!(m.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(m.misses.load(Ordering::Relaxed), 1);
+    }
+}

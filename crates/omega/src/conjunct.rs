@@ -7,6 +7,7 @@ use crate::linexpr::{gcd, LinExpr};
 use crate::space::{Space, VarKind};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Upper bound on the conjunct-level feasibility memo; when reached the memo
 /// is cleared wholesale (an epoch eviction — cheap, and the working set of a
@@ -40,6 +41,62 @@ pub fn feasibility_memo_stats() -> (u64, u64) {
 
 thread_local! {
     static FEASIBILITY_MEMO_STATS: RefCell<(u64, u64)> = const { RefCell::new((0, 0)) };
+}
+
+/// A shareable store of feasibility verdicts keyed by
+/// [`Conjunct::structural_hash`].
+///
+/// The default memo behind [`Conjunct::is_feasible`] is thread-local: verdicts
+/// die with the thread and are never seen by other threads or later queries.
+/// A long-lived verification engine can do better — the same canonical
+/// conjuncts (loop-bound boxes, strides, composed dependency mappings)
+/// recur across queries — so the memo is also available *behind a handle*:
+/// install an implementation of this trait with [`with_feasibility_cache`]
+/// and the memo becomes two-level.  The thread-local map stays in front (a
+/// hit never touches the handle, so the hot path stays lock-free); on a
+/// local miss the shared store is consulted, hits are copied down into the
+/// thread-local map, and freshly computed verdicts are published to both.
+///
+/// Implementations must collapse the Omega test's "work limit hit" outcome
+/// into `true` before storing (the conservative direction, exactly what the
+/// thread-local memo's `as_bool` does on every hit).
+pub trait FeasibilityCache: Send + Sync {
+    /// Looks up the verdict for a canonical-form hash.
+    fn get(&self, key: u64) -> Option<bool>;
+    /// Stores a verdict for a canonical-form hash.
+    fn put(&self, key: u64, feasible: bool);
+}
+
+thread_local! {
+    /// The per-thread override installed by [`with_feasibility_cache`]; when
+    /// present it replaces the thread-local memo entirely.
+    static FEASIBILITY_CACHE_OVERRIDE: RefCell<Option<Arc<dyn FeasibilityCache>>> =
+        const { RefCell::new(None) };
+}
+
+/// Runs `f` with `cache` installed as this thread's second-level
+/// feasibility store (see [`FeasibilityCache`] for the two-level protocol).
+///
+/// While installed, verdicts computed by [`Conjunct::is_feasible`] on this
+/// thread are published to `cache` and thread-local misses consult it, so
+/// verdicts survive the call and are visible to every other thread sharing
+/// the same handle.  The previous handle (if any) is restored when `f`
+/// returns or panics, so installations nest.
+pub fn with_feasibility_cache<R>(cache: Arc<dyn FeasibilityCache>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<dyn FeasibilityCache>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FEASIBILITY_CACHE_OVERRIDE.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let previous = FEASIBILITY_CACHE_OVERRIDE.with(|c| c.borrow_mut().replace(cache));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// The feasibility store currently installed on this thread, if any.
+fn installed_cache() -> Option<Arc<dyn FeasibilityCache>> {
+    FEASIBILITY_CACHE_OVERRIDE.with(|c| c.borrow().clone())
 }
 
 /// A conjunction of [`Constraint`]s over a [`Space`], possibly with local
@@ -183,6 +240,9 @@ impl Conjunct {
     /// traversal, and only the first run pays for the Omega test.
     pub fn is_feasible(&self) -> bool {
         let key = self.structural_hash();
+        // Level 1: the thread-local memo, always — a hit stays lock-free
+        // even inside an engine session, keeping the hot path as cheap as
+        // before the shared store existed.
         let cached = FEASIBILITY_MEMO.with(|m| {
             #[cfg(debug_assertions)]
             {
@@ -204,8 +264,35 @@ impl Conjunct {
             FEASIBILITY_MEMO_STATS.with(|s| s.borrow_mut().0 += 1);
             return f.as_bool();
         }
+        // Level 2: the cross-thread store installed by
+        // `with_feasibility_cache`, consulted on a thread-local miss only.
+        // A hit is copied down into the thread-local memo so repeats on this
+        // thread never touch the shared store's locks again.
+        let shared = installed_cache();
+        if let Some(cache) = &shared {
+            if let Some(feasible) = cache.get(key) {
+                FEASIBILITY_MEMO_STATS.with(|s| s.borrow_mut().0 += 1);
+                let f = if feasible {
+                    Feasibility::Feasible
+                } else {
+                    Feasibility::Infeasible
+                };
+                self.memoize_locally(key, f);
+                return feasible;
+            }
+        }
         FEASIBILITY_MEMO_STATS.with(|s| s.borrow_mut().1 += 1);
         let f = is_feasible(&self.constraints, self.n_vars());
+        self.memoize_locally(key, f);
+        if let Some(cache) = shared {
+            cache.put(key, f.as_bool());
+        }
+        f.as_bool()
+    }
+
+    /// Stores a verdict in this thread's memo (with the canonical form for
+    /// the debug-build collision cross-check).
+    fn memoize_locally(&self, key: u64, f: Feasibility) {
         FEASIBILITY_MEMO.with(|m| {
             let mut m = m.borrow_mut();
             if m.len() >= FEASIBILITY_MEMO_CAP {
@@ -216,7 +303,6 @@ impl Conjunct {
             #[cfg(not(debug_assertions))]
             m.insert(key, f);
         });
-        f.as_bool()
     }
 
     /// Returns a concrete integer point of this conjunct — values for every
@@ -915,6 +1001,66 @@ mod tests {
         hi.set_coeff(0, -1);
         hi.set_constant(5); // x <= 5
         c.add(Constraint::geq(hi));
+        assert!(!c.is_feasible());
+    }
+
+    #[test]
+    fn installed_feasibility_cache_is_consulted_and_filled() {
+        use std::sync::Mutex;
+        #[derive(Default)]
+        struct Recording {
+            map: Mutex<HashMap<u64, bool>>,
+            gets: std::sync::atomic::AtomicU64,
+            puts: std::sync::atomic::AtomicU64,
+        }
+        impl FeasibilityCache for Recording {
+            fn get(&self, key: u64) -> Option<bool> {
+                self.gets.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.map.lock().unwrap().get(&key).copied()
+            }
+            fn put(&self, key: u64, feasible: bool) {
+                self.puts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.map.lock().unwrap().insert(key, feasible);
+            }
+        }
+
+        let mut c = Conjunct::universe(space_1_1());
+        let mut lo = c.zero_expr();
+        lo.set_coeff(0, 1);
+        lo.set_constant(-10); // x >= 10
+        c.add(Constraint::geq(lo));
+        let mut hi = c.zero_expr();
+        hi.set_coeff(0, -1);
+        hi.set_constant(5); // x <= 5
+        c.add(Constraint::geq(hi));
+
+        let cache = Arc::new(Recording::default());
+        let (first, second) =
+            with_feasibility_cache(cache.clone(), || (c.is_feasible(), c.is_feasible()));
+        assert!(!first && !second);
+        let gets = cache.gets.load(std::sync::atomic::Ordering::Relaxed);
+        let puts = cache.puts.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(
+            gets, 1,
+            "the repeat hit the thread-local level without touching the shared store"
+        );
+        assert_eq!(puts, 1, "only the miss computed and stored a verdict");
+        // The verdict is visible through the shared handle from another
+        // thread installing the same cache.
+        let c2 = c.clone();
+        let cache2 = cache.clone();
+        let handle = std::thread::spawn(move || {
+            with_feasibility_cache(cache2.clone(), || {
+                let before = cache2.puts.load(std::sync::atomic::Ordering::Relaxed);
+                let v = c2.is_feasible();
+                let after = cache2.puts.load(std::sync::atomic::Ordering::Relaxed);
+                (v, before == after)
+            })
+        });
+        let (verdict, no_recompute) = handle.join().unwrap();
+        assert!(!verdict);
+        assert!(no_recompute, "cross-thread lookup hit the shared store");
+        // Outside the scope the default thread-local memo is back.
         assert!(!c.is_feasible());
     }
 

@@ -7,8 +7,8 @@ use crate::linexpr::LinExpr;
 use crate::set::Set;
 use crate::space::{Space, VarKind};
 use crate::{OmegaError, Result};
-use std::cell::OnceCell;
 use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
 
 /// A relation between integer tuples, represented as a finite union of
 /// [`Conjunct`]s over one [`Space`].
@@ -40,7 +40,7 @@ pub struct Relation {
     /// [`add_conjunct`](Relation::add_conjunct), which resets this cell, so
     /// the hash is computed at most once per relation.  Cloning carries an
     /// already-computed hash along.
-    hash_cache: OnceCell<u64>,
+    hash_cache: OnceLock<u64>,
 }
 
 // `hash_cache` is a derived quantity: equality, ordering and hashing must see
@@ -67,7 +67,7 @@ impl Relation {
         Relation {
             space,
             conjuncts,
-            hash_cache: OnceCell::new(),
+            hash_cache: OnceLock::new(),
         }
     }
 
@@ -151,7 +151,7 @@ impl Relation {
     pub fn add_conjunct(&mut self, c: Conjunct) {
         assert!(self.space.is_compatible(c.space()));
         self.conjuncts.push(c);
-        self.hash_cache = OnceCell::new();
+        self.hash_cache = OnceLock::new();
     }
 
     /// Simplifies every conjunct and drops the ones that are syntactically or

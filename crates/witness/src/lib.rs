@@ -76,7 +76,9 @@ pub fn verify_with_witnesses(
 ) -> Result<Report> {
     let mut report = verify_programs(original, transformed, opts)?;
     if report.verdict == Verdict::NotEquivalent {
+        let started = std::time::Instant::now();
         report.witnesses = extract_witnesses(original, transformed, &report, wopts)?;
+        report.stats.witness_time_us = started.elapsed().as_micros() as u64;
     }
     Ok(report)
 }

@@ -1,28 +1,25 @@
 //! Section 6.1: error diagnostics for the erroneous transformed version (d)
 //! of Fig. 1 — the failing paths, the differing mappings, the blame
-//! heuristic pointing at the `buf` index expression of statement v3, and the
-//! witness engine's concrete counterexample: an output element at which the
-//! two programs *execute* to different values, with the failing ADDG slice
-//! rendered for Graphviz.
+//! heuristic pointing at the `buf` index expression of statement v3, and a
+//! concrete counterexample: an output element at which the two programs
+//! *execute* to different values, with the failing ADDG slice rendered for
+//! Graphviz.  Witness extraction is an engine option — one
+//! `Verifier::builder().witnesses(true)` call, no separate entry point.
 //!
 //! Run with `cargo run --release --example diagnose_bug`.
 
 use arrayeq::addg::extract;
-use arrayeq::core::CheckOptions;
+use arrayeq::engine::{report_to_json, Verifier};
 use arrayeq::lang::corpus::{FIG1_A, FIG1_D};
 use arrayeq::lang::parser::parse_program;
-use arrayeq::witness::{verify_with_witnesses, witness_dot, WitnessOptions};
+use arrayeq::witness::witness_dot;
 
 fn main() {
-    let original = parse_program(FIG1_A).expect("fig1(a) parses");
-    let transformed = parse_program(FIG1_D).expect("fig1(d) parses");
-    let report = verify_with_witnesses(
-        &original,
-        &transformed,
-        &CheckOptions::default(),
-        &WitnessOptions::default(),
-    )
-    .expect("pipeline runs");
+    let verifier = Verifier::builder().witnesses(true).build();
+    let outcome = verifier
+        .verify_source(FIG1_A, FIG1_D)
+        .expect("pipeline runs");
+    let report = &outcome.report;
     assert!(!report.is_equivalent());
     println!("{}", report.summary());
 
@@ -37,9 +34,14 @@ fn main() {
     }
 
     if let Some(w) = report.witnesses.iter().find(|w| w.confirmed) {
+        let transformed = parse_program(FIG1_D).expect("fig1(d) parses");
         let g = extract(&transformed).expect("ADDG extraction");
         let dot = witness_dot(&g, w).expect("slice renders");
         println!("--- failing slice of the transformed ADDG (Graphviz) ---");
         println!("{dot}");
     }
+
+    // The same report, machine-readable (what `arrayeq verify --json` emits).
+    println!("--- JSON ---");
+    println!("{}", report_to_json(report));
 }

@@ -1,9 +1,11 @@
 //! Reproduces the paper's running example: the four program versions of
-//! Fig. 1 and the verdicts of Sections 5 and 6 (E1/E3 of EXPERIMENTS.md).
+//! Fig. 1 and the verdicts of Sections 5 and 6 (E1/E3 of EXPERIMENTS.md),
+//! issued as one parallel batch through the persistent engine.
 //!
 //! Run with `cargo run --release --example fig1_paper`.
 
-use arrayeq::core::{verify_source, CheckOptions};
+use arrayeq::core::Method;
+use arrayeq::engine::{Verifier, VerifyRequest};
 use arrayeq::lang::corpus::{FIG1_A, FIG1_B, FIG1_C, FIG1_D};
 
 fn main() {
@@ -13,21 +15,42 @@ fn main() {
         ("(b) vs (c)", FIG1_B, FIG1_C, true),
         ("(a) vs (d)", FIG1_A, FIG1_D, false),
     ];
-    for (name, a, b, expect_equivalent) in pairs {
-        let report = verify_source(a, b, &CheckOptions::default()).expect("pipeline runs");
+
+    // One engine, one batch: the requests fan across a worker pool, the
+    // results come back in request order, and all workers share one cache.
+    let verifier = Verifier::builder().build();
+    let requests: Vec<VerifyRequest> = pairs
+        .iter()
+        .map(|(_, a, b, _)| VerifyRequest::source(*a, *b))
+        .collect();
+    let outcomes = verifier.verify_batch(&requests);
+
+    for ((name, _, _, expect_equivalent), outcome) in pairs.iter().zip(outcomes) {
+        let outcome = outcome.expect("pipeline runs");
         println!(
             "{name}: {}   (paths: {}, flattenings: {}, matchings: {})",
-            report.verdict,
-            report.stats.paths_compared,
-            report.stats.flattenings,
-            report.stats.matchings
+            outcome.report.verdict,
+            outcome.report.stats.paths_compared,
+            outcome.report.stats.flattenings,
+            outcome.report.stats.matchings
         );
-        assert_eq!(report.is_equivalent(), expect_equivalent, "{name}");
+        assert_eq!(outcome.report.is_equivalent(), *expect_equivalent, "{name}");
     }
+    let session = verifier.session_stats();
+    println!(
+        "session: {} queries ({} equivalent, {} not), {} shared-table entries",
+        session.queries, session.equivalent, session.not_equivalent, session.shared_table_entries
+    );
 
     // The basic method of Section 5.1 cannot handle the algebraic
-    // transformations that produce (c).
-    let basic = verify_source(FIG1_A, FIG1_C, &CheckOptions::basic()).unwrap();
-    println!("(a) vs (c) with the basic method: {}", basic.verdict);
-    assert!(!basic.is_equivalent());
+    // transformations that produce (c).  Method choice is an engine-level
+    // policy (cache entries are only valid under one options set), so a
+    // basic-method check is a second engine.
+    let basic = Verifier::builder().method(Method::Basic).build();
+    let outcome = basic.verify_source(FIG1_A, FIG1_C).unwrap();
+    println!(
+        "(a) vs (c) with the basic method: {}",
+        outcome.report.verdict
+    );
+    assert!(!outcome.report.is_equivalent());
 }

@@ -1,9 +1,10 @@
 //! Quick start: verify that a hand-transformed loop is equivalent to the
-//! original and inspect the checker's statistics.
+//! original, then re-check it and watch the persistent engine answer from
+//! its cross-query caches.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use arrayeq::core::{verify_source, CheckOptions};
+use arrayeq::engine::Verifier;
 
 fn main() {
     let original = r#"
@@ -28,12 +29,30 @@ t1:     C[k] = B[2*k] + (B[k] + A[2*k]);
 }
 "#;
 
-    let report = verify_source(original, transformed, &CheckOptions::default())
+    // Construct the engine once; issue as many queries as you like.
+    let verifier = Verifier::builder().build();
+
+    let outcome = verifier
+        .verify_source(original, transformed)
         .expect("both programs are in the supported class");
-    println!("verdict: {}", report.verdict);
+    println!("verdict: {}", outcome.report.verdict);
     println!(
         "paths compared: {}, mapping equalities: {}, flattenings: {}",
-        report.stats.paths_compared, report.stats.mapping_equalities, report.stats.flattenings
+        outcome.report.stats.paths_compared,
+        outcome.report.stats.mapping_equalities,
+        outcome.report.stats.flattenings
     );
-    assert!(report.is_equivalent());
+    assert!(outcome.report.is_equivalent());
+
+    // Re-checking the same pair (the post-edit CI regime) rides the session
+    // caches: sub-proofs established above discharge whole sub-traversals.
+    let again = verifier
+        .verify_source(original, transformed)
+        .expect("pipeline runs");
+    println!(
+        "re-check: {} shared-table hits, session hit rate {:.0}%",
+        again.report.stats.shared_table_hits,
+        again.session.combined_hit_rate() * 100.0
+    );
+    assert!(again.report.stats.shared_table_hits > 0);
 }

@@ -1,10 +1,12 @@
 //! A designer's workflow: start from a kernel, apply a pipeline of
-//! transformations (loop + data-flow + algebraic), verify every step, then
-//! inject a bug and watch the checker localise it.
+//! transformations (loop + data-flow + algebraic), verify every step
+//! through one persistent engine session — successive steps share most of
+//! their sub-computations, so the session's caches keep getting warmer —
+//! then inject a bug and watch the checker localise it.
 //!
 //! Run with `cargo run --release --example transform_and_verify`.
 
-use arrayeq::core::{verify_programs, CheckOptions};
+use arrayeq::engine::{Verifier, VerifyRequest};
 use arrayeq::lang::corpus::{with_size, FIG1_A};
 use arrayeq::lang::parser::parse_program;
 use arrayeq::lang::pretty::program_to_string;
@@ -13,25 +15,53 @@ use arrayeq::transform::random_pipeline;
 
 fn main() {
     let original = parse_program(&with_size(FIG1_A, 128)).expect("corpus program parses");
+    let verifier = Verifier::builder().witnesses(true).build();
 
-    // Apply a reproducible random pipeline of legality-checked transformations.
-    let (transformed, steps) = random_pipeline(&original, 8, 2024);
-    println!("applied transformation steps: {steps:?}\n");
+    // Verify each prefix of a reproducible random pipeline against the
+    // original — the PEQcheck-style localized re-checking regime where
+    // verification is a *repeated* query over shared sub-problems.
+    let mut transformed = original.clone();
+    for steps in 1..=4 {
+        let (next, applied) = random_pipeline(&original, 2 * steps, 2024);
+        transformed = next;
+        let outcome = verifier
+            .verify(&VerifyRequest::programs(
+                original.clone(),
+                transformed.clone(),
+            ))
+            .expect("pipeline runs");
+        println!(
+            "after {} transformation steps {applied:?}: {}  ({} shared-table hits)",
+            2 * steps,
+            outcome.report.verdict,
+            outcome.report.stats.shared_table_hits
+        );
+        assert!(outcome.report.is_equivalent());
+    }
     println!(
-        "--- transformed program ---\n{}",
+        "\n--- final transformed program ---\n{}",
         program_to_string(&transformed)
     );
+    let session = verifier.session_stats();
+    println!(
+        "session after the pipeline: {} queries, combined hit rate {:.0}%",
+        session.queries,
+        session.combined_hit_rate() * 100.0
+    );
 
-    let report = verify_programs(&original, &transformed, &CheckOptions::default()).unwrap();
-    println!("verification of the pipeline: {}", report.verdict);
-    assert!(report.is_equivalent());
-
-    // Now the designer slips: an off-by-two in the buf index of s2.
+    // Now the designer slips: an off-by-two in the buf index of s2.  The
+    // same session rejects it — with a concrete counterexample attached,
+    // because the engine was built with witnesses enabled.
     let broken = inject(&transformed, "s2", Bug::IndexOffset(2))
         .or_else(|_| inject(&transformed, "s2_hi", Bug::IndexOffset(2)))
         .expect("statement s2 still exists in some form");
-    let report = verify_programs(&original, &broken, &CheckOptions::default()).unwrap();
-    println!("verification of the buggy version: {}", report.verdict);
-    assert!(!report.is_equivalent());
-    println!("{}", report.summary());
+    let outcome = verifier
+        .verify(&VerifyRequest::programs(original, broken))
+        .expect("pipeline runs");
+    println!(
+        "verification of the buggy version: {}",
+        outcome.report.verdict
+    );
+    assert!(!outcome.report.is_equivalent());
+    println!("{}", outcome.report.summary());
 }

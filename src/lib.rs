@@ -3,28 +3,39 @@
 //! Façade crate of the *arrayeq* workspace: a reproduction of the DATE 2005
 //! paper *"Functional Equivalence Checking for Verification of Algebraic
 //! Transformations on Array-Intensive Source Code"* (Shashidhar, Bruynooghe,
-//! Catthoor, Janssens).
+//! Catthoor, Janssens), grown into a persistent verification engine.
 //!
 //! The workspace is organised as one crate per subsystem; this crate simply
 //! re-exports their public APIs under stable module names so applications can
 //! depend on a single crate:
 //!
+//! * [`engine`] — **the recommended entry point**: a long-lived
+//!   [`Verifier`](engine::Verifier) with cross-query shared caches, budgets
+//!   (deadline / cancellation / work limit), parallel batch verification and
+//!   JSON rendering,
 //! * [`omega`] — integer sets and affine relations (the Omega-calculator
 //!   substrate),
 //! * [`lang`] — the restricted-C frontend, class checks, def-use analysis and
 //!   the reference interpreter,
-//! * [`addg`] — array data dependence graphs,
+//! * [`addg`] — array data dependence graphs (plus content fingerprints for
+//!   cross-query tabling),
 //! * [`core`] — the equivalence checker (basic and extended methods) with
-//!   error diagnostics,
+//!   error diagnostics; its free functions are the one-shot convenience path,
 //! * [`transform`] — source-to-source transformations, error injection,
 //!   fault-injection mutation harness and workload generators,
 //! * [`witness`] — concrete counterexamples for `NotEquivalent` verdicts:
-//!   Omega model extraction, interpreter replay and failing-slice export.
+//!   Omega model extraction, interpreter replay and failing-slice export
+//!   (folded into the engine via
+//!   [`VerifierBuilder::witnesses`](engine::VerifierBuilder::witnesses)).
 //!
 //! ## Quick start
 //!
+//! Construct a [`Verifier`](engine::Verifier) once and issue queries against
+//! it; the session amortises sub-proofs and Omega-test verdicts across
+//! queries and threads:
+//!
 //! ```
-//! use arrayeq::core::{verify_source, CheckOptions};
+//! use arrayeq::engine::{Verifier, VerifyRequest};
 //!
 //! let original = r#"
 //!     #define N 16
@@ -42,15 +53,54 @@
 //!     t1:     C[k] = A[k] + A[2*k];
 //!     }
 //! "#;
-//! let report = verify_source(original, transformed, &CheckOptions::default()).unwrap();
-//! assert!(report.is_equivalent());
+//!
+//! let verifier = Verifier::builder()
+//!     .witnesses(true)                                  // counterexamples on failure
+//!     .deadline(std::time::Duration::from_secs(5))      // per-request budget
+//!     .build();
+//!
+//! let outcome = verifier.verify_source(original, transformed).unwrap();
+//! assert!(outcome.report.is_equivalent());
+//!
+//! // Re-checks and perturbed variants reuse the session's caches...
+//! let again = verifier.verify_source(original, transformed).unwrap();
+//! assert!(again.report.stats.shared_table_hits > 0);
+//!
+//! // ...and batches fan out across a worker pool, results in request order.
+//! let outcomes = verifier.verify_batch(&[
+//!     VerifyRequest::source(original, transformed),
+//!     VerifyRequest::source(original, original),
+//! ]);
+//! assert!(outcomes.iter().all(|o| o.as_ref().unwrap().report.is_equivalent()));
 //! ```
+//!
+//! For one-off checks the original free functions remain as thin one-shot
+//! wrappers: [`core::verify_source`], [`core::verify_programs`],
+//! [`core::verify_addgs`] and [`witness::verify_with_witnesses`].
+//!
+//! ## The `arrayeq` CLI
+//!
+//! The `crates/cli` binary exposes the engine on the command line:
+//!
+//! ```text
+//! arrayeq verify a.c b.c [--method basic|extended] [--witnesses] [--json]
+//!                        [--dot out.dot] [--deadline-ms N] [--max-work N]
+//! arrayeq corpus --list          # built-in programs and fault-corpus mutants
+//! arrayeq corpus fig1a           # print one of them
+//! ```
+//!
+//! Exit codes are the machine contract: `0` equivalent, `1` not equivalent,
+//! `2` inconclusive (typed budget reason in the JSON), `>2` usage or
+//! pipeline error.  `--json` emits the full outcome — verdict, stats,
+//! diagnostics, witnesses, session counters — as a single document parsable
+//! with [`engine::JsonValue::parse`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use arrayeq_addg as addg;
 pub use arrayeq_core as core;
+pub use arrayeq_engine as engine;
 pub use arrayeq_lang as lang;
 pub use arrayeq_omega as omega;
 pub use arrayeq_transform as transform;
