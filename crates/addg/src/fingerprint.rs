@@ -67,7 +67,35 @@ impl Fingerprints {
 }
 
 /// Computes the content [`Fingerprints`] of a graph.
+///
+/// Names of *intermediate* arrays are not folded in: the traversal looks
+/// straight through an intermediate (the paper's intermediate-variable
+/// reduction), so its name never influences a verdict — only input names
+/// (leaf comparison is name-sensitive), output names and recurrence arrays
+/// (coinductive assumptions are keyed by name) are.  Dropping the
+/// don't-care names makes repeated idioms — the same filter chain applied
+/// per channel through differently-named temporaries — fingerprint
+/// identically, so their sub-proofs share one tabling entry within a run.
+/// Callers whose options make intermediate names significant (focused
+/// checking with declared intermediate correspondences) must use
+/// [`fingerprints_named`] instead.
 pub fn fingerprints(g: &Addg) -> Fingerprints {
+    fingerprints_impl(g, false)
+}
+
+/// Like [`fingerprints`], but folds *every* array name into the hashes.
+///
+/// Required when intermediate array names can change the verdict — i.e.
+/// when checking under a focus that declares intermediate correspondences
+/// by name ([`Focus::intermediate_pairs`]); always sound, just blind to
+/// renamed-temporary sharing.
+///
+/// [`Focus::intermediate_pairs`]: https://docs.rs/arrayeq-core
+pub fn fingerprints_named(g: &Addg) -> Fingerprints {
+    fingerprints_impl(g, true)
+}
+
+fn fingerprints_impl(g: &Addg, name_all: bool) -> Fingerprints {
     let recurrent = g.recurrence_arrays();
     // Collect every array name a position can mention: defined arrays plus
     // inputs (which have no definitions).
@@ -85,13 +113,25 @@ pub fn fingerprints(g: &Addg) -> Fingerprints {
         }
     }
 
+    // The part of an array's name that the verdict can depend on: the name
+    // itself for inputs/outputs/recurrence arrays, nothing for plain
+    // intermediates (unless the caller asked for all names).
+    let label = |name: &str| -> String {
+        if name_all || g.is_input(name) || g.is_output(name) || recurrent.iter().any(|r| r == name)
+        {
+            name.to_owned()
+        } else {
+            String::new()
+        }
+    };
+
     // Round 0: local facts only.
     let mut arrays: BTreeMap<String, u64> = names
         .iter()
         .map(|name| {
             let h = structural_hash_of(&(
                 "array-seed",
-                name,
+                label(name),
                 g.is_input(name),
                 g.is_output(name),
                 recurrent.contains(name),
@@ -111,7 +151,7 @@ pub fn fingerprints(g: &Addg) -> Fingerprints {
         let mut next = BTreeMap::new();
         for name in &names {
             let mut h = StructuralHasher::default();
-            ("array", name, g.is_input(name.as_str())).hash(&mut h);
+            ("array", label(name), g.is_input(name.as_str())).hash(&mut h);
             for def in g.definitions(name) {
                 (
                     def.elements.as_relation().structural_hash(),
@@ -182,6 +222,80 @@ mod tests {
         for (id, _) in g1.nodes() {
             assert_eq!(f1.node(id), f2.node(id), "node {id}");
         }
+    }
+
+    #[test]
+    fn fingerprints_are_invariant_under_iterator_renaming() {
+        // The same computation written over differently-named iterators:
+        // every dependency mapping folds the iterator into an existential,
+        // and the rename-canonical structural hashes ignore both the
+        // dimension names and the existential order, so the fingerprints —
+        // and with them the checker's tabling keys — coincide.
+        let with_k = r#"
+#define N 64
+void f(int A[], int B[], int C[]) {
+    int k, tmp[N];
+    for (k = 0; k < N; k++)
+s1:     tmp[k] = A[2*k] + B[k];
+    for (k = 0; k < N; k++)
+s2:     C[k] = tmp[k] + A[k];
+}
+"#;
+        let with_j = r#"
+#define N 64
+void f(int A[], int B[], int C[]) {
+    int j, tmp[N];
+    for (j = 0; j < N; j++)
+s1:     tmp[j] = A[2*j] + B[j];
+    for (j = 0; j < N; j++)
+s2:     C[j] = tmp[j] + A[j];
+}
+"#
+        .to_owned();
+        assert_ne!(with_k, with_j, "renaming changed the source");
+        let gk = addg(with_k);
+        let gj = addg(&with_j);
+        let fk = fingerprints(&gk);
+        let fj = fingerprints(&gj);
+        for name in ["A", "B", "C", "tmp"] {
+            assert_eq!(fk.array(name), fj.array(name), "array {name}");
+        }
+        assert_eq!(gk.node_count(), gj.node_count());
+        for (id, _) in gk.nodes() {
+            assert_eq!(fk.node(id), fj.node(id), "node {id}");
+        }
+    }
+
+    #[test]
+    fn intermediate_names_are_transparent_unless_asked_for() {
+        // The same computation routed through a differently-named
+        // temporary: intermediate names are don't-cares for the verdict, so
+        // the default fingerprints coincide while `fingerprints_named`
+        // separates them.
+        let via_tmp = r#"
+#define N 32
+void f(int A[], int C[]) {
+    int k, tmp[N];
+    for (k = 0; k < N; k++)
+s1:     tmp[k] = A[2*k] + A[k];
+    for (k = 0; k < N; k++)
+s2:     C[k] = tmp[k] + A[k];
+}
+"#;
+        let via_buf = via_tmp.replace("tmp", "buf");
+        let g1 = addg(via_tmp);
+        let g2 = addg(&via_buf);
+        let f1 = fingerprints(&g1);
+        let f2 = fingerprints(&g2);
+        assert_eq!(f1.array("tmp"), f2.array("buf"), "renamed temporaries");
+        assert_eq!(f1.array("C"), f2.array("C"));
+        let n1 = fingerprints_named(&g1);
+        let n2 = fingerprints_named(&g2);
+        assert_ne!(n1.array("tmp"), n2.array("buf"), "named variant keeps them");
+        // ...transitively: C reads the renamed temporary, so its named
+        // fingerprint splits too, while the untouched input keeps its hash.
+        assert_ne!(n1.array("C"), n2.array("C"));
+        assert_eq!(n1.array("A"), n2.array("A"));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! cargo run --release -p arrayeq-bench --bin run_experiments -- --exp e6
 //! cargo run --release -p arrayeq-bench --bin run_experiments -- --exp pr1 \
 //!     [--out BENCH_PR1.json]   # tabling keying-scheme comparison snapshot
+//! cargo run --release -p arrayeq-bench --bin run_experiments -- --exp pr4 \
+//!     [--out BENCH_PR4.json] [--quick]   # parallel checking snapshot
 //! ```
 
 use arrayeq_bench::*;
@@ -89,6 +91,16 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "BENCH_PR3.json".to_owned());
         pr3_cross_query(&out);
+    }
+    if only.as_deref() == Some("pr4") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_PR4.json".to_owned());
+        let quick = args.iter().any(|a| a == "--quick");
+        pr4_parallel_checking(&out, quick);
     }
 }
 
@@ -761,6 +773,254 @@ fn pr3_cross_query(out_path: &str) {
         arrayeq_engine::session_to_json(&session),
     );
     std::fs::write(out_path, &json).expect("write PR3 snapshot");
+    println!("snapshot written to {out_path}");
+}
+
+/// PR4 acceptance snapshot: intra-query parallel checking + rename-invariant
+/// tabling keys, on wide multi-output kernels.
+///
+/// Measures, per workload:
+///
+/// * **Parallel scaling** — one-request wall time at `jobs ∈ {1, 2, 4, 8}`
+///   (fresh engine per measurement so nothing carries over), with the
+///   verdict and the stable report rendering asserted identical at every
+///   worker count.  The `≥ 2×` speedup assertion at 4 threads is enforced
+///   by the *full* experiment whenever the host actually has ≥ 4 cores;
+///   `--quick` (the bounded CI smoke) asserts `≥ 1×` (no regression) on
+///   multi-core hosts instead — best-of-1 timing on one small workload is
+///   too noisy for the 2× gate.  On 1-core hosts (this container) the
+///   measured numbers and the core count are recorded and the run only
+///   warns: a wall-time speedup on fewer cores than workers is physically
+///   impossible, not a regression.
+/// * **Rename-invariant keys** — the same request checked sequentially with
+///   the default fingerprint keys vs the positional-key baseline
+///   (`position_table_keys`).  Because one fingerprint-key hit can discharge
+///   a whole repeated chain, raw hit *rates* are not comparable across the
+///   two schemes (the better scheme visits fewer sub-obligations); the
+///   apples-to-apples number is the **effective hit rate**: the fraction of
+///   the *baseline's* tabling lookups that the fingerprint scheme absorbs
+///   from the table (directly or via an ancestor's hit), i.e.
+///   `1 − fp_derived / pos_lookups`.  Also recorded: distinct sub-proofs
+///   actually derived and relation compositions performed (the work that
+///   sharing avoids).  The aggregate effective rate must beat the baseline
+///   rate, or the experiment aborts.
+/// * **Shared feasibility memo** — a `jobs = 8` session's feasibility-memo
+///   hits (the PR3 snapshot recorded `feasibility_hits: 0`; the scoped
+///   thread-local memo plus fresh worker threads make the shared level
+///   live).
+fn pr4_parallel_checking(out_path: &str, quick: bool) {
+    use arrayeq_engine::{Verifier, VerifyRequest};
+    header(
+        "PR4",
+        "intra-query parallel checking + rename-invariant tabling keys",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let repeats = if quick { 1 } else { 3 };
+    let workloads: Vec<Workload> = if quick {
+        vec![wide_pair(4, 8, 2, 128, 7)]
+    } else {
+        vec![
+            wide_pair(6, 8, 1, 256, 7),
+            wide_pair(4, 12, 2, 256, 7),
+            wide_pair(3, 16, 2, 256, 7),
+        ]
+    };
+    let job_counts = [1usize, 2, 4, 8];
+
+    println!(
+        "host: {cores} core(s) available — wall-time scaling beyond {cores} worker(s) \
+         is not physically possible here"
+    );
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "workload", "jobs=1/ms", "jobs=2/ms", "jobs=4/ms", "jobs=8/ms", "spd@4", "spd@8"
+    );
+
+    let mut rows = Vec::new();
+    let mut speedup4 = Vec::new();
+    // (fp sub-proofs derived, positional sub-proofs derived, positional
+    // lookups) accumulated across the workloads for the aggregate assert.
+    let mut totals = (0u64, 0u64, 0u64);
+    for w in &workloads {
+        let request = VerifyRequest::programs(w.original.clone(), w.transformed.clone());
+        let mut wall = Vec::new();
+        let mut stable: Option<String> = None;
+        for &jobs in &job_counts {
+            let mut best = f64::INFINITY;
+            for _ in 0..repeats {
+                let engine = Verifier::builder().jobs(jobs).build();
+                let (outcome, t) = timed(|| engine.verify(&request).expect("pr4 workload runs"));
+                assert!(
+                    outcome.report.is_equivalent(),
+                    "pr4 workload {} must verify at jobs={jobs}: {}",
+                    w.name,
+                    outcome.report.summary()
+                );
+                let rendering = outcome.report.render_stable();
+                match &stable {
+                    None => stable = Some(rendering),
+                    Some(expected) => assert_eq!(
+                        expected, &rendering,
+                        "stable report must be byte-identical at jobs={jobs} ({})",
+                        w.name
+                    ),
+                }
+                best = best.min(t.as_secs_f64() * 1e3);
+            }
+            wall.push(best);
+        }
+        let spd4 = wall[0] / wall[2];
+        let spd8 = wall[0] / wall[3];
+        speedup4.push(spd4);
+        println!(
+            "{:<24} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>8.2}x {:>8.2}x",
+            w.name, wall[0], wall[1], wall[2], wall[3], spd4, spd8
+        );
+
+        // Rename-invariant keying, sequential one-shot, same request.
+        let fp = w.check(&CheckOptions::default());
+        let pos = w.check(&CheckOptions::default().with_position_table_keys());
+        assert_eq!(fp.verdict, pos.verdict);
+        let fp_derived = fp.stats.table_lookups - fp.stats.table_hits;
+        let pos_derived = pos.stats.table_lookups - pos.stats.table_hits;
+        let effective = 1.0 - fp_derived as f64 / pos.stats.table_lookups.max(1) as f64;
+        totals.0 += fp_derived;
+        totals.1 += pos_derived;
+        totals.2 += pos.stats.table_lookups;
+        rows.push(format!(
+            concat!(
+                "    {{ \"workload\": \"{}\", \"wall_ms\": ",
+                "{{ \"jobs1\": {:.3}, \"jobs2\": {:.3}, \"jobs4\": {:.3}, \"jobs8\": {:.3} }}, ",
+                "\"speedup_4_threads\": {:.3}, \"speedup_8_threads\": {:.3}, ",
+                "\"verdicts_identical_across_jobs\": true, ",
+                "\"rename_invariance\": {{ ",
+                "\"fp_hits\": {}, \"fp_lookups\": {}, \"fp_derived\": {}, ",
+                "\"fp_compositions\": {}, ",
+                "\"pos_hits\": {}, \"pos_lookups\": {}, \"pos_derived\": {}, ",
+                "\"pos_compositions\": {}, ",
+                "\"baseline_hit_rate\": {:.4}, \"effective_fp_hit_rate\": {:.4} }} }}"
+            ),
+            w.name,
+            wall[0],
+            wall[1],
+            wall[2],
+            wall[3],
+            spd4,
+            spd8,
+            fp.stats.table_hits,
+            fp.stats.table_lookups,
+            fp_derived,
+            fp.stats.compositions,
+            pos.stats.table_hits,
+            pos.stats.table_lookups,
+            pos_derived,
+            pos.stats.compositions,
+            pos.stats.table_hit_rate(),
+            effective,
+        ));
+        println!(
+            "  rename-invariant keys: {} vs {} sub-proofs derived, {} vs {} compositions, \
+             effective hit rate {:.1}% vs baseline {:.1}%",
+            fp_derived,
+            pos_derived,
+            fp.stats.compositions,
+            pos.stats.compositions,
+            effective * 100.0,
+            pos.stats.table_hit_rate() * 100.0,
+        );
+    }
+
+    // Aggregate rename-invariance acceptance: deterministic, so a hard
+    // assert (unlike wall time, which depends on the host's core count).
+    let effective_total = 1.0 - totals.0 as f64 / totals.2.max(1) as f64;
+    let baseline_total = 1.0 - totals.1 as f64 / totals.2.max(1) as f64;
+    assert!(
+        effective_total > baseline_total,
+        "acceptance: rename-invariant keys must absorb a strictly higher share of the \
+         baseline's sub-obligations ({effective_total:.4} vs {baseline_total:.4})"
+    );
+
+    // One parallel session: the formerly-dead shared feasibility memo hits.
+    let engine = Verifier::builder().jobs(8).build();
+    let w0 = &workloads[0];
+    engine
+        .verify(&VerifyRequest::programs(
+            w0.original.clone(),
+            w0.transformed.clone(),
+        ))
+        .expect("session run");
+    let session = engine.session_stats();
+
+    let geomean4 = (speedup4.iter().map(|s| s.ln()).sum::<f64>() / speedup4.len() as f64).exp();
+    println!(
+        "geomean speedup at 4 threads: {geomean4:.2}x on {cores} core(s); \
+         feasibility memo hits in one parallel query: {}",
+        session.feasibility_hits
+    );
+    if cores >= 4 && !quick {
+        assert!(
+            geomean4 >= 2.0,
+            "acceptance: >= 2x at 4 threads on a >= 4-core host (got {geomean4:.2}x)"
+        );
+    } else if cores >= 2 {
+        // Quick mode (the CI smoke) and small hosts: parallel checking must
+        // not regress.  Best-of-N timing on one bounded workload is too
+        // noisy for the full 2x gate, which the full experiment enforces.
+        assert!(
+            geomean4 >= 1.0,
+            "parallel checking must not regress on a multi-core host (got {geomean4:.2}x)"
+        );
+    } else {
+        println!(
+            "WARNING: single-core host — recording wall times without speedup assertions \
+             (the >= 2x acceptance applies on >= 4 cores)"
+        );
+    }
+    assert!(
+        session.feasibility_hits > 0,
+        "acceptance: one parallel query must hit the shared feasibility memo"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"PR4: intra-query parallel checking (one request sharded ",
+            "across outputs and sub-proofs) + rename-invariant tabling keys\",\n",
+            "  \"command\": \"cargo run --release -p arrayeq-bench --bin run_experiments ",
+            "-- --exp pr4\",\n",
+            "  \"host\": {{ \"available_cores\": {}, \"note\": \"wall-time scaling is bounded ",
+            "by the host's core count; the full experiment enforces the >= 2x @ 4 threads ",
+            "acceptance assertion on hosts with >= 4 cores (the quick CI smoke asserts >= 1x ",
+            "there), and the deterministic acceptance criteria (identical ",
+            "verdicts and stable reports across jobs, higher effective hit rate from ",
+            "rename-invariant keys, shared feasibility-memo hits) are asserted on every ",
+            "host\" }},\n",
+            "  \"config\": {{ \"quick\": {}, \"repeats\": {}, ",
+            "\"timing\": \"best of repeats, ms\" }},\n",
+            "  \"metric_note\": \"effective_fp_hit_rate = 1 - fp_derived / pos_lookups: the ",
+            "share of the positional-key baseline's tabling lookups that the rename-invariant ",
+            "scheme answers from the table, directly or by discharging an ancestor ",
+            "sub-obligation; raw hit rates are not comparable across schemes because a hit ",
+            "near a repeated chain's root removes that chain's lookups entirely\",\n",
+            "  \"rows\": [\n{}\n  ],\n",
+            "  \"geomean_speedup_4_threads\": {:.3},\n",
+            "  \"aggregate_effective_fp_hit_rate\": {:.4},\n",
+            "  \"aggregate_baseline_hit_rate\": {:.4},\n",
+            "  \"parallel_session\": {}\n",
+            "}}\n"
+        ),
+        cores,
+        quick,
+        repeats,
+        rows.join(",\n"),
+        geomean4,
+        effective_total,
+        baseline_total,
+        arrayeq_engine::session_to_json(&session),
+    );
+    std::fs::write(out_path, &json).expect("write PR4 snapshot");
     println!("snapshot written to {out_path}");
 }
 

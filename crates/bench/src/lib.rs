@@ -87,6 +87,36 @@ pub fn generated_pair(layers: usize, n: i64, seed: u64) -> Workload {
     }
 }
 
+/// A *wide* multi-output kernel (shared base layer + one chain per output,
+/// chains repeating every `distinct_chains` outputs when non-zero) paired
+/// with a random transformation pipeline — the PR4 workload shape: the
+/// per-output obligations shard across the parallel checker's workers, and
+/// the repeated chains are what the rename-invariant tabling keys collapse.
+pub fn wide_pair(
+    layers: usize,
+    outputs: usize,
+    distinct_chains: usize,
+    n: i64,
+    seed: u64,
+) -> Workload {
+    let cfg = GeneratorConfig {
+        n,
+        layers,
+        outputs,
+        distinct_chains,
+        inputs: 3,
+        seed,
+        ..Default::default()
+    };
+    let original = generate_kernel(&cfg);
+    let (transformed, _) = random_pipeline(&original, 4, seed + 1);
+    Workload {
+        name: format!("wide-L{layers}-O{outputs}-D{distinct_chains}-N{n}"),
+        original,
+        transformed,
+    }
+}
+
 /// The realistic-kernel suite (experiment E8): every corpus kernel paired
 /// with a random transformation pipeline of itself.
 pub fn kernel_suite(seed: u64) -> Vec<Workload> {

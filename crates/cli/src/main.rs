@@ -3,7 +3,7 @@
 //! ```text
 //! arrayeq verify <original.c> <transformed.c> [--method basic|extended]
 //!                [--witnesses] [--json] [--dot out.dot] [--deadline-ms N]
-//!                [--max-work N]
+//!                [--max-work N] [--jobs N]
 //! arrayeq corpus --list
 //! arrayeq corpus <name>
 //! ```
@@ -61,6 +61,8 @@ VERIFY OPTIONS:
                               Graphviz, failing slice highlighted
     --deadline-ms <N>         wall-clock budget; overrun => INCONCLUSIVE
     --max-work <N>            traversal work budget (node-pair visits)
+    --jobs <N>                worker threads for this one check (0 = all
+                              cores); verdicts are identical at any setting
 
 EXIT CODES:
     0 equivalent, 1 not equivalent, 2 inconclusive,
@@ -99,6 +101,7 @@ struct VerifyArgs {
     dot: Option<String>,
     deadline_ms: Option<u64>,
     max_work: Option<u64>,
+    jobs: Option<usize>,
 }
 
 fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
@@ -112,6 +115,7 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
         dot: None,
         deadline_ms: None,
         max_work: None,
+        jobs: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -143,6 +147,13 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
                     value_of("--max-work")?
                         .parse()
                         .map_err(|_| "--max-work needs an integer".to_string())?,
+                )
+            }
+            "--jobs" => {
+                parsed.jobs = Some(
+                    value_of("--jobs")?
+                        .parse()
+                        .map_err(|_| "--jobs needs an integer".to_string())?,
                 )
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
@@ -187,6 +198,9 @@ fn run_verify(args: &[String]) -> i32 {
     }
     if let Some(w) = parsed.max_work {
         builder = builder.max_work(w);
+    }
+    if let Some(jobs) = parsed.jobs {
+        builder = builder.jobs(jobs);
     }
     let verifier = builder.build();
 

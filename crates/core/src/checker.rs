@@ -56,6 +56,13 @@ pub struct CheckOptions {
     /// re-renders both relations — and kept only so the perf experiments can
     /// measure the two keying schemes against each other in the same run.
     pub string_table_keys: bool,
+    /// Key the tabling cache by per-graph *position ids* (node id / dense
+    /// array id) instead of the default rename-invariant content
+    /// fingerprints.  Position keys never unify structurally identical
+    /// sub-computations that live at different statements, so they hit less
+    /// within one run; kept as the measured baseline for the intra-run
+    /// hit-rate experiments (`--exp pr4`).
+    pub position_table_keys: bool,
     /// Optional focused checking.
     pub focus: Option<Focus>,
     /// Whether to run the def-use checker before extracting ADDGs (Fig. 6).
@@ -65,6 +72,14 @@ pub struct CheckOptions {
     /// Upper bound on traversal work (node-pair visits); exceeding it yields
     /// an inconclusive verdict instead of running forever.
     pub max_work: u64,
+    /// Worker threads for *one* verification run: the root obligation is
+    /// split into per-output and per-definition correspondence sub-proofs
+    /// executed by a scoped worker pool.  `1` (the default) keeps the
+    /// strictly sequential traversal; `0` means "use all available
+    /// parallelism".  Verdicts and diagnostics are identical at every
+    /// setting ([`crate::Report::render_stable`] is byte-stable); cache/work
+    /// counters in [`CheckStats`] are scheduling-dependent at `jobs > 1`.
+    pub jobs: usize,
 }
 
 impl Default for CheckOptions {
@@ -74,10 +89,12 @@ impl Default for CheckOptions {
             operators: OperatorProperties::default(),
             tabling: true,
             string_table_keys: false,
+            position_table_keys: false,
             focus: None,
             check_def_use: true,
             check_class: true,
             max_work: 2_000_000,
+            jobs: 1,
         }
     }
 }
@@ -104,10 +121,40 @@ impl CheckOptions {
         self
     }
 
+    /// Switches the tabling cache to per-graph position-id keys (baseline
+    /// for the rename-invariant-keying hit-rate comparison).
+    pub fn with_position_table_keys(mut self) -> Self {
+        self.position_table_keys = true;
+        self
+    }
+
+    /// Sets the worker count for one verification run (see
+    /// [`CheckOptions::jobs`]).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
     /// Sets a focus.
     pub fn with_focus(mut self, focus: Focus) -> Self {
         self.focus = Some(focus);
         self
+    }
+
+    /// The effective worker count: `jobs`, with `0` resolved to the
+    /// machine's available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        match self.jobs {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// Whether the default rename-invariant fingerprint keys are active.
+    pub(crate) fn fingerprint_table_keys(&self) -> bool {
+        !self.string_table_keys && !self.position_table_keys
     }
 }
 
@@ -204,59 +251,65 @@ pub fn verify_addgs_with(
     opts: &CheckOptions,
     ctx: &CheckContext<'_>,
 ) -> Result<Report> {
-    // Fingerprints exist only to key shared-table entries, so they are
-    // worth computing exactly when both a shared table is present and
-    // tabling is on (shared_key returns None otherwise).
-    let fps = ctx
-        .shared_table
-        .filter(|_| opts.tabling)
-        .map(|_| (fingerprints(original), fingerprints(transformed)));
-    let mut checker = Checker {
-        a: original,
-        b: transformed,
-        opts,
-        ctx,
-        fps,
-        stats: CheckStats::default(),
-        diagnostics: Vec::new(),
-        table: HashMap::new(),
-        array_ids_a: HashMap::new(),
-        array_ids_b: HashMap::new(),
-        #[cfg(debug_assertions)]
-        table_shadow: HashMap::new(),
-        in_progress: BTreeMap::new(),
-        assumption_uses: 0,
-        work: 0,
-        exhausted: false,
-        budget_reason: None,
-        started: Instant::now(),
+    // Fingerprints key the default (rename-invariant) local tabling cache
+    // and every shared-table entry, so they are computed whenever tabling is
+    // on and either of those consumers is active.  Intermediate array names
+    // are folded in only when the options make them verdict-relevant
+    // (focused checking with declared intermediate correspondences);
+    // otherwise repeated idioms behind renamed temporaries share entries.
+    let fp = if opts
+        .focus
+        .as_ref()
+        .is_some_and(|f| !f.intermediate_pairs.is_empty())
+    {
+        arrayeq_addg::fingerprints_named
+    } else {
+        fingerprints
     };
+    let fps = (opts.tabling && (opts.fingerprint_table_keys() || ctx.shared_table.is_some()))
+        .then(|| (fp(original), fp(transformed)));
+    if opts.effective_jobs() > 1 {
+        return crate::parallel::verify_addgs_parallel(original, transformed, opts, ctx, fps);
+    }
+    let mut checker = Checker::new(original, transformed, opts, ctx, fps, None);
     checker.run()
 }
 
-/// Key of the tabling cache: the two node ids plus the two output-current
-/// mappings.
+/// Key of the tabling cache: the two traversal positions plus the two
+/// output-current mappings.
 ///
-/// The default `Hashed` form identifies each mapping by its cached
-/// [`Relation::structural_hash`] — two `u64` loads per lookup, no allocation.
-/// The `Text` form is the legacy scheme (canonical strings rebuilt on every
-/// lookup), selectable via [`CheckOptions::string_table_keys`] so the perf
-/// experiments can measure both in one run.
+/// The default `Fp` form is *rename-invariant*: positions are identified by
+/// their content fingerprints ([`arrayeq_addg::fingerprints`]) and mappings
+/// by their rename-canonical [`Relation::structural_hash`], so structurally
+/// identical sub-proofs — same computation at a different statement, same
+/// mapping written over differently-ordered iterators — share one entry.
+/// `Positional` identifies positions by per-graph ids instead (node id /
+/// dense array id; [`CheckOptions::position_table_keys`]), the pre-PR4
+/// baseline for the intra-run hit-rate comparison.  `Text` is the legacy
+/// string scheme ([`CheckOptions::string_table_keys`]), rebuilt on every
+/// lookup, kept as the measured keying-cost baseline.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum TableKey {
-    Hashed(usize, usize, u64, u64),
+    Fp(u64, u64, u64, u64),
+    Positional(usize, usize, u64, u64),
     Text(usize, usize, String, String),
 }
 
 /// The traversal state.
-struct Checker<'x> {
+///
+/// One `Checker` is either the whole sequential run (`jobs = 1`) or one
+/// *worker* of a parallel run, in which case it executes a stream of
+/// [`crate::parallel`] tasks against its own local state (table, coinductive
+/// assumptions, stats, diagnostics buffer) while budgets are accounted
+/// through the run-wide [`SharedBudget`].
+pub(crate) struct Checker<'x> {
     a: &'x Addg,
     b: &'x Addg,
     opts: &'x CheckOptions,
     /// Budgets and cross-query sharing (default context on the one-shot path).
     ctx: &'x CheckContext<'x>,
-    /// Content fingerprints of both graphs, computed only when the context
-    /// carries a shared table (they key the cross-query entries).
+    /// Content fingerprints of both graphs; they key the default local
+    /// tabling cache and the cross-query shared entries.
     fps: Option<(Fingerprints, Fingerprints)>,
     stats: CheckStats,
     diagnostics: Vec<Diagnostic>,
@@ -287,11 +340,55 @@ struct Checker<'x> {
     budget_reason: Option<BudgetExhausted>,
     /// Start of the traversal, for deadline bookkeeping.
     started: Instant,
+    /// Run-wide budget shared by every worker of a parallel run (`None` in
+    /// the sequential path).  Workers batch their local visit counts into
+    /// `work` and flush them here every 64 visits, at which point they also
+    /// observe cancellations and limit trips from other workers.
+    shared_budget: Option<&'x SharedBudget>,
+    /// Visits already flushed to the shared budget.
+    flushed_work: u64,
+}
+
+/// The budget of one parallel run, shared by all its workers.
+///
+/// Work accounting is approximate by design: each worker flushes its local
+/// visit count every 64 visits, so the run can overshoot `max_work` by at
+/// most `64 × workers` visits before every worker has wound down — the same
+/// promptness/overhead trade the sequential poll cadence makes for
+/// deadline checks.
+#[derive(Debug, Default)]
+pub(crate) struct SharedBudget {
+    work: std::sync::atomic::AtomicU64,
+    exhausted: std::sync::atomic::AtomicBool,
+    reason: std::sync::Mutex<Option<BudgetExhausted>>,
+}
+
+impl SharedBudget {
+    /// Marks the run exhausted; the first caller's reason wins (matching
+    /// the sequential checker, where only one budget can fire).
+    fn trip(&self, reason: BudgetExhausted) {
+        use std::sync::atomic::Ordering;
+        let mut slot = self.reason.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(reason);
+        }
+        self.exhausted.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether any worker tripped a budget.
+    pub(crate) fn is_exhausted(&self) -> bool {
+        self.exhausted.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The reason of the first trip, if any.
+    pub(crate) fn take_reason(&self) -> Option<BudgetExhausted> {
+        self.reason.lock().unwrap().take()
+    }
 }
 
 /// A position in one ADDG during the synchronized traversal.
 #[derive(Debug, Clone)]
-enum Pos {
+pub(crate) enum Pos {
     /// The elements of an array variable (map range = array elements).
     Array(String),
     /// A node inside a statement's operator tree (map range = the elements
@@ -308,55 +405,175 @@ struct FlatTerm {
     trail: Vec<String>,
 }
 
+impl<'x> Checker<'x> {
+    /// A fresh traversal state (the sequential run, or one worker of a
+    /// parallel run when `shared_budget` is present).
+    pub(crate) fn new(
+        a: &'x Addg,
+        b: &'x Addg,
+        opts: &'x CheckOptions,
+        ctx: &'x CheckContext<'x>,
+        fps: Option<(Fingerprints, Fingerprints)>,
+        shared_budget: Option<&'x SharedBudget>,
+    ) -> Self {
+        Checker {
+            a,
+            b,
+            opts,
+            ctx,
+            fps,
+            stats: CheckStats::default(),
+            diagnostics: Vec::new(),
+            table: HashMap::new(),
+            array_ids_a: HashMap::new(),
+            array_ids_b: HashMap::new(),
+            #[cfg(debug_assertions)]
+            table_shadow: HashMap::new(),
+            in_progress: BTreeMap::new(),
+            assumption_uses: 0,
+            work: 0,
+            exhausted: false,
+            budget_reason: None,
+            started: Instant::now(),
+            shared_budget,
+            flushed_work: 0,
+        }
+    }
+
+    /// Runs one decomposed sub-obligation as a parallel worker: the
+    /// coinductive assumptions accumulated along the task's decomposition
+    /// path are installed worker-locally (so the no-tabling-under-assumption
+    /// guard keeps working unchanged), the traversal runs, and the
+    /// diagnostics the task produced are drained out for deterministic
+    /// merging by the coordinator.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_task(
+        &mut self,
+        pos_a: Pos,
+        map_a: Relation,
+        pos_b: Pos,
+        map_b: Relation,
+        trail_a: &[String],
+        trail_b: &[String],
+        assumptions: &[((String, String), Relation)],
+    ) -> Result<(bool, Vec<Diagnostic>)> {
+        self.in_progress.clear();
+        for (key, pairs) in assumptions {
+            self.in_progress.insert(key.clone(), pairs.clone());
+        }
+        let ok = self.check(pos_a, map_a, pos_b, map_b, trail_a, trail_b)?;
+        Ok((ok, std::mem::take(&mut self.diagnostics)))
+    }
+
+    /// The worker's accumulated counters (merged by the coordinator).
+    pub(crate) fn into_stats(self) -> CheckStats {
+        self.stats
+    }
+}
+
+/// The outputs one run must check: the focused subset when a focus names
+/// outputs, otherwise all common outputs (with extra outputs on the
+/// transformed side rejected as incomparable).
+pub(crate) fn select_outputs(a: &Addg, b: &Addg, opts: &CheckOptions) -> Result<Vec<String>> {
+    let wanted: Vec<String> = match opts.focus.as_ref().filter(|f| !f.outputs.is_empty()) {
+        Some(f) => f.outputs.clone(),
+        None => a.output_arrays().to_vec(),
+    };
+    let mut outputs = Vec::new();
+    for o in wanted {
+        if !a.is_output(&o) {
+            return Err(CoreError::Incomparable {
+                message: format!("`{o}` is not an output of the original program"),
+            });
+        }
+        if !b.is_output(&o) {
+            return Err(CoreError::Incomparable {
+                message: format!(
+                    "output `{o}` of the original program is not an output of the transformed one"
+                ),
+            });
+        }
+        outputs.push(o);
+    }
+    // Unless focused, the transformed program must not have extra outputs.
+    if opts.focus.is_none() {
+        for o in b.output_arrays() {
+            if !outputs.contains(o) {
+                return Err(CoreError::Incomparable {
+                    message: format!("transformed program has an extra output `{o}`"),
+                });
+            }
+        }
+    }
+    Ok(outputs)
+}
+
+/// Result of the per-output defined-elements comparison that precedes the
+/// traversal of one output.
+pub(crate) enum OutputDomains {
+    /// Both programs define the same elements; the traversal starts from the
+    /// identity relation on this set.
+    Match(Set),
+    /// The defined-element sets differ; the diagnostic carries their
+    /// symmetric difference as the failing domain.
+    Mismatch(Box<Diagnostic>),
+}
+
+/// Compares the defined-element sets of `output` in both graphs (the first
+/// half of the per-output obligation).
+pub(crate) fn check_output_domains(a: &Addg, b: &Addg, output: &str) -> Result<OutputDomains> {
+    let ea = a
+        .defined_elements(output)
+        .ok_or_else(|| CoreError::Incomparable {
+            message: format!("original program never defines output `{output}`"),
+        })?;
+    let eb = b
+        .defined_elements(output)
+        .ok_or_else(|| CoreError::Incomparable {
+            message: format!("transformed program never defines output `{output}`"),
+        })?;
+    if ea.is_equal(&eb)? {
+        return Ok(OutputDomains::Match(ea));
+    }
+    // The failing elements are exactly the symmetric difference of the two
+    // defined-element sets.
+    let failing = ea.subtract(&eb)?.union(&eb.subtract(&ea)?)?.simplified();
+    Ok(OutputDomains::Mismatch(Box::new(Diagnostic {
+        kind: DiagnosticKind::OutputDomainMismatch,
+        output_array: None, // stamped by the caller
+        original_statements: a
+            .definitions(output)
+            .iter()
+            .map(|d| d.statement.clone())
+            .collect(),
+        transformed_statements: b
+            .definitions(output)
+            .iter()
+            .map(|d| d.statement.clone())
+            .collect(),
+        expressions: vec![output.to_owned()],
+        original_mapping: Some(ea.to_string()),
+        transformed_mapping: Some(eb.to_string()),
+        message: format!("the two programs do not define the same elements of `{output}`"),
+        failing_domain: Some(failing),
+    })))
+}
+
 impl Checker<'_> {
     fn run(&mut self) -> Result<Report> {
-        let outputs = self.select_outputs()?;
+        let outputs = select_outputs(self.a, self.b, self.opts)?;
         let mut all_ok = true;
         for output in &outputs {
             let diag_start = self.diagnostics.len();
-            let ea = self
-                .a
-                .defined_elements(output)
-                .ok_or_else(|| CoreError::Incomparable {
-                    message: format!("original program never defines output `{output}`"),
-                })?;
-            let eb = self
-                .b
-                .defined_elements(output)
-                .ok_or_else(|| CoreError::Incomparable {
-                    message: format!("transformed program never defines output `{output}`"),
-                })?;
-            if !ea.is_equal(&eb)? {
-                // The failing elements are exactly the symmetric difference
-                // of the two defined-element sets.
-                let failing = ea.subtract(&eb)?.union(&eb.subtract(&ea)?)?.simplified();
-                self.diagnostics.push(Diagnostic {
-                    kind: DiagnosticKind::OutputDomainMismatch,
-                    output_array: None, // stamped below
-                    original_statements: self
-                        .a
-                        .definitions(output)
-                        .iter()
-                        .map(|d| d.statement.clone())
-                        .collect(),
-                    transformed_statements: self
-                        .b
-                        .definitions(output)
-                        .iter()
-                        .map(|d| d.statement.clone())
-                        .collect(),
-                    expressions: vec![output.clone()],
-                    original_mapping: Some(ea.to_string()),
-                    transformed_mapping: Some(eb.to_string()),
-                    message: format!(
-                        "the two programs do not define the same elements of `{output}`"
-                    ),
-                    failing_domain: Some(failing),
-                });
-                self.stamp_output(diag_start, output);
-                all_ok = false;
-                continue;
-            }
+            let ea = match check_output_domains(self.a, self.b, output)? {
+                OutputDomains::Match(ea) => ea,
+                OutputDomains::Mismatch(diag) => {
+                    self.diagnostics.push(*diag);
+                    self.stamp_output(diag_start, output);
+                    all_ok = false;
+                    continue;
+                }
+            };
             let id = Relation::identity_on(&ea);
             let ok = self.check(
                 Pos::Array(output.clone()),
@@ -387,38 +604,6 @@ impl Checker<'_> {
         })
     }
 
-    fn select_outputs(&self) -> Result<Vec<String>> {
-        let wanted: Vec<String> = match self.opts.focus.as_ref().filter(|f| !f.outputs.is_empty()) {
-            Some(f) => f.outputs.clone(),
-            None => self.a.output_arrays().to_vec(),
-        };
-        let mut outputs = Vec::new();
-        for o in wanted {
-            if !self.a.is_output(&o) {
-                return Err(CoreError::Incomparable {
-                    message: format!("`{o}` is not an output of the original program"),
-                });
-            }
-            if !self.b.is_output(&o) {
-                return Err(CoreError::Incomparable {
-                    message: format!("output `{o}` of the original program is not an output of the transformed one"),
-                });
-            }
-            outputs.push(o);
-        }
-        // Unless focused, the transformed program must not have extra outputs.
-        if self.opts.focus.is_none() {
-            for o in self.b.output_arrays() {
-                if !outputs.contains(o) {
-                    return Err(CoreError::Incomparable {
-                        message: format!("transformed program has an extra output `{o}`"),
-                    });
-                }
-            }
-        }
-        Ok(outputs)
-    }
-
     /// Stamps every diagnostic produced since `start` with the output array
     /// whose check produced it, so downstream consumers (witness engine,
     /// reports) know which index space a failing domain lives in.
@@ -435,6 +620,9 @@ impl Checker<'_> {
             return false;
         }
         self.work += 1;
+        if let Some(shared) = self.shared_budget {
+            return self.budget_shared(shared);
+        }
         if self.work > self.opts.max_work {
             self.exhausted = true;
             self.budget_reason = Some(BudgetExhausted::WorkLimit {
@@ -460,6 +648,55 @@ impl Checker<'_> {
                 });
                 return false;
             }
+        }
+        true
+    }
+
+    /// Budget bookkeeping for a parallel worker: local visit counts are
+    /// flushed into the run-wide [`SharedBudget`] every 64 visits (and on
+    /// the very first), at which point the worker observes trips from other
+    /// workers, checks the combined work limit, and polls
+    /// cancellation/deadline exactly like the sequential path.
+    fn budget_shared(&mut self, shared: &SharedBudget) -> bool {
+        use std::sync::atomic::Ordering;
+        // Flush every 64 visits — tightened to the budget itself when the
+        // work limit is smaller than one batch, so a tiny `max_work` still
+        // trips promptly instead of hiding inside unflushed batches.
+        let due = if self.work == 1 {
+            true
+        } else if self.opts.max_work >= 64 {
+            self.work & 0x3f == 0
+        } else {
+            self.work.is_multiple_of(self.opts.max_work.max(1))
+        };
+        if !due {
+            return true;
+        }
+        let delta = self.work - self.flushed_work;
+        self.flushed_work = self.work;
+        let total = shared.work.fetch_add(delta, Ordering::Relaxed) + delta;
+        if shared.exhausted.load(Ordering::Relaxed) {
+            self.exhausted = true;
+            return false;
+        }
+        if total > self.opts.max_work {
+            self.exhausted = true;
+            shared.trip(BudgetExhausted::WorkLimit {
+                max_work: self.opts.max_work,
+            });
+            return false;
+        }
+        if self.ctx.cancel.is_some_and(|t| t.is_cancelled()) {
+            self.exhausted = true;
+            shared.trip(BudgetExhausted::Cancelled);
+            return false;
+        }
+        if self.ctx.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.exhausted = true;
+            shared.trip(BudgetExhausted::DeadlineExceeded {
+                elapsed_ms: self.started.elapsed().as_millis() as u64,
+            });
+            return false;
         }
         true
     }
@@ -575,7 +812,9 @@ impl Checker<'_> {
 
         #[cfg(debug_assertions)]
         let shadow_val = match &table_key {
-            Some(TableKey::Hashed(..)) => Some((map_a.canonical_key(), map_b.canonical_key())),
+            Some(TableKey::Fp(..)) | Some(TableKey::Positional(..)) => {
+                Some((map_a.canonical_key(), map_b.canonical_key()))
+            }
             _ => None,
         };
 
@@ -662,15 +901,19 @@ impl Checker<'_> {
 
     /// Builds the tabling key for a position pair.
     ///
-    /// On the default (hashed) path this performs **no string allocation**:
-    /// the key is two position ids plus the two cached structural hashes.
-    /// The legacy path (`string_table_keys`) uses the seed's key
-    /// *construction* — a deep `simplified(true)` pass and a debug-format
-    /// rendering of every conjunct, per map, per lookup — but over this
-    /// PR's wider tabling coverage (the seed only keyed node/node pairs),
-    /// so it isolates the keying cost, not the seed's overall behaviour;
-    /// the faithful end-to-end baseline is the pre-refactor measurement
-    /// recorded in `BENCH_PR1.json`.
+    /// On the default path the key is fully *rename-invariant* — two
+    /// content fingerprints plus the two rename-canonical structural hashes
+    /// (no string allocation, four `u64` loads) — so structurally identical
+    /// sub-proofs table-hit even when they live at different statements or
+    /// were written over differently-named iterators.  `position_table_keys`
+    /// switches positions back to per-graph ids (the pre-PR4 baseline for
+    /// the hit-rate comparison).  The legacy path (`string_table_keys`) uses
+    /// the seed's key *construction* — a deep `simplified(true)` pass and a
+    /// debug-format rendering of every conjunct, per map, per lookup — but
+    /// over this repo's wider tabling coverage (the seed only keyed
+    /// node/node pairs), so it isolates the keying cost, not the seed's
+    /// overall behaviour; the faithful end-to-end baseline is the
+    /// pre-refactor measurement recorded in `BENCH_PR1.json`.
     fn table_key(
         &mut self,
         pos_a: &Pos,
@@ -681,12 +924,17 @@ impl Checker<'_> {
         if !self.opts.tabling {
             return None;
         }
+        if self.opts.fingerprint_table_keys() {
+            return self
+                .shared_key(pos_a, pos_b, map_a, map_b)
+                .map(|(fa, fb, ha, hb)| TableKey::Fp(fa, fb, ha, hb));
+        }
         let da = self.pos_id(true, pos_a);
         let db = self.pos_id(false, pos_b);
         Some(if self.opts.string_table_keys {
             TableKey::Text(da, db, legacy_key(map_a), legacy_key(map_b))
         } else {
-            TableKey::Hashed(da, db, map_a.structural_hash(), map_b.structural_hash())
+            TableKey::Positional(da, db, map_a.structural_hash(), map_b.structural_hash())
         })
     }
 
@@ -695,7 +943,7 @@ impl Checker<'_> {
     /// 64-bit structural hash.
     #[cfg(debug_assertions)]
     fn check_for_hash_collision(&mut self, key: &TableKey, map_a: &Relation, map_b: &Relation) {
-        if !matches!(key, TableKey::Hashed(..)) {
+        if matches!(key, TableKey::Text(..)) {
             return;
         }
         if let Some((ka, kb)) = self.table_shadow.get(key) {
@@ -993,8 +1241,8 @@ impl Checker<'_> {
                     self.diagnostics.push(Diagnostic {
                         kind: DiagnosticKind::OperatorMismatch,
                         output_array: None,
-                        original_statements: with(trail_a, &sa),
-                        transformed_statements: with(trail_b, &sb),
+                        original_statements: with_stmt(trail_a, &sa),
+                        transformed_statements: with_stmt(trail_b, &sb),
                         expressions: vec![describe_node(self.a, na), describe_node(self.b, nb)],
                         original_mapping: Some(map_a.to_string()),
                         transformed_mapping: Some(map_b.to_string()),
@@ -1011,8 +1259,8 @@ impl Checker<'_> {
                         self.diagnostics.push(Diagnostic {
                             kind: DiagnosticKind::Structural,
                             output_array: None,
-                            original_statements: with(trail_a, &sa),
-                            transformed_statements: with(trail_b, &sb),
+                            original_statements: with_stmt(trail_a, &sa),
+                            transformed_statements: with_stmt(trail_b, &sb),
                             expressions: vec![describe_node(self.a, na), describe_node(self.b, nb)],
                             original_mapping: None,
                             transformed_mapping: None,
@@ -1032,8 +1280,8 @@ impl Checker<'_> {
                             map_a.clone(),
                             Pos::Node(*y),
                             map_b.clone(),
-                            &with(trail_a, &sa),
-                            &with(trail_b, &sb),
+                            &with_stmt(trail_a, &sa),
+                            &with_stmt(trail_b, &sb),
                         )?;
                     }
                     Ok(ok)
@@ -1044,8 +1292,8 @@ impl Checker<'_> {
                         map_a,
                         nb,
                         map_b,
-                        &with(trail_a, &sa),
-                        &with(trail_b, &sb),
+                        &with_stmt(trail_a, &sa),
+                        &with_stmt(trail_b, &sb),
                         class.associative,
                         class.commutative,
                     )
@@ -1430,7 +1678,7 @@ fn legacy_key(map: &Relation) -> String {
     parts.join(" | ")
 }
 
-fn with(trail: &[String], stmt: &str) -> Vec<String> {
+pub(crate) fn with_stmt(trail: &[String], stmt: &str) -> Vec<String> {
     let mut t = trail.to_vec();
     if t.last().map(|s| s.as_str()) != Some(stmt) {
         t.push(stmt.to_owned());
@@ -1545,10 +1793,12 @@ mod tests {
 
     #[test]
     fn hash_and_string_table_keys_agree() {
-        // Same verdicts and the same traversal shape under both keying
-        // schemes, on an equivalent and an inequivalent pair.
+        // Positional hashed keys and the legacy text keys identify exactly
+        // the same sub-problems, so verdicts and the traversal shape match;
+        // the default fingerprint keys are at least as sharing (they unify
+        // structurally identical positions) and never change the verdict.
         for (a, b) in [(FIG1_A, FIG1_C), (FIG1_A, FIG1_D)] {
-            let hashed = check(a, b, &CheckOptions::default());
+            let hashed = check(a, b, &CheckOptions::default().with_position_table_keys());
             let text = check(a, b, &CheckOptions::default().with_string_table_keys());
             assert_eq!(hashed.verdict, text.verdict);
             assert_eq!(hashed.stats.table_lookups, text.stats.table_lookups);
@@ -1556,7 +1806,90 @@ mod tests {
             assert_eq!(hashed.stats.table_entries, text.stats.table_entries);
             // The debug-build collision cross-check ran on every hit.
             assert_eq!(hashed.stats.hash_collisions, 0);
+
+            let fp = check(a, b, &CheckOptions::default());
+            assert_eq!(fp.verdict, hashed.verdict);
+            assert!(
+                fp.stats.table_hits >= hashed.stats.table_hits,
+                "rename-invariant keys can only widen sharing: {} < {}",
+                fp.stats.table_hits,
+                hashed.stats.table_hits
+            );
+            assert_eq!(fp.stats.hash_collisions, 0);
         }
+    }
+
+    #[test]
+    fn parallel_jobs_reproduce_sequential_verdicts_and_stable_reports() {
+        // Equivalent, inequivalent and recurrence pairs at several worker
+        // counts: verdicts identical, stable rendering byte-identical.
+        let pairs = [
+            (FIG1_A, FIG1_B),
+            (FIG1_A, FIG1_C),
+            (FIG1_A, FIG1_D),
+            (KERNEL_RECURRENCE, KERNEL_RECURRENCE),
+        ];
+        for (a, b) in pairs {
+            let seq = check(a, b, &CheckOptions::default());
+            for jobs in [2usize, 8] {
+                let par = check(a, b, &CheckOptions::default().with_jobs(jobs));
+                assert_eq!(seq.verdict, par.verdict, "jobs={jobs}");
+                assert_eq!(
+                    seq.render_stable(),
+                    par.render_stable(),
+                    "stable report differs at jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_budget_exhaustion_is_typed_and_prompt() {
+        let opts = CheckOptions {
+            max_work: 3,
+            jobs: 4,
+            ..Default::default()
+        };
+        let r = check(FIG1_A, FIG1_C, &opts);
+        assert_eq!(r.verdict, Verdict::Inconclusive);
+        assert_eq!(
+            r.budget_exhausted,
+            Some(BudgetExhausted::WorkLimit { max_work: 3 })
+        );
+
+        // A pre-cancelled token stops every worker.
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = CheckContext {
+            cancel: Some(&token),
+            ..Default::default()
+        };
+        let a = parse_program(FIG1_A).unwrap();
+        let c = parse_program(FIG1_C).unwrap();
+        let r = verify_programs_with(&a, &c, &CheckOptions::default().with_jobs(4), &ctx).unwrap();
+        assert_eq!(r.verdict, Verdict::Inconclusive);
+        assert_eq!(r.budget_exhausted, Some(BudgetExhausted::Cancelled));
+    }
+
+    #[test]
+    fn parallel_focused_checking_matches_sequential() {
+        let focus = Focus {
+            outputs: vec!["C".into()],
+            intermediate_pairs: vec![("tmp".into(), "tmp".into())],
+        };
+        let seq = check(
+            FIG1_A,
+            FIG1_B,
+            &CheckOptions::default().with_focus(focus.clone()),
+        );
+        let par = check(
+            FIG1_A,
+            FIG1_B,
+            &CheckOptions::default().with_focus(focus).with_jobs(4),
+        );
+        assert!(seq.is_equivalent() && par.is_equivalent());
+        assert_eq!(seq.outputs_checked, par.outputs_checked);
+        assert_eq!(seq.render_stable(), par.render_stable());
     }
 
     #[test]

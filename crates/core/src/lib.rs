@@ -48,6 +48,7 @@ mod checker;
 mod context;
 mod diagnostics;
 mod operators;
+mod parallel;
 mod report;
 
 pub use checker::{

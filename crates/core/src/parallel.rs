@@ -1,0 +1,480 @@
+//! Intra-query parallel checking: one verification run sharded across
+//! outputs and independent correspondence sub-proofs.
+//!
+//! The synchronized traversal of Section 5 establishes correspondences
+//! output by output, and below each output it reduces arrays definition by
+//! definition and operators operand by operand.  Those sub-obligations are
+//! independent up to the tabling state, so a run with
+//! [`CheckOptions::jobs`]` > 1` is executed in three phases:
+//!
+//! 1. **Decompose** (sequential, coordinator thread): the root obligation is
+//!    split into [`CheckTask`]s by replaying the traversal's *reduction*
+//!    steps without proving anything — per output, then per definition of
+//!    the output array (carrying the coinductive recurrence assumption the
+//!    sequential reduction would have installed), then through `Access`
+//!    compositions and per positional operand pair.  Splitting stops at
+//!    algebraic (flatten/match) positions, whose greedy matching is a single
+//!    sub-proof.  Tasks keep the depth-first order of the sequential
+//!    traversal, so diagnostics merge back in the exact sequential order.
+//! 2. **Execute** (scoped worker pool): workers pull tasks off a shared
+//!    queue (an atomic cursor — idle workers steal whatever obligation is
+//!    next, so one expensive output does not serialise the run).  Each
+//!    worker owns a full [`Checker`] — local tabling cache, coinductive
+//!    assumptions, stats, diagnostics buffer — and all workers share the
+//!    session state through the [`CheckContext`]: the engine's cross-query
+//!    equivalence table (rename-invariant keys mean one worker's sub-proof
+//!    discharges another worker's identical obligation mid-run) and the
+//!    session feasibility cache, re-installed in every worker via
+//!    [`arrayeq_omega::with_feasibility_cache`].  Budgets and cancellation
+//!    propagate through one [`SharedBudget`]: any worker tripping the work
+//!    limit, deadline or cancel token winds the whole pool down promptly.
+//! 3. **Merge** (coordinator): per-task verdicts fold into one verdict,
+//!    per-task diagnostics concatenate in task order (deterministic —
+//!    [`crate::Report::render_stable`] is byte-identical at every `jobs`),
+//!    and per-worker [`CheckStats`] merge race-free at join.
+
+use crate::checker::{
+    check_output_domains, select_outputs, with_stmt, CheckOptions, Checker, Method, OutputDomains,
+    Pos, SharedBudget,
+};
+use crate::context::CheckContext;
+use crate::diagnostics::Diagnostic;
+use crate::report::{CheckStats, Report, Verdict};
+use crate::Result;
+use arrayeq_addg::{Addg, Fingerprints, Node};
+use arrayeq_omega::{current_feasibility_cache, with_feasibility_cache, Relation};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many tasks the decomposition aims to produce per worker; a few per
+/// worker keep the pool balanced when task costs are skewed without paying
+/// decomposition overhead for thousands of micro-tasks.
+const TASKS_PER_WORKER: usize = 4;
+
+/// Reduction depth bound for the decomposition: expansion never recurses
+/// deeper than this many reduction steps below a root obligation, so the
+/// coordinator's sequential phase stays a small fraction of the run.
+const MAX_SPLIT_DEPTH: usize = 6;
+
+/// One decomposed sub-obligation: exactly the argument tuple of the
+/// sequential `check`, plus the coinductive assumptions the sequential
+/// traversal would have had installed when it reached this position.
+struct CheckTask {
+    /// Index into the checked-outputs list (diagnostic stamping + ordering).
+    output_idx: usize,
+    pos_a: Pos,
+    map_a: Relation,
+    pos_b: Pos,
+    map_b: Relation,
+    trail_a: Vec<String>,
+    trail_b: Vec<String>,
+    /// Recurrence assumptions accumulated along the decomposition path, in
+    /// installation order: `((array_a, array_b), assumed element pairs)`.
+    assumptions: Vec<((String, String), Relation)>,
+    /// Reduction steps below the root obligation (bounds the decomposition).
+    depth: usize,
+}
+
+/// The parallel counterpart of the sequential `Checker::run`, dispatched by
+/// [`crate::verify_addgs_with`] when the effective job count exceeds one.
+pub(crate) fn verify_addgs_parallel(
+    a: &Addg,
+    b: &Addg,
+    opts: &CheckOptions,
+    ctx: &CheckContext<'_>,
+    fps: Option<(Fingerprints, Fingerprints)>,
+) -> Result<Report> {
+    let started = Instant::now();
+    let jobs = opts.effective_jobs();
+    let outputs = select_outputs(a, b, opts)?;
+
+    // Phase 1: decompose.  Per output, either a domain-mismatch diagnostic
+    // (no traversal to run) or a root task, then split the root tasks until
+    // the pool has enough independent obligations.
+    let mut prologue: Vec<Option<Diagnostic>> = Vec::with_capacity(outputs.len());
+    let mut tasks: Vec<CheckTask> = Vec::new();
+    let mut coordinator_stats = CheckStats::default();
+    for (output_idx, output) in outputs.iter().enumerate() {
+        match check_output_domains(a, b, output)? {
+            OutputDomains::Mismatch(diag) => {
+                let mut diag = *diag;
+                diag.output_array = Some(output.clone());
+                prologue.push(Some(diag));
+            }
+            OutputDomains::Match(ea) => {
+                let id = Relation::identity_on(&ea);
+                tasks.push(CheckTask {
+                    output_idx,
+                    pos_a: Pos::Array(output.clone()),
+                    map_a: id.clone(),
+                    pos_b: Pos::Array(output.clone()),
+                    map_b: id,
+                    trail_a: Vec::new(),
+                    trail_b: Vec::new(),
+                    assumptions: Vec::new(),
+                    depth: 0,
+                });
+                prologue.push(None);
+            }
+        }
+    }
+    expand_tasks(
+        &mut tasks,
+        jobs * TASKS_PER_WORKER,
+        a,
+        b,
+        opts,
+        &mut coordinator_stats,
+    )?;
+
+    // Phase 2: the worker pool.  Workers steal tasks off the shared cursor;
+    // every worker re-installs the caller's session feasibility cache so
+    // verdicts computed on one worker are visible to all of them.
+    type TaskOutcome = Result<(bool, Vec<Diagnostic>)>;
+    let budget = SharedBudget::default();
+    let cache = current_feasibility_cache();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<TaskOutcome>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    let merged_worker_stats: Mutex<CheckStats> = Mutex::new(CheckStats::default());
+    let workers = jobs.min(tasks.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let drain_queue = || {
+                    let mut worker = Checker::new(a, b, opts, ctx, fps.clone(), Some(&budget));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(i) else { break };
+                        let outcome = worker.run_task(
+                            task.pos_a.clone(),
+                            task.map_a.clone(),
+                            task.pos_b.clone(),
+                            task.map_b.clone(),
+                            &task.trail_a,
+                            &task.trail_b,
+                            &task.assumptions,
+                        );
+                        *slots[i].lock().unwrap() = Some(outcome);
+                    }
+                    worker.into_stats()
+                };
+                let stats = match &cache {
+                    Some(c) => with_feasibility_cache(c.clone(), drain_queue),
+                    None => drain_queue(),
+                };
+                merged_worker_stats.lock().unwrap().merge(&stats);
+            });
+        }
+    });
+
+    // Phase 3: deterministic merge.  Diagnostics concatenate in unit order
+    // (per output: prologue first, then its tasks in decomposition order),
+    // which is exactly the sequential traversal's emission order; task
+    // verdicts conjoin; the first pipeline error in task order wins.
+    let mut stats = coordinator_stats;
+    stats.merge(&merged_worker_stats.into_inner().unwrap());
+    let mut results: Vec<Option<TaskOutcome>> = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap())
+        .collect();
+    let mut all_ok = true;
+    let mut diagnostics = Vec::new();
+    for (output_idx, output) in outputs.iter().enumerate() {
+        if let Some(diag) = prologue[output_idx].take() {
+            diagnostics.push(diag);
+            all_ok = false;
+        }
+        for (i, task) in tasks.iter().enumerate() {
+            if task.output_idx != output_idx {
+                continue;
+            }
+            let outcome = results[i]
+                .take()
+                .expect("every task slot is filled by a worker");
+            let (ok, mut task_diags) = outcome?;
+            for d in &mut task_diags {
+                if d.output_array.is_none() {
+                    d.output_array = Some(output.clone());
+                }
+            }
+            diagnostics.extend(task_diags);
+            all_ok &= ok;
+        }
+    }
+    let verdict = if budget.is_exhausted() {
+        Verdict::Inconclusive
+    } else if all_ok {
+        Verdict::Equivalent
+    } else {
+        Verdict::NotEquivalent
+    };
+    stats.check_time_us = started.elapsed().as_micros() as u64;
+    Ok(Report {
+        verdict,
+        diagnostics,
+        witnesses: Vec::new(),
+        stats,
+        outputs_checked: outputs,
+        budget_exhausted: budget.take_reason(),
+    })
+}
+
+/// Splits tasks until at least `target` of them exist (or nothing safely
+/// expandable remains).  The shallowest expandable task is split first, so
+/// every output contributes obligations before any one chain is split deep;
+/// children are spliced in place of their parent, preserving the sequential
+/// traversal's depth-first diagnostic order.
+fn expand_tasks(
+    tasks: &mut Vec<CheckTask>,
+    target: usize,
+    a: &Addg,
+    b: &Addg,
+    opts: &CheckOptions,
+    stats: &mut CheckStats,
+) -> Result<()> {
+    'grow: while tasks.len() < target {
+        // Shallowest candidates first, so every output contributes
+        // obligations before any single chain is split deep.
+        let mut order: Vec<usize> = (0..tasks.len())
+            .filter(|&j| tasks[j].depth < MAX_SPLIT_DEPTH)
+            .collect();
+        order.sort_by_key(|&j| (tasks[j].depth, j));
+        for j in order {
+            match expand_one(&tasks[j], a, b, opts, stats)? {
+                Some(children) => {
+                    tasks.splice(j..=j, children);
+                    continue 'grow;
+                }
+                // Unsplittable (algebraic root, leaf pair, …): mark so it is
+                // never scanned again.
+                None => tasks[j].depth = MAX_SPLIT_DEPTH,
+            }
+        }
+        break; // nothing left to split
+    }
+    Ok(())
+}
+
+/// Splits one task a single reduction step, mirroring exactly what the
+/// sequential `check` would do at that position — or `None` when the
+/// position must be proven whole (leaf comparisons, algebraic
+/// flatten-and-match obligations, positions under an already-installed
+/// matching assumption, operand-count mismatches that must produce their
+/// diagnostic inside a worker).
+fn expand_one(
+    task: &CheckTask,
+    a: &Addg,
+    b: &Addg,
+    opts: &CheckOptions,
+    stats: &mut CheckStats,
+) -> Result<Option<Vec<CheckTask>>> {
+    // Mirror of `check`'s Access resolution: compose through the dependency
+    // mapping and continue at the array position.
+    if let Pos::Node(n) = &task.pos_a {
+        if let Node::Access {
+            array,
+            mapping,
+            statement,
+            ..
+        } = a.node(*n)
+        {
+            stats.compositions += 1;
+            let new_map = task.map_a.compose(mapping)?.simplified(true);
+            let mut trail = task.trail_a.clone();
+            trail.push(statement.clone());
+            return Ok(Some(vec![CheckTask {
+                output_idx: task.output_idx,
+                pos_a: Pos::Array(array.clone()),
+                map_a: new_map,
+                pos_b: task.pos_b.clone(),
+                map_b: task.map_b.clone(),
+                trail_a: trail,
+                trail_b: task.trail_b.clone(),
+                assumptions: task.assumptions.clone(),
+                depth: task.depth + 1,
+            }]));
+        }
+    }
+    if let Pos::Node(n) = &task.pos_b {
+        if let Node::Access {
+            array,
+            mapping,
+            statement,
+            ..
+        } = b.node(*n)
+        {
+            stats.compositions += 1;
+            let new_map = task.map_b.compose(mapping)?.simplified(true);
+            let mut trail = task.trail_b.clone();
+            trail.push(statement.clone());
+            return Ok(Some(vec![CheckTask {
+                output_idx: task.output_idx,
+                pos_a: task.pos_a.clone(),
+                map_a: task.map_a.clone(),
+                pos_b: Pos::Array(array.clone()),
+                map_b: new_map,
+                trail_a: task.trail_a.clone(),
+                trail_b: trail,
+                assumptions: task.assumptions.clone(),
+                depth: task.depth + 1,
+            }]));
+        }
+    }
+
+    match (&task.pos_a, &task.pos_b) {
+        (Pos::Array(va), Pos::Array(vb)) => {
+            // Focused-checking correspondences terminate the traversal at
+            // this pair; proving them is one leaf comparison.
+            if let Some(focus) = &opts.focus {
+                if focus
+                    .intermediate_pairs
+                    .iter()
+                    .any(|(x, y)| x == va && y == vb)
+                {
+                    return Ok(None);
+                }
+            }
+            // Under an assumption for this very pair the sequential check
+            // consults the assumed element pairs before reducing; leave that
+            // decision to a worker.
+            if task
+                .assumptions
+                .iter()
+                .any(|((x, y), _)| x == va && y == vb)
+            {
+                return Ok(None);
+            }
+            if !a.is_input(va) {
+                // Mirror of `reduce_side_a`, with the recurrence assumption
+                // the sequential reduction installs around its children.
+                let pairs = task.map_a.inverse().compose(&task.map_b)?;
+                let mut assumptions = task.assumptions.clone();
+                assumptions.push(((va.clone(), vb.clone()), pairs));
+                return split_side_a(task, a, va, assumptions).map(Some);
+            }
+            if !b.is_input(vb) {
+                return split_side_b(task, b, vb).map(Some);
+            }
+            Ok(None) // both inputs: a single leaf-mapping comparison
+        }
+        (Pos::Array(va), Pos::Node(_)) => {
+            if a.is_input(va) {
+                return Ok(None); // operator-vs-leaf diagnostic, one task
+            }
+            // `reduce_side_a` without an assumption (the recurrence key
+            // needs an array position on both sides).
+            split_side_a(task, a, va, task.assumptions.clone()).map(Some)
+        }
+        (Pos::Node(_), Pos::Array(vb)) => {
+            if b.is_input(vb) {
+                return Ok(None);
+            }
+            split_side_b(task, b, vb).map(Some)
+        }
+        (Pos::Node(na), Pos::Node(nb)) => {
+            let (
+                Node::Operator {
+                    kind: ka,
+                    operands: oa,
+                    statement: sa,
+                },
+                Node::Operator {
+                    kind: kb,
+                    operands: ob,
+                    statement: sb,
+                },
+            ) = (a.node(*na), b.node(*nb))
+            else {
+                return Ok(None); // const pairs / mismatches: trivial tasks
+            };
+            if ka != kb || oa.len() != ob.len() {
+                return Ok(None); // the worker produces the diagnostic
+            }
+            let class = opts.operators.class_of(ka);
+            if opts.method == Method::Extended && (class.associative || class.commutative) {
+                // Flatten-and-match is one (greedy, stateful) obligation.
+                return Ok(None);
+            }
+            // Mirror of the positional operand pairing.
+            let trail_a = with_stmt(&task.trail_a, sa);
+            let trail_b = with_stmt(&task.trail_b, sb);
+            let children = oa
+                .iter()
+                .zip(ob.iter())
+                .map(|(x, y)| CheckTask {
+                    output_idx: task.output_idx,
+                    pos_a: Pos::Node(*x),
+                    map_a: task.map_a.clone(),
+                    pos_b: Pos::Node(*y),
+                    map_b: task.map_b.clone(),
+                    trail_a: trail_a.clone(),
+                    trail_b: trail_b.clone(),
+                    assumptions: task.assumptions.clone(),
+                    depth: task.depth + 1,
+                })
+                .collect();
+            Ok(Some(children))
+        }
+    }
+}
+
+/// Mirror of `reduce_side_a`: one child per definition of `va` whose
+/// elements the current mapping reaches.
+fn split_side_a(
+    task: &CheckTask,
+    a: &Addg,
+    va: &str,
+    assumptions: Vec<((String, String), Relation)>,
+) -> Result<Vec<CheckTask>> {
+    let mut children = Vec::new();
+    for def in a.definitions(va) {
+        let sub_a = task.map_a.restrict_range(&def.elements)?.simplified(true);
+        if sub_a.is_empty() {
+            continue;
+        }
+        let sub_domain = sub_a.domain();
+        let sub_b = task.map_b.restrict_domain(&sub_domain)?.simplified(true);
+        let mut trail = task.trail_a.clone();
+        trail.push(def.statement.clone());
+        children.push(CheckTask {
+            output_idx: task.output_idx,
+            pos_a: Pos::Node(def.root),
+            map_a: sub_a,
+            pos_b: task.pos_b.clone(),
+            map_b: sub_b,
+            trail_a: trail,
+            trail_b: task.trail_b.clone(),
+            assumptions: assumptions.clone(),
+            depth: task.depth + 1,
+        });
+    }
+    Ok(children)
+}
+
+/// Mirror of `reduce_side_b`: one child per definition of `vb`.
+fn split_side_b(task: &CheckTask, b: &Addg, vb: &str) -> Result<Vec<CheckTask>> {
+    let mut children = Vec::new();
+    for def in b.definitions(vb) {
+        let sub_b = task.map_b.restrict_range(&def.elements)?.simplified(true);
+        if sub_b.is_empty() {
+            continue;
+        }
+        let sub_domain = sub_b.domain();
+        let sub_a = task.map_a.restrict_domain(&sub_domain)?.simplified(true);
+        let mut trail = task.trail_b.clone();
+        trail.push(def.statement.clone());
+        children.push(CheckTask {
+            output_idx: task.output_idx,
+            pos_a: task.pos_a.clone(),
+            map_a: sub_a,
+            pos_b: Pos::Node(def.root),
+            map_b: sub_b,
+            trail_a: task.trail_a.clone(),
+            trail_b: trail,
+            assumptions: task.assumptions.clone(),
+            depth: task.depth + 1,
+        });
+    }
+    Ok(children)
+}

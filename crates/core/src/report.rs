@@ -69,6 +69,32 @@ pub struct CheckStats {
 }
 
 impl CheckStats {
+    /// Accumulates another stats block into this one (summing every
+    /// counter; the timing fields add up too, so merge per-worker counters
+    /// first and stamp wall-clock times on the merged result).
+    ///
+    /// This is how a parallel run aggregates race-free: every worker owns a
+    /// plain `CheckStats` (ordinary field increments, no atomics on the hot
+    /// path) and the coordinator merges them after the pool joins.
+    pub fn merge(&mut self, other: &CheckStats) {
+        self.paths_compared += other.paths_compared;
+        self.compositions += other.compositions;
+        self.mapping_equalities += other.mapping_equalities;
+        self.table_lookups += other.table_lookups;
+        self.table_hits += other.table_hits;
+        self.table_entries += other.table_entries;
+        self.hash_collisions += other.hash_collisions;
+        self.flattenings += other.flattenings;
+        self.matchings += other.matchings;
+        self.shared_table_lookups += other.shared_table_lookups;
+        self.shared_table_hits += other.shared_table_hits;
+        self.shared_table_inserts += other.shared_table_inserts;
+        self.check_time_us += other.check_time_us;
+        self.witness_time_us += other.witness_time_us;
+        debug_assert!(self.table_hits <= self.table_lookups);
+        debug_assert!(self.shared_table_hits <= self.shared_table_lookups);
+    }
+
     /// Fraction of tabling lookups answered from the cache (0.0 when the
     /// table was never consulted).
     pub fn table_hit_rate(&self) -> f64 {
@@ -191,6 +217,41 @@ impl Report {
     /// they appear on.
     pub fn blame(&self) -> Vec<(String, usize)> {
         blame_candidates(&self.diagnostics)
+    }
+
+    /// The *stable* rendering of the report: verdict, checked outputs,
+    /// budget reason, every diagnostic, every witness and the blame ranking
+    /// — everything semantic — with the volatile quantities (wall-clock
+    /// times, cache hit counters) left out.
+    ///
+    /// This rendering is byte-identical for one request regardless of
+    /// [`crate::CheckOptions::jobs`]: the parallel checker merges per-task
+    /// diagnostics in deterministic decomposition order, while its cache and
+    /// work counters legitimately vary with scheduling (worker-local tables
+    /// see different task interleavings).  [`Report::summary`] is the richer
+    /// human rendering that includes those counters.
+    pub fn render_stable(&self) -> String {
+        let mut out = format!("{}\n", self.verdict);
+        out.push_str(&format!("outputs: {}\n", self.outputs_checked.join(", ")));
+        if let Some(reason) = &self.budget_exhausted {
+            let kind = match reason {
+                BudgetExhausted::WorkLimit { .. } => "work limit",
+                BudgetExhausted::DeadlineExceeded { .. } => "deadline",
+                BudgetExhausted::Cancelled => "cancelled",
+            };
+            out.push_str(&format!("inconclusive: {kind}\n"));
+        }
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+        }
+        for w in &self.witnesses {
+            out.push_str(&w.to_string());
+            out.push('\n');
+        }
+        for (stmt, paths) in self.blame() {
+            out.push_str(&format!("blame: {stmt} ({paths} failing paths)\n"));
+        }
+        out
     }
 
     /// A compact human-readable rendering of the whole report.

@@ -255,6 +255,29 @@ impl VerifierBuilder {
         self
     }
 
+    /// Sets the *intra-query* worker count: every request's root obligation
+    /// is sharded across outputs and independent correspondence sub-proofs
+    /// and executed by a scoped worker pool of this width (shorthand for
+    /// [`CheckOptions::jobs`] via [`Self::options`]).
+    ///
+    /// `1` (the default) keeps each request strictly sequential; `0` uses
+    /// all available parallelism.  The workers of one request share this
+    /// engine's cross-query equivalence table and feasibility cache, so
+    /// sub-proofs established by one worker discharge identical obligations
+    /// on the others mid-run.  Verdicts, diagnostics and witnesses are
+    /// identical at every setting ([`Report::render_stable`] is
+    /// byte-stable); the cache/work counters in [`CheckStats`] are
+    /// scheduling-dependent once `jobs > 1`.
+    ///
+    /// Orthogonal to [`Self::workers`], which fans *across* the requests of
+    /// one [`Verifier::verify_batch`] call: `workers` scales request
+    /// throughput, `jobs` scales the latency of one large request.  The two
+    /// multiply, so a batch of wide requests usually wants one of them at 1.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.options.jobs = jobs;
+        self
+    }
+
     /// Enables or disables witness extraction for `NotEquivalent` verdicts.
     pub fn witnesses(mut self, enabled: bool) -> Self {
         self.witnesses = enabled;

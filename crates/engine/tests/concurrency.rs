@@ -21,6 +21,7 @@ fn big_pair(seed: u64) -> VerifyRequest {
         inputs: 3,
         fanin: 3,
         seed,
+        ..Default::default()
     });
     let (transformed, _) = random_pipeline(&original, 4, seed ^ 0x5eed);
     VerifyRequest::programs(original, transformed)

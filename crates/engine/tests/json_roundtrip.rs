@@ -134,6 +134,7 @@ proptest! {
             inputs: 2,
             fanin: 2,
             seed,
+            ..Default::default()
         });
         let (transformed, _) = random_pipeline(&original, 3, seed.wrapping_add(1));
         let verifier = Verifier::builder().witnesses(true).build();

@@ -2,11 +2,12 @@
 
 use crate::constraint::{Constraint, ConstraintKind};
 use crate::feasible::{find_model, is_feasible, Feasibility, ModelOutcome};
-use crate::hash::{combine_unordered, structural_hash_of};
+use crate::hash::{combine_unordered, structural_hash_of, StructuralHasher};
 use crate::linexpr::{gcd, LinExpr};
 use crate::space::{Space, VarKind};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Upper bound on the conjunct-level feasibility memo; when reached the memo
@@ -69,9 +70,18 @@ pub trait FeasibilityCache: Send + Sync {
 
 thread_local! {
     /// The per-thread override installed by [`with_feasibility_cache`]; when
-    /// present it replaces the thread-local memo entirely.
+    /// present it becomes the second level behind the thread-local memo.
     static FEASIBILITY_CACHE_OVERRIDE: RefCell<Option<Arc<dyn FeasibilityCache>>> =
         const { RefCell::new(None) };
+
+    /// Identity (allocation address) of the cache the thread-local memo was
+    /// last used under; 0 when no cache was installed.  [`Conjunct::is_feasible`]
+    /// clears the memo whenever this changes, so entries computed under a
+    /// *different* (or no) shared store never mask the one currently
+    /// installed: without the scoping, a verdict computed before the store
+    /// existed would be served from the first level forever and never be
+    /// published, leaving other threads of the same session to recompute it.
+    static FEASIBILITY_MEMO_SCOPE: Cell<usize> = const { Cell::new(0) };
 }
 
 /// Runs `f` with `cache` installed as this thread's second-level
@@ -95,8 +105,23 @@ pub fn with_feasibility_cache<R>(cache: Arc<dyn FeasibilityCache>, f: impl FnOnc
 }
 
 /// The feasibility store currently installed on this thread, if any.
-fn installed_cache() -> Option<Arc<dyn FeasibilityCache>> {
+///
+/// Worker pools that fan one verification run across scoped threads use this
+/// to capture the caller's store and re-install it (via
+/// [`with_feasibility_cache`]) inside every worker, so all workers publish
+/// to and consult the same session-level memo.
+pub fn current_feasibility_cache() -> Option<Arc<dyn FeasibilityCache>> {
     FEASIBILITY_CACHE_OVERRIDE.with(|c| c.borrow().clone())
+}
+
+/// Identity of the currently-installed cache (0 when none) — cheap to read
+/// on every [`Conjunct::is_feasible`] call, no `Arc` clone involved.
+fn installed_cache_identity() -> usize {
+    FEASIBILITY_CACHE_OVERRIDE.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map_or(0, |a| Arc::as_ptr(a) as *const () as usize)
+    })
 }
 
 /// A conjunction of [`Constraint`]s over a [`Space`], possibly with local
@@ -240,6 +265,21 @@ impl Conjunct {
     /// traversal, and only the first run pays for the Omega test.
     pub fn is_feasible(&self) -> bool {
         let key = self.structural_hash();
+        // Scope the thread-local level to the installed shared store: when a
+        // different store (or none) was active the last time this thread
+        // memoised, the first level is cleared so every verdict the current
+        // session needs flows through the shared store at least once per
+        // thread — consulted on the miss, published on the compute.  Without
+        // this, entries memoised outside the session mask the shared level
+        // ("dead weight": lookups never reach it, verdicts never get
+        // published for the session's other threads).
+        let scope = installed_cache_identity();
+        FEASIBILITY_MEMO_SCOPE.with(|s| {
+            if s.get() != scope {
+                s.set(scope);
+                FEASIBILITY_MEMO.with(|m| m.borrow_mut().clear());
+            }
+        });
         // Level 1: the thread-local memo, always — a hit stays lock-free
         // even inside an engine session, keeping the hot path as cheap as
         // before the shared store existed.
@@ -268,7 +308,7 @@ impl Conjunct {
         // `with_feasibility_cache`, consulted on a thread-local miss only.
         // A hit is copied down into the thread-local memo so repeats on this
         // thread never touch the shared store's locks again.
-        let shared = installed_cache();
+        let shared = current_feasibility_cache();
         if let Some(cache) = &shared {
             if let Some(feasible) = cache.get(key) {
                 FEASIBILITY_MEMO_STATS.with(|s| s.borrow_mut().0 += 1);
@@ -329,40 +369,157 @@ impl Conjunct {
         }
     }
 
-    /// The canonical constraint list: every constraint normalised
-    /// (gcd-reduced, sign-canonicalised), trivially-true constraints dropped,
-    /// sorted and deduplicated.  Two conjuncts whose constraint lists are
-    /// permutations, duplications or gcd-scalings of each other share one
+    /// The canonical constraint list: existential columns renamed into their
+    /// canonical order (see [`Conjunct::canonical_exists_order`]), every
+    /// constraint normalised (gcd-reduced, sign-canonicalised),
+    /// trivially-true constraints dropped, sorted and deduplicated.  Two
+    /// conjuncts whose constraint lists are permutations, duplications,
+    /// gcd-scalings *or existential renamings* of each other share one
     /// canonical list.
     pub fn canonical_constraints(&self) -> Vec<Constraint> {
-        let mut cs: Vec<Constraint> = self
-            .constraints
-            .iter()
-            .map(Constraint::normalized)
-            .filter(|c| c.trivial() != Some(true))
-            .collect();
+        let remap = self.canonical_exists_order().filter(|order| {
+            // Skip the remap when the canonical order is the given order.
+            order.iter().enumerate().any(|(new, &old)| new != old)
+        });
+        let mut cs: Vec<Constraint> = match remap {
+            Some(order) => {
+                let global = self.space.n_global();
+                let n_vars = self.n_vars();
+                let mut map: Vec<usize> = (0..n_vars).collect();
+                for (new_pos, &old_e) in order.iter().enumerate() {
+                    map[global + old_e] = global + new_pos;
+                }
+                self.constraints
+                    .iter()
+                    .map(|c| c.remapped(&map, n_vars).normalized())
+                    .filter(|c| c.trivial() != Some(true))
+                    .collect()
+            }
+            None => self
+                .constraints
+                .iter()
+                .map(Constraint::normalized)
+                .filter(|c| c.trivial() != Some(true))
+                .collect(),
+        };
         cs.sort_unstable();
         cs.dedup();
         cs
     }
 
+    /// The canonical order of the existential columns, as the list of old
+    /// existential indices in their new order — or `None` when fewer than
+    /// two existentials leave nothing to permute.
+    ///
+    /// Existential variables are anonymous, so two structurally identical
+    /// dependency mappings can reach the checker with their existential
+    /// columns in different orders (composition concatenates the
+    /// existentials of both operands in operand order; differently-written
+    /// iterator nests introduce them in program order).  To make
+    /// [`Conjunct::structural_hash`] invariant under that renaming, each
+    /// existential gets a *signature* — a digest of the constraints it
+    /// appears in, seen through column-order-insensitive lenses, refined
+    /// Weisfeiler–Lehman-style so mutually-referencing existentials
+    /// separate — and columns are sorted by signature (ties keep the given
+    /// order, which can only cost a missed table hit, never a wrong one:
+    /// the hash is always computed from one concrete renamed system).
+    fn canonical_exists_order(&self) -> Option<Vec<usize>> {
+        if self.n_exists < 2 {
+            return None;
+        }
+        let global = self.space.n_global();
+        let n = self.n_exists;
+        let mut sig = vec![0u64; n];
+        let mut next = vec![0u64; n];
+        // Round 0 uses no neighbour signatures; each refinement round folds
+        // the previous round's signatures of co-occurring existentials in.
+        // One refinement separates every chain this crate builds (two for
+        // larger existential sets); the multisets of lenses / neighbour
+        // digests are folded with wrapping addition — commutative, so
+        // order-insensitive without the sort-and-allocate of
+        // `combine_unordered` on what is the `is_feasible` hot path.
+        let refinements = if n <= 3 { 1 } else { 2 };
+        for round in 0..=refinements {
+            for (e, slot) in next.iter_mut().enumerate() {
+                let col = global + e;
+                let mut lens_acc = 0u64;
+                let mut lens_count = 0u64;
+                for c in &self.constraints {
+                    let a = c.expr().coeff(col);
+                    if a == 0 {
+                        continue;
+                    }
+                    // Equalities and congruences are sign-symmetric; viewing
+                    // each through the sign of this column's coefficient
+                    // keeps the lens stable across `e - f = 0` vs
+                    // `f - e = 0` presentations.
+                    let s = match c.kind() {
+                        ConstraintKind::Geq => 1,
+                        _ => a.signum(),
+                    };
+                    let mut h = StructuralHasher::new();
+                    let kind_tag = match c.kind() {
+                        ConstraintKind::Eq => 0u8,
+                        ConstraintKind::Geq => 1,
+                        ConstraintKind::Mod => 2,
+                    };
+                    let modulus = match c.kind() {
+                        ConstraintKind::Mod => c.modulus(),
+                        _ => 0,
+                    };
+                    (kind_tag, modulus, s * a).hash(&mut h);
+                    for g in 0..global {
+                        (s * c.expr().coeff(g)).hash(&mut h);
+                    }
+                    (s * c.expr().constant()).hash(&mut h);
+                    let mut neigh_acc = 0u64;
+                    for o in (0..n).filter(|&o| o != e) {
+                        let coeff = c.expr().coeff(global + o);
+                        if coeff != 0 {
+                            let prev = if round == 0 { 0 } else { sig[o] };
+                            neigh_acc =
+                                neigh_acc.wrapping_add(structural_hash_of(&(s * coeff, prev)));
+                        }
+                    }
+                    h.write_u64(neigh_acc);
+                    lens_acc = lens_acc.wrapping_add(h.finish());
+                    lens_count += 1;
+                }
+                *slot = structural_hash_of(&(lens_acc, lens_count));
+            }
+            std::mem::swap(&mut sig, &mut next);
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&e| (sig[e], e));
+        Some(order)
+    }
+
     /// A stable 64-bit hash of the canonical structural form.
     ///
-    /// Invariant under constraint permutation, duplication and gcd scaling
-    /// (everything [`Constraint::normalized`] folds away); sensitive to the
-    /// space arities, the number of existentials and every surviving
-    /// canonical constraint.  Equal conjuncts — and conjuncts that differ
-    /// only by those cosmetic presentation choices — hash identically; the
-    /// converse holds up to 64-bit collisions, which the debug-build memo
-    /// checks guard against.
+    /// Invariant under constraint permutation, duplication, gcd scaling
+    /// (everything [`Constraint::normalized`] folds away) *and* renaming of
+    /// the existential columns (see [`Conjunct::canonical_exists_order`]);
+    /// sensitive to the space arities, the number of existentials and every
+    /// surviving canonical constraint.  Equal conjuncts — and conjuncts that
+    /// differ only by those cosmetic presentation choices — hash
+    /// identically; the converse holds up to 64-bit collisions, which the
+    /// debug-build memo checks guard against.
     pub fn structural_hash(&self) -> u64 {
-        let per_constraint: Vec<u64> = self
-            .constraints
-            .iter()
-            .map(Constraint::normalized)
-            .filter(|c| c.trivial() != Some(true))
-            .map(|c| structural_hash_of(&c))
-            .collect();
+        // With zero or one existential there is nothing to rename, so the
+        // cheap per-constraint path (no remapping clone) is exact.
+        let per_constraint: Vec<u64> = if self.n_exists >= 2 {
+            self.canonical_constraints()
+                .iter()
+                .map(structural_hash_of)
+                .collect()
+        } else {
+            self.constraints
+                .iter()
+                .map(Constraint::normalized)
+                .filter(|c| c.trivial() != Some(true))
+                .map(|c| structural_hash_of(&c))
+                .collect()
+        };
         let salt = structural_hash_of(&(
             self.space.n_in(),
             self.space.n_out(),
@@ -1062,6 +1219,66 @@ mod tests {
         assert!(no_recompute, "cross-thread lookup hit the shared store");
         // Outside the scope the default thread-local memo is back.
         assert!(!c.is_feasible());
+    }
+
+    /// Builds `{ [x] -> [y] : x = 2·e_a and y = 3·e_b and e_a >= 0 and
+    /// e_b >= 1 }` with the two existentials in the given order.
+    fn two_exists_conjunct(swapped: bool) -> Conjunct {
+        let mut c = Conjunct::universe(space_1_1());
+        let first = c.add_exists(2);
+        let (ea, eb) = if swapped {
+            (first + 1, first)
+        } else {
+            (first, first + 1)
+        };
+        let n = c.n_vars();
+        let mk = |pairs: &[(usize, i64)], k: i64| {
+            let mut le = LinExpr::zero(n);
+            for &(col, coef) in pairs {
+                le.set_coeff(col, coef);
+            }
+            le.set_constant(k);
+            le
+        };
+        let x = c.col(VarKind::In, 0);
+        let y = c.col(VarKind::Out, 0);
+        c.add(Constraint::eq(mk(&[(x, 1), (ea, -2)], 0)));
+        c.add(Constraint::eq(mk(&[(y, 1), (eb, -3)], 0)));
+        c.add(Constraint::geq(mk(&[(ea, 1)], 0)));
+        c.add(Constraint::geq(mk(&[(eb, 1)], -1)));
+        c
+    }
+
+    #[test]
+    fn structural_hash_is_invariant_under_existential_renaming() {
+        let a = two_exists_conjunct(false);
+        let b = two_exists_conjunct(true);
+        // Same set, existential columns introduced in opposite order.
+        assert_ne!(a.constraints(), b.constraints(), "presentations differ");
+        assert_eq!(a.canonical_constraints(), b.canonical_constraints());
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        // The canonical form still separates genuinely different systems.
+        let mut c = two_exists_conjunct(false);
+        let n = c.n_vars();
+        let mut extra = LinExpr::zero(n);
+        extra.set_coeff(c.col(VarKind::In, 0), 1);
+        extra.set_constant(100);
+        c.add(Constraint::geq(extra));
+        assert_ne!(a.structural_hash(), c.structural_hash());
+    }
+
+    #[test]
+    fn feasibility_memo_agrees_across_existential_renamings() {
+        // The memo keys on the rename-canonical hash; both presentations
+        // must land on the same (correct) verdict.
+        let a = two_exists_conjunct(false);
+        let b = two_exists_conjunct(true);
+        assert!(a.is_feasible());
+        assert!(b.is_feasible());
+        assert!(a.contains(&[2, 3]));
+        assert!(b.contains(&[2, 3]));
+        assert!(!a.contains(&[1, 3]));
+        assert!(!b.contains(&[1, 3]));
     }
 
     #[test]

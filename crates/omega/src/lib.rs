@@ -133,7 +133,10 @@ mod relation;
 mod set;
 mod space;
 
-pub use conjunct::{feasibility_memo_stats, with_feasibility_cache, Conjunct, FeasibilityCache};
+pub use conjunct::{
+    current_feasibility_cache, feasibility_memo_stats, with_feasibility_cache, Conjunct,
+    FeasibilityCache,
+};
 pub use constraint::{Constraint, ConstraintKind};
 pub use hash::{structural_hash_of, StructuralHasher};
 pub use linexpr::LinExpr;

@@ -25,6 +25,19 @@ pub struct GeneratorConfig {
     pub inputs: usize,
     /// Operands per statement (the length of the addition chain).
     pub fanin: usize,
+    /// Number of output arrays.  `1` (the default) produces the classic
+    /// single-`OUT` chain; larger values produce a *wide* kernel — a shared
+    /// base layer feeding one independent `layers`-deep chain per output
+    /// `OUT0..OUTm` — the workload shape the intra-query parallel checker
+    /// shards across its worker pool (`--exp pr4`).
+    pub outputs: usize,
+    /// For wide kernels (`outputs > 1`): the number of structurally
+    /// *distinct* chains.  `0` (the default) makes every chain unique;
+    /// `d > 0` repeats the same chain structure every `d` outputs through
+    /// freshly-named temporaries — the multi-channel idiom (one filter
+    /// applied per channel) whose repeated sub-proofs the rename-invariant
+    /// tabling keys collapse to a single entry.
+    pub distinct_chains: usize,
     /// Seed for the deterministic pseudo-random choices.
     pub seed: u64,
 }
@@ -36,6 +49,8 @@ impl Default for GeneratorConfig {
             layers: 4,
             inputs: 2,
             fanin: 3,
+            outputs: 1,
+            distinct_chains: 0,
             seed: 1,
         }
     }
@@ -49,6 +64,9 @@ impl Default for GeneratorConfig {
 /// The result is guaranteed to be in the program class and to pass the
 /// def-use check.
 pub fn generate_kernel(config: &GeneratorConfig) -> Program {
+    if config.outputs > 1 {
+        return generate_wide_kernel(config);
+    }
     let mut rng = StdRng::seed_from_u64(config.seed);
     let n = config.n;
     let mut b = ProgramBuilder::new("generated").define("N", n);
@@ -108,6 +126,107 @@ pub fn generate_kernel(config: &GeneratorConfig) -> Program {
     b.build()
 }
 
+/// The multi-output variant of [`generate_kernel`] (`outputs > 1`): one
+/// shared base layer `t0` over the inputs, then per output `OUTj` an
+/// independent chain of `layers - 1` intermediate arrays rooted at `t0`.
+///
+/// The chains are what an intra-query parallel checker shards across
+/// workers; the shared base layer gives the workers structurally identical
+/// sub-obligations whose proofs flow between them through the
+/// (rename-invariant) equivalence tables.
+fn generate_wide_kernel(config: &GeneratorConfig) -> Program {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.n;
+    let inputs = config.inputs.max(1);
+    let mut b = ProgramBuilder::new("generated_wide").define("N", n);
+    for i in 0..inputs {
+        b = b.param(format!("IN{i}"));
+    }
+    for j in 0..config.outputs {
+        b = b.param(format!("OUT{j}"));
+    }
+    b = b.decl("k", vec![]);
+
+    let input_names: Vec<String> = (0..inputs).map(|i| format!("IN{i}")).collect();
+    let mut body = Vec::new();
+
+    // Shared base layer read by every chain.
+    b = b.decl("t0", vec![Expr::var("N")]);
+    let base_rhs = random_sum(&mut rng, &input_names, true, config.fanin.max(1), n);
+    body.push(simple_for(
+        "k",
+        0,
+        n,
+        1,
+        vec![assign1("b0", "t0", Expr::var("k"), base_rhs)],
+    ));
+
+    for j in 0..config.outputs {
+        // Chains of the same class make identical structural choices (their
+        // own rng seeded by the class), so with `distinct_chains = d` every
+        // d-th output repeats the same computation through fresh
+        // temporaries — the repeated-idiom workload for rename-invariant
+        // tabling.  `d = 0` keeps every chain unique.
+        let class = if config.distinct_chains > 0 {
+            j % config.distinct_chains
+        } else {
+            j
+        };
+        let mut chain_rng = StdRng::seed_from_u64(config.seed ^ (0x9e37 + class as u64 * 0x85eb));
+        let mut prev = "t0".to_owned();
+        for layer in 1..config.layers.max(1) {
+            let array = format!("t{j}x{layer}");
+            b = b.decl(&array, vec![Expr::var("N")]);
+            let chain = random_sum(&mut chain_rng, std::slice::from_ref(&prev), false, 1, n);
+            let rest = random_sum(
+                &mut chain_rng,
+                &input_names,
+                true,
+                config.fanin.saturating_sub(1).max(1),
+                n,
+            );
+            body.push(simple_for(
+                "k",
+                0,
+                n,
+                1,
+                vec![assign1(
+                    &format!("s{j}x{layer}"),
+                    &array,
+                    Expr::var("k"),
+                    Expr::add(chain, rest),
+                )],
+            ));
+            prev = array;
+        }
+        // The final statement is per-output (it mixes in a rotating input),
+        // so even outputs of the same chain class have distinct root
+        // obligations — the repeated work sits one reduction below, where
+        // the rename-invariant tabling keys pick it up.
+        let final_rhs = Expr::add(
+            Expr::access1(&prev, Expr::var("k")),
+            Expr::access1(format!("IN{}", j % inputs), Expr::var("k")),
+        );
+        body.push(simple_for(
+            "k",
+            0,
+            n,
+            1,
+            vec![assign1(
+                &format!("o{j}"),
+                &format!("OUT{j}"),
+                Expr::var("k"),
+                final_rhs,
+            )],
+        ));
+    }
+
+    for s in body {
+        b = b.stmt(s);
+    }
+    b.build()
+}
+
 /// Builds a `fanin`-term addition chain over the given source arrays.
 fn random_sum(
     rng: &mut StdRng,
@@ -148,13 +267,20 @@ fn random_sum(
 /// output `N`), for use with the interpreter oracle.
 pub fn inputs_for(config: &GeneratorConfig) -> arrayeq_lang::interp::Inputs {
     let mut inputs = arrayeq_lang::interp::Inputs::new();
-    for i in 0..config.inputs {
+    for i in 0..config.inputs.max(1) {
         let data: Vec<i64> = (0..(2 * config.n + 4))
             .map(|v| v * 13 + i as i64 * 7 + 1)
             .collect();
         inputs = inputs.array(format!("IN{i}"), data);
     }
-    inputs.output("OUT", config.n as usize)
+    if config.outputs > 1 {
+        for j in 0..config.outputs {
+            inputs = inputs.output(format!("OUT{j}"), config.n as usize);
+        }
+        inputs
+    } else {
+        inputs.output("OUT", config.n as usize)
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +310,33 @@ mod tests {
             assert_eq!(out.len(), 32);
             assert!(out.iter().all(|&v| v != Interpreter::UNINIT));
         }
+    }
+
+    #[test]
+    fn wide_kernels_are_in_class_and_run_per_output() {
+        let cfg = GeneratorConfig {
+            n: 16,
+            layers: 3,
+            outputs: 4,
+            seed: 9,
+            ..Default::default()
+        };
+        let p = generate_kernel(&cfg);
+        assert!(check_class(&p).unwrap().is_ok());
+        assert!(check_def_use(&p).unwrap().is_ok());
+        assert_eq!(p.output_arrays().len(), 4);
+        // shared base + per output (layers-1 chain + final) statements
+        assert_eq!(p.statement_count(), 1 + 4 * 3);
+        for j in 0..4 {
+            let out = Interpreter::new(&p)
+                .run_for_output(&inputs_for(&cfg), &format!("OUT{j}"))
+                .unwrap();
+            assert_eq!(out.len(), 16);
+            assert!(out.iter().all(|&v| v != Interpreter::UNINIT));
+        }
+        // Equivalent to itself, sequentially and in parallel.
+        let r = verify_programs(&p, &p, &CheckOptions::default().with_jobs(4)).unwrap();
+        assert!(r.is_equivalent(), "{}", r.summary());
     }
 
     #[test]

@@ -74,6 +74,21 @@
 //! assert!(outcomes.iter().all(|o| o.as_ref().unwrap().report.is_equivalent()));
 //! ```
 //!
+//! One *large* request (many outputs, wide kernels) can itself be sharded
+//! across a worker pool with
+//! [`VerifierBuilder::jobs`](engine::VerifierBuilder::jobs) (or
+//! [`CheckOptions::jobs`](core::CheckOptions) on the one-shot path): the
+//! root obligation splits into per-output and per-definition sub-proofs,
+//! workers share the session caches, and the verdict, diagnostics and the
+//! stable rendering ([`Report::render_stable`](core::Report::render_stable))
+//! are byte-identical at every worker count:
+//!
+//! ```
+//! use arrayeq::engine::Verifier;
+//! let wide = Verifier::builder().jobs(0).build(); // 0 = all cores
+//! # let _ = wide;
+//! ```
+//!
 //! For one-off checks the original free functions remain as thin one-shot
 //! wrappers: [`core::verify_source`], [`core::verify_programs`],
 //! [`core::verify_addgs`] and [`witness::verify_with_witnesses`].
@@ -85,6 +100,7 @@
 //! ```text
 //! arrayeq verify a.c b.c [--method basic|extended] [--witnesses] [--json]
 //!                        [--dot out.dot] [--deadline-ms N] [--max-work N]
+//!                        [--jobs N]
 //! arrayeq corpus --list          # built-in programs and fault-corpus mutants
 //! arrayeq corpus fig1a           # print one of them
 //! ```
