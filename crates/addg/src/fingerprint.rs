@@ -95,6 +95,28 @@ pub fn fingerprints_named(g: &Addg) -> Fingerprints {
     fingerprints_impl(g, true)
 }
 
+/// Folds a flattened term's content — an integer coefficient times a
+/// multiset of factors, each named by a `(position fingerprint, mapping
+/// structural hash)` pair — into one 64-bit *term fingerprint*.
+///
+/// This extends the position-fingerprint vocabulary to the normalization
+/// subsystem's hash-consed terms: factor pairs are sorted before hashing so
+/// the fingerprint is order-free (a commutative-chain term is one multiset),
+/// and because both ingredients are rename-invariant and cross-graph
+/// comparable, so is the result — equal term fingerprints mean the same
+/// `coeff · Π factors` whichever graph each side came from (up to 64-bit
+/// collisions, the shared trust boundary of every fingerprint here).
+pub fn term_fingerprint(coeff: i64, factor_keys: &[(u64, u64)]) -> u64 {
+    let mut sorted: Vec<(u64, u64)> = factor_keys.to_vec();
+    sorted.sort_unstable();
+    let mut h = StructuralHasher::default();
+    ("term", coeff, sorted.len()).hash(&mut h);
+    for pair in &sorted {
+        pair.hash(&mut h);
+    }
+    h.finish()
+}
+
 fn fingerprints_impl(g: &Addg, name_all: bool) -> Fingerprints {
     let recurrent = g.recurrence_arrays();
     // Collect every array name a position can mention: defined arrays plus

@@ -92,6 +92,16 @@ fn main() {
             .unwrap_or_else(|| "BENCH_PR3.json".to_owned());
         pr3_cross_query(&out);
     }
+    if only.as_deref() == Some("pr5") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_PR5.json".to_owned());
+        let quick = args.iter().any(|a| a == "--quick");
+        pr5_normalization(&out, quick);
+    }
     if only.as_deref() == Some("pr4") {
         let out = args
             .iter()
@@ -1021,6 +1031,200 @@ fn pr4_parallel_checking(out_path: &str, quick: bool) {
         arrayeq_engine::session_to_json(&session),
     );
     std::fs::write(out_path, &json).expect("write PR4 snapshot");
+    println!("snapshot written to {out_path}");
+}
+
+/// PR5 acceptance snapshot: the algebraic normalization subsystem.
+///
+/// * **Scenario corpora** — the factored/expanded, subtraction-shuffle and
+///   identity/constant-fold pairs (hand-written corpus pairs plus generated
+///   kernels rewritten by `transform::algebraic`): the basic method must
+///   answer `NotEquivalent` and the extended method `Equivalent` on every
+///   pair — both hard-asserted — with per-pair check wall time recorded.
+/// * **Matcher on the PR4 wide kernels** — check wall time plus the
+///   normalization counters (flattenings, matchings, flattened terms,
+///   arena interns/dedup-hits, id-equality fast matches, match-memo hits)
+///   on the wide multi-output kernels the parallel experiments use; the
+///   arena must dedup (> 0 hits) and fast-match (> 0), hard-asserted.
+/// * **Parallel decomposition** — every scenario pair re-checked at
+///   jobs ∈ {1, 8} with byte-identical `render_stable()` hard-asserted,
+///   and the piecewise workloads must decompose their flatten/match
+///   obligations into > 1 per-piece task (`algebraic_piece_tasks`).
+fn pr5_normalization(out_path: &str, quick: bool) {
+    use arrayeq_engine::{Verifier, VerifyRequest};
+    header(
+        "PR5",
+        "algebraic normalization: scenario corpora, term arena, per-piece parallel matching",
+    );
+    let repeats = if quick { 1 } else { 3 };
+    let corpus = algebraic_corpus(41);
+    assert!(corpus.len() >= 9, "scenario corpus unexpectedly small");
+
+    // 1. Scenario corpora: basic fails, extended succeeds, hard-asserted.
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "scenario", "basic", "extended", "check/ms", "pieces", "terms"
+    );
+    let mut rows = Vec::new();
+    let mut total_ms = 0.0f64;
+    for w in &corpus {
+        let basic = w.check(&CheckOptions::basic());
+        assert!(
+            !basic.is_equivalent(),
+            "acceptance: the basic method must fail on {}",
+            w.name
+        );
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..repeats {
+            let (r, t) = timed(|| w.check(&CheckOptions::default()));
+            assert!(
+                r.is_equivalent(),
+                "acceptance: extended+normalize must verify {}: {}",
+                w.name,
+                r.summary()
+            );
+            best = best.min(t.as_secs_f64() * 1e3);
+            last = Some(r);
+        }
+        let r = last.expect("at least one repeat");
+        total_ms += best;
+        println!(
+            "{:<22} {:>10} {:>12} {:>12.3} {:>10} {:>10}",
+            w.name, "NEQ", "EQ", best, r.stats.matchings, r.stats.terms_flattened
+        );
+        rows.push(format!(
+            concat!(
+                "    {{ \"scenario\": \"{}\", \"basic\": \"not_equivalent\", ",
+                "\"extended\": \"equivalent\", \"check_ms\": {:.3}, ",
+                "\"stats\": {} }}"
+            ),
+            w.name,
+            best,
+            arrayeq_engine::stats_to_json(&r.stats),
+        ));
+    }
+
+    // 2. Matcher + term arena on the PR4 wide kernels.
+    let wide: Vec<Workload> = if quick {
+        vec![wide_pair(4, 8, 2, 128, 7)]
+    } else {
+        vec![wide_pair(6, 8, 1, 256, 7), wide_pair(4, 12, 2, 256, 7)]
+    };
+    println!(
+        "{:<24} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "wide kernel", "check/ms", "interns", "dedup-rate", "fast", "memo", "matchings"
+    );
+    let mut wide_rows = Vec::new();
+    for w in &wide {
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..repeats {
+            let (r, t) = timed(|| w.check(&CheckOptions::default()));
+            assert!(r.is_equivalent(), "pr5 wide workload verifies: {}", w.name);
+            best = best.min(t.as_secs_f64() * 1e3);
+            last = Some(r);
+        }
+        let r = last.expect("at least one repeat");
+        assert!(
+            r.stats.arena_hits > 0,
+            "acceptance: the term arena must dedup on {} ({:?})",
+            w.name,
+            r.stats
+        );
+        assert!(
+            r.stats.fast_term_matches > 0,
+            "acceptance: id-equality fast matching must engage on {}",
+            w.name
+        );
+        // Collision shadowing is compiled out in release builds (where this
+        // experiment runs), so `hash_collisions` is asserted by the
+        // debug-build unit/property tests, not here.
+        println!(
+            "{:<24} {:>10.3} {:>10} {:>11.1}% {:>10} {:>10} {:>10}",
+            w.name,
+            best,
+            r.stats.arena_interns,
+            r.stats.arena_hit_rate() * 100.0,
+            r.stats.fast_term_matches,
+            r.stats.term_memo_hits,
+            r.stats.matchings,
+        );
+        wide_rows.push(format!(
+            concat!(
+                "    {{ \"workload\": \"{}\", \"check_ms\": {:.3}, ",
+                "\"arena_hit_rate\": {:.4}, \"stats\": {} }}"
+            ),
+            w.name,
+            best,
+            r.stats.arena_hit_rate(),
+            arrayeq_engine::stats_to_json(&r.stats),
+        ));
+    }
+
+    // 3. Parallel decomposition: byte-identical stable reports at jobs 1/8,
+    //    and piecewise chains contribute > 1 per-piece task.
+    let mut max_piece_tasks = 0u64;
+    for w in &corpus {
+        let request = VerifyRequest::programs(w.original.clone(), w.transformed.clone());
+        let seq = Verifier::builder()
+            .jobs(1)
+            .build()
+            .verify(&request)
+            .expect("pr5 sequential run");
+        let par = Verifier::builder()
+            .jobs(8)
+            .build()
+            .verify(&request)
+            .expect("pr5 parallel run");
+        assert_eq!(seq.report.verdict, par.report.verdict, "{}", w.name);
+        assert_eq!(
+            seq.report.render_stable(),
+            par.report.render_stable(),
+            "acceptance: stable report must be byte-identical at jobs 1 vs 8 ({})",
+            w.name
+        );
+        max_piece_tasks = max_piece_tasks.max(par.report.stats.algebraic_piece_tasks);
+    }
+    assert!(
+        max_piece_tasks > 1,
+        "acceptance: flatten/match must contribute > 1 parallel task \
+         (max algebraic_piece_tasks = {max_piece_tasks})"
+    );
+    println!(
+        "parallel: stable reports byte-identical at jobs 1/8 on {} scenario pairs; \
+         flatten/match contributed up to {} per-piece tasks in one run",
+        corpus.len(),
+        max_piece_tasks
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"PR5: algebraic normalization subsystem — scenario corpora ",
+            "(factored/expanded, subtraction shuffle, identity/constant folding), hash-consed ",
+            "term arena on the PR4 wide kernels, and per-piece parallel matching\",\n",
+            "  \"command\": \"cargo run --release -p arrayeq-bench --bin run_experiments ",
+            "-- --exp pr5\",\n",
+            "  \"config\": {{ \"quick\": {}, \"repeats\": {}, ",
+            "\"timing\": \"best of repeats, ms\" }},\n",
+            "  \"acceptance\": \"hard-asserted in-run: basic NEQ + extended EQ on every ",
+            "scenario pair; arena dedup hits > 0 and id-equality fast matches > 0 on the wide ",
+            "kernels; render_stable byte-identical at jobs 1 vs 8; algebraic_piece_tasks > 1\",\n",
+            "  \"scenarios\": [\n{}\n  ],\n",
+            "  \"scenario_total_check_ms\": {:.3},\n",
+            "  \"wide_kernels\": [\n{}\n  ],\n",
+            "  \"max_algebraic_piece_tasks\": {}\n",
+            "}}\n"
+        ),
+        quick,
+        repeats,
+        rows.join(",\n"),
+        total_ms,
+        wide_rows.join(",\n"),
+        max_piece_tasks,
+    );
+    std::fs::write(out_path, &json).expect("write PR5 snapshot");
     println!("snapshot written to {out_path}");
 }
 

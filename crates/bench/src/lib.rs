@@ -117,6 +117,66 @@ pub fn wide_pair(
     }
 }
 
+/// The PR5 algebraic-normalization corpus: pairs that are equivalent
+/// exactly through the widened operator algebra — the hand-written
+/// factored/expanded, subtraction-shuffle and identity/constant-fold
+/// corpus pairs, plus generated algebra-rich kernels rewritten by the
+/// `transform::algebraic` rules (distribution, subtraction rotation,
+/// identity noise).  Every pair verifies `Equivalent` under the extended
+/// method and `NotEquivalent` under the basic method — the pr5 experiment
+/// hard-asserts both.
+pub fn algebraic_corpus(seed: u64) -> Vec<Workload> {
+    use arrayeq_transform::algebraic::{
+        distribute_program, insert_identity_noise, shuffle_subtractions,
+    };
+    let mut out = Vec::new();
+    for (name, a, b) in arrayeq_lang::corpus::ALGEBRAIC_PAIRS {
+        out.push(Workload {
+            name: name.to_owned(),
+            original: parse_program(a).expect("algebraic pair parses"),
+            transformed: parse_program(b).expect("algebraic pair parses"),
+        });
+    }
+    for s in 0..3u64 {
+        let original = generate_kernel(&GeneratorConfig {
+            n: 48,
+            layers: 3,
+            inputs: 3,
+            fanin: 3,
+            algebra: true,
+            seed: seed + s,
+            ..Default::default()
+        });
+        let (distributed, _) = distribute_program(&original);
+        out.push(Workload {
+            name: format!("gen-distribute-{s}"),
+            original: original.clone(),
+            transformed: distributed,
+        });
+        let mut shuffled = original.clone();
+        let labels: Vec<String> = original.statements().map(|a| a.label.clone()).collect();
+        for label in labels {
+            let (next, _) = shuffle_subtractions(&shuffled, &label);
+            shuffled = next;
+        }
+        out.push(Workload {
+            name: format!("gen-subshuffle-{s}"),
+            original: original.clone(),
+            transformed: shuffled,
+        });
+        let (noised, _) = insert_identity_noise(&original, seed + s);
+        out.push(Workload {
+            name: format!("gen-identnoise-{s}"),
+            original,
+            transformed: noised,
+        });
+    }
+    // A rewrite that drew no applicable site leaves the program unchanged;
+    // such pairs prove nothing about normalization, so they drop out.
+    out.retain(|w| w.original != w.transformed);
+    out
+}
+
 /// The realistic-kernel suite (experiment E8): every corpus kernel paired
 /// with a random transformation pipeline of itself.
 pub fn kernel_suite(seed: u64) -> Vec<Workload> {

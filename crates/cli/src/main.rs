@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! arrayeq verify <original.c> <transformed.c> [--method basic|extended]
-//!                [--witnesses] [--json] [--dot out.dot] [--deadline-ms N]
-//!                [--max-work N] [--jobs N]
+//!                [--declare-op name=ac]... [--witnesses] [--json]
+//!                [--dot out.dot] [--deadline-ms N] [--max-work N] [--jobs N]
 //! arrayeq corpus --list
 //! arrayeq corpus <name>
 //! ```
@@ -54,6 +54,12 @@ USAGE:
 
 VERIFY OPTIONS:
     --method basic|extended   checking method (default: extended)
+    --declare-op <name=spec>  declare the algebraic class of an operator for
+                              the extended method's normalisation; spec is a
+                              combination of `a` (associative) and `c`
+                              (commutative), e.g. `--declare-op min=ac
+                              --declare-op f=a`.  `+` and `*` re-declare the
+                              built-ins (ablations).  Repeatable.
     --witnesses               extract replay-confirmed counterexamples on
                               a NOT EQUIVALENT verdict
     --json                    print the full outcome as JSON on stdout
@@ -96,6 +102,7 @@ struct VerifyArgs {
     original: String,
     transformed: String,
     method: arrayeq_core::Method,
+    declare_ops: Vec<String>,
     witnesses: bool,
     json: bool,
     dot: Option<String>,
@@ -110,6 +117,7 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
         original: String::new(),
         transformed: String::new(),
         method: arrayeq_core::Method::Extended,
+        declare_ops: Vec::new(),
         witnesses: false,
         json: false,
         dot: None,
@@ -132,6 +140,7 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
                     other => return Err(format!("unknown method `{other}`")),
                 }
             }
+            "--declare-op" => parsed.declare_ops.push(value_of("--declare-op")?),
             "--witnesses" => parsed.witnesses = true,
             "--json" => parsed.json = true,
             "--dot" => parsed.dot = Some(value_of("--dot")?),
@@ -190,8 +199,16 @@ fn run_verify(args: &[String]) -> i32 {
         Err(code) => return code,
     };
 
+    let mut operators = arrayeq_core::OperatorProperties::default();
+    for decl in &parsed.declare_ops {
+        operators = match operators.declare_spec(decl) {
+            Ok(ops) => ops,
+            Err(message) => return usage_error(&message),
+        };
+    }
     let mut builder = Verifier::builder()
         .method(parsed.method)
+        .operators(operators)
         .witnesses(parsed.witnesses);
     if let Some(ms) = parsed.deadline_ms {
         builder = builder.deadline(Duration::from_millis(ms));

@@ -184,3 +184,53 @@ fn basic_method_flag_changes_the_verdict_on_fig1c() {
     ]);
     assert_eq!(basic.status.code(), Some(1));
 }
+
+#[test]
+fn declare_op_enables_matching_at_user_calls() {
+    let dir = temp_dir("declare");
+    let a = dir.join("a.c");
+    let b = dir.join("b.c");
+    std::fs::write(
+        &a,
+        "#define N 16\nvoid f(int X[], int Y[], int C[]) { int k; for (k=0;k<N;k++) s1: C[k] = min(X[k], Y[2*k]); }\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &b,
+        "#define N 16\nvoid f(int X[], int Y[], int C[]) { int k; for (k=0;k<N;k++) t1: C[k] = min(Y[2*k], X[k]); }\n",
+    )
+    .unwrap();
+    // Undeclared: `min` is uninterpreted and argument order matters.
+    let out = arrayeq(&["verify", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "undeclared min is not commutative"
+    );
+    // Declared AC: the swapped arguments match.
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--declare-op",
+        "min=ac",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // A malformed declaration is a usage error.
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--declare-op",
+        "min=zz",
+    ]);
+    assert_eq!(out.status.code(), Some(4));
+    // And the flag is documented.
+    let out = arrayeq(&["help"]);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--declare-op"));
+}

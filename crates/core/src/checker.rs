@@ -2,12 +2,11 @@
 
 use crate::context::{BudgetExhausted, CheckContext, SharedTableKey};
 use crate::diagnostics::{Diagnostic, DiagnosticKind};
+use crate::normalize::{self, TermArena};
 use crate::operators::OperatorProperties;
 use crate::report::{CheckStats, Report, Verdict};
 use crate::{CoreError, Result};
-use arrayeq_addg::{
-    describe_node, extract, fingerprints, Addg, Fingerprints, Node, NodeId, OperatorKind,
-};
+use arrayeq_addg::{describe_node, extract, fingerprints, Addg, Fingerprints, Node, NodeId};
 use arrayeq_lang::ast::Program;
 use arrayeq_lang::classcheck::assert_in_class;
 use arrayeq_lang::defuse::assert_def_use_correct;
@@ -303,16 +302,20 @@ enum TableKey {
 /// assumptions, stats, diagnostics buffer) while budgets are accounted
 /// through the run-wide [`SharedBudget`].
 pub(crate) struct Checker<'x> {
-    a: &'x Addg,
-    b: &'x Addg,
-    opts: &'x CheckOptions,
+    pub(crate) a: &'x Addg,
+    pub(crate) b: &'x Addg,
+    pub(crate) opts: &'x CheckOptions,
     /// Budgets and cross-query sharing (default context on the one-shot path).
     ctx: &'x CheckContext<'x>,
     /// Content fingerprints of both graphs; they key the default local
-    /// tabling cache and the cross-query shared entries.
-    fps: Option<(Fingerprints, Fingerprints)>,
-    stats: CheckStats,
-    diagnostics: Vec<Diagnostic>,
+    /// tabling cache, the cross-query shared entries and the term arena's
+    /// interning keys.
+    pub(crate) fps: Option<(Fingerprints, Fingerprints)>,
+    pub(crate) stats: CheckStats,
+    pub(crate) diagnostics: Vec<Diagnostic>,
+    /// Hash-consed flattened terms plus the matched-pair memo (the
+    /// normalization subsystem's state; see [`crate::normalize`]).
+    pub(crate) arena: TermArena,
     /// Tabling cache: established equivalences of sub-ADDG pairs.
     table: HashMap<TableKey, bool>,
     /// Dense integer ids for array positions of each graph, so array/array
@@ -333,9 +336,9 @@ pub(crate) struct Checker<'x> {
     /// coinductive assumption.  A sub-proof during which this counter moved
     /// is only valid under that assumption and must not be tabled; everything
     /// else (the overwhelming majority) caches freely.
-    assumption_uses: u64,
+    pub(crate) assumption_uses: u64,
     work: u64,
-    exhausted: bool,
+    pub(crate) exhausted: bool,
     /// Which budget fired when `exhausted` was set.
     budget_reason: Option<BudgetExhausted>,
     /// Start of the traversal, for deadline bookkeeping.
@@ -396,15 +399,6 @@ pub(crate) enum Pos {
     Node(NodeId),
 }
 
-/// A flattened operand of an associative / commutative operator.
-#[derive(Debug, Clone)]
-struct FlatTerm {
-    pos: Pos,
-    map: Relation,
-    /// Statement trail accumulated while flattening (for diagnostics).
-    trail: Vec<String>,
-}
-
 impl<'x> Checker<'x> {
     /// A fresh traversal state (the sequential run, or one worker of a
     /// parallel run when `shared_budget` is present).
@@ -424,6 +418,7 @@ impl<'x> Checker<'x> {
             fps,
             stats: CheckStats::default(),
             diagnostics: Vec::new(),
+            arena: TermArena::default(),
             table: HashMap::new(),
             array_ids_a: HashMap::new(),
             array_ids_b: HashMap::new(),
@@ -462,6 +457,30 @@ impl<'x> Checker<'x> {
             self.in_progress.insert(key.clone(), pairs.clone());
         }
         let ok = self.check(pos_a, map_a, pos_b, map_b, trail_a, trail_b)?;
+        Ok((ok, std::mem::take(&mut self.diagnostics)))
+    }
+
+    /// Runs one decomposed per-piece algebraic match as a parallel worker:
+    /// the coordinator already flattened both sides and restricted the term
+    /// lists to the piece ([`crate::parallel`]); this installs the task's
+    /// coinductive assumptions and runs the matcher, which is byte-for-byte
+    /// the loop body the sequential `check_algebraic` executes per piece.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_match_task(
+        &mut self,
+        family: &arrayeq_addg::OperatorKind,
+        live_a: &[crate::normalize::FlatTerm],
+        live_b: &[crate::normalize::FlatTerm],
+        piece: &Set,
+        trail_a: &[String],
+        trail_b: &[String],
+        assumptions: &[((String, String), Relation)],
+    ) -> Result<(bool, Vec<Diagnostic>)> {
+        self.in_progress.clear();
+        for (key, pairs) in assumptions {
+            self.in_progress.insert(key.clone(), pairs.clone());
+        }
+        let ok = self.match_restricted(family, live_a, live_b, piece, trail_a, trail_b)?;
         Ok((ok, std::mem::take(&mut self.diagnostics)))
     }
 
@@ -615,7 +634,7 @@ impl Checker<'_> {
         }
     }
 
-    fn budget(&mut self) -> bool {
+    pub(crate) fn budget(&mut self) -> bool {
         if self.exhausted {
             return false;
         }
@@ -704,7 +723,7 @@ impl Checker<'_> {
     /// The core synchronized traversal: checks that the sub-computations at
     /// `pos_a` / `pos_b` agree for every output element in the (common)
     /// domain of `map_a` / `map_b`.
-    fn check(
+    pub(crate) fn check(
         &mut self,
         pos_a: Pos,
         map_a: Relation,
@@ -997,19 +1016,62 @@ impl Checker<'_> {
                 }
             }
             // One side still inside an operator tree, the other at an array.
-            (Pos::Array(va), Pos::Node(_)) => {
+            (Pos::Array(va), Pos::Node(nb)) => {
                 if self.a.is_input(va) {
-                    // The transformed side must eventually reach the same
-                    // input; it is at an operator or constant, so this is a
-                    // mismatch.
+                    // The leaf reads as the single term of a chain, so an
+                    // operator side that normalises (`X + 0`, `X * 1`,
+                    // `-(-X)`) gets the algebraic treatment before this is
+                    // declared a mismatch.
+                    let g = self.b;
+                    if let Node::Operator {
+                        kind, statement, ..
+                    } = g.node(*nb)
+                    {
+                        if let Some(family) = normalize::family_against_leaf(
+                            kind,
+                            &self.opts.operators,
+                            self.opts.method,
+                        ) {
+                            return self.check_algebraic(
+                                &family,
+                                pos_a.clone(),
+                                map_a,
+                                pos_b.clone(),
+                                map_b,
+                                trail_a,
+                                &with_stmt(trail_b, statement),
+                            );
+                        }
+                    }
                     self.report_operator_vs_leaf(va, pos_b, &map_a, &map_b, trail_a, trail_b, true);
                     Ok(false)
                 } else {
                     self.reduce_side_a(&va.clone(), map_a, pos_b.clone(), map_b, trail_a, trail_b)
                 }
             }
-            (Pos::Node(_), Pos::Array(vb)) => {
+            (Pos::Node(na), Pos::Array(vb)) => {
                 if self.b.is_input(vb) {
+                    let g = self.a;
+                    if let Node::Operator {
+                        kind, statement, ..
+                    } = g.node(*na)
+                    {
+                        if let Some(family) = normalize::family_against_leaf(
+                            kind,
+                            &self.opts.operators,
+                            self.opts.method,
+                        ) {
+                            return self.check_algebraic(
+                                &family,
+                                pos_a.clone(),
+                                map_a,
+                                pos_b.clone(),
+                                map_b,
+                                &with_stmt(trail_a, statement),
+                                trail_b,
+                            );
+                        }
+                    }
                     self.report_operator_vs_leaf(
                         vb, pos_a, &map_b, &map_a, trail_b, trail_a, false,
                     );
@@ -1158,6 +1220,30 @@ impl Checker<'_> {
         Ok(false)
     }
 
+    /// The generic "different computations" diagnostic shared by the node
+    /// pairs that neither normalise nor compare structurally.
+    fn report_computation_mismatch(
+        &mut self,
+        expr_a: String,
+        expr_b: String,
+        map_a: &Relation,
+        map_b: &Relation,
+        trail_a: &[String],
+        trail_b: &[String],
+    ) {
+        self.diagnostics.push(Diagnostic {
+            kind: DiagnosticKind::OperatorMismatch,
+            output_array: None,
+            original_statements: trail_a.to_vec(),
+            transformed_statements: trail_b.to_vec(),
+            expressions: vec![expr_a, expr_b],
+            original_mapping: Some(map_a.to_string()),
+            transformed_mapping: Some(map_b.to_string()),
+            message: "corresponding paths apply different computations".into(),
+            failing_domain: None,
+        });
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn report_operator_vs_leaf(
         &mut self,
@@ -1237,6 +1323,22 @@ impl Checker<'_> {
                     statement: sb,
                 },
             ) => {
+                // The normalization subsystem decides whether the two roots
+                // share a chain family (`+`/`-`/negation fold together, `*`
+                // against `+` reads additively through distribution, …).
+                if let Some(family) =
+                    normalize::chain_family(&ka, &kb, &self.opts.operators, self.opts.method)
+                {
+                    return self.check_algebraic(
+                        &family,
+                        Pos::Node(na),
+                        map_a,
+                        Pos::Node(nb),
+                        map_b,
+                        &with_stmt(trail_a, &sa),
+                        &with_stmt(trail_b, &sb),
+                    );
+                }
                 if ka != kb {
                     self.diagnostics.push(Diagnostic {
                         kind: DiagnosticKind::OperatorMismatch,
@@ -1251,413 +1353,117 @@ impl Checker<'_> {
                     });
                     return Ok(false);
                 }
-                let class = self.opts.operators.class_of(&ka);
-                let use_algebra = self.opts.method == Method::Extended
-                    && (class.associative || class.commutative);
-                if !use_algebra {
-                    if oa.len() != ob.len() {
-                        self.diagnostics.push(Diagnostic {
-                            kind: DiagnosticKind::Structural,
-                            output_array: None,
-                            original_statements: with_stmt(trail_a, &sa),
-                            transformed_statements: with_stmt(trail_b, &sb),
-                            expressions: vec![describe_node(self.a, na), describe_node(self.b, nb)],
-                            original_mapping: None,
-                            transformed_mapping: None,
-                            message: format!(
-                                "operator `{ka}` has {} operands in the original and {} in the transformed program",
-                                oa.len(),
-                                ob.len()
-                            ),
-                            failing_domain: None,
-                        });
-                        return Ok(false);
-                    }
-                    let mut ok = true;
-                    for (x, y) in oa.iter().zip(ob.iter()) {
-                        ok &= self.check(
-                            Pos::Node(*x),
-                            map_a.clone(),
-                            Pos::Node(*y),
-                            map_b.clone(),
-                            &with_stmt(trail_a, &sa),
-                            &with_stmt(trail_b, &sb),
-                        )?;
-                    }
-                    Ok(ok)
-                } else {
-                    self.check_algebraic(
-                        &ka,
-                        na,
-                        map_a,
-                        nb,
-                        map_b,
+                if oa.len() != ob.len() {
+                    self.diagnostics.push(Diagnostic {
+                        kind: DiagnosticKind::Structural,
+                        output_array: None,
+                        original_statements: with_stmt(trail_a, &sa),
+                        transformed_statements: with_stmt(trail_b, &sb),
+                        expressions: vec![describe_node(self.a, na), describe_node(self.b, nb)],
+                        original_mapping: None,
+                        transformed_mapping: None,
+                        message: format!(
+                            "operator `{ka}` has {} operands in the original and {} in the transformed program",
+                            oa.len(),
+                            ob.len()
+                        ),
+                        failing_domain: None,
+                    });
+                    return Ok(false);
+                }
+                let mut ok = true;
+                for (x, y) in oa.iter().zip(ob.iter()) {
+                    ok &= self.check(
+                        Pos::Node(*x),
+                        map_a.clone(),
+                        Pos::Node(*y),
+                        map_b.clone(),
                         &with_stmt(trail_a, &sa),
                         &with_stmt(trail_b, &sb),
-                        class.associative,
-                        class.commutative,
-                    )
+                    )?;
                 }
+                Ok(ok)
+            }
+            // An operator root against a constant: the chain may *fold* to
+            // a constant (`x * 0` vs `0`, `2 + 3` vs `5`), so chains whose
+            // family folds constants get the algebraic treatment; anything
+            // else is the generic computation mismatch below.
+            (
+                Node::Operator {
+                    kind, statement, ..
+                },
+                Node::Const {
+                    value,
+                    statement: sb,
+                },
+            ) => {
+                if let Some(family) =
+                    normalize::family_against_const(&kind, &self.opts.operators, self.opts.method)
+                {
+                    return self.check_algebraic(
+                        &family,
+                        Pos::Node(na),
+                        map_a,
+                        Pos::Node(nb),
+                        map_b,
+                        &with_stmt(trail_a, &statement),
+                        &with_stmt(trail_b, &sb),
+                    );
+                }
+                self.report_computation_mismatch(
+                    describe_node(self.a, na),
+                    value.to_string(),
+                    &map_a,
+                    &map_b,
+                    trail_a,
+                    trail_b,
+                );
+                Ok(false)
+            }
+            (
+                Node::Const {
+                    value,
+                    statement: sa,
+                },
+                Node::Operator {
+                    kind, statement, ..
+                },
+            ) => {
+                if let Some(family) =
+                    normalize::family_against_const(&kind, &self.opts.operators, self.opts.method)
+                {
+                    return self.check_algebraic(
+                        &family,
+                        Pos::Node(na),
+                        map_a,
+                        Pos::Node(nb),
+                        map_b,
+                        &with_stmt(trail_a, &sa),
+                        &with_stmt(trail_b, &statement),
+                    );
+                }
+                self.report_computation_mismatch(
+                    value.to_string(),
+                    describe_node(self.b, nb),
+                    &map_a,
+                    &map_b,
+                    trail_a,
+                    trail_b,
+                );
+                Ok(false)
             }
             (a_node, b_node) => {
-                self.diagnostics.push(Diagnostic {
-                    kind: DiagnosticKind::OperatorMismatch,
-                    output_array: None,
-                    original_statements: trail_a.to_vec(),
-                    transformed_statements: trail_b.to_vec(),
-                    expressions: vec![
-                        node_brief(self.a, na, &a_node),
-                        node_brief(self.b, nb, &b_node),
-                    ],
-                    original_mapping: Some(map_a.to_string()),
-                    transformed_mapping: Some(map_b.to_string()),
-                    message: "corresponding paths apply different computations".into(),
-                    failing_domain: None,
-                });
+                self.report_computation_mismatch(
+                    node_brief(self.a, na, &a_node),
+                    node_brief(self.b, nb, &b_node),
+                    &map_a,
+                    &map_b,
+                    trail_a,
+                    trail_b,
+                );
                 Ok(false)
             }
         }
-    }
-
-    /// The extended method at an associative and/or commutative operator:
-    /// flatten both sides, split the output domain into regions with a fixed
-    /// term structure, and match terms within each region.
-    #[allow(clippy::too_many_arguments)]
-    fn check_algebraic(
-        &mut self,
-        op: &OperatorKind,
-        na: NodeId,
-        map_a: Relation,
-        nb: NodeId,
-        map_b: Relation,
-        trail_a: &[String],
-        trail_b: &[String],
-        associative: bool,
-        commutative: bool,
-    ) -> Result<bool> {
-        self.stats.flattenings += 1;
-        let mut terms_a = Vec::new();
-        self.flatten(
-            true,
-            op,
-            Pos::Node(na),
-            map_a.clone(),
-            trail_a.to_vec(),
-            associative,
-            &mut terms_a,
-        )?;
-        let mut terms_b = Vec::new();
-        self.flatten(
-            false,
-            op,
-            Pos::Node(nb),
-            map_b.clone(),
-            trail_b.to_vec(),
-            associative,
-            &mut terms_b,
-        )?;
-
-        // Partition the current output domain into pieces on which every
-        // term is either fully present or fully absent.
-        let full = map_a.domain();
-        let mut pieces = vec![full];
-        for t in terms_a.iter().chain(terms_b.iter()) {
-            let dom = t.map.domain();
-            let mut next = Vec::new();
-            for p in pieces {
-                let inside = p.intersect(&dom)?.simplified();
-                let outside = p.subtract(&dom)?.simplified();
-                if !inside.is_empty() {
-                    next.push(inside);
-                }
-                if !outside.is_empty() {
-                    next.push(outside);
-                }
-            }
-            pieces = next;
-        }
-
-        let mut ok = true;
-        for piece in &pieces {
-            self.stats.matchings += 1;
-            ok &= self.match_terms(op, &terms_a, &terms_b, piece, commutative, trail_a, trail_b)?;
-            if !self.budget() {
-                return Ok(false);
-            }
-        }
-        Ok(ok)
-    }
-
-    /// Flattening (Fig. 4): walks the associative chain rooted at an operator
-    /// node, looking through intermediate variables, and collects the
-    /// operands as terms with their accumulated output-current mappings.
-    #[allow(clippy::too_many_arguments)]
-    fn flatten(
-        &mut self,
-        original_side: bool,
-        op: &OperatorKind,
-        pos: Pos,
-        map: Relation,
-        trail: Vec<String>,
-        descend_chains: bool,
-        out: &mut Vec<FlatTerm>,
-    ) -> Result<bool> {
-        if !self.budget() {
-            return Ok(false);
-        }
-        if map.is_empty() {
-            return Ok(true);
-        }
-        let g = if original_side { self.a } else { self.b };
-        match pos {
-            Pos::Node(n) => match g.node(n).clone() {
-                Node::Operator {
-                    kind,
-                    operands,
-                    statement,
-                } if kind == *op && descend_chains => {
-                    for child in operands {
-                        let mut t = trail.clone();
-                        t.push(statement.clone());
-                        self.flatten(
-                            original_side,
-                            op,
-                            Pos::Node(child),
-                            map.clone(),
-                            t,
-                            descend_chains,
-                            out,
-                        )?;
-                    }
-                    Ok(true)
-                }
-                Node::Access {
-                    array,
-                    mapping,
-                    statement,
-                    ..
-                } => {
-                    self.stats.compositions += 1;
-                    let new_map = map.compose(&mapping)?.simplified(true);
-                    let mut t = trail.clone();
-                    t.push(statement.clone());
-                    self.flatten(
-                        original_side,
-                        op,
-                        Pos::Array(array),
-                        new_map,
-                        t,
-                        descend_chains,
-                        out,
-                    )?;
-                    Ok(true)
-                }
-                _ => {
-                    out.push(FlatTerm {
-                        pos: Pos::Node(n),
-                        map,
-                        trail,
-                    });
-                    Ok(true)
-                }
-            },
-            Pos::Array(v) => {
-                let is_input = if original_side {
-                    self.a.is_input(&v)
-                } else {
-                    self.b.is_input(&v)
-                };
-                let is_recurrent = if original_side {
-                    self.a.recurrence_arrays().contains(&v)
-                } else {
-                    self.b.recurrence_arrays().contains(&v)
-                };
-                if is_input || is_recurrent {
-                    out.push(FlatTerm {
-                        pos: Pos::Array(v),
-                        map,
-                        trail,
-                    });
-                    return Ok(true);
-                }
-                // Look through the intermediate variable: continue flattening
-                // into each definition whose elements the mapping reaches.
-                let defs: Vec<_> = if original_side {
-                    self.a.definitions(&v).to_vec()
-                } else {
-                    self.b.definitions(&v).to_vec()
-                };
-                for def in defs {
-                    let sub = map.restrict_range(&def.elements)?.simplified(true);
-                    if sub.is_empty() {
-                        continue;
-                    }
-                    let rooted = if original_side {
-                        self.a.node(def.root)
-                    } else {
-                        self.b.node(def.root)
-                    };
-                    let continues_chain = matches!(
-                        rooted,
-                        Node::Operator { kind, .. } if kind == op
-                    ) || matches!(rooted, Node::Access { .. });
-                    let mut t = trail.clone();
-                    t.push(def.statement.clone());
-                    if continues_chain && descend_chains {
-                        self.flatten(
-                            original_side,
-                            op,
-                            Pos::Node(def.root),
-                            sub,
-                            t,
-                            descend_chains,
-                            out,
-                        )?;
-                    } else {
-                        out.push(FlatTerm {
-                            pos: Pos::Node(def.root),
-                            map: sub,
-                            trail: t,
-                        });
-                    }
-                }
-                Ok(true)
-            }
-        }
-    }
-
-    /// Matching (Section 5.2): pairs the flattened operands of the two sides
-    /// over one piece of the output domain.
-    #[allow(clippy::too_many_arguments)]
-    fn match_terms(
-        &mut self,
-        op: &OperatorKind,
-        terms_a: &[FlatTerm],
-        terms_b: &[FlatTerm],
-        piece: &Set,
-        commutative: bool,
-        trail_a: &[String],
-        trail_b: &[String],
-    ) -> Result<bool> {
-        // Restrict both term lists to the piece.
-        let restrict = |terms: &[FlatTerm]| -> Result<Vec<FlatTerm>> {
-            let mut out = Vec::new();
-            for t in terms {
-                let m = t.map.restrict_domain(piece)?.simplified(true);
-                if !m.is_empty() {
-                    out.push(FlatTerm {
-                        pos: t.pos.clone(),
-                        map: m,
-                        trail: t.trail.clone(),
-                    });
-                }
-            }
-            Ok(out)
-        };
-        let live_a = restrict(terms_a)?;
-        let live_b = restrict(terms_b)?;
-
-        if live_a.len() != live_b.len() {
-            self.diagnostics.push(Diagnostic {
-                kind: DiagnosticKind::MatchingFailure,
-                output_array: None,
-                original_statements: trail_a.to_vec(),
-                transformed_statements: trail_b.to_vec(),
-                expressions: vec![format!("operator `{op}`")],
-                original_mapping: None,
-                transformed_mapping: None,
-                message: format!(
-                    "the `{op}` chain has {} operands in the original and {} in the transformed program on part of the output domain",
-                    live_a.len(),
-                    live_b.len()
-                ),
-                failing_domain: Some(piece.clone()),
-            });
-            return Ok(false);
-        }
-
-        let mut used = vec![false; live_b.len()];
-        let mut all_ok = true;
-        for ta in &live_a {
-            let mut matched = false;
-            let candidates: Vec<usize> = if commutative {
-                (0..live_b.len()).filter(|&j| !used[j]).collect()
-            } else {
-                // Associative-only: order is preserved, so the i-th unused
-                // operand is the only candidate.
-                (0..live_b.len()).filter(|&j| !used[j]).take(1).collect()
-            };
-            for j in candidates {
-                let tb = &live_b[j];
-                if self.terms_match(ta, tb)? {
-                    used[j] = true;
-                    matched = true;
-                    break;
-                }
-            }
-            if !matched {
-                all_ok = false;
-                let (name, mapping) = self.describe_term(true, ta);
-                // The closest unmatched candidate on the other side, for the
-                // diagnostic.
-                let other = live_b
-                    .iter()
-                    .zip(&used)
-                    .find(|(_, &u)| !u)
-                    .map(|(t, _)| self.describe_term(false, t));
-                self.diagnostics.push(Diagnostic {
-                    kind: DiagnosticKind::MappingMismatch,
-                    output_array: None,
-                    original_statements: ta.trail.clone(),
-                    transformed_statements: other
-                        .as_ref()
-                        .map(|_| live_b.iter().flat_map(|t| t.trail.clone()).collect())
-                        .unwrap_or_default(),
-                    expressions: {
-                        let mut e = vec![name];
-                        if let Some((n, _)) = &other {
-                            e.push(n.clone());
-                        }
-                        e
-                    },
-                    original_mapping: Some(mapping),
-                    transformed_mapping: other.map(|(_, m)| m),
-                    message: format!(
-                        "no operand of the transformed `{op}` chain matches this operand of the original"
-                    ),
-                    failing_domain: Some(piece.clone()),
-                });
-            }
-        }
-        Ok(all_ok)
-    }
-
-    /// Whether two flattened terms are equivalent (used as the matching
-    /// criterion).  Runs a speculative sub-check whose diagnostics are
-    /// discarded when it fails.
-    fn terms_match(&mut self, ta: &FlatTerm, tb: &FlatTerm) -> Result<bool> {
-        let saved = self.diagnostics.len();
-        let ok = self.check(
-            ta.pos.clone(),
-            ta.map.clone(),
-            tb.pos.clone(),
-            tb.map.clone(),
-            &ta.trail,
-            &tb.trail,
-        )?;
-        if !ok {
-            self.diagnostics.truncate(saved);
-        }
-        Ok(ok)
-    }
-
-    fn describe_term(&self, original_side: bool, t: &FlatTerm) -> (String, String) {
-        let g = if original_side { self.a } else { self.b };
-        let name = match &t.pos {
-            Pos::Array(v) => v.clone(),
-            Pos::Node(n) => describe_node(g, *n),
-        };
-        (name, t.map.to_string())
     }
 }
 

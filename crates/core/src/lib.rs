@@ -47,6 +47,7 @@
 mod checker;
 mod context;
 mod diagnostics;
+mod normalize;
 mod operators;
 mod parallel;
 mod report;

@@ -1,0 +1,440 @@
+//! Matching (Section 5.2): pairing the flattened terms of the two sides
+//! region by region.
+//!
+//! The output domain is split into pieces on which every term is fully
+//! present or fully absent (unchanged from the paper).  Per piece the
+//! matcher then
+//!
+//! 1. folds the constant terms of each side (`+`: sum, `*`: product) and
+//!    compares the folded values — this is where identity operands vanish
+//!    (`x + 0` folds to the same constant part as plain `x`) and constant
+//!    folding proves `2 + x + 3` ≡ `x + 5`;
+//! 2. applies the declared annihilator — a chain whose constant part folds
+//!    to the annihilator (`x * 0`) *is* that constant, so both sides
+//!    annihilating matches regardless of their remaining factors;
+//! 3. greedily pairs the non-constant terms: by arena id first (one integer
+//!    comparison), then through the match memo, and only then by a
+//!    speculative recursive equivalence check per factor pair.
+
+use super::arena::TermId;
+use super::flatten::FlatTerm;
+use crate::checker::{Checker, Pos};
+use crate::diagnostics::{Diagnostic, DiagnosticKind};
+use crate::Result;
+use arrayeq_addg::{describe_node, OperatorKind};
+use arrayeq_omega::{Relation, Set};
+
+/// Partitions `full` into pieces on which every term of either side is
+/// fully present or fully absent.
+pub(crate) fn split_pieces(
+    full: &Set,
+    terms_a: &[FlatTerm],
+    terms_b: &[FlatTerm],
+) -> Result<Vec<Set>> {
+    let mut pieces = vec![full.clone()];
+    for t in terms_a.iter().chain(terms_b.iter()) {
+        let dom = &t.domain;
+        let mut next = Vec::new();
+        for p in pieces {
+            let inside = p.intersect(dom)?.simplified();
+            let outside = p.subtract(dom)?.simplified();
+            if !inside.is_empty() {
+                next.push(inside);
+            }
+            if !outside.is_empty() {
+                next.push(outside);
+            }
+        }
+        pieces = next;
+    }
+    Ok(pieces)
+}
+
+/// Restricts a term list to one piece: terms whose domain misses the piece
+/// drop out, surviving terms get their factor mappings restricted.
+pub(crate) fn restrict_terms(terms: &[FlatTerm], piece: &Set) -> Result<Vec<FlatTerm>> {
+    let mut out = Vec::new();
+    'terms: for t in terms {
+        if t.factors.is_empty() {
+            if t.domain.intersect(piece)?.is_empty() {
+                continue;
+            }
+            out.push(FlatTerm {
+                domain: piece.clone(),
+                ..t.clone()
+            });
+            continue;
+        }
+        let mut factors = Vec::with_capacity(t.factors.len());
+        for f in &t.factors {
+            let map = f.map.restrict_domain(piece)?.simplified(true);
+            if map.is_empty() {
+                continue 'terms;
+            }
+            factors.push(super::flatten::Factor {
+                pos: f.pos.clone(),
+                map,
+                trail: f.trail.clone(),
+            });
+        }
+        out.push(FlatTerm {
+            coeff: t.coeff,
+            factors,
+            domain: piece.clone(),
+            trail: t.trail.clone(),
+        });
+    }
+    Ok(out)
+}
+
+impl<'x> Checker<'x> {
+    /// The extended method at an algebraic chain: flatten both sides into
+    /// the resolved family, split the output domain into regions with a
+    /// fixed term structure, and match terms within each region.  Entered
+    /// from `check_nodes` (operator/operator and operator/constant pairs)
+    /// and from the leaf-versus-operator traversal arms.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn check_algebraic(
+        &mut self,
+        family: &OperatorKind,
+        pos_a: Pos,
+        map_a: Relation,
+        pos_b: Pos,
+        map_b: Relation,
+        trail_a: &[String],
+        trail_b: &[String],
+    ) -> Result<bool> {
+        self.stats.flattenings += 1;
+        let full = map_a.domain();
+        let mut terms_a = Vec::new();
+        self.flatten_family(
+            true,
+            family,
+            pos_a,
+            map_a,
+            trail_a.to_vec(),
+            1,
+            true,
+            &mut terms_a,
+        )?;
+        let mut terms_b = Vec::new();
+        self.flatten_family(
+            false,
+            family,
+            pos_b,
+            map_b,
+            trail_b.to_vec(),
+            1,
+            true,
+            &mut terms_b,
+        )?;
+        self.stats.terms_flattened += (terms_a.len() + terms_b.len()) as u64;
+
+        let pieces = split_pieces(&full, &terms_a, &terms_b)?;
+        let mut ok = true;
+        for piece in &pieces {
+            ok &= self.match_piece(family, &terms_a, &terms_b, piece, trail_a, trail_b)?;
+            if !self.budget() {
+                return Ok(false);
+            }
+        }
+        Ok(ok)
+    }
+
+    /// Restricts both term lists to one piece and matches them there.
+    pub(crate) fn match_piece(
+        &mut self,
+        family: &OperatorKind,
+        terms_a: &[FlatTerm],
+        terms_b: &[FlatTerm],
+        piece: &Set,
+        trail_a: &[String],
+        trail_b: &[String],
+    ) -> Result<bool> {
+        let live_a = restrict_terms(terms_a, piece)?;
+        let live_b = restrict_terms(terms_b, piece)?;
+        self.match_restricted(family, &live_a, &live_b, piece, trail_a, trail_b)
+    }
+
+    /// Matches two already-restricted term lists over one piece (see the
+    /// module docs for the three stages).  Also the body of a decomposed
+    /// per-piece task in a parallel run.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn match_restricted(
+        &mut self,
+        family: &OperatorKind,
+        live_a: &[FlatTerm],
+        live_b: &[FlatTerm],
+        piece: &Set,
+        trail_a: &[String],
+        trail_b: &[String],
+    ) -> Result<bool> {
+        self.stats.matchings += 1;
+        let class = self.opts.operators.class_of(family);
+        let multiplicative = matches!(family, OperatorKind::Mul);
+        let fold = |terms: &[FlatTerm]| -> i64 {
+            let mut acc: i64 = if multiplicative { 1 } else { 0 };
+            for t in terms.iter().filter(|t| t.factors.is_empty()) {
+                acc = if multiplicative {
+                    acc.wrapping_mul(t.coeff)
+                } else {
+                    acc.wrapping_add(t.coeff)
+                };
+            }
+            acc
+        };
+        let const_a = fold(live_a);
+        let const_b = fold(live_b);
+        let terms_a: Vec<&FlatTerm> = live_a.iter().filter(|t| !t.factors.is_empty()).collect();
+        let terms_b: Vec<&FlatTerm> = live_b.iter().filter(|t| !t.factors.is_empty()).collect();
+
+        let fail = |this: &mut Self, message: String| {
+            this.diagnostics.push(Diagnostic {
+                kind: DiagnosticKind::MatchingFailure,
+                output_array: None,
+                original_statements: trail_a.to_vec(),
+                transformed_statements: trail_b.to_vec(),
+                expressions: vec![format!("operator `{family}`")],
+                original_mapping: None,
+                transformed_mapping: None,
+                message,
+                failing_domain: Some(piece.clone()),
+            });
+        };
+
+        // Annihilator: a chain whose constant part folds to the declared
+        // absorbing element *is* that element, whatever else it multiplies.
+        if let Some(z) = class.annihilator {
+            let za = const_a == z;
+            let zb = const_b == z;
+            if za && zb {
+                return Ok(true);
+            }
+            if za != zb {
+                let side = if za { "original" } else { "transformed" };
+                fail(
+                    self,
+                    format!(
+                        "the `{family}` chain is annihilated (constant {z}) in the {side} \
+                         program only, on part of the output domain"
+                    ),
+                );
+                return Ok(false);
+            }
+        }
+
+        if const_a != const_b {
+            fail(
+                self,
+                format!(
+                    "the folded constant part of the `{family}` chain differs: \
+                     {const_a} in the original and {const_b} in the transformed \
+                     program on part of the output domain"
+                ),
+            );
+            return Ok(false);
+        }
+
+        if terms_a.len() != terms_b.len() {
+            fail(
+                self,
+                format!(
+                    "the `{family}` chain has {} operands in the original and {} in the \
+                     transformed program on part of the output domain",
+                    terms_a.len(),
+                    terms_b.len()
+                ),
+            );
+            return Ok(false);
+        }
+
+        // Hash-cons both sides' terms: id equality is the fast matching
+        // path, and (id, id) pairs key the match memo.
+        let ids_a: Vec<Option<TermId>> =
+            terms_a.iter().map(|t| self.intern_term(true, t)).collect();
+        let ids_b: Vec<Option<TermId>> =
+            terms_b.iter().map(|t| self.intern_term(false, t)).collect();
+
+        let factor_comm = self.opts.operators.class_of(&OperatorKind::Mul).commutative;
+        let mut used = vec![false; terms_b.len()];
+        let mut all_ok = true;
+        for (i, ta) in terms_a.iter().enumerate() {
+            let mut matched = false;
+            let candidates: Vec<usize> = if class.commutative {
+                (0..terms_b.len()).filter(|&j| !used[j]).collect()
+            } else {
+                // Associative-only: order is preserved, so the i-th unused
+                // operand is the only candidate.
+                (0..terms_b.len()).filter(|&j| !used[j]).take(1).collect()
+            };
+            for j in candidates {
+                if self.terms_match(factor_comm, ta, ids_a[i], terms_b[j], ids_b[j])? {
+                    used[j] = true;
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                all_ok = false;
+                let (name, mapping) = self.describe_term(true, ta);
+                // The closest unmatched candidate on the other side, for
+                // the diagnostic.
+                let other = terms_b
+                    .iter()
+                    .zip(&used)
+                    .find(|(_, &u)| !u)
+                    .map(|(t, _)| self.describe_term(false, t));
+                self.diagnostics.push(Diagnostic {
+                    kind: DiagnosticKind::MappingMismatch,
+                    output_array: None,
+                    original_statements: ta.trail.clone(),
+                    transformed_statements: other
+                        .as_ref()
+                        .map(|_| terms_b.iter().flat_map(|t| t.trail.clone()).collect())
+                        .unwrap_or_default(),
+                    expressions: {
+                        let mut e = vec![name];
+                        if let Some((n, _)) = &other {
+                            e.push(n.clone());
+                        }
+                        e
+                    },
+                    original_mapping: Some(mapping),
+                    transformed_mapping: other.map(|(_, m)| m),
+                    message: format!(
+                        "no operand of the transformed `{family}` chain matches this operand of the original"
+                    ),
+                    failing_domain: Some(piece.clone()),
+                });
+            }
+        }
+        Ok(all_ok)
+    }
+
+    /// Whether two flattened terms are equivalent (the matching criterion):
+    /// equal coefficients and a factor-for-factor equivalence of their
+    /// products.  Fast paths: identical arena ids, then the match memo;
+    /// the fallback runs speculative sub-checks whose diagnostics are
+    /// discarded when they fail.
+    fn terms_match(
+        &mut self,
+        commutative_factors: bool,
+        ta: &FlatTerm,
+        ia: Option<TermId>,
+        tb: &FlatTerm,
+        ib: Option<TermId>,
+    ) -> Result<bool> {
+        if let (Some(a), Some(b)) = (ia, ib) {
+            if a == b {
+                self.stats.fast_term_matches += 1;
+                return Ok(true);
+            }
+            if let Some(cached) = self.arena.lookup_match(a, b) {
+                self.stats.term_memo_hits += 1;
+                return Ok(cached);
+            }
+        }
+        if ta.coeff != tb.coeff || ta.factors.len() != tb.factors.len() {
+            if let (Some(a), Some(b)) = (ia, ib) {
+                self.arena.record_match(a, b, false);
+            }
+            return Ok(false);
+        }
+        let assumption_uses_before = self.assumption_uses;
+        let saved = self.diagnostics.len();
+        let mut used = vec![false; tb.factors.len()];
+        let mut all = true;
+        for fa in &ta.factors {
+            let mut matched = false;
+            let candidates: Vec<usize> = if commutative_factors {
+                (0..tb.factors.len()).filter(|&j| !used[j]).collect()
+            } else {
+                (0..tb.factors.len())
+                    .filter(|&j| !used[j])
+                    .take(1)
+                    .collect()
+            };
+            for j in candidates {
+                let fb = &tb.factors[j];
+                let mark = self.diagnostics.len();
+                let ok = self.check(
+                    fa.pos.clone(),
+                    fa.map.clone(),
+                    fb.pos.clone(),
+                    fb.map.clone(),
+                    &fa.trail,
+                    &fb.trail,
+                )?;
+                if ok {
+                    used[j] = true;
+                    matched = true;
+                    break;
+                }
+                self.diagnostics.truncate(mark);
+            }
+            if !matched {
+                all = false;
+                break;
+            }
+        }
+        if !all {
+            self.diagnostics.truncate(saved);
+        }
+        // A result derived under a coinductive recurrence assumption is
+        // only valid inside that assumption's scope; a result produced
+        // while a budget was winding the traversal down proves nothing.
+        // Everything else memoises.
+        if !self.exhausted && self.assumption_uses == assumption_uses_before {
+            if let (Some(a), Some(b)) = (ia, ib) {
+                self.arena.record_match(a, b, all);
+            }
+        }
+        Ok(all)
+    }
+
+    /// Interns one term into the arena by its rename-invariant content key;
+    /// `None` when the run has no fingerprints (legacy keying baselines).
+    fn intern_term(&mut self, original_side: bool, t: &FlatTerm) -> Option<TermId> {
+        let keys: Vec<(u64, u64)> = {
+            let (fa, fb) = self.fps.as_ref()?;
+            let fps = if original_side { fa } else { fb };
+            t.factors
+                .iter()
+                .map(|f| {
+                    let p = match &f.pos {
+                        Pos::Node(n) => fps.node(*n),
+                        Pos::Array(v) => fps.array(v),
+                    };
+                    (p, f.map.structural_hash())
+                })
+                .collect()
+        };
+        Some(self.arena.intern(t, keys, &mut self.stats))
+    }
+
+    /// Renders a term for diagnostics: `(name, mapping)` in the style the
+    /// single-operand matcher always used, with multi-factor products
+    /// joined by `*` and a leading coefficient when it is not `1`.
+    fn describe_term(&self, original_side: bool, t: &FlatTerm) -> (String, String) {
+        let g = if original_side { self.a } else { self.b };
+        let names: Vec<String> = t
+            .factors
+            .iter()
+            .map(|f| match &f.pos {
+                Pos::Array(v) => v.clone(),
+                Pos::Node(n) => describe_node(g, *n),
+            })
+            .collect();
+        let mut name = names.join(" * ");
+        if t.coeff != 1 {
+            name = format!("{} * {name}", t.coeff);
+        }
+        let mapping = t
+            .factors
+            .iter()
+            .map(|f| f.map.to_string())
+            .collect::<Vec<_>>()
+            .join(" ; ");
+        (name, mapping)
+    }
+}

@@ -34,15 +34,16 @@
 //!    and per-worker [`CheckStats`] merge race-free at join.
 
 use crate::checker::{
-    check_output_domains, select_outputs, with_stmt, CheckOptions, Checker, Method, OutputDomains,
-    Pos, SharedBudget,
+    check_output_domains, select_outputs, with_stmt, CheckOptions, Checker, OutputDomains, Pos,
+    SharedBudget,
 };
 use crate::context::CheckContext;
 use crate::diagnostics::Diagnostic;
+use crate::normalize::{self, matching, FlatTerm};
 use crate::report::{CheckStats, Report, Verdict};
 use crate::Result;
-use arrayeq_addg::{Addg, Fingerprints, Node};
-use arrayeq_omega::{current_feasibility_cache, with_feasibility_cache, Relation};
+use arrayeq_addg::{Addg, Fingerprints, Node, OperatorKind};
+use arrayeq_omega::{current_feasibility_cache, with_feasibility_cache, Relation, Set};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -57,16 +58,12 @@ const TASKS_PER_WORKER: usize = 4;
 /// coordinator's sequential phase stays a small fraction of the run.
 const MAX_SPLIT_DEPTH: usize = 6;
 
-/// One decomposed sub-obligation: exactly the argument tuple of the
-/// sequential `check`, plus the coinductive assumptions the sequential
-/// traversal would have had installed when it reached this position.
+/// One decomposed sub-obligation, plus the coinductive assumptions the
+/// sequential traversal would have had installed when it reached this
+/// position.
 struct CheckTask {
     /// Index into the checked-outputs list (diagnostic stamping + ordering).
     output_idx: usize,
-    pos_a: Pos,
-    map_a: Relation,
-    pos_b: Pos,
-    map_b: Relation,
     trail_a: Vec<String>,
     trail_b: Vec<String>,
     /// Recurrence assumptions accumulated along the decomposition path, in
@@ -74,6 +71,57 @@ struct CheckTask {
     assumptions: Vec<((String, String), Relation)>,
     /// Reduction steps below the root obligation (bounds the decomposition).
     depth: usize,
+    kind: TaskKind,
+}
+
+/// What one task proves.
+enum TaskKind {
+    /// A traversal obligation: exactly the argument tuple of the sequential
+    /// `check`.
+    Traverse {
+        pos_a: Pos,
+        map_a: Relation,
+        pos_b: Pos,
+        map_b: Relation,
+    },
+    /// One region piece of a flatten/match obligation, emitted by
+    /// [`expand_algebraic`]: the coordinator flattened both sides and
+    /// restricted the term lists to this piece; the worker runs the match.
+    MatchPiece {
+        family: OperatorKind,
+        live_a: Vec<FlatTerm>,
+        live_b: Vec<FlatTerm>,
+        piece: Set,
+    },
+}
+
+impl CheckTask {
+    /// A traversal task inheriting bookkeeping from its parent.
+    #[allow(clippy::too_many_arguments)]
+    fn traverse(
+        parent: &CheckTask,
+        pos_a: Pos,
+        map_a: Relation,
+        pos_b: Pos,
+        map_b: Relation,
+        trail_a: Vec<String>,
+        trail_b: Vec<String>,
+        assumptions: Vec<((String, String), Relation)>,
+    ) -> CheckTask {
+        CheckTask {
+            output_idx: parent.output_idx,
+            trail_a,
+            trail_b,
+            assumptions,
+            depth: parent.depth + 1,
+            kind: TaskKind::Traverse {
+                pos_a,
+                map_a,
+                pos_b,
+                map_b,
+            },
+        }
+    }
 }
 
 /// The parallel counterpart of the sequential `Checker::run`, dispatched by
@@ -92,6 +140,10 @@ pub(crate) fn verify_addgs_parallel(
     // Phase 1: decompose.  Per output, either a domain-mismatch diagnostic
     // (no traversal to run) or a root task, then split the root tasks until
     // the pool has enough independent obligations.
+    // The run-wide budget exists from the very first phase: the algebraic
+    // expansion's flattening is real Omega work and flushes into the same
+    // counter the workers use, so `max_work` bounds the whole run.
+    let budget = SharedBudget::default();
     let mut prologue: Vec<Option<Diagnostic>> = Vec::with_capacity(outputs.len());
     let mut tasks: Vec<CheckTask> = Vec::new();
     let mut coordinator_stats = CheckStats::default();
@@ -106,14 +158,16 @@ pub(crate) fn verify_addgs_parallel(
                 let id = Relation::identity_on(&ea);
                 tasks.push(CheckTask {
                     output_idx,
-                    pos_a: Pos::Array(output.clone()),
-                    map_a: id.clone(),
-                    pos_b: Pos::Array(output.clone()),
-                    map_b: id,
                     trail_a: Vec::new(),
                     trail_b: Vec::new(),
                     assumptions: Vec::new(),
                     depth: 0,
+                    kind: TaskKind::Traverse {
+                        pos_a: Pos::Array(output.clone()),
+                        map_a: id.clone(),
+                        pos_b: Pos::Array(output.clone()),
+                        map_b: id,
+                    },
                 });
                 prologue.push(None);
             }
@@ -121,18 +175,25 @@ pub(crate) fn verify_addgs_parallel(
     }
     expand_tasks(
         &mut tasks,
+        jobs,
         jobs * TASKS_PER_WORKER,
         a,
         b,
         opts,
+        ctx,
+        &budget,
         &mut coordinator_stats,
     )?;
+    coordinator_stats.parallel_tasks = tasks.len() as u64;
+    coordinator_stats.algebraic_piece_tasks = tasks
+        .iter()
+        .filter(|t| matches!(t.kind, TaskKind::MatchPiece { .. }))
+        .count() as u64;
 
     // Phase 2: the worker pool.  Workers steal tasks off the shared cursor;
     // every worker re-installs the caller's session feasibility cache so
     // verdicts computed on one worker are visible to all of them.
     type TaskOutcome = Result<(bool, Vec<Diagnostic>)>;
-    let budget = SharedBudget::default();
     let cache = current_feasibility_cache();
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<TaskOutcome>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
@@ -146,15 +207,36 @@ pub(crate) fn verify_addgs_parallel(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(task) = tasks.get(i) else { break };
-                        let outcome = worker.run_task(
-                            task.pos_a.clone(),
-                            task.map_a.clone(),
-                            task.pos_b.clone(),
-                            task.map_b.clone(),
-                            &task.trail_a,
-                            &task.trail_b,
-                            &task.assumptions,
-                        );
+                        let outcome = match &task.kind {
+                            TaskKind::Traverse {
+                                pos_a,
+                                map_a,
+                                pos_b,
+                                map_b,
+                            } => worker.run_task(
+                                pos_a.clone(),
+                                map_a.clone(),
+                                pos_b.clone(),
+                                map_b.clone(),
+                                &task.trail_a,
+                                &task.trail_b,
+                                &task.assumptions,
+                            ),
+                            TaskKind::MatchPiece {
+                                family,
+                                live_a,
+                                live_b,
+                                piece,
+                            } => worker.run_match_task(
+                                family,
+                                live_a,
+                                live_b,
+                                piece,
+                                &task.trail_a,
+                                &task.trail_b,
+                                &task.assumptions,
+                            ),
+                        };
                         *slots[i].lock().unwrap() = Some(outcome);
                     }
                     worker.into_stats()
@@ -225,15 +307,26 @@ pub(crate) fn verify_addgs_parallel(
 /// every output contributes obligations before any one chain is split deep;
 /// children are spliced in place of their parent, preserving the sequential
 /// traversal's depth-first diagnostic order.
+#[allow(clippy::too_many_arguments)]
 fn expand_tasks(
     tasks: &mut Vec<CheckTask>,
+    jobs: usize,
     target: usize,
     a: &Addg,
     b: &Addg,
     opts: &CheckOptions,
+    ctx: &CheckContext<'_>,
+    budget: &SharedBudget,
     stats: &mut CheckStats,
 ) -> Result<()> {
     'grow: while tasks.len() < target {
+        // Algebraic piece-splitting only runs while the pool is *starved*
+        // (fewer obligations than workers): it is what un-serialises a run
+        // dominated by one flatten/match position, but a piece task starts
+        // below the obligation's tabling point, so once every worker has
+        // work the obligation stays whole and its sub-proof lands in the
+        // local and session tables as usual.
+        let split_algebraic = tasks.len() < jobs;
         // Shallowest candidates first, so every output contributes
         // obligations before any single chain is split deep.
         let mut order: Vec<usize> = (0..tasks.len())
@@ -241,7 +334,7 @@ fn expand_tasks(
             .collect();
         order.sort_by_key(|&j| (tasks[j].depth, j));
         for j in order {
-            match expand_one(&tasks[j], a, b, opts, stats)? {
+            match expand_one(&tasks[j], a, b, opts, ctx, budget, split_algebraic, stats)? {
                 Some(children) => {
                     tasks.splice(j..=j, children);
                     continue 'grow;
@@ -258,20 +351,35 @@ fn expand_tasks(
 
 /// Splits one task a single reduction step, mirroring exactly what the
 /// sequential `check` would do at that position — or `None` when the
-/// position must be proven whole (leaf comparisons, algebraic
-/// flatten-and-match obligations, positions under an already-installed
-/// matching assumption, operand-count mismatches that must produce their
-/// diagnostic inside a worker).
+/// position must be proven whole (leaf comparisons, positions under an
+/// already-installed matching assumption, operand-count mismatches that
+/// must produce their diagnostic inside a worker).  Algebraic flatten/match
+/// positions are no longer opaque: [`expand_algebraic`] flattens them in
+/// the coordinator and splits the obligation into one task per region
+/// piece.
+#[allow(clippy::too_many_arguments)]
 fn expand_one(
     task: &CheckTask,
     a: &Addg,
     b: &Addg,
     opts: &CheckOptions,
+    ctx: &CheckContext<'_>,
+    budget: &SharedBudget,
+    split_algebraic: bool,
     stats: &mut CheckStats,
 ) -> Result<Option<Vec<CheckTask>>> {
+    let TaskKind::Traverse {
+        pos_a,
+        map_a,
+        pos_b,
+        map_b,
+    } = &task.kind
+    else {
+        return Ok(None); // per-piece match tasks are terminal
+    };
     // Mirror of `check`'s Access resolution: compose through the dependency
     // mapping and continue at the array position.
-    if let Pos::Node(n) = &task.pos_a {
+    if let Pos::Node(n) = pos_a {
         if let Node::Access {
             array,
             mapping,
@@ -280,23 +388,22 @@ fn expand_one(
         } = a.node(*n)
         {
             stats.compositions += 1;
-            let new_map = task.map_a.compose(mapping)?.simplified(true);
+            let new_map = map_a.compose(mapping)?.simplified(true);
             let mut trail = task.trail_a.clone();
             trail.push(statement.clone());
-            return Ok(Some(vec![CheckTask {
-                output_idx: task.output_idx,
-                pos_a: Pos::Array(array.clone()),
-                map_a: new_map,
-                pos_b: task.pos_b.clone(),
-                map_b: task.map_b.clone(),
-                trail_a: trail,
-                trail_b: task.trail_b.clone(),
-                assumptions: task.assumptions.clone(),
-                depth: task.depth + 1,
-            }]));
+            return Ok(Some(vec![CheckTask::traverse(
+                task,
+                Pos::Array(array.clone()),
+                new_map,
+                pos_b.clone(),
+                map_b.clone(),
+                trail,
+                task.trail_b.clone(),
+                task.assumptions.clone(),
+            )]));
         }
     }
-    if let Pos::Node(n) = &task.pos_b {
+    if let Pos::Node(n) = pos_b {
         if let Node::Access {
             array,
             mapping,
@@ -305,24 +412,23 @@ fn expand_one(
         } = b.node(*n)
         {
             stats.compositions += 1;
-            let new_map = task.map_b.compose(mapping)?.simplified(true);
+            let new_map = map_b.compose(mapping)?.simplified(true);
             let mut trail = task.trail_b.clone();
             trail.push(statement.clone());
-            return Ok(Some(vec![CheckTask {
-                output_idx: task.output_idx,
-                pos_a: task.pos_a.clone(),
-                map_a: task.map_a.clone(),
-                pos_b: Pos::Array(array.clone()),
-                map_b: new_map,
-                trail_a: task.trail_a.clone(),
-                trail_b: trail,
-                assumptions: task.assumptions.clone(),
-                depth: task.depth + 1,
-            }]));
+            return Ok(Some(vec![CheckTask::traverse(
+                task,
+                pos_a.clone(),
+                map_a.clone(),
+                Pos::Array(array.clone()),
+                new_map,
+                task.trail_a.clone(),
+                trail,
+                task.assumptions.clone(),
+            )]));
         }
     }
 
-    match (&task.pos_a, &task.pos_b) {
+    match (pos_a, pos_b) {
         (Pos::Array(va), Pos::Array(vb)) => {
             // Focused-checking correspondences terminate the traversal at
             // this pair; proving them is one leaf comparison.
@@ -348,7 +454,7 @@ fn expand_one(
             if !a.is_input(va) {
                 // Mirror of `reduce_side_a`, with the recurrence assumption
                 // the sequential reduction installs around its children.
-                let pairs = task.map_a.inverse().compose(&task.map_b)?;
+                let pairs = map_a.inverse().compose(map_b)?;
                 let mut assumptions = task.assumptions.clone();
                 assumptions.push(((va.clone(), vb.clone()), pairs));
                 return split_side_a(task, a, va, assumptions).map(Some);
@@ -360,7 +466,9 @@ fn expand_one(
         }
         (Pos::Array(va), Pos::Node(_)) => {
             if a.is_input(va) {
-                return Ok(None); // operator-vs-leaf diagnostic, one task
+                // Leaf-versus-operator: either the algebraic one-term
+                // reading or its diagnostic — one task either way.
+                return Ok(None);
             }
             // `reduce_side_a` without an assumption (the recurrence key
             // needs an array position on both sides).
@@ -386,15 +494,38 @@ fn expand_one(
                 },
             ) = (a.node(*na), b.node(*nb))
             else {
-                return Ok(None); // const pairs / mismatches: trivial tasks
+                // Const pairs and operator/constant chains: trivial tasks
+                // (the worker folds or diagnoses them whole).
+                return Ok(None);
             };
+            // Mirror of `check_nodes`' dispatch: a shared chain family means
+            // a flatten/match obligation, which the coordinator can split
+            // into per-piece sub-obligations.
+            if let Some(family) = normalize::chain_family(ka, kb, &opts.operators, opts.method) {
+                if !split_algebraic {
+                    // Pool already saturated: the flatten/match obligation
+                    // stays whole so its proof is tabled and published.
+                    return Ok(None);
+                }
+                return expand_algebraic(
+                    task,
+                    family,
+                    Pos::Node(*na),
+                    map_a.clone(),
+                    Pos::Node(*nb),
+                    map_b.clone(),
+                    with_stmt(&task.trail_a, sa),
+                    with_stmt(&task.trail_b, sb),
+                    a,
+                    b,
+                    opts,
+                    ctx,
+                    budget,
+                    stats,
+                );
+            }
             if ka != kb || oa.len() != ob.len() {
                 return Ok(None); // the worker produces the diagnostic
-            }
-            let class = opts.operators.class_of(ka);
-            if opts.method == Method::Extended && (class.associative || class.commutative) {
-                // Flatten-and-match is one (greedy, stateful) obligation.
-                return Ok(None);
             }
             // Mirror of the positional operand pairing.
             let trail_a = with_stmt(&task.trail_a, sa);
@@ -402,21 +533,108 @@ fn expand_one(
             let children = oa
                 .iter()
                 .zip(ob.iter())
-                .map(|(x, y)| CheckTask {
-                    output_idx: task.output_idx,
-                    pos_a: Pos::Node(*x),
-                    map_a: task.map_a.clone(),
-                    pos_b: Pos::Node(*y),
-                    map_b: task.map_b.clone(),
-                    trail_a: trail_a.clone(),
-                    trail_b: trail_b.clone(),
-                    assumptions: task.assumptions.clone(),
-                    depth: task.depth + 1,
+                .map(|(x, y)| {
+                    CheckTask::traverse(
+                        task,
+                        Pos::Node(*x),
+                        map_a.clone(),
+                        Pos::Node(*y),
+                        map_b.clone(),
+                        trail_a.clone(),
+                        trail_b.clone(),
+                        task.assumptions.clone(),
+                    )
                 })
                 .collect();
             Ok(Some(children))
         }
     }
+}
+
+/// Splits one flatten/match obligation into per-region-piece tasks: the
+/// coordinator replays the *flattening* (compositions and restrictions, no
+/// proving — the same work the sequential traversal performs before its
+/// first match) and restricts the term lists per piece; each piece's match
+/// is an independent sub-obligation for the pool, and the coordinator's
+/// flatten is reused even for single-region chains.  `None` only when a
+/// budget tripped mid-flatten (a worker then re-derives the whole
+/// obligation under the shared budget).
+#[allow(clippy::too_many_arguments)]
+fn expand_algebraic(
+    task: &CheckTask,
+    family: OperatorKind,
+    pos_a: Pos,
+    map_a: Relation,
+    pos_b: Pos,
+    map_b: Relation,
+    trail_a: Vec<String>,
+    trail_b: Vec<String>,
+    a: &Addg,
+    b: &Addg,
+    opts: &CheckOptions,
+    ctx: &CheckContext<'_>,
+    budget: &SharedBudget,
+    stats: &mut CheckStats,
+) -> Result<Option<Vec<CheckTask>>> {
+    // The scratch checker accounts against the run-wide budget: its visit
+    // counts flush into the same shared counter the workers use, so
+    // coordinator-side flattening cannot exceed `max_work` unbounded.
+    let mut scratch = Checker::new(a, b, opts, ctx, None, Some(budget));
+    scratch.stats.flattenings += 1;
+    let full = map_a.domain();
+    let mut terms_a = Vec::new();
+    let ok_a = scratch.flatten_family(
+        true,
+        &family,
+        pos_a,
+        map_a,
+        trail_a.clone(),
+        1,
+        true,
+        &mut terms_a,
+    )?;
+    let mut terms_b = Vec::new();
+    let ok_b = scratch.flatten_family(
+        false,
+        &family,
+        pos_b,
+        map_b,
+        trail_b.clone(),
+        1,
+        true,
+        &mut terms_b,
+    )?;
+    if !ok_a || !ok_b {
+        return Ok(None);
+    }
+    scratch.stats.terms_flattened += (terms_a.len() + terms_b.len()) as u64;
+    let pieces = matching::split_pieces(&full, &terms_a, &terms_b)?;
+    // Even a single-region chain becomes a piece task: the coordinator's
+    // flatten is then *reused* by the worker (which runs only the match)
+    // instead of re-derived — returning `None` here would double the
+    // flatten work of every algebraic obligation the expansion reached.
+    stats.merge(&scratch.into_stats());
+    let mut children = Vec::with_capacity(pieces.len());
+    for piece in pieces {
+        let live_a = matching::restrict_terms(&terms_a, &piece)?;
+        let live_b = matching::restrict_terms(&terms_b, &piece)?;
+        children.push(CheckTask {
+            output_idx: task.output_idx,
+            trail_a: trail_a.clone(),
+            trail_b: trail_b.clone(),
+            assumptions: task.assumptions.clone(),
+            // Pieces are atomic: the match itself is one greedy, stateful
+            // obligation, never re-scanned for expansion.
+            depth: MAX_SPLIT_DEPTH,
+            kind: TaskKind::MatchPiece {
+                family: family.clone(),
+                live_a,
+                live_b,
+                piece,
+            },
+        });
+    }
+    Ok(Some(children))
 }
 
 /// Mirror of `reduce_side_a`: one child per definition of `va` whose
@@ -427,54 +645,70 @@ fn split_side_a(
     va: &str,
     assumptions: Vec<((String, String), Relation)>,
 ) -> Result<Vec<CheckTask>> {
+    let TaskKind::Traverse {
+        pos_b,
+        map_a,
+        map_b,
+        ..
+    } = &task.kind
+    else {
+        unreachable!("split_side_a is only called on traversal tasks");
+    };
     let mut children = Vec::new();
     for def in a.definitions(va) {
-        let sub_a = task.map_a.restrict_range(&def.elements)?.simplified(true);
+        let sub_a = map_a.restrict_range(&def.elements)?.simplified(true);
         if sub_a.is_empty() {
             continue;
         }
         let sub_domain = sub_a.domain();
-        let sub_b = task.map_b.restrict_domain(&sub_domain)?.simplified(true);
+        let sub_b = map_b.restrict_domain(&sub_domain)?.simplified(true);
         let mut trail = task.trail_a.clone();
         trail.push(def.statement.clone());
-        children.push(CheckTask {
-            output_idx: task.output_idx,
-            pos_a: Pos::Node(def.root),
-            map_a: sub_a,
-            pos_b: task.pos_b.clone(),
-            map_b: sub_b,
-            trail_a: trail,
-            trail_b: task.trail_b.clone(),
-            assumptions: assumptions.clone(),
-            depth: task.depth + 1,
-        });
+        children.push(CheckTask::traverse(
+            task,
+            Pos::Node(def.root),
+            sub_a,
+            pos_b.clone(),
+            sub_b,
+            trail,
+            task.trail_b.clone(),
+            assumptions.clone(),
+        ));
     }
     Ok(children)
 }
 
 /// Mirror of `reduce_side_b`: one child per definition of `vb`.
 fn split_side_b(task: &CheckTask, b: &Addg, vb: &str) -> Result<Vec<CheckTask>> {
+    let TaskKind::Traverse {
+        pos_a,
+        map_a,
+        map_b,
+        ..
+    } = &task.kind
+    else {
+        unreachable!("split_side_b is only called on traversal tasks");
+    };
     let mut children = Vec::new();
     for def in b.definitions(vb) {
-        let sub_b = task.map_b.restrict_range(&def.elements)?.simplified(true);
+        let sub_b = map_b.restrict_range(&def.elements)?.simplified(true);
         if sub_b.is_empty() {
             continue;
         }
         let sub_domain = sub_b.domain();
-        let sub_a = task.map_a.restrict_domain(&sub_domain)?.simplified(true);
+        let sub_a = map_a.restrict_domain(&sub_domain)?.simplified(true);
         let mut trail = task.trail_b.clone();
         trail.push(def.statement.clone());
-        children.push(CheckTask {
-            output_idx: task.output_idx,
-            pos_a: task.pos_a.clone(),
-            map_a: sub_a,
-            pos_b: Pos::Node(def.root),
-            map_b: sub_b,
-            trail_a: task.trail_a.clone(),
-            trail_b: trail,
-            assumptions: task.assumptions.clone(),
-            depth: task.depth + 1,
-        });
+        children.push(CheckTask::traverse(
+            task,
+            pos_a.clone(),
+            sub_a,
+            Pos::Node(def.root),
+            sub_b,
+            task.trail_a.clone(),
+            trail,
+            task.assumptions.clone(),
+        ));
     }
     Ok(children)
 }

@@ -54,6 +54,26 @@ pub struct CheckStats {
     pub flattenings: u64,
     /// Matching operations performed (extended method only).
     pub matchings: u64,
+    /// Flattened terms produced across all flattenings.
+    pub terms_flattened: u64,
+    /// Term-arena interning operations (one per restricted term entering a
+    /// match; see `normalize::TermArena`).
+    pub arena_interns: u64,
+    /// Interning operations answered by an already-interned identical term
+    /// (the arena's dedup hits — across regions, chains and sides).
+    pub arena_hits: u64,
+    /// Term pairs matched by arena-id equality alone (no recursive
+    /// equivalence check, no relation algebra — one integer comparison).
+    pub fast_term_matches: u64,
+    /// Term pairs answered by the matched-pair memo.
+    pub term_memo_hits: u64,
+    /// Tasks a parallel run's coordinator decomposed the root obligation
+    /// into (0 on the sequential path).
+    pub parallel_tasks: u64,
+    /// How many of those tasks were per-piece algebraic match obligations
+    /// emitted from inside a flatten/match position (0 when every algebraic
+    /// obligation ran whole).
+    pub algebraic_piece_tasks: u64,
     /// Lookups into the cross-query shared equivalence table (0 outside an
     /// engine session — the one-shot path has no shared table).
     pub shared_table_lookups: u64,
@@ -86,6 +106,13 @@ impl CheckStats {
         self.hash_collisions += other.hash_collisions;
         self.flattenings += other.flattenings;
         self.matchings += other.matchings;
+        self.terms_flattened += other.terms_flattened;
+        self.arena_interns += other.arena_interns;
+        self.arena_hits += other.arena_hits;
+        self.fast_term_matches += other.fast_term_matches;
+        self.term_memo_hits += other.term_memo_hits;
+        self.parallel_tasks += other.parallel_tasks;
+        self.algebraic_piece_tasks += other.algebraic_piece_tasks;
         self.shared_table_lookups += other.shared_table_lookups;
         self.shared_table_hits += other.shared_table_hits;
         self.shared_table_inserts += other.shared_table_inserts;
@@ -102,6 +129,17 @@ impl CheckStats {
             0.0
         } else {
             self.table_hits as f64 / self.table_lookups as f64
+        }
+    }
+
+    /// Fraction of term-arena interning operations answered by an existing
+    /// identical term (0.0 when the arena was never used) — the dedup
+    /// measure of the normalization subsystem's hash-consing.
+    pub fn arena_hit_rate(&self) -> f64 {
+        if self.arena_interns == 0 {
+            0.0
+        } else {
+            self.arena_hits as f64 / self.arena_interns as f64
         }
     }
 
@@ -272,6 +310,16 @@ impl Report {
                 self.stats.shared_table_lookups,
                 self.stats.combined_hit_rate() * 100.0,
                 self.stats.shared_table_inserts,
+            ));
+        }
+        if self.stats.arena_interns > 0 {
+            out.push_str(&format!(
+                "term arena: {} interns, {} dedup hits ({:.0}%), {} fast matches, {} memo hits\n",
+                self.stats.arena_interns,
+                self.stats.arena_hits,
+                self.stats.arena_hit_rate() * 100.0,
+                self.stats.fast_term_matches,
+                self.stats.term_memo_hits,
             ));
         }
         if self.stats.hash_collisions > 0 {

@@ -97,6 +97,9 @@ pub fn stats_to_json(s: &CheckStats) -> String {
             "{{\"paths_compared\":{},\"compositions\":{},\"mapping_equalities\":{},",
             "\"table_lookups\":{},\"table_hits\":{},\"table_entries\":{},",
             "\"hash_collisions\":{},\"flattenings\":{},\"matchings\":{},",
+            "\"terms_flattened\":{},\"arena_interns\":{},\"arena_hits\":{},",
+            "\"fast_term_matches\":{},\"term_memo_hits\":{},",
+            "\"parallel_tasks\":{},\"algebraic_piece_tasks\":{},",
             "\"shared_table_lookups\":{},\"shared_table_hits\":{},",
             "\"shared_table_inserts\":{},\"check_time_us\":{},\"witness_time_us\":{}}}"
         ),
@@ -109,6 +112,13 @@ pub fn stats_to_json(s: &CheckStats) -> String {
         s.hash_collisions,
         s.flattenings,
         s.matchings,
+        s.terms_flattened,
+        s.arena_interns,
+        s.arena_hits,
+        s.fast_term_matches,
+        s.term_memo_hits,
+        s.parallel_tasks,
+        s.algebraic_piece_tasks,
         s.shared_table_lookups,
         s.shared_table_hits,
         s.shared_table_inserts,
@@ -130,6 +140,13 @@ pub fn stats_from_json(v: &JsonValue) -> Option<CheckStats> {
         hash_collisions: g("hash_collisions")?,
         flattenings: g("flattenings")?,
         matchings: g("matchings")?,
+        terms_flattened: g("terms_flattened")?,
+        arena_interns: g("arena_interns")?,
+        arena_hits: g("arena_hits")?,
+        fast_term_matches: g("fast_term_matches")?,
+        term_memo_hits: g("term_memo_hits")?,
+        parallel_tasks: g("parallel_tasks")?,
+        algebraic_piece_tasks: g("algebraic_piece_tasks")?,
         shared_table_lookups: g("shared_table_lookups")?,
         shared_table_hits: g("shared_table_hits")?,
         shared_table_inserts: g("shared_table_inserts")?,

@@ -68,7 +68,8 @@ pub use json::{
 
 /// Re-exported core vocabulary so engine users need only one import path.
 pub use arrayeq_core::{
-    BudgetExhausted, CancelToken, CheckOptions, CheckStats, Focus, Method, Report, Verdict, Witness,
+    BudgetExhausted, CancelToken, CheckOptions, CheckStats, Focus, Method, OperatorClass,
+    OperatorProperties, Report, Verdict, Witness,
 };
 /// Re-exported witness tuning knobs ([`VerifierBuilder::witness_options`]).
 pub use arrayeq_witness::WitnessOptions;
@@ -252,6 +253,25 @@ impl VerifierBuilder {
     /// Sets the per-request traversal work budget.
     pub fn max_work(mut self, max_work: u64) -> Self {
         self.options.max_work = max_work;
+        self
+    }
+
+    /// Replaces the operator property declarations wholesale (shorthand
+    /// over [`Self::options`]).  Like every option, fixed for the engine's
+    /// lifetime: the cross-query table's entries are only valid under the
+    /// algebra that produced them.
+    pub fn operators(mut self, operators: OperatorProperties) -> Self {
+        self.options.operators = operators;
+        self
+    }
+
+    /// Declares the algebraic class of a user function by name (e.g.
+    /// `min`/`max` as [`OperatorClass::AC`]), enabling flattening and
+    /// matching at its call nodes.  Repeatable; the CLI surface
+    /// `--declare-op name=ac` maps here through
+    /// [`OperatorProperties::declare_spec`].
+    pub fn declare_call(mut self, name: impl Into<String>, class: OperatorClass) -> Self {
+        self.options.operators = self.options.operators.clone().declare_call(name, class);
         self
     }
 
@@ -618,6 +638,38 @@ mod tests {
         assert!(s.feasibility_misses > 0, "shared memo engaged: {s:?}");
         assert!(s.feasibility_entries > 0);
         assert!(s.combined_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn declared_operator_classes_reach_the_checker() {
+        let src_a = "#define N 8\nvoid f(int X[], int Y[], int C[]) { int k; for (k=0;k<N;k++) s1: C[k] = qmax(X[k], Y[k]); }";
+        let src_b = "#define N 8\nvoid f(int X[], int Y[], int C[]) { int k; for (k=0;k<N;k++) t1: C[k] = qmax(Y[k], X[k]); }";
+        let plain = Verifier::new();
+        assert_eq!(
+            plain.verify_source(src_a, src_b).unwrap().report.verdict,
+            Verdict::NotEquivalent,
+            "undeclared calls are uninterpreted"
+        );
+        let declared = Verifier::builder()
+            .declare_call("qmax", OperatorClass::AC)
+            .build();
+        assert!(declared
+            .verify_source(src_a, src_b)
+            .unwrap()
+            .report
+            .is_equivalent());
+        let via_spec = Verifier::builder()
+            .operators(
+                OperatorProperties::default()
+                    .declare_spec("qmax=ac")
+                    .unwrap(),
+            )
+            .build();
+        assert!(via_spec
+            .verify_source(src_a, src_b)
+            .unwrap()
+            .report
+            .is_equivalent());
     }
 
     #[test]

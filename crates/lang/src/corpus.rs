@@ -201,6 +201,166 @@ r1:     Y[k] = Y[k-1] + X[k];
 }
 "#;
 
+/// A *factored* weighted blend: a gain multiplies a piecewise sum held in
+/// an intermediate buffer.  Equivalent to [`KERNEL_EXPANDED`] only through
+/// one-level distribution of `*` over `+`/`-` (plus inverse folding on the
+/// upper half) — the extended method with the full operator algebra proves
+/// the pair; the basic method and plain AC matching cannot.
+pub const KERNEL_FACTORED: &str = r#"
+/* factored weighted blend: gain times a piecewise sum */
+#define N 64
+#define H 32
+blend(int A[], int B[], int G[], int C[])
+{
+    int k, s[N];
+    for (k = 0; k < H; k++)
+b1:     s[k] = A[k] + B[2*k];
+    for (k = H; k < N; k++)
+b2:     s[k] = A[k] - B[2*k];
+    for (k = 0; k < N; k++)
+b3:     C[k] = G[k] * s[k];
+}
+"#;
+
+/// The distributed/expanded form of [`KERNEL_FACTORED`]: the gain is
+/// multiplied through each summand, per half of the output domain.
+pub const KERNEL_EXPANDED: &str = r#"
+/* expanded weighted blend: gain distributed over each summand */
+#define N 64
+#define H 32
+blend(int A[], int B[], int G[], int C[])
+{
+    int k;
+    for (k = 0; k < H; k++)
+e1:     C[k] = G[k] * A[k] + G[k] * B[2*k];
+    for (k = H; k < N; k++)
+e2:     C[k] = G[k] * A[k] - G[k] * B[2*k];
+}
+"#;
+
+/// A difference-and-sum chain computed through an intermediate: the `-`
+/// rides inside the first statement.  Equivalent to
+/// [`KERNEL_SUB_SHUFFLE_B`] only when subtraction folds into the `+` chain
+/// with a negated coefficient (inverse folding).
+pub const KERNEL_SUB_SHUFFLE_A: &str = r#"
+/* difference plus correction, staged through a temporary */
+#define N 64
+diffsum(int X[], int Y[], int Z[], int C[])
+{
+    int k, t[N];
+    for (k = 0; k < N; k++)
+q1:     t[k] = X[k] - Y[2*k];
+    for (k = 0; k < N; k++)
+q2:     C[k] = t[k] + Z[k];
+}
+"#;
+
+/// The shuffled single-statement form of [`KERNEL_SUB_SHUFFLE_A`]: the
+/// subtraction moved to the end of the chain.
+pub const KERNEL_SUB_SHUFFLE_B: &str = r#"
+/* same chain, subtraction last */
+#define N 64
+diffsum(int X[], int Y[], int Z[], int C[])
+{
+    int k;
+    for (k = 0; k < N; k++)
+p1:     C[k] = X[k] + Z[k] - Y[2*k];
+}
+"#;
+
+/// A chain littered with identity operands and split constants.  Equivalent
+/// to [`KERNEL_IDENT_B`] only through identity elimination (`+ 0`, `* 1`)
+/// and constant folding (`2 + 3` = `5`).
+pub const KERNEL_IDENT_A: &str = r#"
+/* identity noise and split constants */
+#define N 64
+bias(int X[], int Y[], int C[])
+{
+    int k;
+    for (k = 0; k < N; k++)
+i1:     C[k] = X[k] + 0 + Y[2*k] * 1 + 2 + 3;
+}
+"#;
+
+/// The folded form of [`KERNEL_IDENT_A`].
+pub const KERNEL_IDENT_B: &str = r#"
+/* folded constants, no identities */
+#define N 64
+bias(int X[], int Y[], int C[])
+{
+    int k;
+    for (k = 0; k < N; k++)
+j1:     C[k] = 5 + Y[2*k] + X[k];
+}
+"#;
+
+/// A piecewise-assembled sum: the intermediate is written in two halves
+/// split at `H`, the upper half with shuffled operands.  Equivalent to
+/// [`KERNEL_PIECEWISE_B`], which assembles the *same* values split at a
+/// different point `Q` — so one flatten/match obligation spans three
+/// regions (`0..Q`, `Q..H`, `H..N`) with different term structures, the
+/// workload that exercises region splitting (and the parallel checker's
+/// per-piece task decomposition) inside a single chain.
+pub const KERNEL_PIECEWISE_A: &str = r#"
+/* piecewise-assembled sum, split at H, upper half shuffled */
+#define N 64
+#define H 32
+pieces(int A[], int B[], int D[], int C[])
+{
+    int k, w[N];
+    for (k = 0; k < H; k++)
+w1:     w[k] = B[k] + D[2*k];
+    for (k = H; k < N; k++)
+w2:     w[k] = D[2*k] + B[k];
+    for (k = 0; k < N; k++)
+c1:     C[k] = A[k] + w[k];
+}
+"#;
+
+/// The same values as [`KERNEL_PIECEWISE_A`], assembled with a different
+/// split point and operand orders.
+pub const KERNEL_PIECEWISE_B: &str = r#"
+/* same sum, split at Q instead */
+#define N 64
+#define Q 16
+pieces(int A[], int B[], int D[], int C[])
+{
+    int k, v[N];
+    for (k = 0; k < Q; k++)
+x1:     v[k] = D[2*k] + B[k];
+    for (k = Q; k < N; k++)
+x2:     v[k] = B[k] + D[2*k];
+    for (k = 0; k < N; k++)
+y1:     C[k] = v[k] + A[k];
+}
+"#;
+
+/// A factored chain with an identity operand in one statement — the
+/// fault-injection harness's host for distribution- and identity-breaking
+/// mutations (`transform::mutate`).
+pub const KERNEL_FACTORED_IDENT: &str = r#"
+/* factored gain with an identity tail */
+#define N 64
+fblend(int A[], int B[], int G[], int C[])
+{
+    int k;
+    for (k = 0; k < N; k++)
+f1:     C[k] = G[k] * (A[k] + B[2*k]) + 0;
+}
+"#;
+
+/// The algebraic-normalization scenario pairs: `(name, original,
+/// transformed)`, equivalent exactly under the extended method's widened
+/// operator algebra (distribution, inverse folding, identity/constant
+/// folding).  Kept separate from [`KERNELS`] (whose members pair with
+/// random transformation pipelines); these pairs *are* the transformation.
+pub const ALGEBRAIC_PAIRS: [(&str, &str, &str); 4] = [
+    ("factored-expanded", KERNEL_FACTORED, KERNEL_EXPANDED),
+    ("sub-shuffle", KERNEL_SUB_SHUFFLE_A, KERNEL_SUB_SHUFFLE_B),
+    ("ident-fold", KERNEL_IDENT_A, KERNEL_IDENT_B),
+    ("piecewise", KERNEL_PIECEWISE_A, KERNEL_PIECEWISE_B),
+];
+
 /// Names and sources of the realistic-kernel suite (Section 6.2 workload).
 pub const KERNELS: [(&str, &str); 7] = [
     ("fir5", KERNEL_FIR5),
@@ -247,6 +407,17 @@ mod tests {
             let p = parse_program(src).unwrap_or_else(|e| panic!("kernel {name} parse: {e}"));
             assert!(p.statement_count() >= 1, "kernel {name} has statements");
         }
+    }
+
+    #[test]
+    fn algebraic_pairs_parse_with_matching_interfaces() {
+        for (name, a, b) in ALGEBRAIC_PAIRS {
+            let pa = parse_program(a).unwrap_or_else(|e| panic!("{name} original: {e}"));
+            let pb = parse_program(b).unwrap_or_else(|e| panic!("{name} transformed: {e}"));
+            assert_eq!(pa.output_arrays(), pb.output_arrays(), "{name}");
+            assert_eq!(pa.input_arrays(), pb.input_arrays(), "{name}");
+        }
+        parse_program(KERNEL_FACTORED_IDENT).expect("mutation host parses");
     }
 
     #[test]

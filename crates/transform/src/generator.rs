@@ -38,6 +38,13 @@ pub struct GeneratorConfig {
     /// applied per channel) whose repeated sub-proofs the rename-invariant
     /// tabling keys collapse to a single entry.
     pub distinct_chains: usize,
+    /// Enrich right-hand sides with algebraic structure: factored products
+    /// (`g·(x + y)`), subtractions, constant coefficients and identity
+    /// operands (`+ 0`, `* 1`).  The workload shape of the normalization
+    /// scenarios — pairs produced by `transform::algebraic`'s distribution /
+    /// subtraction-shuffle / identity-noise rewrites of these kernels need
+    /// the extended method's operator algebra to verify.
+    pub algebra: bool,
     /// Seed for the deterministic pseudo-random choices.
     pub seed: u64,
 }
@@ -51,6 +58,7 @@ impl Default for GeneratorConfig {
             fanin: 3,
             outputs: 1,
             distinct_chains: 0,
+            algebra: false,
             seed: 1,
         }
     }
@@ -88,13 +96,22 @@ pub fn generate_kernel(config: &GeneratorConfig) -> Program {
         // in producer/consumer signal-processing chains); the remaining
         // operands read fresh input data.
         let chain = random_sum(&mut rng, &prev_arrays, layer == 0, 1, n);
-        let rest = random_sum(
-            &mut rng,
-            &input_names,
-            true,
-            config.fanin.saturating_sub(1).max(1),
-            n,
-        );
+        let rest = if config.algebra {
+            random_algebraic_sum(
+                &mut rng,
+                &input_names,
+                config.fanin.saturating_sub(1).max(1),
+                n,
+            )
+        } else {
+            random_sum(
+                &mut rng,
+                &input_names,
+                true,
+                config.fanin.saturating_sub(1).max(1),
+                n,
+            )
+        };
         let rhs = Expr::add(chain, rest);
         body.push(simple_for(
             "k",
@@ -259,6 +276,52 @@ fn random_sum(
     let mut expr = terms.remove(0);
     for t in terms {
         expr = Expr::add(expr, t);
+    }
+    expr
+}
+
+/// An algebra-rich `fanin`-term chain over input arrays: beyond plain
+/// reads it mixes in subtracted terms, constant-scaled reads (`2·x`),
+/// factored products (`x·(y + z)`, which `distribute_statement` expands),
+/// identity operands (`x·1`) and plain constants — the raw material of the
+/// normalization scenarios.  Terms join with `+`/`-` so inverse folding is
+/// always exercised.
+fn random_algebraic_sum(rng: &mut StdRng, sources: &[String], fanin: usize, n: i64) -> Expr {
+    let read = |rng: &mut StdRng| -> Expr {
+        let src = &sources[rng.gen_range(0..sources.len())];
+        let idx = match rng.gen_range(0..3) {
+            0 => Expr::var("k"),
+            1 => Expr::mul(Expr::Const(2), Expr::var("k")),
+            _ => Expr::add(Expr::var("k"), Expr::Const(rng.gen_range(0..4))),
+        };
+        Expr::access1(src, idx)
+    };
+    let _ = n;
+    let mut terms = Vec::new();
+    for _t in 0..fanin.max(1) {
+        let term = match rng.gen_range(0..6) {
+            0 => read(rng),
+            1 => Expr::mul(Expr::Const(rng.gen_range(2..5)), read(rng)),
+            2 => Expr::mul(read(rng), Expr::add(read(rng), read(rng))),
+            3 => Expr::mul(read(rng), Expr::Const(1)),
+            4 => Expr::Const(rng.gen_range(0..7)),
+            _ => read(rng),
+        };
+        let negate = rng.gen_range(0..3) == 0;
+        terms.push((negate, term));
+    }
+    let (_, head) = terms[0].clone();
+    let mut expr = if terms[0].0 {
+        Expr::Neg(Box::new(head))
+    } else {
+        head
+    };
+    for (negate, t) in terms.into_iter().skip(1) {
+        expr = if negate {
+            Expr::sub(expr, t)
+        } else {
+            Expr::add(expr, t)
+        };
     }
     expr
 }

@@ -19,7 +19,9 @@ use crate::Result as TransformResult;
 use crate::TransformError;
 use arrayeq_lang::ast::*;
 use arrayeq_lang::classcheck::check_class;
-use arrayeq_lang::corpus::{with_size, FIG1_A, FIG1_B, KERNELS};
+use arrayeq_lang::corpus::{
+    with_size, FIG1_A, FIG1_B, KERNELS, KERNEL_FACTORED_IDENT, KERNEL_IDENT_A, KERNEL_SUB_SHUFFLE_A,
+};
 use arrayeq_lang::defuse::check_def_use;
 use arrayeq_lang::interp::{standard_inputs, Interpreter};
 use arrayeq_lang::parser::parse_program;
@@ -66,6 +68,23 @@ pub enum Mutation {
         /// Label of the statement to remove.
         label: String,
     },
+    /// Break the first factored product `x*(y+z)` (or `(y+z)*x`) in the
+    /// labelled statement into `x*y + z` — a distribution applied to only
+    /// one summand, the classic slip when expanding by hand.  The extended
+    /// method's one-level distribution must reject the pair.
+    BreakDistribution {
+        /// Label of the statement to mutate.
+        label: String,
+    },
+    /// Drop the first identity operand (`e + 0` or `e * 1`) of the labelled
+    /// statement *and* perturb the surviving sibling's first read by one
+    /// index position.  Dropping the identity alone is equivalence-
+    /// preserving (exactly what identity elimination normalises away), so
+    /// the mutation hides a real bug under the cosmetic change.
+    DropIdentityOperand {
+        /// Label of the statement to mutate.
+        label: String,
+    },
 }
 
 impl fmt::Display for Mutation {
@@ -77,6 +96,8 @@ impl fmt::Display for Mutation {
             Mutation::SwapCallArguments { label } => write!(f, "swap-call-args@{label}"),
             Mutation::WrongCoefficient { label } => write!(f, "wrong-coefficient@{label}"),
             Mutation::DropStatement { label } => write!(f, "drop-statement@{label}"),
+            Mutation::BreakDistribution { label } => write!(f, "break-distribution@{label}"),
+            Mutation::DropIdentityOperand { label } => write!(f, "drop-identity@{label}"),
         }
     }
 }
@@ -117,6 +138,12 @@ pub fn apply_mutation(p: &Program, m: &Mutation) -> TransformResult<Program> {
         Mutation::WrongCoefficient { label } => {
             mutate_stmt(&mut out.body, label, &mut |a| scale_down_coeff(&mut a.rhs))
         }
+        Mutation::BreakDistribution { label } => mutate_stmt(&mut out.body, label, &mut |a| {
+            break_distribution(&mut a.rhs)
+        }),
+        Mutation::DropIdentityOperand { label } => mutate_stmt(&mut out.body, label, &mut |a| {
+            drop_identity_and_perturb(&mut a.rhs)
+        }),
         Mutation::DropStatement { label } => {
             let Some(target) = p.statement(label) else {
                 return Err(TransformError::NoSuchLocation {
@@ -174,6 +201,12 @@ pub fn enumerate_mutations(p: &Program) -> Vec<(Mutation, Program)> {
             Mutation::DropStatement {
                 label: a.label.clone(),
             },
+            Mutation::BreakDistribution {
+                label: a.label.clone(),
+            },
+            Mutation::DropIdentityOperand {
+                label: a.label.clone(),
+            },
         ] {
             candidates.push(m);
         }
@@ -228,6 +261,11 @@ pub fn fault_corpus() -> Vec<FaultCase> {
         ("sad_tree", with_size(kernel("sad_tree"), 64)),
         ("matvec", with_size(kernel("matvec"), 64)),
         ("recurrence", with_size(kernel("recurrence"), 64)),
+        // Hosts for the distribution / identity fault categories (native
+        // sizes: their shapes carry extra `#define`s `with_size` ignores).
+        ("factored", KERNEL_FACTORED_IDENT.to_owned()),
+        ("subshuffle", KERNEL_SUB_SHUFFLE_A.to_owned()),
+        ("identfold", KERNEL_IDENT_A.to_owned()),
     ];
     let mut corpus = Vec::new();
     for (pname, src) in &sources {
@@ -462,6 +500,87 @@ fn scale_down_coeff(e: &mut Expr) -> bool {
     }
 }
 
+/// Rewrites the first `x*(y+z)` / `(y+z)*x` into `x*y + z`.
+fn break_distribution(e: &mut Expr) -> bool {
+    match e {
+        Expr::Bin(BinOp::Mul, l, r) => {
+            if let Expr::Bin(BinOp::Add, y, z) = (**r).clone() {
+                *e = Expr::add(Expr::mul((**l).clone(), *y), *z);
+                return true;
+            }
+            if let Expr::Bin(BinOp::Add, y, z) = (**l).clone() {
+                *e = Expr::add(Expr::mul(*y, (**r).clone()), *z);
+                return true;
+            }
+            break_distribution(l) || break_distribution(r)
+        }
+        Expr::Bin(_, l, r) => break_distribution(l) || break_distribution(r),
+        Expr::Neg(inner) => break_distribution(inner),
+        Expr::Call(_, args) => args.iter_mut().any(break_distribution),
+        Expr::Const(_) | Expr::Var(_) | Expr::Access(_) => false,
+    }
+}
+
+/// Replaces the first `e + 0` / `0 + e` / `e * 1` / `1 * e` by `e` with its
+/// first array read shifted one index position — cosmetic identity removal
+/// hiding a genuine off-by-one.
+fn drop_identity_and_perturb(e: &mut Expr) -> bool {
+    fn try_drop(e: &mut Expr) -> bool {
+        let replacement = match e {
+            Expr::Bin(BinOp::Add, l, r) => {
+                if matches!(**r, Expr::Const(0)) {
+                    Some((**l).clone())
+                } else if matches!(**l, Expr::Const(0)) {
+                    Some((**r).clone())
+                } else {
+                    None
+                }
+            }
+            Expr::Bin(BinOp::Mul, l, r) => {
+                if matches!(**r, Expr::Const(1)) {
+                    Some((**l).clone())
+                } else if matches!(**l, Expr::Const(1)) {
+                    Some((**r).clone())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(mut kept) = replacement {
+            if perturb_first_read(&mut kept) {
+                *e = kept;
+                return true;
+            }
+            return false; // no read to perturb: dropping alone is equivalent
+        }
+        match e {
+            Expr::Bin(_, l, r) => try_drop(l) || try_drop(r),
+            Expr::Neg(inner) => try_drop(inner),
+            Expr::Call(_, args) => args.iter_mut().any(try_drop),
+            _ => false,
+        }
+    }
+    try_drop(e)
+}
+
+/// Bumps the first array read's first index by one.
+fn perturb_first_read(e: &mut Expr) -> bool {
+    match e {
+        Expr::Access(a) => match a.indices.first_mut() {
+            Some(first) => {
+                *first = Expr::add(first.clone(), Expr::Const(1));
+                true
+            }
+            None => false,
+        },
+        Expr::Bin(_, l, r) => perturb_first_read(l) || perturb_first_read(r),
+        Expr::Neg(inner) => perturb_first_read(inner),
+        Expr::Call(_, args) => args.iter_mut().any(perturb_first_read),
+        Expr::Const(_) | Expr::Var(_) => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,6 +600,8 @@ mod tests {
         )));
         assert!(has(&|m| matches!(m, Mutation::WrongCoefficient { .. })));
         assert!(has(&|m| matches!(m, Mutation::DropStatement { .. })));
+        assert!(has(&|m| matches!(m, Mutation::BreakDistribution { .. })));
+        assert!(has(&|m| matches!(m, Mutation::DropIdentityOperand { .. })));
         // Names are unique.
         let mut names: Vec<&str> = corpus.iter().map(|c| c.name.as_str()).collect();
         names.sort_unstable();
@@ -511,6 +632,56 @@ mod tests {
         assert!(reads
             .iter()
             .any(|r| r.array == "buf" && format!("{:?}", r.indices[0]).contains("Const(1)")));
+    }
+
+    #[test]
+    fn break_distribution_expands_only_one_summand() {
+        let p = parse_program(KERNEL_FACTORED_IDENT).unwrap();
+        let m = Mutation::BreakDistribution { label: "f1".into() };
+        let q = apply_mutation(&p, &m).unwrap();
+        // f1: C[k] = G[k] * (A[k] + B[2*k]) + 0  →  G[k]*A[k] + B[2*k] + 0
+        let reads: Vec<&str> = q
+            .statement("f1")
+            .unwrap()
+            .rhs
+            .reads()
+            .iter()
+            .map(|r| r.array.as_str())
+            .collect();
+        assert_eq!(reads, vec!["G", "A", "B"]);
+        assert!(
+            observably_different(&p, &q),
+            "broken distribution is a real bug"
+        );
+    }
+
+    #[test]
+    fn drop_identity_perturbs_the_surviving_sibling() {
+        let p = parse_program(KERNEL_IDENT_A).unwrap();
+        let m = Mutation::DropIdentityOperand { label: "i1".into() };
+        let q = apply_mutation(&p, &m).unwrap();
+        assert_ne!(p, q);
+        // The `+ 0` is gone and the sibling read shifted: X[k] → X[k + 1].
+        let i1 = q.statement("i1").unwrap();
+        let x = i1.rhs.reads()[0].clone();
+        assert_eq!(x.array, "X");
+        assert!(format!("{:?}", x.indices[0]).contains("Const(1)"));
+        assert!(observably_different(&p, &q));
+        // Dropping the identity *without* the perturbation stays equivalent —
+        // the whole point of identity elimination — so a rhs with no reads
+        // next to its identity is NotApplicable rather than a silent no-op.
+        let only_const = parse_program(
+            "#define N 8
+void f(int A[], int C[]) { int k; for (k=0;k<N;k++) s1: C[k] = 7 + 0; }",
+        )
+        .unwrap();
+        assert!(matches!(
+            apply_mutation(
+                &only_const,
+                &Mutation::DropIdentityOperand { label: "s1".into() }
+            ),
+            Err(TransformError::NotApplicable { .. })
+        ));
     }
 
     #[test]

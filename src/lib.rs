@@ -89,6 +89,24 @@
 //! # let _ = wide;
 //! ```
 //!
+//! The extended method normalises algebraic chains through the
+//! [`core::normalize`-backed operator algebra](core::OperatorProperties):
+//! out of the box `+`/`*` flatten with constant folding, identity and
+//! annihilator elements, `-`/negation fold into the `+` chain, and `*`
+//! distributes one level over `+` — so factored/expanded and
+//! subtraction-shuffled kernels verify.  Declare *your own* operators
+//! (e.g. saturating `min`/`max`) with
+//! [`VerifierBuilder::declare_call`](engine::VerifierBuilder::declare_call)
+//! (CLI: `--declare-op min=ac`):
+//!
+//! ```
+//! use arrayeq::engine::{OperatorClass, Verifier};
+//! let verifier = Verifier::builder()
+//!     .declare_call("min", OperatorClass::AC)
+//!     .build();
+//! # let _ = verifier;
+//! ```
+//!
 //! For one-off checks the original free functions remain as thin one-shot
 //! wrappers: [`core::verify_source`], [`core::verify_programs`],
 //! [`core::verify_addgs`] and [`witness::verify_with_witnesses`].
@@ -98,9 +116,9 @@
 //! The `crates/cli` binary exposes the engine on the command line:
 //!
 //! ```text
-//! arrayeq verify a.c b.c [--method basic|extended] [--witnesses] [--json]
-//!                        [--dot out.dot] [--deadline-ms N] [--max-work N]
-//!                        [--jobs N]
+//! arrayeq verify a.c b.c [--method basic|extended] [--declare-op name=ac]...
+//!                        [--witnesses] [--json] [--dot out.dot]
+//!                        [--deadline-ms N] [--max-work N] [--jobs N]
 //! arrayeq corpus --list          # built-in programs and fault-corpus mutants
 //! arrayeq corpus fig1a           # print one of them
 //! ```
