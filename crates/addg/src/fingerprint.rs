@@ -64,6 +64,13 @@ impl Fingerprints {
             .copied()
             .unwrap_or_else(|| structural_hash_of(&("unknown-array", name)))
     }
+
+    /// Every array the fingerprinted graph mentions, with its fingerprint,
+    /// in name order.  The enumeration the diff engine and the baseline
+    /// exporter walk; [`array`](Self::array) stays the point lookup.
+    pub fn arrays(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.arrays.iter().map(|(name, &h)| (name.as_str(), h))
+    }
 }
 
 /// Computes the content [`Fingerprints`] of a graph.
@@ -163,38 +170,65 @@ fn fingerprints_impl(g: &Addg, name_all: bool) -> Fingerprints {
         })
         .collect();
 
+    // The relation hashes folded into every round are round-invariant:
+    // an access mapping and a definition's element set never change while
+    // the array hashes refine.  Canonicalizing them is the expensive part
+    // of a round on wide kernels, so compute each exactly once up front.
+    let access_rel: Vec<u64> = g
+        .nodes()
+        .map(|(_, node)| match node {
+            Node::Access { mapping, .. } => mapping.structural_hash(),
+            _ => 0,
+        })
+        .collect();
+    let def_rel: BTreeMap<&str, Vec<u64>> = names
+        .iter()
+        .map(|name| {
+            let hashes = g
+                .definitions(name)
+                .iter()
+                .map(|def| def.elements.as_relation().structural_hash())
+                .collect();
+            (name.as_str(), hashes)
+        })
+        .collect();
+
     // WL refinement: re-hash every array over the previous round's hashes of
-    // the arrays its definitions read.  `#arrays + 1` rounds propagate leaf
-    // information across the longest possible acyclic def-use chain.
+    // the arrays its definitions read.  `#arrays + 1` rounds bound the
+    // longest possible acyclic def-use chain, but refinement is a pure
+    // function of the previous round's hashes — once a round changes
+    // nothing, no later round can either, so stop at the fixpoint (typically
+    // reached after depth-of-the-deepest-chain rounds, far below the bound).
     let rounds = arrays.len() + 1;
     let mut nodes = vec![0u64; g.node_count()];
     for _ in 0..rounds {
-        hash_nodes(g, &arrays, &mut nodes);
+        hash_nodes(g, &arrays, &access_rel, &mut nodes);
         let mut next = BTreeMap::new();
         for name in &names {
             let mut h = StructuralHasher::default();
             ("array", label(name), g.is_input(name.as_str())).hash(&mut h);
-            for def in g.definitions(name) {
-                (
-                    def.elements.as_relation().structural_hash(),
-                    def.element_dims,
-                    nodes[def.root],
-                )
-                    .hash(&mut h)
+            for (def, rel_hash) in g.definitions(name).iter().zip(&def_rel[name.as_str()]) {
+                (*rel_hash, def.element_dims, nodes[def.root]).hash(&mut h)
             }
             next.insert(name.clone(), h.finish());
         }
+        let stable = next == arrays;
         arrays = next;
+        if stable {
+            break;
+        }
     }
-    hash_nodes(g, &arrays, &mut nodes);
+    hash_nodes(g, &arrays, &access_rel, &mut nodes);
     Fingerprints { nodes, arrays }
 }
 
 /// One bottom-up pass over the statement trees, hashing every node against
-/// the current array hashes.  Operator trees are acyclic (operands always
+/// the current array hashes.  `access_rel` carries the precomputed
+/// structural hash of each Access node's mapping (round-invariant, see
+/// [`fingerprints_impl`]).  Operator trees are acyclic (operands always
 /// point at later-created nodes within the statement), but iterate to a
 /// fixpoint over ids to stay independent of creation order.
-fn hash_nodes(g: &Addg, arrays: &BTreeMap<String, u64>, out: &mut [u64]) {
+fn hash_nodes(g: &Addg, arrays: &BTreeMap<String, u64>, access_rel: &[u64], out: &mut [u64]) {
     // Nodes reference only smaller-or-larger ids within their own tree; a
     // reverse pass resolves operands created after their operator, a forward
     // pass the (usual) opposite order.  Two passes always suffice because
@@ -205,8 +239,8 @@ fn hash_nodes(g: &Addg, arrays: &BTreeMap<String, u64>, out: &mut [u64]) {
             out[id] = match node {
                 Node::Array { name } => arrays[name],
                 Node::Const { value, .. } => structural_hash_of(&("const", value)),
-                Node::Access { array, mapping, .. } => {
-                    structural_hash_of(&("access", arrays[array], mapping.structural_hash()))
+                Node::Access { array, .. } => {
+                    structural_hash_of(&("access", arrays[array], access_rel[id]))
                 }
                 Node::Operator { kind, operands, .. } => {
                     let mut h = StructuralHasher::default();

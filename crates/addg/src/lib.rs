@@ -33,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod diff;
 mod dot;
 mod extract;
 mod fingerprint;
 mod graph;
 mod slice;
 
+pub use diff::{diff_addgs, diff_fingerprints, AddgDiff};
 pub use dot::{to_dot, to_dot_highlighted};
 pub use extract::{describe_node, extract};
 pub use fingerprint::{fingerprints, fingerprints_named, term_fingerprint, Fingerprints};

@@ -10,6 +10,8 @@
 //!     [--out BENCH_PR1.json]   # tabling keying-scheme comparison snapshot
 //! cargo run --release -p arrayeq-bench --bin run_experiments -- --exp pr4 \
 //!     [--out BENCH_PR4.json] [--quick]   # parallel checking snapshot
+//! cargo run --release -p arrayeq-bench --bin run_experiments -- --exp pr6 \
+//!     [--out BENCH_PR6.json] [--quick]   # incremental re-verification snapshot
 //! ```
 
 use arrayeq_bench::*;
@@ -111,6 +113,16 @@ fn main() {
             .unwrap_or_else(|| "BENCH_PR4.json".to_owned());
         let quick = args.iter().any(|a| a == "--quick");
         pr4_parallel_checking(&out, quick);
+    }
+    if only.as_deref() == Some("pr6") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_PR6.json".to_owned());
+        let quick = args.iter().any(|a| a == "--quick");
+        pr6_incremental(&out, quick);
     }
 }
 
@@ -1041,6 +1053,9 @@ fn pr4_parallel_checking(out_path: &str, quick: bool) {
 ///   kernels rewritten by `transform::algebraic`): the basic method must
 ///   answer `NotEquivalent` and the extended method `Equivalent` on every
 ///   pair — both hard-asserted — with per-pair check wall time recorded.
+///   The extended checks run at the configured worker count and every
+///   recorded row must show the parallel path engaged
+///   (`parallel_tasks > 0`, piecewise chains contributing per-piece tasks).
 /// * **Matcher on the PR4 wide kernels** — check wall time plus the
 ///   normalization counters (flattenings, matchings, flattened terms,
 ///   arena interns/dedup-hits, id-equality fast matches, match-memo hits)
@@ -1061,12 +1076,18 @@ fn pr5_normalization(out_path: &str, quick: bool) {
     assert!(corpus.len() >= 9, "scenario corpus unexpectedly small");
 
     // 1. Scenario corpora: basic fails, extended succeeds, hard-asserted.
+    //    The extended checks run at the configured worker count so the
+    //    recorded rows exercise (and record) the parallel path — an earlier
+    //    snapshot ran them sequentially and every row carried
+    //    `parallel_tasks: 0`.
+    let scenario_jobs = 8usize;
     println!(
         "{:<22} {:>10} {:>12} {:>12} {:>10} {:>10}",
         "scenario", "basic", "extended", "check/ms", "pieces", "terms"
     );
     let mut rows = Vec::new();
     let mut total_ms = 0.0f64;
+    let mut max_scenario_piece_tasks = 0u64;
     for w in &corpus {
         let basic = w.check(&CheckOptions::basic());
         assert!(
@@ -1077,7 +1098,7 @@ fn pr5_normalization(out_path: &str, quick: bool) {
         let mut best = f64::INFINITY;
         let mut last = None;
         for _ in 0..repeats {
-            let (r, t) = timed(|| w.check(&CheckOptions::default()));
+            let (r, t) = timed(|| w.check(&CheckOptions::default().with_jobs(scenario_jobs)));
             assert!(
                 r.is_equivalent(),
                 "acceptance: extended+normalize must verify {}: {}",
@@ -1088,6 +1109,14 @@ fn pr5_normalization(out_path: &str, quick: bool) {
             last = Some(r);
         }
         let r = last.expect("at least one repeat");
+        assert!(
+            r.stats.parallel_tasks > 0,
+            "acceptance: scenario {} must engage the parallel path at jobs={scenario_jobs} \
+             ({:?})",
+            w.name,
+            r.stats
+        );
+        max_scenario_piece_tasks = max_scenario_piece_tasks.max(r.stats.algebraic_piece_tasks);
         total_ms += best;
         println!(
             "{:<22} {:>10} {:>12} {:>12.3} {:>10} {:>10}",
@@ -1104,6 +1133,11 @@ fn pr5_normalization(out_path: &str, quick: bool) {
             arrayeq_engine::stats_to_json(&r.stats),
         ));
     }
+    assert!(
+        max_scenario_piece_tasks > 1,
+        "acceptance: the recorded scenario rows must include piecewise chains decomposed \
+         into > 1 per-piece task (max algebraic_piece_tasks = {max_scenario_piece_tasks})"
+    );
 
     // 2. Matcher + term arena on the PR4 wide kernels.
     let wide: Vec<Workload> = if quick {
@@ -1209,8 +1243,10 @@ fn pr5_normalization(out_path: &str, quick: bool) {
             "  \"config\": {{ \"quick\": {}, \"repeats\": {}, ",
             "\"timing\": \"best of repeats, ms\" }},\n",
             "  \"acceptance\": \"hard-asserted in-run: basic NEQ + extended EQ on every ",
-            "scenario pair; arena dedup hits > 0 and id-equality fast matches > 0 on the wide ",
-            "kernels; render_stable byte-identical at jobs 1 vs 8; algebraic_piece_tasks > 1\",\n",
+            "scenario pair; scenario rows recorded at jobs=8 with parallel_tasks > 0 in every ",
+            "row and piecewise chains contributing > 1 per-piece task; arena dedup hits > 0 ",
+            "and id-equality fast matches > 0 on the wide kernels; render_stable ",
+            "byte-identical at jobs 1 vs 8; algebraic_piece_tasks > 1\",\n",
             "  \"scenarios\": [\n{}\n  ],\n",
             "  \"scenario_total_check_ms\": {:.3},\n",
             "  \"wide_kernels\": [\n{}\n  ],\n",
@@ -1225,6 +1261,333 @@ fn pr5_normalization(out_path: &str, quick: bool) {
         max_piece_tasks,
     );
     std::fs::write(out_path, &json).expect("write PR5 snapshot");
+    println!("snapshot written to {out_path}");
+}
+
+/// Commutes the last commutable statement of the transformed program whose
+/// label belongs to a per-output chain (`s{j}x{l}` / `o{j}`), i.e. the
+/// edit-one-statement workload: an equivalence-preserving change whose
+/// dirty cone is one output of a wide kernel.
+fn commute_last_chain_statement(w: &Workload) -> arrayeq_lang::ast::Program {
+    use arrayeq_transform::algebraic::commute_statement;
+    let labels: Vec<String> = w
+        .transformed
+        .statements()
+        .map(|s| s.label.clone())
+        .collect();
+    for label in labels.iter().rev() {
+        if !(label.starts_with('s') || label.starts_with('o')) {
+            continue;
+        }
+        let (edited, changed) = commute_statement(&w.transformed, label);
+        if changed > 0 {
+            return edited;
+        }
+    }
+    panic!("no commutable chain statement in {}", w.name);
+}
+
+/// PR6 acceptance snapshot: incremental re-verification against an exported
+/// baseline.
+///
+/// * **Edit-one-statement workloads** — the PR4 wide-kernel shape with every
+///   chain distinct (`distinct_chains = 0`): verify (original, transformed)
+///   once, export the baseline, commute a single statement of one chain and
+///   re-verify.  The incremental run must apply the baseline, re-enter a
+///   strict subset of the outputs (the dirty cone) and render a
+///   byte-identical `render_stable()` to the from-scratch run on the edited
+///   pair — all hard-asserted.  The full experiment asserts a >= 10x
+///   geomean wall-time reduction (the quick CI smoke asserts > 1x).
+/// * **Fault mutants** — baselines recorded for the pre-edit state must not
+///   mask an inequivalent edit: the dirty cone catches the fault-corpus
+///   mutants with replay-confirmed witnesses and byte-identical reports.
+/// * **Corpus byte-identity** — on every Fig. 1 pair (including the
+///   inequivalent one) a self-produced baseline applies and the incremental
+///   report is byte-identical to from-scratch.
+fn pr6_incremental(out_path: &str, quick: bool) {
+    use arrayeq_engine::{BaselineStatus, Verifier, VerifyRequest};
+    use arrayeq_transform::mutate::fault_corpus;
+    header(
+        "PR6",
+        "incremental re-verification: baseline export + dirty-cone re-checking",
+    );
+    let repeats = if quick { 1 } else { 3 };
+    // Long transformation pipelines (steps ≈ statement count) leave every
+    // chain non-trivially transformed — the expensive-pair regime where a
+    // from-scratch re-check pays the full per-output normalization cost on
+    // all O outputs while the incremental path pays it on the dirty cone
+    // only.  Short default-4-step pipelines would leave most chains at the
+    // cheap plain-traversal floor and understate exactly the cost the
+    // baseline is designed to avoid.
+    let workloads: Vec<Workload> = if quick {
+        vec![wide_pair_steps(3, 8, 0, 96, 24, 7)]
+    } else {
+        vec![
+            wide_pair_steps(5, 24, 0, 192, 120, 7),
+            wide_pair_steps(4, 32, 0, 160, 128, 11),
+            wide_pair_steps(4, 24, 0, 256, 96, 13),
+        ]
+    };
+
+    println!(
+        "{:<24} {:>12} {:>12} {:>9} {:>6} {:>7} {:>9}",
+        "workload", "scratch/ms", "incr/ms", "speedup", "cone", "clean", "entries"
+    );
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for w in &workloads {
+        // Producer run: establish the baseline for (original, transformed).
+        let producer = Verifier::new();
+        let first = producer
+            .verify(&VerifyRequest::programs(
+                w.original.clone(),
+                w.transformed.clone(),
+            ))
+            .expect("pr6 producer run");
+        assert!(
+            first.report.is_equivalent(),
+            "pr6 workload {} must verify: {}",
+            w.name,
+            first.report.summary()
+        );
+        let baseline = producer.export_baseline(&first.report);
+
+        // The edit: commute one statement of one chain.
+        let edited = commute_last_chain_statement(w);
+        let request = VerifyRequest::programs(w.original.clone(), edited);
+
+        // From-scratch vs incremental, fresh engine per measurement.
+        let mut scratch_ms = f64::INFINITY;
+        let mut scratch_check_us = 0u64;
+        let mut scratch_stable = None;
+        for _ in 0..repeats {
+            let (outcome, t) = timed(|| {
+                Verifier::new()
+                    .verify(&request)
+                    .expect("pr6 from-scratch run")
+            });
+            assert!(
+                outcome.report.is_equivalent(),
+                "commute is equivalence-preserving on {}: {}",
+                w.name,
+                outcome.report.summary()
+            );
+            scratch_ms = scratch_ms.min(t.as_secs_f64() * 1e3);
+            scratch_check_us = outcome.report.stats.check_time_us;
+            scratch_stable = Some(outcome.report.render_stable());
+        }
+        let scratch_stable = scratch_stable.expect("at least one repeat");
+        let mut incr_ms = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..repeats {
+            let (inc, t) = timed(|| {
+                Verifier::new()
+                    .verify_incremental(&request, &baseline)
+                    .expect("pr6 incremental run")
+            });
+            incr_ms = incr_ms.min(t.as_secs_f64() * 1e3);
+            last = Some(inc);
+        }
+        let inc = last.expect("at least one repeat");
+        let outputs = inc.outcome.report.outputs_checked.len() as u64;
+        let (entries, clean) = match &inc.baseline {
+            BaselineStatus::Applied {
+                entries,
+                clean_outputs,
+            } => (*entries, clean_outputs.len() as u64),
+            rejected => panic!(
+                "acceptance: baseline must apply on {}: {rejected:?}",
+                w.name
+            ),
+        };
+        let cone = inc.outcome.report.stats.cone_positions;
+        assert!(
+            cone >= 1 && cone < outputs,
+            "acceptance: the dirty cone is a non-empty strict subset on {} \
+             ({cone} of {outputs})",
+            w.name
+        );
+        assert_eq!(
+            clean,
+            outputs - cone,
+            "clean outputs + dirty cone partition the interface ({})",
+            w.name
+        );
+        assert_eq!(
+            inc.outcome.report.render_stable(),
+            scratch_stable,
+            "acceptance: incremental report must be byte-identical to from-scratch ({})",
+            w.name
+        );
+        let speedup = scratch_ms / incr_ms;
+        speedups.push(speedup);
+        println!(
+            "{:<24} {:>12.3} {:>12.3} {:>8.2}x {:>6} {:>7} {:>9}  (check {:>6}us -> {:>6}us)",
+            w.name,
+            scratch_ms,
+            incr_ms,
+            speedup,
+            cone,
+            clean,
+            entries,
+            scratch_check_us,
+            inc.outcome.report.stats.check_time_us
+        );
+        rows.push(format!(
+            concat!(
+                "    {{ \"workload\": \"{}\", \"edit\": \"commute one chain statement\", ",
+                "\"scratch_ms\": {:.3}, \"incremental_ms\": {:.3}, \"speedup\": {:.3}, ",
+                "\"scratch_check_us\": {}, \"incremental_check_us\": {}, ",
+                "\"outputs\": {}, \"dirty_cone\": {}, \"clean_outputs\": {}, ",
+                "\"baseline_entries\": {}, \"baseline_hits\": {}, ",
+                "\"byte_identical_to_scratch\": true }}"
+            ),
+            w.name,
+            scratch_ms,
+            incr_ms,
+            speedup,
+            scratch_check_us,
+            inc.outcome.report.stats.check_time_us,
+            outputs,
+            cone,
+            clean,
+            entries,
+            inc.outcome.report.stats.baseline_hits,
+        ));
+    }
+
+    // Fault mutants: the baseline must never mask an inequivalent edit.
+    let mut mutant_rows = Vec::new();
+    for case in fault_corpus().into_iter().take(if quick { 1 } else { 3 }) {
+        let producer = Verifier::builder().witnesses(true).build();
+        let good = producer
+            .verify(&VerifyRequest::programs(
+                case.original.clone(),
+                case.original.clone(),
+            ))
+            .expect("pr6 mutant producer run");
+        assert!(good.report.is_equivalent(), "{}", case.name);
+        let baseline = producer.export_baseline(&good.report);
+
+        let request = VerifyRequest::programs(case.original.clone(), case.mutant.clone());
+        let scratch = Verifier::builder()
+            .witnesses(true)
+            .build()
+            .verify(&request)
+            .expect("pr6 mutant scratch run");
+        let inc = Verifier::builder()
+            .witnesses(true)
+            .build()
+            .verify_incremental(&request, &baseline)
+            .expect("pr6 mutant incremental run");
+        assert!(
+            matches!(inc.baseline, BaselineStatus::Applied { .. }),
+            "{}: {:?}",
+            case.name,
+            inc.baseline
+        );
+        assert!(
+            !inc.outcome.report.is_equivalent(),
+            "acceptance: mutant {} must be caught inside the dirty cone",
+            case.name
+        );
+        assert!(
+            inc.outcome.report.witnesses.iter().any(|wit| wit.confirmed),
+            "{}: witness replay confirms the bug",
+            case.name
+        );
+        assert_eq!(
+            inc.outcome.report.render_stable(),
+            scratch.report.render_stable(),
+            "{}",
+            case.name
+        );
+        mutant_rows.push(format!(
+            concat!(
+                "    {{ \"mutant\": \"{}\", \"verdict\": \"not_equivalent\", ",
+                "\"witness_confirmed\": true, \"byte_identical_to_scratch\": true }}"
+            ),
+            case.name,
+        ));
+    }
+    println!(
+        "fault mutants: {} caught in the dirty cone with confirmed witnesses",
+        mutant_rows.len()
+    );
+
+    // Corpus byte-identity, including the inequivalent Fig. 1 pair.
+    let mut corpus_pairs = 0usize;
+    for (name, a, b) in fig1_pairs() {
+        let producer = Verifier::new();
+        let first = producer
+            .verify(&VerifyRequest::source(&a, &b))
+            .expect("pr6 fig1 producer run");
+        let baseline = producer.export_baseline(&first.report);
+        let scratch = Verifier::new()
+            .verify(&VerifyRequest::source(&a, &b))
+            .expect("pr6 fig1 scratch run");
+        let inc = Verifier::new()
+            .verify_incremental(&VerifyRequest::source(&a, &b), &baseline)
+            .expect("pr6 fig1 incremental run");
+        assert!(
+            matches!(inc.baseline, BaselineStatus::Applied { .. }),
+            "{name}: {:?}",
+            inc.baseline
+        );
+        assert_eq!(
+            inc.outcome.report.render_stable(),
+            scratch.report.render_stable(),
+            "acceptance: byte-identical on corpus pair {name}"
+        );
+        corpus_pairs += 1;
+    }
+    println!("corpus byte-identity: {corpus_pairs} Fig. 1 pairs byte-identical");
+
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    println!("geomean incremental speedup: {geomean:.2}x");
+    if quick {
+        assert!(
+            geomean > 1.0,
+            "acceptance (quick): incremental re-verification must beat from-scratch \
+             (got {geomean:.2}x)"
+        );
+    } else {
+        assert!(
+            geomean >= 10.0,
+            "acceptance: >= 10x wall-time reduction on the edit-one-statement workload \
+             (got {geomean:.2}x)"
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"PR6: incremental re-verification — diff the ADDG position ",
+            "fingerprints against an exported baseline, skip baseline-clean outputs and ",
+            "discharge in-cone sub-obligations from the baseline's proven entries\",\n",
+            "  \"command\": \"cargo run --release -p arrayeq-bench --bin run_experiments ",
+            "-- --exp pr6\",\n",
+            "  \"config\": {{ \"quick\": {}, \"repeats\": {}, ",
+            "\"timing\": \"best of repeats, ms\" }},\n",
+            "  \"acceptance\": \"hard-asserted in-run: baseline applies on every ",
+            "edit-one-statement workload with a non-empty strict-subset dirty cone; ",
+            "render_stable byte-identical to from-scratch on every workload, every Fig. 1 ",
+            "pair (including the inequivalent one) and every fault mutant; mutants caught ",
+            "with replay-confirmed witnesses; geomean speedup >= 10x full / > 1x quick\",\n",
+            "  \"rows\": [\n{}\n  ],\n",
+            "  \"fault_mutants\": [\n{}\n  ],\n",
+            "  \"fig1_pairs_byte_identical\": {},\n",
+            "  \"geomean_speedup\": {:.3}\n",
+            "}}\n"
+        ),
+        quick,
+        repeats,
+        rows.join(",\n"),
+        mutant_rows.join(",\n"),
+        corpus_pairs,
+        geomean,
+    );
+    std::fs::write(out_path, &json).expect("write PR6 snapshot");
     println!("snapshot written to {out_path}");
 }
 

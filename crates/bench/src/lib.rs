@@ -99,6 +99,28 @@ pub fn wide_pair(
     n: i64,
     seed: u64,
 ) -> Workload {
+    let mut w = wide_pair_steps(layers, outputs, distinct_chains, n, 4, seed);
+    // Keep the historical row name (no pipeline-length suffix) stable for
+    // the PR4/PR5 snapshots.
+    w.name = format!("wide-L{layers}-O{outputs}-D{distinct_chains}-N{n}");
+    w
+}
+
+/// [`wide_pair`] with an explicit transformation-pipeline length.
+///
+/// The default 4 steps leave most chains untouched, so per-output check
+/// cost stays near the plain-traversal floor.  The PR6 incremental
+/// experiment instead wants every chain non-trivially transformed — the
+/// expensive-pair regime where re-checking from scratch actually hurts —
+/// which takes a pipeline length proportional to the statement count.
+pub fn wide_pair_steps(
+    layers: usize,
+    outputs: usize,
+    distinct_chains: usize,
+    n: i64,
+    steps: usize,
+    seed: u64,
+) -> Workload {
     let cfg = GeneratorConfig {
         n,
         layers,
@@ -109,9 +131,9 @@ pub fn wide_pair(
         ..Default::default()
     };
     let original = generate_kernel(&cfg);
-    let (transformed, _) = random_pipeline(&original, 4, seed + 1);
+    let (transformed, _) = random_pipeline(&original, steps, seed + 1);
     Workload {
-        name: format!("wide-L{layers}-O{outputs}-D{distinct_chains}-N{n}"),
+        name: format!("wide-L{layers}-O{outputs}-D{distinct_chains}-N{n}-S{steps}"),
         original,
         transformed,
     }

@@ -4,6 +4,7 @@
 //! arrayeq verify <original.c> <transformed.c> [--method basic|extended]
 //!                [--declare-op name=ac]... [--witnesses] [--json]
 //!                [--dot out.dot] [--deadline-ms N] [--max-work N] [--jobs N]
+//!                [--baseline prev.json] [--emit-baseline out.json]
 //! arrayeq corpus --list
 //! arrayeq corpus <name>
 //! ```
@@ -25,13 +26,22 @@
 //! stdout; `--dot` writes a Graphviz rendering of the transformed program's
 //! ADDG, with the witness's failing slice highlighted when one exists.
 //!
+//! `--emit-baseline` writes the run's proven sub-proofs as a baseline
+//! document; a later `--baseline` run diffs the pair against it and
+//! re-checks only the dirty cone ([`Verifier::verify_incremental`]).  A
+//! stale or incompatible baseline is rejected with a warning on stderr and
+//! the run degrades to a from-scratch check — the verdict and exit code are
+//! always identical to a run without `--baseline`.
+//!
 //! `corpus` prints the built-in example programs (the paper's Fig. 1
 //! variants, the kernel suite, and the fault-injection mutants as
 //! `mutant:<index>` / `mutant-original:<index>`), so shell pipelines can
 //! exercise the checker without authoring C files.
 
 use arrayeq_core::Verdict;
-use arrayeq_engine::{outcome_to_json, Verifier, VerifyRequest};
+use arrayeq_engine::{
+    incremental_outcome_to_json, outcome_to_json, BaselineStatus, Verifier, VerifyRequest,
+};
 use arrayeq_lang::corpus::{FIG1_A, FIG1_B, FIG1_C, FIG1_D, KERNELS};
 use arrayeq_lang::pretty::program_to_string;
 use std::time::Duration;
@@ -69,6 +79,16 @@ VERIFY OPTIONS:
     --max-work <N>            traversal work budget (node-pair visits)
     --jobs <N>                worker threads for this one check (0 = all
                               cores); verdicts are identical at any setting
+    --baseline <prev.json>    re-verify incrementally against a baseline
+                              from an earlier --emit-baseline run: outputs
+                              it already proves are skipped, the rest
+                              re-checked with its sub-proofs.  Incompatible
+                              baselines are rejected with a warning and the
+                              run proceeds from scratch; the verdict is
+                              identical either way
+    --emit-baseline <out.json> write this run's proven sub-proofs as a
+                              baseline for later --baseline runs (valid
+                              only under the same method/operator options)
 
 EXIT CODES:
     0 equivalent, 1 not equivalent, 2 inconclusive,
@@ -109,6 +129,8 @@ struct VerifyArgs {
     deadline_ms: Option<u64>,
     max_work: Option<u64>,
     jobs: Option<usize>,
+    baseline: Option<String>,
+    emit_baseline: Option<String>,
 }
 
 fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
@@ -124,6 +146,8 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
         deadline_ms: None,
         max_work: None,
         jobs: None,
+        baseline: None,
+        emit_baseline: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -165,6 +189,8 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
                         .map_err(|_| "--jobs needs an integer".to_string())?,
                 )
             }
+            "--baseline" => parsed.baseline = Some(value_of("--baseline")?),
+            "--emit-baseline" => parsed.emit_baseline = Some(value_of("--emit-baseline")?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             file => files.push(file.to_owned()),
         }
@@ -221,13 +247,50 @@ fn run_verify(args: &[String]) -> i32 {
     }
     let verifier = builder.build();
 
-    let outcome = match verifier.verify(&VerifyRequest::source(original, transformed.clone())) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}");
+    // A named-but-unreadable baseline is a hard error (the operator asked
+    // for incremental mode and pointed at nothing); a readable-but-unusable
+    // one is a typed rejection with a from-scratch fallback, handled below.
+    let baseline_text = match &parsed.baseline {
+        Some(path) => match read(path) {
+            Ok(text) => Some(text),
+            Err(code) => return code,
+        },
+        None => None,
+    };
+
+    let request = VerifyRequest::source(original, transformed.clone());
+    let incremental = match &baseline_text {
+        Some(text) => match verifier.verify_incremental(&request, text) {
+            Ok(inc) => {
+                if let BaselineStatus::Rejected(rejection) = &inc.baseline {
+                    eprintln!("warning: {rejection}");
+                }
+                Some(inc)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return EXIT_ERROR;
+            }
+        },
+        None => None,
+    };
+    let outcome = match &incremental {
+        Some(inc) => inc.outcome.clone(),
+        None => match verifier.verify(&request) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return EXIT_ERROR;
+            }
+        },
+    };
+
+    if let Some(path) = &parsed.emit_baseline {
+        if let Err(e) = std::fs::write(path, verifier.export_baseline(&outcome.report)) {
+            eprintln!("error: cannot write `{path}`: {e}");
             return EXIT_ERROR;
         }
-    };
+    }
 
     if let Some(dot_path) = &parsed.dot {
         match render_dot(&transformed, &outcome) {
@@ -245,7 +308,10 @@ fn run_verify(args: &[String]) -> i32 {
     }
 
     if parsed.json {
-        println!("{}", outcome_to_json(&outcome));
+        match &incremental {
+            Some(inc) => println!("{}", incremental_outcome_to_json(inc)),
+            None => println!("{}", outcome_to_json(&outcome)),
+        }
     } else {
         print!("{}", outcome.report.summary());
         println!("wall time: {:.3} ms", outcome.wall_time_us as f64 / 1e3);

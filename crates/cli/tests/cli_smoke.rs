@@ -155,6 +155,115 @@ fn dot_export_writes_a_digraph_with_highlighted_slice() {
 }
 
 #[test]
+fn baseline_loop_emits_applies_and_rejects() {
+    let dir = temp_dir("baseline");
+    let a = write_corpus(&dir, "fig1a");
+    let c = write_corpus(&dir, "fig1c");
+    let baseline = dir.join("baseline.json");
+
+    // First run: emit the baseline.
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--emit-baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&baseline).unwrap();
+    assert!(text.contains("arrayeq-baseline-v1"));
+
+    // Second run: the baseline applies and the pair is fully clean.
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let doc = JsonValue::parse(std::str::from_utf8(&out.stdout).unwrap()).expect("valid JSON");
+    let status = doc.get("baseline").expect("baseline status object");
+    assert_eq!(
+        status.get("status").and_then(JsonValue::as_str),
+        Some("applied")
+    );
+    assert!(
+        !status
+            .get("clean_outputs")
+            .and_then(JsonValue::as_array)
+            .expect("clean outputs")
+            .is_empty(),
+        "unchanged pair is clean"
+    );
+
+    // A baseline produced under different options is rejected with a
+    // warning; verdict and exit code are unchanged.
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--declare-op",
+        "min=ac",
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "verdict never changes");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("different options"),
+        "stderr warns: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = JsonValue::parse(std::str::from_utf8(&out.stdout).unwrap()).expect("valid JSON");
+    let status = doc.get("baseline").expect("baseline status object");
+    assert_eq!(
+        status.get("status").and_then(JsonValue::as_str),
+        Some("rejected")
+    );
+    assert_eq!(
+        status.get("reason").and_then(JsonValue::as_str),
+        Some("options_mismatch")
+    );
+
+    // A corrupted baseline is rejected the same way.
+    let corrupt = dir.join("corrupt.json");
+    std::fs::write(&corrupt, &text.as_bytes()[..text.len() / 2]).unwrap();
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--baseline",
+        corrupt.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let doc = JsonValue::parse(std::str::from_utf8(&out.stdout).unwrap()).expect("valid JSON");
+    assert_eq!(
+        doc.get("baseline")
+            .and_then(|s| s.get("reason"))
+            .and_then(JsonValue::as_str),
+        Some("malformed")
+    );
+
+    // A missing baseline file is a hard error, not a silent fallback.
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--baseline",
+        "/nonexistent/baseline.json",
+    ]);
+    assert!(out.status.code().unwrap_or(0) > 2);
+}
+
+#[test]
 fn corpus_list_names_every_entry() {
     let out = arrayeq(&["corpus", "--list"]);
     assert!(out.status.success());

@@ -64,6 +64,18 @@ pub struct CheckOptions {
     pub position_table_keys: bool,
     /// Optional focused checking.
     pub focus: Option<Focus>,
+    /// Output arrays the caller has *proven* unchanged against a baseline
+    /// run (their root obligations are present in the
+    /// [`crate::BaselineProofs`] of the context): the traversal skips them
+    /// entirely — no domain check, no root obligation — while keeping them
+    /// in [`Report::outputs_checked`], so the rendered report is
+    /// byte-identical to a from-scratch run in which they silently
+    /// succeeded.  This is the dirty-cone focus of incremental
+    /// re-verification; unlike [`Focus::outputs`] it narrows *work*, not
+    /// the set of outputs the verdict speaks about.  Soundness is the
+    /// caller's obligation: list an output only when a baseline proves its
+    /// root obligation under these same options.
+    pub assume_clean: Vec<String>,
     /// Whether to run the def-use checker before extracting ADDGs (Fig. 6).
     pub check_def_use: bool,
     /// Whether to verify the program-class properties before checking.
@@ -90,6 +102,7 @@ impl Default for CheckOptions {
             string_table_keys: false,
             position_table_keys: false,
             focus: None,
+            assume_clean: Vec::new(),
             check_def_use: true,
             check_class: true,
             max_work: 2_000_000,
@@ -137,6 +150,13 @@ impl CheckOptions {
     /// Sets a focus.
     pub fn with_focus(mut self, focus: Focus) -> Self {
         self.focus = Some(focus);
+        self
+    }
+
+    /// Declares outputs proven clean against a baseline (see
+    /// [`CheckOptions::assume_clean`]).
+    pub fn with_assume_clean(mut self, outputs: Vec<String>) -> Self {
+        self.assume_clean = outputs;
         self
     }
 
@@ -265,8 +285,34 @@ pub fn verify_addgs_with(
     } else {
         fingerprints
     };
-    let fps = (opts.tabling && (opts.fingerprint_table_keys() || ctx.shared_table.is_some()))
-        .then(|| (fp(original), fp(transformed)));
+    let fps = (opts.tabling
+        && (opts.fingerprint_table_keys() || ctx.shared_table.is_some() || ctx.baseline.is_some()))
+    .then(|| (fp(original), fp(transformed)));
+    verify_addgs_with_fps(original, transformed, opts, ctx, fps)
+}
+
+/// [`verify_addgs_with`] with the content fingerprints supplied by the
+/// caller instead of recomputed.  The incremental path computes both graphs'
+/// fingerprints anyway to classify outputs clean/dirty against a baseline;
+/// the WL refinement over every node is a few milliseconds on wide kernels —
+/// a significant share of a dirty-cone run whose whole point is to be an
+/// order of magnitude under the from-scratch wall time — so it hands the
+/// same fingerprints straight to the traversal rather than paying twice.
+///
+/// `fps` must have been computed by the same fingerprint function the
+/// options select (`fingerprints_named` under a focus with intermediate
+/// pairs, `fingerprints` otherwise); pass `None` to run untabled.
+///
+/// # Errors
+///
+/// Same as [`verify_addgs`].
+pub fn verify_addgs_with_fps(
+    original: &Addg,
+    transformed: &Addg,
+    opts: &CheckOptions,
+    ctx: &CheckContext<'_>,
+    fps: Option<(Fingerprints, Fingerprints)>,
+) -> Result<Report> {
     if opts.effective_jobs() > 1 {
         return crate::parallel::verify_addgs_parallel(original, transformed, opts, ctx, fps);
     }
@@ -578,11 +624,63 @@ pub(crate) fn check_output_domains(a: &Addg, b: &Addg, output: &str) -> Result<O
     })))
 }
 
+/// Per-output content fingerprints for the report: `(name, original-side,
+/// transformed-side)` in output order; empty when the run computed no
+/// fingerprints.  Shared by the sequential and the parallel path so the
+/// member is identical at every jobs setting.
+pub(crate) fn output_fingerprints(
+    outputs: &[String],
+    fps: Option<&(Fingerprints, Fingerprints)>,
+) -> Vec<(String, u64, u64)> {
+    match fps {
+        Some((fa, fb)) => outputs
+            .iter()
+            .map(|o| (o.clone(), fa.array(o), fb.array(o)))
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+/// The tabling key of one output's *root obligation*: the whole-output
+/// equivalence query `(Array(out), identity, Array(out), identity)` that
+/// [`verify_addgs_with`] poses per output.  Presence of this key in a
+/// [`crate::BaselineProofs`] store proves the entire output equivalent
+/// under the options the baseline was produced with — the basis on which
+/// incremental re-verification classifies an output as clean and skips it
+/// via [`CheckOptions::assume_clean`].
+///
+/// Returns `None` when the output's element domains mismatch between the
+/// graphs (such an output can never have a proven root entry) or the
+/// element-set computation fails.
+pub fn output_root_key(
+    original: &Addg,
+    transformed: &Addg,
+    fps: (&Fingerprints, &Fingerprints),
+    output: &str,
+) -> Option<SharedTableKey> {
+    let ea = match check_output_domains(original, transformed, output) {
+        Ok(OutputDomains::Match(ea)) => ea,
+        _ => return None,
+    };
+    let h = Relation::identity_on(&ea).structural_hash();
+    Some((fps.0.array(output), fps.1.array(output), h, h))
+}
+
 impl Checker<'_> {
     fn run(&mut self) -> Result<Report> {
         let outputs = select_outputs(self.a, self.b, self.opts)?;
         let mut all_ok = true;
+        let mut cone = 0u64;
+        let mut domain_hashes: Vec<(String, u64)> = Vec::new();
         for output in &outputs {
+            // Dirty-cone focus: outputs the caller proved clean against a
+            // baseline are skipped outright.  They stay in
+            // `outputs_checked` and produce no diagnostics — exactly what a
+            // from-scratch run in which they succeed silently looks like.
+            if self.opts.assume_clean.iter().any(|o| o == output) {
+                continue;
+            }
+            cone += 1;
             let diag_start = self.diagnostics.len();
             let ea = match check_output_domains(self.a, self.b, output)? {
                 OutputDomains::Match(ea) => ea,
@@ -594,6 +692,7 @@ impl Checker<'_> {
                 }
             };
             let id = Relation::identity_on(&ea);
+            domain_hashes.push((output.clone(), id.structural_hash()));
             let ok = self.check(
                 Pos::Array(output.clone()),
                 id.clone(),
@@ -612,13 +711,19 @@ impl Checker<'_> {
         } else {
             Verdict::NotEquivalent
         };
+        if !self.opts.assume_clean.is_empty() {
+            self.stats.cone_positions = cone;
+        }
         self.stats.check_time_us = self.started.elapsed().as_micros() as u64;
+        let output_fingerprints = output_fingerprints(&outputs, self.fps.as_ref());
         Ok(Report {
             verdict,
             diagnostics: std::mem::take(&mut self.diagnostics),
             witnesses: Vec::new(),
             stats: self.stats,
             outputs_checked: outputs,
+            output_fingerprints,
+            output_domain_hashes: domain_hashes,
             budget_exhausted: self.budget_reason.take(),
         })
     }
@@ -801,6 +906,21 @@ impl Checker<'_> {
             }
         }
 
+        // Baseline consult (incremental re-verification): proven entries
+        // carried over from an earlier run discharge the sub-traversal
+        // before either tabling level.  Baselines hold only positive,
+        // assumption-free sub-proofs (the exporter snapshots a shared table,
+        // which the publish guard below feeds), so a hit returns exactly
+        // what the traversal would re-derive and failures always re-derive
+        // their diagnostics in full.
+        let shared_key = self.shared_key(&pos_a, &pos_b, &map_a, &map_b);
+        if let (Some(k), Some(baseline)) = (shared_key.as_ref(), self.ctx.baseline) {
+            if baseline.contains(k) {
+                self.stats.baseline_hits += 1;
+                return Ok(true);
+            }
+        }
+
         // Tabling.
         let table_key = self.table_key(&pos_a, &pos_b, &map_a, &map_b);
         if self.opts.tabling {
@@ -820,7 +940,6 @@ impl Checker<'_> {
         // any earlier query — same pair re-checked after an edit, or a
         // perturbed variant sharing this sub-computation — discharges the
         // whole sub-traversal here.
-        let shared_key = self.shared_key(&pos_a, &pos_b, &map_a, &map_b);
         if let (Some(k), Some(shared)) = (shared_key.as_ref(), self.ctx.shared_table) {
             self.stats.shared_table_lookups += 1;
             if shared.get(k) == Some(true) {
@@ -1802,6 +1921,73 @@ mod tests {
         // The one-shot path never touches a shared table.
         let lone = check(FIG1_A, FIG1_C, &CheckOptions::default());
         assert_eq!(lone.stats.shared_table_lookups, 0);
+    }
+
+    #[test]
+    fn baseline_proofs_discharge_and_cone_skips_clean_outputs() {
+        use std::collections::HashMap as Map;
+        use std::sync::Mutex;
+        #[derive(Default)]
+        struct MapTable(Mutex<Map<SharedTableKey, bool>>);
+        impl crate::SharedEquivalenceTable for MapTable {
+            fn get(&self, key: &SharedTableKey) -> Option<bool> {
+                self.0.lock().unwrap().get(key).copied()
+            }
+            fn put(&self, key: SharedTableKey, established: bool) {
+                self.0.lock().unwrap().insert(key, established);
+            }
+        }
+        // Producing run: publish sub-proofs into a shared table, then turn
+        // its contents into a baseline for a fresh, table-free run.
+        let table = MapTable::default();
+        let ctx = CheckContext {
+            shared_table: Some(&table),
+            ..Default::default()
+        };
+        let a = parse_program(FIG1_A).unwrap();
+        let c = parse_program(FIG1_C).unwrap();
+        let scratch = verify_programs_with(&a, &c, &CheckOptions::default(), &ctx).unwrap();
+        assert!(scratch.is_equivalent());
+        assert!(
+            !scratch.output_fingerprints.is_empty(),
+            "fingerprinted runs record per-output fingerprints"
+        );
+        let baseline = crate::BaselineProofs::from_entries(
+            table.0.lock().unwrap().keys().copied().collect::<Vec<_>>(),
+        );
+        assert!(!baseline.is_empty());
+
+        // Baseline consult alone: every sub-proof replays, verdict and
+        // stable rendering identical.
+        let ctx2 = CheckContext {
+            baseline: Some(&baseline),
+            ..Default::default()
+        };
+        let incremental = verify_programs_with(&a, &c, &CheckOptions::default(), &ctx2).unwrap();
+        assert!(
+            incremental.stats.baseline_hits > 0,
+            "{:?}",
+            incremental.stats
+        );
+        assert_eq!(incremental.render_stable(), scratch.render_stable());
+
+        // Cone focus on top: the (only) output is proven clean by its root
+        // key, so the traversal skips it outright — zero path comparisons —
+        // while the report still speaks about it.
+        let g1 = extract(&a).unwrap();
+        let g2 = extract(&c).unwrap();
+        let fpa = fingerprints(&g1);
+        let fpb = fingerprints(&g2);
+        let root = output_root_key(&g1, &g2, (&fpa, &fpb), "C").unwrap();
+        assert!(baseline.contains(&root), "root obligation was published");
+        let opts = CheckOptions::default().with_assume_clean(vec!["C".into()]);
+        let skipped = verify_programs_with(&a, &c, &opts, &ctx2).unwrap();
+        assert_eq!(skipped.stats.paths_compared, 0);
+        assert_eq!(skipped.stats.cone_positions, 0, "nothing left in the cone");
+        assert_eq!(skipped.render_stable(), scratch.render_stable());
+        // ...and identically on the parallel path.
+        let par = verify_programs_with(&a, &c, &opts.clone().with_jobs(2), &ctx2).unwrap();
+        assert_eq!(par.render_stable(), scratch.render_stable());
     }
 
     #[test]

@@ -99,11 +99,54 @@ pub trait SharedEquivalenceTable: Send + Sync {
     fn put(&self, key: SharedTableKey, established: bool);
 }
 
+/// A read-only store of sub-proofs carried over from an earlier run — the
+/// substrate of incremental re-verification.
+///
+/// Entries use the same key shape as the [`SharedEquivalenceTable`]
+/// (content fingerprints plus mapping hashes), and inherit the same
+/// soundness contract: every entry asserts a *positive*, *assumption-free*
+/// sub-equivalence established under the same [`crate::CheckOptions`].  The
+/// guard holds by construction — baselines are exported from a shared
+/// table, and the checker only ever publishes there when a sub-proof
+/// succeeded without leaning on any in-flight coinductive assumption
+/// (`assumption_uses` unchanged around the uncached check).  A consult hit
+/// therefore discharges the sub-traversal with exactly the verdict the
+/// traversal would re-derive; failures are never stored, so diagnostics and
+/// rendered reports are byte-identical to a from-scratch run.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineProofs {
+    entries: std::collections::HashSet<SharedTableKey>,
+}
+
+impl BaselineProofs {
+    /// Builds a store from previously exported proven entries.
+    pub fn from_entries(entries: impl IntoIterator<Item = SharedTableKey>) -> Self {
+        Self {
+            entries: entries.into_iter().collect(),
+        }
+    }
+
+    /// Whether the baseline proves the sub-equivalence behind `key`.
+    pub fn contains(&self, key: &SharedTableKey) -> bool {
+        self.entries.contains(key)
+    }
+
+    /// Number of proven entries carried by the baseline.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline carries no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// Per-call context threaded through [`crate::verify_addgs_with`].
 ///
 /// The default context (`CheckContext::default()`) reproduces the one-shot
 /// behaviour of the plain free functions exactly: no deadline, no
-/// cancellation, no cross-query sharing.
+/// cancellation, no cross-query sharing, no baseline.
 #[derive(Default, Clone)]
 pub struct CheckContext<'a> {
     /// Cross-query equivalence table, shared between calls and threads.
@@ -112,6 +155,9 @@ pub struct CheckContext<'a> {
     pub deadline: Option<Instant>,
     /// Cooperative cancellation token polled during the traversal.
     pub cancel: Option<&'a CancelToken>,
+    /// Proven sub-proofs from an earlier run, consulted before both table
+    /// levels (see [`BaselineProofs`]).
+    pub baseline: Option<&'a BaselineProofs>,
 }
 
 impl fmt::Debug for CheckContext<'_> {
@@ -120,6 +166,7 @@ impl fmt::Debug for CheckContext<'_> {
             .field("shared_table", &self.shared_table.is_some())
             .field("deadline", &self.deadline)
             .field("cancel", &self.cancel.is_some())
+            .field("baseline", &self.baseline.is_some())
             .finish()
     }
 }

@@ -53,11 +53,12 @@ mod parallel;
 mod report;
 
 pub use checker::{
-    verify_addgs, verify_addgs_with, verify_programs, verify_programs_with, verify_source,
-    CheckOptions, Focus, Method,
+    output_root_key, verify_addgs, verify_addgs_with, verify_addgs_with_fps, verify_programs,
+    verify_programs_with, verify_source, CheckOptions, Focus, Method,
 };
 pub use context::{
-    BudgetExhausted, CancelToken, CheckContext, SharedEquivalenceTable, SharedTableKey,
+    BaselineProofs, BudgetExhausted, CancelToken, CheckContext, SharedEquivalenceTable,
+    SharedTableKey,
 };
 pub use diagnostics::{Diagnostic, DiagnosticKind};
 pub use operators::{OperatorClass, OperatorProperties};

@@ -147,7 +147,17 @@ pub(crate) fn verify_addgs_parallel(
     let mut prologue: Vec<Option<Diagnostic>> = Vec::with_capacity(outputs.len());
     let mut tasks: Vec<CheckTask> = Vec::new();
     let mut coordinator_stats = CheckStats::default();
+    let mut cone = 0u64;
+    let mut domain_hashes: Vec<(String, u64)> = Vec::new();
     for (output_idx, output) in outputs.iter().enumerate() {
+        // Dirty-cone focus, mirroring the sequential path: baseline-clean
+        // outputs keep their prologue slot (so the merge stays positional)
+        // but contribute no domain check and no task.
+        if opts.assume_clean.iter().any(|o| o == output) {
+            prologue.push(None);
+            continue;
+        }
+        cone += 1;
         match check_output_domains(a, b, output)? {
             OutputDomains::Mismatch(diag) => {
                 let mut diag = *diag;
@@ -156,6 +166,7 @@ pub(crate) fn verify_addgs_parallel(
             }
             OutputDomains::Match(ea) => {
                 let id = Relation::identity_on(&ea);
+                domain_hashes.push((output.clone(), id.structural_hash()));
                 tasks.push(CheckTask {
                     output_idx,
                     trail_a: Vec::new(),
@@ -184,6 +195,9 @@ pub(crate) fn verify_addgs_parallel(
         &budget,
         &mut coordinator_stats,
     )?;
+    if !opts.assume_clean.is_empty() {
+        coordinator_stats.cone_positions = cone;
+    }
     coordinator_stats.parallel_tasks = tasks.len() as u64;
     coordinator_stats.algebraic_piece_tasks = tasks
         .iter()
@@ -292,12 +306,15 @@ pub(crate) fn verify_addgs_parallel(
         Verdict::NotEquivalent
     };
     stats.check_time_us = started.elapsed().as_micros() as u64;
+    let output_fingerprints = crate::checker::output_fingerprints(&outputs, fps.as_ref());
     Ok(Report {
         verdict,
         diagnostics,
         witnesses: Vec::new(),
         stats,
         outputs_checked: outputs,
+        output_fingerprints,
+        output_domain_hashes: domain_hashes,
         budget_exhausted: budget.take_reason(),
     })
 }

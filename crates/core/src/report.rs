@@ -81,6 +81,15 @@ pub struct CheckStats {
     pub shared_table_hits: u64,
     /// Sub-proofs published to the cross-query shared equivalence table.
     pub shared_table_inserts: u64,
+    /// Output obligations inside the dirty cone of an incremental run — the
+    /// outputs actually traversed after baseline-clean outputs were skipped
+    /// via [`crate::CheckOptions::assume_clean`].  0 when no cone focus was
+    /// active (a from-scratch run traverses everything but is not counting
+    /// cone membership).
+    pub cone_positions: u64,
+    /// Sub-problems discharged by the baseline store of proven entries
+    /// ([`crate::BaselineProofs`]) before either tabling level was consulted.
+    pub baseline_hits: u64,
     /// Wall-clock time of the equivalence check itself, in microseconds.
     pub check_time_us: u64,
     /// Wall-clock time of witness extraction (sampling + replay + slicing),
@@ -116,6 +125,8 @@ impl CheckStats {
         self.shared_table_lookups += other.shared_table_lookups;
         self.shared_table_hits += other.shared_table_hits;
         self.shared_table_inserts += other.shared_table_inserts;
+        self.cone_positions += other.cone_positions;
+        self.baseline_hits += other.baseline_hits;
         self.check_time_us += other.check_time_us;
         self.witness_time_us += other.witness_time_us;
         debug_assert!(self.table_hits <= self.table_lookups);
@@ -238,6 +249,25 @@ pub struct Report {
     pub stats: CheckStats,
     /// Name of the checked output arrays.
     pub outputs_checked: Vec<String>,
+    /// Content fingerprint of every checked output on each side, as
+    /// `(output name, original-side fingerprint, transformed-side
+    /// fingerprint)` in [`Report::outputs_checked`] order.  This is what
+    /// lets a baseline consumer correlate proven entries with source
+    /// positions.  Empty when the run computed no fingerprints (tabling off
+    /// with positional keys and no cross-query table); never part of
+    /// [`Report::render_stable`] — fingerprints are stable per content but
+    /// the *presence* of the member depends on caching options.
+    pub output_fingerprints: Vec<(String, u64, u64)>,
+    /// Structural hash of the identity relation on each output's defined
+    /// elements, as `(output name, hash)` for every re-checked output whose
+    /// element domains matched.  Together with an output's entry in
+    /// [`Report::output_fingerprints`] this reconstructs the output's root
+    /// tabling key (see `output_root_key`) without re-running the Omega
+    /// domain computation — which is what lets an exported baseline be
+    /// consumed with no per-output Omega work.  Skipped-clean and
+    /// domain-mismatched outputs have no entry; never part of
+    /// [`Report::render_stable`].
+    pub output_domain_hashes: Vec<(String, u64)>,
     /// The typed reason behind a [`Verdict::Inconclusive`]: which budget
     /// (work limit, wall-clock deadline, cancellation) ran out.  Always
     /// `None` for conclusive verdicts.
@@ -312,6 +342,14 @@ impl Report {
                 self.stats.shared_table_inserts,
             ));
         }
+        if self.stats.baseline_hits > 0 || self.stats.cone_positions > 0 {
+            out.push_str(&format!(
+                "incremental: {} baseline hits, {} of {} outputs in the dirty cone\n",
+                self.stats.baseline_hits,
+                self.stats.cone_positions,
+                self.outputs_checked.len(),
+            ));
+        }
         if self.stats.arena_interns > 0 {
             out.push_str(&format!(
                 "term arena: {} interns, {} dedup hits ({:.0}%), {} fast matches, {} memo hits\n",
@@ -381,6 +419,8 @@ mod tests {
                 ..Default::default()
             },
             outputs_checked: vec!["C".into()],
+            output_fingerprints: Vec::new(),
+            output_domain_hashes: Vec::new(),
             budget_exhausted: None,
         };
         assert!(r.is_equivalent());
@@ -408,6 +448,8 @@ mod tests {
                 ..Default::default()
             },
             outputs_checked: vec!["C".into()],
+            output_fingerprints: Vec::new(),
+            output_domain_hashes: Vec::new(),
             budget_exhausted: Some(BudgetExhausted::DeadlineExceeded { elapsed_ms: 9 }),
         };
         let s = r.summary();

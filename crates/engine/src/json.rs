@@ -29,8 +29,20 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn string(s: &str) -> String {
+pub(crate) fn string(s: &str) -> String {
     format!("\"{}\"", escape(s))
+}
+
+/// Renders a 64-bit fingerprint as a fixed-width lowercase hex *string*.
+/// Fingerprints use the full u64 range, and JSON integers are parsed as
+/// `i64` here, so a numeric spelling would overflow for half of all hashes.
+pub(crate) fn hex64(v: u64) -> String {
+    format!("\"{v:016x}\"")
+}
+
+/// Parses a fingerprint spelled by [`hex64`].
+pub(crate) fn parse_hex64(v: &JsonValue) -> Option<u64> {
+    u64::from_str_radix(v.as_str()?, 16).ok()
 }
 
 fn string_array(items: &[String]) -> String {
@@ -101,7 +113,8 @@ pub fn stats_to_json(s: &CheckStats) -> String {
             "\"fast_term_matches\":{},\"term_memo_hits\":{},",
             "\"parallel_tasks\":{},\"algebraic_piece_tasks\":{},",
             "\"shared_table_lookups\":{},\"shared_table_hits\":{},",
-            "\"shared_table_inserts\":{},\"check_time_us\":{},\"witness_time_us\":{}}}"
+            "\"shared_table_inserts\":{},\"cone_positions\":{},\"baseline_hits\":{},",
+            "\"check_time_us\":{},\"witness_time_us\":{}}}"
         ),
         s.paths_compared,
         s.compositions,
@@ -122,6 +135,8 @@ pub fn stats_to_json(s: &CheckStats) -> String {
         s.shared_table_lookups,
         s.shared_table_hits,
         s.shared_table_inserts,
+        s.cone_positions,
+        s.baseline_hits,
         s.check_time_us,
         s.witness_time_us,
     )
@@ -150,6 +165,8 @@ pub fn stats_from_json(v: &JsonValue) -> Option<CheckStats> {
         shared_table_lookups: g("shared_table_lookups")?,
         shared_table_hits: g("shared_table_hits")?,
         shared_table_inserts: g("shared_table_inserts")?,
+        cone_positions: g("cone_positions")?,
+        baseline_hits: g("baseline_hits")?,
         check_time_us: g("check_time_us")?,
         witness_time_us: g("witness_time_us")?,
     })
@@ -205,14 +222,31 @@ pub fn report_to_json(r: &Report) -> String {
         .iter()
         .map(|(stmt, n)| format!("{{\"statement\":{},\"failing_paths\":{}}}", string(stmt), n))
         .collect();
+    // Per-output position fingerprints (hex-string spelled; see `hex64`):
+    // what lets a baseline consumer correlate proven entries with source
+    // positions.  Empty when the run computed no fingerprints.
+    let fingerprints: Vec<String> = r
+        .output_fingerprints
+        .iter()
+        .map(|(name, fa, fb)| {
+            format!(
+                "{{\"name\":{},\"original_fp\":{},\"transformed_fp\":{}}}",
+                string(name),
+                hex64(*fa),
+                hex64(*fb),
+            )
+        })
+        .collect();
     format!(
         concat!(
             "{{\"verdict\":{},\"budget_exhausted\":{},\"outputs_checked\":{},",
+            "\"output_fingerprints\":[{}],",
             "\"stats\":{},\"diagnostics\":[{}],\"witnesses\":[{}],\"blame\":[{}]}}"
         ),
         string(verdict_str(&r.verdict)),
         budget_to_json(&r.budget_exhausted),
         string_array(&r.outputs_checked),
+        fingerprints.join(","),
         stats_to_json(&r.stats),
         diagnostics.join(","),
         witnesses.join(","),

@@ -58,9 +58,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod baseline;
 mod json;
 mod shared;
 
+pub use baseline::{
+    baseline_to_json, incremental_outcome_to_json, options_fingerprint, Baseline,
+    BaselineRejection, BaselineStatus, IncrementalOutcome, BASELINE_FORMAT,
+};
 pub use json::{
     outcome_to_json, report_to_json, session_to_json, stats_from_json, stats_to_json,
     verdict_from_str, verdict_str, witness_to_json, JsonError, JsonValue,
@@ -74,9 +79,14 @@ pub use arrayeq_core::{
 /// Re-exported witness tuning knobs ([`VerifierBuilder::witness_options`]).
 pub use arrayeq_witness::WitnessOptions;
 
-use arrayeq_addg::Addg;
-use arrayeq_core::{verify_addgs_with, verify_programs_with, CheckContext, Result};
+use arrayeq_addg::{extract, Addg};
+use arrayeq_core::{
+    verify_addgs_with, verify_addgs_with_fps, verify_programs_with, BaselineProofs, CheckContext,
+    Result,
+};
 use arrayeq_lang::ast::Program;
+use arrayeq_lang::classcheck::assert_in_class;
+use arrayeq_lang::defuse::assert_def_use_correct;
 use arrayeq_lang::parser::parse_program;
 use arrayeq_omega::{with_feasibility_cache, FeasibilityCache};
 use arrayeq_witness::extract_witnesses;
@@ -432,6 +442,13 @@ impl Verifier {
         let started = Instant::now();
         let memo: Arc<dyn FeasibilityCache> = self.memo.clone();
         let result = with_feasibility_cache(memo, || self.run_request(request));
+        self.finish(result, started)
+    }
+
+    /// Books one finished request into the session counters and wraps the
+    /// report into an [`Outcome`] — the shared tail of [`Verifier::verify`]
+    /// and [`Verifier::verify_incremental`].
+    fn finish(&self, result: Result<Report>, started: Instant) -> Result<Outcome> {
         let wall_time_us = started.elapsed().as_micros() as u64;
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
         match result {
@@ -545,6 +562,7 @@ impl Verifier {
             shared_table: Some(self.table.as_ref()),
             deadline: self.deadline.map(|d| Instant::now() + d),
             cancel: Some(&self.cancel),
+            baseline: None,
         };
         match request {
             VerifyRequest::Source {
@@ -573,11 +591,25 @@ impl Verifier {
         ctx: &CheckContext<'_>,
     ) -> Result<Report> {
         let mut report = verify_programs_with(original, transformed, &self.options, ctx)?;
-        // Witness extraction is bounded by its own point/fill budgets (see
-        // `WitnessOptions`), not by the traversal deadline — but a request
-        // whose wall-clock budget is already spent (or that was cancelled)
-        // must not start it: the NotEquivalent verdict stands, just without
-        // counterexamples attached.
+        self.attach_witnesses(original, transformed, &mut report, ctx)?;
+        Ok(report)
+    }
+
+    /// Attaches replay-confirmed counterexamples to a `NotEquivalent`
+    /// report when witnesses are enabled.
+    ///
+    /// Witness extraction is bounded by its own point/fill budgets (see
+    /// `WitnessOptions`), not by the traversal deadline — but a request
+    /// whose wall-clock budget is already spent (or that was cancelled)
+    /// must not start it: the NotEquivalent verdict stands, just without
+    /// counterexamples attached.
+    fn attach_witnesses(
+        &self,
+        original: &Program,
+        transformed: &Program,
+        report: &mut Report,
+        ctx: &CheckContext<'_>,
+    ) -> Result<()> {
         let budget_left = !self.cancel.is_cancelled()
             && ctx
                 .deadline
@@ -585,10 +617,276 @@ impl Verifier {
         if self.witnesses && budget_left && report.verdict == Verdict::NotEquivalent {
             let started = Instant::now();
             report.witnesses =
-                extract_witnesses(original, transformed, &report, &self.witness_options)?;
+                extract_witnesses(original, transformed, report, &self.witness_options)?;
             report.stats.witness_time_us = started.elapsed().as_micros() as u64;
         }
-        Ok(report)
+        Ok(())
+    }
+
+    /// The fingerprint of this engine's verdict-relevant options — the
+    /// compatibility key stamped into exported baselines and checked on
+    /// import (see [`options_fingerprint`]).
+    pub fn options_fingerprint(&self) -> u64 {
+        baseline::options_fingerprint(&self.options)
+    }
+
+    /// Exports a baseline for later incremental re-verification: this
+    /// engine's options fingerprint, the per-output position fingerprints
+    /// recorded in `report`, and every established (positive,
+    /// assumption-free) sub-proof currently held by the session's
+    /// cross-query table.
+    ///
+    /// The table is session-cumulative, so a baseline exported after many
+    /// queries carries the union of their sub-proofs — sound, because every
+    /// entry is content-keyed and means the same thing in any process.
+    /// Pass the report of the run whose pair the baseline should describe;
+    /// its output fingerprints gate the program-identity check on import.
+    pub fn export_baseline(&self, report: &Report) -> String {
+        let outputs: Vec<(String, u64, u64, Option<u64>)> = report
+            .output_fingerprints
+            .iter()
+            .map(|(name, fa, fb)| {
+                let dh = report
+                    .output_domain_hashes
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, h)| *h);
+                (name.clone(), *fa, *fb, dh)
+            })
+            .collect();
+        baseline_to_json(
+            self.options_fingerprint(),
+            &outputs,
+            &self.table.proven_entries(),
+        )
+    }
+
+    /// Runs one verification query *incrementally* against a baseline
+    /// exported by an earlier run ([`Verifier::export_baseline`]).
+    ///
+    /// The baseline is vetted first: a parse failure, an options-fingerprint
+    /// mismatch or a different program interface rejects it with a typed
+    /// [`BaselineRejection`] and the request degrades to a plain
+    /// [`Verifier::verify`] — same verdict, just no reuse.  An accepted
+    /// baseline is applied at two levels: outputs whose root obligations it
+    /// already proves are classified **clean** and skipped entirely (the
+    /// dirty-cone focus, [`CheckOptions::assume_clean`]), and inside the
+    /// remaining dirty cone every sub-traversal consults the baseline's
+    /// entries before the local and shared tables
+    /// ([`arrayeq_core::BaselineProofs`]).
+    ///
+    /// Because baselines carry only positive assumption-free sub-proofs and
+    /// failures always re-derive their full diagnostics, the resulting
+    /// report's [`Report::render_stable`] is byte-identical to a
+    /// from-scratch run on the same pair.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Verifier::verify`] — baseline problems are *statuses*, not
+    /// errors.
+    pub fn verify_incremental(
+        &self,
+        request: &VerifyRequest,
+        baseline_json: &str,
+    ) -> Result<IncrementalOutcome> {
+        let parsed = match Baseline::parse(baseline_json) {
+            Ok(b) => b,
+            Err(message) => {
+                return self.fall_back(request, BaselineRejection::Malformed { message })
+            }
+        };
+        let expected = self.options_fingerprint();
+        if parsed.options_fp != expected {
+            return self.fall_back(
+                request,
+                BaselineRejection::OptionsMismatch {
+                    expected,
+                    found: parsed.options_fp,
+                },
+            );
+        }
+        let started = Instant::now();
+        let memo: Arc<dyn FeasibilityCache> = self.memo.clone();
+        let mut status = None;
+        let result = with_feasibility_cache(memo, || {
+            self.run_incremental(request, &parsed).map(|(report, s)| {
+                status = Some(s);
+                report
+            })
+        });
+        let outcome = self.finish(result, started)?;
+        Ok(IncrementalOutcome {
+            outcome,
+            baseline: status.expect("status recorded alongside every Ok report"),
+        })
+    }
+
+    /// A rejected baseline degrades to a plain from-scratch request.
+    fn fall_back(
+        &self,
+        request: &VerifyRequest,
+        rejection: BaselineRejection,
+    ) -> Result<IncrementalOutcome> {
+        Ok(IncrementalOutcome {
+            outcome: self.verify(request)?,
+            baseline: BaselineStatus::Rejected(rejection),
+        })
+    }
+
+    /// The incremental check body: stage the pipeline far enough to own the
+    /// two graphs, classify outputs clean/dirty against the baseline, then
+    /// run the ordinary traversal with the cone focus and the baseline
+    /// proofs wired into the context.
+    fn run_incremental(
+        &self,
+        request: &VerifyRequest,
+        baseline: &Baseline,
+    ) -> Result<(Report, BaselineStatus)> {
+        // Mirror `run_request`'s stages so the incremental path surfaces the
+        // same frontend errors: parse, class check, def-use check, extract.
+        let parsed: Option<(Program, Program)> = match request {
+            VerifyRequest::Source {
+                original,
+                transformed,
+            } => Some((parse_program(original)?, parse_program(transformed)?)),
+            _ => None,
+        };
+        let programs: Option<(&Program, &Program)> = match request {
+            VerifyRequest::Source { .. } => parsed.as_ref().map(|(a, b)| (a, b)),
+            VerifyRequest::Programs {
+                original,
+                transformed,
+            } => Some((original.as_ref(), transformed.as_ref())),
+            VerifyRequest::Addgs { .. } => None,
+        };
+        if let Some((p1, p2)) = programs {
+            if self.options.check_class {
+                assert_in_class(p1)?;
+                assert_in_class(p2)?;
+            }
+            if self.options.check_def_use {
+                assert_def_use_correct(p1)?;
+                assert_def_use_correct(p2)?;
+            }
+        }
+        let extracted: Option<(Addg, Addg)> = match programs {
+            Some((p1, p2)) => Some((extract(p1)?, extract(p2)?)),
+            None => None,
+        };
+        let (g1, g2): (&Addg, &Addg) = match (&extracted, request) {
+            (Some((a, b)), _) => (a, b),
+            (
+                None,
+                VerifyRequest::Addgs {
+                    original,
+                    transformed,
+                },
+            ) => (original, transformed),
+            _ => unreachable!("programs were staged for every non-Addgs request"),
+        };
+
+        // Program-identity gate: a baseline recorded for a different output
+        // interface proves nothing here and likely signals operator error
+        // (wrong file), so reject it loudly rather than silently scoring
+        // zero hits.
+        let current: Vec<String> = g1.output_arrays().to_vec();
+        let mut current_sorted = current.clone();
+        current_sorted.sort();
+        let mut recorded: Vec<String> = baseline.outputs.iter().map(|(n, ..)| n.clone()).collect();
+        recorded.sort();
+        if current_sorted != recorded {
+            let ctx = CheckContext {
+                shared_table: Some(self.table.as_ref()),
+                deadline: self.deadline.map(|d| Instant::now() + d),
+                cancel: Some(&self.cancel),
+                baseline: None,
+            };
+            let mut report = verify_addgs_with(g1, g2, &self.options, &ctx)?;
+            if let Some((p1, p2)) = programs {
+                self.attach_witnesses(p1, p2, &mut report, &ctx)?;
+            }
+            let rejection = BaselineRejection::ProgramMismatch {
+                expected: current_sorted,
+                found: recorded,
+            };
+            return Ok((report, BaselineStatus::Rejected(rejection)));
+        }
+
+        // Classify: an output is clean iff its recorded fingerprints still
+        // match this pair's (the content is untouched) AND the baseline
+        // carries its *root obligation* — the entry published only when the
+        // producing run proved the whole output.  Fingerprint equality alone
+        // is not enough: outputs that FAILED in the producing run have
+        // recorded fingerprints too, and skipping those would suppress
+        // diagnostics.  The root key is reconstructed from the recorded
+        // domain hash, so classification costs no Omega work — the whole
+        // point of an incremental run is to beat the from-scratch wall time,
+        // and per-output domain computations are a large fixed cost on wide
+        // kernels.
+        let fp = if self
+            .options
+            .focus
+            .as_ref()
+            .is_some_and(|f| !f.intermediate_pairs.is_empty())
+        {
+            arrayeq_addg::fingerprints_named
+        } else {
+            arrayeq_addg::fingerprints
+        };
+        let (fpa, fpb) = (fp(g1), fp(g2));
+        let proofs = BaselineProofs::from_entries(baseline.entries.iter().copied());
+        let clean: Vec<String> = current
+            .iter()
+            .filter(|output| {
+                baseline
+                    .outputs
+                    .iter()
+                    .find(|(n, ..)| n == *output)
+                    .is_some_and(|(_, fa, fb, dh)| {
+                        *fa == fpa.array(output)
+                            && *fb == fpb.array(output)
+                            && dh.is_some_and(|h| proofs.contains(&(*fa, *fb, h, h)))
+                    })
+            })
+            .cloned()
+            .collect();
+
+        let opts = CheckOptions {
+            assume_clean: clean.clone(),
+            ..self.options.clone()
+        };
+        let ctx = CheckContext {
+            shared_table: Some(self.table.as_ref()),
+            deadline: self.deadline.map(|d| Instant::now() + d),
+            cancel: Some(&self.cancel),
+            baseline: Some(&proofs),
+        };
+        // The classification fingerprints are exactly the ones the traversal
+        // would recompute (same per-options selection above) — hand them over
+        // instead of paying the WL refinement twice.
+        let mut report =
+            verify_addgs_with_fps(g1, g2, &opts, &ctx, opts.tabling.then_some((fpa, fpb)))?;
+        // Skipped-clean outputs were never traversed, so the run recorded no
+        // domain hash for them; carry the baseline's recorded hashes forward
+        // so a baseline exported from this run stays as complete as the
+        // producing run's (chained incremental workflows).
+        for output in &clean {
+            if !report.output_domain_hashes.iter().any(|(n, _)| n == output) {
+                if let Some((_, _, _, Some(h))) =
+                    baseline.outputs.iter().find(|(n, ..)| n == output)
+                {
+                    report.output_domain_hashes.push((output.clone(), *h));
+                }
+            }
+        }
+        if let Some((p1, p2)) = programs {
+            self.attach_witnesses(p1, p2, &mut report, &ctx)?;
+        }
+        let status = BaselineStatus::Applied {
+            entries: proofs.len(),
+            clean_outputs: clean,
+        };
+        Ok((report, status))
     }
 }
 

@@ -59,6 +59,23 @@ impl<K: std::hash::Hash + Eq, V: Copy> Striped<K, V> {
     }
 }
 
+impl<K: std::hash::Hash + Eq + Clone + Ord, V: Copy> Striped<K, V> {
+    /// A point-in-time copy of every entry, in key order (deterministic
+    /// regardless of shard layout or insertion interleaving).  Walks the
+    /// shards one lock at a time; concurrent writers are not blocked
+    /// globally, so the snapshot is per-shard consistent — exactly enough
+    /// for baseline export, where entries are facts that never mutate.
+    fn snapshot(&self) -> Vec<(K, V)> {
+        let mut all: Vec<(K, V)> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.lock().unwrap();
+            all.extend(guard.iter().map(|(k, v)| (k.clone(), *v)));
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+}
+
 /// The cross-query equivalence table shared by every query (and worker
 /// thread) of one [`crate::Verifier`].
 pub(crate) struct ShardedEquivalenceTable {
@@ -80,6 +97,19 @@ impl ShardedEquivalenceTable {
 
     pub(crate) fn entries(&self) -> usize {
         self.map.len()
+    }
+
+    /// Every *established* sub-proof currently held, in key order.  The
+    /// checker only ever publishes positive, assumption-free sub-proofs
+    /// here (see the [`SharedEquivalenceTable`] contract), so this is
+    /// precisely the set of entries a baseline may carry; the filter is
+    /// belt-and-braces against future negative caching.
+    pub(crate) fn proven_entries(&self) -> Vec<SharedTableKey> {
+        self.map
+            .snapshot()
+            .into_iter()
+            .filter_map(|(k, established)| established.then_some(k))
+            .collect()
     }
 }
 

@@ -44,6 +44,30 @@ fn assert_roundtrip(report: &Report) {
         .collect();
     assert_eq!(outputs, report.outputs_checked);
 
+    // Per-output position fingerprints (rendered as fixed-width hex strings
+    // — the values use the full u64 range, which JSON integers can't carry).
+    let fingerprints = value
+        .get("output_fingerprints")
+        .and_then(JsonValue::as_array)
+        .expect("output_fingerprints array");
+    assert_eq!(fingerprints.len(), report.output_fingerprints.len());
+    for (rendered, (name, fa, fb)) in fingerprints.iter().zip(&report.output_fingerprints) {
+        assert_eq!(
+            rendered.get("name").and_then(JsonValue::as_str),
+            Some(name.as_str())
+        );
+        let hex = |member: &str| {
+            let digits = rendered
+                .get(member)
+                .and_then(JsonValue::as_str)
+                .expect("hex fingerprint string");
+            assert_eq!(digits.len(), 16, "fixed-width hex: {digits}");
+            u64::from_str_radix(digits, 16).expect("hex fingerprint parses")
+        };
+        assert_eq!(hex("original_fp"), *fa);
+        assert_eq!(hex("transformed_fp"), *fb);
+    }
+
     // Witness points and values.
     let witnesses = value
         .get("witnesses")
@@ -104,6 +128,10 @@ fn fig1_reports_roundtrip_including_witnesses() {
         (FIG1_D, FIG1_A),
     ] {
         let outcome = verifier.verify_source(a, b).unwrap();
+        assert!(
+            !outcome.report.output_fingerprints.is_empty(),
+            "engine runs record per-output fingerprints"
+        );
         assert_roundtrip(&outcome.report);
     }
 }
