@@ -5,6 +5,8 @@
 //!                [--declare-op name=ac]... [--witnesses] [--json]
 //!                [--dot out.dot] [--deadline-ms N] [--max-work N] [--jobs N]
 //!                [--baseline prev.json] [--emit-baseline out.json]
+//!                [--trace out [--trace-format json|chrome]] [--explain]
+//!                [--metrics]
 //! arrayeq corpus --list
 //! arrayeq corpus <name>
 //! ```
@@ -89,6 +91,21 @@ VERIFY OPTIONS:
     --emit-baseline <out.json> write this run's proven sub-proofs as a
                               baseline for later --baseline runs (valid
                               only under the same method/operator options)
+    --trace <out>             record a structured proof trace of the run
+                              and write it to <out> (spans, discharge
+                              provenance, per-worker lanes)
+    --trace-format json|chrome  trace serialization (default: json = JSONL,
+                              one event object per line; chrome = a Chrome
+                              trace-event profile for chrome://tracing or
+                              ui.perfetto.dev)
+    --explain                 render the proof tree per output: verdict,
+                              time, and which mechanism (local/shared
+                              table, baseline, coinduction, arena)
+                              discharged each sub-proof.  Written to
+                              stderr when combined with --json
+    --metrics                 print session latency histograms (feasibility,
+                              composition, flatten, match) as JSON on
+                              stderr after the outcome
 
 EXIT CODES:
     0 equivalent, 1 not equivalent, 2 inconclusive,
@@ -131,6 +148,10 @@ struct VerifyArgs {
     jobs: Option<usize>,
     baseline: Option<String>,
     emit_baseline: Option<String>,
+    trace: Option<String>,
+    trace_chrome: bool,
+    explain: bool,
+    metrics: bool,
 }
 
 fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
@@ -148,6 +169,10 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
         jobs: None,
         baseline: None,
         emit_baseline: None,
+        trace: None,
+        trace_chrome: false,
+        explain: false,
+        metrics: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -191,6 +216,16 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
             }
             "--baseline" => parsed.baseline = Some(value_of("--baseline")?),
             "--emit-baseline" => parsed.emit_baseline = Some(value_of("--emit-baseline")?),
+            "--trace" => parsed.trace = Some(value_of("--trace")?),
+            "--trace-format" => {
+                parsed.trace_chrome = match value_of("--trace-format")?.as_str() {
+                    "json" => false,
+                    "chrome" => true,
+                    other => return Err(format!("unknown trace format `{other}`")),
+                }
+            }
+            "--explain" => parsed.explain = true,
+            "--metrics" => parsed.metrics = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             file => files.push(file.to_owned()),
         }
@@ -245,6 +280,16 @@ fn run_verify(args: &[String]) -> i32 {
     if let Some(jobs) = parsed.jobs {
         builder = builder.jobs(jobs);
     }
+    // --explain needs the event stream even when no --trace file was asked
+    // for, so either flag installs a collector.
+    let collector = (parsed.trace.is_some() || parsed.explain)
+        .then(|| std::sync::Arc::new(arrayeq_trace::Collector::new()));
+    if let Some(c) = &collector {
+        builder = builder.trace_sink(c.clone());
+    }
+    if parsed.metrics {
+        builder = builder.metrics(true);
+    }
     let verifier = builder.build();
 
     // A named-but-unreadable baseline is a hard error (the operator asked
@@ -268,6 +313,7 @@ fn run_verify(args: &[String]) -> i32 {
                 Some(inc)
             }
             Err(e) => {
+                arrayeq_trace::uninstall();
                 eprintln!("error: {e}");
                 return EXIT_ERROR;
             }
@@ -279,11 +325,29 @@ fn run_verify(args: &[String]) -> i32 {
         None => match verifier.verify(&request) {
             Ok(o) => o,
             Err(e) => {
+                arrayeq_trace::uninstall();
                 eprintln!("error: {e}");
                 return EXIT_ERROR;
             }
         },
     };
+
+    // The run is over: stop collecting before serializing, so the trace
+    // file is a complete, balanced record of exactly this request.
+    if collector.is_some() {
+        arrayeq_trace::uninstall();
+    }
+    if let (Some(path), Some(c)) = (&parsed.trace, &collector) {
+        let payload = if parsed.trace_chrome {
+            c.to_chrome()
+        } else {
+            c.to_jsonl()
+        };
+        if let Err(e) = std::fs::write(path, payload) {
+            eprintln!("error: cannot write `{path}`: {e}");
+            return EXIT_ERROR;
+        }
+    }
 
     if let Some(path) = &parsed.emit_baseline {
         if let Err(e) = std::fs::write(path, verifier.export_baseline(&outcome.report)) {
@@ -315,6 +379,22 @@ fn run_verify(args: &[String]) -> i32 {
     } else {
         print!("{}", outcome.report.summary());
         println!("wall time: {:.3} ms", outcome.wall_time_us as f64 / 1e3);
+    }
+    if parsed.explain {
+        if let Some(c) = &collector {
+            let tree = arrayeq_trace::explain::render(c);
+            if parsed.json {
+                // Keep stdout machine-readable: the tree goes to stderr.
+                eprint!("{tree}");
+            } else {
+                print!("{tree}");
+            }
+        }
+    }
+    if parsed.metrics {
+        if let Some(snapshot) = verifier.metrics_snapshot() {
+            eprintln!("{}", snapshot.to_json());
+        }
     }
     match outcome.report.verdict {
         Verdict::Equivalent => EXIT_EQUIVALENT,

@@ -343,3 +343,152 @@ fn declare_op_enables_matching_at_user_calls() {
     let out = arrayeq(&["help"]);
     assert!(String::from_utf8_lossy(&out.stdout).contains("--declare-op"));
 }
+
+#[test]
+fn trace_flag_writes_parsable_jsonl_and_chrome_profiles() {
+    let dir = temp_dir("trace");
+    let a = write_corpus(&dir, "fig1a");
+    let c = write_corpus(&dir, "fig1c");
+    let jsonl_path = dir.join("trace.jsonl");
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--trace",
+        jsonl_path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let jsonl = std::fs::read_to_string(&jsonl_path).expect("trace file written");
+    assert!(!jsonl.trim().is_empty(), "trace is non-empty");
+    for line in jsonl.lines() {
+        let v = JsonValue::parse(line).expect("every JSONL line parses");
+        assert!(v.get("ts").is_some() && v.get("ph").is_some() && v.get("name").is_some());
+    }
+
+    let chrome_path = dir.join("trace-chrome.json");
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--trace",
+        chrome_path.to_str().unwrap(),
+        "--trace-format",
+        "chrome",
+        "--jobs",
+        "4",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let doc = JsonValue::parse(&std::fs::read_to_string(&chrome_path).unwrap())
+        .expect("chrome profile parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // An unknown format is a usage error.
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--trace-format",
+        "xml",
+    ]);
+    assert_eq!(out.status.code(), Some(4));
+}
+
+#[test]
+fn explain_names_discharge_mechanisms_on_an_incremental_run() {
+    let dir = temp_dir("explain");
+    let a = write_corpus(&dir, "fig1a");
+    let c = write_corpus(&dir, "fig1c");
+    let baseline = dir.join("baseline.json");
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--emit-baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--explain",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("proof tree"), "stdout: {stdout}");
+    // Every output of this incremental run owes its verdict to the
+    // baseline: the unchanged pair is fully clean.
+    assert!(
+        stdout.contains("discharged by baseline (clean"),
+        "stdout: {stdout}"
+    );
+
+    // From scratch, the tree still names how each sub-proof was answered.
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--explain",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("discharged via:"), "stdout: {stdout}");
+
+    // With --json, stdout stays a single machine-readable document and the
+    // tree moves to stderr.
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--explain",
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    JsonValue::parse(std::str::from_utf8(&out.stdout).unwrap()).expect("stdout is pure JSON");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("proof tree"));
+}
+
+#[test]
+fn metrics_flag_prints_histogram_snapshot_on_stderr() {
+    let dir = temp_dir("metrics");
+    let a = write_corpus(&dir, "fig1a");
+    let c = write_corpus(&dir, "fig1c");
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--metrics",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("metrics JSON on stderr");
+    let doc = JsonValue::parse(line).expect("metrics snapshot parses");
+    let metrics = doc
+        .get("metrics")
+        .and_then(JsonValue::as_array)
+        .expect("metrics array");
+    assert_eq!(metrics.len(), 4);
+    assert!(metrics
+        .iter()
+        .any(|m| m.get("count").and_then(JsonValue::as_i64).unwrap_or(0) > 0));
+}

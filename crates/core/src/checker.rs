@@ -678,9 +678,15 @@ impl Checker<'_> {
             // `outputs_checked` and produce no diagnostics — exactly what a
             // from-scratch run in which they succeed silently looks like.
             if self.opts.assume_clean.iter().any(|o| o == output) {
+                arrayeq_trace::event_with("output_clean", || {
+                    vec![arrayeq_trace::s("output", output.clone())]
+                });
                 continue;
             }
             cone += 1;
+            let span = arrayeq_trace::span_with("output", || {
+                vec![arrayeq_trace::s("output", output.clone())]
+            });
             let diag_start = self.diagnostics.len();
             let ea = match check_output_domains(self.a, self.b, output)? {
                 OutputDomains::Match(ea) => ea,
@@ -688,6 +694,12 @@ impl Checker<'_> {
                     self.diagnostics.push(*diag);
                     self.stamp_output(diag_start, output);
                     all_ok = false;
+                    arrayeq_trace::event_with("output_verdict", || {
+                        vec![
+                            arrayeq_trace::s("output", output.clone()),
+                            arrayeq_trace::b("ok", false),
+                        ]
+                    });
                     continue;
                 }
             };
@@ -703,6 +715,13 @@ impl Checker<'_> {
             )?;
             self.stamp_output(diag_start, output);
             all_ok &= ok;
+            arrayeq_trace::event_with("output_verdict", || {
+                vec![
+                    arrayeq_trace::s("output", output.clone()),
+                    arrayeq_trace::b("ok", ok),
+                ]
+            });
+            drop(span);
         }
         let verdict = if self.exhausted {
             Verdict::Inconclusive
@@ -856,7 +875,13 @@ impl Checker<'_> {
             } = self.a.node(*n)
             {
                 self.stats.compositions += 1;
-                let new_map = map_a.compose(mapping)?.simplified(true);
+                let new_map = {
+                    let _span = arrayeq_trace::span("compose");
+                    let t0 = arrayeq_trace::metrics_timer();
+                    let m = map_a.compose(mapping)?.simplified(true);
+                    arrayeq_trace::record_elapsed(arrayeq_trace::Metric::Composition, t0);
+                    m
+                };
                 let mut trail = trail_a.to_vec();
                 trail.push(statement.clone());
                 return self.check(
@@ -878,7 +903,13 @@ impl Checker<'_> {
             } = self.b.node(*n)
             {
                 self.stats.compositions += 1;
-                let new_map = map_b.compose(mapping)?.simplified(true);
+                let new_map = {
+                    let _span = arrayeq_trace::span("compose");
+                    let t0 = arrayeq_trace::metrics_timer();
+                    let m = map_b.compose(mapping)?.simplified(true);
+                    arrayeq_trace::record_elapsed(arrayeq_trace::Metric::Composition, t0);
+                    m
+                };
                 let mut trail = trail_b.to_vec();
                 trail.push(statement.clone());
                 return self.check(
@@ -917,6 +948,7 @@ impl Checker<'_> {
         if let (Some(k), Some(baseline)) = (shared_key.as_ref(), self.ctx.baseline) {
             if baseline.contains(k) {
                 self.stats.baseline_hits += 1;
+                arrayeq_trace::discharge("baseline");
                 return Ok(true);
             }
         }
@@ -928,6 +960,7 @@ impl Checker<'_> {
                 self.stats.table_lookups += 1;
                 if let Some(&cached) = self.table.get(k) {
                     self.stats.table_hits += 1;
+                    arrayeq_trace::discharge("local_table");
                     #[cfg(debug_assertions)]
                     self.check_for_hash_collision(k, &map_a, &map_b);
                     return Ok(cached);
@@ -944,6 +977,7 @@ impl Checker<'_> {
             self.stats.shared_table_lookups += 1;
             if shared.get(k) == Some(true) {
                 self.stats.shared_table_hits += 1;
+                arrayeq_trace::discharge("shared_table");
                 return Ok(true);
             }
         }
@@ -1124,6 +1158,7 @@ impl Checker<'_> {
                             self.stats.mapping_equalities += 1;
                             if needed.is_subset(assumed)? {
                                 self.assumption_uses += 1;
+                                arrayeq_trace::discharge("coinduction");
                                 return Ok(true);
                             }
                             // Outside the assumed element pairs: fall through
@@ -1233,6 +1268,12 @@ impl Checker<'_> {
             let sub_b = map_b.restrict_domain(&sub_domain)?.simplified(true);
             let mut trail = trail_a.to_vec();
             trail.push(def.statement.clone());
+            let _span = arrayeq_trace::span_with("definition", || {
+                vec![
+                    arrayeq_trace::s("array", va.to_owned()),
+                    arrayeq_trace::s("statement", def.statement.clone()),
+                ]
+            });
             ok &= self.check(
                 Pos::Node(def.root),
                 sub_a,
@@ -1269,6 +1310,12 @@ impl Checker<'_> {
             let sub_a = map_a.restrict_domain(&sub_domain)?.simplified(true);
             let mut trail = trail_b.to_vec();
             trail.push(def.statement.clone());
+            let _span = arrayeq_trace::span_with("definition", || {
+                vec![
+                    arrayeq_trace::s("array", vb.to_owned()),
+                    arrayeq_trace::s("statement", def.statement.clone()),
+                ]
+            });
             ok &= self.check(
                 pos_a.clone(),
                 sub_a,

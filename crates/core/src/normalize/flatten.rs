@@ -253,7 +253,13 @@ impl<'x> Checker<'x> {
                     ..
                 } => {
                     self.stats.compositions += 1;
-                    let new_map = map.compose(&mapping)?.simplified(true);
+                    let new_map = {
+                        let _span = arrayeq_trace::span("compose");
+                        let t0 = arrayeq_trace::metrics_timer();
+                        let m = map.compose(&mapping)?.simplified(true);
+                        arrayeq_trace::record_elapsed(arrayeq_trace::Metric::Composition, t0);
+                        m
+                    };
                     self.flatten_family(
                         original_side,
                         family,
@@ -499,7 +505,13 @@ impl<'x> Checker<'x> {
                 ..
             } => {
                 self.stats.compositions += 1;
-                let m = map.compose(&mapping)?.simplified(true);
+                let m = {
+                    let _span = arrayeq_trace::span("compose");
+                    let t0 = arrayeq_trace::metrics_timer();
+                    let m = map.compose(&mapping)?.simplified(true);
+                    arrayeq_trace::record_elapsed(arrayeq_trace::Metric::Composition, t0);
+                    m
+                };
                 self.product_enter_array(
                     original_side,
                     array,

@@ -107,28 +107,39 @@ impl<'x> Checker<'x> {
         self.stats.flattenings += 1;
         let full = map_a.domain();
         let mut terms_a = Vec::new();
-        self.flatten_family(
-            true,
-            family,
-            pos_a,
-            map_a,
-            trail_a.to_vec(),
-            1,
-            true,
-            &mut terms_a,
-        )?;
         let mut terms_b = Vec::new();
-        self.flatten_family(
-            false,
-            family,
-            pos_b,
-            map_b,
-            trail_b.to_vec(),
-            1,
-            true,
-            &mut terms_b,
-        )?;
+        {
+            let _span = arrayeq_trace::span("flatten");
+            let t0 = arrayeq_trace::metrics_timer();
+            self.flatten_family(
+                true,
+                family,
+                pos_a,
+                map_a,
+                trail_a.to_vec(),
+                1,
+                true,
+                &mut terms_a,
+            )?;
+            self.flatten_family(
+                false,
+                family,
+                pos_b,
+                map_b,
+                trail_b.to_vec(),
+                1,
+                true,
+                &mut terms_b,
+            )?;
+            arrayeq_trace::record_elapsed(arrayeq_trace::Metric::Flatten, t0);
+        }
         self.stats.terms_flattened += (terms_a.len() + terms_b.len()) as u64;
+        arrayeq_trace::event_with("flattened", || {
+            vec![
+                arrayeq_trace::u("terms_a", terms_a.len() as u64),
+                arrayeq_trace::u("terms_b", terms_b.len() as u64),
+            ]
+        });
 
         let pieces = split_pieces(&full, &terms_a, &terms_b)?;
         let mut ok = true;
@@ -170,6 +181,13 @@ impl<'x> Checker<'x> {
         trail_b: &[String],
     ) -> Result<bool> {
         self.stats.matchings += 1;
+        let _span = arrayeq_trace::span_with("match", || {
+            vec![
+                arrayeq_trace::u("terms_a", live_a.len() as u64),
+                arrayeq_trace::u("terms_b", live_b.len() as u64),
+            ]
+        });
+        let _metric = arrayeq_trace::metric_guard(arrayeq_trace::Metric::Match);
         let class = self.opts.operators.class_of(family);
         let multiplicative = matches!(family, OperatorKind::Mul);
         let fold = |terms: &[FlatTerm]| -> i64 {
@@ -327,10 +345,12 @@ impl<'x> Checker<'x> {
         if let (Some(a), Some(b)) = (ia, ib) {
             if a == b {
                 self.stats.fast_term_matches += 1;
+                arrayeq_trace::discharge("arena_fast_match");
                 return Ok(true);
             }
             if let Some(cached) = self.arena.lookup_match(a, b) {
                 self.stats.term_memo_hits += 1;
+                arrayeq_trace::discharge("match_memo");
                 return Ok(cached);
             }
         }

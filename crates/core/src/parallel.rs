@@ -154,6 +154,9 @@ pub(crate) fn verify_addgs_parallel(
         // outputs keep their prologue slot (so the merge stays positional)
         // but contribute no domain check and no task.
         if opts.assume_clean.iter().any(|o| o == output) {
+            arrayeq_trace::event_with("output_clean", || {
+                vec![arrayeq_trace::s("output", output.clone())]
+            });
             prologue.push(None);
             continue;
         }
@@ -214,13 +217,39 @@ pub(crate) fn verify_addgs_parallel(
     let merged_worker_stats: Mutex<CheckStats> = Mutex::new(CheckStats::default());
     let workers = jobs.min(tasks.len()).max(1);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        for w in 0..workers {
+            // Shadow the shared state as references so the closure can be
+            // `move` (capturing the per-worker id) without moving the data.
+            let (tasks, slots, next, budget, merged_worker_stats, cache, fps, outputs) = (
+                &tasks,
+                &slots,
+                &next,
+                &budget,
+                &merged_worker_stats,
+                &cache,
+                &fps,
+                &outputs,
+            );
+            scope.spawn(move || {
+                // Worker lanes are 1-based; 0 is the coordinator thread.
+                arrayeq_trace::set_worker((w + 1) as u32);
                 let drain_queue = || {
-                    let mut worker = Checker::new(a, b, opts, ctx, fps.clone(), Some(&budget));
+                    let mut worker = Checker::new(a, b, opts, ctx, fps.clone(), Some(budget));
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(task) = tasks.get(i) else { break };
+                        let _span = arrayeq_trace::span_with("task", || {
+                            vec![
+                                arrayeq_trace::s("output", outputs[task.output_idx].clone()),
+                                arrayeq_trace::s(
+                                    "kind",
+                                    match &task.kind {
+                                        TaskKind::Traverse { .. } => "traverse",
+                                        TaskKind::MatchPiece { .. } => "match_piece",
+                                    },
+                                ),
+                            ]
+                        });
                         let outcome = match &task.kind {
                             TaskKind::Traverse {
                                 pos_a,
@@ -277,9 +306,12 @@ pub(crate) fn verify_addgs_parallel(
     let mut all_ok = true;
     let mut diagnostics = Vec::new();
     for (output_idx, output) in outputs.iter().enumerate() {
+        let skipped_clean = opts.assume_clean.iter().any(|o| o == output);
+        let mut output_ok = true;
         if let Some(diag) = prologue[output_idx].take() {
             diagnostics.push(diag);
             all_ok = false;
+            output_ok = false;
         }
         for (i, task) in tasks.iter().enumerate() {
             if task.output_idx != output_idx {
@@ -296,6 +328,15 @@ pub(crate) fn verify_addgs_parallel(
             }
             diagnostics.extend(task_diags);
             all_ok &= ok;
+            output_ok &= ok;
+        }
+        if !skipped_clean {
+            arrayeq_trace::event_with("output_verdict", || {
+                vec![
+                    arrayeq_trace::s("output", output.clone()),
+                    arrayeq_trace::b("ok", output_ok),
+                ]
+            });
         }
     }
     let verdict = if budget.is_exhausted() {
@@ -405,7 +446,13 @@ fn expand_one(
         } = a.node(*n)
         {
             stats.compositions += 1;
-            let new_map = map_a.compose(mapping)?.simplified(true);
+            let new_map = {
+                let _span = arrayeq_trace::span("compose");
+                let t0 = arrayeq_trace::metrics_timer();
+                let m = map_a.compose(mapping)?.simplified(true);
+                arrayeq_trace::record_elapsed(arrayeq_trace::Metric::Composition, t0);
+                m
+            };
             let mut trail = task.trail_a.clone();
             trail.push(statement.clone());
             return Ok(Some(vec![CheckTask::traverse(
@@ -429,7 +476,13 @@ fn expand_one(
         } = b.node(*n)
         {
             stats.compositions += 1;
-            let new_map = map_b.compose(mapping)?.simplified(true);
+            let new_map = {
+                let _span = arrayeq_trace::span("compose");
+                let t0 = arrayeq_trace::metrics_timer();
+                let m = map_b.compose(mapping)?.simplified(true);
+                arrayeq_trace::record_elapsed(arrayeq_trace::Metric::Composition, t0);
+                m
+            };
             let mut trail = task.trail_b.clone();
             trail.push(statement.clone());
             return Ok(Some(vec![CheckTask::traverse(

@@ -333,6 +333,25 @@ impl Report {
             self.stats.table_hits,
             self.stats.table_hit_rate() * 100.0,
         );
+        if self.stats.compositions > 0
+            || self.stats.flattenings > 0
+            || self.stats.matchings > 0
+            || self.stats.terms_flattened > 0
+        {
+            out.push_str(&format!(
+                "traversal: {} compositions, {} flattenings, {} matchings, {} terms flattened\n",
+                self.stats.compositions,
+                self.stats.flattenings,
+                self.stats.matchings,
+                self.stats.terms_flattened,
+            ));
+        }
+        if self.stats.parallel_tasks > 0 {
+            out.push_str(&format!(
+                "parallel: {} tasks decomposed ({} algebraic piece tasks)\n",
+                self.stats.parallel_tasks, self.stats.algebraic_piece_tasks,
+            ));
+        }
         if self.stats.shared_table_lookups > 0 {
             out.push_str(&format!(
                 "shared table: {} hits / {} lookups ({:.0}% combined hit rate), {} published\n",
@@ -366,12 +385,18 @@ impl Report {
                 self.stats.hash_collisions,
             ));
         }
-        if self.stats.witness_time_us > 0 {
+        if self.stats.check_time_us > 0 || self.stats.witness_time_us > 0 {
             out.push_str(&format!(
-                "timing: check {:.3} ms, witness extraction {:.3} ms\n",
+                "timing: check {:.3} ms",
                 self.stats.check_time_us as f64 / 1e3,
-                self.stats.witness_time_us as f64 / 1e3,
             ));
+            if self.stats.witness_time_us > 0 {
+                out.push_str(&format!(
+                    ", witness extraction {:.3} ms",
+                    self.stats.witness_time_us as f64 / 1e3,
+                ));
+            }
+            out.push('\n');
         }
         if let Some(reason) = &self.budget_exhausted {
             out.push_str(&format!("inconclusive: {reason}\n"));
@@ -459,6 +484,41 @@ mod tests {
         assert!(s.contains("witness extraction 2.500 ms"));
         assert!(s.contains("inconclusive: wall-clock deadline exceeded after 9 ms"));
         assert!((r.stats.combined_hit_rate() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_renders_traversal_and_parallel_counters() {
+        let r = Report {
+            verdict: Verdict::Equivalent,
+            diagnostics: Vec::new(),
+            witnesses: Vec::new(),
+            stats: CheckStats {
+                compositions: 12,
+                flattenings: 3,
+                matchings: 5,
+                terms_flattened: 40,
+                parallel_tasks: 7,
+                algebraic_piece_tasks: 2,
+                baseline_hits: 4,
+                cone_positions: 1,
+                arena_interns: 9,
+                arena_hits: 3,
+                check_time_us: 800,
+                ..Default::default()
+            },
+            outputs_checked: vec!["C".into(), "D".into()],
+            output_fingerprints: Vec::new(),
+            output_domain_hashes: Vec::new(),
+            budget_exhausted: None,
+        };
+        let s = r.summary();
+        assert!(s.contains(
+            "traversal: 12 compositions, 3 flattenings, 5 matchings, 40 terms flattened"
+        ));
+        assert!(s.contains("parallel: 7 tasks decomposed (2 algebraic piece tasks)"));
+        assert!(s.contains("incremental: 4 baseline hits, 1 of 2 outputs in the dirty cone"));
+        assert!(s.contains("term arena: 9 interns, 3 dedup hits"));
+        assert!(s.contains("timing: check 0.800 ms"));
     }
 
     #[test]

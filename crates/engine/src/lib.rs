@@ -226,6 +226,8 @@ pub struct VerifierBuilder {
     shards: usize,
     table_capacity: usize,
     cancel: CancelToken,
+    trace_sink: Option<Arc<arrayeq_trace::Collector>>,
+    metrics: bool,
 }
 
 impl Default for VerifierBuilder {
@@ -239,6 +241,8 @@ impl Default for VerifierBuilder {
             shards: 64,
             table_capacity: 1 << 20,
             cancel: CancelToken::new(),
+            trace_sink: None,
+            metrics: false,
         }
     }
 }
@@ -359,8 +363,39 @@ impl VerifierBuilder {
         self
     }
 
+    /// Installs `sink` as the *process-global* trace collector when the
+    /// engine is built, enabling structured proof tracing (spans, discharge
+    /// provenance) on every request.  Tracing is instrumentation-only: it
+    /// never changes verdicts, diagnostics or [`Report::render_stable`].
+    ///
+    /// The sink is process state (trace emission sites live below the
+    /// engine, down to the Omega layer), so it stays installed until
+    /// [`arrayeq_trace::uninstall`] — typically called after the session to
+    /// serialize the events.
+    pub fn trace_sink(mut self, sink: Arc<arrayeq_trace::Collector>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
+    /// Enables the session metrics registry: log2-bucket latency histograms
+    /// for the four hot operations (feasibility, composition, flatten,
+    /// match), aggregated across every query of this engine.  Snapshot via
+    /// [`Verifier::metrics_snapshot`].
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
     /// Constructs the engine.
     pub fn build(self) -> Verifier {
+        if let Some(sink) = &self.trace_sink {
+            arrayeq_trace::install(sink.clone());
+        }
+        let metrics = self.metrics.then(|| {
+            let m = Arc::new(arrayeq_trace::Metrics::new());
+            arrayeq_trace::install_metrics(m.clone());
+            m
+        });
         Verifier {
             table: Arc::new(ShardedEquivalenceTable::new(
                 self.shards,
@@ -374,6 +409,7 @@ impl VerifierBuilder {
             workers: self.workers,
             cancel: self.cancel,
             counters: Counters::default(),
+            metrics,
         }
     }
 }
@@ -404,6 +440,7 @@ pub struct Verifier {
     table: Arc<ShardedEquivalenceTable>,
     memo: Arc<SharedFeasibilityMemo>,
     counters: Counters,
+    metrics: Option<Arc<arrayeq_trace::Metrics>>,
 }
 
 impl Verifier {
@@ -533,6 +570,12 @@ impl Verifier {
                     .expect("every batch slot is filled by a worker")
             })
             .collect()
+    }
+
+    /// A snapshot of the session latency histograms, or `None` when the
+    /// engine was built without [`VerifierBuilder::metrics`].
+    pub fn metrics_snapshot(&self) -> Option<arrayeq_trace::MetricsSnapshot> {
+        self.metrics.as_ref().map(|m| m.snapshot())
     }
 
     /// A snapshot of the cumulative session counters.

@@ -1,0 +1,263 @@
+//! Correctness of the proof-trace subsystem.
+//!
+//! The hard invariant: tracing is *observation only*.  Whether the
+//! collector is off, recording for JSONL or recording for a Chrome
+//! profile, the verdict and the byte content of `render_stable()` are
+//! identical at every `--jobs` count over the Fig. 1 and fault-injection
+//! corpora.  On top of that, the sinks themselves must be well-formed:
+//! every JSONL line parses with the engine's own `JsonValue` parser, span
+//! open/close events balance per worker, and a mutant's trace names the
+//! failing output's provenance.
+//!
+//! Trace state (collector, metrics registry, worker ids) is process-global,
+//! so every test here serializes on one mutex — and they all live in this
+//! one integration-test binary so no other test process observes an
+//! installed collector.
+
+use arrayeq_engine::{JsonValue, Verifier, VerifyRequest};
+use arrayeq_lang::corpus::{FIG1_A, FIG1_B, FIG1_C, FIG1_D};
+use arrayeq_trace::{Collector, Event, Phase};
+use arrayeq_transform::mutate::fault_corpus;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs one request on a fresh engine and returns `(render_stable,
+/// verdict)` plus the collector when `traced`.
+fn run_once(
+    request: &VerifyRequest,
+    jobs: usize,
+    traced: bool,
+) -> (String, String, Option<Arc<Collector>>) {
+    let collector = traced.then(|| Arc::new(Collector::new()));
+    let mut builder = Verifier::builder().jobs(jobs);
+    if let Some(c) = &collector {
+        builder = builder.trace_sink(c.clone());
+    }
+    let verifier = builder.build();
+    let outcome = verifier.verify(request).expect("pipeline ok");
+    if collector.is_some() {
+        arrayeq_trace::uninstall();
+    } else {
+        assert!(!arrayeq_trace::enabled(), "no collector leaked");
+    }
+    (
+        outcome.report.render_stable(),
+        outcome.report.verdict.to_string(),
+        collector,
+    )
+}
+
+fn corpus() -> Vec<(String, VerifyRequest)> {
+    let mut pairs = vec![
+        ("fig1-a-b".to_owned(), VerifyRequest::source(FIG1_A, FIG1_B)),
+        ("fig1-a-c".to_owned(), VerifyRequest::source(FIG1_A, FIG1_C)),
+        ("fig1-a-d".to_owned(), VerifyRequest::source(FIG1_A, FIG1_D)),
+        ("fig1-c-b".to_owned(), VerifyRequest::source(FIG1_C, FIG1_B)),
+    ];
+    for (i, case) in fault_corpus().into_iter().enumerate() {
+        pairs.push((
+            format!("mutant-{i}-{}", case.name),
+            VerifyRequest::programs(case.original, case.mutant),
+        ));
+    }
+    pairs
+}
+
+/// The acceptance property: tracing (off, recording-for-JSONL,
+/// recording-for-Chrome) yields byte-identical `render_stable()` and
+/// identical verdicts at jobs 1 and 8, over the Fig. 1 + fault corpora.
+/// Both serializations of every recorded run must also be well-formed.
+#[test]
+fn tracing_never_changes_reports_at_any_job_count() {
+    let _g = LOCK.lock().unwrap();
+    for (name, request) in corpus() {
+        for jobs in [1usize, 8] {
+            let (stable_off, verdict_off, _) = run_once(&request, jobs, false);
+            // "JSONL" and "chrome" share the recording path; exercise both
+            // serializations from independently recorded runs anyway, so a
+            // serialization-order bug in either sink would surface here.
+            let (stable_jsonl, verdict_jsonl, sink_a) = run_once(&request, jobs, true);
+            let (stable_chrome, verdict_chrome, sink_b) = run_once(&request, jobs, true);
+            assert_eq!(
+                stable_off, stable_jsonl,
+                "{name} jobs={jobs}: tracing (jsonl) changed render_stable"
+            );
+            assert_eq!(
+                stable_off, stable_chrome,
+                "{name} jobs={jobs}: tracing (chrome) changed render_stable"
+            );
+            assert_eq!(verdict_off, verdict_jsonl, "{name} jobs={jobs}");
+            assert_eq!(verdict_off, verdict_chrome, "{name} jobs={jobs}");
+
+            let sink_a = sink_a.unwrap();
+            let sink_b = sink_b.unwrap();
+            assert!(!sink_a.is_empty(), "{name} jobs={jobs}: trace recorded");
+            for line in sink_a.to_jsonl().lines() {
+                JsonValue::parse(line)
+                    .unwrap_or_else(|e| panic!("{name} jobs={jobs}: bad JSONL line {line}: {e:?}"));
+            }
+            let chrome = JsonValue::parse(&sink_b.to_chrome())
+                .unwrap_or_else(|e| panic!("{name} jobs={jobs}: bad chrome doc: {e:?}"));
+            let trace_events = chrome
+                .get("traceEvents")
+                .and_then(|v| v.as_array())
+                .expect("chrome doc has a traceEvents array");
+            assert!(!trace_events.is_empty());
+        }
+    }
+}
+
+/// Every JSONL line parses, carries the required keys, and span open/close
+/// events balance per worker lane — on a parallel run with real worker
+/// lanes in the stream.
+#[test]
+fn jsonl_wellformed_and_spans_balance_per_worker() {
+    let _g = LOCK.lock().unwrap();
+    let collector = Arc::new(Collector::new());
+    let verifier = Verifier::builder()
+        .jobs(8)
+        .trace_sink(collector.clone())
+        .build();
+    verifier
+        .verify(&VerifyRequest::source(FIG1_A, FIG1_C))
+        .unwrap();
+    arrayeq_trace::uninstall();
+
+    let jsonl = collector.to_jsonl();
+    assert!(!jsonl.is_empty());
+    let mut depth: HashMap<i64, i64> = HashMap::new();
+    for line in jsonl.lines() {
+        let v = JsonValue::parse(line).expect("line parses");
+        let worker = v.get("worker").and_then(|w| w.as_i64()).expect("worker");
+        let ph = v.get("ph").and_then(|p| p.as_str()).expect("ph");
+        assert!(v.get("ts").and_then(|t| t.as_i64()).is_some(), "ts");
+        assert!(v.get("name").and_then(|n| n.as_str()).is_some(), "name");
+        match ph {
+            "B" => *depth.entry(worker).or_insert(0) += 1,
+            "E" => {
+                let d = depth.entry(worker).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "close without open on worker {worker}");
+                assert!(v.get("dur").and_then(|t| t.as_i64()).is_some(), "dur");
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    for (worker, d) in depth {
+        assert_eq!(d, 0, "worker {worker} ended with {d} unclosed spans");
+    }
+}
+
+/// A fault-injected mutant's trace names the failing output: the stream
+/// carries its `output_verdict` (ok=false) and at least one provenance /
+/// span event attributed to that output.
+#[test]
+fn mutant_trace_contains_failing_output_provenance() {
+    let _g = LOCK.lock().unwrap();
+    let case = fault_corpus().into_iter().next().expect("corpus non-empty");
+    let collector = Arc::new(Collector::new());
+    let verifier = Verifier::builder().trace_sink(collector.clone()).build();
+    let outcome = verifier
+        .verify(&VerifyRequest::programs(case.original, case.mutant))
+        .unwrap();
+    arrayeq_trace::uninstall();
+    assert!(
+        !outcome.report.is_equivalent(),
+        "fault corpus case is inequivalent"
+    );
+    let failing: Vec<String> = outcome
+        .report
+        .diagnostics
+        .iter()
+        .filter_map(|d| d.output_array.clone())
+        .collect();
+    assert!(!failing.is_empty(), "diagnostics name their output");
+
+    let events = collector.events();
+    let field_str = |ev: &Event, key: &str| -> Option<String> {
+        ev.fields.iter().find_map(|(k, v)| match v {
+            arrayeq_trace::Value::Str(s) if *k == key => Some(s.clone()),
+            _ => None,
+        })
+    };
+    let output = &failing[0];
+    let verdict_event = events.iter().any(|ev| {
+        ev.name == "output_verdict"
+            && field_str(ev, "output").as_deref() == Some(output)
+            && ev
+                .fields
+                .iter()
+                .any(|(k, v)| *k == "ok" && *v == arrayeq_trace::Value::Bool(false))
+    });
+    assert!(verdict_event, "output_verdict(ok=false) for {output}");
+    let attributed_span = events.iter().any(|ev| {
+        matches!(ev.phase, Phase::Open)
+            && (ev.name == "output" || ev.name == "task")
+            && field_str(ev, "output").as_deref() == Some(output)
+    });
+    assert!(attributed_span, "an output/task span names {output}");
+}
+
+/// The session metrics registry accumulates across queries and snapshots
+/// to well-formed JSON.
+#[test]
+fn metrics_registry_accumulates_and_serializes() {
+    let _g = LOCK.lock().unwrap();
+    let verifier = Verifier::builder().metrics(true).build();
+    verifier
+        .verify(&VerifyRequest::source(FIG1_A, FIG1_C))
+        .unwrap();
+    verifier
+        .verify(&VerifyRequest::source(FIG1_A, FIG1_B))
+        .unwrap();
+    let snapshot = verifier.metrics_snapshot().expect("metrics enabled");
+    arrayeq_trace::uninstall_metrics();
+
+    let total: u64 = snapshot.metrics.iter().map(|m| m.count).sum();
+    assert!(total > 0, "some latency samples were recorded");
+    let feas = &snapshot.metrics[0];
+    assert_eq!(feas.name, "feasibility");
+    assert!(feas.count > 0, "feasibility computes were metered");
+    assert_eq!(feas.buckets.iter().sum::<u64>(), feas.count);
+
+    let json = JsonValue::parse(&snapshot.to_json()).expect("snapshot JSON parses");
+    let metrics = json
+        .get("metrics")
+        .and_then(|v| v.as_array())
+        .expect("metrics array");
+    assert_eq!(metrics.len(), 4);
+    for m in metrics {
+        assert!(m.get("name").and_then(|v| v.as_str()).is_some());
+        assert_eq!(m.get("unit").and_then(|v| v.as_str()), Some("us"));
+        assert!(m.get("count").and_then(|v| v.as_i64()).is_some());
+    }
+}
+
+/// `--explain`'s renderer, driven end-to-end through an incremental run:
+/// clean outputs are credited to the baseline and every checked output
+/// names a discharge mechanism or a direct proof.
+#[test]
+fn explain_renders_incremental_provenance() {
+    let _g = LOCK.lock().unwrap();
+    let producer = Verifier::new();
+    let first = producer.verify_source(FIG1_A, FIG1_C).unwrap();
+    assert!(first.report.is_equivalent());
+    let baseline = producer.export_baseline(&first.report);
+
+    let collector = Arc::new(Collector::new());
+    let consumer = Verifier::builder().trace_sink(collector.clone()).build();
+    let inc = consumer
+        .verify_incremental(&VerifyRequest::source(FIG1_A, FIG1_C), &baseline)
+        .unwrap();
+    arrayeq_trace::uninstall();
+    assert!(inc.outcome.report.is_equivalent());
+
+    let text = arrayeq_trace::explain::render(&collector);
+    assert!(
+        text.contains("discharged by baseline (clean"),
+        "clean outputs credited to the baseline:\n{text}"
+    );
+}

@@ -322,7 +322,17 @@ impl Conjunct {
             }
         }
         FEASIBILITY_MEMO_STATS.with(|s| s.borrow_mut().1 += 1);
+        // Memo hits deliberately get no span: they are nanosecond-scale and
+        // would flood the trace. Only the actual Omega-test compute is timed.
+        let _span = arrayeq_trace::span_with("feasibility", || {
+            vec![
+                arrayeq_trace::u("constraints", self.constraints.len() as u64),
+                arrayeq_trace::u("vars", self.n_vars() as u64),
+            ]
+        });
+        let t0 = arrayeq_trace::metrics_timer();
         let f = is_feasible(&self.constraints, self.n_vars());
+        arrayeq_trace::record_elapsed(arrayeq_trace::Metric::Feasibility, t0);
         self.memoize_locally(key, f);
         if let Some(cache) = shared {
             cache.put(key, f.as_bool());
