@@ -14,6 +14,8 @@
 //!     [--out BENCH_PR6.json] [--quick]   # incremental re-verification snapshot
 //! cargo run --release -p arrayeq-bench --bin run_experiments -- --exp pr7 \
 //!     [--out BENCH_PR7.json] [--quick]   # tracing-overhead snapshot
+//! cargo run --release -p arrayeq-bench --bin run_experiments -- --exp pr8 \
+//!     [--out BENCH_PR8.json] [--quick]   # persistent store + daemon snapshot
 //! ```
 
 use arrayeq_bench::*;
@@ -135,6 +137,16 @@ fn main() {
             .unwrap_or_else(|| "BENCH_PR7.json".to_owned());
         let quick = args.iter().any(|a| a == "--quick");
         pr7_trace_overhead(&out, quick);
+    }
+    if only.as_deref() == Some("pr8") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_PR8.json".to_owned());
+        let quick = args.iter().any(|a| a == "--quick");
+        pr8_persistent_service(&out, quick);
     }
 }
 
@@ -1807,6 +1819,315 @@ fn pr7_trace_overhead(out_path: &str, quick: bool) {
     );
     println!("max disabled-overhead bound: {:.4}%", max_disabled * 100.0);
     println!("snapshot written to {out_path}");
+}
+
+/// PR8 acceptance snapshot: the persistent proof store and verification
+/// service.  Three measurements, each hard-asserted in-run:
+///
+/// 1. **Cold vs warm one-shot re-verification** on the repeated/perturbed
+///    PR 3 corpus ([`pr3_round`]) under the `verify --store` model — a
+///    fresh engine per query, the warm pass loading a primed store from
+///    disk each time.  Warm total wall time must beat cold (`>= 2x` full,
+///    `>= 1.2x` under `--quick`'s bounded corpus).
+/// 2. **Store-backed verdict identity**: `render_stable()` byte-identical
+///    to a from-scratch check across the Fig. 1 pairs (including the
+///    non-equivalent a-vs-d) and the fault-injection corpus.
+/// 3. **Sustained service throughput**: an in-process daemon on a Unix
+///    socket, concurrent clients with mixed equivalent/fault requests,
+///    per-client verdict correctness, queries/sec recorded.
+fn pr8_persistent_service(out_path: &str, quick: bool) {
+    use arrayeq_engine::{Verifier, VerifyRequest};
+    use arrayeq_lang::pretty::program_to_string;
+    use arrayeq_serve::client::{response_verdict, verify_request_line, Client, VerifyParams};
+    use arrayeq_serve::{ServeConfig, Server, SpawnedServer};
+    use arrayeq_transform::mutate::fault_corpus;
+
+    header(
+        "PR8",
+        "persistent proof store: cold vs warm one-shot re-verification, service throughput",
+    );
+    // The full corpus runs the PR 3 repeated/perturbed shape at heavier
+    // kernel sizes, where check time dominates the store's per-query
+    // open/seed/flush I/O — the regime persistence targets.  `--quick`
+    // keeps the light PR 3 corpus (and a lower speedup floor: on ~4 ms
+    // checks the warm pass pays proportionally more I/O).
+    let pr8_round = |round: u64| -> Vec<Workload> {
+        if quick {
+            return pr3_round(round);
+        }
+        let mut out = Vec::new();
+        for layers in [8usize, 16, 32] {
+            out.push(generated_pair(layers, 512, 11));
+        }
+        for (name, a, b) in fig1_pairs().into_iter().take(3) {
+            out.push(Workload {
+                name,
+                original: parse_program(&a).expect("fig1 parses"),
+                transformed: parse_program(&b).expect("fig1 parses"),
+            });
+        }
+        out.extend(
+            pr3_round(round)
+                .into_iter()
+                .filter(|w| w.name.starts_with("perturbed")),
+        );
+        out
+    };
+    let rounds_n: u64 = if quick { 2 } else { 3 };
+    let rounds: Vec<Vec<VerifyRequest>> = (0..rounds_n)
+        .map(|r| {
+            pr8_round(r)
+                .into_iter()
+                .map(|w| VerifyRequest::programs(w.original, w.transformed))
+                .collect()
+        })
+        .collect();
+    let queries: usize = rounds.iter().map(Vec::len).sum();
+    let store_dir =
+        std::env::temp_dir().join(format!("arrayeq-bench-pr8-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    // Each pass runs on its own fresh OS thread so all start with a cold
+    // thread-local feasibility memo (same methodology as PR 3: that memo
+    // outlives engines within a thread and would contaminate the
+    // comparison in either direction).
+    let (prime_ms, eq_persisted) = std::thread::scope(|s| {
+        s.spawn(|| {
+            let engine = Verifier::builder().store(&store_dir).build();
+            assert!(engine.store_warnings().is_empty(), "fresh store is clean");
+            let (_, t) = timed(|| {
+                for round in &rounds {
+                    for request in round {
+                        let outcome = engine.verify(request).expect("pr8 workload verifies");
+                        assert!(outcome.report.is_equivalent(), "pr8 pairs are equivalent");
+                    }
+                }
+            });
+            let flush = engine.flush_store().unwrap().expect("store attached");
+            (t.as_secs_f64() * 1e3, flush.appended_eq)
+        })
+        .join()
+        .expect("prime pass runs")
+    });
+    assert!(eq_persisted > 0, "priming persisted sub-proofs");
+
+    // Cold: a fresh engine per query, nothing carries over — the baseline
+    // every `arrayeq verify` invocation pays without `--store`.
+    let cold_ms = std::thread::scope(|s| {
+        s.spawn(|| {
+            let (_, t) = timed(|| {
+                for round in &rounds {
+                    for request in round {
+                        let engine = Verifier::new();
+                        let outcome = engine.verify(request).expect("pr8 workload verifies");
+                        assert!(outcome.report.is_equivalent(), "pr8 pairs are equivalent");
+                    }
+                }
+            });
+            t.as_secs_f64() * 1e3
+        })
+        .join()
+        .expect("cold pass runs")
+    });
+
+    // Warm: still a fresh engine per query, but each one loads the primed
+    // store from disk first — the `verify --store` loop, including all of
+    // its open/seed/flush I/O.
+    let (warm_ms, store_hits) = std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut hits = 0u64;
+            let (_, t) = timed(|| {
+                for round in &rounds {
+                    for request in round {
+                        let engine = Verifier::builder().store(&store_dir).build();
+                        let outcome = engine.verify(request).expect("pr8 workload verifies");
+                        assert!(outcome.report.is_equivalent(), "pr8 pairs are equivalent");
+                        hits += outcome.report.stats.store_hits;
+                        engine.flush_store().unwrap();
+                    }
+                }
+            });
+            (t.as_secs_f64() * 1e3, hits)
+        })
+        .join()
+        .expect("warm pass runs")
+    });
+    assert!(store_hits > 0, "warm queries discharge from the store");
+    let speedup = cold_ms / warm_ms;
+    let floor = if quick { 1.2 } else { 2.0 };
+    assert!(
+        warm_ms < cold_ms,
+        "warm-store re-verification ({warm_ms:.1} ms) must beat cold ({cold_ms:.1} ms)"
+    );
+    assert!(
+        speedup >= floor,
+        "warm-store speedup {speedup:.2}x below the {floor}x floor"
+    );
+    println!(
+        "{queries} queries: cold {cold_ms:.1} ms, warm-store {warm_ms:.1} ms \
+         ({speedup:.2}x, {store_hits} store discharges; priming took {prime_ms:.1} ms)"
+    );
+
+    // Verdict identity: a store primed on mixed outcomes must never change
+    // a byte of any stable report, positive or negative.
+    let identity_dir =
+        std::env::temp_dir().join(format!("arrayeq-bench-pr8-identity-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&identity_dir);
+    let fault_n = if quick { 2 } else { 6 };
+    let identity_corpus: Vec<(String, VerifyRequest)> = fig1_pairs()
+        .into_iter()
+        .map(|(name, a, b)| (name, VerifyRequest::source(a, b)))
+        .chain(fault_corpus().into_iter().take(fault_n).map(|case| {
+            (
+                case.name.clone(),
+                VerifyRequest::programs(case.original, case.mutant),
+            )
+        }))
+        .collect();
+    {
+        let primer = Verifier::builder().store(&identity_dir).build();
+        for (_, request) in &identity_corpus {
+            primer.verify(request).expect("identity workload runs");
+        }
+        primer.flush_store().unwrap();
+    }
+    let warm = Verifier::builder().store(&identity_dir).build();
+    assert!(warm.store_warnings().is_empty());
+    let mut identity_checked = 0usize;
+    for (name, request) in &identity_corpus {
+        let scratch = Verifier::new()
+            .verify(request)
+            .expect("identity workload runs");
+        let stored = warm.verify(request).expect("identity workload runs");
+        assert_eq!(
+            scratch.report.render_stable(),
+            stored.report.render_stable(),
+            "store-backed report differs from scratch on {name}"
+        );
+        identity_checked += 1;
+    }
+    println!("verdict identity: {identity_checked}/{identity_checked} store-backed reports byte-identical");
+
+    // Sustained throughput: concurrent clients over a real Unix socket
+    // against one warm shared engine.
+    let socket =
+        std::env::temp_dir().join(format!("arrayeq-bench-pr8-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let service_corpus: Vec<(String, String, bool)> = {
+        let mut pairs: Vec<(String, String, bool)> = fig1_pairs()
+            .into_iter()
+            .map(|(name, a, b)| (a, b, name != "a-vs-d"))
+            .collect();
+        for case in fault_corpus().into_iter().take(2) {
+            pairs.push((
+                program_to_string(&case.original),
+                program_to_string(&case.mutant),
+                false,
+            ));
+        }
+        pairs
+    };
+    let clients = 4usize;
+    let per_client = if quick { 6 } else { 25 };
+    let daemon = SpawnedServer::start(
+        Server::new(
+            Verifier::builder().store(&store_dir).build(),
+            ServeConfig::default(),
+        ),
+        socket,
+    )
+    .expect("daemon starts");
+    let (_, service_wall) = timed(|| {
+        std::thread::scope(|s| {
+            for client_no in 0..clients {
+                let socket = daemon.socket().to_path_buf();
+                let corpus = &service_corpus;
+                s.spawn(move || {
+                    let mut client = Client::connect(&socket).expect("client connects");
+                    for i in 0..per_client {
+                        let (a, b, equivalent) = &corpus[i % corpus.len()];
+                        let line = verify_request_line(
+                            (client_no * per_client + i) as u64,
+                            a,
+                            b,
+                            &VerifyParams::default(),
+                        );
+                        let response = client.request(&line).expect("daemon answers");
+                        let verdict = response_verdict(&response).expect("verify succeeds");
+                        let expected = if *equivalent {
+                            "equivalent"
+                        } else {
+                            "not_equivalent"
+                        };
+                        assert_eq!(verdict, expected, "client {client_no} request {i}");
+                    }
+                });
+            }
+        });
+    });
+    daemon.stop().expect("daemon drains and exits");
+    let total_requests = clients * per_client;
+    let qps = total_requests as f64 / service_wall.as_secs_f64();
+    println!(
+        "service: {clients} clients x {per_client} mixed requests in {:.1} ms = {qps:.0} queries/sec",
+        service_wall.as_secs_f64() * 1e3
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"PR8: persistent verification service — cold vs ",
+            "warm-store one-shot re-verification on the repeated/perturbed PR3 ",
+            "corpus, store-backed verdict identity, and sustained multi-client ",
+            "daemon throughput over a Unix socket\",\n",
+            "  \"command\": \"cargo run --release -p arrayeq-bench --bin run_experiments ",
+            "-- --exp pr8\",\n",
+            "  \"host_parallelism\": {},\n",
+            "  \"config\": {{ \"quick\": {}, \"rounds\": {}, \"queries\": {}, ",
+            "\"corpus\": \"PR3 repeated/perturbed shape; full mode at heavier kernel ",
+            "sizes (layers 8/16/32, n=512) so check time dominates store I/O\", ",
+            "\"store_model\": \"fresh engine per query; warm pass opens, seeds from ",
+            "and flushes the on-disk store every query (the verify --store loop)\" }},\n",
+            "  \"reverification\": {{\n",
+            "    \"cold_ms\": {:.1},\n",
+            "    \"warm_store_ms\": {:.1},\n",
+            "    \"prime_ms\": {:.1},\n",
+            "    \"speedup\": {:.2},\n",
+            "    \"store_discharges\": {},\n",
+            "    \"eq_subproofs_persisted\": {}\n",
+            "  }},\n",
+            "  \"verdict_identity\": {{ \"pairs_checked\": {}, \"mismatches\": 0, ",
+            "\"corpus\": \"fig1 pairs (incl. non-equivalent a-vs-d) + fault-injection ",
+            "mutants\" }},\n",
+            "  \"service\": {{ \"clients\": {}, \"requests\": {}, \"wall_ms\": {:.1}, ",
+            "\"queries_per_sec\": {:.0} }},\n",
+            "  \"acceptance\": \"hard-asserted in-run: warm-store total wall time ",
+            "strictly below cold with speedup >= {}x, store discharges > 0, every ",
+            "store-backed render_stable byte-identical to from-scratch, every ",
+            "concurrent client's verdicts correct\"\n",
+            "}}\n"
+        ),
+        host_parallelism(),
+        quick,
+        rounds_n,
+        queries,
+        cold_ms,
+        warm_ms,
+        prime_ms,
+        speedup,
+        store_hits,
+        eq_persisted,
+        identity_checked,
+        clients,
+        total_requests,
+        service_wall.as_secs_f64() * 1e3,
+        qps,
+        floor,
+    );
+    std::fs::write(out_path, &json).expect("write PR8 snapshot");
+    println!("snapshot written to {out_path}");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_dir_all(&identity_dir);
 }
 
 fn e12_omega_ops() {

@@ -6,7 +6,10 @@
 //!                [--dot out.dot] [--deadline-ms N] [--max-work N] [--jobs N]
 //!                [--baseline prev.json] [--emit-baseline out.json]
 //!                [--trace out [--trace-format json|chrome]] [--explain]
-//!                [--metrics]
+//!                [--metrics] [--store dir]
+//! arrayeq serve (--socket path | --stdio) [--store dir] [ENGINE OPTIONS]
+//! arrayeq client --socket path (verify a.c b.c | ping | stats |
+//!                               checkpoint | shutdown)
 //! arrayeq corpus --list
 //! arrayeq corpus <name>
 //! ```
@@ -35,6 +38,19 @@
 //! the run degrades to a from-scratch check — the verdict and exit code are
 //! always identical to a run without `--baseline`.
 //!
+//! `--store` attaches a persistent on-disk proof store: proven sub-proofs
+//! are loaded on startup and flushed after the run, so repeated one-shot
+//! invocations over the same corpus get warmer and warmer.  A corrupt,
+//! truncated or incompatible store degrades to a cold start with a warning
+//! on stderr — the verdict and exit code never change.
+//!
+//! `serve` runs the long-lived verification daemon
+//! ([`arrayeq_serve::Server`]): one shared engine, many concurrent client
+//! sessions, line-JSON protocol over a Unix socket (or stdio for
+//! supervisors that prefer pipes).  `client` is the matching one-shot
+//! protocol client; `client verify` mirrors the one-shot `verify` exit-code
+//! contract.
+//!
 //! `corpus` prints the built-in example programs (the paper's Fig. 1
 //! variants, the kernel suite, and the fault-injection mutants as
 //! `mutant:<index>` / `mutant-original:<index>`), so shell pipelines can
@@ -60,6 +76,9 @@ arrayeq — functional equivalence checker for array-intensive programs
 
 USAGE:
     arrayeq verify <original.c> <transformed.c> [OPTIONS]
+    arrayeq serve (--socket <path> | --stdio) [OPTIONS]
+    arrayeq client --socket <path> <verify <a.c> <b.c> | ping | stats |
+                                    checkpoint | shutdown> [OPTIONS]
     arrayeq corpus --list
     arrayeq corpus <name>
     arrayeq help
@@ -106,6 +125,28 @@ VERIFY OPTIONS:
     --metrics                 print session latency histograms (feasibility,
                               composition, flatten, match) as JSON on
                               stderr after the outcome
+    --store <dir>             attach a persistent proof store: load proven
+                              sub-proofs on startup, flush this run's on
+                              exit.  Corrupt/incompatible stores degrade to
+                              a cold start with a warning; verdicts never
+                              change
+
+SERVE OPTIONS:
+    --socket <path>           listen on a Unix socket at <path>
+    --stdio                   serve exactly one session on stdin/stdout
+    --store <dir>             persistent proof store (loaded on start,
+                              flushed periodically and on shutdown)
+    --flush-every <N>         flush the store every N verifies (default 64,
+                              0 = only on checkpoint/shutdown)
+    plus the verify engine options: --method, --declare-op, --witnesses,
+    --jobs, --deadline-ms, --max-work (per-request budgets in the protocol
+    override the daemon defaults)
+
+CLIENT OPTIONS:
+    --socket <path>           daemon socket to connect to (required)
+    --json                    verify: print the raw response document
+    --witnesses, --deadline-ms <N>, --max-work <N>
+                              verify: per-request overrides
 
 EXIT CODES:
     0 equivalent, 1 not equivalent, 2 inconclusive,
@@ -125,6 +166,8 @@ fn usage_error(message: &str) -> i32 {
 fn run(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("verify") => run_verify(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
+        Some("client") => run_client(&args[1..]),
         Some("corpus") => run_corpus(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
@@ -152,6 +195,7 @@ struct VerifyArgs {
     trace_chrome: bool,
     explain: bool,
     metrics: bool,
+    store: Option<String>,
 }
 
 fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
@@ -173,6 +217,7 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
         trace_chrome: false,
         explain: false,
         metrics: false,
+        store: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -226,6 +271,7 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
             }
             "--explain" => parsed.explain = true,
             "--metrics" => parsed.metrics = true,
+            "--store" => parsed.store = Some(value_of("--store")?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             file => files.push(file.to_owned()),
         }
@@ -290,7 +336,13 @@ fn run_verify(args: &[String]) -> i32 {
     if parsed.metrics {
         builder = builder.metrics(true);
     }
+    if let Some(dir) = &parsed.store {
+        builder = builder.store(dir.clone());
+    }
     let verifier = builder.build();
+    for warning in verifier.store_warnings() {
+        eprintln!("warning: {warning}");
+    }
 
     // A named-but-unreadable baseline is a hard error (the operator asked
     // for incremental mode and pointed at nothing); a readable-but-unusable
@@ -356,6 +408,16 @@ fn run_verify(args: &[String]) -> i32 {
         }
     }
 
+    // The operator asked for persistence, so failing to write it is a hard
+    // error — mirroring --emit-baseline, and unlike the load path, which
+    // degrades (a bad existing store must never block a verification).
+    if parsed.store.is_some() {
+        if let Err(e) = verifier.flush_store() {
+            eprintln!("error: cannot flush proof store: {e}");
+            return EXIT_ERROR;
+        }
+    }
+
     if let Some(dot_path) = &parsed.dot {
         match render_dot(&transformed, &outcome) {
             Ok(dot) => {
@@ -400,6 +462,249 @@ fn run_verify(args: &[String]) -> i32 {
         Verdict::Equivalent => EXIT_EQUIVALENT,
         Verdict::NotEquivalent => EXIT_NOT_EQUIVALENT,
         Verdict::Inconclusive => EXIT_INCONCLUSIVE,
+    }
+}
+
+/// `arrayeq serve`: the long-lived verification daemon.  Engine options
+/// mirror `verify`; clients override budgets per request.
+fn run_serve(args: &[String]) -> i32 {
+    let mut socket: Option<String> = None;
+    let mut stdio = false;
+    let mut store: Option<String> = None;
+    let mut config = arrayeq_serve::ServeConfig::default();
+    let mut method = arrayeq_core::Method::Extended;
+    let mut declare_ops: Vec<String> = Vec::new();
+    let mut witnesses = false;
+    let mut jobs: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_work: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let parse_int = |flag: &str, v: Result<String, String>| -> Result<u64, String> {
+            v?.parse().map_err(|_| format!("{flag} needs an integer"))
+        };
+        let result: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--socket" => socket = Some(value_of("--socket")?),
+                "--stdio" => stdio = true,
+                "--store" => store = Some(value_of("--store")?),
+                "--flush-every" => {
+                    config.flush_every =
+                        parse_int("--flush-every", value_of("--flush-every"))? as usize
+                }
+                "--method" => {
+                    method = match value_of("--method")?.as_str() {
+                        "basic" => arrayeq_core::Method::Basic,
+                        "extended" => arrayeq_core::Method::Extended,
+                        other => return Err(format!("unknown method `{other}`")),
+                    }
+                }
+                "--declare-op" => declare_ops.push(value_of("--declare-op")?),
+                "--witnesses" => witnesses = true,
+                "--jobs" => jobs = Some(parse_int("--jobs", value_of("--jobs"))? as usize),
+                "--deadline-ms" => {
+                    deadline_ms = Some(parse_int("--deadline-ms", value_of("--deadline-ms"))?)
+                }
+                "--max-work" => max_work = Some(parse_int("--max-work", value_of("--max-work"))?),
+                other => return Err(format!("unknown serve argument `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(message) = result {
+            return usage_error(&message);
+        }
+    }
+    if stdio == socket.is_some() {
+        return usage_error("serve needs exactly one of --socket <path> or --stdio");
+    }
+
+    let mut operators = arrayeq_core::OperatorProperties::default();
+    for decl in &declare_ops {
+        operators = match operators.declare_spec(decl) {
+            Ok(ops) => ops,
+            Err(message) => return usage_error(&message),
+        };
+    }
+    let mut builder = Verifier::builder()
+        .method(method)
+        .operators(operators)
+        .witnesses(witnesses);
+    if let Some(ms) = deadline_ms {
+        builder = builder.deadline(Duration::from_millis(ms));
+    }
+    if let Some(w) = max_work {
+        builder = builder.max_work(w);
+    }
+    if let Some(j) = jobs {
+        builder = builder.jobs(j);
+    }
+    if let Some(dir) = &store {
+        builder = builder.store(dir.clone());
+    }
+    let verifier = builder.build();
+    for warning in verifier.store_warnings() {
+        eprintln!("warning: {warning}");
+    }
+
+    let server = arrayeq_serve::Server::new(verifier, config);
+    let result = if stdio {
+        server.run_stdio()
+    } else {
+        let path = socket.expect("checked above");
+        eprintln!("arrayeq serve: listening on {path}");
+        server.run_unix(std::path::Path::new(&path))
+    };
+    match result {
+        Ok(()) => {
+            eprintln!("arrayeq serve: shut down cleanly");
+            EXIT_EQUIVALENT
+        }
+        Err(e) => {
+            eprintln!("error: serve failed: {e}");
+            EXIT_ERROR
+        }
+    }
+}
+
+/// `arrayeq client`: a one-shot protocol client.  `client verify` mirrors
+/// the `verify` exit-code contract; control commands print the raw
+/// response line.
+fn run_client(args: &[String]) -> i32 {
+    use arrayeq_serve::client::{
+        control_request_line, response_verdict, verify_request_line, Client, VerifyParams,
+    };
+
+    let mut socket: Option<String> = None;
+    let mut json = false;
+    let mut params = VerifyParams::default();
+    let mut words: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--socket" => socket = Some(value_of("--socket")?),
+                "--json" => json = true,
+                "--witnesses" => params.witnesses = Some(true),
+                "--deadline-ms" => {
+                    params.deadline_ms = Some(
+                        value_of("--deadline-ms")?
+                            .parse()
+                            .map_err(|_| "--deadline-ms needs an integer".to_string())?,
+                    )
+                }
+                "--max-work" => {
+                    params.max_work = Some(
+                        value_of("--max-work")?
+                            .parse()
+                            .map_err(|_| "--max-work needs an integer".to_string())?,
+                    )
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown client flag `{flag}`"))
+                }
+                word => words.push(word.to_owned()),
+            }
+            Ok(())
+        })();
+        if let Err(message) = result {
+            return usage_error(&message);
+        }
+    }
+    let Some(socket) = socket else {
+        return usage_error("client needs --socket <path>");
+    };
+    let connect = || -> Result<Client, i32> {
+        Client::connect(std::path::Path::new(&socket)).map_err(|e| {
+            eprintln!("error: cannot connect to `{socket}`: {e}");
+            EXIT_ERROR
+        })
+    };
+
+    match words.first().map(String::as_str) {
+        Some("verify") => {
+            if words.len() != 3 {
+                return usage_error("client verify needs exactly 2 input files");
+            }
+            let read = |path: &str| -> Result<String, i32> {
+                std::fs::read_to_string(path).map_err(|e| {
+                    eprintln!("error: cannot read `{path}`: {e}");
+                    EXIT_ERROR
+                })
+            };
+            let original = match read(&words[1]) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let transformed = match read(&words[2]) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let mut client = match connect() {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            let line = verify_request_line(1, &original, &transformed, &params);
+            let response = match client.request(&line) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: daemon connection failed: {e}");
+                    return EXIT_ERROR;
+                }
+            };
+            if json {
+                println!("{response}");
+            }
+            match response_verdict(&response) {
+                Ok(verdict) => {
+                    if !json {
+                        println!("verdict: {}", verdict.replace('_', " "));
+                    }
+                    match verdict.as_str() {
+                        "equivalent" => EXIT_EQUIVALENT,
+                        "not_equivalent" => EXIT_NOT_EQUIVALENT,
+                        _ => EXIT_INCONCLUSIVE,
+                    }
+                }
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    EXIT_ERROR
+                }
+            }
+        }
+        Some(cmd @ ("ping" | "stats" | "checkpoint" | "shutdown")) => {
+            let mut client = match connect() {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.request(&control_request_line(1, cmd)) {
+                Ok(response) => {
+                    println!("{response}");
+                    if response.contains("\"ok\":true") {
+                        EXIT_EQUIVALENT
+                    } else {
+                        EXIT_ERROR
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: daemon connection failed: {e}");
+                    EXIT_ERROR
+                }
+            }
+        }
+        Some(other) => usage_error(&format!("unknown client command `{other}`")),
+        None => usage_error("client needs a command (verify/ping/stats/checkpoint/shutdown)"),
     }
 }
 

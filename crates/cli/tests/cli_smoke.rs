@@ -492,3 +492,152 @@ fn metrics_flag_prints_histogram_snapshot_on_stderr() {
         .iter()
         .any(|m| m.get("count").and_then(JsonValue::as_i64).unwrap_or(0) > 0));
 }
+
+#[test]
+fn store_loop_discharges_on_the_second_run_and_survives_corruption() {
+    let dir = temp_dir("store");
+    let a = write_corpus(&dir, "fig1a");
+    let c = write_corpus(&dir, "fig1c");
+    let store = dir.join("proofstore");
+    let _ = std::fs::remove_dir_all(&store);
+    let args = [
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--store",
+        store.to_str().unwrap(),
+        "--json",
+    ];
+
+    let cold = arrayeq(&args);
+    assert_eq!(cold.status.code(), Some(0));
+    let doc = JsonValue::parse(std::str::from_utf8(&cold.stdout).unwrap()).unwrap();
+    let store_hits = |doc: &JsonValue| {
+        doc.get("report")
+            .and_then(|r| r.get("stats"))
+            .and_then(|s| s.get("store_hits"))
+            .and_then(JsonValue::as_i64)
+            .unwrap()
+    };
+    assert_eq!(store_hits(&doc), 0, "first run has nothing to reuse");
+
+    let warm = arrayeq(&args);
+    assert_eq!(warm.status.code(), Some(0));
+    let warm_doc = JsonValue::parse(std::str::from_utf8(&warm.stdout).unwrap()).unwrap();
+    assert!(
+        store_hits(&warm_doc) > 0,
+        "second run discharges from the store: {}",
+        String::from_utf8_lossy(&warm.stdout)
+    );
+    // Store reuse never changes the verdict-bearing content.
+    assert_eq!(
+        doc.get("report").unwrap().get("verdict").unwrap().as_str(),
+        warm_doc
+            .get("report")
+            .unwrap()
+            .get("verdict")
+            .unwrap()
+            .as_str(),
+    );
+
+    // Corrupt every store file: the run degrades to cold with a typed
+    // warning on stderr, same verdict, exit 0.
+    for entry in std::fs::read_dir(&store).unwrap() {
+        std::fs::write(entry.unwrap().path(), "garbage\n").unwrap();
+    }
+    let degraded = arrayeq(&args);
+    assert_eq!(degraded.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&degraded.stderr);
+    assert!(
+        stderr.contains("warning: proof store"),
+        "typed warning surfaced: {stderr}"
+    );
+    let degraded_doc = JsonValue::parse(std::str::from_utf8(&degraded.stdout).unwrap()).unwrap();
+    assert_eq!(store_hits(&degraded_doc), 0, "corrupt store seeds nothing");
+    assert_eq!(
+        degraded_doc
+            .get("report")
+            .unwrap()
+            .get("verdict")
+            .unwrap()
+            .as_str(),
+        Some("equivalent")
+    );
+}
+
+#[test]
+fn serve_daemon_round_trip_with_warm_restart() {
+    let dir = temp_dir("serve");
+    let a = write_corpus(&dir, "fig1a");
+    let c = write_corpus(&dir, "fig1c");
+    let original = write_corpus(&dir, "mutant-original:0");
+    let mutant = write_corpus(&dir, "mutant:0");
+    let store = dir.join("servestore");
+    let socket = dir.join("daemon.sock");
+    let _ = std::fs::remove_dir_all(&store);
+    let _ = std::fs::remove_file(&socket);
+
+    let spawn_daemon = || {
+        let child = Command::new(env!("CARGO_BIN_EXE_arrayeq"))
+            .args([
+                "serve",
+                "--socket",
+                socket.to_str().unwrap(),
+                "--store",
+                store.to_str().unwrap(),
+            ])
+            .spawn()
+            .expect("daemon starts");
+        for _ in 0..200 {
+            if socket.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        child
+    };
+    let client = |words: &[&str]| {
+        let mut args = vec!["client", "--socket", socket.to_str().unwrap()];
+        args.extend_from_slice(words);
+        arrayeq(&args)
+    };
+
+    let mut daemon = spawn_daemon();
+    let ping = client(&["ping"]);
+    assert_eq!(ping.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&ping.stdout).contains("pong"));
+
+    let eq = client(&["verify", a.to_str().unwrap(), c.to_str().unwrap()]);
+    assert_eq!(eq.status.code(), Some(0), "equivalent over the socket");
+    let neq = client(&[
+        "verify",
+        original.to_str().unwrap(),
+        mutant.to_str().unwrap(),
+    ]);
+    assert_eq!(neq.status.code(), Some(1), "fault mutant rejected");
+
+    let down = client(&["shutdown"]);
+    assert_eq!(down.status.code(), Some(0));
+    let status = daemon.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0), "clean shutdown");
+    assert!(store.exists(), "shutdown flushed the store");
+
+    // Restart on the same store: the warm daemon discharges from disk —
+    // persistence across processes, not just the in-memory table.
+    let mut daemon = spawn_daemon();
+    let warm = client(&["verify", a.to_str().unwrap(), c.to_str().unwrap(), "--json"]);
+    assert_eq!(warm.status.code(), Some(0));
+    let line = String::from_utf8_lossy(&warm.stdout);
+    let doc = JsonValue::parse(line.trim()).expect("response parses");
+    let store_hits = doc
+        .get("result")
+        .and_then(|r| r.get("report"))
+        .and_then(|r| r.get("stats"))
+        .and_then(|s| s.get("store_hits"))
+        .and_then(JsonValue::as_i64)
+        .unwrap();
+    assert!(store_hits > 0, "warm restart discharges from disk: {line}");
+
+    assert_eq!(client(&["shutdown"]).status.code(), Some(0));
+    assert_eq!(daemon.wait().unwrap().code(), Some(0));
+}

@@ -1,6 +1,6 @@
 //! The synchronized ADDG traversal (Section 5 of the paper).
 
-use crate::context::{BudgetExhausted, CheckContext, SharedTableKey};
+use crate::context::{BudgetExhausted, CheckContext, SharedTableKey, TableProvenance};
 use crate::diagnostics::{Diagnostic, DiagnosticKind};
 use crate::normalize::{self, TermArena};
 use crate::operators::OperatorProperties;
@@ -975,9 +975,14 @@ impl Checker<'_> {
         // whole sub-traversal here.
         if let (Some(k), Some(shared)) = (shared_key.as_ref(), self.ctx.shared_table) {
             self.stats.shared_table_lookups += 1;
-            if shared.get(k) == Some(true) {
+            if let Some((true, provenance)) = shared.get_with_provenance(k) {
                 self.stats.shared_table_hits += 1;
-                arrayeq_trace::discharge("shared_table");
+                if provenance == TableProvenance::Store {
+                    self.stats.store_hits += 1;
+                    arrayeq_trace::discharge("store");
+                } else {
+                    arrayeq_trace::discharge("shared_table");
+                }
                 return Ok(true);
             }
         }

@@ -97,6 +97,23 @@ pub trait SharedEquivalenceTable: Send + Sync {
     fn get(&self, key: &SharedTableKey) -> Option<bool>;
     /// Records an established sub-equivalence.
     fn put(&self, key: SharedTableKey, established: bool);
+    /// Looks up an established sub-equivalence together with where it came
+    /// from, so the checker can report store-discharged proofs separately
+    /// from in-memory hits.  The default maps [`Self::get`] to
+    /// [`TableProvenance::Memory`], which is correct for any implementation
+    /// that never seeds entries from a persistent store.
+    fn get_with_provenance(&self, key: &SharedTableKey) -> Option<(bool, TableProvenance)> {
+        self.get(key).map(|e| (e, TableProvenance::Memory))
+    }
+}
+
+/// Where a [`SharedEquivalenceTable`] answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableProvenance {
+    /// Established by a query of this process's session.
+    Memory,
+    /// Seeded from a persistent on-disk proof store at engine startup.
+    Store,
 }
 
 /// A read-only store of sub-proofs carried over from an earlier run — the

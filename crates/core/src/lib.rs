@@ -58,7 +58,7 @@ pub use checker::{
 };
 pub use context::{
     BaselineProofs, BudgetExhausted, CancelToken, CheckContext, SharedEquivalenceTable,
-    SharedTableKey,
+    SharedTableKey, TableProvenance,
 };
 pub use diagnostics::{Diagnostic, DiagnosticKind};
 pub use operators::{OperatorClass, OperatorProperties};

@@ -81,6 +81,11 @@ pub struct CheckStats {
     pub shared_table_hits: u64,
     /// Sub-proofs published to the cross-query shared equivalence table.
     pub shared_table_inserts: u64,
+    /// Sub-problems discharged by entries the shared table was *seeded* with
+    /// from a persistent on-disk proof store (a subset of
+    /// [`CheckStats::shared_table_hits`]) — hits on entries established by
+    /// this process's own session are counted as plain shared-table hits.
+    pub store_hits: u64,
     /// Output obligations inside the dirty cone of an incremental run — the
     /// outputs actually traversed after baseline-clean outputs were skipped
     /// via [`crate::CheckOptions::assume_clean`].  0 when no cone focus was
@@ -125,12 +130,14 @@ impl CheckStats {
         self.shared_table_lookups += other.shared_table_lookups;
         self.shared_table_hits += other.shared_table_hits;
         self.shared_table_inserts += other.shared_table_inserts;
+        self.store_hits += other.store_hits;
         self.cone_positions += other.cone_positions;
         self.baseline_hits += other.baseline_hits;
         self.check_time_us += other.check_time_us;
         self.witness_time_us += other.witness_time_us;
         debug_assert!(self.table_hits <= self.table_lookups);
         debug_assert!(self.shared_table_hits <= self.shared_table_lookups);
+        debug_assert!(self.store_hits <= self.shared_table_hits);
     }
 
     /// Fraction of tabling lookups answered from the cache (0.0 when the
@@ -359,6 +366,12 @@ impl Report {
                 self.stats.shared_table_lookups,
                 self.stats.combined_hit_rate() * 100.0,
                 self.stats.shared_table_inserts,
+            ));
+        }
+        if self.stats.store_hits > 0 {
+            out.push_str(&format!(
+                "proof store: {} sub-proofs discharged from the persistent store\n",
+                self.stats.store_hits,
             ));
         }
         if self.stats.baseline_hits > 0 || self.stats.cone_positions > 0 {

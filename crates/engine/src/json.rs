@@ -29,19 +29,20 @@ fn escape(s: &str) -> String {
     out
 }
 
-pub(crate) fn string(s: &str) -> String {
+/// Renders `s` as a JSON string literal (quoted and escaped).
+pub fn string(s: &str) -> String {
     format!("\"{}\"", escape(s))
 }
 
 /// Renders a 64-bit fingerprint as a fixed-width lowercase hex *string*.
 /// Fingerprints use the full u64 range, and JSON integers are parsed as
 /// `i64` here, so a numeric spelling would overflow for half of all hashes.
-pub(crate) fn hex64(v: u64) -> String {
+pub fn hex64(v: u64) -> String {
     format!("\"{v:016x}\"")
 }
 
 /// Parses a fingerprint spelled by [`hex64`].
-pub(crate) fn parse_hex64(v: &JsonValue) -> Option<u64> {
+pub fn parse_hex64(v: &JsonValue) -> Option<u64> {
     u64::from_str_radix(v.as_str()?, 16).ok()
 }
 
@@ -113,7 +114,8 @@ pub fn stats_to_json(s: &CheckStats) -> String {
             "\"fast_term_matches\":{},\"term_memo_hits\":{},",
             "\"parallel_tasks\":{},\"algebraic_piece_tasks\":{},",
             "\"shared_table_lookups\":{},\"shared_table_hits\":{},",
-            "\"shared_table_inserts\":{},\"cone_positions\":{},\"baseline_hits\":{},",
+            "\"shared_table_inserts\":{},\"store_hits\":{},",
+            "\"cone_positions\":{},\"baseline_hits\":{},",
             "\"check_time_us\":{},\"witness_time_us\":{}}}"
         ),
         s.paths_compared,
@@ -135,6 +137,7 @@ pub fn stats_to_json(s: &CheckStats) -> String {
         s.shared_table_lookups,
         s.shared_table_hits,
         s.shared_table_inserts,
+        s.store_hits,
         s.cone_positions,
         s.baseline_hits,
         s.check_time_us,
@@ -165,6 +168,7 @@ pub fn stats_from_json(v: &JsonValue) -> Option<CheckStats> {
         shared_table_lookups: g("shared_table_lookups")?,
         shared_table_hits: g("shared_table_hits")?,
         shared_table_inserts: g("shared_table_inserts")?,
+        store_hits: g("store_hits")?,
         cone_positions: g("cone_positions")?,
         baseline_hits: g("baseline_hits")?,
         check_time_us: g("check_time_us")?,
@@ -263,6 +267,7 @@ pub fn session_to_json(s: &SessionStats) -> String {
             "\"shared_table_lookups\":{},\"shared_table_hits\":{},",
             "\"feasibility_entries\":{},\"feasibility_hits\":{},",
             "\"feasibility_misses\":{},\"table_lookups\":{},\"table_hits\":{},",
+            "\"store_hits\":{},\"store_eq_loaded\":{},\"store_fs_loaded\":{},",
             "\"check_time_us\":{},\"witness_time_us\":{}}}"
         ),
         s.queries,
@@ -278,6 +283,9 @@ pub fn session_to_json(s: &SessionStats) -> String {
         s.feasibility_misses,
         s.table_lookups,
         s.table_hits,
+        s.store_hits,
+        s.store_eq_loaded,
+        s.store_fs_loaded,
         s.check_time_us,
         s.witness_time_us,
     )

@@ -61,15 +61,18 @@
 mod baseline;
 mod json;
 mod shared;
+mod store;
 
 pub use baseline::{
     baseline_to_json, incremental_outcome_to_json, options_fingerprint, Baseline,
     BaselineRejection, BaselineStatus, IncrementalOutcome, BASELINE_FORMAT,
 };
 pub use json::{
-    outcome_to_json, report_to_json, session_to_json, stats_from_json, stats_to_json,
-    verdict_from_str, verdict_str, witness_to_json, JsonError, JsonValue,
+    hex64, outcome_to_json, parse_hex64, report_to_json, session_to_json, stats_from_json,
+    stats_to_json, string as json_string, verdict_from_str, verdict_str, witness_to_json,
+    JsonError, JsonValue,
 };
+pub use store::{ProofStore, StoreFlush, StoreWarning, StoreWarningKind, STORE_FORMAT};
 
 /// Re-exported core vocabulary so engine users need only one import path.
 pub use arrayeq_core::{
@@ -91,6 +94,8 @@ use arrayeq_lang::parser::parse_program;
 use arrayeq_omega::{with_feasibility_cache, FeasibilityCache};
 use arrayeq_witness::extract_witnesses;
 use shared::{ShardedEquivalenceTable, SharedFeasibilityMemo};
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -153,6 +158,33 @@ impl VerifyRequest {
     }
 }
 
+/// Per-request overrides of the engine's budgets, consumed by
+/// [`Verifier::verify_with_limits`] — what lets a daemon schedule requests
+/// with different deadlines, work budgets and cancellation scopes on one
+/// shared engine.
+///
+/// Every field is *budget-only*: none is verdict-relevant (all are excluded
+/// from [`options_fingerprint`]), so overriding them per request is sound
+/// against the shared caches and the proof store.  `None` inherits the
+/// engine-wide setting.
+#[derive(Debug, Clone, Default)]
+pub struct RequestLimits {
+    /// Wall-clock budget for this request (overrides
+    /// [`VerifierBuilder::deadline`]).
+    pub deadline: Option<Duration>,
+    /// Traversal work budget for this request (overrides
+    /// [`CheckOptions::max_work`]).
+    pub max_work: Option<u64>,
+    /// Witness extraction for this request (overrides
+    /// [`VerifierBuilder::witnesses`]).
+    pub witnesses: Option<bool>,
+    /// Cancellation scope for this request.  When set, the engine-wide
+    /// token is *not* polled — the caller owns this request's cancellation
+    /// (the daemon registers one token per in-flight request so one
+    /// client's cancel never touches another's).
+    pub cancel: Option<CancelToken>,
+}
+
 /// The result of one engine query: the checker's [`Report`] (with witnesses
 /// attached when enabled), the request's wall time and a snapshot of the
 /// session counters *after* the request.
@@ -196,6 +228,16 @@ pub struct SessionStats {
     pub table_lookups: u64,
     /// Per-run tabling hits, summed over all requests.
     pub table_hits: u64,
+    /// Sub-problems discharged by entries loaded from the persistent proof
+    /// store, summed over all requests (a subset of
+    /// [`SessionStats::shared_table_hits`]).
+    pub store_hits: u64,
+    /// Equivalence entries loaded from the persistent proof store when the
+    /// engine was built (0 without a store).
+    pub store_eq_loaded: u64,
+    /// Feasibility entries loaded from the persistent proof store when the
+    /// engine was built (0 without a store).
+    pub store_fs_loaded: u64,
     /// Total check time over all requests, microseconds.
     pub check_time_us: u64,
     /// Total witness-extraction time over all requests, microseconds.
@@ -228,6 +270,7 @@ pub struct VerifierBuilder {
     cancel: CancelToken,
     trace_sink: Option<Arc<arrayeq_trace::Collector>>,
     metrics: bool,
+    store_dir: Option<PathBuf>,
 }
 
 impl Default for VerifierBuilder {
@@ -243,6 +286,7 @@ impl Default for VerifierBuilder {
             cancel: CancelToken::new(),
             trace_sink: None,
             metrics: false,
+            store_dir: None,
         }
     }
 }
@@ -386,6 +430,18 @@ impl VerifierBuilder {
         self
     }
 
+    /// Attaches a persistent on-disk proof store (see [`ProofStore`]).  At
+    /// build time the store's entries seed the cross-query equivalence
+    /// table and feasibility memo; [`Verifier::flush_store`] and
+    /// [`Verifier::checkpoint_store`] persist the session's new sub-proofs
+    /// back.  Problems inside the store files degrade to a cold start with
+    /// typed warnings ([`Verifier::store_warnings`]) — they never change
+    /// verdicts and never make [`VerifierBuilder::build`] fail.
+    pub fn store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
     /// Constructs the engine.
     pub fn build(self) -> Verifier {
         if let Some(sink) = &self.trace_sink {
@@ -396,12 +452,39 @@ impl VerifierBuilder {
             arrayeq_trace::install_metrics(m.clone());
             m
         });
+        let table = Arc::new(ShardedEquivalenceTable::new(
+            self.shards,
+            self.table_capacity,
+        ));
+        let memo = Arc::new(SharedFeasibilityMemo::new(self.shards, self.table_capacity));
+        let mut store_warnings = Vec::new();
+        let store = self.store_dir.as_ref().and_then(|dir| {
+            match ProofStore::open(dir, baseline::options_fingerprint(&self.options)) {
+                Ok(s) => Some(Arc::new(s)),
+                Err(e) => {
+                    store_warnings.push(StoreWarning {
+                        kind: StoreWarningKind::Io,
+                        file: dir.display().to_string(),
+                        message: format!("cannot open store directory ({e}); running without"),
+                    });
+                    None
+                }
+            }
+        });
+        let (mut store_eq_loaded, mut store_fs_loaded) = (0, 0);
+        if let Some(s) = &store {
+            store_warnings.extend(s.warnings().iter().cloned());
+            for k in s.eq_entries() {
+                table.seed(k);
+            }
+            for (k, f) in s.fs_entries() {
+                memo.seed(k, f);
+            }
+            (store_eq_loaded, store_fs_loaded) = s.loaded_counts();
+        }
         Verifier {
-            table: Arc::new(ShardedEquivalenceTable::new(
-                self.shards,
-                self.table_capacity,
-            )),
-            memo: Arc::new(SharedFeasibilityMemo::new(self.shards, self.table_capacity)),
+            table,
+            memo,
             options: self.options,
             witness_options: self.witness_options,
             witnesses: self.witnesses,
@@ -410,6 +493,10 @@ impl VerifierBuilder {
             cancel: self.cancel,
             counters: Counters::default(),
             metrics,
+            store,
+            store_warnings,
+            store_eq_loaded,
+            store_fs_loaded,
         }
     }
 }
@@ -423,6 +510,7 @@ struct Counters {
     errors: AtomicU64,
     table_lookups: AtomicU64,
     table_hits: AtomicU64,
+    store_hits: AtomicU64,
     check_time_us: AtomicU64,
     witness_time_us: AtomicU64,
 }
@@ -441,6 +529,10 @@ pub struct Verifier {
     memo: Arc<SharedFeasibilityMemo>,
     counters: Counters,
     metrics: Option<Arc<arrayeq_trace::Metrics>>,
+    store: Option<Arc<ProofStore>>,
+    store_warnings: Vec<StoreWarning>,
+    store_eq_loaded: usize,
+    store_fs_loaded: usize,
 }
 
 impl Verifier {
@@ -476,9 +568,51 @@ impl Verifier {
     /// (parse/class/def-use failures, incomparable interfaces).
     /// Inequivalence and exhausted budgets are *verdicts*, not errors.
     pub fn verify(&self, request: &VerifyRequest) -> Result<Outcome> {
+        self.verify_with_limits(request, &RequestLimits::default())
+    }
+
+    /// Runs one verification query under per-request overrides of the
+    /// engine's budgets ([`RequestLimits`]) — the daemon's scheduling
+    /// primitive.  Budgets are *not* verdict-relevant (they are excluded
+    /// from [`options_fingerprint`]), so per-request overrides are sound
+    /// against the shared caches and the proof store.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Verifier::verify`].
+    pub fn verify_with_limits(
+        &self,
+        request: &VerifyRequest,
+        limits: &RequestLimits,
+    ) -> Result<Outcome> {
         let started = Instant::now();
         let memo: Arc<dyn FeasibilityCache> = self.memo.clone();
-        let result = with_feasibility_cache(memo, || self.run_request(request));
+        let result = with_feasibility_cache(memo, || {
+            let opts_override;
+            let opts = match limits.max_work {
+                Some(w) => {
+                    opts_override = CheckOptions {
+                        max_work: w,
+                        ..self.options.clone()
+                    };
+                    &opts_override
+                }
+                None => &self.options,
+            };
+            let deadline = limits
+                .deadline
+                .or(self.deadline)
+                .map(|d| Instant::now() + d);
+            let cancel = limits.cancel.as_ref().unwrap_or(&self.cancel);
+            let ctx = CheckContext {
+                shared_table: Some(self.table.as_ref()),
+                deadline,
+                cancel: Some(cancel),
+                baseline: None,
+            };
+            let witnesses = limits.witnesses.unwrap_or(self.witnesses);
+            self.run_request_with(request, opts, &ctx, witnesses)
+        });
         self.finish(result, started)
     }
 
@@ -502,6 +636,9 @@ impl Verifier {
                 self.counters
                     .table_hits
                     .fetch_add(report.stats.table_hits, Ordering::Relaxed);
+                self.counters
+                    .store_hits
+                    .fetch_add(report.stats.store_hits, Ordering::Relaxed);
                 self.counters
                     .check_time_us
                     .fetch_add(report.stats.check_time_us, Ordering::Relaxed);
@@ -594,19 +731,22 @@ impl Verifier {
             feasibility_misses: self.memo.misses.load(Ordering::Relaxed),
             table_lookups: self.counters.table_lookups.load(Ordering::Relaxed),
             table_hits: self.counters.table_hits.load(Ordering::Relaxed),
+            store_hits: self.counters.store_hits.load(Ordering::Relaxed),
+            store_eq_loaded: self.store_eq_loaded as u64,
+            store_fs_loaded: self.store_fs_loaded as u64,
             check_time_us: self.counters.check_time_us.load(Ordering::Relaxed),
             witness_time_us: self.counters.witness_time_us.load(Ordering::Relaxed),
         }
     }
 
     /// Runs the pipeline for one request with the shared caches wired in.
-    fn run_request(&self, request: &VerifyRequest) -> Result<Report> {
-        let ctx = CheckContext {
-            shared_table: Some(self.table.as_ref()),
-            deadline: self.deadline.map(|d| Instant::now() + d),
-            cancel: Some(&self.cancel),
-            baseline: None,
-        };
+    fn run_request_with(
+        &self,
+        request: &VerifyRequest,
+        opts: &CheckOptions,
+        ctx: &CheckContext<'_>,
+        witnesses: bool,
+    ) -> Result<Report> {
         match request {
             VerifyRequest::Source {
                 original,
@@ -614,28 +754,42 @@ impl Verifier {
             } => {
                 let p1 = parse_program(original)?;
                 let p2 = parse_program(transformed)?;
-                self.check_programs(&p1, &p2, &ctx)
+                self.check_programs_with(&p1, &p2, opts, ctx, witnesses)
             }
             VerifyRequest::Programs {
                 original,
                 transformed,
-            } => self.check_programs(original, transformed, &ctx),
+            } => self.check_programs_with(original, transformed, opts, ctx, witnesses),
             VerifyRequest::Addgs {
                 original,
                 transformed,
-            } => verify_addgs_with(original, transformed, &self.options, &ctx),
+            } => verify_addgs_with(original, transformed, opts, ctx),
         }
     }
 
-    fn check_programs(
+    fn check_programs_with(
         &self,
         original: &Program,
         transformed: &Program,
+        opts: &CheckOptions,
         ctx: &CheckContext<'_>,
+        witnesses: bool,
     ) -> Result<Report> {
-        let mut report = verify_programs_with(original, transformed, &self.options, ctx)?;
-        self.attach_witnesses(original, transformed, &mut report, ctx)?;
+        let mut report = verify_programs_with(original, transformed, opts, ctx)?;
+        self.attach_witnesses_with(original, transformed, &mut report, ctx, witnesses)?;
         Ok(report)
+    }
+
+    /// [`Verifier::attach_witnesses_with`] at the engine's own witness
+    /// setting — the incremental path's entry point.
+    fn attach_witnesses(
+        &self,
+        original: &Program,
+        transformed: &Program,
+        report: &mut Report,
+        ctx: &CheckContext<'_>,
+    ) -> Result<()> {
+        self.attach_witnesses_with(original, transformed, report, ctx, self.witnesses)
     }
 
     /// Attaches replay-confirmed counterexamples to a `NotEquivalent`
@@ -646,18 +800,19 @@ impl Verifier {
     /// whose wall-clock budget is already spent (or that was cancelled)
     /// must not start it: the NotEquivalent verdict stands, just without
     /// counterexamples attached.
-    fn attach_witnesses(
+    fn attach_witnesses_with(
         &self,
         original: &Program,
         transformed: &Program,
         report: &mut Report,
         ctx: &CheckContext<'_>,
+        enabled: bool,
     ) -> Result<()> {
-        let budget_left = !self.cancel.is_cancelled()
+        let budget_left = !ctx.cancel.is_some_and(CancelToken::is_cancelled)
             && ctx
                 .deadline
                 .is_none_or(|deadline| Instant::now() < deadline);
-        if self.witnesses && budget_left && report.verdict == Verdict::NotEquivalent {
+        if enabled && budget_left && report.verdict == Verdict::NotEquivalent {
             let started = Instant::now();
             report.witnesses =
                 extract_witnesses(original, transformed, report, &self.witness_options)?;
@@ -671,6 +826,54 @@ impl Verifier {
     /// import (see [`options_fingerprint`]).
     pub fn options_fingerprint(&self) -> u64 {
         baseline::options_fingerprint(&self.options)
+    }
+
+    /// Whether a persistent proof store is attached to this engine.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Typed warnings collected while opening the proof store (empty
+    /// without a store, or when the store was clean).
+    pub fn store_warnings(&self) -> &[StoreWarning] {
+        &self.store_warnings
+    }
+
+    /// The attached store's current compaction epoch, when one is attached.
+    pub fn store_epoch(&self) -> Option<u64> {
+        self.store.as_ref().map(|s| s.epoch())
+    }
+
+    /// Persists the session's established sub-proofs (cross-query table and
+    /// feasibility memo) to the attached store's append-only log, skipping
+    /// entries already on disk.  `Ok(None)` without a store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures writing the store files.
+    pub fn flush_store(&self) -> io::Result<Option<StoreFlush>> {
+        match &self.store {
+            None => Ok(None),
+            Some(s) => s
+                .flush(self.table.proven_entries(), self.memo.snapshot_entries())
+                .map(Some),
+        }
+    }
+
+    /// Compacts the attached store into a fresh snapshot carrying
+    /// everything persisted so far plus the session's established
+    /// sub-proofs, bumping the epoch and truncating the log.  Returns the
+    /// new epoch; `Ok(None)` without a store or when the store's writes are
+    /// disabled (options mismatch on disk).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures writing the store files.
+    pub fn checkpoint_store(&self) -> io::Result<Option<u64>> {
+        match &self.store {
+            None => Ok(None),
+            Some(s) => s.checkpoint(self.table.proven_entries(), self.memo.snapshot_entries()),
+        }
     }
 
     /// Exports a baseline for later incremental re-verification: this

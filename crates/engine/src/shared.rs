@@ -8,7 +8,7 @@
 //! shard fills up it is cleared wholesale — cheap, and the working set of an
 //! active session refills quickly.
 
-use arrayeq_core::{SharedEquivalenceTable, SharedTableKey};
+use arrayeq_core::{SharedEquivalenceTable, SharedTableKey, TableProvenance};
 use arrayeq_omega::FeasibilityCache;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -78,11 +78,18 @@ impl<K: std::hash::Hash + Eq + Clone + Ord, V: Copy> Striped<K, V> {
 
 /// The cross-query equivalence table shared by every query (and worker
 /// thread) of one [`crate::Verifier`].
+///
+/// Each value carries a provenance bit: entries established by this
+/// process's own queries are [`TableProvenance::Memory`]; entries seeded at
+/// startup from a persistent [`crate::ProofStore`] are
+/// [`TableProvenance::Store`], so the checker can report store-discharged
+/// proofs separately from in-memory reuse.
 pub(crate) struct ShardedEquivalenceTable {
-    map: Striped<SharedTableKey, bool>,
+    map: Striped<SharedTableKey, (bool, TableProvenance)>,
     pub(crate) lookups: AtomicU64,
     pub(crate) hits: AtomicU64,
     pub(crate) inserts: AtomicU64,
+    pub(crate) seeded: AtomicU64,
 }
 
 impl ShardedEquivalenceTable {
@@ -92,11 +99,24 @@ impl ShardedEquivalenceTable {
             lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            seeded: AtomicU64::new(0),
         }
     }
 
     pub(crate) fn entries(&self) -> usize {
         self.map.len()
+    }
+
+    /// Seeds an entry loaded from a persistent proof store.  Stored entries
+    /// are always positive assumption-free sub-proofs (the flush path writes
+    /// only [`ShardedEquivalenceTable::proven_entries`]), so the value is
+    /// `true` by construction; seeding bypasses the insert counter so
+    /// session stats keep reporting only sub-proofs published by this
+    /// process's own queries.
+    pub(crate) fn seed(&self, key: SharedTableKey) {
+        self.seeded.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .put(table_spread(&key), key, (true, TableProvenance::Store));
     }
 
     /// Every *established* sub-proof currently held, in key order.  The
@@ -108,7 +128,7 @@ impl ShardedEquivalenceTable {
         self.map
             .snapshot()
             .into_iter()
-            .filter_map(|(k, established)| established.then_some(k))
+            .filter_map(|(k, (established, _))| established.then_some(k))
             .collect()
     }
 }
@@ -119,17 +139,25 @@ fn table_spread(key: &SharedTableKey) -> u64 {
 
 impl SharedEquivalenceTable for ShardedEquivalenceTable {
     fn get(&self, key: &SharedTableKey) -> Option<bool> {
+        self.get_with_provenance(key).map(|(e, _)| e)
+    }
+
+    fn put(&self, key: SharedTableKey, established: bool) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.map.put(
+            table_spread(&key),
+            key,
+            (established, TableProvenance::Memory),
+        );
+    }
+
+    fn get_with_provenance(&self, key: &SharedTableKey) -> Option<(bool, TableProvenance)> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let found = self.map.get(table_spread(key), key);
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         found
-    }
-
-    fn put(&self, key: SharedTableKey, established: bool) {
-        self.inserts.fetch_add(1, Ordering::Relaxed);
-        self.map.put(table_spread(&key), key, established);
     }
 }
 
@@ -153,6 +181,19 @@ impl SharedFeasibilityMemo {
 
     pub(crate) fn entries(&self) -> usize {
         self.map.len()
+    }
+
+    /// Seeds an entry loaded from a persistent proof store without touching
+    /// the hit/miss counters.  Feasibility keys are content hashes of the
+    /// relation being tested, so persisted entries mean the same thing in
+    /// every process.
+    pub(crate) fn seed(&self, key: u64, feasible: bool) {
+        self.map.put(spread(key), key, feasible);
+    }
+
+    /// A point-in-time copy of the memo in key order, for persisting.
+    pub(crate) fn snapshot_entries(&self) -> Vec<(u64, bool)> {
+        self.map.snapshot()
     }
 }
 

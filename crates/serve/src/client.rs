@@ -1,0 +1,228 @@
+//! A small blocking client for the daemon protocol, used by
+//! `arrayeq client`, the bench load generator and the serve tests.
+//!
+//! [`Client::request`] is the simple call-response path.  The split
+//! [`Client::send`] / [`Client::recv`] pair exists so tests can put a
+//! verify in flight and then race a `cancel` past it — the reader thread
+//! on the server answers control messages ahead of queued work, so
+//! responses can arrive out of request order; match them up by `id`.
+
+use arrayeq_engine::{json_string, JsonValue};
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// One open connection to a daemon.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+    greeting: String,
+}
+
+impl Client {
+    /// Connects to the daemon socket at `path` and reads the greeting line.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the socket is absent/refusing or the greeting never
+    /// arrives.
+    pub fn connect(path: &Path) -> io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let mut greeting = String::new();
+        if reader.read_line(&mut greeting)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before greeting",
+            ));
+        }
+        Ok(Client {
+            reader,
+            writer,
+            greeting: greeting.trim().to_owned(),
+        })
+    }
+
+    /// The greeting line the server sent on connect.
+    pub fn greeting(&self) -> &str {
+        &self.greeting
+    }
+
+    /// Sends one request line (newline appended here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Receives the next response line, whichever request it answers.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the server closed the connection.
+    pub fn recv(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim().to_owned())
+    }
+
+    /// Sends one request and returns the next response line.  Only valid
+    /// when no other request is outstanding on this connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures from either direction.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        self.send(line)?;
+        self.recv()
+    }
+
+    /// Verifies a source pair and returns the raw response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures; a protocol-level failure comes back as
+    /// an `"ok":false` response line, not an `Err`.
+    pub fn verify(&mut self, id: u64, original: &str, transformed: &str) -> io::Result<String> {
+        self.request(&verify_request_line(
+            id,
+            original,
+            transformed,
+            &VerifyParams::default(),
+        ))
+    }
+}
+
+/// Optional per-request budget overrides for [`verify_request_line`].
+#[derive(Debug, Clone, Default)]
+pub struct VerifyParams {
+    /// Witness-extraction override.
+    pub witnesses: Option<bool>,
+    /// Wall-clock budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Traversal work budget.
+    pub max_work: Option<u64>,
+}
+
+/// Renders a `verify` request line for the given pair and budgets.
+pub fn verify_request_line(
+    id: u64,
+    original: &str,
+    transformed: &str,
+    params: &VerifyParams,
+) -> String {
+    let mut line = format!(
+        "{{\"id\":{id},\"cmd\":\"verify\",\"original\":{},\"transformed\":{}",
+        json_string(original),
+        json_string(transformed),
+    );
+    if let Some(w) = params.witnesses {
+        line.push_str(&format!(",\"witnesses\":{w}"));
+    }
+    if let Some(d) = params.deadline_ms {
+        line.push_str(&format!(",\"deadline_ms\":{d}"));
+    }
+    if let Some(m) = params.max_work {
+        line.push_str(&format!(",\"max_work\":{m}"));
+    }
+    line.push('}');
+    line
+}
+
+/// Renders a control request line (`ping`, `stats`, `checkpoint`,
+/// `shutdown`).
+pub fn control_request_line(id: u64, cmd: &str) -> String {
+    format!("{{\"id\":{id},\"cmd\":{}}}", json_string(cmd))
+}
+
+/// Renders a `cancel` request line targeting verify `target`.
+pub fn cancel_request_line(id: u64, target: u64) -> String {
+    format!("{{\"id\":{id},\"cmd\":\"cancel\",\"target\":{target}}}")
+}
+
+/// Pulls the engine verdict string out of a `verify` response line, or the
+/// error message out of a failed one.
+///
+/// # Errors
+///
+/// Returns the response's `error` text (or a description of the malformed
+/// line) as `Err`.
+pub fn response_verdict(line: &str) -> Result<String, String> {
+    let v = JsonValue::parse(line).map_err(|e| format!("malformed response: {e}"))?;
+    if v.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+        return Err(v
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("request failed")
+            .to_owned());
+    }
+    v.get("result")
+        .and_then(|r| r.get("report"))
+        .and_then(|r| r.get("verdict"))
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| "response without verdict".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol;
+
+    #[test]
+    fn request_lines_are_valid_protocol() {
+        let line = verify_request_line(
+            5,
+            "int a[4];\n",
+            "int b\"x\";",
+            &VerifyParams {
+                witnesses: Some(false),
+                deadline_ms: Some(100),
+                max_work: None,
+            },
+        );
+        match protocol::parse_request(&line).unwrap() {
+            protocol::Request::Verify {
+                id,
+                original,
+                witnesses,
+                deadline_ms,
+                max_work,
+                ..
+            } => {
+                assert_eq!(id, 5);
+                assert_eq!(original, "int a[4];\n");
+                assert_eq!(witnesses, Some(false));
+                assert_eq!(deadline_ms, Some(100));
+                assert_eq!(max_work, None);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(matches!(
+            protocol::parse_request(&control_request_line(1, "ping")).unwrap(),
+            protocol::Request::Ping { id: 1 }
+        ));
+        assert!(matches!(
+            protocol::parse_request(&cancel_request_line(2, 1)).unwrap(),
+            protocol::Request::Cancel { id: 2, target: 1 }
+        ));
+    }
+
+    #[test]
+    fn verdicts_extract_from_response_lines() {
+        let ok = "{\"id\":1,\"ok\":true,\"result\":{\"report\":{\"verdict\":\"equivalent\"}}}";
+        assert_eq!(response_verdict(ok).unwrap(), "equivalent");
+        let err = "{\"id\":1,\"ok\":false,\"error\":\"boom\"}";
+        assert_eq!(response_verdict(err).unwrap_err(), "boom");
+    }
+}

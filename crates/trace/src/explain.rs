@@ -155,6 +155,7 @@ fn bump_mechanism(list: &mut Vec<(&'static str, u64)>, raw: &str) {
     let label: &'static str = match raw {
         "local_table" => "local table",
         "shared_table" => "shared table",
+        "store" => "persistent store",
         "baseline" => "baseline",
         "coinduction" => "coinduction assumption",
         "arena_fast_match" => "arena fast-match",
