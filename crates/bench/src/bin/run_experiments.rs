@@ -16,6 +16,8 @@
 //!     [--out BENCH_PR7.json] [--quick]   # tracing-overhead snapshot
 //! cargo run --release -p arrayeq-bench --bin run_experiments -- --exp pr8 \
 //!     [--out BENCH_PR8.json] [--quick]   # persistent store + daemon snapshot
+//! cargo run --release -p arrayeq-bench --bin run_experiments -- --exp pr9 \
+//!     [--out BENCH_PR9.json] [--quick]   # checked-arithmetic overhead snapshot
 //! ```
 
 use arrayeq_bench::*;
@@ -147,6 +149,16 @@ fn main() {
             .unwrap_or_else(|| "BENCH_PR8.json".to_owned());
         let quick = args.iter().any(|a| a == "--quick");
         pr8_persistent_service(&out, quick);
+    }
+    if only.as_deref() == Some("pr9") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_PR9.json".to_owned());
+        let quick = args.iter().any(|a| a == "--quick");
+        pr9_checked_arithmetic(&out, quick);
     }
 }
 
@@ -2128,6 +2140,136 @@ fn pr8_persistent_service(out_path: &str, quick: bool) {
     println!("snapshot written to {out_path}");
     let _ = std::fs::remove_dir_all(&store_dir);
     let _ = std::fs::remove_dir_all(&identity_dir);
+}
+
+/// PR9 acceptance snapshot: the cost of overflow-*checked* solver
+/// arithmetic on the PR1 `scaling_addg_size` suite — the same workloads run
+/// with the production checked path and with the bench-only unchecked
+/// escape hatch, in one process.  Hard-asserts in-run that the checked
+/// path's geomean overhead stays within the 5% acceptance bound, that both
+/// modes agree on every verdict byte, and that no workload in the suite
+/// actually overflows (so "unchecked" is a fair timing baseline, not a
+/// wrong-answer generator).
+fn pr9_checked_arithmetic(out_path: &str, quick: bool) {
+    header(
+        "PR9",
+        "overflow-checked solver arithmetic: overhead vs unchecked on scaling_addg_size",
+    );
+    const N: i64 = 256;
+    const SEED: u64 = 11;
+    const OVERHEAD_BOUND_PCT: f64 = 5.0;
+    let (layer_counts, repeats): (&[usize], usize) = if quick {
+        (&[4, 8], 5)
+    } else {
+        (&[4, 8, 16, 32], 5)
+    };
+
+    // The unchecked flag is thread-local, so the comparison runs the
+    // sequential checker on this thread: one knob, one thread, no
+    // scheduling noise between the two modes.
+    let opts = CheckOptions::default();
+    let measure = |w: &Workload| -> (f64, arrayeq_core::Report) {
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..repeats {
+            let (r, t) = timed(|| w.check(&opts));
+            assert!(r.is_equivalent(), "pr9 workload must verify: {}", w.name);
+            best = best.min(t.as_secs_f64() * 1e3);
+            last = Some(r);
+        }
+        (best, last.expect("at least one repeat"))
+    };
+
+    println!(
+        "{:<12} {:>12} {:>14} {:>10}",
+        "statements", "checked/ms", "unchecked/ms", "overhead"
+    );
+    let mut rows = Vec::new();
+    let mut overhead_log_sum = 0.0;
+    let mut max_overhead_pct = f64::NEG_INFINITY;
+    let overflow_base = arrayeq_omega::arith_overflow_events();
+    for &layers in layer_counts {
+        let w = generated_pair(layers, N, SEED);
+        let (checked_ms, checked_report) = measure(&w);
+        arrayeq_omega::set_unchecked_solver_arithmetic(true);
+        let (unchecked_ms, unchecked_report) = measure(&w);
+        arrayeq_omega::set_unchecked_solver_arithmetic(false);
+        assert_eq!(
+            checked_report.render_stable(),
+            unchecked_report.render_stable(),
+            "checked and unchecked arithmetic must agree on every verdict byte"
+        );
+        let ratio = checked_ms / unchecked_ms;
+        let overhead_pct = (ratio - 1.0) * 100.0;
+        overhead_log_sum += ratio.ln();
+        max_overhead_pct = max_overhead_pct.max(overhead_pct);
+        println!(
+            "{:<12} {:>12.3} {:>14.3} {:>9.2}%",
+            layers + 1,
+            checked_ms,
+            unchecked_ms,
+            overhead_pct
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"statements\": {},\n",
+                "      \"checked_ms\": {:.3},\n",
+                "      \"unchecked_ms\": {:.3},\n",
+                "      \"overhead_pct\": {:.2}\n",
+                "    }}"
+            ),
+            layers + 1,
+            checked_ms,
+            unchecked_ms,
+            overhead_pct,
+        ));
+    }
+    assert_eq!(
+        arrayeq_omega::arith_overflow_events(),
+        overflow_base,
+        "the scaling suite must not overflow: unchecked timings would be meaningless"
+    );
+    let geomean_overhead_pct = ((overhead_log_sum / layer_counts.len() as f64).exp() - 1.0) * 100.0;
+    assert!(
+        geomean_overhead_pct <= OVERHEAD_BOUND_PCT,
+        "checked-arithmetic geomean overhead {geomean_overhead_pct:.2}% exceeds the \
+         {OVERHEAD_BOUND_PCT}% acceptance bound"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"PR9: overflow-checked solver arithmetic overhead vs ",
+            "bench-only unchecked mode on scaling_addg_size\",\n",
+            "  \"command\": \"cargo run --release -p arrayeq-bench --bin run_experiments ",
+            "-- --exp pr9\",\n",
+            "  \"host_parallelism\": {},\n",
+            "  \"quick\": {},\n",
+            "  \"config\": {{ \"n\": {}, \"seed\": {}, \"repeats\": {}, ",
+            "\"timing\": \"best of repeats, ms, sequential checker\" }},\n",
+            "  \"rows\": [\n{}\n  ],\n",
+            "  \"geomean_overhead_pct\": {:.2},\n",
+            "  \"max_overhead_pct\": {:.2},\n",
+            "  \"arith_overflow_events\": 0,\n",
+            "  \"acceptance\": \"hard-asserted in-run: geomean checked-vs-unchecked ",
+            "overhead <= {}%, render_stable byte-identical between modes on every ",
+            "workload, zero overflow events across the suite\"\n",
+            "}}\n"
+        ),
+        host_parallelism(),
+        quick,
+        N,
+        SEED,
+        repeats,
+        rows.join(",\n"),
+        geomean_overhead_pct,
+        max_overhead_pct,
+        OVERHEAD_BOUND_PCT,
+    );
+    std::fs::write(out_path, &json).expect("write PR9 snapshot");
+    println!("geomean checked-arithmetic overhead: {geomean_overhead_pct:.2}%");
+    println!("snapshot written to {out_path}");
 }
 
 fn e12_omega_ops() {

@@ -145,6 +145,12 @@ SERVE OPTIONS:
 CLIENT OPTIONS:
     --socket <path>           daemon socket to connect to (required)
     --json                    verify: print the raw response document
+    --retry <N>               retry connect/IO failures up to N extra times
+                              with exponential backoff + jitter, replaying
+                              the identical request (responses are matched
+                              by echoed id, so replay is idempotent).
+                              Default 0 = fail fast
+    --retry-max-ms <N>        cap on any single backoff sleep (default 2000)
     --witnesses, --deadline-ms <N>, --max-work <N>
                               verify: per-request overrides
 
@@ -577,11 +583,14 @@ fn run_serve(args: &[String]) -> i32 {
 /// response line.
 fn run_client(args: &[String]) -> i32 {
     use arrayeq_serve::client::{
-        control_request_line, response_verdict, verify_request_line, Client, VerifyParams,
+        control_request_line, request_with_retry, response_verdict, verify_request_line,
+        RetryPolicy, VerifyParams,
     };
 
     let mut socket: Option<String> = None;
     let mut json = false;
+    let mut retry: u32 = 0;
+    let mut retry_max_ms: u64 = 2_000;
     let mut params = VerifyParams::default();
     let mut words: Vec<String> = Vec::new();
 
@@ -596,6 +605,16 @@ fn run_client(args: &[String]) -> i32 {
             match arg.as_str() {
                 "--socket" => socket = Some(value_of("--socket")?),
                 "--json" => json = true,
+                "--retry" => {
+                    retry = value_of("--retry")?
+                        .parse()
+                        .map_err(|_| "--retry needs an integer".to_string())?
+                }
+                "--retry-max-ms" => {
+                    retry_max_ms = value_of("--retry-max-ms")?
+                        .parse()
+                        .map_err(|_| "--retry-max-ms needs an integer".to_string())?
+                }
                 "--witnesses" => params.witnesses = Some(true),
                 "--deadline-ms" => {
                     params.deadline_ms = Some(
@@ -625,9 +644,13 @@ fn run_client(args: &[String]) -> i32 {
     let Some(socket) = socket else {
         return usage_error("client needs --socket <path>");
     };
-    let connect = || -> Result<Client, i32> {
-        Client::connect(std::path::Path::new(&socket)).map_err(|e| {
-            eprintln!("error: cannot connect to `{socket}`: {e}");
+    let policy = RetryPolicy::with_retries(retry, retry_max_ms);
+    // All client-side failures — connection refused, broken pipe, malformed
+    // greeting, retries exhausted — land on exit code 3 with the typed
+    // ClientError's message on stderr.
+    let request = |line: &str| -> Result<String, i32> {
+        request_with_retry(std::path::Path::new(&socket), line, 1, &policy).map_err(|e| {
+            eprintln!("error: `{socket}`: {e}");
             EXIT_ERROR
         })
     };
@@ -651,17 +674,10 @@ fn run_client(args: &[String]) -> i32 {
                 Ok(s) => s,
                 Err(code) => return code,
             };
-            let mut client = match connect() {
-                Ok(c) => c,
-                Err(code) => return code,
-            };
             let line = verify_request_line(1, &original, &transformed, &params);
-            let response = match client.request(&line) {
+            let response = match request(&line) {
                 Ok(r) => r,
-                Err(e) => {
-                    eprintln!("error: daemon connection failed: {e}");
-                    return EXIT_ERROR;
-                }
+                Err(code) => return code,
             };
             if json {
                 println!("{response}");
@@ -684,11 +700,7 @@ fn run_client(args: &[String]) -> i32 {
             }
         }
         Some(cmd @ ("ping" | "stats" | "checkpoint" | "shutdown")) => {
-            let mut client = match connect() {
-                Ok(c) => c,
-                Err(code) => return code,
-            };
-            match client.request(&control_request_line(1, cmd)) {
+            match request(&control_request_line(1, cmd)) {
                 Ok(response) => {
                     println!("{response}");
                     if response.contains("\"ok\":true") {
@@ -697,10 +709,7 @@ fn run_client(args: &[String]) -> i32 {
                         EXIT_ERROR
                     }
                 }
-                Err(e) => {
-                    eprintln!("error: daemon connection failed: {e}");
-                    EXIT_ERROR
-                }
+                Err(code) => code,
             }
         }
         Some(other) => usage_error(&format!("unknown client command `{other}`")),

@@ -641,3 +641,122 @@ fn serve_daemon_round_trip_with_warm_restart() {
     assert_eq!(client(&["shutdown"]).status.code(), Some(0));
     assert_eq!(daemon.wait().unwrap().code(), Some(0));
 }
+
+#[test]
+fn client_failures_exit_three_with_typed_errors() {
+    let dir = temp_dir("clienterr");
+
+    // Connection refused: nothing listens at the socket path.
+    let missing = dir.join("nobody-home.sock");
+    let out = arrayeq(&["client", "--socket", missing.to_str().unwrap(), "ping"]);
+    assert_eq!(out.status.code(), Some(3), "connection failure is exit 3");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("cannot connect after 1 attempt"),
+        "typed connect error on stderr: {err}"
+    );
+
+    // Malformed greeting: the socket answers, but with something that is
+    // not the daemon protocol.  Not retried — retrying cannot fix a wrong
+    // server — and still exit 3.
+    let imposter = dir.join("imposter.sock");
+    let _ = std::fs::remove_file(&imposter);
+    let listener = std::os::unix::net::UnixListener::bind(&imposter).unwrap();
+    let greeter = std::thread::spawn(move || {
+        use std::io::Write;
+        let (mut stream, _) = listener.accept().unwrap();
+        stream
+            .write_all(b"220 smtp.example.com ESMTP ready\n")
+            .unwrap();
+        // Hold the stream open until the client has reacted.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    });
+    let out = arrayeq(&[
+        "client",
+        "--socket",
+        imposter.to_str().unwrap(),
+        "--retry",
+        "3",
+        "ping",
+    ]);
+    greeter.join().unwrap();
+    assert_eq!(out.status.code(), Some(3), "malformed greeting is exit 3");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("malformed greeting"),
+        "typed greeting error on stderr: {err}"
+    );
+
+    // Broken pipe: the server accepts and immediately hangs up before
+    // greeting.  Exhausts the (bounded) retries, then exit 3.
+    let flaky = dir.join("flaky.sock");
+    let _ = std::fs::remove_file(&flaky);
+    let listener = std::os::unix::net::UnixListener::bind(&flaky).unwrap();
+    let slammer = std::thread::spawn(move || {
+        for _ in 0..3 {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream);
+        }
+    });
+    let out = arrayeq(&[
+        "client",
+        "--socket",
+        flaky.to_str().unwrap(),
+        "--retry",
+        "2",
+        "--retry-max-ms",
+        "50",
+        "ping",
+    ]);
+    slammer.join().unwrap();
+    assert_eq!(out.status.code(), Some(3), "broken pipe is exit 3");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("after 3 attempt"),
+        "the error counts all attempts: {err}"
+    );
+}
+
+#[test]
+fn client_retry_rides_out_a_late_starting_daemon() {
+    let dir = temp_dir("clientretry");
+    let socket = dir.join("late.sock");
+    let _ = std::fs::remove_file(&socket);
+
+    // Start the client first: with --retry it backs off and reconnects
+    // until the daemon appears.
+    let client = Command::new(env!("CARGO_BIN_EXE_arrayeq"))
+        .args([
+            "client",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--retry",
+            "20",
+            "--retry-max-ms",
+            "100",
+            "ping",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("client starts");
+
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_arrayeq"))
+        .args(["serve", "--socket", socket.to_str().unwrap()])
+        .spawn()
+        .expect("daemon starts");
+
+    let out = client.wait_with_output().expect("client finishes");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "retrying client succeeds once the daemon is up: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("pong"));
+
+    let down = arrayeq(&["client", "--socket", socket.to_str().unwrap(), "shutdown"]);
+    assert_eq!(down.status.code(), Some(0));
+    assert_eq!(daemon.wait().unwrap().code(), Some(0));
+}

@@ -1,0 +1,230 @@
+//! Process-level fault injection: a daemon SIGKILLed in the middle of a
+//! store flush must leave a store that the next daemon heals on startup —
+//! losing at most the tail of the log, never a previously acknowledged
+//! entry, and never changing a verdict byte.
+//!
+//! The kill window is widened deterministically with the
+//! `ARRAYEQ_STORE_FSYNC_DELAY_MS` hook: the store sleeps between writing
+//! log bytes and fsyncing them, and since the daemon flushes *before*
+//! answering (with `--flush-every 1`), the appearance of `log.jsonl` on
+//! disk places the daemon inside that window with certainty.
+
+use arrayeq_engine::JsonValue;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+use std::time::Duration;
+
+fn arrayeq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_arrayeq"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_corpus(dir: &std::path::Path, name: &str) -> PathBuf {
+    let out = arrayeq(&["corpus", name]);
+    assert!(out.status.success(), "corpus {name} prints");
+    let path = dir.join(format!("{name}.c"));
+    std::fs::write(&path, &out.stdout).unwrap();
+    path
+}
+
+fn wait_for<F: Fn() -> bool>(what: &str, cond: F) {
+    for _ in 0..3000 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// Strips the volatile parts of a response line — the per-request `stats`
+/// and per-session `session` counter objects (both flat) and the wall-time
+/// stamp — leaving only semantic content for byte comparison.
+fn mask_volatile(line: &str) -> String {
+    let mut out = line.trim().to_owned();
+    for key in ["\"stats\":{", "\"session\":{"] {
+        while let Some(pos) = out.find(key) {
+            let obj_end = out[pos..].find('}').expect("flat object closes") + pos + 1;
+            out.replace_range(pos..obj_end, "\"masked\":0");
+        }
+    }
+    while let Some(pos) = out.find("\"wall_time_us\":") {
+        let val_start = pos + "\"wall_time_us\":".len();
+        let val_end = out[val_start..]
+            .find(|c: char| !c.is_ascii_digit())
+            .map(|n| val_start + n)
+            .unwrap_or(out.len());
+        out.replace_range(pos..val_end, "\"masked_time\":0");
+    }
+    out
+}
+
+#[test]
+fn sigkill_mid_flush_heals_the_store_and_answers_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("arrayeq-sigkill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = write_corpus(&dir, "fig1a");
+    let c = write_corpus(&dir, "fig1c");
+    let store = dir.join("store");
+    let socket = dir.join("victim.sock");
+
+    // Daemon A: flush after every verify, with a 30s gap between writing
+    // log bytes and fsyncing them.
+    let mut victim = Command::new(env!("CARGO_BIN_EXE_arrayeq"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--flush-every",
+            "1",
+        ])
+        .env("ARRAYEQ_STORE_FSYNC_DELAY_MS", "30000")
+        .spawn()
+        .expect("daemon starts");
+    wait_for("daemon socket", || socket.exists());
+
+    // The client blocks: its answer is only written after the flush, and
+    // the flush is asleep inside the fsync window.
+    let client = Command::new(env!("CARGO_BIN_EXE_arrayeq"))
+        .args([
+            "client",
+            "--socket",
+            socket.to_str().unwrap(),
+            "verify",
+            a.to_str().unwrap(),
+            c.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("client starts");
+
+    // Log bytes on disk mean the flush has started but not synced: the
+    // daemon is mid-flush.  Kill it dead.
+    let log = store.join("log.jsonl");
+    wait_for("mid-flush log bytes", || {
+        std::fs::metadata(&log)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false)
+    });
+    victim.kill().expect("SIGKILL delivered");
+    victim.wait().expect("victim reaped");
+
+    // The unacknowledged client request dies with a typed error, not a hang.
+    let out = client.wait_with_output().expect("client finishes");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "killed mid-request is a client error: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // SIGKILL alone cannot shred the page cache, so emulate what power loss
+    // would have done to the unsynced tail: tear the log mid-line.  The
+    // durability contract makes this the *worst case* — everything before
+    // the in-flight flush was fsynced.
+    let bytes = std::fs::read(&log).unwrap();
+    std::fs::write(&log, &bytes[..bytes.len() * 2 / 3]).unwrap();
+
+    // Daemon B on the healed store answers the same request...
+    let _ = std::fs::remove_file(&socket);
+    let mut healed = Command::new(env!("CARGO_BIN_EXE_arrayeq"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+        ])
+        .spawn()
+        .expect("healed daemon starts");
+    wait_for("healed daemon socket", || socket.exists());
+    let warm = arrayeq(&[
+        "client",
+        "--socket",
+        socket.to_str().unwrap(),
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(
+        warm.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    let down = arrayeq(&["client", "--socket", socket.to_str().unwrap(), "shutdown"]);
+    assert_eq!(down.status.code(), Some(0));
+    assert_eq!(healed.wait().unwrap().code(), Some(0), "clean shutdown");
+
+    // ...byte-identically to a from-scratch daemon with no store at all:
+    // whatever survived the crash is a subset of true facts, never a
+    // corrupted one.
+    let _ = std::fs::remove_file(&socket);
+    let mut fresh = Command::new(env!("CARGO_BIN_EXE_arrayeq"))
+        .args(["serve", "--socket", socket.to_str().unwrap()])
+        .spawn()
+        .expect("fresh daemon starts");
+    wait_for("fresh daemon socket", || socket.exists());
+    let baseline = arrayeq(&[
+        "client",
+        "--socket",
+        socket.to_str().unwrap(),
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(baseline.status.code(), Some(0));
+    let down = arrayeq(&["client", "--socket", socket.to_str().unwrap(), "shutdown"]);
+    assert_eq!(down.status.code(), Some(0));
+    assert_eq!(fresh.wait().unwrap().code(), Some(0));
+
+    assert_eq!(
+        mask_volatile(&String::from_utf8_lossy(&warm.stdout)),
+        mask_volatile(&String::from_utf8_lossy(&baseline.stdout)),
+        "crash recovery never changes a verdict byte"
+    );
+    let doc = JsonValue::parse(String::from_utf8_lossy(&warm.stdout).trim()).unwrap();
+    assert_eq!(
+        doc.get("result")
+            .and_then(|r| r.get("report"))
+            .and_then(|r| r.get("verdict"))
+            .and_then(JsonValue::as_str),
+        Some("equivalent")
+    );
+
+    // Daemon B's shutdown flush compacted the torn log away: a one-shot
+    // run on the store is warning-free and discharges from it.
+    let after = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--store",
+        store.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(after.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&after.stderr);
+    assert!(
+        !stderr.contains("warning: proof store"),
+        "the store was healed, not quarantined: {stderr}"
+    );
+    let doc = JsonValue::parse(String::from_utf8_lossy(&after.stdout).trim()).unwrap();
+    assert!(
+        doc.get("report")
+            .and_then(|r| r.get("stats"))
+            .and_then(|s| s.get("store_hits"))
+            .and_then(JsonValue::as_i64)
+            .unwrap()
+            > 0,
+        "the healed store still discharges sub-proofs"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -410,14 +410,24 @@ pub(crate) struct SharedBudget {
     work: std::sync::atomic::AtomicU64,
     exhausted: std::sync::atomic::AtomicBool,
     reason: std::sync::Mutex<Option<BudgetExhausted>>,
+    /// Solver overflow events observed by any thread of the run.  Overflow
+    /// does not wind the pool down (unlike a budget trip, the remaining
+    /// obligations still produce their diagnostics); it only withholds the
+    /// final verdict as inconclusive.
+    overflow_events: std::sync::atomic::AtomicU64,
 }
 
 impl SharedBudget {
     /// Marks the run exhausted; the first caller's reason wins (matching
-    /// the sequential checker, where only one budget can fire).
+    /// the sequential checker, where only one budget can fire).  The lock is
+    /// recovered from poisoning so a panicked worker cannot wedge budget
+    /// reporting for the surviving workers.
     fn trip(&self, reason: BudgetExhausted) {
         use std::sync::atomic::Ordering;
-        let mut slot = self.reason.lock().unwrap();
+        let mut slot = self
+            .reason
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if slot.is_none() {
             *slot = Some(reason);
         }
@@ -431,7 +441,22 @@ impl SharedBudget {
 
     /// The reason of the first trip, if any.
     pub(crate) fn take_reason(&self) -> Option<BudgetExhausted> {
-        self.reason.lock().unwrap().take()
+        self.reason
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+
+    /// Folds one thread's solver overflow events into the run-wide count.
+    pub(crate) fn note_overflow_events(&self, events: u64) {
+        self.overflow_events
+            .fetch_add(events, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Solver overflow events observed across every thread of the run.
+    pub(crate) fn overflow_events(&self) -> u64 {
+        self.overflow_events
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -668,6 +693,12 @@ pub fn output_root_key(
 
 impl Checker<'_> {
     fn run(&mut self) -> Result<Report> {
+        // Solver overflow is reported out-of-band through a sticky
+        // thread-local flag; clear any residue from an earlier run on this
+        // thread so the poll below attributes events to this run only.
+        let _ = arrayeq_omega::take_arith_overflow();
+        let overflow_base = arrayeq_omega::arith_overflow_events();
+        crate::parallel::consume_injected_overflow();
         let outputs = select_outputs(self.a, self.b, self.opts)?;
         let mut all_ok = true;
         let mut cone = 0u64;
@@ -722,6 +753,18 @@ impl Checker<'_> {
                 ]
             });
             drop(span);
+        }
+        // Any solver overflow degraded some feasibility answer to its
+        // conservative direction mid-run; the verdict would then rest on a
+        // weakened constraint system, so it is withheld as inconclusive
+        // rather than risked — never silently wrapped, never panicked.
+        if arrayeq_omega::take_arith_overflow() {
+            self.exhausted = true;
+            if self.budget_reason.is_none() {
+                self.budget_reason = Some(BudgetExhausted::ArithOverflow {
+                    events: arrayeq_omega::arith_overflow_events() - overflow_base,
+                });
+            }
         }
         let verdict = if self.exhausted {
             Verdict::Inconclusive

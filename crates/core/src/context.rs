@@ -59,6 +59,20 @@ pub enum BudgetExhausted {
     },
     /// The [`CancelToken`] of the context was cancelled.
     Cancelled,
+    /// Solver arithmetic overflowed past the `i128` widening, so a dependence
+    /// or feasibility answer was degraded to its conservative direction.  The
+    /// run is reported inconclusive rather than risking a verdict built on a
+    /// weakened constraint system.
+    ArithOverflow {
+        /// Number of overflow events the solver recorded during the run.
+        events: u64,
+    },
+    /// A parallel worker task panicked.  The panic was contained to its own
+    /// obligation; this reason marks that obligation's verdict as unusable.
+    WorkerPanicked {
+        /// Best-effort panic payload (message), when one could be extracted.
+        message: String,
+    },
 }
 
 impl fmt::Display for BudgetExhausted {
@@ -71,6 +85,17 @@ impl fmt::Display for BudgetExhausted {
                 write!(f, "wall-clock deadline exceeded after {elapsed_ms} ms")
             }
             BudgetExhausted::Cancelled => write!(f, "cancelled by caller"),
+            BudgetExhausted::ArithOverflow { events } => {
+                write!(
+                    f,
+                    "solver arithmetic overflowed ({events} event{}) — \
+                     conservative degradation, verdict withheld",
+                    if *events == 1 { "" } else { "s" }
+                )
+            }
+            BudgetExhausted::WorkerPanicked { message } => {
+                write!(f, "worker task panicked: {message}")
+            }
         }
     }
 }

@@ -28,6 +28,10 @@ pub enum DiagnosticKind {
     /// A structural problem (different number of operands, unsupported
     /// recurrence, ...).
     Structural,
+    /// A parallel worker task panicked; the obligation it was proving is
+    /// poisoned (reported inconclusive), while every other task's verdict
+    /// stands.  The panic payload is carried in the message.
+    WorkerPanicked,
 }
 
 impl fmt::Display for DiagnosticKind {
@@ -39,6 +43,7 @@ impl fmt::Display for DiagnosticKind {
             DiagnosticKind::OutputDomainMismatch => "output domain mismatch",
             DiagnosticKind::MatchingFailure => "operand matching failure",
             DiagnosticKind::Structural => "structural mismatch",
+            DiagnosticKind::WorkerPanicked => "worker panic",
         };
         write!(f, "{s}")
     }

@@ -62,6 +62,8 @@ pub use context::{
 };
 pub use diagnostics::{Diagnostic, DiagnosticKind};
 pub use operators::{OperatorClass, OperatorProperties};
+#[doc(hidden)]
+pub use parallel::{inject_arith_overflow_once, inject_worker_panic_on_task};
 pub use report::{CheckStats, Report, Verdict, Witness};
 
 use std::fmt;

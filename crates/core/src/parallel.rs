@@ -37,21 +37,78 @@ use crate::checker::{
     check_output_domains, select_outputs, with_stmt, CheckOptions, Checker, OutputDomains, Pos,
     SharedBudget,
 };
-use crate::context::CheckContext;
-use crate::diagnostics::Diagnostic;
+use crate::context::{BudgetExhausted, CheckContext};
+use crate::diagnostics::{Diagnostic, DiagnosticKind};
 use crate::normalize::{self, matching, FlatTerm};
 use crate::report::{CheckStats, Report, Verdict};
 use crate::Result;
 use arrayeq_addg::{Addg, Fingerprints, Node, OperatorKind};
 use arrayeq_omega::{current_feasibility_cache, with_feasibility_cache, Relation, Set};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// How many tasks the decomposition aims to produce per worker; a few per
 /// worker keep the pool balanced when task costs are skewed without paying
 /// decomposition overhead for thousands of micro-tasks.
 const TASKS_PER_WORKER: usize = 4;
+
+/// Fault-injection hook for the robustness tests: the worker that picks up
+/// the task with this index panics before running it (`usize::MAX` = off).
+/// One-shot — the trigger disarms itself when it fires, so a test arms it,
+/// runs one verify, and every later run on the process is clean.
+static PANIC_ON_TASK: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Arms (or with `None` disarms) the worker panic injection.  Test-only
+/// instrumentation for exercising panic isolation; hidden from docs and not
+/// part of the supported API.
+#[doc(hidden)]
+pub fn inject_worker_panic_on_task(task_idx: Option<usize>) {
+    PANIC_ON_TASK.store(task_idx.unwrap_or(usize::MAX), Ordering::SeqCst);
+}
+
+/// One-shot arming of synthetic solver-overflow injection: the next run
+/// (sequential) or worker drain (parallel) that observes the flag records
+/// one overflow event on its thread and disarms.
+static INJECT_OVERFLOW: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Arms one synthetic solver-overflow event in the next verification.
+/// Test-only instrumentation for the degradation plumbing (flag harvest →
+/// typed inconclusive verdict); genuine overflow behaviour is covered by
+/// the omega-level oracle corpus.
+#[doc(hidden)]
+pub fn inject_arith_overflow_once() {
+    INJECT_OVERFLOW.store(true, Ordering::SeqCst);
+}
+
+/// Consumes the overflow injection (if armed) by recording a synthetic
+/// event on the calling thread.
+pub(crate) fn consume_injected_overflow() {
+    if INJECT_OVERFLOW.swap(false, Ordering::SeqCst) {
+        arrayeq_omega::inject_arith_overflow();
+    }
+}
+
+/// Best-effort rendering of a panic payload for the poisoned obligation's
+/// diagnostic (`panic!` with a literal or a formatted string covers
+/// essentially every real panic; anything else is reported opaquely).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Outcome slot of one task: completed (verdict or pipeline error), or
+/// poisoned by a worker panic.
+enum TaskSlot {
+    Done(Result<(bool, Vec<Diagnostic>)>),
+    Panicked(String),
+}
 
 /// Reduction depth bound for the decomposition: expansion never recurses
 /// deeper than this many reduction steps below a root obligation, so the
@@ -134,6 +191,10 @@ pub(crate) fn verify_addgs_parallel(
     fps: Option<(Fingerprints, Fingerprints)>,
 ) -> Result<Report> {
     let started = Instant::now();
+    // Clear any overflow residue an earlier run left on this thread, so the
+    // harvest after the merge attributes events to this run only.
+    let _ = arrayeq_omega::take_arith_overflow();
+    let overflow_base = arrayeq_omega::arith_overflow_events();
     let jobs = opts.effective_jobs();
     let outputs = select_outputs(a, b, opts)?;
 
@@ -210,10 +271,20 @@ pub(crate) fn verify_addgs_parallel(
     // Phase 2: the worker pool.  Workers steal tasks off the shared cursor;
     // every worker re-installs the caller's session feasibility cache so
     // verdicts computed on one worker are visible to all of them.
-    type TaskOutcome = Result<(bool, Vec<Diagnostic>)>;
+    //
+    // Every task runs under `catch_unwind`: a panicking task poisons only
+    // its own obligation (its slot records the payload; the merge turns it
+    // into a typed [`DiagnosticKind::WorkerPanicked`] inconclusive), and the
+    // worker *quarantines* its local state by discarding the whole `Checker`
+    // — term arena, tabling cache, coinductive assumptions, buffered
+    // diagnostics could all be mid-mutation — and continuing on a fresh one.
+    // The *shared* tables need no rollback: the session feasibility cache
+    // and the engine's equivalence table only ever receive completed
+    // verdicts in a single `put`, so an unwound task has published either
+    // nothing or a finished entry, never partial state.
     let cache = current_feasibility_cache();
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<TaskOutcome>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<TaskSlot>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
     let merged_worker_stats: Mutex<CheckStats> = Mutex::new(CheckStats::default());
     let workers = jobs.min(tasks.len()).max(1);
     std::thread::scope(|scope| {
@@ -234,10 +305,22 @@ pub(crate) fn verify_addgs_parallel(
                 // Worker lanes are 1-based; 0 is the coordinator thread.
                 arrayeq_trace::set_worker((w + 1) as u32);
                 let drain_queue = || {
+                    let overflow_base = arrayeq_omega::arith_overflow_events();
+                    let _ = arrayeq_omega::take_arith_overflow();
+                    consume_injected_overflow();
                     let mut worker = Checker::new(a, b, opts, ctx, fps.clone(), Some(budget));
+                    let mut stats = CheckStats::default();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(task) = tasks.get(i) else { break };
+                        if PANIC_ON_TASK
+                            .compare_exchange(i, usize::MAX, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                        {
+                            *slots[i].lock().unwrap_or_else(PoisonError::into_inner) =
+                                Some(TaskSlot::Panicked("injected worker panic".to_owned()));
+                            continue;
+                        }
                         let _span = arrayeq_trace::span_with("task", || {
                             vec![
                                 arrayeq_trace::s("output", outputs[task.output_idx].clone()),
@@ -250,7 +333,7 @@ pub(crate) fn verify_addgs_parallel(
                                 ),
                             ]
                         });
-                        let outcome = match &task.kind {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| match &task.kind {
                             TaskKind::Traverse {
                                 pos_a,
                                 map_a,
@@ -279,16 +362,40 @@ pub(crate) fn verify_addgs_parallel(
                                 &task.trail_b,
                                 &task.assumptions,
                             ),
+                        }));
+                        let slot = match outcome {
+                            Ok(done) => TaskSlot::Done(done),
+                            Err(payload) => {
+                                // Quarantine: the unwound checker's local
+                                // state is untrusted — replace it wholesale
+                                // (keeping only its counters, which are
+                                // volatile and excluded from stable output).
+                                let poisoned = std::mem::replace(
+                                    &mut worker,
+                                    Checker::new(a, b, opts, ctx, fps.clone(), Some(budget)),
+                                );
+                                stats.merge(&poisoned.into_stats());
+                                TaskSlot::Panicked(panic_message(payload))
+                            }
                         };
-                        *slots[i].lock().unwrap() = Some(outcome);
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(slot);
                     }
-                    worker.into_stats()
+                    stats.merge(&worker.into_stats());
+                    if arrayeq_omega::take_arith_overflow() {
+                        budget.note_overflow_events(
+                            arrayeq_omega::arith_overflow_events() - overflow_base,
+                        );
+                    }
+                    stats
                 };
                 let stats = match &cache {
                     Some(c) => with_feasibility_cache(c.clone(), drain_queue),
                     None => drain_queue(),
                 };
-                merged_worker_stats.lock().unwrap().merge(&stats);
+                merged_worker_stats
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .merge(&stats);
             });
         }
     });
@@ -298,12 +405,22 @@ pub(crate) fn verify_addgs_parallel(
     // which is exactly the sequential traversal's emission order; task
     // verdicts conjoin; the first pipeline error in task order wins.
     let mut stats = coordinator_stats;
-    stats.merge(&merged_worker_stats.into_inner().unwrap());
-    let mut results: Vec<Option<TaskOutcome>> = slots
+    stats.merge(
+        &merged_worker_stats
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner),
+    );
+    // Coordinator-side Omega work (flattening during decomposition) reports
+    // overflow through the same thread-local flag the workers harvest.
+    if arrayeq_omega::take_arith_overflow() {
+        budget.note_overflow_events(arrayeq_omega::arith_overflow_events() - overflow_base);
+    }
+    let mut results: Vec<Option<TaskSlot>> = slots
         .into_iter()
-        .map(|slot| slot.into_inner().unwrap())
+        .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
         .collect();
     let mut all_ok = true;
+    let mut first_panic: Option<String> = None;
     let mut diagnostics = Vec::new();
     for (output_idx, output) in outputs.iter().enumerate() {
         let skipped_clean = opts.assume_clean.iter().any(|o| o == output);
@@ -320,15 +437,41 @@ pub(crate) fn verify_addgs_parallel(
             let outcome = results[i]
                 .take()
                 .expect("every task slot is filled by a worker");
-            let (ok, mut task_diags) = outcome?;
-            for d in &mut task_diags {
-                if d.output_array.is_none() {
-                    d.output_array = Some(output.clone());
+            match outcome {
+                TaskSlot::Done(done) => {
+                    let (ok, mut task_diags) = done?;
+                    for d in &mut task_diags {
+                        if d.output_array.is_none() {
+                            d.output_array = Some(output.clone());
+                        }
+                    }
+                    diagnostics.extend(task_diags);
+                    all_ok &= ok;
+                    output_ok &= ok;
+                }
+                TaskSlot::Panicked(message) => {
+                    // The obligation is poisoned, not refuted: it neither
+                    // proves nor disproves anything, so the verdict is
+                    // withheld while every other task's result stands.
+                    diagnostics.push(Diagnostic {
+                        kind: DiagnosticKind::WorkerPanicked,
+                        output_array: Some(output.clone()),
+                        original_statements: task.trail_a.clone(),
+                        transformed_statements: task.trail_b.clone(),
+                        expressions: Vec::new(),
+                        original_mapping: None,
+                        transformed_mapping: None,
+                        message: format!(
+                            "worker task panicked ({message}); this obligation's verdict is \
+                             poisoned and the run is inconclusive"
+                        ),
+                        failing_domain: None,
+                    });
+                    if first_panic.is_none() {
+                        first_panic = Some(message);
+                    }
                 }
             }
-            diagnostics.extend(task_diags);
-            all_ok &= ok;
-            output_ok &= ok;
         }
         if !skipped_clean {
             arrayeq_trace::event_with("output_verdict", || {
@@ -339,7 +482,8 @@ pub(crate) fn verify_addgs_parallel(
             });
         }
     }
-    let verdict = if budget.is_exhausted() {
+    let overflow_events = budget.overflow_events();
+    let verdict = if budget.is_exhausted() || first_panic.is_some() || overflow_events > 0 {
         Verdict::Inconclusive
     } else if all_ok {
         Verdict::Equivalent
@@ -348,6 +492,14 @@ pub(crate) fn verify_addgs_parallel(
     };
     stats.check_time_us = started.elapsed().as_micros() as u64;
     let output_fingerprints = crate::checker::output_fingerprints(&outputs, fps.as_ref());
+    let budget_exhausted = budget
+        .take_reason()
+        .or(first_panic.map(|message| BudgetExhausted::WorkerPanicked { message }))
+        .or(
+            (overflow_events > 0).then_some(BudgetExhausted::ArithOverflow {
+                events: overflow_events,
+            }),
+        );
     Ok(Report {
         verdict,
         diagnostics,
@@ -356,7 +508,7 @@ pub(crate) fn verify_addgs_parallel(
         outputs_checked: outputs,
         output_fingerprints,
         output_domain_hashes: domain_hashes,
-        budget_exhausted: budget.take_reason(),
+        budget_exhausted,
     })
 }
 

@@ -313,6 +313,8 @@ impl Report {
                 BudgetExhausted::WorkLimit { .. } => "work limit",
                 BudgetExhausted::DeadlineExceeded { .. } => "deadline",
                 BudgetExhausted::Cancelled => "cancelled",
+                BudgetExhausted::ArithOverflow { .. } => "arithmetic overflow",
+                BudgetExhausted::WorkerPanicked { .. } => "worker panic",
             };
             out.push_str(&format!("inconclusive: {kind}\n"));
         }

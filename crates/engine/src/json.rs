@@ -100,6 +100,15 @@ fn budget_to_json(b: &Option<BudgetExhausted>) -> String {
             format!("{{\"reason\":\"deadline_exceeded\",\"elapsed_ms\":{elapsed_ms}}}")
         }
         Some(BudgetExhausted::Cancelled) => "{\"reason\":\"cancelled\"}".into(),
+        Some(BudgetExhausted::ArithOverflow { events }) => {
+            format!("{{\"reason\":\"arith_overflow\",\"events\":{events}}}")
+        }
+        Some(BudgetExhausted::WorkerPanicked { message }) => {
+            format!(
+                "{{\"reason\":\"worker_panicked\",\"message\":\"{}\"}}",
+                escape(message)
+            )
+        }
     }
 }
 

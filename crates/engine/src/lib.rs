@@ -694,8 +694,27 @@ impl Verifier {
                     if i >= requests.len() {
                         break;
                     }
-                    let outcome = self.verify(&requests[i]);
-                    *slots[i].lock().unwrap() = Some(outcome);
+                    // Panic isolation: a query that unwinds poisons only its
+                    // own slot (as a typed pipeline error); the worker keeps
+                    // draining and every other request answers normally.
+                    // Session caches stay trustworthy — entries are complete
+                    // single-`put` facts, never partially published.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.verify(&requests[i])
+                    }))
+                    .unwrap_or_else(|payload| {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_owned())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic payload>".into());
+                        Err(arrayeq_core::CoreError::ResourceLimit {
+                            message: format!("verification worker panicked: {msg}"),
+                        })
+                    });
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
                 });
             }
         });
@@ -703,7 +722,7 @@ impl Verifier {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .unwrap()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .expect("every batch slot is filled by a worker")
             })
             .collect()

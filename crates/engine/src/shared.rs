@@ -12,7 +12,7 @@ use arrayeq_core::{SharedEquivalenceTable, SharedTableKey, TableProvenance};
 use arrayeq_omega::FeasibilityCache;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Finalizing mix so consecutive or low-entropy keys spread over the shards.
 fn spread(x: u64) -> u64 {
@@ -42,12 +42,23 @@ impl<K: std::hash::Hash + Eq, V: Copy> Striped<K, V> {
         &self.shards[(spread_key as usize) & self.mask]
     }
 
+    // Shard locks recover from poisoning: a worker thread unwinding while
+    // holding one (possible only between complete map operations — entries
+    // are single-`insert` facts, never partially published) must not wedge
+    // or crash the surviving workers and later requests of the session.
     fn get(&self, spread_key: u64, key: &K) -> Option<V> {
-        self.shard(spread_key).lock().unwrap().get(key).copied()
+        self.shard(spread_key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .copied()
     }
 
     fn put(&self, spread_key: u64, key: K, value: V) {
-        let mut shard = self.shard(spread_key).lock().unwrap();
+        let mut shard = self
+            .shard(spread_key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if shard.len() >= self.cap_per_shard {
             shard.clear(); // epoch eviction, same policy as the omega memo
         }
@@ -55,7 +66,10 @@ impl<K: std::hash::Hash + Eq, V: Copy> Striped<K, V> {
     }
 
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
     }
 }
 
@@ -68,7 +82,7 @@ impl<K: std::hash::Hash + Eq + Clone + Ord, V: Copy> Striped<K, V> {
     fn snapshot(&self) -> Vec<(K, V)> {
         let mut all: Vec<(K, V)> = Vec::new();
         for shard in &self.shards {
-            let guard = shard.lock().unwrap();
+            let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
             all.extend(guard.iter().map(|(k, v)| (k.clone(), *v)));
         }
         all.sort_by(|a, b| a.0.cmp(&b.0));

@@ -52,6 +52,22 @@ pub const STORE_FORMAT: &str = "arrayeq-store-v1";
 /// entry lines in the log compacts into a fresh snapshot instead.
 const COMPACT_LOG_LINES: usize = 8192;
 
+/// Fault-injection hook: `ARRAYEQ_STORE_FSYNC_DELAY_MS` sleeps this many
+/// milliseconds between writing store bytes and making them durable, widening
+/// the window in which a `SIGKILL` lands mid-flush so the crash-recovery
+/// tests can hit it deterministically.  Unset, empty or unparsable means no
+/// delay; the env var is re-read on every flush so a long-lived daemon can
+/// be driven from the outside.
+fn fsync_delay() {
+    if let Some(ms) = std::env::var("ARRAYEQ_STORE_FSYNC_DELAY_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+    {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
 /// Why (part of) a store was ignored at load time.  Every variant degrades
 /// to a cold start for the affected file — a warning, never a verdict
 /// change or a crash.
@@ -404,8 +420,24 @@ impl ProofStore {
 
         let tmp = self.dir.join("snapshot.jsonl.tmp");
         let final_path = self.dir.join("snapshot.jsonl");
-        fs::write(&tmp, text)?;
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            fsync_delay();
+            // The tmp file must be durable *before* the rename publishes it:
+            // a crash after an un-synced rename could otherwise leave the
+            // final name pointing at garbage — the one corruption the
+            // snapshot's all-or-nothing load cannot distinguish from a
+            // legitimate full file.
+            file.sync_all()?;
+        }
         fs::rename(&tmp, &final_path)?;
+        // Make the rename itself durable.  Directory fsync is best-effort:
+        // not every filesystem supports opening a directory for sync, and a
+        // failure here only narrows durability, never correctness.
+        if let Ok(dir) = fs::File::open(&self.dir) {
+            let _ = dir.sync_all();
+        }
         let log_path = self.dir.join("log.jsonl");
         if log_path.exists() {
             fs::remove_file(&log_path)?;
@@ -443,6 +475,12 @@ impl ProofStore {
             .append(true)
             .open(&log_path)?;
         file.write_all(text.as_bytes())?;
+        fsync_delay();
+        // An unsynced append can tear or vanish on power loss.  The format
+        // tolerates a torn *tail* (prefix-valid parse), so syncing here caps
+        // the damage a crash can do at exactly the entries of the flush in
+        // flight — never a previously acknowledged one.
+        file.sync_all()?;
         state.log_lines += new_eq.len() + new_fs.len();
         Ok(())
     }

@@ -227,6 +227,100 @@ fn fault_corpus_verdicts_are_byte_identical_with_a_warm_store() {
 }
 
 #[test]
+fn stale_epoch_log_degrades_cold_and_heals_on_next_flush() {
+    // A log from an older compaction generation than the snapshot must be
+    // ignored with a typed warning, never merged — and the next flush must
+    // rewrite the store clean so the warning does not recur forever.
+    let dir = primed_store("epoch");
+    let stale_log = fs::read(dir.join("log.jsonl")).unwrap();
+
+    // Compact: snapshot moves to the next epoch, the log is consumed.
+    Verifier::builder()
+        .store(&dir)
+        .build()
+        .checkpoint_store()
+        .unwrap();
+    assert!(
+        !dir.join("log.jsonl").exists(),
+        "checkpoint consumed the log"
+    );
+
+    // Resurrect the pre-compaction log, as a crash between the snapshot
+    // rename and the log unlink would.
+    fs::write(dir.join("log.jsonl"), &stale_log).unwrap();
+    let scratch = Verifier::new().verify_source(FIG1_A, FIG1_C).unwrap();
+
+    let v = Verifier::builder().store(&dir).build();
+    assert!(
+        v.store_warnings()
+            .iter()
+            .any(|w| w.kind == StoreWarningKind::EpochMismatch),
+        "stale generation is a typed warning: {:?}",
+        v.store_warnings()
+    );
+    assert!(
+        v.session_stats().store_eq_loaded > 0,
+        "the snapshot itself still seeds the session"
+    );
+    let out = v.verify_source(FIG1_A, FIG1_C).unwrap();
+    assert_eq!(
+        out.report.render_stable(),
+        scratch.report.render_stable(),
+        "a stale log never changes the stable rendering"
+    );
+
+    // The open marked the store for rewrite: this flush compacts, leaving
+    // a single-generation store that reopens warning-free.
+    v.flush_store().unwrap().unwrap();
+    let healed = Verifier::builder().store(&dir).build();
+    assert!(
+        healed.store_warnings().is_empty(),
+        "healed store reopens clean: {:?}",
+        healed.store_warnings()
+    );
+    assert!(healed.session_stats().store_eq_loaded > 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_during_checkpoint_leaves_a_loadable_store() {
+    // A crash after writing `snapshot.jsonl.tmp` but before the rename
+    // leaves the tmp file behind; the published files are untouched, so the
+    // reopen must be warning-free and byte-identical, and the next
+    // checkpoint must simply write over the debris.
+    let dir = primed_store("crashckpt");
+    fs::write(
+        dir.join("snapshot.jsonl.tmp"),
+        "{\"half\":\"written snapshot, no footer",
+    )
+    .unwrap();
+    let scratch = Verifier::new().verify_source(FIG1_A, FIG1_C).unwrap();
+
+    let v = Verifier::builder().store(&dir).build();
+    assert!(
+        v.store_warnings().is_empty(),
+        "an orphaned tmp file is not part of the store: {:?}",
+        v.store_warnings()
+    );
+    assert!(v.session_stats().store_eq_loaded > 0);
+    let out = v.verify_source(FIG1_A, FIG1_C).unwrap();
+    assert!(out.report.stats.store_hits > 0);
+    assert_eq!(out.report.render_stable(), scratch.report.render_stable());
+
+    // Re-checkpoint: the tmp name is reused and consumed by the rename.
+    v.checkpoint_store().unwrap();
+    assert!(dir.join("snapshot.jsonl").exists());
+    assert!(
+        !dir.join("snapshot.jsonl.tmp").exists(),
+        "the checkpoint consumed the orphaned tmp file"
+    );
+    let reopened = Verifier::builder().store(&dir).build();
+    assert!(reopened.store_warnings().is_empty());
+    assert!(reopened.session_stats().store_eq_loaded > 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn per_request_limits_override_budgets_without_cross_talk() {
     let v = Verifier::new();
     // A starved request comes back inconclusive...

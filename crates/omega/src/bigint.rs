@@ -1,0 +1,436 @@
+//! A minimal arbitrary-precision signed integer.
+//!
+//! This exists for one purpose: the slow reference implementation of the
+//! Omega test in [`crate::reference`], which cross-checks the production
+//! solver's overflow behaviour on large-coefficient systems.  The production
+//! solver must *never* wrap; proving that requires an oracle whose
+//! arithmetic cannot overflow at all.  No external big-integer crate is
+//! available in this build environment, so the handful of operations the
+//! reference solver needs are implemented here: add, subtract, multiply,
+//! Euclidean division, gcd and comparisons.  Simplicity over speed —
+//! division is binary long division — which is fine for a test oracle.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Sign-and-magnitude arbitrary-precision integer.
+///
+/// The magnitude is little-endian base-2³² limbs with no trailing zero
+/// limbs; zero is the empty magnitude with a positive sign, so every value
+/// has exactly one representation (which `Eq`/`Ord` rely on).
+#[derive(Clone, PartialEq, Eq)]
+pub struct BigInt {
+    /// True for strictly negative values; zero is always `false`.
+    neg: bool,
+    /// Little-endian base-2³² magnitude, no trailing zeros.
+    mag: Vec<u32>,
+}
+
+impl BigInt {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigInt {
+            neg: false,
+            mag: Vec::new(),
+        }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigInt::from(1i64)
+    }
+
+    fn from_mag(neg: bool, mut mag: Vec<u32>) -> Self {
+        while mag.last() == Some(&0) {
+            mag.pop();
+        }
+        let neg = neg && !mag.is_empty();
+        BigInt { neg, mag }
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_empty()
+    }
+
+    /// −1, 0 or 1.
+    pub fn signum(&self) -> i32 {
+        if self.mag.is_empty() {
+            0
+        } else if self.neg {
+            -1
+        } else {
+            1
+        }
+    }
+
+    /// The absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            neg: false,
+            mag: self.mag.clone(),
+        }
+    }
+
+    /// The negation.
+    pub fn neg(&self) -> BigInt {
+        BigInt::from_mag(!self.neg, self.mag.clone())
+    }
+
+    /// Converts back to `i64` when the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let mut v: i128 = 0;
+        if self.mag.len() > 2 {
+            return None;
+        }
+        for (i, &limb) in self.mag.iter().enumerate() {
+            v += (limb as i128) << (32 * i);
+        }
+        if self.neg {
+            v = -v;
+        }
+        i64::try_from(v).ok()
+    }
+
+    fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(a.len().max(b.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..a.len().max(b.len()) {
+            let s = carry + *a.get(i).unwrap_or(&0) as u64 + *b.get(i).unwrap_or(&0) as u64;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// `a − b`, requires `a ≥ b` (as magnitudes).
+    fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i64;
+        for (i, &limb) in a.iter().enumerate() {
+            let d = limb as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        out
+    }
+
+    fn mul_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &y) in b.iter().enumerate() {
+                let t = out[i + j] as u64 + x as u64 * y as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    fn bit(mag: &[u32], i: usize) -> bool {
+        (mag[i / 32] >> (i % 32)) & 1 == 1
+    }
+
+    fn set_bit(mag: &mut [u32], i: usize) {
+        mag[i / 32] |= 1 << (i % 32);
+    }
+
+    /// Truncated `(quotient, remainder)` of the magnitudes (`b` non-zero):
+    /// binary long division, most significant bit first.
+    fn divrem_mag(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        assert!(!b.is_empty(), "division by zero");
+        if Self::cmp_mag(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        let bits = a.len() * 32;
+        let mut q = vec![0u32; a.len()];
+        let mut r: Vec<u32> = Vec::new();
+        for i in (0..bits).rev() {
+            // r = (r << 1) | bit(a, i)
+            let mut carry = u32::from(Self::bit(a, i));
+            for limb in r.iter_mut() {
+                let t = ((*limb as u64) << 1) | carry as u64;
+                *limb = t as u32;
+                carry = (t >> 32) as u32;
+            }
+            if carry != 0 {
+                r.push(carry);
+            }
+            if Self::cmp_mag(&r, b) != Ordering::Less {
+                r = Self::sub_mag(&r, b);
+                while r.last() == Some(&0) {
+                    r.pop();
+                }
+                Self::set_bit(&mut q, i);
+            }
+        }
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        (q, r)
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigInt) -> BigInt {
+        if self.neg == other.neg {
+            BigInt::from_mag(self.neg, Self::add_mag(&self.mag, &other.mag))
+        } else {
+            match Self::cmp_mag(&self.mag, &other.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_mag(self.neg, Self::sub_mag(&self.mag, &other.mag))
+                }
+                Ordering::Less => BigInt::from_mag(other.neg, Self::sub_mag(&other.mag, &self.mag)),
+            }
+        }
+    }
+
+    /// `self − other`.
+    pub fn sub(&self, other: &BigInt) -> BigInt {
+        self.add(&other.neg())
+    }
+
+    /// `self · other`.
+    pub fn mul(&self, other: &BigInt) -> BigInt {
+        BigInt::from_mag(self.neg != other.neg, Self::mul_mag(&self.mag, &other.mag))
+    }
+
+    /// Euclidean `(quotient, remainder)`: `self = q·d + r` with
+    /// `0 ≤ r < |d|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn divrem_euclid(&self, d: &BigInt) -> (BigInt, BigInt) {
+        let (q_mag, r_mag) = Self::divrem_mag(&self.mag, &d.mag);
+        let q = BigInt::from_mag(self.neg != d.neg, q_mag);
+        let r = BigInt::from_mag(self.neg, r_mag);
+        if r.is_zero() || !self.neg {
+            (q, r)
+        } else {
+            // Truncated remainder is negative: shift into [0, |d|).
+            let one = BigInt::one();
+            let q = if d.neg { q.add(&one) } else { q.sub(&one) };
+            (q, r.add(&d.abs()))
+        }
+    }
+
+    /// Euclidean quotient (`⌊self / d⌋` for positive `d`).
+    pub fn div_euclid(&self, d: &BigInt) -> BigInt {
+        self.divrem_euclid(d).0
+    }
+
+    /// Euclidean remainder, always in `[0, |d|)`.
+    pub fn rem_euclid(&self, d: &BigInt) -> BigInt {
+        self.divrem_euclid(d).1
+    }
+
+    /// Greatest common divisor (non-negative; `gcd(0, 0) = 0`).
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = a.rem_euclid(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        let neg = v < 0;
+        let mut m = v.unsigned_abs();
+        let mut mag = Vec::new();
+        while m != 0 {
+            mag.push(m as u32);
+            m >>= 32;
+        }
+        BigInt { neg, mag }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.neg, other.neg) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => Self::cmp_mag(&self.mag, &other.mag),
+            (true, true) => Self::cmp_mag(&other.mag, &self.mag),
+        }
+    }
+}
+
+/// Shared decimal rendering for `Debug` and `Display` (repeated division by
+/// 10⁹; fine for an oracle's error messages).
+macro_rules! fmt_decimal {
+    () => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            if self.is_zero() {
+                return f.write_str("0");
+            }
+            let mut digits = Vec::new();
+            let chunk = BigInt::from(1_000_000_000i64);
+            let mut v = self.abs();
+            while !v.is_zero() {
+                let (q, r) = v.divrem_euclid(&chunk);
+                digits.push(r.to_i64().unwrap_or(0));
+                v = q;
+            }
+            if self.neg {
+                f.write_str("-")?;
+            }
+            let mut it = digits.iter().rev();
+            if let Some(first) = it.next() {
+                write!(f, "{first}")?;
+            }
+            for d in it {
+                write!(f, "{d:09}")?;
+            }
+            Ok(())
+        }
+    };
+}
+
+impl fmt::Debug for BigInt {
+    fmt_decimal!();
+}
+
+impl fmt::Display for BigInt {
+    fmt_decimal!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn roundtrip_and_ordering() {
+        for v in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN, 1 << 40] {
+            assert_eq!(b(v).to_i64(), Some(v), "roundtrip {v}");
+        }
+        assert!(b(3) > b(2));
+        assert!(b(-3) < b(-2));
+        assert!(b(-1) < b(0));
+        assert!(b(0) < b(1));
+        assert_eq!(b(0).signum(), 0);
+        assert_eq!(b(i64::MIN).signum(), -1);
+    }
+
+    #[test]
+    fn add_sub_mul_match_i128() {
+        let samples = [
+            0i64,
+            1,
+            -1,
+            7,
+            -13,
+            1 << 31,
+            -(1 << 33),
+            i64::MAX,
+            i64::MIN,
+            i64::MAX - 1,
+        ];
+        for &x in &samples {
+            for &y in &samples {
+                assert_eq!(
+                    b(x).add(&b(y)).to_i64(),
+                    i64::try_from(x as i128 + y as i128).ok(),
+                    "{x} + {y}"
+                );
+                assert_eq!(
+                    b(x).sub(&b(y)).to_i64(),
+                    i64::try_from(x as i128 - y as i128).ok(),
+                    "{x} - {y}"
+                );
+                let prod = x as i128 * y as i128;
+                if let Ok(p) = i64::try_from(prod) {
+                    assert_eq!(b(x).mul(&b(y)).to_i64(), Some(p), "{x} * {y}");
+                }
+            }
+        }
+        // A product far beyond i64 stays exact.
+        let big = b(i64::MAX).mul(&b(i64::MAX));
+        let (q, r) = big.divrem_euclid(&b(i64::MAX));
+        assert_eq!(q.to_i64(), Some(i64::MAX));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn euclidean_division_matches_std() {
+        let samples = [1i64, -1, 2, -2, 3, -3, 7, -7, 1 << 35, i64::MAX, -97];
+        let nums = [0i64, 1, -1, 17, -17, 100, -100, i64::MAX, i64::MIN + 1];
+        for &n in &nums {
+            for &d in &samples {
+                let (q, r) = b(n).divrem_euclid(&b(d));
+                assert_eq!(q.to_i64(), Some(n.div_euclid(d)), "{n} div_euclid {d}");
+                assert_eq!(r.to_i64(), Some(n.rem_euclid(d)), "{n} rem_euclid {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn gcd_matches_naive() {
+        assert_eq!(b(12).gcd(&b(18)).to_i64(), Some(6));
+        assert_eq!(b(-12).gcd(&b(18)).to_i64(), Some(6));
+        assert_eq!(b(0).gcd(&b(5)).to_i64(), Some(5));
+        assert_eq!(b(0).gcd(&b(0)).to_i64(), Some(0));
+        assert_eq!(b(i64::MIN).gcd(&b(2)).to_i64(), Some(2));
+    }
+
+    #[test]
+    fn decimal_rendering() {
+        assert_eq!(format!("{}", b(0)), "0");
+        assert_eq!(format!("{}", b(-42)), "-42");
+        assert_eq!(format!("{}", b(i64::MAX)), i64::MAX.to_string(),);
+        assert_eq!(
+            format!("{}", b(i64::MAX).mul(&b(10)).add(&b(7))),
+            format!("{}7", i64::MAX),
+        );
+    }
+}

@@ -1,5 +1,6 @@
 //! Conjunctions of affine constraints with local existential variables.
 
+use crate::arith::note_arith_overflow;
 use crate::constraint::{Constraint, ConstraintKind};
 use crate::feasible::{find_model, is_feasible, Feasibility, ModelOutcome};
 use crate::hash::{combine_unordered, structural_hash_of, StructuralHasher};
@@ -235,23 +236,30 @@ impl Conjunct {
         // global columns are fixed by `point`, so their contribution folds
         // into the constant.  The resulting system is tiny (existentials
         // only) and goes straight to the feasibility test.
-        let cs: Vec<Constraint> = self
-            .constraints
-            .iter()
-            .map(|c| {
-                let mut e = LinExpr::zero(self.n_exists);
-                let global = self.space.n_global();
-                for ex in 0..self.n_exists {
-                    e.set_coeff(ex, c.expr().coeff(global + ex));
+        let mut cs: Vec<Constraint> = Vec::with_capacity(self.constraints.len());
+        for c in &self.constraints {
+            let mut e = LinExpr::zero(self.n_exists);
+            let global = self.space.n_global();
+            for ex in 0..self.n_exists {
+                e.set_coeff(ex, c.expr().coeff(global + ex));
+            }
+            let folded = match c.expr().try_eval_prefix(point) {
+                Ok(v) => v,
+                Err(_) => {
+                    // The folded constant does not fit i64: report "outside"
+                    // conservatively and note the sticky flag so the
+                    // enclosing verdict degrades to inconclusive.
+                    note_arith_overflow();
+                    return false;
                 }
-                e.set_constant(c.expr().eval_prefix(point));
-                match c.kind() {
-                    ConstraintKind::Eq => Constraint::eq(e),
-                    ConstraintKind::Geq => Constraint::geq(e),
-                    ConstraintKind::Mod => Constraint::congruent(e, c.modulus()),
-                }
-            })
-            .collect();
+            };
+            e.set_constant(folded);
+            cs.push(match c.kind() {
+                ConstraintKind::Eq => Constraint::eq(e),
+                ConstraintKind::Geq => Constraint::geq(e),
+                ConstraintKind::Mod => Constraint::congruent(e, c.modulus()),
+            });
+        }
         is_feasible(&cs, self.n_exists).as_bool()
     }
 
@@ -333,9 +341,17 @@ impl Conjunct {
         let t0 = arrayeq_trace::metrics_timer();
         let f = is_feasible(&self.constraints, self.n_vars());
         arrayeq_trace::record_elapsed(arrayeq_trace::Metric::Feasibility, t0);
-        self.memoize_locally(key, f);
-        if let Some(cache) = shared {
-            cache.put(key, f.as_bool());
+        // Overflow-degraded verdicts are *never* memoised (locally or in the
+        // shared store): the conservative "feasible" stands for "unknown",
+        // and caching it would let one overflow-afflicted query poison every
+        // structurally identical query for the lifetime of the memo — even
+        // ones issued by a checker run that would have reported the overflow
+        // as a typed inconclusive verdict.
+        if f != Feasibility::Overflow {
+            self.memoize_locally(key, f);
+            if let Some(cache) = shared {
+                cache.put(key, f.as_bool());
+            }
         }
         f.as_bool()
     }
@@ -370,7 +386,7 @@ impl Conjunct {
             ModelOutcome::Model(m) => {
                 let point = m[..self.space.n_global()].to_vec();
                 debug_assert!(
-                    self.contains(&point),
+                    self.contains(&point) || crate::arith::arith_overflow_pending(),
                     "sample_point produced a point outside the conjunct"
                 );
                 Some(point)
@@ -477,18 +493,20 @@ impl Conjunct {
                         ConstraintKind::Mod => c.modulus(),
                         _ => 0,
                     };
-                    (kind_tag, modulus, s * a).hash(&mut h);
+                    // Hash-only arithmetic: wrapping is fine here (the lens
+                    // just needs determinism, `-i64::MIN` included).
+                    (kind_tag, modulus, s.wrapping_mul(a)).hash(&mut h);
                     for g in 0..global {
-                        (s * c.expr().coeff(g)).hash(&mut h);
+                        s.wrapping_mul(c.expr().coeff(g)).hash(&mut h);
                     }
-                    (s * c.expr().constant()).hash(&mut h);
+                    s.wrapping_mul(c.expr().constant()).hash(&mut h);
                     let mut neigh_acc = 0u64;
                     for o in (0..n).filter(|&o| o != e) {
                         let coeff = c.expr().coeff(global + o);
                         if coeff != 0 {
                             let prev = if round == 0 { 0 } else { sig[o] };
-                            neigh_acc =
-                                neigh_acc.wrapping_add(structural_hash_of(&(s * coeff, prev)));
+                            neigh_acc = neigh_acc
+                                .wrapping_add(structural_hash_of(&(s.wrapping_mul(coeff), prev)));
                         }
                     }
                     h.write_u64(neigh_acc);
@@ -701,7 +719,15 @@ impl Conjunct {
                 i += 1;
                 continue;
             }
-            let neg = self.constraints[i].expr().scale(-1);
+            // A non-negatable expression (i64::MIN entry) simply keeps its
+            // inequality pair un-promoted — a cosmetic miss, not an error.
+            let neg = match self.constraints[i].expr().try_scale(-1) {
+                Ok(neg) => neg,
+                Err(_) => {
+                    i += 1;
+                    continue;
+                }
+            };
             if let Some(j) =
                 self.constraints.iter().enumerate().position(|(k, c)| {
                     k != i && c.kind() == ConstraintKind::Geq && *c.expr() == neg
@@ -738,22 +764,42 @@ impl Conjunct {
                 return true;
             }
 
-            // Unit-coefficient equality: substitute everywhere.
+            // Unit-coefficient equality: substitute everywhere.  Every
+            // rewrite is validated (checked arithmetic) before the system is
+            // replaced; if any substitution would overflow the elimination is
+            // skipped wholesale, leaving the original — still exact — system.
             if let Some(&i) = users.iter().find(|&&i| {
                 self.constraints[i].kind() == ConstraintKind::Eq
-                    && self.constraints[i].expr().coeff(col).abs() == 1
+                    && self.constraints[i].expr().coeff(col).unsigned_abs() == 1
             }) {
                 let eq = self.constraints[i].clone();
                 let a = eq.expr().coeff(col);
                 let mut value = eq.expr().clone();
                 value.set_coeff(col, 0);
-                value.scale_assign(-a);
-                self.constraints.swap_remove(i);
-                for c in &mut self.constraints {
-                    c.expr_mut().substitute_assign(col, &value);
+                if value.try_scale_assign(-a).is_ok() {
+                    let mut next = Vec::with_capacity(self.constraints.len() - 1);
+                    let mut ok = true;
+                    for (j, c) in self.constraints.iter().enumerate() {
+                        if j == i {
+                            continue;
+                        }
+                        let mut expr = c.expr().clone();
+                        if expr.try_substitute_assign(col, &value).is_err() {
+                            ok = false;
+                            break;
+                        }
+                        next.push(match c.kind() {
+                            ConstraintKind::Eq => Constraint::eq(expr),
+                            ConstraintKind::Geq => Constraint::geq(expr),
+                            ConstraintKind::Mod => Constraint::congruent(expr, c.modulus()),
+                        });
+                    }
+                    if ok {
+                        self.constraints = next;
+                        self.remove_exists_col(e);
+                        return true;
+                    }
                 }
-                self.remove_exists_col(e);
-                return true;
             }
 
             // Equality with a non-unit coefficient: ∃e: a·e + f = 0 pins
@@ -769,33 +815,46 @@ impl Conjunct {
                 let a = eq.expr().coeff(col);
                 let mut f = eq.expr().clone();
                 f.set_coeff(col, 0);
-                let mut next = Vec::with_capacity(self.constraints.len());
-                for (j, c) in self.constraints.iter().enumerate() {
-                    if j == i {
-                        continue;
+                // Checked throughout: scaling by |a| and folding in b·f can
+                // overflow on adversarial coefficients, in which case the
+                // elimination is abandoned and the exact original kept.
+                if let Some(abs_a) = a.checked_abs() {
+                    let rewritten = (|| -> Option<Vec<Constraint>> {
+                        let mut next = Vec::with_capacity(self.constraints.len());
+                        for (j, c) in self.constraints.iter().enumerate() {
+                            if j == i {
+                                continue;
+                            }
+                            let b = c.expr().coeff(col);
+                            if b == 0 {
+                                next.push(c.clone());
+                                continue;
+                            }
+                            // |a|·g  with the b·e term removed, then − sign(a)·b·f.
+                            let mut scaled = c.expr().clone();
+                            scaled.set_coeff(col, 0);
+                            scaled.try_scale_assign(abs_a).ok()?;
+                            let k = b.checked_mul(-a.signum())?;
+                            scaled.try_add_scaled_assign(&f, k).ok()?;
+                            next.push(match c.kind() {
+                                ConstraintKind::Eq => Constraint::eq(scaled),
+                                ConstraintKind::Geq => Constraint::geq(scaled),
+                                ConstraintKind::Mod => {
+                                    Constraint::congruent(scaled, c.modulus().checked_mul(abs_a)?)
+                                }
+                            });
+                        }
+                        Some(next)
+                    })();
+                    if let Some(mut next) = rewritten {
+                        if abs_a >= 2 {
+                            next.push(Constraint::congruent(f, abs_a));
+                        }
+                        self.constraints = next;
+                        self.remove_exists_col(e);
+                        return true;
                     }
-                    let b = c.expr().coeff(col);
-                    if b == 0 {
-                        next.push(c.clone());
-                        continue;
-                    }
-                    // |a|·g  with the b·e term removed, then − sign(a)·b·f.
-                    let mut scaled = c.expr().clone();
-                    scaled.set_coeff(col, 0);
-                    scaled.scale_assign(a.abs());
-                    scaled.add_scaled_assign(&f, -a.signum() * b);
-                    next.push(match c.kind() {
-                        ConstraintKind::Eq => Constraint::eq(scaled),
-                        ConstraintKind::Geq => Constraint::geq(scaled),
-                        ConstraintKind::Mod => Constraint::congruent(scaled, c.modulus() * a.abs()),
-                    });
                 }
-                if a.abs() >= 2 {
-                    next.push(Constraint::congruent(f, a.abs()));
-                }
-                self.constraints = next;
-                self.remove_exists_col(e);
-                return true;
             }
 
             // Single occurrence in an equality with coefficient |a| >= 2 and
@@ -808,11 +867,11 @@ impl Conjunct {
                     ConstraintKind::Eq => {
                         let mut f = c.expr().clone();
                         f.set_coeff(col, 0);
-                        let m = a.abs();
-                        let replacement = if m >= 2 {
-                            Some(Constraint::congruent(f, m))
-                        } else {
-                            None // |a| == 1 handled above
+                        // checked_abs: an i64::MIN coefficient has no i64
+                        // magnitude to use as a modulus — keep the equality.
+                        let replacement = match a.checked_abs() {
+                            Some(m) if m >= 2 => Some(Constraint::congruent(f, m)),
+                            _ => None, // |a| == 1 handled above
                         };
                         if let Some(r) = replacement {
                             self.constraints[i] = r;
@@ -886,21 +945,34 @@ impl Conjunct {
                         .filter(|(i, _)| !users.contains(i))
                         .map(|(_, c)| c.clone())
                         .collect();
-                    for &li in &lowers {
+                    // Checked: a pair combination that overflows abandons the
+                    // elimination of this column (the solver still decides it
+                    // exactly later — or reports a typed overflow).
+                    let mut ok = true;
+                    'pairs: for &li in &lowers {
                         for &ui in &uppers {
                             let lo = self.constraints[li].expr();
                             let up = self.constraints[ui].expr();
                             let a = lo.coeff(col);
-                            let b = -up.coeff(col);
+                            let Some(b) = up.coeff(col).checked_neg() else {
+                                ok = false;
+                                break 'pairs;
+                            };
                             let mut combined = up.clone();
-                            combined.scale_assign(a);
-                            combined.add_scaled_assign(lo, b);
+                            if combined.try_scale_assign(a).is_err()
+                                || combined.try_add_scaled_assign(lo, b).is_err()
+                            {
+                                ok = false;
+                                break 'pairs;
+                            }
                             new_cs.push(Constraint::geq(combined));
                         }
                     }
-                    self.constraints = new_cs;
-                    self.remove_exists_col(e);
-                    return true;
+                    if ok {
+                        self.constraints = new_cs;
+                        self.remove_exists_col(e);
+                        return true;
+                    }
                 }
             }
         }
@@ -963,7 +1035,7 @@ impl Conjunct {
                 continue;
             }
             let a = c.expr().coeff(out_col);
-            if a.abs() != 1 {
+            if a.unsigned_abs() != 1 {
                 continue;
             }
             // Check no other output dim or existential appears.
@@ -983,16 +1055,19 @@ impl Conjunct {
             if !ok {
                 continue;
             }
-            // a*out + f = 0  =>  out = -f/a = -a*f (a = ±1)
+            // a*out + f = 0  =>  out = -f/a = -a*f (a = ±1).  checked_mul:
+            // an i64::MIN coefficient cannot be negated, so the dimension is
+            // conservatively not recognised as affine.
+            let neg = |v: i64| v.checked_mul(-a);
             let mut ins = Vec::with_capacity(n_in);
             for i in 0..n_in {
-                ins.push(-a * c.expr().coeff(self.col(VarKind::In, i)));
+                ins.push(neg(c.expr().coeff(self.col(VarKind::In, i)))?);
             }
             let mut pars = Vec::with_capacity(n_param);
             for p in 0..n_param {
-                pars.push(-a * c.expr().coeff(self.col(VarKind::Param, p)));
+                pars.push(neg(c.expr().coeff(self.col(VarKind::Param, p)))?);
             }
-            let konst = -a * c.expr().constant();
+            let konst = neg(c.expr().constant())?;
             return Some((ins, pars, konst));
         }
         None

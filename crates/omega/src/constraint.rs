@@ -1,5 +1,6 @@
 //! Individual affine constraints: equalities, inequalities and congruences.
 
+use crate::arith::{note_arith_overflow, ArithOverflow};
 use crate::linexpr::{gcd, LinExpr};
 
 /// The kind of a [`Constraint`].
@@ -92,12 +93,23 @@ impl Constraint {
     }
 
     /// Evaluates the constraint for a concrete assignment of all columns.
+    ///
+    /// The evaluation is widened to `i128` (which any sum of `i64`·`i64`
+    /// products over the inline width fits) and, should even that overflow,
+    /// the sticky overflow flag is noted and the constraint conservatively
+    /// reports `false`.
     pub fn holds(&self, values: &[i64]) -> bool {
-        let v = self.expr.eval(values);
+        let v = match self.expr.try_eval_wide(values) {
+            Ok(v) => v,
+            Err(ArithOverflow) => {
+                note_arith_overflow();
+                return false;
+            }
+        };
         match self.kind {
             ConstraintKind::Eq => v == 0,
             ConstraintKind::Geq => v >= 0,
-            ConstraintKind::Mod => v.rem_euclid(self.modulus) == 0,
+            ConstraintKind::Mod => v.rem_euclid(self.modulus as i128) == 0,
         }
     }
 
@@ -141,7 +153,11 @@ impl Constraint {
                     e.exact_div_assign(g);
                 }
                 if e.leading_value() < 0 {
-                    e.scale_assign(-1);
+                    // Sign canonicalisation is skipped when negating would
+                    // overflow (an `i64::MIN` entry): a missed canonical form
+                    // only costs a memo hit, a wrapped one would poison the
+                    // structural hash.
+                    let _ = e.try_scale_assign(-1);
                 }
                 Constraint::eq(e)
             }
@@ -182,25 +198,41 @@ impl Constraint {
     /// * `¬(e = 0)` is `e − 1 ≥ 0  ∨  −e − 1 ≥ 0`;
     /// * `¬(e ≡ 0 mod m)` is `⋁_{r=1}^{m−1} (e − r) ≡ 0 (mod m)`.
     pub fn negated(&self) -> Vec<Constraint> {
-        match self.kind {
-            ConstraintKind::Geq => vec![Constraint::geq(
-                self.expr.scale(-1) + LinExpr::constant_expr(self.expr.n_vars(), -1),
-            )],
+        match self.try_negated() {
+            Ok(cs) => cs,
+            Err(ArithOverflow) => {
+                // Negating would overflow `i64` (an `i64::MIN` coefficient or
+                // saturated constant).  Fall back to the trivially-true
+                // constraint — the negation is *weakened*, which can only
+                // enlarge a difference (spurious inequivalence direction) —
+                // and note the sticky flag so the enclosing verdict degrades
+                // to inconclusive rather than asserting anything.
+                note_arith_overflow();
+                vec![Constraint::geq(LinExpr::constant_expr(
+                    self.expr.n_vars(),
+                    0,
+                ))]
+            }
+        }
+    }
+
+    fn try_negated(&self) -> Result<Vec<Constraint>, ArithOverflow> {
+        let lowered = |e: &LinExpr, by: i64| -> Result<LinExpr, ArithOverflow> {
+            let mut e = e.clone();
+            let c = e.constant().checked_sub(by).ok_or(ArithOverflow)?;
+            e.set_constant(c);
+            Ok(e)
+        };
+        Ok(match self.kind {
+            ConstraintKind::Geq => vec![Constraint::geq(lowered(&self.expr.try_scale(-1)?, 1)?)],
             ConstraintKind::Eq => vec![
-                Constraint::geq(self.expr.clone() + LinExpr::constant_expr(self.expr.n_vars(), -1)),
-                Constraint::geq(
-                    self.expr.scale(-1) + LinExpr::constant_expr(self.expr.n_vars(), -1),
-                ),
+                Constraint::geq(lowered(&self.expr, 1)?),
+                Constraint::geq(lowered(&self.expr.try_scale(-1)?, 1)?),
             ],
             ConstraintKind::Mod => (1..self.modulus)
-                .map(|r| {
-                    Constraint::congruent(
-                        self.expr.clone() + LinExpr::constant_expr(self.expr.n_vars(), -r),
-                        self.modulus,
-                    )
-                })
-                .collect(),
-        }
+                .map(|r| Ok(Constraint::congruent(lowered(&self.expr, r)?, self.modulus)))
+                .collect::<Result<_, _>>()?,
+        })
     }
 
     /// Returns a copy with `extra` zero columns appended.

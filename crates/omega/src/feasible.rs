@@ -50,6 +50,7 @@
 //!   and columns introduced during the run (congruence witnesses, σ variables
 //!   of the mod-reduction) are truncated away at the end.
 
+use crate::arith::{narrow, note_arith_overflow, unchecked_arith, ArithOverflow};
 use crate::constraint::{Constraint, ConstraintKind};
 use crate::linexpr::{floor_div, mod_hat, LinExpr};
 
@@ -66,10 +67,15 @@ pub(crate) enum Feasibility {
     Infeasible,
     /// The work limit was exceeded; treat as (possibly) feasible.
     Unknown,
+    /// Coefficient arithmetic overflowed `i64` even after `i128` widening;
+    /// treat as (possibly) feasible.  The sticky per-thread flag
+    /// ([`crate::take_arith_overflow`]) is set whenever this is produced, so
+    /// the checker downgrades the enclosing verdict to inconclusive.
+    Overflow,
 }
 
 impl Feasibility {
-    /// Collapses `Unknown` into the conservative `true`.
+    /// Collapses `Unknown` and `Overflow` into the conservative `true`.
     pub(crate) fn as_bool(self) -> bool {
         !matches!(self, Feasibility::Infeasible)
     }
@@ -92,6 +98,10 @@ pub(crate) fn is_feasible(constraints: &[Constraint], n_vars: usize) -> Feasibil
         Outcome::Sat(_) => Feasibility::Feasible,
         Outcome::Unsat => Feasibility::Infeasible,
         Outcome::Unknown => Feasibility::Unknown,
+        Outcome::Overflow => {
+            note_arith_overflow();
+            Feasibility::Overflow
+        }
     }
 }
 
@@ -134,15 +144,21 @@ pub(crate) fn find_model(constraints: &[Constraint], n_vars: usize) -> ModelOutc
         Outcome::Sat(None) => ModelOutcome::Unknown,
         Outcome::Unsat => ModelOutcome::Infeasible,
         Outcome::Unknown => ModelOutcome::Unknown,
+        Outcome::Overflow => {
+            note_arith_overflow();
+            ModelOutcome::Unknown
+        }
     }
 }
 
 /// Result of one (sub-)problem solve: satisfiable (with a model when the
-/// problem was asked for one), unsatisfiable, or given up.
+/// problem was asked for one), unsatisfiable, given up, or overflowed.
 enum Outcome {
     Sat(Option<Vec<i64>>),
     Unsat,
     Unknown,
+    /// Checked arithmetic overflowed `i64` even with `i128` intermediates.
+    Overflow,
 }
 
 /// Internal solver state: equalities and inequalities as raw linear
@@ -155,6 +171,10 @@ struct Problem {
     /// checker's hot path (`is_feasible`), so the decision procedure pays
     /// nothing for the machinery.
     want_model: bool,
+    /// Whether coefficient arithmetic runs through the overflow-checked
+    /// (`i128`-widened) paths.  Always on except under the bench harness's
+    /// [`crate::set_unchecked_solver_arithmetic`] escape hatch.
+    checked: bool,
 }
 
 impl Problem {
@@ -164,13 +184,42 @@ impl Problem {
             eqs: Vec::new(),
             geqs: Vec::new(),
             want_model: false,
+            checked: !unchecked_arith(),
         }
     }
 
     fn sub(&self) -> Self {
         let mut p = Problem::new(self.n_vars);
         p.want_model = self.want_model;
+        p.checked = self.checked;
         p
+    }
+
+    /// `e *= k`, checked when this problem runs in checked mode.
+    #[inline]
+    fn scale_in_place(&self, e: &mut LinExpr, k: i64) -> Result<(), ArithOverflow> {
+        if self.checked {
+            e.try_scale_assign(k)
+        } else {
+            e.scale_assign(k);
+            Ok(())
+        }
+    }
+
+    /// `e += k·other`, checked when this problem runs in checked mode.
+    #[inline]
+    fn add_scaled_in_place(
+        &self,
+        e: &mut LinExpr,
+        other: &LinExpr,
+        k: i64,
+    ) -> Result<(), ArithOverflow> {
+        if self.checked {
+            e.try_add_scaled_assign(other, k)
+        } else {
+            e.add_scaled_assign(other, k);
+            Ok(())
+        }
     }
 
     /// Adds a constraint; returns `false` if it is trivially unsatisfiable.
@@ -231,10 +280,11 @@ impl Problem {
                 return Outcome::Unsat;
             }
             if let Some(eq_idx) = self.pick_equality() {
-                if !self.eliminate_equality(eq_idx, &mut subs) {
-                    return Outcome::Unsat;
+                match self.eliminate_equality(eq_idx, &mut subs) {
+                    Ok(true) => continue,
+                    Ok(false) => return Outcome::Unsat,
+                    Err(ArithOverflow) => return Outcome::Overflow,
                 }
-                continue;
             }
             // Only inequalities remain.
             let mut outcome = self.solve_inequalities(work);
@@ -244,7 +294,15 @@ impl Problem {
                     // `value` was recorded before later columns existed; it
                     // cannot use them, so evaluating over its own prefix of
                     // the model is exact.
-                    model[*col] = value.eval(&model[..value.n_vars()]);
+                    let prefix = &model[..value.n_vars()];
+                    model[*col] = if self.checked {
+                        match value.try_eval(prefix) {
+                            Ok(v) => v,
+                            Err(ArithOverflow) => return Outcome::Overflow,
+                        }
+                    } else {
+                        value.eval(prefix)
+                    };
                 }
             }
             return outcome;
@@ -306,7 +364,7 @@ impl Problem {
         } else {
             // Prefer an equality that has a unit coefficient: cheapest.
             for (i, e) in self.eqs.iter().enumerate() {
-                if (0..self.n_vars).any(|c| e.coeff(c).abs() == 1) {
+                if (0..self.n_vars).any(|c| e.coeff(c).unsigned_abs() == 1) {
                     return Some(i);
                 }
             }
@@ -314,33 +372,47 @@ impl Problem {
         }
     }
 
-    /// Eliminates one equality; returns `false` if infeasibility is detected.
-    /// When a variable is substituted away, the substitution is recorded in
-    /// `subs` (model reconstruction) if a model was requested.
-    fn eliminate_equality(&mut self, idx: usize, subs: &mut Vec<(usize, LinExpr)>) -> bool {
+    /// Eliminates one equality; returns `Ok(false)` if infeasibility is
+    /// detected and `Err` when checked arithmetic overflowed.  When a
+    /// variable is substituted away, the substitution is recorded in `subs`
+    /// (model reconstruction) if a model was requested.
+    fn eliminate_equality(
+        &mut self,
+        idx: usize,
+        subs: &mut Vec<(usize, LinExpr)>,
+    ) -> Result<bool, ArithOverflow> {
         let e = self.eqs.swap_remove(idx);
         // Find a unit-coefficient variable.
-        if let Some(col) = (0..self.n_vars).find(|&c| e.coeff(c).abs() == 1) {
+        if let Some(col) = (0..self.n_vars).find(|&c| e.coeff(c).unsigned_abs() == 1) {
             let a = e.coeff(col);
             // a*x + rest = 0  =>  x = -rest / a  (a = ±1)
             let mut value = e.clone();
             value.set_coeff(col, 0);
-            let value = value.scale(-a); // since a*a = 1
-            for f in self.eqs.iter_mut().chain(self.geqs.iter_mut()) {
-                *f = f.substitute(col, &value);
+            self.scale_in_place(&mut value, -a)?; // since a*a = 1
+            if self.checked {
+                for f in self.eqs.iter_mut().chain(self.geqs.iter_mut()) {
+                    f.try_substitute_assign(col, &value)?;
+                }
+            } else {
+                for f in self.eqs.iter_mut().chain(self.geqs.iter_mut()) {
+                    f.substitute_assign(col, &value);
+                }
             }
             if self.want_model {
                 subs.push((col, value));
             }
-            return true;
+            return Ok(true);
         }
         // No unit coefficient: Pugh's mod-reduction.
         let col = (0..self.n_vars)
             .filter(|&c| e.coeff(c) != 0)
-            .min_by_key(|&c| e.coeff(c).abs())
+            .min_by_key(|&c| e.coeff(c).unsigned_abs())
             .expect("non-trivial equality");
         let ak = e.coeff(col);
-        let m = ak.abs() + 1;
+        let m = ak
+            .checked_abs()
+            .and_then(|a| a.checked_add(1))
+            .ok_or(ArithOverflow)?;
         let sigma = self.add_var();
         let e = e.extended(1);
         // Build:  Σ mod̂(aᵢ, m)·xᵢ + mod̂(c, m) − m·σ = 0
@@ -351,10 +423,10 @@ impl Problem {
         aux.set_coeff(sigma, -m);
         aux.set_constant(mod_hat(e.constant(), m));
         // mod̂(ak, m) is ∓1, so `aux` has a unit coefficient on `col`:
-        debug_assert_eq!(aux.coeff(col).abs(), 1);
+        debug_assert_eq!(aux.coeff(col).unsigned_abs(), 1);
         self.eqs.push(e);
         self.eqs.push(aux);
-        true
+        Ok(true)
     }
 
     /// Decides feasibility when only inequalities remain; reconstructs a
@@ -399,11 +471,15 @@ impl Problem {
                 self.geqs.retain(|e| e.coeff(col) == 0);
                 let mut outcome = self.solve_inequalities(work);
                 if let Outcome::Sat(Some(model)) = &mut outcome {
-                    model[col] = if one_sided.iter().any(|e| e.coeff(col) > 0) {
+                    let bound = if one_sided.iter().any(|e| e.coeff(col) > 0) {
                         lower_bound(&one_sided, col, model)
                     } else {
                         upper_bound(&one_sided, col, model)
                     };
+                    match bound {
+                        Ok(v) => model[col] = v,
+                        Err(ArithOverflow) => return Outcome::Overflow,
+                    }
                 }
                 return outcome;
             }
@@ -452,14 +528,38 @@ impl Problem {
         for lo in &lowers {
             let a = lo.coeff(col);
             for up in &uppers {
-                let b = -up.coeff(col);
+                // `up.coeff(col)` is negative; its negation only fails for
+                // i64::MIN, which the checked path reports as overflow.
+                let b = match up.coeff(col).checked_neg() {
+                    Some(b) => b,
+                    None if self.checked => return Outcome::Overflow,
+                    None => up.coeff(col).wrapping_neg(),
+                };
                 // a·x + f ≥ 0  ∧  −b·x + g ≥ 0   ⇒ (reals)  a·g + b·f ≥ 0
-                let mut combined = up.scale(a);
-                combined.add_scaled_assign(lo, b);
+                let mut combined = up.clone();
+                if self.scale_in_place(&mut combined, a).is_err()
+                    || self.add_scaled_in_place(&mut combined, lo, b).is_err()
+                {
+                    return Outcome::Overflow;
+                }
                 debug_assert_eq!(combined.coeff(col), 0);
                 real.geqs.push(combined.clone());
                 let mut darkc = combined;
-                darkc.set_constant(darkc.constant() - (a - 1) * (b - 1));
+                if self.checked {
+                    // The dark-shadow margin (a−1)(b−1) is widened to i128;
+                    // its subtraction from the constant must narrow to i64.
+                    let margin = (a as i128 - 1) * (b as i128 - 1);
+                    match narrow(darkc.constant() as i128 - margin) {
+                        Ok(c) => darkc.set_constant(c),
+                        Err(ArithOverflow) => return Outcome::Overflow,
+                    }
+                } else {
+                    darkc.set_constant(
+                        darkc
+                            .constant()
+                            .wrapping_sub((a.wrapping_sub(1)).wrapping_mul(b.wrapping_sub(1))),
+                    );
+                }
                 dark.geqs.push(darkc);
             }
         }
@@ -471,8 +571,13 @@ impl Problem {
         let place = |mut model: Vec<i64>, n_vars: usize| -> Outcome {
             model.truncate(n_vars);
             debug_assert_eq!(model.len(), n_vars);
-            let lo = lower_bound(&lowers, col, &model);
-            let hi = upper_bound(&uppers, col, &model);
+            let (lo, hi) = match (
+                lower_bound(&lowers, col, &model),
+                upper_bound(&uppers, col, &model),
+            ) {
+                (Ok(lo), Ok(hi)) => (lo, hi),
+                _ => return Outcome::Overflow,
+            };
             if lo > hi {
                 debug_assert!(false, "model interval for column {col} is empty");
                 return Outcome::Unknown;
@@ -497,6 +602,9 @@ impl Problem {
             Outcome::Sat(Some(m)) => return place(m, self.n_vars),
             Outcome::Sat(None) => return Outcome::Sat(None),
             Outcome::Unknown => return Outcome::Unknown,
+            // An undecided dark shadow leaves the sat direction open; the
+            // splinters below only cover the real/dark gap, so give up.
+            Outcome::Overflow => return Outcome::Overflow,
             Outcome::Unsat => {}
         }
 
@@ -504,11 +612,18 @@ impl Problem {
         // Every splinter sub-problem carries the complete inequality system
         // plus the splintering equality, so its model (truncated to our
         // column count) is directly a model of this problem.
-        let bmax = uppers.iter().map(|e| -e.coeff(col)).max().unwrap_or(1);
+        // Widened to i128: coefficients can sit near i64::MAX, where both the
+        // negation and the a·bmax product would overflow the narrow type.
+        let bmax = uppers
+            .iter()
+            .map(|e| -(e.coeff(col) as i128))
+            .max()
+            .unwrap_or(1);
         for lo in &lowers {
-            let a = lo.coeff(col);
+            let a = lo.coeff(col) as i128;
             let max_j = (a * bmax - a - bmax) / bmax;
-            for j in 0..=max_j.max(0) {
+            let mut j = 0i64;
+            while (j as i128) <= max_j.max(0) {
                 *work += 1;
                 if *work > WORK_LIMIT {
                     return Outcome::Unknown;
@@ -517,7 +632,10 @@ impl Problem {
                 sub.geqs = self.geqs.clone();
                 // a·x + f = j
                 let mut eq = lo.clone();
-                eq.set_constant(eq.constant() - j);
+                match eq.constant().checked_sub(j) {
+                    Some(c) => eq.set_constant(c),
+                    None => return Outcome::Overflow,
+                }
                 sub.eqs.push(eq);
                 match sub.solve(work) {
                     Outcome::Sat(Some(mut m)) => {
@@ -526,8 +644,10 @@ impl Problem {
                     }
                     Outcome::Sat(None) => return Outcome::Sat(None),
                     Outcome::Unknown => return Outcome::Unknown,
+                    Outcome::Overflow => return Outcome::Overflow,
                     Outcome::Unsat => {}
                 }
+                j += 1;
             }
         }
         Outcome::Unsat
@@ -537,33 +657,38 @@ impl Problem {
 /// `max_i ⌈−fᵢ(model) / aᵢ⌉` over the lower bounds `aᵢ·x + fᵢ ≥ 0` of
 /// column `col` (`i64::MIN` when there are none).  The contribution of `col`
 /// itself is excluded from the evaluation.
-fn lower_bound(bounds: &[LinExpr], col: usize, model: &[i64]) -> i64 {
-    bounds
-        .iter()
-        .filter(|e| e.coeff(col) > 0)
-        .map(|e| {
-            let a = e.coeff(col);
-            let f = e.eval(model) - a * model[col];
-            // a·x + f ≥ 0  ⇒  x ≥ ⌈−f/a⌉ = −⌊f/a⌋
-            -floor_div(f, a)
-        })
-        .max()
-        .unwrap_or(i64::MIN)
+///
+/// Evaluation runs in `i128` (model coordinates reconstructed by
+/// back-substitution can be large); only the final bound must narrow.  Model
+/// extraction is never on the bench-critical `is_feasible` path, so this is
+/// always checked.
+fn lower_bound(bounds: &[LinExpr], col: usize, model: &[i64]) -> Result<i64, ArithOverflow> {
+    let mut best = i64::MIN;
+    for e in bounds.iter().filter(|e| e.coeff(col) > 0) {
+        let a = e.coeff(col) as i128;
+        let f = e
+            .try_eval_wide(model)?
+            .checked_sub(a * model[col] as i128)
+            .ok_or(ArithOverflow)?;
+        // a·x + f ≥ 0  ⇒  x ≥ ⌈−f/a⌉ = −⌊f/a⌋
+        best = best.max(narrow(-f.div_euclid(a))?);
+    }
+    Ok(best)
 }
 
 /// `min_i ⌊gᵢ(model) / bᵢ⌋` over the upper bounds `−bᵢ·x + gᵢ ≥ 0` of
 /// column `col` (`i64::MAX` when there are none).
-fn upper_bound(bounds: &[LinExpr], col: usize, model: &[i64]) -> i64 {
-    bounds
-        .iter()
-        .filter(|e| e.coeff(col) < 0)
-        .map(|e| {
-            let b = -e.coeff(col);
-            let g = e.eval(model) + b * model[col];
-            floor_div(g, b)
-        })
-        .min()
-        .unwrap_or(i64::MAX)
+fn upper_bound(bounds: &[LinExpr], col: usize, model: &[i64]) -> Result<i64, ArithOverflow> {
+    let mut best = i64::MAX;
+    for e in bounds.iter().filter(|e| e.coeff(col) < 0) {
+        let b = -(e.coeff(col) as i128);
+        let g = e
+            .try_eval_wide(model)?
+            .checked_add(b * model[col] as i128)
+            .ok_or(ArithOverflow)?;
+        best = best.min(narrow(g.div_euclid(b))?);
+    }
+    Ok(best)
 }
 
 #[cfg(test)]

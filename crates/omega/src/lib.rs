@@ -122,6 +122,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arith;
+mod bigint;
 mod conjunct;
 mod constraint;
 mod display;
@@ -129,10 +131,18 @@ mod feasible;
 mod hash;
 mod linexpr;
 mod parse;
+pub mod reference;
 mod relation;
 mod set;
 mod space;
 
+#[doc(hidden)]
+pub use arith::inject_arith_overflow;
+pub use arith::{
+    arith_overflow_events, arith_overflow_pending, set_unchecked_solver_arithmetic,
+    take_arith_overflow, ArithOverflow,
+};
+pub use bigint::BigInt;
 pub use conjunct::{
     current_feasibility_cache, feasibility_memo_stats, with_feasibility_cache, Conjunct,
     FeasibilityCache,

@@ -1,5 +1,6 @@
 //! Affine linear expressions with integer coefficients.
 
+use crate::arith::{narrow, ArithOverflow};
 use std::cmp::Ordering;
 use std::hash::{Hash, Hasher};
 use std::ops::{Add, Mul, Neg, Sub};
@@ -284,10 +285,7 @@ impl LinExpr {
 
     /// Greatest common divisor of the variable coefficients (0 if all zero).
     pub fn coeff_gcd(&self) -> i64 {
-        self.coeffs
-            .as_slice()
-            .iter()
-            .fold(0i64, |g, &c| gcd(g, c.abs()))
+        self.coeffs.as_slice().iter().fold(0i64, |g, &c| gcd(g, c))
     }
 
     /// Divides every coefficient and the constant by `d`.
@@ -444,6 +442,141 @@ impl LinExpr {
         self.coeffs.remove(col);
     }
 
+    /// Overflow-checked [`eval`](LinExpr::eval): the products and the running
+    /// sum are computed in `i128` and the result narrowed back to `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.n_vars()`.
+    pub fn try_eval(&self, values: &[i64]) -> Result<i64, ArithOverflow> {
+        narrow(self.try_eval_wide(values)?)
+    }
+
+    /// Overflow-checked evaluation keeping the `i128` widened result.
+    ///
+    /// Each `aᵢ·vᵢ` product of two `i64`s always fits `i128`; only the
+    /// running sum is checked.  Callers that merely need the *sign* of the
+    /// value (constraint satisfaction) use this to avoid the final
+    /// narrowing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.n_vars()`.
+    pub fn try_eval_wide(&self, values: &[i64]) -> Result<i128, ArithOverflow> {
+        assert_eq!(values.len(), self.n_vars(), "wrong number of values");
+        let mut acc = self.constant as i128;
+        for (a, v) in self.coeffs.as_slice().iter().zip(values) {
+            acc = acc
+                .checked_add(*a as i128 * *v as i128)
+                .ok_or(ArithOverflow)?;
+        }
+        Ok(acc)
+    }
+
+    /// Overflow-checked [`eval_prefix`](LinExpr::eval_prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix.len() > self.n_vars()`.
+    pub fn try_eval_prefix(&self, prefix: &[i64]) -> Result<i64, ArithOverflow> {
+        assert!(prefix.len() <= self.n_vars(), "prefix too long");
+        let mut acc = self.constant as i128;
+        for (a, v) in self.coeffs.as_slice().iter().zip(prefix) {
+            acc = acc
+                .checked_add(*a as i128 * *v as i128)
+                .ok_or(ArithOverflow)?;
+        }
+        narrow(acc)
+    }
+
+    /// Overflow-checked [`scale`](LinExpr::scale).
+    pub fn try_scale(&self, k: i64) -> Result<LinExpr, ArithOverflow> {
+        let mut out = self.clone();
+        out.try_scale_assign(k)?;
+        Ok(out)
+    }
+
+    /// Overflow-checked [`scale_assign`](LinExpr::scale_assign): every
+    /// product is computed in `i128` and narrowed.  On `Err` the expression
+    /// is left **unmodified** (the checks run before any store), so a failed
+    /// attempt never leaves a half-scaled expression behind.
+    pub fn try_scale_assign(&mut self, k: i64) -> Result<(), ArithOverflow> {
+        let kw = k as i128;
+        for c in self.coeffs.as_slice() {
+            narrow(*c as i128 * kw)?;
+        }
+        narrow(self.constant as i128 * kw)?;
+        for c in self.coeffs.as_mut_slice() {
+            *c *= k;
+        }
+        self.constant *= k;
+        Ok(())
+    }
+
+    /// Overflow-checked [`add_scaled_assign`](LinExpr::add_scaled_assign):
+    /// each `aᵢ + k·bᵢ` is computed in `i128` and narrowed.  On `Err` the
+    /// expression is left **unmodified**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two expressions have different numbers of variables.
+    pub fn try_add_scaled_assign(&mut self, other: &LinExpr, k: i64) -> Result<(), ArithOverflow> {
+        assert_eq!(self.n_vars(), other.n_vars());
+        let kw = k as i128;
+        for (a, b) in self.coeffs.as_slice().iter().zip(other.coeffs.as_slice()) {
+            narrow(*a as i128 + kw * *b as i128)?;
+        }
+        narrow(self.constant as i128 + kw * other.constant as i128)?;
+        for (a, b) in self
+            .coeffs
+            .as_mut_slice()
+            .iter_mut()
+            .zip(other.coeffs.as_slice())
+        {
+            *a = (*a as i128 + kw * *b as i128) as i64;
+        }
+        self.constant = (self.constant as i128 + kw * other.constant as i128) as i64;
+        Ok(())
+    }
+
+    /// Overflow-checked [`substitute_assign`](LinExpr::substitute_assign).
+    /// On `Err` the expression is left **unmodified**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` uses column `col` or sizes differ.
+    pub fn try_substitute_assign(
+        &mut self,
+        col: usize,
+        value: &LinExpr,
+    ) -> Result<(), ArithOverflow> {
+        assert_eq!(self.n_vars(), value.n_vars());
+        assert_eq!(value.coeff(col), 0, "substitution value uses the variable");
+        let k = self.coeffs.as_slice()[col];
+        if k == 0 {
+            return Ok(());
+        }
+        // Validate every resulting entry before storing anything: the `col`
+        // entry becomes 0 first in the real substitution, so its check uses
+        // 0 + k·value[col] = 0 and is trivially fine; all other entries are
+        // aᵢ + k·bᵢ.
+        let kw = k as i128;
+        for (i, (a, b)) in self
+            .coeffs
+            .as_slice()
+            .iter()
+            .zip(value.coeffs.as_slice())
+            .enumerate()
+        {
+            let base = if i == col { 0 } else { *a as i128 };
+            narrow(base + kw * *b as i128)?;
+        }
+        narrow(self.constant as i128 + kw * value.constant as i128)?;
+        self.coeffs.as_mut_slice()[col] = 0;
+        self.add_scaled_assign(value, k);
+        Ok(())
+    }
+
     /// Substitutes variable `col` with the expression `value` (which must not
     /// itself use `col`); i.e. rewrites `self` under `x_col := value`.
     ///
@@ -511,13 +644,17 @@ impl Mul<i64> for LinExpr {
 
 /// Greatest common divisor of two non-negative integers (`gcd(0, x) = x`).
 pub(crate) fn gcd(a: i64, b: i64) -> i64 {
-    let (mut a, mut b) = (a.abs(), b.abs());
+    // Magnitudes are taken as u64 so `i64::MIN` inputs cannot overflow.  The
+    // result only exceeds `i64` when every input is 0 or `i64::MIN`; that
+    // 2^63 gcd is clamped to 1 ("no common factor usable for division"),
+    // which merely skips a canonicalising division — never changes a verdict.
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
     while b != 0 {
         let t = a % b;
         a = b;
         b = t;
     }
-    a
+    i64::try_from(a).unwrap_or(1)
 }
 
 /// Floor division (rounds towards negative infinity).
@@ -531,7 +668,9 @@ pub(crate) fn floor_div(a: i64, b: i64) -> i64 {
 pub(crate) fn mod_hat(a: i64, b: i64) -> i64 {
     debug_assert!(b > 0);
     let r = a.rem_euclid(b);
-    if 2 * r > b {
+    // `2r > b` phrased as `r > b/2` so huge moduli cannot overflow the
+    // doubling (for integers with 0 <= r < b the two are equivalent).
+    if r > b / 2 {
         r - b
     } else {
         r

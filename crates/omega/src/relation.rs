@@ -543,7 +543,7 @@ impl Relation {
 
         let base = Relation::raw(self.space.clone(), vec![closure]);
         let restricted = base.restrict_domain(&dom)?.restrict_range(&ran)?;
-        let exact = offsets.iter().all(|&k| k.abs() <= 1);
+        let exact = offsets.iter().all(|&k| k.unsigned_abs() <= 1);
         Ok((restricted.simplified(true), exact))
     }
 

@@ -7,10 +7,223 @@
 //! on the server answers control messages ahead of queued work, so
 //! responses can arrive out of request order; match them up by `id`.
 
+use crate::protocol::PROTOCOL_FORMAT;
 use arrayeq_engine::{json_string, JsonValue};
+use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
+
+/// Typed client-side failure, mapped by `arrayeq client` onto exit code 3.
+#[derive(Debug)]
+pub enum ClientError {
+    /// No connection could be established (socket absent, refused, or the
+    /// greeting never arrived) after every configured attempt.
+    Connect {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last I/O failure observed.
+        last: io::Error,
+    },
+    /// An established connection failed mid-request (broken pipe, reset,
+    /// server closed) after every configured replay.
+    Io {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last I/O failure observed.
+        last: io::Error,
+    },
+    /// The server's greeting line is not the daemon protocol — the socket
+    /// belongs to something else.  Never retried.
+    MalformedGreeting {
+        /// The greeting line actually received (trimmed).
+        line: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Connect { attempts, last } => {
+                write!(f, "cannot connect after {attempts} attempt(s): {last}")
+            }
+            ClientError::Io { attempts, last } => {
+                write!(f, "connection failed after {attempts} attempt(s): {last}")
+            }
+            ClientError::MalformedGreeting { line } => {
+                write!(
+                    f,
+                    "server sent a malformed greeting (not an arrayeq daemon?): {line:?}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Bounded-retry policy for [`connect_with_retry`] / [`request_with_retry`]:
+/// exponential backoff from `base_ms`, capped at `max_ms`, with deterministic
+/// per-process jitter so a fleet of clients restarted together does not
+/// reconnect in lockstep.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub attempts: u32,
+    /// Backoff before the second attempt, in milliseconds; doubles per retry.
+    pub base_ms: u64,
+    /// Upper bound on any single backoff, in milliseconds.
+    pub max_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_ms: 50,
+            max_ms: 2_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The policy behind `arrayeq client --retry N --retry-max-ms M`:
+    /// `retries` extra attempts after the first.
+    pub fn with_retries(retries: u32, max_ms: u64) -> RetryPolicy {
+        RetryPolicy {
+            attempts: retries.saturating_add(1),
+            max_ms,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff before attempt `attempt` (1-based; attempt 1 has none):
+    /// `min(max_ms, base_ms << (attempt-2))`, then jittered down by up to
+    /// half so concurrent clients spread out.
+    fn backoff(&self, attempt: u32, seed: &mut u64) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let exp = (attempt - 2).min(16);
+        let full = self
+            .base_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.max_ms.max(1));
+        // xorshift64*: deterministic within a process run, seeded from the
+        // clock and pid at policy use — no external RNG dependency.
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        let jitter = *seed % (full / 2 + 1);
+        Duration::from_millis(full - jitter)
+    }
+}
+
+/// A per-process jitter seed: wall-clock nanos mixed with the pid, so two
+/// clients launched in the same instant still diverge.
+fn jitter_seed() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x9e37_79b9);
+    (nanos ^ u64::from(std::process::id())).max(1)
+}
+
+/// Whether the greeting line is the daemon protocol's: a JSON object whose
+/// `format` is [`PROTOCOL_FORMAT`].
+fn greeting_is_valid(line: &str) -> bool {
+    JsonValue::parse(line)
+        .ok()
+        .and_then(|v| {
+            v.get("format")
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+        })
+        .is_some_and(|f| f == PROTOCOL_FORMAT)
+}
+
+/// Connects with bounded retry: connect/greeting I/O failures back off and
+/// retry up to `policy.attempts`; a *malformed* greeting fails immediately
+/// (the socket is not an arrayeq daemon — retrying cannot fix that).
+///
+/// # Errors
+///
+/// [`ClientError::Connect`] when every attempt failed,
+/// [`ClientError::MalformedGreeting`] on a non-daemon greeting.
+pub fn connect_with_retry(path: &Path, policy: &RetryPolicy) -> Result<Client, ClientError> {
+    let mut seed = jitter_seed();
+    let mut last: Option<io::Error> = None;
+    let attempts = policy.attempts.max(1);
+    for attempt in 1..=attempts {
+        std::thread::sleep(policy.backoff(attempt, &mut seed));
+        match Client::connect(path) {
+            Ok(client) => {
+                if !greeting_is_valid(client.greeting()) {
+                    return Err(ClientError::MalformedGreeting {
+                        line: client.greeting().to_owned(),
+                    });
+                }
+                return Ok(client);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(ClientError::Connect {
+        attempts,
+        last: last.unwrap_or_else(|| io::Error::other("no attempt made")),
+    })
+}
+
+/// Sends `line` and returns the response that echoes `id`, reconnecting and
+/// **replaying the identical request line** on connect or mid-request I/O
+/// failure, up to `policy.attempts` total attempts.
+///
+/// Replay is safe because daemon requests are idempotent queries and every
+/// response carries the client-chosen `id`: a fresh connection is a fresh
+/// session (no stale response can arrive), and on one connection responses
+/// to other in-flight requests are skipped until `id`'s own answer shows up.
+///
+/// # Errors
+///
+/// [`ClientError`] when every attempt failed (or the greeting was malformed).
+pub fn request_with_retry(
+    path: &Path,
+    line: &str,
+    id: u64,
+    policy: &RetryPolicy,
+) -> Result<String, ClientError> {
+    let mut seed = jitter_seed();
+    let mut last: Option<io::Error> = None;
+    let mut connected_once = false;
+    let attempts = policy.attempts.max(1);
+    for attempt in 1..=attempts {
+        std::thread::sleep(policy.backoff(attempt, &mut seed));
+        let mut client = match Client::connect(path) {
+            Ok(c) => c,
+            Err(e) => {
+                last = Some(e);
+                continue;
+            }
+        };
+        if !greeting_is_valid(client.greeting()) {
+            return Err(ClientError::MalformedGreeting {
+                line: client.greeting().to_owned(),
+            });
+        }
+        connected_once = true;
+        match client.request_expect_id(line, id) {
+            Ok(response) => return Ok(response),
+            Err(e) => last = Some(e),
+        }
+    }
+    let last = last.unwrap_or_else(|| io::Error::other("no attempt made"));
+    if connected_once {
+        Err(ClientError::Io { attempts, last })
+    } else {
+        Err(ClientError::Connect { attempts, last })
+    }
+}
 
 /// One open connection to a daemon.
 pub struct Client {
@@ -85,6 +298,27 @@ impl Client {
     pub fn request(&mut self, line: &str) -> io::Result<String> {
         self.send(line)?;
         self.recv()
+    }
+
+    /// Sends one request and waits for the response whose `id` echoes
+    /// `expect`, skipping responses that answer other in-flight requests on
+    /// this connection (control replies overtake queued verifies).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures from either direction.
+    pub fn request_expect_id(&mut self, line: &str, expect: u64) -> io::Result<String> {
+        self.send(line)?;
+        loop {
+            let response = self.recv()?;
+            let id = JsonValue::parse(&response)
+                .ok()
+                .and_then(|v| v.get("id").and_then(JsonValue::as_i64));
+            match id {
+                Some(id) if id != expect as i64 => continue,
+                _ => return Ok(response),
+            }
+        }
     }
 
     /// Verifies a source pair and returns the raw response line.

@@ -338,9 +338,26 @@ impl Server {
                     cancel: Some(token),
                 };
                 let request = VerifyRequest::source(original, transformed);
-                let response = match self.verifier.verify_with_limits(&request, &limits) {
-                    Ok(outcome) => ok_response(id, &outcome_to_json(&outcome)),
-                    Err(e) => err_response(Some(id), &e.to_string()),
+                // Per-request panic isolation: a panicking check answers
+                // *this* request `ok:false` while the session worker, every
+                // other connection and the engine keep going.  The shared
+                // caches need no quarantine — entries are complete
+                // single-put facts, never partially published mid-check.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    injected_panic(id);
+                    self.verifier.verify_with_limits(&request, &limits)
+                }));
+                let response = match outcome {
+                    Ok(Ok(outcome)) => ok_response(id, &outcome_to_json(&outcome)),
+                    Ok(Err(e)) => err_response(Some(id), &e.to_string()),
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_owned())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic payload>".into());
+                        err_response(Some(id), &format!("verification worker panicked: {msg}"))
+                    }
                 };
                 active.lock().unwrap().remove(&id);
                 let done = self.verifies_done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -357,6 +374,23 @@ impl Server {
                 Err(e) => err_response(Some(id), &format!("checkpoint failed: {e}")),
             },
         }
+    }
+}
+
+/// Fault injection for the robustness tests: when the environment variable
+/// `ARRAYEQ_SERVE_PANIC_IDS` (comma-separated request ids, read once per
+/// process) names this verify's id, the handler panics mid-request — driving
+/// the `catch_unwind` containment in [`Server::run_job`] from outside the
+/// process.  Unset in production, this is a no-op.
+fn injected_panic(id: u64) {
+    static IDS: std::sync::OnceLock<Vec<u64>> = std::sync::OnceLock::new();
+    let ids = IDS.get_or_init(|| {
+        std::env::var("ARRAYEQ_SERVE_PANIC_IDS")
+            .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+            .unwrap_or_default()
+    });
+    if ids.contains(&id) {
+        panic!("injected request panic (id {id})");
     }
 }
 

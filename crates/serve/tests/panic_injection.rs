@@ -1,0 +1,136 @@
+//! Process-level fault injection against the daemon: `ARRAYEQ_SERVE_PANIC_IDS`
+//! makes the worker panic inside the verification of the named request ids.
+//! A poisoned request must answer `ok:false` on its own connection while
+//! every other connection proceeds, the daemon must survive an 8-panic storm
+//! across concurrent sessions, and the session afterwards must answer
+//! byte-identically to a freshly started daemon.
+//!
+//! This file is its own test binary on purpose: the env hook is read once
+//! per process, so it must not leak into the other serve tests.
+
+use arrayeq_engine::{JsonValue, Verifier};
+use arrayeq_lang::corpus::{FIG1_A, FIG1_C, FIG1_D};
+use arrayeq_serve::client::{control_request_line, response_verdict, Client};
+use arrayeq_serve::{ServeConfig, Server, SpawnedServer};
+use std::fs;
+use std::path::PathBuf;
+
+/// The ids the daemon is armed to panic on: one per concurrent client.
+const POISONED_IDS: [u64; 8] = [9001, 9002, 9003, 9004, 9005, 9006, 9007, 9008];
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("arrayeq-panic-it-{tag}-{}", std::process::id()))
+}
+
+fn start_daemon(tag: &str) -> SpawnedServer {
+    let socket = tmp_path(&format!("{tag}.sock"));
+    let _ = fs::remove_file(&socket);
+    SpawnedServer::start(Server::new(Verifier::new(), ServeConfig::default()), socket).unwrap()
+}
+
+#[test]
+fn daemon_survives_a_panic_storm_and_answers_byte_identically_afterwards() {
+    std::env::set_var(
+        "ARRAYEQ_SERVE_PANIC_IDS",
+        POISONED_IDS
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    let daemon = start_daemon("storm");
+
+    // 8 concurrent connections, each sending one poisoned verify followed
+    // by one clean verify on the same session.  The poisoned request
+    // answers ok:false with the panic surfaced as the error; the clean one
+    // is unaffected — the panic poisons the request, not the session.
+    std::thread::scope(|scope| {
+        for (i, &poisoned_id) in POISONED_IDS.iter().enumerate() {
+            let socket = daemon.socket().to_path_buf();
+            scope.spawn(move || {
+                let mut client = Client::connect(&socket).unwrap();
+                let response = client.verify(poisoned_id, FIG1_A, FIG1_C).unwrap();
+                let v = JsonValue::parse(&response).unwrap();
+                assert_eq!(
+                    v.get("id").and_then(JsonValue::as_i64),
+                    Some(poisoned_id as i64),
+                    "the failure is answered on the poisoned request's id: {response}"
+                );
+                assert_eq!(
+                    v.get("ok").and_then(JsonValue::as_bool),
+                    Some(false),
+                    "poisoned request answers ok:false: {response}"
+                );
+                let error = v.get("error").and_then(JsonValue::as_str).unwrap();
+                assert!(
+                    error.contains("panicked"),
+                    "the error names the panic: {error}"
+                );
+
+                // Same connection, next request: alive and correct.  Odd
+                // clients check an inequivalent pair so the storm covers
+                // both verdict directions.
+                let clean_id = 100 + i as u64;
+                let (b, expected) = if i % 2 == 0 {
+                    (FIG1_C, "equivalent")
+                } else {
+                    (FIG1_D, "not_equivalent")
+                };
+                let response = client.verify(clean_id, FIG1_A, b).unwrap();
+                assert_eq!(
+                    response_verdict(&response).unwrap(),
+                    expected,
+                    "client {i}: {response}"
+                );
+            });
+        }
+    });
+
+    // The storm must not have wedged the daemon: control traffic works…
+    let mut client = Client::connect(daemon.socket()).unwrap();
+    let pong = client.request(&control_request_line(1, "ping")).unwrap();
+    assert!(pong.contains("\"ok\":true"), "{pong}");
+
+    // …and a verify after 8 worker panics is byte-identical to the same
+    // request against a freshly started daemon: whatever the panicking
+    // workers left behind in the shared tables is complete, not corrupt.
+    let after = client.verify(777, FIG1_A, FIG1_C).unwrap();
+    drop(client);
+    daemon.stop().unwrap();
+
+    std::env::remove_var("ARRAYEQ_SERVE_PANIC_IDS");
+    let fresh_daemon = start_daemon("fresh");
+    let mut fresh = Client::connect(fresh_daemon.socket()).unwrap();
+    let baseline = fresh.verify(777, FIG1_A, FIG1_C).unwrap();
+    drop(fresh);
+    fresh_daemon.stop().unwrap();
+
+    // The response embeds wall time and warm-session cache counters, which
+    // legitimately differ between a long-lived session and a cold daemon;
+    // everything semantic — verdict, typed budget reason, outputs, content
+    // fingerprints, diagnostics, witnesses, blame — must be byte-identical.
+    assert_eq!(mask_volatile(&after), mask_volatile(&baseline));
+    assert!(response_verdict(&after).unwrap() == "equivalent");
+}
+
+/// Strips the volatile parts of a response line — the per-request `stats`
+/// and per-session `session` counter objects (both flat) and the wall-time
+/// stamp — leaving only semantic content for byte comparison.
+fn mask_volatile(line: &str) -> String {
+    let mut out = line.to_owned();
+    for key in ["\"stats\":{", "\"session\":{"] {
+        while let Some(pos) = out.find(key) {
+            let obj_end = out[pos..].find('}').expect("flat object closes") + pos + 1;
+            out.replace_range(pos..obj_end, "\"masked\":0");
+        }
+    }
+    while let Some(pos) = out.find("\"wall_time_us\":") {
+        let val_start = pos + "\"wall_time_us\":".len();
+        let val_end = out[val_start..]
+            .find(|c: char| !c.is_ascii_digit())
+            .map(|n| val_start + n)
+            .unwrap_or(out.len());
+        out.replace_range(pos..val_end, "\"masked_time\":0");
+    }
+    out
+}
