@@ -91,6 +91,12 @@ VERIFY OPTIONS:
                               (commutative), e.g. `--declare-op min=ac
                               --declare-op f=a`.  `+` and `*` re-declare the
                               built-ins (ablations).  Repeatable.
+    --param <NAME[>=MIN]>     promote the `#define NAME` constant in both
+                              programs to a symbolic `#param NAME >= MIN`
+                              (default MIN 1) so one check proves the pair
+                              equivalent for every admissible size.
+                              Verdict-relevant: part of the baseline options
+                              fingerprint.  Repeatable.
     --witnesses               extract replay-confirmed counterexamples on
                               a NOT EQUIVALENT verdict
     --json                    print the full outcome as JSON on stdout
@@ -138,9 +144,9 @@ SERVE OPTIONS:
                               flushed periodically and on shutdown)
     --flush-every <N>         flush the store every N verifies (default 64,
                               0 = only on checkpoint/shutdown)
-    plus the verify engine options: --method, --declare-op, --witnesses,
-    --jobs, --deadline-ms, --max-work (per-request budgets in the protocol
-    override the daemon defaults)
+    plus the verify engine options: --method, --declare-op, --param,
+    --witnesses, --jobs, --deadline-ms, --max-work (per-request budgets in
+    the protocol override the daemon defaults)
 
 CLIENT OPTIONS:
     --socket <path>           daemon socket to connect to (required)
@@ -184,11 +190,40 @@ fn run(args: &[String]) -> i32 {
     }
 }
 
+/// Parse a `--param` spec: `NAME` (lower bound defaults to 1) or
+/// `NAME>=MIN`.  The name must be a plain identifier so typos like
+/// `--param N=16` fail loudly instead of declaring a bogus parameter.
+fn parse_param_spec(spec: &str) -> Result<(String, i64), String> {
+    let (name, min) = match spec.split_once(">=") {
+        Some((name, min)) => {
+            let min = min
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| format!("--param `{spec}`: lower bound must be an integer"))?;
+            (name.trim(), min)
+        }
+        None => (spec.trim(), 1),
+    };
+    let is_ident = !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if !is_ident {
+        return Err(format!(
+            "--param `{spec}`: expected `NAME` or `NAME>=MIN` with an identifier name"
+        ));
+    }
+    Ok((name.to_string(), min))
+}
+
 struct VerifyArgs {
     original: String,
     transformed: String,
     method: arrayeq_core::Method,
     declare_ops: Vec<String>,
+    params: Vec<(String, i64)>,
     witnesses: bool,
     json: bool,
     dot: Option<String>,
@@ -211,6 +246,7 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
         transformed: String::new(),
         method: arrayeq_core::Method::Extended,
         declare_ops: Vec::new(),
+        params: Vec::new(),
         witnesses: false,
         json: false,
         dot: None,
@@ -241,6 +277,7 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
                 }
             }
             "--declare-op" => parsed.declare_ops.push(value_of("--declare-op")?),
+            "--param" => parsed.params.push(parse_param_spec(&value_of("--param")?)?),
             "--witnesses" => parsed.witnesses = true,
             "--json" => parsed.json = true,
             "--dot" => parsed.dot = Some(value_of("--dot")?),
@@ -323,6 +360,9 @@ fn run_verify(args: &[String]) -> i32 {
         .method(parsed.method)
         .operators(operators)
         .witnesses(parsed.witnesses);
+    if !parsed.params.is_empty() {
+        builder = builder.params(parsed.params.clone());
+    }
     if let Some(ms) = parsed.deadline_ms {
         builder = builder.deadline(Duration::from_millis(ms));
     }
@@ -480,6 +520,7 @@ fn run_serve(args: &[String]) -> i32 {
     let mut config = arrayeq_serve::ServeConfig::default();
     let mut method = arrayeq_core::Method::Extended;
     let mut declare_ops: Vec<String> = Vec::new();
+    let mut param_specs: Vec<(String, i64)> = Vec::new();
     let mut witnesses = false;
     let mut jobs: Option<usize> = None;
     let mut deadline_ms: Option<u64> = None;
@@ -512,6 +553,7 @@ fn run_serve(args: &[String]) -> i32 {
                     }
                 }
                 "--declare-op" => declare_ops.push(value_of("--declare-op")?),
+                "--param" => param_specs.push(parse_param_spec(&value_of("--param")?)?),
                 "--witnesses" => witnesses = true,
                 "--jobs" => jobs = Some(parse_int("--jobs", value_of("--jobs"))? as usize),
                 "--deadline-ms" => {
@@ -541,6 +583,9 @@ fn run_serve(args: &[String]) -> i32 {
         .method(method)
         .operators(operators)
         .witnesses(witnesses);
+    if !param_specs.is_empty() {
+        builder = builder.params(param_specs);
+    }
     if let Some(ms) = deadline_ms {
         builder = builder.deadline(Duration::from_millis(ms));
     }

@@ -345,6 +345,60 @@ fn declare_op_enables_matching_at_user_calls() {
 }
 
 #[test]
+fn param_flag_promotes_a_define_to_an_all_sizes_proof() {
+    let dir = temp_dir("param");
+    let a = dir.join("a.c");
+    let b = dir.join("b.c");
+    std::fs::write(
+        &a,
+        "#define N 16\nvoid f(int A[], int B[], int C[]) { int k; int t[64];\n  for (k=0;k<N;k++) a1: t[k] = A[k] + B[2*k];\n  for (k=0;k<N;k++) a2: C[k] = t[k] + A[2*k]; }\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &b,
+        "#define N 16\nvoid f(int A[], int B[], int C[]) { int k;\n  for (k=0;k<N;k++) b1: C[k] = A[2*k] + (A[k] + B[2*k]); }\n",
+    )
+    .unwrap();
+    // The pair is size-generic: promoting N proves it for every N >= 1.
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--param",
+        "N",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // An explicit lower bound is accepted too.
+    let out = arrayeq(&[
+        "verify",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--param",
+        "N>=4",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    // Malformed specs are usage errors.
+    for bad in ["N>=x", "2bad", ""] {
+        let out = arrayeq(&[
+            "verify",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--param",
+            bad,
+        ]);
+        assert_eq!(out.status.code(), Some(4), "`{bad}` must be rejected");
+    }
+    // And the flag is documented.
+    let out = arrayeq(&["help"]);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--param"));
+}
+
+#[test]
 fn trace_flag_writes_parsable_jsonl_and_chrome_profiles() {
     let dir = temp_dir("trace");
     let a = write_corpus(&dir, "fig1a");
@@ -487,7 +541,7 @@ fn metrics_flag_prints_histogram_snapshot_on_stderr() {
         .get("metrics")
         .and_then(JsonValue::as_array)
         .expect("metrics array");
-    assert_eq!(metrics.len(), 4);
+    assert_eq!(metrics.len(), 5);
     assert!(metrics
         .iter()
         .any(|m| m.get("count").and_then(JsonValue::as_i64).unwrap_or(0) > 0));

@@ -83,6 +83,15 @@ pub struct CheckOptions {
     /// Upper bound on traversal work (node-pair visits); exceeding it yields
     /// an inconclusive verdict instead of running forever.
     pub max_work: u64,
+    /// Symbolic-parameter context applied to both programs before checking:
+    /// each `(name, min)` entry *promotes* the named constant to a
+    /// `#param name >= min` — an existing `#define` of that name is removed,
+    /// an existing `#param` gets the new bound — so loop bounds over it stay
+    /// symbolic and one verification covers every admissible value.
+    /// Verdict-relevant (it changes what is being proven), hence part of the
+    /// engine's options fingerprint.  Empty means "check the programs as
+    /// written".
+    pub params: Vec<(String, i64)>,
     /// Worker threads for *one* verification run: the root obligation is
     /// split into per-output and per-definition correspondence sub-proofs
     /// executed by a scoped worker pool.  `1` (the default) keeps the
@@ -106,6 +115,7 @@ impl Default for CheckOptions {
             check_def_use: true,
             check_class: true,
             max_work: 2_000_000,
+            params: Vec::new(),
             jobs: 1,
         }
     }
@@ -144,6 +154,13 @@ impl CheckOptions {
     /// [`CheckOptions::jobs`]).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Declares symbolic parameters to promote in both programs (see
+    /// [`CheckOptions::params`]).
+    pub fn with_params(mut self, params: Vec<(String, i64)>) -> Self {
+        self.params = params;
         self
     }
 
@@ -225,6 +242,18 @@ pub fn verify_programs_with(
     opts: &CheckOptions,
     ctx: &CheckContext<'_>,
 ) -> Result<Report> {
+    // Promote the declared parameter context into both programs first, so
+    // class/def-use checks and ADDG extraction all see the symbolic sizes.
+    let promoted = (!opts.params.is_empty()).then(|| {
+        (
+            promote_params(original, &opts.params),
+            promote_params(transformed, &opts.params),
+        )
+    });
+    let (original, transformed) = match &promoted {
+        Some((a, b)) => (a, b),
+        None => (original, transformed),
+    };
     if opts.check_class {
         assert_in_class(original)?;
         assert_in_class(transformed)?;
@@ -236,6 +265,20 @@ pub fn verify_programs_with(
     let g1 = extract(original)?;
     let g2 = extract(transformed)?;
     verify_addgs_with(&g1, &g2, opts, ctx)
+}
+
+/// Applies a [`CheckOptions::params`] context to one program: each named
+/// constant becomes a symbolic `#param name >= min`.
+fn promote_params(p: &Program, params: &[(String, i64)]) -> Program {
+    let mut out = p.clone();
+    for (name, min) in params {
+        out.defines.remove(name);
+        match out.symbolic_params.iter_mut().find(|(n, _)| n == name) {
+            Some(entry) => entry.1 = *min,
+            None => out.symbolic_params.push((name.clone(), *min)),
+        }
+    }
+    out
 }
 
 /// Verifies two already-extracted ADDGs (one-shot convenience path; see
@@ -627,7 +670,9 @@ pub(crate) fn check_output_domains(a: &Addg, b: &Addg, output: &str) -> Result<O
     }
     // The failing elements are exactly the symmetric difference of the two
     // defined-element sets.
-    let failing = ea.subtract(&eb)?.union(&eb.subtract(&ea)?)?.simplified();
+    // `minimized` additionally gists each surviving conjunct against its
+    // siblings' canonical forms, so the rendered failing domain is minimal.
+    let failing = ea.subtract(&eb)?.union(&eb.subtract(&ea)?)?.minimized();
     Ok(OutputDomains::Mismatch(Box::new(Diagnostic {
         kind: DiagnosticKind::OutputDomainMismatch,
         output_array: None, // stamped by the caller
@@ -647,6 +692,27 @@ pub(crate) fn check_output_domains(a: &Addg, b: &Addg, output: &str) -> Result<O
         message: format!("the two programs do not define the same elements of `{output}`"),
         failing_domain: Some(failing),
     })))
+}
+
+/// Classifies a pipeline error that means the solver *cannot answer*: the
+/// obligation needed an Omega operation outside the exactly decidable
+/// fragment (inexact existential elimination, out-of-fragment closure).
+/// Such an error is a property of the input's constraint systems — huge
+/// coefficients the big-int fallback let through the front end — not a
+/// malformed query, so callers downgrade the affected output to a typed
+/// inconclusive instead of failing the whole pipeline.
+pub(crate) fn unsupported_fragment(e: &CoreError) -> Option<BudgetExhausted> {
+    match e {
+        CoreError::Omega(arrayeq_omega::OmegaError::InexactElimination { op }) => {
+            Some(BudgetExhausted::UnsupportedFragment { op })
+        }
+        CoreError::Omega(arrayeq_omega::OmegaError::UnsupportedClosure { .. }) => {
+            Some(BudgetExhausted::UnsupportedFragment {
+                op: "transitive closure",
+            })
+        }
+        _ => None,
+    }
 }
 
 /// Per-output content fingerprints for the report: `(name, original-side,
@@ -698,6 +764,10 @@ impl Checker<'_> {
         // thread so the poll below attributes events to this run only.
         let _ = arrayeq_omega::take_arith_overflow();
         let overflow_base = arrayeq_omega::arith_overflow_events();
+        // The DNF engine's counters are thread-local and monotonic, like the
+        // overflow event counter: snapshot here, delta at the end.
+        let subsumed_base = arrayeq_omega::conjuncts_subsumed_events();
+        let fallback_base = arrayeq_omega::bigint_fallback_events();
         crate::parallel::consume_injected_overflow();
         let outputs = select_outputs(self.a, self.b, self.opts)?;
         let mut all_ok = true;
@@ -719,7 +789,17 @@ impl Checker<'_> {
                 vec![arrayeq_trace::s("output", output.clone())]
             });
             let diag_start = self.diagnostics.len();
-            let ea = match check_output_domains(self.a, self.b, output)? {
+            let domains = match check_output_domains(self.a, self.b, output) {
+                Ok(d) => d,
+                Err(e) => {
+                    if let Some(reason) = unsupported_fragment(&e) {
+                        self.note_unsupported(reason, output);
+                        continue;
+                    }
+                    return Err(e);
+                }
+            };
+            let ea = match domains {
                 OutputDomains::Match(ea) => ea,
                 OutputDomains::Mismatch(diag) => {
                     self.diagnostics.push(*diag);
@@ -736,14 +816,24 @@ impl Checker<'_> {
             };
             let id = Relation::identity_on(&ea);
             domain_hashes.push((output.clone(), id.structural_hash()));
-            let ok = self.check(
+            let ok = match self.check(
                 Pos::Array(output.clone()),
                 id.clone(),
                 Pos::Array(output.clone()),
                 id,
                 &[],
                 &[],
-            )?;
+            ) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    if let Some(reason) = unsupported_fragment(&e) {
+                        self.stamp_output(diag_start, output);
+                        self.note_unsupported(reason, output);
+                        continue;
+                    }
+                    return Err(e);
+                }
+            };
             self.stamp_output(diag_start, output);
             all_ok &= ok;
             arrayeq_trace::event_with("output_verdict", || {
@@ -776,6 +866,8 @@ impl Checker<'_> {
         if !self.opts.assume_clean.is_empty() {
             self.stats.cone_positions = cone;
         }
+        self.stats.conjuncts_subsumed += arrayeq_omega::conjuncts_subsumed_events() - subsumed_base;
+        self.stats.bigint_fallbacks += arrayeq_omega::bigint_fallback_events() - fallback_base;
         self.stats.check_time_us = self.started.elapsed().as_micros() as u64;
         let output_fingerprints = output_fingerprints(&outputs, self.fps.as_ref());
         Ok(Report {
@@ -788,6 +880,22 @@ impl Checker<'_> {
             output_domain_hashes: domain_hashes,
             budget_exhausted: self.budget_reason.take(),
         })
+    }
+
+    /// Records an out-of-fragment obligation: this output's verdict is
+    /// withheld (the run ends inconclusive with a typed reason) while every
+    /// other output's check still runs.
+    fn note_unsupported(&mut self, reason: BudgetExhausted, output: &str) {
+        self.exhausted = true;
+        if self.budget_reason.is_none() {
+            self.budget_reason = Some(reason);
+        }
+        arrayeq_trace::event_with("output_verdict", || {
+            vec![
+                arrayeq_trace::s("output", output.to_owned()),
+                arrayeq_trace::b("ok", false),
+            ]
+        });
     }
 
     /// Stamps every diagnostic produced since `start` with the output array
@@ -1419,7 +1527,8 @@ impl Checker<'_> {
         }
         let only_a = map_a.subtract(map_b)?;
         let only_b = map_b.subtract(map_a)?;
-        let failing = only_a.union(&only_b)?.domain().simplified();
+        // Minimized so the diagnostic renders without redundant constraints.
+        let failing = only_a.union(&only_b)?.domain().minimized();
         self.diagnostics.push(Diagnostic {
             kind: DiagnosticKind::MappingMismatch,
             output_array: None,

@@ -67,6 +67,14 @@ pub enum BudgetExhausted {
         /// Number of overflow events the solver recorded during the run.
         events: u64,
     },
+    /// An obligation needed an Omega operation outside the exactly decidable
+    /// fragment (the solver could not eliminate existential variables
+    /// exactly, or a transitive closure left the uniform fragment).  The
+    /// obligation is neither proven nor refuted, so the verdict is withheld.
+    UnsupportedFragment {
+        /// The Omega operation that left the decidable fragment.
+        op: &'static str,
+    },
     /// A parallel worker task panicked.  The panic was contained to its own
     /// obligation; this reason marks that obligation's verdict as unusable.
     WorkerPanicked {
@@ -91,6 +99,13 @@ impl fmt::Display for BudgetExhausted {
                     "solver arithmetic overflowed ({events} event{}) — \
                      conservative degradation, verdict withheld",
                     if *events == 1 { "" } else { "s" }
+                )
+            }
+            BudgetExhausted::UnsupportedFragment { op } => {
+                write!(
+                    f,
+                    "an obligation left the exactly decidable Omega fragment \
+                     (inexact {op}) — verdict withheld"
                 )
             }
             BudgetExhausted::WorkerPanicked { message } => {
@@ -235,5 +250,8 @@ mod tests {
             .to_string()
             .contains("12 ms"));
         assert!(BudgetExhausted::Cancelled.to_string().contains("cancel"));
+        assert!(BudgetExhausted::UnsupportedFragment { op: "subtract" }
+            .to_string()
+            .contains("subtract"));
     }
 }

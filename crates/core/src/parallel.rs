@@ -195,6 +195,8 @@ pub(crate) fn verify_addgs_parallel(
     // harvest after the merge attributes events to this run only.
     let _ = arrayeq_omega::take_arith_overflow();
     let overflow_base = arrayeq_omega::arith_overflow_events();
+    let subsumed_base = arrayeq_omega::conjuncts_subsumed_events();
+    let fallback_base = arrayeq_omega::bigint_fallback_events();
     let jobs = opts.effective_jobs();
     let outputs = select_outputs(a, b, opts)?;
 
@@ -210,6 +212,9 @@ pub(crate) fn verify_addgs_parallel(
     let mut coordinator_stats = CheckStats::default();
     let mut cone = 0u64;
     let mut domain_hashes: Vec<(String, u64)> = Vec::new();
+    // First out-of-fragment obligation, if any: the affected output's verdict
+    // is withheld (typed inconclusive), mirroring the sequential path.
+    let mut fragment_reason: Option<BudgetExhausted> = None;
     for (output_idx, output) in outputs.iter().enumerate() {
         // Dirty-cone focus, mirroring the sequential path: baseline-clean
         // outputs keep their prologue slot (so the merge stays positional)
@@ -222,7 +227,20 @@ pub(crate) fn verify_addgs_parallel(
             continue;
         }
         cone += 1;
-        match check_output_domains(a, b, output)? {
+        let domains = match check_output_domains(a, b, output) {
+            Ok(d) => d,
+            Err(e) => {
+                if let Some(reason) = crate::checker::unsupported_fragment(&e) {
+                    if fragment_reason.is_none() {
+                        fragment_reason = Some(reason);
+                    }
+                    prologue.push(None);
+                    continue;
+                }
+                return Err(e);
+            }
+        };
+        match domains {
             OutputDomains::Mismatch(diag) => {
                 let mut diag = *diag;
                 diag.output_array = Some(output.clone());
@@ -307,6 +325,8 @@ pub(crate) fn verify_addgs_parallel(
                 let drain_queue = || {
                     let overflow_base = arrayeq_omega::arith_overflow_events();
                     let _ = arrayeq_omega::take_arith_overflow();
+                    let subsumed_base = arrayeq_omega::conjuncts_subsumed_events();
+                    let fallback_base = arrayeq_omega::bigint_fallback_events();
                     consume_injected_overflow();
                     let mut worker = Checker::new(a, b, opts, ctx, fps.clone(), Some(budget));
                     let mut stats = CheckStats::default();
@@ -381,6 +401,10 @@ pub(crate) fn verify_addgs_parallel(
                         *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(slot);
                     }
                     stats.merge(&worker.into_stats());
+                    stats.conjuncts_subsumed +=
+                        arrayeq_omega::conjuncts_subsumed_events() - subsumed_base;
+                    stats.bigint_fallbacks +=
+                        arrayeq_omega::bigint_fallback_events() - fallback_base;
                     if arrayeq_omega::take_arith_overflow() {
                         budget.note_overflow_events(
                             arrayeq_omega::arith_overflow_events() - overflow_base,
@@ -411,7 +435,10 @@ pub(crate) fn verify_addgs_parallel(
             .unwrap_or_else(PoisonError::into_inner),
     );
     // Coordinator-side Omega work (flattening during decomposition) reports
-    // overflow through the same thread-local flag the workers harvest.
+    // overflow through the same thread-local flag the workers harvest, and
+    // its DNF-engine events through the same monotonic counters.
+    stats.conjuncts_subsumed += arrayeq_omega::conjuncts_subsumed_events() - subsumed_base;
+    stats.bigint_fallbacks += arrayeq_omega::bigint_fallback_events() - fallback_base;
     if arrayeq_omega::take_arith_overflow() {
         budget.note_overflow_events(arrayeq_omega::arith_overflow_events() - overflow_base);
     }
@@ -439,7 +466,19 @@ pub(crate) fn verify_addgs_parallel(
                 .expect("every task slot is filled by a worker");
             match outcome {
                 TaskSlot::Done(done) => {
-                    let (ok, mut task_diags) = done?;
+                    let (ok, mut task_diags) = match done {
+                        Ok(v) => v,
+                        Err(e) => {
+                            if let Some(reason) = crate::checker::unsupported_fragment(&e) {
+                                if fragment_reason.is_none() {
+                                    fragment_reason = Some(reason);
+                                }
+                                output_ok = false;
+                                continue;
+                            }
+                            return Err(e);
+                        }
+                    };
                     for d in &mut task_diags {
                         if d.output_array.is_none() {
                             d.output_array = Some(output.clone());
@@ -483,7 +522,11 @@ pub(crate) fn verify_addgs_parallel(
         }
     }
     let overflow_events = budget.overflow_events();
-    let verdict = if budget.is_exhausted() || first_panic.is_some() || overflow_events > 0 {
+    let verdict = if budget.is_exhausted()
+        || first_panic.is_some()
+        || overflow_events > 0
+        || fragment_reason.is_some()
+    {
         Verdict::Inconclusive
     } else if all_ok {
         Verdict::Equivalent
@@ -494,6 +537,11 @@ pub(crate) fn verify_addgs_parallel(
     let output_fingerprints = crate::checker::output_fingerprints(&outputs, fps.as_ref());
     let budget_exhausted = budget
         .take_reason()
+        // Fragment before panic/overflow: the sequential path records the
+        // out-of-fragment reason at the moment it occurs, before the
+        // end-of-run overflow harvest, so this order keeps `render_stable`
+        // identical at every jobs count.
+        .or(fragment_reason)
         .or(first_panic.map(|message| BudgetExhausted::WorkerPanicked { message }))
         .or(
             (overflow_events > 0).then_some(BudgetExhausted::ArithOverflow {

@@ -95,6 +95,15 @@ pub struct CheckStats {
     /// Sub-problems discharged by the baseline store of proven entries
     /// ([`crate::BaselineProofs`]) before either tabling level was consulted.
     pub baseline_hits: u64,
+    /// Conjuncts dropped by the DNF constraint-set engine during this check —
+    /// structural-hash duplicates plus conjuncts subsumed by a sibling
+    /// disjunct (see `arrayeq_omega::conjuncts_subsumed_events`).
+    pub conjuncts_subsumed: u64,
+    /// Conjunct feasibility questions that tripped the checked-arithmetic
+    /// overflow flag and were re-decided *exactly* by the big-int reference
+    /// solver instead of surfacing a degraded verdict (see
+    /// `arrayeq_omega::bigint_fallback_events`).
+    pub bigint_fallbacks: u64,
     /// Wall-clock time of the equivalence check itself, in microseconds.
     pub check_time_us: u64,
     /// Wall-clock time of witness extraction (sampling + replay + slicing),
@@ -133,6 +142,8 @@ impl CheckStats {
         self.store_hits += other.store_hits;
         self.cone_positions += other.cone_positions;
         self.baseline_hits += other.baseline_hits;
+        self.conjuncts_subsumed += other.conjuncts_subsumed;
+        self.bigint_fallbacks += other.bigint_fallbacks;
         self.check_time_us += other.check_time_us;
         self.witness_time_us += other.witness_time_us;
         debug_assert!(self.table_hits <= self.table_lookups);
@@ -314,6 +325,7 @@ impl Report {
                 BudgetExhausted::DeadlineExceeded { .. } => "deadline",
                 BudgetExhausted::Cancelled => "cancelled",
                 BudgetExhausted::ArithOverflow { .. } => "arithmetic overflow",
+                BudgetExhausted::UnsupportedFragment { .. } => "unsupported fragment",
                 BudgetExhausted::WorkerPanicked { .. } => "worker panic",
             };
             out.push_str(&format!("inconclusive: {kind}\n"));
@@ -392,6 +404,12 @@ impl Report {
                 self.stats.arena_hit_rate() * 100.0,
                 self.stats.fast_term_matches,
                 self.stats.term_memo_hits,
+            ));
+        }
+        if self.stats.conjuncts_subsumed > 0 || self.stats.bigint_fallbacks > 0 {
+            out.push_str(&format!(
+                "constraint sets: {} conjuncts coalesced away, {} big-int exact fallbacks\n",
+                self.stats.conjuncts_subsumed, self.stats.bigint_fallbacks,
             ));
         }
         if self.stats.hash_collisions > 0 {
@@ -518,6 +536,8 @@ mod tests {
                 cone_positions: 1,
                 arena_interns: 9,
                 arena_hits: 3,
+                conjuncts_subsumed: 6,
+                bigint_fallbacks: 2,
                 check_time_us: 800,
                 ..Default::default()
             },
@@ -533,6 +553,9 @@ mod tests {
         assert!(s.contains("parallel: 7 tasks decomposed (2 algebraic piece tasks)"));
         assert!(s.contains("incremental: 4 baseline hits, 1 of 2 outputs in the dirty cone"));
         assert!(s.contains("term arena: 9 interns, 3 dedup hits"));
+        assert!(
+            s.contains("constraint sets: 6 conjuncts coalesced away, 2 big-int exact fallbacks")
+        );
         assert!(s.contains("timing: check 0.800 ms"));
     }
 

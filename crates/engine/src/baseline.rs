@@ -169,7 +169,7 @@ pub fn baseline_to_json(
 /// excluded: they change how much work a run does, never which sub-proofs
 /// hold, so a baseline stays consumable across budget and jobs settings.
 pub fn options_fingerprint(opts: &CheckOptions) -> u64 {
-    let canonical = format!(
+    let mut canonical = format!(
         concat!(
             "method={:?};operators={:?};tabling={};string_table_keys={};",
             "position_table_keys={};focus={:?};check_def_use={};check_class={}"
@@ -183,6 +183,13 @@ pub fn options_fingerprint(opts: &CheckOptions) -> u64 {
         opts.check_def_use,
         opts.check_class,
     );
+    // Parameter promotion changes what is being proven (a sub-proof at
+    // `N = 1024` says nothing about symbolic `N`), so it invalidates
+    // baselines.  Appended conditionally to keep existing param-free
+    // fingerprints — and the baselines stamped with them — stable.
+    if !opts.params.is_empty() {
+        canonical.push_str(&format!(";params={:?}", opts.params));
+    }
     structural_hash_of(&("baseline-options-v1", canonical))
 }
 
@@ -351,5 +358,13 @@ mod tests {
         assert_ne!(options_fingerprint(&base), options_fingerprint(&different));
         let keyed = CheckOptions::default().with_string_table_keys();
         assert_ne!(options_fingerprint(&base), options_fingerprint(&keyed));
+        // Parameter promotion changes what is proven, so it must re-key.
+        let parametric = CheckOptions::default().with_params(vec![("N".into(), 1)]);
+        assert_ne!(options_fingerprint(&base), options_fingerprint(&parametric));
+        let wider = CheckOptions::default().with_params(vec![("N".into(), 16)]);
+        assert_ne!(
+            options_fingerprint(&parametric),
+            options_fingerprint(&wider)
+        );
     }
 }

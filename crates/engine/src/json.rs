@@ -103,6 +103,12 @@ fn budget_to_json(b: &Option<BudgetExhausted>) -> String {
         Some(BudgetExhausted::ArithOverflow { events }) => {
             format!("{{\"reason\":\"arith_overflow\",\"events\":{events}}}")
         }
+        Some(BudgetExhausted::UnsupportedFragment { op }) => {
+            format!(
+                "{{\"reason\":\"unsupported_fragment\",\"op\":\"{}\"}}",
+                escape(op)
+            )
+        }
         Some(BudgetExhausted::WorkerPanicked { message }) => {
             format!(
                 "{{\"reason\":\"worker_panicked\",\"message\":\"{}\"}}",
@@ -125,6 +131,7 @@ pub fn stats_to_json(s: &CheckStats) -> String {
             "\"shared_table_lookups\":{},\"shared_table_hits\":{},",
             "\"shared_table_inserts\":{},\"store_hits\":{},",
             "\"cone_positions\":{},\"baseline_hits\":{},",
+            "\"conjuncts_subsumed\":{},\"bigint_fallbacks\":{},",
             "\"check_time_us\":{},\"witness_time_us\":{}}}"
         ),
         s.paths_compared,
@@ -149,6 +156,8 @@ pub fn stats_to_json(s: &CheckStats) -> String {
         s.store_hits,
         s.cone_positions,
         s.baseline_hits,
+        s.conjuncts_subsumed,
+        s.bigint_fallbacks,
         s.check_time_us,
         s.witness_time_us,
     )
@@ -180,6 +189,10 @@ pub fn stats_from_json(v: &JsonValue) -> Option<CheckStats> {
         store_hits: g("store_hits")?,
         cone_positions: g("cone_positions")?,
         baseline_hits: g("baseline_hits")?,
+        // Added after the first persisted format: default to 0 so documents
+        // written by older builds still parse.
+        conjuncts_subsumed: g("conjuncts_subsumed").unwrap_or(0),
+        bigint_fallbacks: g("bigint_fallbacks").unwrap_or(0),
         check_time_us: g("check_time_us")?,
         witness_time_us: g("witness_time_us")?,
     })

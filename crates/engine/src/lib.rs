@@ -314,6 +314,15 @@ impl VerifierBuilder {
         self
     }
 
+    /// Declares symbolic parameters to promote in every request's programs
+    /// (shorthand for [`CheckOptions::params`] via [`Self::options`]; the
+    /// CLI surface `--param NAME>=MIN` maps here).  Verdict-relevant, so it
+    /// participates in the baseline options fingerprint.
+    pub fn params(mut self, params: Vec<(String, i64)>) -> Self {
+        self.options.params = params;
+        self
+    }
+
     /// Replaces the operator property declarations wholesale (shorthand
     /// over [`Self::options`]).  Like every option, fixed for the engine's
     /// lifetime: the cross-query table's entries are only valid under the

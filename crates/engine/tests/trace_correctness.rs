@@ -228,7 +228,7 @@ fn metrics_registry_accumulates_and_serializes() {
         .get("metrics")
         .and_then(|v| v.as_array())
         .expect("metrics array");
-    assert_eq!(metrics.len(), 4);
+    assert_eq!(metrics.len(), 5);
     for m in metrics {
         assert!(m.get("name").and_then(|v| v.as_str()).is_some());
         assert_eq!(m.get("unit").and_then(|v| v.as_str()), Some("us"));

@@ -79,25 +79,39 @@ impl Affine {
     }
 
     /// Lowers the expression into a [`LinExpr`] over a conjunct whose input
-    /// dims are the iterators listed in `iters` (in order).
-    fn to_linexpr(&self, conj: &Conjunct, iters: &[String], kind: VarKind) -> LinExpr {
+    /// dims are the iterators listed in `iters` (in order).  Names not found
+    /// among the iterators are resolved as symbolic parameters of the space.
+    fn to_linexpr(
+        &self,
+        conj: &Conjunct,
+        iters: &[String],
+        params: &[String],
+        kind: VarKind,
+    ) -> LinExpr {
         let mut e = conj.zero_expr();
         for (name, &c) in &self.coeffs {
-            let idx = iters
-                .iter()
-                .position(|n| n == name)
-                .expect("iterator resolved during analysis");
-            e.set_coeff(conj.col(kind, idx), c);
+            let col = if let Some(idx) = iters.iter().position(|n| n == name) {
+                conj.col(kind, idx)
+            } else {
+                let idx = params
+                    .iter()
+                    .position(|n| n == name)
+                    .expect("name resolved during analysis");
+                conj.col(VarKind::Param, idx)
+            };
+            e.set_coeff(col, c);
         }
         e.set_constant(self.konst);
         e
     }
 }
 
-/// Converts an AST expression into affine form over the given iterators.
+/// Converts an AST expression into affine form over the given iterators and
+/// symbolic parameters.
 ///
-/// `#define` constants are folded; any other variable, array access or call
-/// makes the expression non-affine.
+/// `#define` constants are folded; `#param` names stay symbolic (they become
+/// parameter columns in the omega layer); any other variable, array access or
+/// call makes the expression non-affine.
 ///
 /// # Errors
 ///
@@ -106,6 +120,7 @@ impl Affine {
 pub fn affine_of_expr(
     e: &Expr,
     iters: &[String],
+    params: &[String],
     defines: &BTreeMap<String, i64>,
     context: &str,
 ) -> Result<Affine> {
@@ -116,7 +131,7 @@ pub fn affine_of_expr(
     match e {
         Expr::Const(v) => Ok(Affine::constant(*v)),
         Expr::Var(n) => {
-            if iters.contains(n) {
+            if iters.contains(n) || params.contains(n) {
                 Ok(Affine::var(n))
             } else if let Some(&v) = defines.get(n) {
                 Ok(Affine::constant(v))
@@ -124,10 +139,10 @@ pub fn affine_of_expr(
                 Err(not_affine())
             }
         }
-        Expr::Neg(inner) => Ok(affine_of_expr(inner, iters, defines, context)?.scale(-1)),
+        Expr::Neg(inner) => Ok(affine_of_expr(inner, iters, params, defines, context)?.scale(-1)),
         Expr::Bin(op, l, r) => {
-            let la = affine_of_expr(l, iters, defines, context)?;
-            let ra = affine_of_expr(r, iters, defines, context)?;
+            let la = affine_of_expr(l, iters, params, defines, context)?;
+            let ra = affine_of_expr(r, iters, params, defines, context)?;
             match op {
                 BinOp::Add => {
                     let mut out = la;
@@ -206,6 +221,11 @@ pub struct StatementInfo {
     pub schedule_consts: Vec<i64>,
     /// The `#define` environment of the program (needed to lower reads).
     pub defines: BTreeMap<String, i64>,
+    /// Symbolic size parameters of the program (`#param N >= min`): name and
+    /// declared lower bound.  They become parameter columns of every space
+    /// built from this statement, so domains and access relations stay
+    /// parametric in them.
+    pub symbolic_params: Vec<(String, i64)>,
 }
 
 /// Analyzes a program: returns one [`StatementInfo`] per assignment, in
@@ -219,6 +239,12 @@ pub fn analyze(program: &Program) -> Result<Vec<StatementInfo>> {
     let mut out = Vec::new();
     let mut walker = Walker {
         defines: program.defines.clone(),
+        symbolic_params: program.symbolic_params.clone(),
+        param_names: program
+            .symbolic_params
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect(),
         out: &mut out,
         position: 0,
     };
@@ -244,6 +270,8 @@ struct Ctx {
 
 struct Walker<'a> {
     defines: BTreeMap<String, i64>,
+    symbolic_params: Vec<(String, i64)>,
+    param_names: Vec<String>,
     out: &'a mut Vec<StatementInfo>,
     position: usize,
 }
@@ -264,7 +292,14 @@ impl Walker<'_> {
                 }
                 Stmt::If(i) => {
                     let mut then_ctx = ctx.clone();
-                    add_condition(&mut then_ctx, &i.cond, false, &ctx.iters, &self.defines)?;
+                    add_condition(
+                        &mut then_ctx,
+                        &i.cond,
+                        false,
+                        &ctx.iters,
+                        &self.param_names,
+                        &self.defines,
+                    )?;
                     // Keep the schedule position shared by both branches but
                     // distinct per statement inside, by continuing to count in
                     // the parent counter through the recursive calls.
@@ -274,7 +309,14 @@ impl Walker<'_> {
                         *then_ctx.schedule_consts.last().expect("non-empty");
 
                     let mut else_ctx = ctx.clone();
-                    add_condition(&mut else_ctx, &i.cond, true, &ctx.iters, &self.defines)?;
+                    add_condition(
+                        &mut else_ctx,
+                        &i.cond,
+                        true,
+                        &ctx.iters,
+                        &self.param_names,
+                        &self.defines,
+                    )?;
                     else_ctx.schedule_consts = ctx.schedule_consts.clone();
                     self.walk_block(&i.else_branch, &mut else_ctx)?;
                     *ctx.schedule_consts.last_mut().expect("non-empty") =
@@ -297,11 +339,22 @@ impl Walker<'_> {
                 message: format!("iterator `{}` shadows an enclosing iterator", f.var),
             });
         }
+        if self.param_names.contains(&f.var) {
+            return Err(LangError::Class {
+                message: format!("iterator `{}` shadows a #param", f.var),
+            });
+        }
         let outer_iters = ctx.iters.clone();
         ctx.iters.push(f.var.clone());
         let iters = ctx.iters.clone();
 
-        let init = affine_of_expr(&f.init, &outer_iters, &self.defines, &context)?;
+        let init = affine_of_expr(
+            &f.init,
+            &outer_iters,
+            &self.param_names,
+            &self.defines,
+            &context,
+        )?;
         let var = Affine::var(&f.var);
 
         let mut constraints = Vec::new();
@@ -327,6 +380,7 @@ impl Walker<'_> {
             &f.cond,
             false,
             &iters,
+            &self.param_names,
             &self.defines,
             &context,
         )?);
@@ -344,7 +398,7 @@ impl Walker<'_> {
             .lhs
             .indices
             .iter()
-            .map(|e| affine_of_expr(e, &ctx.iters, &self.defines, &context))
+            .map(|e| affine_of_expr(e, &ctx.iters, &self.param_names, &self.defines, &context))
             .collect::<Result<Vec<_>>>()?;
         self.out.push(StatementInfo {
             label: a.label.clone(),
@@ -356,6 +410,7 @@ impl Walker<'_> {
             domains: ctx.domains.clone(),
             schedule_consts: ctx.schedule_consts.clone(),
             defines: self.defines.clone(),
+            symbolic_params: self.symbolic_params.clone(),
         });
         self.position += 1;
         Ok(())
@@ -368,9 +423,10 @@ fn add_condition(
     cond: &Cond,
     negate: bool,
     iters: &[String],
+    params: &[String],
     defines: &BTreeMap<String, i64>,
 ) -> Result<()> {
-    let constraints = condition_constraints(cond, negate, iters, defines, "if condition")?;
+    let constraints = condition_constraints(cond, negate, iters, params, defines, "if condition")?;
     // `!=` (or a negated `==`) yields a disjunction of two constraints; any
     // other comparison yields a single conjunction.  `condition_constraints`
     // encodes the disjunctive case by returning `DisjunctionMarker`-free pairs
@@ -414,11 +470,12 @@ fn condition_constraints(
     cond: &Cond,
     negate: bool,
     iters: &[String],
+    params: &[String],
     defines: &BTreeMap<String, i64>,
     context: &str,
 ) -> Result<Vec<DomainConstraint>> {
-    let l = affine_of_expr(&cond.lhs, iters, defines, context)?;
-    let r = affine_of_expr(&cond.rhs, iters, defines, context)?;
+    let l = affine_of_expr(&cond.lhs, iters, params, defines, context)?;
+    let r = affine_of_expr(&cond.rhs, iters, params, defines, context)?;
     let op = if negate { cond.op.negated() } else { cond.op };
     // diff_ge: r - l, diff_le: l - r
     let mut r_minus_l = r.clone();
@@ -452,15 +509,36 @@ fn condition_constraints(
 }
 
 impl StatementInfo {
+    /// Names of the program's symbolic parameters, in declaration order.
+    pub fn param_names(&self) -> Vec<String> {
+        self.symbolic_params
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Adds each parameter's declared lower bound (`param − min ≥ 0`) to a
+    /// conjunct, so feasibility queries see the `#param N >= min` context.
+    fn add_param_bounds(&self, c: &mut Conjunct) {
+        for (p, (_, min)) in self.symbolic_params.iter().enumerate() {
+            let mut e = c.zero_expr();
+            e.set_coeff(c.col(VarKind::Param, p), 1);
+            e.set_constant(-*min);
+            c.add(Constraint::geq(e));
+        }
+    }
+
     /// The iteration-domain [`Set`] over the statement's iterators.
     pub fn iteration_domain(&self) -> Result<Set> {
-        let space = Space::set(&self.iters, &[] as &[String]);
+        let params = self.param_names();
+        let space = Space::set(&self.iters, &params);
         let mut conjuncts = Vec::new();
         for disjunct in &self.domains {
             let mut c = Conjunct::universe(space.clone());
             for dc in disjunct {
-                c.add(lower_domain_constraint(dc, &c, &self.iters));
+                c.add(lower_domain_constraint(dc, &c, &self.iters, &params));
             }
+            self.add_param_bounds(&mut c);
             conjuncts.push(c);
         }
         Ok(Set::from_relation(Relation::from_conjuncts(
@@ -484,7 +562,7 @@ impl StatementInfo {
         let idx = access
             .indices
             .iter()
-            .map(|e| affine_of_expr(e, &self.iters, &self.defines, &context))
+            .map(|e| affine_of_expr(e, &self.iters, &self.param_names(), &self.defines, &context))
             .collect::<Result<Vec<_>>>()?;
         self.access_relation(&idx)
     }
@@ -530,7 +608,11 @@ impl StatementInfo {
         // Count by sampling the bounding box implied by the constraints is
         // expensive; instead walk the concrete loops via the interpreter-side
         // helper when needed.  Here we only handle the 0- and 1-dimensional
-        // cases exactly, which is what the statistics need.
+        // cases exactly, which is what the statistics need.  Parametric
+        // domains have no single count.
+        if !self.symbolic_params.is_empty() {
+            return None;
+        }
         match self.iters.len() {
             0 => Some(1),
             1 => {
@@ -548,17 +630,21 @@ impl StatementInfo {
     }
 
     fn access_relation(&self, indices: &[Affine]) -> Result<Relation> {
+        let params = self.param_names();
         let out_names: Vec<String> = (0..indices.len()).map(|d| format!("d{d}")).collect();
-        let space = Space::relation(&self.iters, &out_names, &[] as &[String]);
+        let space = Space::relation(&self.iters, &out_names, &params);
         let mut conjuncts = Vec::new();
         for disjunct in &self.domains {
             let mut c = Conjunct::universe(space.clone());
             for dc in disjunct {
-                c.add(lower_domain_constraint(dc, &c, &self.iters));
+                c.add(lower_domain_constraint(dc, &c, &self.iters, &params));
             }
+            self.add_param_bounds(&mut c);
             for (d, a) in indices.iter().enumerate() {
                 // out_d - a(iters) = 0
-                let mut e = a.to_linexpr(&c, &self.iters, VarKind::In).scale(-1);
+                let mut e = a
+                    .to_linexpr(&c, &self.iters, &params, VarKind::In)
+                    .scale(-1);
                 let col = c.col(VarKind::Out, d);
                 e.set_coeff(col, 1);
                 c.add(Constraint::eq(e));
@@ -579,12 +665,17 @@ pub enum ScheduleComponent {
     Iter(usize),
 }
 
-fn lower_domain_constraint(dc: &DomainConstraint, conj: &Conjunct, iters: &[String]) -> Constraint {
+fn lower_domain_constraint(
+    dc: &DomainConstraint,
+    conj: &Conjunct,
+    iters: &[String],
+    params: &[String],
+) -> Constraint {
     match dc {
-        DomainConstraint::Geq(a) => Constraint::geq(a.to_linexpr(conj, iters, VarKind::In)),
-        DomainConstraint::Eq(a) => Constraint::eq(a.to_linexpr(conj, iters, VarKind::In)),
+        DomainConstraint::Geq(a) => Constraint::geq(a.to_linexpr(conj, iters, params, VarKind::In)),
+        DomainConstraint::Eq(a) => Constraint::eq(a.to_linexpr(conj, iters, params, VarKind::In)),
         DomainConstraint::Mod(a, m) => {
-            Constraint::congruent(a.to_linexpr(conj, iters, VarKind::In), *m)
+            Constraint::congruent(a.to_linexpr(conj, iters, params, VarKind::In), *m)
         }
     }
 }
@@ -723,12 +814,38 @@ void f(int A[], int C[]) {
             Expr::mul(Expr::Const(2), Expr::var("i")),
             Expr::sub(Expr::var("N"), Expr::Const(1)),
         );
-        let a = affine_of_expr(&e, &iters, &defines, "test").unwrap();
+        let a = affine_of_expr(&e, &iters, &[], &defines, "test").unwrap();
         assert_eq!(a.coeffs["i"], 2);
         assert_eq!(a.konst, -7);
         let env = BTreeMap::from([("i".to_string(), 5i64)]);
         assert_eq!(a.eval(&env), 3);
         assert!(Affine::constant(4).is_constant());
+    }
+
+    #[test]
+    fn parametric_domains_and_instantiation_agree() {
+        let p = parse_program(crate::corpus::PARAM_SUM_A).unwrap();
+        let infos = analyze(&p).unwrap();
+        let a1 = &infos[0];
+        assert_eq!(a1.param_names(), vec!["N".to_string()]);
+        let dom = a1.iteration_domain().unwrap();
+        // 0 <= k < N under the declared context N >= 1.
+        assert!(dom.contains(&[0], &[1]));
+        assert!(dom.contains(&[9], &[10]));
+        assert!(!dom.contains(&[10], &[10]));
+        assert!(!dom.contains(&[0], &[0])); // violates the #param bound
+        assert_eq!(a1.instance_count(1 << 20), None);
+
+        // Instantiating N gives the same domain with the column gone.
+        let inst = p.with_param_values(&[("N".into(), 16)]);
+        let dom16 = analyze(&inst).unwrap()[0].iteration_domain().unwrap();
+        for k in -2..20 {
+            assert_eq!(
+                dom16.contains(&[k], &[]),
+                dom.contains(&[k], &[16]),
+                "k = {k}"
+            );
+        }
     }
 
     #[test]

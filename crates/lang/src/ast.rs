@@ -294,6 +294,11 @@ pub struct Program {
     pub defines: BTreeMap<String, i64>,
     /// Array parameter names, in declaration order.
     pub params: Vec<String>,
+    /// Symbolic size parameters (`#param N >= 1`): name and declared lower
+    /// bound.  Unlike `defines`, these have no concrete value — loop bounds
+    /// and index expressions over them stay symbolic all the way into the
+    /// omega layer, so one verification covers every admissible value.
+    pub symbolic_params: Vec<(String, i64)>,
     /// Local declarations (iterators and intermediate arrays).
     pub decls: Vec<Decl>,
     /// Function body.
@@ -401,6 +406,40 @@ impl Program {
         self.defines.get(name).copied()
     }
 
+    /// The declared lower bound of a symbolic parameter, if present.
+    pub fn symbolic_param(&self, name: &str) -> Option<i64> {
+        self.symbolic_params
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, min)| min)
+    }
+
+    /// A concrete instantiation of this program: every symbolic parameter is
+    /// replaced by the given value (turned into a `#define`).  Used by the
+    /// interpreter and by the concrete sweeps that cross-check parametric
+    /// verdicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not assign exactly the symbolic parameters.
+    pub fn with_param_values(&self, values: &[(String, i64)]) -> Program {
+        assert_eq!(
+            values.len(),
+            self.symbolic_params.len(),
+            "instantiation must assign every symbolic parameter"
+        );
+        let mut out = self.clone();
+        for (name, value) in values {
+            assert!(
+                self.symbolic_param(name).is_some(),
+                "no symbolic parameter named `{name}`"
+            );
+            out.defines.insert(name.clone(), *value);
+        }
+        out.symbolic_params.clear();
+        out
+    }
+
     /// Total number of assignment statements.
     pub fn statement_count(&self) -> usize {
         self.statements().count()
@@ -415,6 +454,7 @@ pub struct ProgramBuilder {
     name: String,
     defines: BTreeMap<String, i64>,
     params: Vec<String>,
+    symbolic_params: Vec<(String, i64)>,
     decls: Vec<Decl>,
     body: Vec<Stmt>,
     label_counter: usize,
@@ -438,6 +478,12 @@ impl ProgramBuilder {
     /// Adds an array parameter.
     pub fn param(mut self, name: impl Into<String>) -> Self {
         self.params.push(name.into());
+        self
+    }
+
+    /// Adds a symbolic size parameter (`#param name >= min`).
+    pub fn symbolic_param(mut self, name: impl Into<String>, min: i64) -> Self {
+        self.symbolic_params.push((name.into(), min));
         self
     }
 
@@ -469,6 +515,7 @@ impl ProgramBuilder {
             name: self.name,
             defines: self.defines,
             params: self.params,
+            symbolic_params: self.symbolic_params,
             decls: self.decls,
             body: self.body,
         }

@@ -118,7 +118,7 @@ fn check_single_assignment(infos: &[StatementInfo], report: &mut ClassReport) ->
         let id = arrayeq_omega::Relation::identity(arrayeq_omega::Space::relation(
             &info.iters,
             &info.iters,
-            &[] as &[String],
+            &info.param_names(),
         ));
         if !pairs.is_subset(&id)? {
             report.violations.push(ClassViolation {

@@ -349,6 +349,75 @@ f1:     C[k] = G[k] * (A[k] + B[2*k]) + 0;
 }
 "#;
 
+/// A staged sum with the problem size left *symbolic* (`#param N >= 1`):
+/// no concrete value of `N` appears anywhere, so every space built from the
+/// program carries an `N` parameter column and one verification covers all
+/// admissible sizes.  Equivalent to [`PARAM_SUM_B`] under copy propagation
+/// and re-association.
+pub const PARAM_SUM_A: &str = r#"
+/* parametric staged sum */
+#param N >= 1
+psum(int A[], int B[], int C[])
+{
+    int k, t[N];
+    for (k = 0; k < N; k++)
+a1:     t[k] = A[k] + B[2*k];
+    for (k = 0; k < N; k++)
+a2:     C[k] = t[k] + A[2*k];
+}
+"#;
+
+/// The fused, re-associated form of [`PARAM_SUM_A`], over the same symbolic
+/// size.
+pub const PARAM_SUM_B: &str = r#"
+/* same parametric sum, fused and shuffled */
+#param N >= 1
+psum(int A[], int B[], int C[])
+{
+    int k;
+    for (k = 0; k < N; k++)
+b1:     C[k] = A[2*k] + (A[k] + B[2*k]);
+}
+"#;
+
+/// A parametric pair with a *split* intermediate: the lower half up to a
+/// fixed pivot, the rest up to the symbolic bound.  Exercises parameter
+/// columns inside piecewise domains (`0 <= k < 8` vs `8 <= k < N`).
+pub const PARAM_SPLIT_A: &str = r#"
+/* parametric piecewise sum, split at 8 */
+#param N >= 16
+pieces(int A[], int B[], int C[])
+{
+    int k, w[N];
+    for (k = 0; k < 8; k++)
+w1:     w[k] = A[k] + B[2*k];
+    for (k = 8; k < N; k++)
+w2:     w[k] = B[2*k] + A[k];
+    for (k = 0; k < N; k++)
+c1:     C[k] = w[k];
+}
+"#;
+
+/// The single-loop form of [`PARAM_SPLIT_A`].
+pub const PARAM_SPLIT_B: &str = r#"
+/* same parametric sum, no split */
+#param N >= 16
+pieces(int A[], int B[], int C[])
+{
+    int k;
+    for (k = 0; k < N; k++)
+d1:     C[k] = A[k] + B[2*k];
+}
+"#;
+
+/// The parametric scenario pairs: `(name, original, transformed)`, each
+/// equivalent for *every* admissible value of its `#param` size.  Concrete
+/// sweeps instantiate them via [`crate::ast::Program::with_param_values`].
+pub const PARAMETRIC_PAIRS: [(&str, &str, &str); 2] = [
+    ("param-sum", PARAM_SUM_A, PARAM_SUM_B),
+    ("param-split", PARAM_SPLIT_A, PARAM_SPLIT_B),
+];
+
 /// The algebraic-normalization scenario pairs: `(name, original,
 /// transformed)`, equivalent exactly under the extended method's widened
 /// operator algebra (distribution, inverse folding, identity/constant
@@ -418,6 +487,38 @@ mod tests {
             assert_eq!(pa.input_arrays(), pb.input_arrays(), "{name}");
         }
         parse_program(KERNEL_FACTORED_IDENT).expect("mutation host parses");
+    }
+
+    #[test]
+    fn parametric_pairs_parse_with_symbolic_sizes() {
+        for (name, a, b) in PARAMETRIC_PAIRS {
+            let pa = parse_program(a).unwrap_or_else(|e| panic!("{name} original: {e}"));
+            let pb = parse_program(b).unwrap_or_else(|e| panic!("{name} transformed: {e}"));
+            assert_eq!(pa.symbolic_params, pb.symbolic_params, "{name}");
+            assert_eq!(pa.symbolic_params.len(), 1, "{name}");
+            assert_eq!(pa.symbolic_params[0].0, "N", "{name}");
+            assert_eq!(pa.output_arrays(), pb.output_arrays(), "{name}");
+            // Instantiation turns the param into an ordinary define.
+            let inst = pa.with_param_values(&[("N".into(), 32)]);
+            assert!(inst.symbolic_params.is_empty());
+            assert_eq!(inst.define("N"), Some(32));
+        }
+    }
+
+    #[test]
+    fn param_directive_grammar() {
+        let p = parse_program("#param N >= 4\nf(int A[], int C[]) { int k; for (k = 0; k < N; k++) s1: C[k] = A[k]; }").unwrap();
+        assert_eq!(p.symbolic_param("N"), Some(4));
+        // The bound defaults to 1 when omitted.
+        let q = parse_program(
+            "#param M\nf(int A[], int C[]) { int k; for (k = 0; k < M; k++) s1: C[k] = A[k]; }",
+        )
+        .unwrap();
+        assert_eq!(q.symbolic_param("M"), Some(1));
+        // Round-trips through the pretty-printer.
+        let text = crate::pretty::program_to_string(&p);
+        assert!(text.contains("#param N >= 4"));
+        assert_eq!(parse_program(&text).unwrap(), p);
     }
 
     #[test]

@@ -160,7 +160,7 @@ fn write_read_order_violation(
 /// The relation `{ [a iters] -> [b iters] : time_a <= time_b }` under the
 /// textual 2d+1 schedules of statements `a` and `b`.
 fn lex_le(a: &StatementInfo, b: &StatementInfo) -> Result<Relation> {
-    let space = Space::relation(&a.iters, &b.iters, &[] as &[String]);
+    let space = Space::relation(&a.iters, &b.iters, &a.param_names());
     let comps_a = a.schedule_components();
     let comps_b = b.schedule_components();
     let min_len = comps_a.len().min(comps_b.len());

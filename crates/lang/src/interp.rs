@@ -194,6 +194,20 @@ impl<'p> Interpreter<'p> {
     /// Returns [`LangError::Runtime`] on out-of-bounds accesses, missing
     /// inputs, non-constant sizes or division by zero.
     pub fn run(&self, inputs: &Inputs) -> Result<(Memory, ExecStats)> {
+        if !self.program.symbolic_params.is_empty() {
+            return Err(LangError::Runtime {
+                message: format!(
+                    "program has symbolic parameters ({}); instantiate them with \
+                     `Program::with_param_values` before interpreting",
+                    self.program
+                        .symbolic_params
+                        .iter()
+                        .map(|(n, _)| n.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        }
         let mut arrays: BTreeMap<String, Vec<i64>> = BTreeMap::new();
 
         // Parameters: inputs come from the caller, outputs are allocated.

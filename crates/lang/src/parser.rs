@@ -52,6 +52,7 @@ enum Tok {
     PlusEq,
     MinusEq,
     Define,
+    Param,
 }
 
 struct Parser {
@@ -89,7 +90,7 @@ impl Parser {
                     }
                 }
                 '#' => {
-                    // `#define`
+                    // `#define` / `#param`
                     let mut word = String::new();
                     i += 1;
                     while i < chars.len() && chars[i].is_ascii_alphabetic() {
@@ -98,6 +99,8 @@ impl Parser {
                     }
                     if word == "define" {
                         toks.push((Tok::Define, line));
+                    } else if word == "param" {
+                        toks.push((Tok::Param, line));
                     } else {
                         return Err(LangError::Parse {
                             message: format!("unsupported preprocessor directive `#{word}`"),
@@ -232,12 +235,28 @@ impl Parser {
 
     fn parse_program(&mut self) -> Result<Program> {
         let mut defines: BTreeMap<String, i64> = BTreeMap::new();
-        // #define NAME VALUE*
-        while matches!(self.peek(), Some(Tok::Define)) {
+        let mut symbolic_params: Vec<(String, i64)> = Vec::new();
+        // (#define NAME VALUE | #param NAME [>= MIN])*
+        while matches!(self.peek(), Some(Tok::Define | Tok::Param)) {
+            let is_param = matches!(self.peek(), Some(Tok::Param));
             self.bump();
             let name = self.expect_ident()?;
-            let value = self.parse_const_expr(&defines)?;
-            defines.insert(name, value);
+            if is_param {
+                if defines.contains_key(&name) || symbolic_params.iter().any(|(n, _)| *n == name) {
+                    return self.err("duplicate #param / #define name");
+                }
+                // Optional declared lower bound; sizes default to >= 1.
+                let min = if matches!(self.peek(), Some(Tok::Ge)) {
+                    self.bump();
+                    self.parse_const_expr(&defines)?
+                } else {
+                    1
+                };
+                symbolic_params.push((name, min));
+            } else {
+                let value = self.parse_const_expr(&defines)?;
+                defines.insert(name, value);
+            }
         }
 
         // Optional return type (`void` / `int`), then the function name.
@@ -307,6 +326,7 @@ impl Parser {
             name,
             defines,
             params,
+            symbolic_params,
             decls,
             body,
         })

@@ -68,6 +68,9 @@ pub fn program_to_string(p: &Program) -> String {
     for (name, value) in &p.defines {
         let _ = writeln!(out, "#define {name} {value}");
     }
+    for (name, min) in &p.symbolic_params {
+        let _ = writeln!(out, "#param {name} >= {min}");
+    }
     let params: Vec<String> = p.params.iter().map(|n| format!("int {n}[]")).collect();
     let _ = writeln!(out, "void {}({})", p.name, params.join(", "));
     let _ = writeln!(out, "{{");

@@ -237,6 +237,7 @@ impl Conjunct {
         // into the constant.  The resulting system is tiny (existentials
         // only) and goes straight to the feasibility test.
         let mut cs: Vec<Constraint> = Vec::with_capacity(self.constraints.len());
+        let before_pending = crate::arith::arith_overflow_pending();
         for c in &self.constraints {
             let mut e = LinExpr::zero(self.n_exists);
             let global = self.space.n_global();
@@ -260,7 +261,7 @@ impl Conjunct {
                 ConstraintKind::Mod => Constraint::congruent(e, c.modulus()),
             });
         }
-        is_feasible(&cs, self.n_exists).as_bool()
+        decide_with_fallback(&cs, self.n_exists, before_pending).as_bool()
     }
 
     /// Whether the conjunct has at least one integer point (for some value of
@@ -339,8 +340,20 @@ impl Conjunct {
             ]
         });
         let t0 = arrayeq_trace::metrics_timer();
-        let f = is_feasible(&self.constraints, self.n_vars());
+        let before_pending = crate::arith::arith_overflow_pending();
+        let mut f = is_feasible(&self.constraints, self.n_vars());
         arrayeq_trace::record_elapsed(arrayeq_trace::Metric::Feasibility, t0);
+        // Overflow fallback: a conjunct whose checked-`i64` run tripped the
+        // PR 9 sticky flag is re-decided by the big-integer port of the same
+        // procedure, where overflow cannot occur.  On success the exact
+        // verdict replaces the conservative one, and the flag raised by this
+        // query is consumed (a flag that was already pending before the query
+        // belongs to someone else and is left alone) — so the enclosing
+        // checker run stays conclusive instead of degrading to
+        // `Inconclusive`.
+        if f == Feasibility::Overflow {
+            f = bigint_refine(&self.constraints, self.n_vars(), before_pending, f);
+        }
         // Overflow-degraded verdicts are *never* memoised (locally or in the
         // shared store): the conservative "feasible" stands for "unknown",
         // and caching it would let one overflow-afflicted query poison every
@@ -703,9 +716,192 @@ impl Conjunct {
             self.constraints.dedup();
             changed |= self.constraints.len() != before;
 
+            // 5. Constraint-level subsumption: among inequalities sharing a
+            // coefficient vector only the tightest can bind, and an equality
+            // over the same (or negated) vector decides such inequalities
+            // outright.
+            changed |= self.drop_dominated_inequalities();
+
             if !changed {
                 return true;
             }
+        }
+    }
+
+    /// Drops inequalities implied by a sibling constraint over the same
+    /// coefficient vector: `a·x + c₁ ≥ 0` absorbs `a·x + c₂ ≥ 0` when
+    /// `c₂ ≥ c₁`, and `a·x + c₁ = 0` (or its negation) decides both
+    /// directions.  Constraints are assumed normalised (step 1 of
+    /// [`Conjunct::simplify`] guarantees it), so coefficient vectors are
+    /// primitive and directly comparable.  Returns whether anything changed.
+    fn drop_dominated_inequalities(&mut self) -> bool {
+        let n = self.constraints.len();
+        if n < 2 {
+            return false;
+        }
+        let mut drop = vec![false; n];
+        for i in 0..n {
+            if drop[i] || self.constraints[i].kind() != ConstraintKind::Geq {
+                continue;
+            }
+            for j in 0..n {
+                if i == j || drop[j] {
+                    continue;
+                }
+                let (s, o) = (&self.constraints[i], &self.constraints[j]);
+                // i128 spreads: constants near i64::MIN/MAX must not wrap.
+                let (sc, oc) = (s.expr().constant() as i128, o.expr().constant() as i128);
+                let implied = match o.kind() {
+                    ConstraintKind::Geq => {
+                        same_coeffs(o.expr(), s.expr()) && (oc < sc || (oc == sc && j < i))
+                    }
+                    ConstraintKind::Eq => {
+                        (same_coeffs(o.expr(), s.expr()) && sc - oc >= 0)
+                            || (opposite_coeffs(o.expr(), s.expr()) && sc + oc >= 0)
+                    }
+                    ConstraintKind::Mod => false,
+                };
+                if implied {
+                    drop[i] = true;
+                    break;
+                }
+            }
+        }
+        if drop.iter().any(|&d| d) {
+            let mut it = drop.iter();
+            self.constraints
+                .retain(|_| !*it.next().expect("mask length"));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `other` is provably a subset of `self`, decided syntactically
+    /// (no solver call): `self` must be quantifier-free and every canonical
+    /// constraint of `self` must be implied by a single constraint of
+    /// `other` — verbatim, as a looser inequality over the same coefficient
+    /// vector, or via an equality that pins that vector.  False negatives
+    /// are allowed (and common); a `true` is always sound.  Used by the DNF
+    /// coalescing pass to drop redundant disjuncts.
+    pub fn subsumes(&self, other: &Conjunct) -> bool {
+        if !self.space.is_compatible(other.space()) || self.n_exists != 0 {
+            return false;
+        }
+        let mine = self.canonical_constraints();
+        if mine.is_empty() {
+            return true; // the universe subsumes everything
+        }
+        let theirs: Vec<Constraint> = other
+            .constraints
+            .iter()
+            .map(Constraint::normalized)
+            .filter(|c| c.trivial() != Some(true))
+            .collect();
+        mine.iter().all(|s| {
+            // Zero-extend over other's existentials: a constraint without
+            // existential columns holds at every point of `other` iff some
+            // constraint of `other` implies it.
+            let s = s.extended(other.n_exists);
+            theirs.iter().any(|o| constraint_implies(o, &s))
+        })
+    }
+
+    /// Removes constraints implied by the *remaining* constraints of this
+    /// conjunct (each candidate is implied iff every negation piece of it is
+    /// infeasible against the rest) — the self-gist that renders witnessed
+    /// domains minimally.  Set-preserving by construction, so sampling and
+    /// membership are unaffected.  Quantifier-free conjuncts only (a no-op
+    /// otherwise); congruences with large moduli are skipped (their negation
+    /// fans out into `m − 1` pieces).
+    ///
+    /// The redundancy probes run the solver; any overflow flag they raise is
+    /// consumed here (the probes are cosmetic — dropping a constraint never
+    /// changes the set — so they must not degrade the enclosing verdict).
+    pub fn drop_redundant(&mut self) {
+        if self.n_exists != 0 || self.constraints.len() < 2 {
+            return;
+        }
+        let before_pending = crate::arith::arith_overflow_pending();
+        let mut i = 0;
+        while i < self.constraints.len() && self.constraints.len() >= 2 {
+            let c = &self.constraints[i];
+            if c.kind() == ConstraintKind::Mod && c.modulus() > 16 {
+                i += 1;
+                continue;
+            }
+            let rest: Vec<Constraint> = self
+                .constraints
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, c)| c.clone())
+                .collect();
+            let implied = self.constraints[i].negated().into_iter().all(|neg| {
+                let mut probe = Conjunct::from_parts(
+                    self.space.clone(),
+                    0,
+                    rest.iter().cloned().chain(std::iter::once(neg)).collect(),
+                );
+                !(probe.simplify() && probe.is_feasible())
+            });
+            if implied {
+                self.constraints.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        if !before_pending && crate::arith::arith_overflow_pending() {
+            let _ = crate::arith::take_arith_overflow();
+        }
+    }
+
+    /// Gist of this conjunct against a context conjunct: removes constraints
+    /// implied by the *conjunction* of the remaining constraints and the
+    /// context, so that `gist ∧ context == self ∧ context`.  Both conjuncts
+    /// must be quantifier-free over compatible spaces (a no-op otherwise).
+    /// Like [`Conjunct::drop_redundant`], the probes' overflow flags are
+    /// consumed — an incomplete gist is cosmetic, never a soundness issue.
+    pub(crate) fn gist_against(&mut self, context: &Conjunct) {
+        if self.n_exists != 0
+            || context.n_exists != 0
+            || !self.space.is_compatible(context.space())
+            || self.constraints.is_empty()
+        {
+            return;
+        }
+        let before_pending = crate::arith::arith_overflow_pending();
+        let mut i = 0;
+        while i < self.constraints.len() {
+            let c = &self.constraints[i];
+            if c.kind() == ConstraintKind::Mod && c.modulus() > 16 {
+                i += 1;
+                continue;
+            }
+            let rest: Vec<Constraint> = self
+                .constraints
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, c)| c.clone())
+                .chain(context.constraints.iter().cloned())
+                .collect();
+            let implied = self.constraints[i].negated().into_iter().all(|neg| {
+                let mut probe = Conjunct::from_parts(
+                    self.space.clone(),
+                    0,
+                    rest.iter().cloned().chain(std::iter::once(neg)).collect(),
+                );
+                !(probe.simplify() && probe.is_feasible())
+            });
+            if implied {
+                self.constraints.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        if !before_pending && crate::arith::arith_overflow_pending() {
+            let _ = crate::arith::take_arith_overflow();
         }
     }
 
@@ -1071,6 +1267,86 @@ impl Conjunct {
             return Some((ins, pars, konst));
         }
         None
+    }
+}
+
+/// Whether the coefficient vectors of `a` and `b` are identical.
+fn same_coeffs(a: &LinExpr, b: &LinExpr) -> bool {
+    debug_assert_eq!(a.n_vars(), b.n_vars());
+    (0..a.n_vars()).all(|i| a.coeff(i) == b.coeff(i))
+}
+
+/// Whether the coefficient vectors of `a` and `b` are exact negations.
+fn opposite_coeffs(a: &LinExpr, b: &LinExpr) -> bool {
+    debug_assert_eq!(a.n_vars(), b.n_vars());
+    (0..a.n_vars()).all(|i| a.coeff(i).checked_neg() == Some(b.coeff(i)))
+}
+
+/// Whether constraint `o` (normalised) single-handedly implies constraint
+/// `s` (normalised, same width).  Sound but deliberately incomplete: only
+/// verbatim matches, looser inequalities over the same primitive coefficient
+/// vector, and equalities pinning that vector are recognised.
+fn constraint_implies(o: &Constraint, s: &Constraint) -> bool {
+    if o == s {
+        return true;
+    }
+    if s.kind() != ConstraintKind::Geq {
+        return false;
+    }
+    // i128 spreads so constants near i64::MIN/MAX cannot wrap.
+    let (sc, oc) = (s.expr().constant() as i128, o.expr().constant() as i128);
+    match o.kind() {
+        // a·x + c₁ ≥ 0  implies  a·x + c₂ ≥ 0  when c₂ ≥ c₁.
+        ConstraintKind::Geq => same_coeffs(o.expr(), s.expr()) && sc >= oc,
+        // a·x + c₁ = 0 pins a·x, deciding inequalities over ±a.
+        ConstraintKind::Eq => {
+            (same_coeffs(o.expr(), s.expr()) && sc - oc >= 0)
+                || (opposite_coeffs(o.expr(), s.expr()) && sc + oc >= 0)
+        }
+        ConstraintKind::Mod => false,
+    }
+}
+
+/// Runs the production feasibility test and, when it degrades with the
+/// typed overflow, re-decides the system exactly with the big-integer
+/// reference solver (see [`bigint_refine`]).
+fn decide_with_fallback(
+    constraints: &[Constraint],
+    n_vars: usize,
+    before_pending: bool,
+) -> Feasibility {
+    let f = is_feasible(constraints, n_vars);
+    if f == Feasibility::Overflow {
+        return bigint_refine(constraints, n_vars, before_pending, f);
+    }
+    f
+}
+
+/// Re-decides an overflow-degraded system with the big-integer port of the
+/// decision procedure ([`crate::reference`]).  On success the exact verdict
+/// is returned and the overflow flag raised by the degraded run is consumed
+/// (unless a flag was already pending before the run — that one belongs to
+/// an earlier query and is preserved).  When the reference solver declines
+/// (work limit), the degraded verdict stands, flag and all.
+fn bigint_refine(
+    constraints: &[Constraint],
+    n_vars: usize,
+    before_pending: bool,
+    degraded: Feasibility,
+) -> Feasibility {
+    match crate::reference::reference_is_feasible(constraints, n_vars) {
+        Some(exact) => {
+            crate::dnf::note_bigint_fallback();
+            if !before_pending {
+                let _ = crate::arith::take_arith_overflow();
+            }
+            if exact {
+                Feasibility::Feasible
+            } else {
+                Feasibility::Infeasible
+            }
+        }
+        None => degraded,
     }
 }
 

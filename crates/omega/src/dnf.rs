@@ -1,0 +1,167 @@
+//! DNF constraint-set engine: conjunct coalescing and its controls.
+//!
+//! A [`Relation`](crate::Relation) is a finite union (disjunctive normal
+//! form) of [`Conjunct`](crate::Conjunct)s, and the relation algebra grows
+//! that union multiplicatively: composition and intersection cross-multiply
+//! the operand disjuncts, and set difference replaces every conjunct by one
+//! piece per negated constraint of the subtrahend.  Piecewise kernels and
+//! the sample-and-subtract enumeration loop both hit this blow-up head on —
+//! and most of the generated disjuncts are duplicates of or strict subsets
+//! of disjuncts already present.
+//!
+//! This module provides the *coalescing* pass that keeps the union small:
+//!
+//! * **Dedup** — structurally identical conjuncts (same canonical form, as
+//!   keyed by [`Conjunct::structural_hash`]) are collapsed to one.
+//! * **Subsumption** — a conjunct that provably contains another (decided
+//!   syntactically by [`Conjunct::subsumes`], no solver call) absorbs it.
+//!
+//! Coalescing is applied in two regimes.  The *canonicalising* uses —
+//! [`Relation::simplified`](crate::Relation::simplified) and the tail of
+//! [`Relation::subtract`](crate::Relation::subtract) — always coalesce, so
+//! a relation's simplified form does not depend on any mode switch.  The
+//! *eager* uses — at every `union` / `intersect` / `compose` construction
+//! site and between the rounds of `subtract` — are gated by the thread-local
+//! toggle below, which exists so the measurement harness can A/B the eager
+//! pass inside one binary.  Turning it off never changes a verdict, only how
+//! much intermediate-disjunct work the algebra performs.
+
+use crate::conjunct::Conjunct;
+use std::cell::Cell;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+thread_local! {
+    /// Whether the eager coalescing sites are active on this thread.
+    static EAGER: Cell<bool> = const { Cell::new(true) };
+
+    /// Conjuncts dropped by coalescing on this thread (monotonic).
+    static CONJUNCTS_SUBSUMED: Cell<u64> = const { Cell::new(0) };
+
+    /// Overflow-degraded feasibility queries re-decided exactly by the
+    /// big-integer reference solver on this thread (monotonic).
+    static BIGINT_FALLBACKS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Enables or disables the *eager* coalescing sites on this thread and
+/// returns the previous setting.  Defaults to enabled.
+///
+/// **Measurement escape hatch.**  With `false`, `union` / `intersect` /
+/// `compose` and the intermediate rounds of `subtract` keep every disjunct
+/// they generate, as the algebra did before the DNF engine existed; the
+/// canonicalising coalesce inside [`Relation::simplified`](crate::Relation::simplified)
+/// still runs, so verdicts and simplified forms are identical in both
+/// modes — only the amount of intermediate work differs.
+pub fn set_eager_simplification(on: bool) -> bool {
+    EAGER.with(|e| e.replace(on))
+}
+
+/// Whether the eager coalescing sites are active on this thread.
+pub fn eager_simplification() -> bool {
+    EAGER.with(|e| e.get())
+}
+
+/// Total conjuncts dropped by coalescing (dedup + subsumption) on this
+/// thread (never reset).
+pub fn conjuncts_subsumed_events() -> u64 {
+    CONJUNCTS_SUBSUMED.with(|c| c.get())
+}
+
+/// Total overflow-degraded feasibility queries re-decided exactly by the
+/// big-integer fallback on this thread (never reset).
+pub fn bigint_fallback_events() -> u64 {
+    BIGINT_FALLBACKS.with(|c| c.get())
+}
+
+pub(crate) fn note_conjuncts_subsumed(n: u64) {
+    if n > 0 {
+        CONJUNCTS_SUBSUMED.with(|c| c.set(c.get() + n));
+    }
+}
+
+pub(crate) fn note_bigint_fallback() {
+    BIGINT_FALLBACKS.with(|c| c.set(c.get() + 1));
+}
+
+/// Coalesces a disjunct list: drops structural duplicates, then drops every
+/// conjunct subsumed by another ([`Conjunct::subsumes`]).  Keeps the first
+/// occurrence and the given order of the survivors, so the pass is
+/// deterministic and idempotent.  Purely syntactic — no solver calls — and
+/// set-preserving: the union of the result equals the union of the input.
+pub(crate) fn coalesce(conjuncts: Vec<Conjunct>) -> Vec<Conjunct> {
+    if conjuncts.len() <= 1 {
+        return conjuncts;
+    }
+    let _span = arrayeq_trace::span_with("simplify", || {
+        vec![arrayeq_trace::u("conjuncts", conjuncts.len() as u64)]
+    });
+    let t0 = arrayeq_trace::metrics_timer();
+    let before = conjuncts.len();
+
+    // Pass 1: structural dedup.  The hash absorbs constraint permutation,
+    // duplication, gcd scaling and existential renaming, so presentation
+    // variants of one disjunct collapse; debug builds cross-check the
+    // canonical forms so a 64-bit collision fails loudly (the same guard the
+    // feasibility memo uses).
+    let mut seen: HashMap<u64, usize> = HashMap::with_capacity(conjuncts.len());
+    let mut kept: Vec<Conjunct> = Vec::with_capacity(conjuncts.len());
+    for c in conjuncts {
+        match seen.entry(c.structural_hash()) {
+            Entry::Occupied(_e) => {
+                #[cfg(debug_assertions)]
+                {
+                    let twin = &kept[*_e.get()];
+                    debug_assert_eq!(
+                        (twin.canonical_constraints(), twin.n_exists()),
+                        (c.canonical_constraints(), c.n_exists()),
+                        "structural_hash collision while coalescing conjuncts"
+                    );
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(kept.len());
+                kept.push(c);
+            }
+        }
+    }
+
+    // Pass 2: pairwise subsumption.  Earlier disjuncts win ties; a dropped
+    // disjunct never gets to drop others (its subsumer — a superset — keeps
+    // doing that job).
+    let mut alive = vec![true; kept.len()];
+    for i in 0..kept.len() {
+        if !alive[i] {
+            continue;
+        }
+        for j in 0..kept.len() {
+            if i != j && alive[j] && kept[i].subsumes(&kept[j]) {
+                alive[j] = false;
+            }
+        }
+    }
+    let mut alive_iter = alive.iter();
+    kept.retain(|_| *alive_iter.next().expect("alive mask length"));
+
+    note_conjuncts_subsumed((before - kept.len()) as u64);
+    arrayeq_trace::record_elapsed(arrayeq_trace::Metric::Simplify, t0);
+    kept
+}
+
+/// Structural dedup only (no subsumption): the cheap always-on pass used at
+/// relation construction time.
+pub(crate) fn dedup(conjuncts: Vec<Conjunct>) -> Vec<Conjunct> {
+    if conjuncts.len() <= 1 {
+        return conjuncts;
+    }
+    let before = conjuncts.len();
+    let mut seen: HashMap<u64, ()> = HashMap::with_capacity(conjuncts.len());
+    let mut kept: Vec<Conjunct> = Vec::with_capacity(conjuncts.len());
+    for c in conjuncts {
+        if let Entry::Vacant(v) = seen.entry(c.structural_hash()) {
+            v.insert(());
+            kept.push(c);
+        }
+    }
+    note_conjuncts_subsumed((before - kept.len()) as u64);
+    kept
+}

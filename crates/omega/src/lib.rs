@@ -127,6 +127,7 @@ mod bigint;
 mod conjunct;
 mod constraint;
 mod display;
+mod dnf;
 mod feasible;
 mod hash;
 mod linexpr;
@@ -148,6 +149,10 @@ pub use conjunct::{
     FeasibilityCache,
 };
 pub use constraint::{Constraint, ConstraintKind};
+pub use dnf::{
+    bigint_fallback_events, conjuncts_subsumed_events, eager_simplification,
+    set_eager_simplification,
+};
 pub use hash::{structural_hash_of, StructuralHasher};
 pub use linexpr::LinExpr;
 pub use relation::{DomKind, MapBuilder, Relation, SamplePoint};

@@ -124,7 +124,10 @@ impl Relation {
                 "conjunct space incompatible with relation space"
             );
         }
-        Relation::raw(space, conjuncts)
+        // Structurally identical disjuncts are collapsed at construction
+        // time — piecewise merges hand the same disjunct in repeatedly, and
+        // every copy would otherwise be re-solved downstream.
+        Relation::raw(space, crate::dnf::dedup(conjuncts))
     }
 
     /// Parses the textual notation, e.g.
@@ -154,9 +157,14 @@ impl Relation {
         self.hash_cache = OnceLock::new();
     }
 
-    /// Simplifies every conjunct and drops the ones that are syntactically or
-    /// semantically empty.  `deep` additionally runs the exact emptiness test
-    /// per conjunct (more expensive, smaller result).
+    /// Simplifies every conjunct, drops the ones that are syntactically or
+    /// semantically empty and coalesces the survivors (structural dedup plus
+    /// conjunct subsumption — see [`Conjunct::subsumes`]).  `deep`
+    /// additionally runs the exact emptiness test per conjunct (more
+    /// expensive, smaller result).  The coalescing here is unconditional —
+    /// part of the simplified form, independent of the eager-simplification
+    /// toggle — so a relation's simplified rendering never depends on the
+    /// measurement mode.
     pub fn simplified(&self, deep: bool) -> Relation {
         let mut out = Vec::with_capacity(self.conjuncts.len());
         for c in &self.conjuncts {
@@ -167,11 +175,24 @@ impl Relation {
             if deep && !c.is_feasible() {
                 continue;
             }
-            if !out.contains(&c) {
-                out.push(c);
-            }
+            out.push(c);
         }
-        Relation::raw(self.space.clone(), out)
+        Relation::raw(self.space.clone(), crate::dnf::coalesce(out))
+    }
+
+    /// Minimal-rendering form for diagnostics: [`Relation::simplified`]
+    /// (deep) with every surviving conjunct additionally stripped of
+    /// constraints implied by its own remaining constraints
+    /// ([`Conjunct::drop_redundant`] — the self-gist).  Set-preserving, so
+    /// witness sampling against the result is exactly as sound as against
+    /// the original; noticeably more expensive than `simplified`, so it is
+    /// reserved for failing domains that reach a report.
+    pub fn minimized(&self) -> Relation {
+        let mut conjuncts = self.simplified(true).conjuncts;
+        for c in &mut conjuncts {
+            c.drop_redundant();
+        }
+        Relation::raw(self.space.clone(), crate::dnf::coalesce(conjuncts))
     }
 
     /// Whether the relation contains the pair (`input`, `output`) for the
@@ -218,6 +239,9 @@ impl Relation {
                 .cloned()
                 .map(|c| c.with_space(self.space.clone())),
         );
+        if crate::dnf::eager_simplification() {
+            conjuncts = crate::dnf::coalesce(conjuncts);
+        }
         Ok(Relation::raw(self.space.clone(), conjuncts))
     }
 
@@ -236,6 +260,9 @@ impl Relation {
                     conjuncts.push(c);
                 }
             }
+        }
+        if crate::dnf::eager_simplification() {
+            conjuncts = crate::dnf::coalesce(conjuncts);
         }
         Ok(Relation::raw(self.space.clone(), conjuncts))
     }
@@ -341,6 +368,9 @@ impl Relation {
                 }
             }
         }
+        if crate::dnf::eager_simplification() {
+            conjuncts = crate::dnf::coalesce(conjuncts);
+        }
         Ok(Relation::raw(result_space, conjuncts))
     }
 
@@ -409,6 +439,7 @@ impl Relation {
             subtrahend.push(c.with_space(self.space.clone()));
         }
         let mut current = self.simplified(false).conjuncts;
+        let eager = crate::dnf::eager_simplification();
         for b in &subtrahend {
             let mut next = Vec::new();
             for a in &current {
@@ -424,12 +455,22 @@ impl Relation {
                     }
                 }
             }
-            current = next;
+            // Every subtrahend round multiplies the disjunct count by the
+            // negation fan-out; coalescing between rounds is what keeps the
+            // sample-and-subtract enumeration loop polynomial in practice.
+            current = if eager {
+                crate::dnf::coalesce(next)
+            } else {
+                next
+            };
             if current.is_empty() {
                 break;
             }
         }
-        Ok(Relation::raw(self.space.clone(), current))
+        Ok(Relation::raw(
+            self.space.clone(),
+            crate::dnf::coalesce(current),
+        ))
     }
 
     /// Whether `self ⊆ other`.

@@ -147,11 +147,100 @@ impl Set {
         self.inner.is_equal(&other.inner)
     }
 
-    /// Simplified copy (drops empty conjuncts).
+    /// Simplified copy (drops empty conjuncts, coalesces duplicated and
+    /// subsumed disjuncts).
     pub fn simplified(&self) -> Set {
         Set {
             inner: self.inner.simplified(true),
         }
+    }
+
+    /// Minimal-rendering copy for diagnostics (see [`Relation::minimized`]):
+    /// simplified, with constraints implied by each conjunct's remaining
+    /// constraints dropped.  Set-preserving, so sampling from the result is
+    /// exactly as sound as sampling from the original.
+    pub fn minimized(&self) -> Set {
+        Set {
+            inner: self.inner.minimized(),
+        }
+    }
+
+    /// Gist-style simplification: drops from `self` every constraint implied
+    /// by `context` (together with the conjunct's remaining constraints),
+    /// so that `self.gist(c) ∧ c == self ∧ c`.  Failing-domain reports use
+    /// this to show only what the context does *not* already imply.
+    ///
+    /// The reduction runs per conjunct against a single quantifier-free
+    /// context conjunct; a disjunctive or quantified context falls back to
+    /// [`Set::simplified`] (still sound, just no gisting).
+    ///
+    /// # Errors
+    ///
+    /// Returns a space-mismatch error if the spaces are incompatible.
+    pub fn gist(&self, context: &Set) -> Result<Set> {
+        self.space().check_compatible(context.space(), "gist")?;
+        let ctx = context.inner.simplified(true);
+        let [ctx_conjunct] = ctx.conjuncts() else {
+            return Ok(self.simplified());
+        };
+        if !ctx_conjunct.is_quantifier_free() {
+            return Ok(self.simplified());
+        }
+        let ctx_conjunct = ctx_conjunct.clone().with_space(self.space().clone());
+        let mut out = Vec::with_capacity(self.conjuncts().len());
+        for c in self.inner.simplified(true).conjuncts() {
+            let mut c = c.clone();
+            c.gist_against(&ctx_conjunct);
+            out.push(c);
+        }
+        Ok(Set {
+            inner: Relation::from_conjuncts(self.space().clone(), out),
+        })
+    }
+
+    /// Splits the set on a parameter threshold: returns
+    /// `(self ∧ param ≤ c, self ∧ param ≥ c + 1)` — the parameter-context
+    /// split used to branch a parametric verification into `N ≤ c` and
+    /// `N > c` regimes.  The two halves partition `self` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a valid parameter index of this set's space.
+    pub fn split_at_param(&self, p: usize, c: i64) -> (Set, Set) {
+        assert!(
+            p < self.space().n_param(),
+            "parameter index {p} out of range"
+        );
+        let mut le = Vec::with_capacity(self.conjuncts().len());
+        let mut gt = Vec::with_capacity(self.conjuncts().len());
+        for conj in self.conjuncts() {
+            let col = conj.col(VarKind::Param, p);
+            // param ≤ c  ⇔  −param + c ≥ 0
+            let mut a = conj.clone();
+            let mut e = a.zero_expr();
+            e.set_coeff(col, -1);
+            e.set_constant(c);
+            a.add(Constraint::geq(e));
+            le.push(a);
+            // param ≥ c + 1  ⇔  param − (c + 1) ≥ 0; at c = i64::MAX the
+            // upper branch is empty and is simply not generated.
+            if let Some(neg) = c.checked_add(1).and_then(i64::checked_neg) {
+                let mut b = conj.clone();
+                let mut e = b.zero_expr();
+                e.set_coeff(col, 1);
+                e.set_constant(neg);
+                b.add(Constraint::geq(e));
+                gt.push(b);
+            }
+        }
+        (
+            Set {
+                inner: Relation::from_conjuncts(self.space().clone(), le),
+            },
+            Set {
+                inner: Relation::from_conjuncts(self.space().clone(), gt),
+            },
+        )
     }
 
     /// Returns a concrete member of the set as `(point, params)`, or `None`

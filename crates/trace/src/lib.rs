@@ -474,7 +474,7 @@ pub fn discharge(mechanism: &'static str) {
 /// `[2^(i-1), 2^i)` µs (bucket 0 holds sub-microsecond samples).
 pub const N_BUCKETS: usize = 40;
 
-/// The four hot operations metered by the session registry.
+/// The five hot operations metered by the session registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
     /// `Conjunct::is_feasible` compute (memo misses only), µs.
@@ -485,15 +485,18 @@ pub enum Metric {
     Flatten,
     /// Restricted multiset matching of flattened terms, µs.
     Match,
+    /// DNF coalescing (conjunct dedup + subsumption) of a relation, µs.
+    Simplify,
 }
 
 impl Metric {
     /// All metrics, in snapshot order.
-    pub const ALL: [Metric; 4] = [
+    pub const ALL: [Metric; 5] = [
         Metric::Feasibility,
         Metric::Composition,
         Metric::Flatten,
         Metric::Match,
+        Metric::Simplify,
     ];
 
     /// Stable snake_case name used in JSON snapshots.
@@ -503,6 +506,7 @@ impl Metric {
             Metric::Composition => "composition",
             Metric::Flatten => "flatten",
             Metric::Match => "match",
+            Metric::Simplify => "simplify",
         }
     }
 
@@ -512,6 +516,7 @@ impl Metric {
             Metric::Composition => 1,
             Metric::Flatten => 2,
             Metric::Match => 3,
+            Metric::Simplify => 4,
         }
     }
 }
@@ -550,7 +555,7 @@ impl Histo {
 /// accumulates aggregate behaviour.
 #[derive(Default)]
 pub struct Metrics {
-    histos: [Histo; 4],
+    histos: [Histo; 5],
 }
 
 impl Metrics {
